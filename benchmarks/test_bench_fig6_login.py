@@ -1,0 +1,22 @@
+"""Fig. 6(a): CDF of login latencies, peak vs off-peak hours.
+
+"For all three protocols, the CDF distribution curves from the two
+separate time periods are virtually identical."  Quantified here by
+the two-sample KS distance and per-quantile gaps.
+"""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6a_login_cdfs(benchmark, week_result):
+    comparisons = benchmark(lambda: fig6.panel(week_result, "a-login"))
+    for comparison in comparisons:
+        assert comparison.peak_count > 1000
+        assert comparison.offpeak_count > 1000
+        # Virtually identical distributions.
+        assert comparison.ks < 0.06, (comparison.round_name, comparison.ks)
+        # Median gap far inside the visual resolution of the figure.
+        median_gap = next(abs(p - o) for q, p, o in comparison.quantiles if q == 0.5)
+        assert median_gap < 0.03
+
+    print("\n" + fig6.render_panel(week_result, "a-login"))

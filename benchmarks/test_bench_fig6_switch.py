@@ -1,0 +1,20 @@
+"""Fig. 6(b): CDF of channel-switch latencies, peak vs off-peak hours."""
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6b_switch_cdfs(benchmark, week_result):
+    comparisons = benchmark(lambda: fig6.panel(week_result, "b-switch"))
+    for comparison in comparisons:
+        assert comparison.ks < 0.06, (comparison.round_name, comparison.ks)
+
+    # The figure's viewing-experience subtext (Section II: switching
+    # "similar to TV services provided by satellite (around 3
+    # seconds)"): the overwhelming majority of switch rounds complete
+    # well inside that budget, in both periods.
+    for round_name in ("SWITCH1", "SWITCH2"):
+        peak_frac, off_frac = fig6.fraction_under(week_result, round_name, 3.0)
+        assert peak_frac > 0.97
+        assert off_frac > 0.97
+
+    print("\n" + fig6.render_panel(week_result, "b-switch"))

@@ -1,0 +1,83 @@
+"""Fig. 4: per-round cost of the real protocol handlers.
+
+Benchmarks the actual functional implementation of each measured round
+(the same handlers the calibration module times) and verifies the
+protocol's round structure: login = 2 exchanges, switch = 2 exchanges,
+join = 1 exchange.  These measured costs are what ground the week-long
+simulation's service times (DESIGN.md substitution table).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.challenge import answer_challenge
+from repro.core.protocol import JoinRequest, Login1Request, Switch1Request, Switch2Request
+from repro.deployment import Deployment
+
+
+@pytest.fixture(scope="module")
+def env():
+    deployment = Deployment(seed=3)
+    deployment.add_free_channel("bench", regions=["CH"])
+    client = deployment.create_client("bench@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    response = client.switch_channel("bench", now=0.0)
+    peer = deployment.make_peer(client, "bench", capacity=10**9)
+    deployment.overlay("bench").join(peer, response.peers, now=0.0)
+    return deployment, client, peer
+
+
+def test_bench_round_login1(benchmark, env):
+    deployment, client, _ = env
+    manager = deployment.user_managers["domain-0"]
+    request = Login1Request(email=client.email, client_public_key=client.public_key)
+    benchmark(lambda: manager.login1(request, 0.0))
+
+
+def test_bench_round_full_login_two_exchanges(benchmark, env):
+    deployment, client, _ = env
+    benchmark(lambda: client.login(now=0.0))
+
+
+def test_bench_round_switch1(benchmark, env):
+    deployment, client, _ = env
+    manager = deployment.channel_manager_for("bench")
+    request = Switch1Request(user_ticket=client.user_ticket, channel_id="bench")
+    benchmark(lambda: manager.switch1(request, 0.0))
+
+
+def test_bench_round_switch2(benchmark, env):
+    deployment, client, _ = env
+    manager = deployment.channel_manager_for("bench")
+    request1 = Switch1Request(user_ticket=client.user_ticket, channel_id="bench")
+
+    def run():
+        token = manager.switch1(request1, 0.0).token
+        signature = answer_challenge(token, client.private_key)
+        return manager.switch2(
+            Switch2Request(
+                user_ticket=client.user_ticket,
+                token=token,
+                signature=signature,
+                channel_id="bench",
+            ),
+            observed_addr=client.net_addr,
+            now=0.0,
+        )
+
+    response = benchmark(run)
+    assert response.ticket.channel_id == "bench"
+
+
+def test_bench_round_join(benchmark, env):
+    deployment, client, peer = env
+    request = JoinRequest(channel_ticket=client.channel_ticket)
+
+    def run():
+        return peer.handle_join(request, observed_addr=client.net_addr, now=0.0)
+
+    from repro.core.protocol import JoinAccept
+
+    result = benchmark(run)
+    assert isinstance(result, JoinAccept)

@@ -1,0 +1,26 @@
+"""Benchmark: the simulated measurement week itself.
+
+Times one full seven-day replay (trace generation + event-driven farm
+simulation + latency collection) at a reduced audience scale.  This is
+the engine behind every Fig. 5 / Fig. 6 number.
+"""
+
+from repro.experiments.common import WeeklongConfig
+from repro.experiments.weeklong import WeeklongRunner
+
+
+def test_bench_weeklong_engine(benchmark):
+    config = WeeklongConfig(peak_concurrent=80, n_channels=15)
+
+    def run():
+        return WeeklongRunner(config).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Sanity: the run produced samples for all five measured rounds.
+    for round_name in ("LOGIN1", "LOGIN2", "SWITCH1", "SWITCH2", "JOIN"):
+        assert result.collector.count(round_name) > 1000, round_name
+    print(
+        f"\nweek simulated: {len(result.trace.sessions)} sessions, "
+        f"{len(result.trace.events)} protocol events, "
+        f"UM utilization {result.um_utilization:.4f}"
+    )

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Broadcaster scenario: regional rights and a program blackout.
+
+A broadcaster re-distributes its over-the-air channel on the P2P
+network but has not secured Internet rights for one program (say, a
+football match from 20:00 to 21:00).  Per Section IV-A, the operator
+expresses the blackout as a time-boxed ``Region=ANY -> REJECT`` policy
+-- and per Section IV-C, it must be deployed at least one User Ticket
+lifetime before the window so no ticket survives into it.
+
+Run:  python examples/broadcaster_blackout.py
+"""
+
+from repro import Deployment
+from repro.errors import PolicyRejectError
+
+HOUR = 3600.0
+MATCH_START = 20 * HOUR
+MATCH_END = 21 * HOUR
+
+
+def hhmm(t: float) -> str:
+    return f"{int(t // 3600) % 24:02d}:{int(t % 3600) // 60:02d}"
+
+
+def main() -> None:
+    deployment = Deployment(
+        seed=7, user_ticket_lifetime=1800.0, channel_ticket_lifetime=900.0
+    )
+    deployment.add_free_channel("srf-one", regions=["CH"])
+
+    # Deploy the blackout with the mandated lead time.
+    lead = deployment.user_managers["domain-0"].ticket_lifetime
+    deploy_at = MATCH_START - lead
+    print(f"{hhmm(deploy_at)}  operator schedules blackout "
+          f"{hhmm(MATCH_START)}-{hhmm(MATCH_END)} (lead time {lead / 60:.0f} min)")
+    deployment.policy_manager.schedule_blackout(
+        "srf-one", MATCH_START, MATCH_END, now=deploy_at
+    )
+
+    # A viewer who tuned in before the announcement.
+    fan = deployment.create_client("fan@example.org", "pw", region="CH")
+    fan.login(now=deploy_at - 300.0)
+    fan.switch_channel("srf-one", now=deploy_at - 300.0)
+    ticket = fan.channel_ticket
+    print(f"{hhmm(ticket.start_time)}  fan's channel ticket issued, "
+          f"expires {hhmm(ticket.expire_time)} "
+          f"(cannot outlive the blackout start: "
+          f"{ticket.expire_time <= MATCH_START})")
+
+    # Renewal attempts march toward the blackout; expiries get pinned
+    # to the window boundary, and the renewal attempted inside the
+    # window is refused.
+    t = ticket.expire_time - 10.0
+    while True:
+        fan.login(now=t)
+        previous_expiry = fan.channel_ticket.expire_time
+        try:
+            fan.renew_channel_ticket(now=t)
+        except PolicyRejectError:
+            print(f"{hhmm(t)}  renewal REFUSED -- blackout in force")
+            break
+        expiry = fan.channel_ticket.expire_time
+        pinned = " (pinned to blackout start)" if expiry == MATCH_START else ""
+        print(f"{hhmm(t)}  renewal OK, new expiry {hhmm(expiry)}{pinned}")
+        if expiry <= previous_expiry:
+            # Expiry stopped advancing: the next attempt happens inside
+            # the window (still within the renewal grace period).
+            t = MATCH_START + 30.0
+        else:
+            t = expiry - 10.0
+
+    # During the window: no new tickets either.
+    latecomer = deployment.create_client("late@example.org", "pw", region="CH")
+    latecomer.login(now=MATCH_START + 600.0)
+    try:
+        latecomer.switch_channel("srf-one", now=MATCH_START + 600.0)
+    except PolicyRejectError as exc:
+        print(f"{hhmm(MATCH_START + 600.0)}  latecomer rejected: blacked out")
+
+    # After the window: service resumes without operator action --
+    # the backing channel attribute simply expired.
+    after = MATCH_END + 120.0
+    latecomer.login(now=after)
+    response = latecomer.switch_channel("srf-one", now=after)
+    print(f"{hhmm(after)}  service resumed, ticket for "
+          f"{response.ticket.channel_id!r} issued")
+
+    # The viewing log recorded everything for royalties/billing.
+    log = deployment.channel_manager_for("srf-one").viewing_log()
+    print(f"viewing log: {len(log)} entries "
+          f"({sum(1 for e in log if e.renewal)} renewals)")
+
+
+if __name__ == "__main__":
+    main()

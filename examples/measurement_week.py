@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's performance study (Figs. 5 and 6) end to end.
+
+Simulates the measurement week -- diurnal session arrivals, zapping,
+re-logins and renewals, the 2-User-Manager / 2x2-Channel-Manager
+deployment of Section VI -- and prints every panel of both figures
+plus the headline Pearson correlations, side by side with the paper's
+numbers.
+
+Run:  python examples/measurement_week.py [--peak N]
+      (default N=400; the production week peaked around 27000 --
+       pass --peak 27000 for full scale if you have a few minutes)
+"""
+
+import argparse
+
+from repro.experiments import fig5, fig6
+from repro.experiments.common import WeeklongConfig
+from repro.experiments.weeklong import WeeklongRunner
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--peak", type=int, default=400,
+                        help="peak concurrent users to simulate")
+    args = parser.parse_args()
+
+    config = WeeklongConfig(peak_concurrent=args.peak, n_channels=60)
+    print(f"simulating one week: peak {config.peak_concurrent} concurrent, "
+          f"{config.n_channels} channels, "
+          f"{config.um_instances} User Manager instances, "
+          f"{config.cm_partitions}x{config.cm_instances_per_partition} "
+          f"Channel Manager instances ...")
+    result = WeeklongRunner(config).run()
+    print(f"done: {len(result.trace.sessions)} sessions, "
+          f"{len(result.trace.events)} protocol operations, "
+          f"UM utilization {result.um_utilization:.4f}, "
+          f"CM utilizations {[f'{u:.4f}' for u in result.cm_utilizations]}")
+    print()
+
+    for panel_key in ("a-login", "b-switch", "c-join"):
+        print(fig5.render_panel(result, panel_key))
+        print()
+    print("Headline statistic (paper Section VI vs this run):")
+    print(fig5.paper_comparison(result))
+    print()
+
+    for panel_key in ("a-login", "b-switch", "c-join"):
+        print(fig6.render_panel(result, panel_key))
+        print()
+
+    print("Interpretation: manager-round latencies are WAN-dominated and")
+    print("decorrelated from load (stateless farms run far from saturation);")
+    print("JOIN shows the paper's slight positive coupling from capacity")
+    print("retries; peak and off-peak CDFs are virtually identical.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Pay-per-view evening with royalty reporting.
+
+The provider schedules a pay-per-view boxing match on an otherwise
+free channel.  Purchases happen out-of-band at the Account Manager;
+the EPG compiles the program rights into attribute/policy rules; the
+Channel Manager enforces them; and afterwards the viewing log yields
+the per-view charges and the royalty statement (Section II's Unique
+User Count requirements, end to end).
+
+Run:  python examples/ppv_and_royalties.py
+"""
+
+from repro import Deployment
+from repro.core.epg import Program
+from repro.errors import PolicyRejectError
+
+FIGHT_START = 21 * 3600.0
+FIGHT_END = FIGHT_START + 2 * 3600.0
+
+
+def main() -> None:
+    deployment = Deployment(seed=99)
+    deployment.add_free_channel("arena", regions=["CH", "DE"])
+
+    deployment.epg.add_program(Program(
+        program_id="title-fight",
+        channel_id="arena",
+        start=FIGHT_START,
+        end=FIGHT_END,
+        title="The Title Fight",
+        ppv_price=19.90,
+    ))
+    deployment.epg.apply_all_rights(now=0.0)
+    print(f"scheduled PPV 'The Title Fight' "
+          f"{FIGHT_START / 3600:.0f}:00-{FIGHT_END / 3600:.0f}:00 @ 19.90")
+
+    # Three buyers, two freeloaders.
+    buyers, freeloaders = [], []
+    for i in range(3):
+        email = f"buyer{i}@example.org"
+        deployment.accounts.register(email, "pw")
+        deployment.accounts.top_up(email, 25.0)
+        deployment.epg.purchase(deployment.accounts, email, "title-fight")
+        buyers.append(deployment.create_client(email, "pw", region="CH", register=False))
+    for i in range(2):
+        email = f"free{i}@example.org"
+        freeloaders.append(deployment.create_client(email, "pw", region="CH"))
+
+    # Before the fight: everyone watches the free programming.
+    afternoon = FIGHT_START - 2 * 3600.0
+    for client in buyers + freeloaders:
+        client.login(now=afternoon)
+        response = client.switch_channel("arena", now=afternoon)
+        capped = response.ticket.expire_time == FIGHT_START
+    print("afternoon: all 5 viewers admitted to the free programming"
+          " (non-buyers' tickets expire at the PPV fence)")
+
+    # Fight time.
+    during = FIGHT_START + 600.0
+    admitted = refused = 0
+    for client in buyers + freeloaders:
+        client.login(now=during)
+        try:
+            client.switch_channel("arena", now=during)
+            admitted += 1
+        except PolicyRejectError:
+            refused += 1
+    print(f"fight time: {admitted} buyers admitted, {refused} non-buyers refused")
+
+    # Buyers renew through the fight (billing sees one view each).
+    for client in buyers:
+        renew_at = client.channel_ticket.expire_time - 10.0
+        client.login(now=renew_at)
+        client.renew_channel_ticket(now=renew_at)
+
+    # The books afterwards.
+    analytics = deployment.analytics_for("arena")
+    charges = analytics.per_view_charges("arena", FIGHT_START, FIGHT_END, price=19.90)
+    print(f"per-view charges: {len(charges)} accounts x 19.90 "
+          f"(renewals not double-billed)")
+    statement = analytics.royalty_statement(0.0, FIGHT_END + 3600.0,
+                                            rate_per_viewer_hour=0.05)
+    for channel, owed in statement.items():
+        print(f"royalty owed for {channel!r}: {owed:.2f} "
+              f"({analytics.channel_report(channel, 0.0, FIGHT_END + 3600.0).viewer_hours:.2f} viewer-hours)")
+    report = analytics.channel_report("arena", FIGHT_START, FIGHT_END)
+    print(f"fight-window audience: {report.unique_viewers} unique, "
+          f"peak {report.peak_concurrent} concurrent")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: a reproduction of "Meeting the Digital Rights Requirements
+of Live Broadcast in a Peer-to-Peer Network" (ICDCS 2011).
+
+The library implements the paper's DRM system for live P2P broadcast
+-- attribute/policy access control, Kerberos-style User and Channel
+Tickets, rotating content keys distributed pair-wise over the overlay
+-- together with every substrate it rides on: the crypto layer, a
+synthetic GeoIP/AS database, the P2P streaming overlay, workload
+generators, a discrete-event simulator for the scalability
+experiments, and the baselines the design is compared against.
+
+Quick start::
+
+    from repro import Deployment
+
+    deployment = Deployment(seed=7)
+    deployment.add_free_channel("news", regions=["CH", "DE"])
+    client = deployment.create_client("alice@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    peer = deployment.watch(client, "news", now=1.0)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.deployment import Deployment
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["Deployment", "ReproError", "__version__"]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``week``       simulate the measurement week, print Figs. 5 & 6
+``calibrate``  microbenchmark the functional handlers (service times)
+``ablations``  print the A1-A5 ablation tables
+``demo``       a compact end-to-end walk-through of Fig. 1
+``threats``    run the Section IV-G scenarios and report outcomes
+
+Each command is a thin wrapper over the library -- everything the CLI
+prints is available programmatically from :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+
+def _cmd_week(args: argparse.Namespace) -> int:
+    from repro.experiments import fig5, fig6
+    from repro.experiments.common import WeeklongConfig
+    from repro.experiments.weeklong import WeeklongRunner
+
+    config = WeeklongConfig(peak_concurrent=args.peak, n_channels=args.channels)
+    print(f"simulating one week at peak {config.peak_concurrent} concurrent ...")
+    result = WeeklongRunner(config).run()
+    print(f"{len(result.trace.sessions)} sessions, "
+          f"{len(result.trace.events)} protocol operations\n")
+    for panel in ("a-login", "b-switch", "c-join"):
+        print(fig5.render_panel(result, panel))
+        print()
+    print(fig5.paper_comparison(result))
+    print()
+    for panel in ("a-login", "b-switch", "c-join"):
+        print(fig6.render_panel(result, panel))
+        print()
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.experiments.calibration import calibrate
+
+    report = calibrate(repetitions=args.repetitions)
+    print("measured mean service times (functional handlers, this machine):")
+    for name in ("login1", "login2", "switch1", "switch2", "join_peer", "client_compute"):
+        print(f"  {name:14s} {getattr(report, name) * 1000:8.3f} ms")
+    print("\nfeed into simulations via "
+          "WeeklongConfig(service=report.as_service_times())")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import (
+        farm_scaling,
+        keydist_comparison,
+        rekey_tradeoff,
+        ticket_lifetime_tradeoff,
+        traditional_comparison,
+    )
+    from repro.metrics.reporting import format_table
+
+    rng = random.Random(args.seed)
+
+    print("A1 - manager farm scaling under a flash crowd")
+    rows = [
+        (p.n_servers, f"{p.mean_wait * 1000:.1f}", f"{p.p95_wait * 1000:.1f}", p.max_queue)
+        for p in farm_scaling(rng, arrivals=5000)
+    ]
+    print(format_table(["servers", "mean wait (ms)", "p95 wait (ms)", "max queue"], rows))
+
+    print("\nA2 - key distribution: central fetch vs P2P push")
+    rows = [
+        (r.clients, r.central_requests_per_rekey, f"{r.central_p99_wait:.3f}",
+         r.push_server_messages, r.push_depth, f"{r.push_propagation:.3f}")
+        for r in keydist_comparison(rng)
+    ]
+    print(format_table(
+        ["audience", "central req/rekey", "central p99 (s)",
+         "push infra msgs", "push depth", "push prop (s)"], rows))
+
+    print("\nA3 - traditional vs event licensing (servers for 3 s SLA)")
+    rows = [
+        (r.arrivals, r.traditional_servers_for_sla, r.ours_servers_for_sla)
+        for r in traditional_comparison(rng, audiences=(1000, 5000))
+    ]
+    print(format_table(["audience", "traditional", "ours"], rows))
+
+    print("\nA4 - re-key interval")
+    rows = [(r.epoch, r.keys_per_hour, f"{r.exposure_window:.0f}s") for r in rekey_tradeoff()]
+    print(format_table(["epoch (s)", "keys/hour/link", "leak exposure"], rows))
+
+    print("\nA5 - ticket lifetime")
+    rows = [
+        (r.lifetime, f"{r.renewals_per_viewer_hour:.1f}",
+         f"{r.blackout_lead_time:.0f}s")
+        for r in ticket_lifetime_tradeoff()
+    ]
+    print(format_table(["lifetime (s)", "renewals/viewer-hour", "blackout lead"], rows))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import Deployment
+
+    deployment = Deployment(seed=args.seed)
+    deployment.add_free_channel("demo", regions=["CH", "DE"])
+    client = deployment.create_client("demo@example.org", "pw", region="CH")
+    ticket = client.login(now=0.0)
+    print(f"logged in: UserIN={ticket.user_id}, "
+          f"attributes={[(a.name, a.value) for a in ticket.attributes]}")
+    peer = deployment.watch(client, "demo", now=1.0)
+    print(f"watching 'demo' as {peer.peer_id}; parents={list(client.parents)}")
+    source = deployment.overlay("demo").source
+    source.broadcast_packet(10.0)
+    source.tick(55.0)
+    source.broadcast_packet(65.0)
+    print(f"decrypted {client.packets_decrypted} packets across a key rotation "
+          f"({client.decrypt_failures} failures)")
+    return 0
+
+
+def _cmd_threats(args: argparse.Namespace) -> int:
+    # Delegate to the narrated playbook example logic.
+    import examples.threat_playbook as playbook  # type: ignore
+
+    playbook.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Live-broadcast P2P DRM reproduction (ICDCS 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    week = sub.add_parser("week", help="simulate the measurement week (Figs. 5-6)")
+    week.add_argument("--peak", type=int, default=300)
+    week.add_argument("--channels", type=int, default=40)
+    week.set_defaults(func=_cmd_week)
+
+    calibrate = sub.add_parser("calibrate", help="measure handler service times")
+    calibrate.add_argument("--repetitions", type=int, default=30)
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    ablations = sub.add_parser("ablations", help="print ablation tables A1-A5")
+    ablations.add_argument("--seed", type=int, default=1)
+    ablations.set_defaults(func=_cmd_ablations)
+
+    demo = sub.add_parser("demo", help="compact end-to-end walk-through")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+
+    threats = sub.add_parser("threats", help="run the threat playbook")
+    threats.set_defaults(func=_cmd_threats)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

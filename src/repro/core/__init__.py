@@ -1,0 +1,74 @@
+"""The paper's primary contribution: the live-broadcast DRM core.
+
+Subpackage map (one module per architectural element of Fig. 1):
+
+====================================  =====================================
+:mod:`repro.core.attributes`          attribute tuples and matching rules
+:mod:`repro.core.policy`              prioritized channel policies
+:mod:`repro.core.tickets`             User Ticket / Channel Ticket
+:mod:`repro.core.accounts`            Account Manager
+:mod:`repro.core.user_manager`        User Manager (login protocol, UserDB)
+:mod:`repro.core.policy_manager`      Channel Policy Manager
+:mod:`repro.core.channel_manager`     Channel Manager (switch protocol,
+                                      viewing log, renewal)
+:mod:`repro.core.redirection`         Redirection Manager
+:mod:`repro.core.keystream`           rotating content keys
+:mod:`repro.core.packets`             encrypted content packets
+:mod:`repro.core.channel_server`      ingest + encryption at the source
+:mod:`repro.core.protocol`            LOGIN/SWITCH/JOIN message types
+:mod:`repro.core.client`              the client state machine
+====================================  =====================================
+
+The core is *functional*: objects call each other directly and take an
+explicit ``now`` timestamp, so the same code runs under the
+discrete-event simulator (which supplies virtual time) and in plain
+unit tests (which supply literal numbers).
+"""
+
+from repro.core.attributes import (
+    Attribute,
+    AttributeSet,
+    VALUE_ANY,
+    VALUE_ALL,
+    VALUE_NONE,
+)
+from repro.core.policy import Policy, PolicyCondition, Decision, evaluate_policies
+from repro.core.tickets import UserTicket, ChannelTicket
+from repro.core.accounts import AccountManager, Subscription
+from repro.core.user_manager import UserManager
+from repro.core.policy_manager import ChannelPolicyManager, ChannelRecord
+from repro.core.channel_manager import ChannelManager
+from repro.core.redirection import RedirectionManager
+from repro.core.keystream import ContentKeySchedule
+from repro.core.channel_server import ChannelServer
+from repro.core.client import Client
+from repro.core.epg import ElectronicProgramGuide, Program
+from repro.core.analytics import ViewingAnalytics, ViewingSession
+
+__all__ = [
+    "ElectronicProgramGuide",
+    "Program",
+    "ViewingAnalytics",
+    "ViewingSession",
+    "Attribute",
+    "AttributeSet",
+    "VALUE_ANY",
+    "VALUE_ALL",
+    "VALUE_NONE",
+    "Policy",
+    "PolicyCondition",
+    "Decision",
+    "evaluate_policies",
+    "UserTicket",
+    "ChannelTicket",
+    "AccountManager",
+    "Subscription",
+    "UserManager",
+    "ChannelPolicyManager",
+    "ChannelRecord",
+    "ChannelManager",
+    "RedirectionManager",
+    "ContentKeySchedule",
+    "ChannelServer",
+    "Client",
+]

@@ -1,0 +1,203 @@
+"""The Account Manager: out-of-band account and subscription state.
+
+Section II: "Subscription to channel packages or individual channels,
+purchasing of pay-per-view programs, or topping up of user account are
+all assumed to take place out-of-band, for example at a service
+provider's web site.  We will call such site the Account Manager."
+
+Section IV-B: "When a user creates an account with the service
+provider's Account Manager, the Account Manager securely sends the
+user's identification, subscription, and payment information to the
+User Manager."
+
+This module models that web-site backend: account registration with a
+password (stored as a salted secure hash, the ``shp`` the login
+protocol encrypts challenges under), subscription packages with
+validity windows, pay-per-view purchases, and balance top-ups.
+Registered listeners (User Managers) are notified of every change so
+their UserDBs stay current.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import AccountError
+
+
+def secure_hash_password(email: str, password: str) -> bytes:
+    """The ``shp`` of the login protocol: a salted hash of the password.
+
+    The email serves as the salt so equal passwords hash differently
+    across accounts.  Both the Account Manager (at registration) and
+    the client (at login) compute this; the plaintext password never
+    appears in any protocol message.
+    """
+    return hashlib.sha256(b"shp|" + email.encode("utf-8") + b"|" + password.encode("utf-8")).digest()
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A subscribed package with a validity window.
+
+    ``package_id`` is the value carried by the ``Subscription`` user
+    attribute (e.g. ``"101"`` in Fig. 2); ``stime``/``etime`` bound the
+    paid period and flow into the attribute's validity window.
+    """
+
+    package_id: str
+    stime: Optional[float] = None
+    etime: Optional[float] = None
+
+    def is_current_at(self, now: float) -> bool:
+        """Is the subscription paid-up at ``now``?"""
+        if self.stime is not None and now < self.stime:
+            return False
+        if self.etime is not None and now > self.etime:
+            return False
+        return True
+
+
+@dataclass
+class UserAccount:
+    """One registered user as the Account Manager sees them."""
+
+    email: str
+    shp: bytes
+    subscriptions: List[Subscription] = field(default_factory=list)
+    balance: float = 0.0
+    suspended: bool = False
+
+    def current_subscriptions(self, now: float) -> List[Subscription]:
+        """Subscriptions whose paid window covers ``now``."""
+        return [s for s in self.subscriptions if s.is_current_at(now)]
+
+    def subscriptions_overlapping(self, start: float, end: float) -> List[Subscription]:
+        """Subscriptions whose paid window intersects [start, end].
+
+        The User Manager embeds these into tickets with their own
+        stime/etime: a pay-per-view entitlement that begins mid-ticket
+        must ride along now and simply *become valid* at its stime --
+        that is what the attribute validity window exists for.
+        """
+        result = []
+        for subscription in self.subscriptions:
+            if subscription.stime is not None and subscription.stime > end:
+                continue
+            if subscription.etime is not None and subscription.etime < start:
+                continue
+            result.append(subscription)
+        return result
+
+
+AccountListener = Callable[[UserAccount], None]
+
+
+class AccountManager:
+    """Registration, subscriptions, payments; pushes updates to listeners.
+
+    The Account Manager is trusted infrastructure: it holds password
+    hashes and payment state.  It is *not* in the request path of any
+    DRM protocol -- clients only ever talk to it out-of-band -- so it
+    plays no part in the latency experiments.
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, UserAccount] = {}
+        self._listeners: List[AccountListener] = []
+
+    def add_listener(self, listener: AccountListener) -> None:
+        """Subscribe a User Manager to account-change notifications."""
+        self._listeners.append(listener)
+
+    def _notify(self, account: UserAccount) -> None:
+        for listener in self._listeners:
+            listener(account)
+
+    def register(self, email: str, password: str) -> UserAccount:
+        """Create an account; raises if the email is taken."""
+        if not email or "@" not in email:
+            raise AccountError(f"invalid email: {email!r}")
+        if email in self._accounts:
+            raise AccountError(f"account exists: {email}")
+        account = UserAccount(email=email, shp=secure_hash_password(email, password))
+        self._accounts[email] = account
+        self._notify(account)
+        return account
+
+    def get(self, email: str) -> UserAccount:
+        """Look up an account; raises :class:`AccountError` if unknown."""
+        account = self._accounts.get(email)
+        if account is None:
+            raise AccountError(f"no such account: {email}")
+        return account
+
+    def exists(self, email: str) -> bool:
+        """True if the email is registered."""
+        return email in self._accounts
+
+    def subscribe(
+        self,
+        email: str,
+        package_id: str,
+        stime: Optional[float] = None,
+        etime: Optional[float] = None,
+        price: float = 0.0,
+    ) -> Subscription:
+        """Add a subscription, debiting the balance if priced."""
+        account = self.get(email)
+        if price > 0:
+            if account.balance < price:
+                raise AccountError(
+                    f"insufficient balance for {email}: {account.balance} < {price}"
+                )
+            account.balance -= price
+        subscription = Subscription(package_id=package_id, stime=stime, etime=etime)
+        account.subscriptions.append(subscription)
+        self._notify(account)
+        return subscription
+
+    def cancel_subscription(self, email: str, package_id: str) -> bool:
+        """Drop all subscriptions to ``package_id``; True if any removed."""
+        account = self.get(email)
+        before = len(account.subscriptions)
+        account.subscriptions = [
+            s for s in account.subscriptions if s.package_id != package_id
+        ]
+        changed = len(account.subscriptions) != before
+        if changed:
+            self._notify(account)
+        return changed
+
+    def top_up(self, email: str, amount: float) -> float:
+        """Add funds; returns the new balance."""
+        if amount <= 0:
+            raise AccountError("top-up amount must be positive")
+        account = self.get(email)
+        account.balance += amount
+        self._notify(account)
+        return account.balance
+
+    def purchase_pay_per_view(
+        self, email: str, program_package: str, start: float, end: float, price: float
+    ) -> Subscription:
+        """Pay-per-view: a priced subscription bounded to the program window."""
+        return self.subscribe(email, program_package, stime=start, etime=end, price=price)
+
+    def suspend(self, email: str) -> None:
+        """Administratively suspend an account (e.g. chargeback)."""
+        account = self.get(email)
+        account.suspended = True
+        self._notify(account)
+
+    def reinstate(self, email: str) -> None:
+        """Lift a suspension."""
+        account = self.get(email)
+        account.suspended = False
+        self._notify(account)
+
+    def all_accounts(self) -> List[UserAccount]:
+        """Snapshot of all accounts (used when attaching a new listener)."""
+        return list(self._accounts.values())

@@ -1,0 +1,207 @@
+"""Viewing analytics and royalty reporting from the viewing log.
+
+Section II (Unique User Count): the system must log viewing "to comply
+with regulations concerning payment of television licensing fees and
+copyright royalties, to enforce per-view payment of paid contents, and
+to track viewing rate for advertisement purposes."  The Channel
+Manager's viewing log (Section IV-D) is the raw material; this module
+turns it into the reports those obligations need.
+
+A log entry records a ticket issuance (fresh or renewal).  Each entry
+represents up to one Channel Ticket lifetime of viewing; a session's
+true span is the run of entries for one (UserIN, channel) whose gaps
+stay under the renewal cadence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.channel_manager import ViewingLogEntry
+
+
+@dataclass(frozen=True)
+class ViewingSession:
+    """One reconstructed continuous viewing span."""
+
+    user_id: int
+    channel_id: str
+    start: float
+    end: float
+    renewals: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ChannelReport:
+    """Per-channel aggregate for one reporting period."""
+
+    channel_id: str
+    unique_viewers: int
+    sessions: int
+    viewer_seconds: float
+    peak_concurrent: int
+
+    @property
+    def viewer_hours(self) -> float:
+        return self.viewer_seconds / 3600.0
+
+
+def reconstruct_sessions(
+    log: Sequence[ViewingLogEntry],
+    ticket_lifetime: float,
+) -> List[ViewingSession]:
+    """Stitch log entries into continuous viewing sessions.
+
+    Entries for the same (UserIN, channel) whose inter-arrival gap is
+    at most one ticket lifetime (plus slack for the renewal window)
+    belong to one session; the session extends one lifetime past its
+    last entry (the final ticket's validity).
+    """
+    by_key: Dict[Tuple[int, str], List[ViewingLogEntry]] = defaultdict(list)
+    for entry in log:
+        by_key[(entry.user_id, entry.channel_id)].append(entry)
+
+    def covered_until(entry: ViewingLogEntry) -> float:
+        """How far one entry's viewing extends.
+
+        Prefer the recorded ticket expiry (exact, including pinned
+        boundaries); fall back to the nominal lifetime for legacy
+        entries that lack it.
+        """
+        if entry.expires_at is not None:
+            return entry.expires_at
+        return entry.issued_at + ticket_lifetime
+
+    sessions: List[ViewingSession] = []
+    slack = ticket_lifetime * 0.25
+    for (user_id, channel_id), entries in by_key.items():
+        entries.sort(key=lambda e: e.issued_at)
+        run_start = entries[0].issued_at
+        run_end = covered_until(entries[0])
+        renewals = 0
+        for entry in entries[1:]:
+            if entry.issued_at <= run_end + slack:
+                renewals += int(entry.renewal)
+                run_end = max(run_end, covered_until(entry))
+                continue
+            sessions.append(
+                ViewingSession(
+                    user_id=user_id,
+                    channel_id=channel_id,
+                    start=run_start,
+                    end=run_end,
+                    renewals=renewals,
+                )
+            )
+            run_start = entry.issued_at
+            run_end = covered_until(entry)
+            renewals = 0
+        sessions.append(
+            ViewingSession(
+                user_id=user_id,
+                channel_id=channel_id,
+                start=run_start,
+                end=run_end,
+                renewals=renewals,
+            )
+        )
+    sessions.sort(key=lambda s: (s.start, s.user_id))
+    return sessions
+
+
+class ViewingAnalytics:
+    """Reports over a viewing log."""
+
+    def __init__(
+        self, log: Sequence[ViewingLogEntry], ticket_lifetime: float = 900.0
+    ) -> None:
+        self._log = list(log)
+        self.ticket_lifetime = ticket_lifetime
+        self._sessions = reconstruct_sessions(self._log, ticket_lifetime)
+
+    @property
+    def sessions(self) -> List[ViewingSession]:
+        """All reconstructed sessions."""
+        return list(self._sessions)
+
+    def concurrent_viewers(self, channel_id: str, at: float) -> int:
+        """Viewers of a channel at one instant (the ad-rate number)."""
+        return sum(
+            1
+            for s in self._sessions
+            if s.channel_id == channel_id and s.start <= at < s.end
+        )
+
+    def viewer_curve(
+        self, channel_id: str, start: float, end: float, step: float = 60.0
+    ) -> List[Tuple[float, int]]:
+        """(time, concurrent viewers) over a window."""
+        points = []
+        t = start
+        while t <= end:
+            points.append((t, self.concurrent_viewers(channel_id, t)))
+            t += step
+        return points
+
+    def channel_report(
+        self, channel_id: str, start: float, end: float
+    ) -> ChannelReport:
+        """Royalty/licensing aggregate for one channel and period."""
+        overlapping = [
+            s
+            for s in self._sessions
+            if s.channel_id == channel_id and s.start < end and s.end > start
+        ]
+        viewer_seconds = sum(
+            max(0.0, min(s.end, end) - max(s.start, start)) for s in overlapping
+        )
+        peak = 0
+        boundaries = sorted(
+            {max(s.start, start) for s in overlapping}
+            | {min(s.end, end) for s in overlapping}
+        )
+        for boundary in boundaries:
+            peak = max(peak, self.concurrent_viewers(channel_id, boundary))
+        return ChannelReport(
+            channel_id=channel_id,
+            unique_viewers=len({s.user_id for s in overlapping}),
+            sessions=len(overlapping),
+            viewer_seconds=viewer_seconds,
+            peak_concurrent=peak,
+        )
+
+    def royalty_statement(
+        self, start: float, end: float, rate_per_viewer_hour: float
+    ) -> Dict[str, float]:
+        """Per-channel royalty owed over a period.
+
+        The simple viewer-hour model: owed = viewer-hours x rate.
+        """
+        channels = {entry.channel_id for entry in self._log}
+        return {
+            channel: self.channel_report(channel, start, end).viewer_hours
+            * rate_per_viewer_hour
+            for channel in sorted(channels)
+        }
+
+    def per_view_charges(
+        self, channel_id: str, window_start: float, window_end: float, price: float
+    ) -> Dict[int, float]:
+        """Pay-per-view billing: one charge per user who viewed the
+        program window, regardless of renewals or re-joins (the
+        'per-view payment' requirement with the account-level dedup
+        the single-viewing-location rule makes sound)."""
+        viewers = {
+            s.user_id
+            for s in self._sessions
+            if s.channel_id == channel_id
+            and s.start < window_end
+            and s.end > window_start
+        }
+        return {user_id: price for user_id in sorted(viewers)}

@@ -1,0 +1,241 @@
+"""Attributes: the unit of rights metadata for users and channels.
+
+Section IV-A defines an attribute as the 5-tuple
+``<attribute, value, stime, etime, utime>``:
+
+* ``stime``/``etime`` bound the attribute's *validity window* (NULL
+  means unbounded on that side);
+* ``utime`` is the last-update time, used to signal channel-lineup
+  changes to clients (Section IV-B: a client that sees a more recent
+  utime in its new User Ticket re-fetches the Channel List).
+
+User attributes and channel attributes share this format.  A handful
+of special values are "globally defined throughout our DRM
+architecture": ``ANY`` (wildcard that matches every present value),
+``ALL`` (a held value that satisfies every requirement), ``NONE``
+(matches only absence), and NULL (we use Python ``None`` for unset
+timestamps).
+
+Matching semantics (used by :mod:`repro.core.policy`):
+
+=================  =======================================================
+required value     satisfied when the holder has ...
+=================  =======================================================
+ordinary ``v``     a valid attribute of that name with value ``v`` or ALL
+``ANY``            any valid attribute of that name at all
+``NONE``           no valid attribute of that name
+=================  =======================================================
+
+This makes the paper's blackout idiom work: a high-priority policy
+``Region=ANY -> REJECT`` whose backing channel attribute is valid only
+during the blackout window matches every user (everyone has *some*
+Region) and rejects them; outside the window the backing attribute is
+invalid, the policy is dormant, and lower-priority ACCEPT rules apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.util.wire import Decoder, Encoder
+
+#: Wildcard required-value: matches any present valid attribute.
+VALUE_ANY = "ANY"
+#: Universal held-value: satisfies any required value.
+VALUE_ALL = "ALL"
+#: Required-value matching only *absence* of the attribute.
+VALUE_NONE = "NONE"
+
+#: Attribute names with architectural meaning (Table I).
+ATTR_NETADDR = "NetAddr"
+ATTR_REGION = "Region"
+ATTR_AS = "AS"
+ATTR_VERSION = "Version"
+ATTR_SUBSCRIPTION = "Subscription"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One ``<attribute, value, stime, etime, utime>`` tuple.
+
+    Timestamps are virtual-time seconds; ``None`` encodes the paper's
+    NULL (unbounded / unused).  Instances are immutable: managers
+    produce updated copies via :meth:`with_utime` rather than mutating
+    shared state.
+    """
+
+    name: str
+    value: str
+    stime: Optional[float] = None
+    etime: Optional[float] = None
+    utime: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.stime is not None and self.etime is not None and self.etime < self.stime:
+            raise ValueError(
+                f"attribute {self.name}: etime {self.etime} precedes stime {self.stime}"
+            )
+
+    def is_valid_at(self, now: float) -> bool:
+        """True when ``now`` falls inside [stime, etime]."""
+        if self.stime is not None and now < self.stime:
+            return False
+        if self.etime is not None and now > self.etime:
+            return False
+        return True
+
+    def with_utime(self, utime: float) -> "Attribute":
+        """Copy with the last-update time stamped."""
+        return replace(self, utime=utime)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Logical identity: (name, value).  Used for utime tracking
+        and client-side change detection."""
+        return (self.name, self.value)
+
+    @property
+    def window_key(self) -> Tuple[str, str, Optional[float], Optional[float]]:
+        """Full identity including the validity window.
+
+        Two instances of the same (name, value) with different windows
+        are distinct attributes -- e.g. two scheduled blackouts both
+        expressed as ``Region=ANY`` over different evenings.
+        """
+        return (self.name, self.value, self.stime, self.etime)
+
+    def encode(self, enc: Encoder) -> None:
+        """Append the canonical encoding to ``enc``."""
+        enc.put_str(self.name)
+        enc.put_str(self.value)
+        enc.put_opt_f64(self.stime)
+        enc.put_opt_f64(self.etime)
+        enc.put_opt_f64(self.utime)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Attribute":
+        """Read one attribute from ``dec``."""
+        return cls(
+            name=dec.get_str(),
+            value=dec.get_str(),
+            stime=dec.get_opt_f64(),
+            etime=dec.get_opt_f64(),
+            utime=dec.get_opt_f64(),
+        )
+
+
+class AttributeSet:
+    """An ordered collection of attributes with match helpers.
+
+    Order is preserved because tickets are signed over their canonical
+    encoding; insertion order is the canonical order.
+    """
+
+    def __init__(self, attributes: Iterable[Attribute] = ()) -> None:
+        self._attrs: List[Attribute] = list(attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributeSet):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __repr__(self) -> str:
+        return f"AttributeSet({self._attrs!r})"
+
+    def add(self, attribute: Attribute) -> None:
+        """Append an attribute, replacing any entry with the same full
+        identity (name, value, stime, etime).
+
+        Same (name, value) with a *different* window coexists: that is
+        how multiple scheduled blackouts or repeated PPV windows stack
+        on one channel.
+        """
+        self._attrs = [a for a in self._attrs if a.window_key != attribute.window_key]
+        self._attrs.append(attribute)
+
+    def remove(self, name: str, value: str) -> bool:
+        """Drop the (name, value) entry; True if something was removed."""
+        before = len(self._attrs)
+        self._attrs = [a for a in self._attrs if a.key != (name, value)]
+        return len(self._attrs) != before
+
+    def named(self, name: str) -> List[Attribute]:
+        """All attributes with the given name, in order."""
+        return [a for a in self._attrs if a.name == name]
+
+    def valid_named(self, name: str, now: float) -> List[Attribute]:
+        """All *currently valid* attributes with the given name."""
+        return [a for a in self._attrs if a.name == name and a.is_valid_at(now)]
+
+    def first_value(self, name: str, now: Optional[float] = None) -> Optional[str]:
+        """Value of the first (valid, if ``now`` given) attribute of ``name``."""
+        for attr in self._attrs:
+            if attr.name != name:
+                continue
+            if now is not None and not attr.is_valid_at(now):
+                continue
+            return attr.value
+        return None
+
+    def satisfies(self, name: str, required_value: str, now: float) -> bool:
+        """Does this set satisfy the requirement ``name = required_value``?
+
+        Implements the matching table in the module docstring.  Only
+        attributes valid at ``now`` count.
+        """
+        valid = self.valid_named(name, now)
+        if required_value == VALUE_NONE:
+            return not valid
+        if required_value == VALUE_ANY:
+            return bool(valid)
+        return any(a.value == required_value or a.value == VALUE_ALL for a in valid)
+
+    def soonest_etime(self) -> Optional[float]:
+        """The earliest expiration among members; None if all unbounded.
+
+        The User Manager caps ticket lifetime at this value so a ticket
+        never outlives any attribute it carries (Section IV-B).
+        """
+        etimes = [a.etime for a in self._attrs if a.etime is not None]
+        return min(etimes) if etimes else None
+
+    def utime_map(self) -> Dict[Tuple[str, str], Optional[float]]:
+        """(name, value) -> newest utime, for client change detection.
+
+        Multiple windows of one (name, value) collapse to the most
+        recent update time -- the client only needs to know *that*
+        something about the attribute changed.
+        """
+        collapsed: Dict[Tuple[str, str], Optional[float]] = {}
+        for attr in self._attrs:
+            current = collapsed.get(attr.key)
+            if attr.key not in collapsed:
+                collapsed[attr.key] = attr.utime
+            elif attr.utime is not None and (current is None or attr.utime > current):
+                collapsed[attr.key] = attr.utime
+        return collapsed
+
+    def encode(self, enc: Encoder) -> None:
+        """Append count + members to ``enc``."""
+        enc.put_u32(len(self._attrs))
+        for attr in self._attrs:
+            attr.encode(enc)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "AttributeSet":
+        """Read a counted attribute list from ``dec``."""
+        count = dec.get_u32()
+        return cls(Attribute.decode(dec) for _ in range(count))
+
+    def copy(self) -> "AttributeSet":
+        """Shallow copy (attributes themselves are immutable)."""
+        return AttributeSet(self._attrs)

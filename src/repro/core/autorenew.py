@@ -1,0 +1,159 @@
+"""Automatic ticket renewal: keeping a viewer glued to the stream.
+
+Section IV-C: "To avoid service interruption, Channel and User Tickets
+must be renewed in time."  The synchronous :class:`~repro.core.client.Client`
+exposes the renewal operations; this module adds the *scheduling*
+discipline a production client runs: renew each ticket a safety margin
+before expiry, re-login first when the User Ticket would expire sooner,
+and present the renewed Channel Ticket to every parent so the peers'
+expiry enforcement never severs us.
+
+The renewer drives a client against a
+:class:`~repro.sim.engine.Simulator` clock, which makes multi-hour
+viewing sessions testable in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.client import Client
+from repro.errors import ReproError
+from repro.sim.engine import Event, Simulator
+
+
+@dataclass
+class RenewalStats:
+    """What the renewer did over a session."""
+
+    user_ticket_renewals: int = 0
+    channel_ticket_renewals: int = 0
+    renewal_failures: int = 0
+    presentations: int = 0
+
+
+class TicketAutoRenewer:
+    """Schedules re-logins and Channel Ticket renewals for one client.
+
+    Parameters
+    ----------
+    sim:
+        The virtual clock the renewals run on.
+    client:
+        A logged-in, ticketed client.
+    margin:
+        Seconds before expiry at which renewal fires.  Must stay inside
+        the Channel Manager's renewal window (default window is 120 s,
+        so the default margin of 60 s is safely within it).
+    parents_provider:
+        Returns the client's current parent peers (so renewed tickets
+        can be presented, Section IV-D); defaults to nothing.
+    on_failure:
+        Called with the exception when a renewal is refused (blackout
+        reached, account moved, ...).  The renewer stops afterwards.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: Client,
+        margin: float = 60.0,
+        parents_provider: Optional[Callable[[], List[object]]] = None,
+        on_failure: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.sim = sim
+        self.client = client
+        self.margin = margin
+        self._parents_provider = parents_provider or (lambda: [])
+        self._on_failure = on_failure
+        self.stats = RenewalStats()
+        self._pending: List[Event] = []
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin scheduling from the client's current tickets."""
+        if self.client.user_ticket is None:
+            raise ReproError("client must be logged in before auto-renewal")
+        self.active = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Cancel all pending renewals (viewer closed the player)."""
+        self.active = False
+        for event in self._pending:
+            event.cancel()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _schedule_next(self, previous_deadline: Optional[float] = None) -> None:
+        if not self.active:
+            return
+        deadline = self._next_deadline()
+        if deadline is None:
+            return
+        fire_at = max(self.sim.now, deadline - self.margin)
+        if previous_deadline is not None and deadline <= previous_deadline + 1e-9:
+            # The renewal succeeded but the expiry did not advance --
+            # the Channel Manager pinned it at a policy boundary (an
+            # upcoming blackout/PPV fence).  Re-firing now would spin;
+            # retry just past the boundary instead, where the renewal
+            # is refused outright and the failure path stops us.
+            fire_at = deadline + self.margin / 2.0
+        event = self.sim.schedule_at(fire_at, lambda sim: self._renew())
+        self._pending.append(event)
+
+    def _next_deadline(self) -> Optional[float]:
+        """The soonest expiry among the client's live tickets."""
+        deadlines = []
+        if self.client.user_ticket is not None:
+            deadlines.append(self.client.user_ticket.expire_time)
+        if self.client.channel_ticket is not None:
+            deadlines.append(self.client.channel_ticket.expire_time)
+        return min(deadlines) if deadlines else None
+
+    def _renew(self) -> None:
+        if not self.active:
+            return
+        now = self.sim.now
+        deadline_before = self._next_deadline()
+        try:
+            # Refresh the User Ticket whenever it is the binding
+            # constraint (a Channel Ticket can never outlive it).
+            user_ticket = self.client.user_ticket
+            if user_ticket is None or user_ticket.expire_time - now <= self.margin * 2:
+                self.client.login(now=now)
+                self.stats.user_ticket_renewals += 1
+            channel_ticket = self.client.channel_ticket
+            if (
+                channel_ticket is not None
+                and channel_ticket.expire_time - now <= self.margin * 2
+            ):
+                self.client.renew_channel_ticket(now=now)
+                self.stats.channel_ticket_renewals += 1
+                self._present_to_parents(now)
+        except ReproError as exc:
+            self.stats.renewal_failures += 1
+            self.active = False
+            if self._on_failure is not None:
+                self._on_failure(exc)
+            return
+        self._schedule_next(previous_deadline=deadline_before)
+
+    def _present_to_parents(self, now: float) -> None:
+        """Show the renewed ticket to every parent (Section IV-D)."""
+        ticket = self.client.channel_ticket
+        if ticket is None:
+            return
+        for parent in self._parents_provider():
+            parent.present_renewal(ticket.user_id, ticket, now)
+            self.stats.presentations += 1

@@ -1,0 +1,147 @@
+"""Stateless nonce challenges shared by all manager farms.
+
+Section V requires that "a client can finish the authentication
+process with different User Managers at each step" -- i.e. the server
+that issues a challenge need not be the server that checks the
+response.  Challenges therefore carry their own state: the nonce, the
+subject it was issued to, and the issue time, authenticated by an
+HMAC under a secret shared across the farm.  Any instance behind the
+same logical name can validate any sibling's token.
+
+The client proves possession of its private key by *signing* the
+nonce; the paper phrases this as returning the nonce "encrypted using
+its private key", which for RSA is the same primitive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import ChallengeError, SignatureError
+from repro.util.wire import Decoder, Encoder, WireError
+
+_NONCE_LEN = 16
+_MAC_LEN = 32
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """A self-certifying challenge token.
+
+    ``subject`` binds the token to one principal (an email or a UserIN
+    rendered as text) so a token issued to one client cannot answer a
+    challenge for another.
+    """
+
+    subject: str
+    nonce: bytes
+    issued_at: float
+    mac: bytes = b""
+
+    def _mac_input(self) -> bytes:
+        enc = Encoder()
+        enc.put_str(self.subject)
+        enc.put_bytes(self.nonce)
+        enc.put_f64(self.issued_at)
+        return enc.to_bytes()
+
+    def to_bytes(self) -> bytes:
+        """Wire form: body + MAC."""
+        enc = Encoder()
+        enc.put_bytes(self._mac_input())
+        enc.put_bytes(self.mac)
+        return enc.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Challenge":
+        """Parse the wire form; raises :class:`ChallengeError`."""
+        try:
+            outer = Decoder(blob)
+            body = Decoder(outer.get_bytes())
+            mac = outer.get_bytes()
+            outer.finish()
+            challenge = cls(
+                subject=body.get_str(),
+                nonce=body.get_bytes(),
+                issued_at=body.get_f64(),
+                mac=mac,
+            )
+            body.finish()
+        except WireError as exc:
+            raise ChallengeError("malformed challenge token") from exc
+        return challenge
+
+
+class ChallengeIssuer:
+    """Issues and validates challenges for one manager farm.
+
+    Every instance of a logical manager shares the same ``farm_secret``
+    (alongside the shared keypair the paper prescribes), which is what
+    makes the two protocol rounds land on different physical servers
+    safely.
+    """
+
+    def __init__(self, farm_secret: bytes, drbg: HmacDrbg, max_age: float = 60.0) -> None:
+        if len(farm_secret) < 16:
+            raise ValueError("farm secret must be at least 16 bytes")
+        self._secret = farm_secret
+        self._drbg = drbg
+        self.max_age = max_age
+
+    def _mac(self, data: bytes) -> bytes:
+        return hmac.new(self._secret, data, hashlib.sha256).digest()
+
+    def issue(self, subject: str, now: float) -> Challenge:
+        """Mint a fresh challenge for ``subject``."""
+        challenge = Challenge(
+            subject=subject, nonce=self._drbg.generate(_NONCE_LEN), issued_at=now
+        )
+        return Challenge(
+            subject=challenge.subject,
+            nonce=challenge.nonce,
+            issued_at=challenge.issued_at,
+            mac=self._mac(challenge._mac_input()),
+        )
+
+    def validate_token(self, challenge: Challenge, subject: str, now: float) -> None:
+        """Check the token is ours, fresh, and for the right subject."""
+        if not hmac.compare_digest(self._mac(challenge._mac_input()), challenge.mac):
+            raise ChallengeError("challenge MAC invalid (not issued by this farm)")
+        if challenge.subject != subject:
+            raise ChallengeError(
+                f"challenge issued to {challenge.subject!r}, presented by {subject!r}"
+            )
+        age = now - challenge.issued_at
+        if age < 0:
+            raise ChallengeError("challenge issued in the future")
+        if age > self.max_age:
+            raise ChallengeError(f"challenge expired ({age:.1f}s > {self.max_age}s)")
+
+    def verify_response(
+        self,
+        challenge: Challenge,
+        subject: str,
+        response_signature: bytes,
+        client_public_key: RsaPublicKey,
+        now: float,
+        extra: bytes = b"",
+    ) -> None:
+        """Full check: token validity plus the client's proof of key.
+
+        ``extra`` lets protocols bind additional response data (e.g.
+        the attestation checksum) under the same signature.
+        """
+        self.validate_token(challenge, subject, now)
+        try:
+            client_public_key.verify(challenge.nonce + extra, response_signature)
+        except SignatureError as exc:
+            raise ChallengeError("nonce response does not verify") from exc
+
+
+def answer_challenge(challenge: Challenge, private_key, extra: bytes = b"") -> bytes:
+    """Client side: sign the nonce (plus bound extra data)."""
+    return private_key.sign(challenge.nonce + extra)

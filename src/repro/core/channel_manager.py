@@ -1,0 +1,362 @@
+"""The Channel Manager: channel access authorization and viewing log.
+
+One logical Channel Manager serves one Channel Listing Partition
+(Section V); physically it may be a farm sharing one keypair, one farm
+secret, and one *viewing activity log* -- the log must be shared
+because renewal decisions (Section IV-D) depend on the globally latest
+entry per (UserIN, channel).
+
+Responsibilities (Sections IV-C, IV-D):
+
+* verify presented User Tickets (User Manager signature, expiry,
+  NetAddr against the live connection);
+* challenge the client with a nonce and verify the signed response;
+* evaluate the target channel's policies over the ticket's attributes;
+* issue Channel Tickets that carry only the NetAddr -- the privacy
+  intermediation point between user data and the P2P network;
+* log every issuance for billing/royalties and enforce the
+  one-location-per-account rule at renewal time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.challenge import ChallengeIssuer, answer_challenge
+from repro.core.policy import Decision, evaluate_policies
+from repro.core.policy_manager import ChannelRecord
+from repro.core.protocol import (
+    PeerDescriptor,
+    Switch1Request,
+    Switch1Response,
+    Switch2Request,
+    Switch2Response,
+)
+from repro.core.tickets import ChannelTicket, UserTicket
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import (
+    AuthorizationError,
+    PolicyRejectError,
+    RenewalRefusedError,
+    TicketInvalidError,
+)
+
+#: Returns up to ``count`` candidate peers on ``channel_id``, excluding
+#: the requesting address (a client is never pointed at itself).
+PeerListProvider = Callable[[str, str, int], Sequence[PeerDescriptor]]
+
+
+@dataclass(frozen=True)
+class ViewingLogEntry:
+    """One row of the viewing activity log (Section IV-D).
+
+    "Every time the Channel Manager issues a new Channel Ticket, it
+    logs the UserIN, channel watched, and client NetAddr."
+    """
+
+    user_id: int
+    channel_id: str
+    net_addr: str
+    issued_at: float
+    renewal: bool
+    #: The issued ticket's expiry -- what the viewing actually covers.
+    #: Billing and royalty reports need this because expiries can be
+    #: pinned short of the lifetime (blackout/PPV boundaries).
+    expires_at: Optional[float] = None
+
+
+class ChannelManager:
+    """A logical Channel Manager for one partition.
+
+    Parameters
+    ----------
+    signing_key:
+        Farm keypair; the public half is distributed with each channel
+        description so peers can verify Channel Tickets.
+    farm_secret:
+        Authenticates nonce-challenge tokens across the farm.
+    user_manager_keys:
+        Public keys of every User Manager whose tickets this partition
+        accepts (one per Authentication Domain).
+    ticket_lifetime:
+        Channel Ticket lifetime cap in seconds (further capped by the
+        presented User Ticket's expiry).
+    renewal_window:
+        Half-width of the window around expiry inside which a renewal
+        request is acceptable.
+    partition:
+        Channel Listing Partition name.
+    """
+
+    def __init__(
+        self,
+        signing_key: RsaPrivateKey,
+        farm_secret: bytes,
+        drbg: HmacDrbg,
+        user_manager_keys: Sequence[RsaPublicKey],
+        ticket_lifetime: float = 900.0,
+        renewal_window: float = 120.0,
+        partition: str = "default",
+        peer_list_size: int = 8,
+    ) -> None:
+        self._key = signing_key
+        self._issuer = ChallengeIssuer(farm_secret, drbg.fork(b"cm-challenge"))
+        self._um_keys = list(user_manager_keys)
+        self.ticket_lifetime = ticket_lifetime
+        self.renewal_window = renewal_window
+        self.partition = partition
+        self.peer_list_size = peer_list_size
+        self._channels: Dict[str, ChannelRecord] = {}
+        self._log: List[ViewingLogEntry] = []
+        self._latest: Dict[Tuple[int, str], ViewingLogEntry] = {}
+        self._peer_list_provider: Optional[PeerListProvider] = None
+        self.tickets_issued = 0
+        self.renewals_issued = 0
+        self.rejections = 0
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The farm's Channel Ticket verification key."""
+        return self._key.public_key
+
+    # ------------------------------------------------------------------
+    # Feeds
+    # ------------------------------------------------------------------
+
+    def receive_channel_list(self, channel_list: Dict[str, ChannelRecord]) -> None:
+        """Channel Policy Manager push; keep only this partition's channels."""
+        self._channels = {
+            cid: record
+            for cid, record in channel_list.items()
+            if record.partition == self.partition
+        }
+
+    def add_user_manager_key(self, key: RsaPublicKey) -> None:
+        """Accept tickets from an additional Authentication Domain."""
+        self._um_keys.append(key)
+
+    def set_peer_list_provider(self, provider: PeerListProvider) -> None:
+        """Wire the P2P overlay's peer sampler in."""
+        self._peer_list_provider = provider
+
+    def serves_channel(self, channel_id: str) -> bool:
+        """Is this channel in my partition?"""
+        return channel_id in self._channels
+
+    # ------------------------------------------------------------------
+    # Ticket verification helpers
+    # ------------------------------------------------------------------
+
+    def _verify_user_ticket(self, ticket: UserTicket, now: float) -> None:
+        """Verify against any known User Manager key."""
+        last_error: Optional[Exception] = None
+        for key in self._um_keys:
+            try:
+                ticket.verify(key, now)
+                return
+            except AuthorizationError:
+                raise
+            except Exception as exc:  # SignatureError: try next domain key
+                last_error = exc
+        raise TicketInvalidError(
+            f"user ticket not signed by any known User Manager: {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # SWITCH1
+    # ------------------------------------------------------------------
+
+    def switch1(self, request: Switch1Request, now: float) -> Switch1Response:
+        """First round: vet the User Ticket cheaply, return a nonce."""
+        self._verify_user_ticket(request.user_ticket, now)
+        if not self.serves_channel(request.target_channel):
+            raise AuthorizationError(
+                f"channel {request.target_channel!r} not in partition {self.partition!r}"
+            )
+        token = self._issuer.issue(subject=str(request.user_ticket.user_id), now=now)
+        return Switch1Response(token=token)
+
+    # ------------------------------------------------------------------
+    # SWITCH2
+    # ------------------------------------------------------------------
+
+    def switch2(
+        self, request: Switch2Request, observed_addr: str, now: float
+    ) -> Switch2Response:
+        """Second round: full checks, then issue (or renew) the ticket."""
+        user_ticket = request.user_ticket
+        self._verify_user_ticket(user_ticket, now)
+        user_ticket.check_net_addr(observed_addr)
+        self._issuer.verify_response(
+            challenge=request.token,
+            subject=str(user_ticket.user_id),
+            response_signature=request.signature,
+            client_public_key=user_ticket.client_public_key,
+            now=now,
+        )
+        channel_id = request.target_channel
+        record = self._channels.get(channel_id)
+        if record is None:
+            self.rejections += 1
+            raise AuthorizationError(
+                f"channel {channel_id!r} not in partition {self.partition!r}"
+            )
+
+        if request.is_renewal:
+            ticket = self._renew(request, record, observed_addr, now)
+        else:
+            ticket = self._issue_new(request, record, observed_addr, now)
+
+        peers: Tuple[PeerDescriptor, ...] = ()
+        if self._peer_list_provider is not None:
+            peers = tuple(
+                self._peer_list_provider(channel_id, observed_addr, self.peer_list_size)
+            )
+        return Switch2Response(ticket=ticket, peers=peers)
+
+    def _cap_at_future_reject(
+        self, record: ChannelRecord, user_ticket: UserTicket, now: float, expire: float
+    ) -> float:
+        """Never issue a ticket valid into a scheduled REJECT window.
+
+        Section IV-C worries that "a user's Channel Ticket could be
+        valid into the blackout period".  Policy outcomes only change
+        at attribute validity boundaries (stime/etime of channel and
+        user attributes), so we evaluate at each boundary inside
+        (now, expire] and cap the expiry at the first one that turns
+        the decision into REJECT.
+        """
+        boundaries = set()
+        for attribute in list(record.attributes) + list(user_ticket.attributes):
+            for bound in (attribute.stime, attribute.etime):
+                if bound is not None and now < bound <= expire:
+                    boundaries.add(bound)
+        for boundary in sorted(boundaries):
+            result = evaluate_policies(
+                record.policies, record.attributes, user_ticket.attributes, boundary
+            )
+            if result.decision is not Decision.ACCEPT:
+                return boundary
+        return expire
+
+    def _evaluate(self, record: ChannelRecord, user_ticket: UserTicket, now: float) -> None:
+        """Run policy evaluation; raise PolicyRejectError on REJECT."""
+        result = evaluate_policies(
+            record.policies, record.attributes, user_ticket.attributes, now
+        )
+        if result.decision is not Decision.ACCEPT:
+            self.rejections += 1
+            matched = str(result.matched_policy) if result.matched_policy else "default"
+            raise PolicyRejectError(
+                f"policy rejected user {user_ticket.user_id} on channel "
+                f"{record.channel_id}: {matched}"
+            )
+
+    def _issue_new(
+        self,
+        request: Switch2Request,
+        record: ChannelRecord,
+        observed_addr: str,
+        now: float,
+    ) -> ChannelTicket:
+        """Fresh Channel Ticket (Section IV-C)."""
+        user_ticket = request.user_ticket
+        self._evaluate(record, user_ticket, now)
+        expire = min(now + self.ticket_lifetime, user_ticket.expire_time)
+        expire = self._cap_at_future_reject(record, user_ticket, now, expire)
+        ticket = ChannelTicket(
+            channel_id=record.channel_id,
+            user_id=user_ticket.user_id,
+            client_public_key=user_ticket.client_public_key,
+            net_addr=observed_addr,
+            renewal=False,
+            start_time=now,
+            expire_time=expire,
+        ).signed(self._key)
+        self._append_log(ticket, now)
+        self.tickets_issued += 1
+        return ticket
+
+    def _renew(
+        self,
+        request: Switch2Request,
+        record: ChannelRecord,
+        observed_addr: str,
+        now: float,
+    ) -> ChannelTicket:
+        """Renewal (Section IV-D): viewing-log check enforces one location.
+
+        The expiring ticket must verify (signature; expiry is checked
+        against the renewal window rather than strictly), the latest
+        log entry for (UserIN, channel) must show the same NetAddr as
+        both tickets, and the usual policy checks must still pass.
+        """
+        user_ticket = request.user_ticket
+        expiring = request.expiring_ticket
+        assert expiring is not None
+        expiring.verify(self.public_key, now=min(now, expiring.expire_time))
+        if expiring.user_id != user_ticket.user_id:
+            raise TicketInvalidError("expiring ticket belongs to a different user")
+        if not expiring.is_within_renewal_window(now, self.renewal_window):
+            raise RenewalRefusedError(
+                f"renewal outside window: now={now}, expiry={expiring.expire_time}"
+            )
+        latest = self._latest.get((user_ticket.user_id, expiring.channel_id))
+        if latest is None:
+            raise RenewalRefusedError("no viewing-log entry to renew against")
+        if latest.net_addr != user_ticket.net_addr or latest.net_addr != expiring.net_addr:
+            # The account has since been used from another address: the
+            # newer location wins, the old location's renewal is refused.
+            raise RenewalRefusedError(
+                f"viewing log shows {latest.net_addr}, ticket claims {expiring.net_addr}"
+            )
+        self._evaluate(record, user_ticket, now)
+        expire = min(now + self.ticket_lifetime, user_ticket.expire_time)
+        expire = self._cap_at_future_reject(record, user_ticket, now, expire)
+        ticket = ChannelTicket(
+            channel_id=expiring.channel_id,
+            user_id=expiring.user_id,
+            client_public_key=user_ticket.client_public_key,
+            net_addr=observed_addr,
+            renewal=True,
+            start_time=now,
+            expire_time=expire,
+        ).signed(self._key)
+        self._append_log(ticket, now)
+        self.renewals_issued += 1
+        return ticket
+
+    def _append_log(self, ticket: ChannelTicket, now: float) -> None:
+        entry = ViewingLogEntry(
+            user_id=ticket.user_id,
+            channel_id=ticket.channel_id,
+            net_addr=ticket.net_addr,
+            issued_at=now,
+            renewal=ticket.renewal,
+            expires_at=ticket.expire_time,
+        )
+        self._log.append(entry)
+        self._latest[(ticket.user_id, ticket.channel_id)] = entry
+
+    # ------------------------------------------------------------------
+    # Log access (billing / royalties / audits)
+    # ------------------------------------------------------------------
+
+    def viewing_log(self) -> List[ViewingLogEntry]:
+        """The full viewing activity log, oldest first."""
+        return list(self._log)
+
+    def latest_entry(self, user_id: int, channel_id: str) -> Optional[ViewingLogEntry]:
+        """The most recent log row for (UserIN, channel)."""
+        return self._latest.get((user_id, channel_id))
+
+    def share_log_with(self, other: "ChannelManager") -> None:
+        """Make another instance share this farm's viewing log.
+
+        Section V: farm instances "share a single network name/address,
+        public/private key pair, and user viewing activity log."
+        """
+        other._log = self._log
+        other._latest = self._latest

@@ -1,0 +1,402 @@
+"""The client state machine.
+
+Walks the full lifecycle of Fig. 1: bootstrap via the Redirection
+Manager, the two-round login with the User Manager, Channel List
+maintenance against the Channel Policy Manager (driven by utime
+deltas), the two-round channel switch with the Channel Manager, the
+one-round join with target peers, and finally content-key handling and
+packet decryption.
+
+The client is *functional*: every method takes ``now`` explicitly, and
+remote managers are duck-typed objects resolved through a
+:class:`~repro.core.directory.ServiceDirectory`.  The P2P layer wraps
+clients in :class:`repro.p2p.peer.Peer` objects for forwarding duties;
+this class is only the DRM endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.accounts import secure_hash_password
+from repro.core.challenge import answer_challenge
+from repro.core.directory import ServiceDirectory
+from repro.core.keystream import ContentKey, ContentKeyRing
+from repro.core.packets import decrypt_key_from_link, decrypt_packet
+from repro.core.policy import evaluate_policies
+from repro.core.policy_manager import ChannelRecord
+from repro.core.protocol import (
+    JoinAccept,
+    JoinReject,
+    JoinRequest,
+    KeyUpdate,
+    Login1Request,
+    Login2Request,
+    PeerDescriptor,
+    Switch1Request,
+    Switch2Request,
+    Switch2Response,
+)
+from repro.core.tickets import ChannelTicket, UserTicket
+from repro.core.user_manager import ChecksumParams
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaPrivateKey, generate_keypair
+from repro.crypto.stream import SymmetricKey
+from repro.errors import CapacityError, ProtocolError, ReproError
+from repro.util.wire import Decoder
+
+
+@dataclass
+class ParentLink:
+    """State for one parent peer relationship."""
+
+    peer_id: str
+    session_key: SymmetricKey
+
+
+class Client:
+    """One user's client application instance.
+
+    Parameters
+    ----------
+    email, password:
+        The user's out-of-band-registered credentials.
+    version:
+        Client software version string, checked against the User
+        Manager's floor.
+    image:
+        The client binary image, attested via checksum at login.  A
+        tampered client carries a different image and fails LOGIN2.
+    net_addr:
+        The client's current network address (its NetAddr attribute).
+    redirection:
+        The built-in Redirection Manager endpoint (Section V).
+    directory:
+        Name resolution for manager addresses.
+    key_bits:
+        RSA modulus size for the client keypair.
+    """
+
+    def __init__(
+        self,
+        email: str,
+        password: str,
+        version: str,
+        image: bytes,
+        net_addr: str,
+        redirection,
+        directory: ServiceDirectory,
+        drbg: HmacDrbg,
+        key_bits: int = 512,
+    ) -> None:
+        self.email = email
+        self._shp = secure_hash_password(email, password)
+        self.version = version
+        self.image = bytes(image)
+        self.net_addr = net_addr
+        self._redirection = redirection
+        self._directory = directory
+        self._drbg = drbg
+        self._key: RsaPrivateKey = generate_keypair(drbg.fork(b"client-key"), bits=key_bits)
+
+        self.user_ticket: Optional[UserTicket] = None
+        self._prev_utimes: Dict[Tuple[str, str], Optional[float]] = {}
+        self.channel_list: Dict[str, ChannelRecord] = {}
+        self.channel_ticket: Optional[ChannelTicket] = None
+        self.key_ring = ContentKeyRing()
+        self.parents: Dict[str, ParentLink] = {}
+        self.clock_offset = 0.0
+        self.packets_decrypted = 0
+        self.decrypt_failures = 0
+
+    @property
+    def public_key(self):
+        """The client's public key (certified by managers in tickets)."""
+        return self._key.public_key
+
+    @property
+    def private_key(self) -> RsaPrivateKey:
+        """Exposed for the P2P peer wrapper and for threat-model tests."""
+        return self._key
+
+    # ------------------------------------------------------------------
+    # Login (Fig. 4a)
+    # ------------------------------------------------------------------
+
+    def login(self, now: float) -> UserTicket:
+        """Run LOGIN1 + LOGIN2; store and return the User Ticket.
+
+        Also performs the utime comparison of Section IV-B: attributes
+        whose utime advanced since the previous ticket trigger a
+        Channel List refresh from the Channel Policy Manager.
+        """
+        route = self._redirection.lookup(self.email)
+        user_manager = self._directory.resolve(route.user_manager.address)
+
+        response1 = user_manager.login1(
+            Login1Request(email=self.email, client_public_key=self.public_key), now
+        )
+        blob_key = SymmetricKey(material=self._shp[:16])
+        plain = blob_key.decrypt(
+            response1.encrypted_blob, nonce=response1.blob_nonce, aad=b"login1"
+        )
+        dec = Decoder(plain)
+        nonce = dec.get_bytes()
+        params = ChecksumParams(
+            salt=dec.get_bytes(), offset_seed=dec.get_u32(), length=dec.get_u32()
+        )
+        server_time = dec.get_f64()
+        dec.finish()
+        self.clock_offset = server_time - now
+
+        checksum = params.compute(self.image)
+        payload = nonce + checksum + self.version.encode("utf-8")
+        response2 = user_manager.login2(
+            Login2Request(
+                email=self.email,
+                client_public_key=self.public_key,
+                token=response1.token,
+                nonce=nonce,
+                checksum=checksum,
+                version=self.version,
+                signature=self._key.sign(payload),
+            ),
+            observed_addr=self.net_addr,
+            now=now,
+        )
+        ticket = response2.ticket
+        ticket.verify(route.user_manager.public_key, now)
+
+        stale = self._stale_attribute_keys(ticket)
+        self.user_ticket = ticket
+        if stale is None:
+            self._refresh_channel_list(route, ticket, now, stale_keys=None)
+        elif stale:
+            self._refresh_channel_list(route, ticket, now, stale_keys=stale)
+        self._prev_utimes = ticket.attributes.utime_map()
+        return ticket
+
+    def _stale_attribute_keys(
+        self, new_ticket: UserTicket
+    ) -> Optional[List[Tuple[str, str]]]:
+        """Attribute keys whose utime advanced; None means 'first login'."""
+        if not self._prev_utimes:
+            return None
+        stale: List[Tuple[str, str]] = []
+        for key, utime in new_ticket.attributes.utime_map().items():
+            if utime is None:
+                continue
+            previous = self._prev_utimes.get(key)
+            if previous is None or utime > previous:
+                stale.append(key)
+        return stale
+
+    def _refresh_channel_list(
+        self,
+        route,
+        ticket: UserTicket,
+        now: float,
+        stale_keys: Optional[List[Tuple[str, str]]],
+    ) -> None:
+        """Fetch (part of) the Channel List from the CPM.
+
+        The CPM challenges with a nonce which we answer with our
+        private key (Section IV-G1).
+        """
+        cpm = self._directory.resolve(route.channel_policy_manager.address)
+        token = cpm.request_channel_list(ticket, now)
+        signature = answer_challenge(token, self._key)
+        updated = cpm.fetch_channel_list(ticket, token, signature, stale_keys, now)
+        if stale_keys is None:
+            self.channel_list = updated
+            return
+        # Partial refresh: any cached channel touching a stale
+        # attribute key that the CPM no longer reports has been
+        # deleted from the lineup.
+        wanted = set(stale_keys)
+        for channel_id, record in list(self.channel_list.items()):
+            touches = any(attr.key in wanted for attr in record.attributes)
+            if touches and channel_id not in updated:
+                del self.channel_list[channel_id]
+        self.channel_list.update(updated)
+
+    # ------------------------------------------------------------------
+    # Channel selection
+    # ------------------------------------------------------------------
+
+    def viewable_channels(self, now: float) -> List[str]:
+        """Channels this user's attributes would be accepted on.
+
+        Client-side evaluation for the programme guide only; the
+        Channel Manager re-evaluates authoritatively at switch time.
+        """
+        if self.user_ticket is None:
+            raise ProtocolError("not logged in")
+        viewable = []
+        for channel_id, record in sorted(self.channel_list.items()):
+            result = evaluate_policies(
+                record.policies, record.attributes, self.user_ticket.attributes, now
+            )
+            if result.accepted:
+                viewable.append(channel_id)
+        return viewable
+
+    # ------------------------------------------------------------------
+    # Channel switching (Fig. 4b)
+    # ------------------------------------------------------------------
+
+    def switch_channel(self, channel_id: str, now: float) -> Switch2Response:
+        """Run SWITCH1 + SWITCH2 for a fresh Channel Ticket."""
+        if self.user_ticket is None:
+            raise ProtocolError("not logged in")
+        record = self.channel_list.get(channel_id)
+        if record is None or record.channel_manager_addr is None:
+            raise ProtocolError(f"channel {channel_id!r} not in my channel list")
+        channel_manager = self._directory.resolve(record.channel_manager_addr)
+
+        response1 = channel_manager.switch1(
+            Switch1Request(user_ticket=self.user_ticket, channel_id=channel_id), now
+        )
+        signature = answer_challenge(response1.token, self._key)
+        response2 = channel_manager.switch2(
+            Switch2Request(
+                user_ticket=self.user_ticket,
+                token=response1.token,
+                signature=signature,
+                channel_id=channel_id,
+            ),
+            observed_addr=self.net_addr,
+            now=now,
+        )
+        self._adopt_channel_ticket(response2.ticket, reset_state=True)
+        return response2
+
+    def renew_channel_ticket(self, now: float) -> Switch2Response:
+        """Renew the current Channel Ticket (Section IV-D)."""
+        if self.user_ticket is None or self.channel_ticket is None:
+            raise ProtocolError("nothing to renew")
+        record = self.channel_list.get(self.channel_ticket.channel_id)
+        if record is None or record.channel_manager_addr is None:
+            raise ProtocolError("channel no longer in my channel list")
+        channel_manager = self._directory.resolve(record.channel_manager_addr)
+
+        response1 = channel_manager.switch1(
+            Switch1Request(
+                user_ticket=self.user_ticket, expiring_ticket=self.channel_ticket
+            ),
+            now,
+        )
+        signature = answer_challenge(response1.token, self._key)
+        response2 = channel_manager.switch2(
+            Switch2Request(
+                user_ticket=self.user_ticket,
+                token=response1.token,
+                signature=signature,
+                expiring_ticket=self.channel_ticket,
+            ),
+            observed_addr=self.net_addr,
+            now=now,
+        )
+        self._adopt_channel_ticket(response2.ticket, reset_state=False)
+        return response2
+
+    def _adopt_channel_ticket(self, ticket: ChannelTicket, reset_state: bool) -> None:
+        self.channel_ticket = ticket
+        if reset_state:
+            # A genuine channel switch invalidates old keys and parents.
+            self.key_ring = ContentKeyRing()
+            self.parents = {}
+
+    # ------------------------------------------------------------------
+    # Peer join (Fig. 4c)
+    # ------------------------------------------------------------------
+
+    def join_peer(self, peer, now: float) -> JoinAccept:
+        """Join one target peer; raises on rejection.
+
+        On accept, decrypts the session key with our private key and
+        the bundled content key with the session key (Section IV-E).
+        """
+        if self.channel_ticket is None:
+            raise ProtocolError("no channel ticket to join with")
+        result = peer.handle_join(
+            JoinRequest(channel_ticket=self.channel_ticket),
+            observed_addr=self.net_addr,
+            now=now,
+        )
+        if isinstance(result, JoinReject):
+            raise CapacityError(f"join rejected by {result.peer_id}: {result.reason}")
+        assert isinstance(result, JoinAccept)
+        session_material = self._key.decrypt(result.encrypted_session_key)
+        session_key = SymmetricKey(material=session_material)
+        self.parents[result.peer_id] = ParentLink(
+            peer_id=result.peer_id, session_key=session_key
+        )
+        content_key = decrypt_key_from_link(
+            result.encrypted_content_key,
+            serial=result.content_key_serial,
+            session_key=session_key,
+            channel_id=self.channel_ticket.channel_id,
+            activate_at=0.0,
+        )
+        self.key_ring.offer(content_key)
+        return result
+
+    def drop_parent(self, peer_id: str) -> None:
+        """Forget a parent link (the peer severed us, or churned away)."""
+        self.parents.pop(peer_id, None)
+
+    # ------------------------------------------------------------------
+    # Content and key reception
+    # ------------------------------------------------------------------
+
+    def receive_key_update(self, update: KeyUpdate, parent_id: str) -> bool:
+        """Handle a pushed content key; False if it was a duplicate.
+
+        Duplicates arise naturally when a peer has several parents
+        (peer-division multiplexing) and are discarded by serial.
+        """
+        link = self.parents.get(parent_id)
+        if link is None:
+            raise ProtocolError(f"key update from unknown parent {parent_id!r}")
+        if self.key_ring.has(update.serial):
+            self.key_ring.duplicates_discarded += 1
+            return False
+        content_key = decrypt_key_from_link(
+            update.encrypted_content_key,
+            serial=update.serial,
+            session_key=link.session_key,
+            channel_id=update.channel_id,
+            activate_at=update.activate_at,
+        )
+        return self.key_ring.offer(content_key)
+
+    def receive_packet(self, packet) -> bytes:
+        """Decrypt a content packet; raises DecryptionError on failure."""
+        if self.channel_ticket is None:
+            raise ProtocolError("not joined to any channel")
+        try:
+            payload = decrypt_packet(self.key_ring, self.channel_ticket.channel_id, packet)
+        except ReproError:
+            self.decrypt_failures += 1
+            raise
+        self.packets_decrypted += 1
+        return payload
+
+    # ------------------------------------------------------------------
+    # Mobility
+    # ------------------------------------------------------------------
+
+    def move_to(self, new_addr: str) -> None:
+        """The user carries the account to a different computer/network.
+
+        Tickets bound to the old NetAddr stop matching; the client must
+        re-login and re-switch from the new address (Section IV-D walks
+        through exactly this scenario).
+        """
+        self.net_addr = new_addr
+        self.user_ticket = None
+        self.channel_ticket = None
+        self.key_ring = ContentKeyRing()
+        self.parents = {}

@@ -1,0 +1,47 @@
+"""Service directory: address-string to manager-object resolution.
+
+The real system resolves manager farm names through DNS; in the
+functional model an address string like ``"cm://partition-a"`` simply
+maps to the Python object implementing that farm.  Keeping the
+indirection (rather than passing objects around) preserves the
+paper's deployment shape: channel descriptions carry *addresses*, the
+Redirection Manager returns *addresses*, and clients resolve them at
+use time -- so re-pointing a partition at a new farm is one directory
+update, exactly like a DNS change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+class ServiceDirectory:
+    """A flat name service for manager farms and peers."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, object] = {}
+
+    def register(self, address: str, service: object) -> None:
+        """Bind ``address`` to a service object (rebinding allowed)."""
+        if not address:
+            raise ReproError("empty service address")
+        self._entries[address] = service
+
+    def resolve(self, address: str) -> object:
+        """Look up a service; raises :class:`ReproError` if unbound."""
+        service = self._entries.get(address)
+        if service is None:
+            raise ReproError(f"unresolvable service address: {address!r}")
+        return service
+
+    def unregister(self, address: str) -> bool:
+        """Remove a binding; True if it existed."""
+        return self._entries.pop(address, None) is not None
+
+    def addresses(self) -> "list[str]":
+        """All bound addresses."""
+        return list(self._entries.keys())

@@ -1,0 +1,245 @@
+"""Electronic Program Guide: programs, Internet rights, pay-per-view.
+
+The paper's requirements section motivates three per-*program* rights
+operations that ride on the attribute/policy engine:
+
+* **Blackouts** — "certain programs be 'blacked out' during their air
+  times in the Internet distribution" (Section II);
+* **Pay-per-view** — "to enforce per-view payment of paid contents"
+  (Section II, Unique User Count) with purchases made out-of-band at
+  the Account Manager;
+* **Lead-time discipline** — any new viewing policy must be deployed
+  at least one User Ticket lifetime before it takes effect
+  (Section IV-C).
+
+This module holds the program schedule and compiles it into channel
+attributes/policies on the Channel Policy Manager.  Nothing here adds
+new enforcement machinery: programs are *compiled down* to exactly the
+constructs the Channel Manager already evaluates, which is the point
+the paper makes about the versatility of its rights language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.accounts import AccountManager, Subscription
+from repro.core.attributes import ATTR_REGION, ATTR_SUBSCRIPTION, Attribute, VALUE_ANY
+from repro.core.policy import Decision, Policy, PolicyCondition
+from repro.core.policy_manager import ChannelPolicyManager
+from repro.errors import ReproError
+
+#: Policy priorities used by compiled program rights.  PPV entitlement
+#: must outrank the PPV fence, and both must outrank ordinary regional
+#: ACCEPT rules (priority 50 in the deployment helpers); blackouts
+#: outrank everything.
+PRIORITY_BLACKOUT = 100
+PRIORITY_PPV_ENTITLED = 80
+PRIORITY_PPV_FENCE = 70
+
+
+@dataclass(frozen=True)
+class Program:
+    """One scheduled program on one channel."""
+
+    program_id: str
+    channel_id: str
+    start: float
+    end: float
+    title: str = ""
+    #: False models a program whose Internet distribution rights were
+    #: not secured: it must be blacked out during its air time.
+    internet_rights: bool = True
+    #: A price makes the program pay-per-view: only purchasers may
+    #: watch during its window.
+    ppv_price: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"program {self.program_id}: end before start")
+        if self.ppv_price is not None and self.ppv_price < 0:
+            raise ValueError("negative pay-per-view price")
+
+    @property
+    def is_ppv(self) -> bool:
+        return self.ppv_price is not None
+
+    @property
+    def ppv_package(self) -> str:
+        """The subscription package id a purchase grants."""
+        return f"ppv-{self.program_id}"
+
+    def covers(self, now: float) -> bool:
+        """Is the program on air at ``now``?  [start, end) semantics."""
+        return self.start <= now < self.end
+
+
+class ElectronicProgramGuide:
+    """The provider's program schedule, compiled into channel rights."""
+
+    def __init__(self, policy_manager: ChannelPolicyManager) -> None:
+        self._cpm = policy_manager
+        self._programs: Dict[str, Program] = {}
+        self._applied: set = set()
+
+    # ------------------------------------------------------------------
+    # Schedule management
+    # ------------------------------------------------------------------
+
+    def add_program(self, program: Program) -> None:
+        """Register a program; overlapping programs on one channel are
+        rejected (a linear channel airs one program at a time)."""
+        if program.program_id in self._programs:
+            raise ReproError(f"program exists: {program.program_id}")
+        for other in self._programs.values():
+            if other.channel_id != program.channel_id:
+                continue
+            if program.start < other.end and other.start < program.end:
+                raise ReproError(
+                    f"program {program.program_id} overlaps {other.program_id}"
+                )
+        self._programs[program.program_id] = program
+
+    def get(self, program_id: str) -> Program:
+        """Look up a program; raises if unknown."""
+        program = self._programs.get(program_id)
+        if program is None:
+            raise ReproError(f"unknown program: {program_id}")
+        return program
+
+    def current_program(self, channel_id: str, now: float) -> Optional[Program]:
+        """What is airing on a channel right now?"""
+        for program in self._programs.values():
+            if program.channel_id == channel_id and program.covers(now):
+                return program
+        return None
+
+    def schedule_for(self, channel_id: str) -> List[Program]:
+        """A channel's programs in air order."""
+        return sorted(
+            (p for p in self._programs.values() if p.channel_id == channel_id),
+            key=lambda p: p.start,
+        )
+
+    # ------------------------------------------------------------------
+    # Rights compilation
+    # ------------------------------------------------------------------
+
+    def apply_rights(self, program_id: str, now: float) -> None:
+        """Compile one program's rights onto the Channel Policy Manager.
+
+        Idempotent.  Callers are responsible for the lead-time rule:
+        apply at least one User Ticket lifetime before ``program.start``
+        (the Channel Manager's expiry capping then guarantees no ticket
+        crosses into a REJECT window regardless).
+        """
+        program = self.get(program_id)
+        if program_id in self._applied:
+            return
+        if not program.internet_rights:
+            self._cpm.schedule_blackout(
+                program.channel_id,
+                program.start,
+                program.end,
+                now=now,
+                label=f"blackout-{program_id}",
+            )
+        elif program.is_ppv:
+            self._compile_ppv(program, now)
+        self._applied.add(program_id)
+
+    def apply_all_rights(self, now: float) -> int:
+        """Compile every not-yet-applied program; returns how many."""
+        count = 0
+        for program_id in list(self._programs):
+            if program_id not in self._applied:
+                self.apply_rights(program_id, now)
+                count += 1
+        return count
+
+    def _compile_ppv(self, program: Program, now: float) -> None:
+        """Pay-per-view compiles to an entitlement rule over a fence.
+
+        During the window, purchasers (holding the program's ppv
+        package as a Subscription attribute) match the priority-80
+        ACCEPT; everyone else falls onto the priority-70 REJECT fence.
+        Outside the window both backing attributes are invalid, the
+        rules are dormant, and the channel's ordinary policies apply.
+        """
+        channel = program.channel_id
+        self._cpm.set_channel_attribute(
+            channel,
+            Attribute(
+                name=ATTR_SUBSCRIPTION,
+                value=program.ppv_package,
+                stime=program.start,
+                etime=program.end,
+            ),
+            now,
+        )
+        self._cpm.set_channel_attribute(
+            channel,
+            Attribute(
+                name=ATTR_REGION, value=VALUE_ANY, stime=program.start, etime=program.end
+            ),
+            now,
+        )
+        self._cpm.add_policy(
+            channel,
+            Policy.of(
+                PRIORITY_PPV_ENTITLED,
+                [
+                    PolicyCondition(
+                        ATTR_SUBSCRIPTION,
+                        program.ppv_package,
+                        stime=program.start,
+                        etime=program.end,
+                    )
+                ],
+                Decision.ACCEPT,
+                label=f"ppv-entitled-{program.program_id}",
+            ),
+            now,
+        )
+        self._cpm.add_policy(
+            channel,
+            Policy.of(
+                PRIORITY_PPV_FENCE,
+                [
+                    PolicyCondition(
+                        ATTR_REGION,
+                        VALUE_ANY,
+                        stime=program.start,
+                        etime=program.end,
+                    )
+                ],
+                Decision.REJECT,
+                label=f"ppv-fence-{program.program_id}",
+            ),
+            now,
+        )
+
+    # ------------------------------------------------------------------
+    # Purchases (out-of-band, at the Account Manager)
+    # ------------------------------------------------------------------
+
+    def purchase(
+        self, accounts: AccountManager, email: str, program_id: str
+    ) -> Subscription:
+        """Buy pay-per-view access to a program.
+
+        Grants a Subscription valid exactly for the program window;
+        the User Manager turns it into a ticket attribute at the
+        buyer's next login, and the entitlement rule matches it.
+        """
+        program = self.get(program_id)
+        if not program.is_ppv:
+            raise ReproError(f"program {program_id} is not pay-per-view")
+        return accounts.purchase_pay_per_view(
+            email,
+            program.ppv_package,
+            start=program.start,
+            end=program.end,
+            price=program.ppv_price,
+        )

@@ -1,0 +1,167 @@
+"""Rotating content keys with 8-bit serial numbers (Section IV-E).
+
+"By re-keying the channel frequently, e.g., at one-minute interval,
+the service provider can provide forward secrecy such that if a
+symmetric key is lost, it can only be used to decrypt contents
+generated during its corresponding one-minute period.  Each iteration
+of the evolving content key can be marked with an 8-bit serial
+number."
+
+:class:`ContentKeySchedule` is the Channel Server's key generator;
+:class:`ContentKeyRing` is the client/peer-side holder that keeps the
+few keys that may be live at once (current + pre-distributed next +
+a grace window of the previous), indexed by serial.  Serials wrap at
+256; the ring handles wraparound by keeping only a small window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.stream import SymmetricKey
+from repro.errors import DecryptionError
+
+SERIAL_MODULUS = 256
+
+
+@dataclass(frozen=True)
+class ContentKey:
+    """One epoch's key: serial, material, and its activation time."""
+
+    serial: int
+    key: SymmetricKey
+    activate_at: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.serial < SERIAL_MODULUS:
+            raise ValueError("serial must fit in 8 bits")
+
+
+class ContentKeySchedule:
+    """The Channel Server's evolving key sequence.
+
+    Parameters
+    ----------
+    drbg:
+        Source of key material.
+    epoch:
+        Rotation interval in seconds (the paper's example: 60).
+    lead_time:
+        How far before activation a key is released for distribution;
+        "new instances of the evolving content key are sent some amount
+        of time in advance of their use".
+    start_time:
+        Activation time of serial 0.
+    """
+
+    def __init__(
+        self,
+        drbg: HmacDrbg,
+        epoch: float = 60.0,
+        lead_time: float = 10.0,
+        start_time: float = 0.0,
+    ) -> None:
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        if not 0 <= lead_time < epoch:
+            raise ValueError("lead time must be shorter than the epoch")
+        self._drbg = drbg
+        self.epoch = epoch
+        self.lead_time = lead_time
+        self.start_time = start_time
+        self._keys: Dict[int, ContentKey] = {}
+        self._generated_through = -1
+
+    def _epoch_index(self, now: float) -> int:
+        if now < self.start_time:
+            return 0
+        return int((now - self.start_time) // self.epoch)
+
+    def _ensure_generated(self, index: int) -> None:
+        while self._generated_through < index:
+            next_index = self._generated_through + 1
+            serial = next_index % SERIAL_MODULUS
+            key = ContentKey(
+                serial=serial,
+                key=SymmetricKey.generate(self._drbg),
+                activate_at=self.start_time + next_index * self.epoch,
+            )
+            # Serial wraparound overwrites the 256-epochs-old entry,
+            # which has long expired by then (256 minutes at the
+            # default epoch).
+            self._keys[serial] = key
+            self._generated_through = next_index
+
+    def current_key(self, now: float) -> ContentKey:
+        """The key encrypting content at ``now``."""
+        index = self._epoch_index(now)
+        self._ensure_generated(index)
+        return self._keys[index % SERIAL_MODULUS]
+
+    def upcoming_key(self, now: float) -> Optional[ContentKey]:
+        """The next key, once inside its distribution lead window."""
+        index = self._epoch_index(now)
+        next_activate = self.start_time + (index + 1) * self.epoch
+        if now < next_activate - self.lead_time:
+            return None
+        self._ensure_generated(index + 1)
+        return self._keys[(index + 1) % SERIAL_MODULUS]
+
+    def distributable_keys(self, now: float) -> List[ContentKey]:
+        """Keys a joining peer should receive right now: current (+ next)."""
+        keys = [self.current_key(now)]
+        upcoming = self.upcoming_key(now)
+        if upcoming is not None:
+            keys.append(upcoming)
+        return keys
+
+    def key_by_serial(self, serial: int) -> Optional[ContentKey]:
+        """Lookup by serial among generated keys (server-side)."""
+        return self._keys.get(serial % SERIAL_MODULUS)
+
+
+class ContentKeyRing:
+    """Client-side holder of recently received content keys.
+
+    Duplicate deliveries (a peer with several parents receives several
+    copies, Section IV-E) are detected by serial and discarded.  The
+    ring keeps at most ``capacity`` keys, evicting the oldest by
+    arrival order.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 2:
+            raise ValueError("ring needs room for at least current+next")
+        self.capacity = capacity
+        self._keys: "Dict[int, ContentKey]" = {}
+        self._arrival: List[int] = []
+        self.duplicates_discarded = 0
+
+    def offer(self, content_key: ContentKey) -> bool:
+        """Add a key; False (and counted) if the serial is already held."""
+        if content_key.serial in self._keys:
+            self.duplicates_discarded += 1
+            return False
+        self._keys[content_key.serial] = content_key
+        self._arrival.append(content_key.serial)
+        while len(self._arrival) > self.capacity:
+            evicted = self._arrival.pop(0)
+            self._keys.pop(evicted, None)
+        return True
+
+    def get(self, serial: int) -> ContentKey:
+        """The key for a packet's serial byte; raises if unknown."""
+        key = self._keys.get(serial)
+        if key is None:
+            raise DecryptionError(f"no content key with serial {serial}")
+        return key
+
+    def has(self, serial: int) -> bool:
+        """Is this serial currently held?"""
+        return serial in self._keys
+
+    def serials(self) -> List[int]:
+        """Held serials in arrival order."""
+        return list(self._arrival)

@@ -1,0 +1,116 @@
+"""Encrypted content packets.
+
+Section IV-E: "By the Channel Server's pre-pending this serial number
+to each content packet, the client would know which content key to use
+to decrypt a packet."
+
+A packet is: 1 serial byte || 8-byte sequence number || AEAD
+ciphertext.  The sequence number doubles as the cipher nonce (unique
+per key because re-keying happens far more often than 2^64 packets)
+and gives receivers loss/reorder visibility.  The AEAD tag is what
+detects channel hijacking: rogue packets "accidentally or maliciously
+injected into the P2P network to masquerade as legitimate contents"
+fail authentication at every honest client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.keystream import ContentKey, ContentKeyRing
+from repro.crypto.stream import SymmetricKey
+from repro.errors import DecryptionError
+
+_HEADER_LEN = 1 + 8
+
+
+@dataclass(frozen=True)
+class ContentPacket:
+    """One encrypted media packet as carried over the overlay."""
+
+    serial: int
+    sequence: int
+    ciphertext: bytes
+
+    def to_bytes(self) -> bytes:
+        """Wire form: serial byte, sequence, ciphertext."""
+        return (
+            self.serial.to_bytes(1, "big")
+            + self.sequence.to_bytes(8, "big")
+            + self.ciphertext
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ContentPacket":
+        """Parse the wire form."""
+        if len(blob) < _HEADER_LEN:
+            raise DecryptionError("packet shorter than header")
+        return cls(
+            serial=blob[0],
+            sequence=int.from_bytes(blob[1:9], "big"),
+            ciphertext=blob[9:],
+        )
+
+    @property
+    def size(self) -> int:
+        """Total wire size in bytes."""
+        return _HEADER_LEN + len(self.ciphertext)
+
+
+def encrypt_packet(
+    content_key: ContentKey, channel_id: str, sequence: int, payload: bytes
+) -> ContentPacket:
+    """Channel Server side: seal a media payload into a packet.
+
+    The channel id is bound as associated data so a packet captured on
+    one channel cannot be replayed into another channel that happens
+    to share key material (it never should, but defence in depth is
+    cheap here).
+    """
+    ciphertext = content_key.key.encrypt(
+        payload, nonce=sequence, aad=channel_id.encode("utf-8")
+    )
+    return ContentPacket(
+        serial=content_key.serial, sequence=sequence, ciphertext=ciphertext
+    )
+
+
+def decrypt_packet(
+    ring: ContentKeyRing, channel_id: str, packet: ContentPacket
+) -> bytes:
+    """Client side: select the key by serial byte and open the packet.
+
+    Raises :class:`DecryptionError` when the serial is unknown (key
+    not yet received, or we were de-authorized and stopped getting
+    keys) or when the tag fails (hijacked/corrupted content).
+    """
+    content_key = ring.get(packet.serial)
+    return content_key.key.decrypt(
+        packet.ciphertext, nonce=packet.sequence, aad=channel_id.encode("utf-8")
+    )
+
+
+def reencrypt_key_for_link(
+    content_key: ContentKey, session_key: SymmetricKey, channel_id: str
+) -> bytes:
+    """Encrypt a content key for one tree link (Section IV-E).
+
+    Each peer "re-encrypts the content key ... with the session-key it
+    shares with" each child.  The serial is the nonce -- unique per
+    link per key -- and the channel id is bound as associated data.
+    """
+    return session_key.encrypt(
+        content_key.key.material,
+        nonce=content_key.serial,
+        aad=b"keydist|" + channel_id.encode("utf-8"),
+    )
+
+
+def decrypt_key_from_link(
+    blob: bytes, serial: int, session_key: SymmetricKey, channel_id: str, activate_at: float
+) -> ContentKey:
+    """Invert :func:`reencrypt_key_for_link` at the receiving child."""
+    material = session_key.decrypt(
+        blob, nonce=serial, aad=b"keydist|" + channel_id.encode("utf-8")
+    )
+    return ContentKey(serial=serial, key=SymmetricKey(material=material), activate_at=activate_at)

@@ -1,0 +1,203 @@
+"""Channel policies: prioritized attribute-match rules.
+
+Section IV-A: "Channel policies determine how attributes are to be
+interpreted and enforced.  Each channel can have multiple policies
+attached to it.  Each policy is given a priority, with higher priority
+policies overriding lower priority ones."
+
+A policy is a conjunction of :class:`PolicyCondition` requirements plus
+an action (ACCEPT or REJECT).  Two temporal gates apply at evaluation
+time ``now``:
+
+1. **Backing validity** -- each condition ``name=value`` must be backed
+   by a *channel* attribute ``(name, value)`` that is valid at ``now``.
+   An unbacked or expired condition makes the whole policy *dormant*
+   (skipped).  This is how time-boxed rules such as blackouts switch
+   themselves on and off: the rule's backing attribute carries the
+   stime/etime window.
+2. **User match** -- every condition must be satisfied by the user's
+   valid attributes under the matching table in
+   :mod:`repro.core.attributes`.
+
+Evaluation walks policies from highest priority down (ties broken by
+definition order); the first active, matching policy decides.  If
+nothing matches, the default is REJECT -- rights must be granted
+explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.attributes import AttributeSet
+from repro.util.wire import Decoder, Encoder
+
+
+class Decision(enum.Enum):
+    """Outcome of policy evaluation."""
+
+    ACCEPT = "ACCEPT"
+    REJECT = "REJECT"
+
+
+@dataclass(frozen=True)
+class PolicyCondition:
+    """One ``attribute = value`` requirement inside a policy.
+
+    ``stime``/``etime``, when set, pin the condition to one specific
+    backing-attribute *window*: only the channel attribute with exactly
+    that validity window activates the condition.  Without the pin, any
+    valid (name, value) instance backs it.  Pinning is what keeps two
+    time-boxed rules that share a (name, value) pair -- e.g. a blackout
+    and a pay-per-view fence both expressed over ``Region=ANY`` -- from
+    activating each other's windows.
+    """
+
+    name: str
+    value: str
+    stime: Optional[float] = None
+    etime: Optional[float] = None
+
+    @property
+    def pinned(self) -> bool:
+        """Is this condition bound to one backing window?"""
+        return self.stime is not None or self.etime is not None
+
+    def is_backed(self, channel_attributes: AttributeSet, now: float) -> bool:
+        """Is there a valid channel attribute backing this condition?"""
+        for attribute in channel_attributes.valid_named(self.name, now):
+            if attribute.value != self.value:
+                continue
+            if self.pinned and (
+                attribute.stime != self.stime or attribute.etime != self.etime
+            ):
+                continue
+            return True
+        return False
+
+    def is_satisfied(self, user_attributes: AttributeSet, now: float) -> bool:
+        """Does the user's attribute set meet this requirement now?"""
+        return user_attributes.satisfies(self.name, self.value, now)
+
+    def encode(self, enc: Encoder) -> None:
+        enc.put_str(self.name)
+        enc.put_str(self.value)
+        enc.put_opt_f64(self.stime)
+        enc.put_opt_f64(self.etime)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "PolicyCondition":
+        return cls(
+            name=dec.get_str(),
+            value=dec.get_str(),
+            stime=dec.get_opt_f64(),
+            etime=dec.get_opt_f64(),
+        )
+
+    def __str__(self) -> str:
+        window = f"@[{self.stime},{self.etime}]" if self.pinned else ""
+        return f"{self.name}={self.value}{window}"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A prioritized rule: conjunction of conditions and an action.
+
+    Mirrors the paper's examples, e.g. Fig. 2(c)::
+
+        Priority 50: Region=100 & Subscription=101, Return ACCEPT
+        Priority 100: Region=ANY, Return REJECT        (blackout)
+    """
+
+    priority: int
+    conditions: "tuple[PolicyCondition, ...]"
+    action: Decision
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise ValueError("a policy needs at least one condition")
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
+
+    @classmethod
+    def of(
+        cls,
+        priority: int,
+        conditions: Iterable[PolicyCondition],
+        action: Decision,
+        label: str = "",
+    ) -> "Policy":
+        """Constructor accepting any condition iterable."""
+        return cls(priority=priority, conditions=tuple(conditions), action=action, label=label)
+
+    def is_active(self, channel_attributes: AttributeSet, now: float) -> bool:
+        """Active iff every condition is backed by a valid channel attribute."""
+        return all(c.is_backed(channel_attributes, now) for c in self.conditions)
+
+    def matches(self, user_attributes: AttributeSet, now: float) -> bool:
+        """True when the user satisfies every condition."""
+        return all(c.is_satisfied(user_attributes, now) for c in self.conditions)
+
+    def encode(self, enc: Encoder) -> None:
+        enc.put_u32(self.priority)
+        enc.put_str(self.action.value)
+        enc.put_str(self.label)
+        enc.put_u32(len(self.conditions))
+        for cond in self.conditions:
+            cond.encode(enc)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "Policy":
+        priority = dec.get_u32()
+        action = Decision(dec.get_str())
+        label = dec.get_str()
+        count = dec.get_u32()
+        conditions = tuple(PolicyCondition.decode(dec) for _ in range(count))
+        return cls(priority=priority, conditions=conditions, action=action, label=label)
+
+    def __str__(self) -> str:
+        conds = " & ".join(str(c) for c in self.conditions)
+        return f"Priority {self.priority}: {conds}, Return {self.action.value}"
+
+
+@dataclass
+class EvaluationResult:
+    """Decision plus provenance, for logging and tests."""
+
+    decision: Decision
+    matched_policy: Optional[Policy]
+    dormant_policies: List[Policy] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> bool:
+        return self.decision is Decision.ACCEPT
+
+
+def evaluate_policies(
+    policies: Sequence[Policy],
+    channel_attributes: AttributeSet,
+    user_attributes: AttributeSet,
+    now: float,
+) -> EvaluationResult:
+    """Evaluate a channel's policy list against a user's attributes.
+
+    Highest priority first; ties resolve in definition order.  The
+    first active policy whose conditions the user satisfies decides.
+    Default (no match at all): REJECT.
+    """
+    result = EvaluationResult(decision=Decision.REJECT, matched_policy=None)
+    ordered = sorted(
+        enumerate(policies), key=lambda pair: (-pair[1].priority, pair[0])
+    )
+    for _, policy in ordered:
+        if not policy.is_active(channel_attributes, now):
+            result.dormant_policies.append(policy)
+            continue
+        if policy.matches(user_attributes, now):
+            result.decision = policy.action
+            result.matched_policy = policy
+            return result
+    return result

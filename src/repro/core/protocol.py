@@ -1,0 +1,294 @@
+"""DRM protocol messages: LOGIN1/2, SWITCH1/2, JOIN (Fig. 4).
+
+Each dataclass is one message of one round.  The five *rounds* --
+LOGIN1, LOGIN2, SWITCH1, SWITCH2, JOIN -- are exactly the units whose
+latency the paper measures (Section VI); :data:`Round` enumerates them
+so the metrics layer can label samples.
+
+Messages carry an :meth:`approx_size` so the simulator can charge
+serialization delay; sizes are computed from the canonical encodings
+rather than guessed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.challenge import Challenge
+from repro.core.tickets import ChannelTicket, UserTicket
+from repro.crypto.rsa import RsaPublicKey
+
+
+class Round(enum.Enum):
+    """The five measured message-exchange rounds."""
+
+    LOGIN1 = "LOGIN1"
+    LOGIN2 = "LOGIN2"
+    SWITCH1 = "SWITCH1"
+    SWITCH2 = "SWITCH2"
+    JOIN = "JOIN"
+
+
+# ----------------------------------------------------------------------
+# Login protocol (client <-> User Manager), Fig. 4(a)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Login1Request:
+    """Round 1 request: email address and the client's public key."""
+
+    email: str
+    client_public_key: RsaPublicKey
+
+    def approx_size(self) -> int:
+        return len(self.email) + len(self.client_public_key.to_bytes()) + 16
+
+
+@dataclass(frozen=True)
+class Login1Response:
+    """Round 1 response: a stateless challenge token plus an
+    shp-encrypted blob holding the nonce, the attestation checksum
+    parameters, and the server's clock reading.
+
+    Only a client that knows the account password can decrypt the blob;
+    the token itself carries a *commitment* to the nonce, never the
+    nonce, so eavesdroppers and password-less attackers learn nothing
+    usable.
+    """
+
+    token: Challenge
+    encrypted_blob: bytes
+    blob_nonce: int
+
+    def approx_size(self) -> int:
+        return len(self.token.to_bytes()) + len(self.encrypted_blob) + 8 + 16
+
+
+@dataclass(frozen=True)
+class Login2Request:
+    """Round 2 request: decrypted nonce, attestation checksum, client
+    version, all signed with the client's private key."""
+
+    email: str
+    client_public_key: RsaPublicKey
+    token: Challenge
+    nonce: bytes
+    checksum: bytes
+    version: str
+    signature: bytes
+
+    def approx_size(self) -> int:
+        return (
+            len(self.email)
+            + len(self.client_public_key.to_bytes())
+            + len(self.token.to_bytes())
+            + len(self.nonce)
+            + len(self.checksum)
+            + len(self.version)
+            + len(self.signature)
+            + 32
+        )
+
+
+@dataclass(frozen=True)
+class Login2Response:
+    """Round 2 response: the signed User Ticket and timing information."""
+
+    ticket: UserTicket
+    server_time: float
+
+    def approx_size(self) -> int:
+        return len(self.ticket.to_bytes()) + 8 + 16
+
+
+# ----------------------------------------------------------------------
+# Channel switching protocol (client <-> Channel Manager), Fig. 4(b)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Switch1Request:
+    """Round 1 request: target channel (or expiring ticket, for
+    renewal) plus the User Ticket."""
+
+    user_ticket: UserTicket
+    channel_id: Optional[str] = None
+    expiring_ticket: Optional[ChannelTicket] = None
+
+    def __post_init__(self) -> None:
+        if (self.channel_id is None) == (self.expiring_ticket is None):
+            raise ValueError(
+                "exactly one of channel_id (new ticket) or "
+                "expiring_ticket (renewal) must be given"
+            )
+
+    @property
+    def is_renewal(self) -> bool:
+        return self.expiring_ticket is not None
+
+    @property
+    def target_channel(self) -> str:
+        if self.expiring_ticket is not None:
+            return self.expiring_ticket.channel_id
+        assert self.channel_id is not None
+        return self.channel_id
+
+    def approx_size(self) -> int:
+        size = len(self.user_ticket.to_bytes()) + 16
+        if self.channel_id is not None:
+            size += len(self.channel_id)
+        if self.expiring_ticket is not None:
+            size += len(self.expiring_ticket.to_bytes())
+        return size
+
+
+@dataclass(frozen=True)
+class Switch1Response:
+    """Round 1 response: the nonce challenge."""
+
+    token: Challenge
+
+    def approx_size(self) -> int:
+        return len(self.token.to_bytes()) + 16
+
+
+@dataclass(frozen=True)
+class Switch2Request:
+    """Round 2 request: the nonce signed with the client's private key."""
+
+    user_ticket: UserTicket
+    token: Challenge
+    signature: bytes
+    channel_id: Optional[str] = None
+    expiring_ticket: Optional[ChannelTicket] = None
+
+    @property
+    def is_renewal(self) -> bool:
+        return self.expiring_ticket is not None
+
+    @property
+    def target_channel(self) -> str:
+        if self.expiring_ticket is not None:
+            return self.expiring_ticket.channel_id
+        assert self.channel_id is not None
+        return self.channel_id
+
+    def approx_size(self) -> int:
+        size = (
+            len(self.user_ticket.to_bytes())
+            + len(self.token.to_bytes())
+            + len(self.signature)
+            + 32
+        )
+        if self.expiring_ticket is not None:
+            size += len(self.expiring_ticket.to_bytes())
+        return size
+
+
+@dataclass(frozen=True)
+class PeerDescriptor:
+    """One entry of the (unsigned -- Section IV-G1) peer list."""
+
+    peer_id: str
+    address: str
+    region: str
+
+    def approx_size(self) -> int:
+        return len(self.peer_id) + len(self.address) + len(self.region) + 8
+
+
+@dataclass(frozen=True)
+class Switch2Response:
+    """Round 2 response: the Channel Ticket and the peer list.
+
+    The peer list is intentionally *not* covered by any signature; the
+    paper argues signing it buys nothing against an attacker who can
+    already modify the victim's traffic (Section IV-G1).
+    """
+
+    ticket: ChannelTicket
+    peers: Tuple[PeerDescriptor, ...] = ()
+
+    def approx_size(self) -> int:
+        return (
+            len(self.ticket.to_bytes())
+            + sum(p.approx_size() for p in self.peers)
+            + 16
+        )
+
+
+# ----------------------------------------------------------------------
+# Peer join protocol (client <-> target peer), Fig. 4(c)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """The join request: the Channel Ticket for the carried channel."""
+
+    channel_ticket: ChannelTicket
+
+    def approx_size(self) -> int:
+        return len(self.channel_ticket.to_bytes()) + 16
+
+
+@dataclass(frozen=True)
+class JoinAccept:
+    """Join accepted: session key (encrypted to the client's public
+    key) and the current content key (encrypted under the session key),
+    as prescribed by Section IV-E."""
+
+    peer_id: str
+    encrypted_session_key: bytes
+    encrypted_content_key: bytes
+    content_key_serial: int
+
+    def approx_size(self) -> int:
+        return (
+            len(self.peer_id)
+            + len(self.encrypted_session_key)
+            + len(self.encrypted_content_key)
+            + 1
+            + 16
+        )
+
+
+@dataclass(frozen=True)
+class JoinReject:
+    """Join refused: out of capacity or invalid ticket."""
+
+    peer_id: str
+    reason: str
+
+    def approx_size(self) -> int:
+        return len(self.peer_id) + len(self.reason) + 16
+
+
+# ----------------------------------------------------------------------
+# Content-key distribution (peer -> child), Section IV-E
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyUpdate:
+    """A new content key pushed down one tree link.
+
+    ``serial`` is the 8-bit rotating serial number; ``activate_at`` is
+    when the Channel Server starts encrypting with it (keys are sent
+    "some amount of time in advance of their use").
+    """
+
+    channel_id: str
+    serial: int
+    encrypted_content_key: bytes
+    activate_at: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.serial <= 0xFF:
+            raise ValueError("content key serial must fit in 8 bits")
+
+    def approx_size(self) -> int:
+        return len(self.channel_id) + len(self.encrypted_content_key) + 1 + 8 + 16

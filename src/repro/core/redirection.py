@@ -1,0 +1,91 @@
+"""The Redirection Manager: user -> User Manager lookup.
+
+Section V: "To direct client to the right User Manager, we introduce a
+new backend service called the Redirection Manager.  The job of the
+Redirection Manager is simply to look up the User Manager a user has
+been assigned to. ... Since the load of this service is very light (a
+single hash table lookup), a single Redirection Manager per service
+provider network is sufficient."
+
+Its address and public key are "built-in to the client application";
+for future extensibility it also returns the Channel Policy Manager's
+address and public key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import AccountError
+
+
+@dataclass(frozen=True)
+class ManagerEndpoint:
+    """Network identity of a manager farm: one name, one key."""
+
+    address: str
+    public_key: RsaPublicKey
+
+
+@dataclass(frozen=True)
+class RedirectionResult:
+    """What the client gets back: its User Manager and the CPM."""
+
+    user_manager: ManagerEndpoint
+    channel_policy_manager: ManagerEndpoint
+
+
+class RedirectionManager:
+    """Maps users to Authentication Domains.
+
+    Users are assigned either explicitly (:meth:`assign_user`) or by
+    consistent hashing of the email over the registered domains --
+    matching the paper's "partition its user space into multiple
+    domains" without requiring per-user configuration.
+    """
+
+    def __init__(self, channel_policy_manager: ManagerEndpoint) -> None:
+        self._domains: Dict[str, ManagerEndpoint] = {}
+        self._domain_order: List[str] = []
+        self._explicit: Dict[str, str] = {}
+        self._cpm = channel_policy_manager
+        self.lookups = 0
+
+    def register_domain(self, domain: str, endpoint: ManagerEndpoint) -> None:
+        """Add an Authentication Domain's User Manager farm."""
+        if domain not in self._domains:
+            self._domain_order.append(domain)
+        self._domains[domain] = endpoint
+
+    def assign_user(self, email: str, domain: str) -> None:
+        """Pin a user to a specific domain (overrides hashing)."""
+        if domain not in self._domains:
+            raise AccountError(f"unknown domain: {domain}")
+        self._explicit[email] = domain
+
+    def domain_for(self, email: str) -> str:
+        """Which domain serves this user?"""
+        if not self._domain_order:
+            raise AccountError("no authentication domains registered")
+        explicit = self._explicit.get(email)
+        if explicit is not None:
+            return explicit
+        digest = hashlib.sha256(email.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "big") % len(self._domain_order)
+        return self._domain_order[index]
+
+    def lookup(self, email: str) -> RedirectionResult:
+        """The client's bootstrap call: find my User Manager and the CPM."""
+        self.lookups += 1
+        domain = self.domain_for(email)
+        return RedirectionResult(
+            user_manager=self._domains[domain],
+            channel_policy_manager=self._cpm,
+        )
+
+    def domains(self) -> List[str]:
+        """Registered domain names, registration order."""
+        return list(self._domain_order)

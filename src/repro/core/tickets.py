@@ -1,0 +1,242 @@
+"""User Tickets and Channel Tickets (Fig. 3).
+
+Both tickets follow the same pattern: a canonically encoded body that
+the issuing manager signs, with the signature appended.  Signing the
+body also *certifies the client's public key* embedded in it
+(Sections IV-B, IV-C) -- downstream verifiers (Channel Manager, target
+peers) learn the client's key from the ticket rather than from the
+client's unauthenticated claim.
+
+Validity checks deliberately raise typed exceptions instead of
+returning booleans; every rejection path in the protocol corresponds
+to one exception type, which the threat-model tests assert on.
+
+The *ticket renewal bit* on the Channel Ticket distinguishes a renewal
+(issued against an expiring ticket, subject to the viewing-log check
+of Section IV-D) from a fresh issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.attributes import ATTR_NETADDR, AttributeSet
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import (
+    SignatureError,
+    TicketExpiredError,
+    TicketInvalidError,
+)
+from repro.util.wire import Decoder, Encoder
+
+_USER_TICKET_MAGIC = b"UTKT"
+_CHANNEL_TICKET_MAGIC = b"CTKT"
+
+
+@dataclass(frozen=True)
+class UserTicket:
+    """A signed, time-limited credential carrying user attributes.
+
+    Fields follow Fig. 3: UserIN, the client's (manager-certified)
+    public key, the validity window, and the user attribute list.  The
+    signature covers everything above it.
+    """
+
+    user_id: int
+    client_public_key: RsaPublicKey
+    start_time: float
+    expire_time: float
+    attributes: AttributeSet
+    signature: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """Canonical encoding of the signed portion."""
+        enc = Encoder()
+        enc.put_bytes(_USER_TICKET_MAGIC)
+        enc.put_u64(self.user_id)
+        enc.put_bytes(self.client_public_key.to_bytes())
+        enc.put_f64(self.start_time)
+        enc.put_f64(self.expire_time)
+        self.attributes.encode(enc)
+        return enc.to_bytes()
+
+    def signed(self, issuer_key: RsaPrivateKey) -> "UserTicket":
+        """Return a copy carrying the issuer's signature."""
+        return replace(self, signature=issuer_key.sign(self.body_bytes()))
+
+    def verify(self, issuer_public_key: RsaPublicKey, now: float) -> None:
+        """Check signature and validity window; raise on failure."""
+        if not self.signature:
+            raise SignatureError("user ticket is unsigned")
+        issuer_public_key.verify(self.body_bytes(), self.signature)
+        if now < self.start_time:
+            raise TicketInvalidError(
+                f"user ticket not valid until {self.start_time} (now {now})"
+            )
+        if now > self.expire_time:
+            raise TicketExpiredError(
+                f"user ticket expired at {self.expire_time} (now {now})"
+            )
+
+    @property
+    def net_addr(self) -> Optional[str]:
+        """The NetAddr attribute the User Manager recorded at login."""
+        return self.attributes.first_value(ATTR_NETADDR)
+
+    def check_net_addr(self, observed_addr: str) -> None:
+        """Match the ticket's NetAddr against the live connection.
+
+        The Channel Manager "matches the value of the NetAddr attribute
+        in the User Ticket against that of the client's current
+        connection" (Section IV-C); a mismatch means a relayed or
+        stolen ticket.
+        """
+        if self.net_addr != observed_addr:
+            raise TicketInvalidError(
+                f"user ticket NetAddr {self.net_addr!r} != connection {observed_addr!r}"
+            )
+
+    @property
+    def remaining_lifetime(self) -> float:
+        """Duration from start to expiry (not from 'now')."""
+        return self.expire_time - self.start_time
+
+    def to_bytes(self) -> bytes:
+        """Full serialization including signature (wire form)."""
+        enc = Encoder()
+        enc.put_bytes(self.body_bytes())
+        enc.put_bytes(self.signature)
+        return enc.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "UserTicket":
+        """Parse the wire form produced by :meth:`to_bytes`."""
+        outer = Decoder(blob)
+        body = Decoder(outer.get_bytes())
+        signature = outer.get_bytes()
+        outer.finish()
+        magic = body.get_bytes()
+        if magic != _USER_TICKET_MAGIC:
+            raise TicketInvalidError("not a user ticket")
+        ticket = cls(
+            user_id=body.get_u64(),
+            client_public_key=RsaPublicKey.from_bytes(body.get_bytes()),
+            start_time=body.get_f64(),
+            expire_time=body.get_f64(),
+            attributes=AttributeSet.decode(body),
+            signature=signature,
+        )
+        body.finish()
+        return ticket
+
+
+@dataclass(frozen=True)
+class ChannelTicket:
+    """A signed authorization to join one channel's P2P network.
+
+    Carries only what a target peer needs (Section IV-C): the channel,
+    the client's certified public key, the client's NetAddr, the
+    renewal bit, and the validity window.  All other user attributes
+    are filtered out by the Channel Manager -- the privacy
+    intermediation requirement.
+    """
+
+    channel_id: str
+    user_id: int
+    client_public_key: RsaPublicKey
+    net_addr: str
+    renewal: bool
+    start_time: float
+    expire_time: float
+    signature: bytes = b""
+
+    def body_bytes(self) -> bytes:
+        """Canonical encoding of the signed portion."""
+        enc = Encoder()
+        enc.put_bytes(_CHANNEL_TICKET_MAGIC)
+        enc.put_str(self.channel_id)
+        enc.put_u64(self.user_id)
+        enc.put_bytes(self.client_public_key.to_bytes())
+        enc.put_str(self.net_addr)
+        enc.put_bool(self.renewal)
+        enc.put_f64(self.start_time)
+        enc.put_f64(self.expire_time)
+        return enc.to_bytes()
+
+    def signed(self, issuer_key: RsaPrivateKey) -> "ChannelTicket":
+        """Return a copy carrying the issuer's signature."""
+        return replace(self, signature=issuer_key.sign(self.body_bytes()))
+
+    def verify(
+        self,
+        issuer_public_key: RsaPublicKey,
+        now: float,
+        expected_channel: Optional[str] = None,
+        observed_addr: Optional[str] = None,
+    ) -> None:
+        """Run the target-peer checks of Section IV-C; raise on failure.
+
+        A peer verifies: the Channel Manager's signature, expiry, the
+        NetAddr against the live connection, and that the channel is
+        the one the peer itself carries.
+        """
+        if not self.signature:
+            raise SignatureError("channel ticket is unsigned")
+        issuer_public_key.verify(self.body_bytes(), self.signature)
+        if now < self.start_time:
+            raise TicketInvalidError(
+                f"channel ticket not valid until {self.start_time} (now {now})"
+            )
+        if now > self.expire_time:
+            raise TicketExpiredError(
+                f"channel ticket expired at {self.expire_time} (now {now})"
+            )
+        if expected_channel is not None and self.channel_id != expected_channel:
+            raise TicketInvalidError(
+                f"channel ticket is for {self.channel_id!r}, peer carries {expected_channel!r}"
+            )
+        if observed_addr is not None and self.net_addr != observed_addr:
+            raise TicketInvalidError(
+                f"channel ticket NetAddr {self.net_addr!r} != connection {observed_addr!r}"
+            )
+
+    def is_within_renewal_window(self, now: float, window: float) -> bool:
+        """Renewal must happen close to expiry (Section IV-D).
+
+        "A Channel Manager must be presented with the expiring Channel
+        Ticket ... within a small window of the ticket expiration
+        time."  The window extends ``window`` seconds both before and
+        after ``expire_time`` (allowing brief clock skew after expiry).
+        """
+        return (self.expire_time - window) <= now <= (self.expire_time + window)
+
+    def to_bytes(self) -> bytes:
+        """Full serialization including signature (wire form)."""
+        enc = Encoder()
+        enc.put_bytes(self.body_bytes())
+        enc.put_bytes(self.signature)
+        return enc.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ChannelTicket":
+        """Parse the wire form produced by :meth:`to_bytes`."""
+        outer = Decoder(blob)
+        body = Decoder(outer.get_bytes())
+        signature = outer.get_bytes()
+        outer.finish()
+        magic = body.get_bytes()
+        if magic != _CHANNEL_TICKET_MAGIC:
+            raise TicketInvalidError("not a channel ticket")
+        ticket = cls(
+            channel_id=body.get_str(),
+            user_id=body.get_u64(),
+            client_public_key=RsaPublicKey.from_bytes(body.get_bytes()),
+            net_addr=body.get_str(),
+            renewal=body.get_bool(),
+            start_time=body.get_f64(),
+            expire_time=body.get_f64(),
+            signature=signature,
+        )
+        body.finish()
+        return ticket

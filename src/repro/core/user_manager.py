@@ -1,0 +1,399 @@
+"""The User Manager: authentication, UserDB, and User Ticket issuance.
+
+Implements the login protocol of Section IV-F1 (Fig. 4a) in its
+stateless-farm form (Section V): the LOGIN1 server packs everything
+the LOGIN2 server needs into a MAC'd challenge token, so the two
+rounds may land on different physical instances sharing only the farm
+keypair and farm secret.
+
+Login flow
+----------
+LOGIN1  client sends email + its public key.  The UM replies with
+        (a) a challenge token carrying a *commitment* (hash) of a
+        fresh nonce, and (b) a blob encrypted under the secure hash of
+        the user's password (``shp``) containing the nonce itself, the
+        attestation checksum parameters, and the server clock.
+LOGIN2  the client -- having proven it knows the password by
+        decrypting the blob -- returns the nonce, the checksum it
+        computed over its own binary with the given parameters, and
+        its version, all signed with its private key.  The UM checks
+        the commitment (password proof), the signature (key
+        possession proof), the checksum against the registered client
+        image (attestation), and the version floor, then issues the
+        signed User Ticket.
+
+Checksum parameters are *derived* from the nonce commitment with the
+farm secret rather than stored, keeping LOGIN2 stateless.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.accounts import UserAccount
+from repro.core.attributes import (
+    ATTR_AS,
+    ATTR_NETADDR,
+    ATTR_REGION,
+    ATTR_SUBSCRIPTION,
+    ATTR_VERSION,
+    Attribute,
+    AttributeSet,
+    VALUE_ALL,
+    VALUE_ANY,
+    VALUE_NONE,
+)
+from repro.core.challenge import Challenge, ChallengeIssuer
+from repro.core.protocol import (
+    Login1Request,
+    Login1Response,
+    Login2Request,
+    Login2Response,
+)
+from repro.core.tickets import UserTicket
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.crypto.stream import SymmetricKey
+from repro.errors import (
+    AccountError,
+    AttestationError,
+    ChallengeError,
+    ProtocolError,
+    SignatureError,
+)
+from repro.util.wire import Decoder, Encoder
+
+_NONCE_LEN = 16
+_SALT_LEN = 8
+_DEFAULT_CHECKSUM_WINDOW = 4096
+
+
+@dataclass
+class ChecksumParams:
+    """Parameters for the remote-attestation checksum (Section IV-F1)."""
+
+    salt: bytes
+    offset_seed: int
+    length: int
+
+    def compute(self, image: bytes) -> bytes:
+        """Checksum of ``image`` under these parameters.
+
+        The offset seed is reduced modulo the image's usable window so
+        both sides (whose only shared context is the parameters and
+        the image) agree without exchanging the image length.
+        """
+        if not image:
+            raise AttestationError("empty client image")
+        length = min(self.length, len(image))
+        span = len(image) - length + 1
+        offset = self.offset_seed % span
+        return hashlib.sha256(self.salt + image[offset : offset + length]).digest()
+
+
+@dataclass
+class UserRecord:
+    """One row of the UserDB."""
+
+    user_id: int
+    email: str
+    shp: bytes
+    account: UserAccount
+
+
+class UserManager:
+    """A logical User Manager (possibly a farm of instances).
+
+    Parameters
+    ----------
+    signing_key:
+        The farm's shared keypair; its public half verifies every User
+        Ticket downstream.
+    farm_secret:
+        Shared secret authenticating challenge tokens across the farm.
+    drbg:
+        Source of nonces and user-id randomization.
+    geo:
+        The GeoIP/AS database used to derive Region and AS attributes.
+    ticket_lifetime:
+        Default User Ticket lifetime in seconds.  The paper recommends
+        "less than the average length of a program in the channel";
+        the production default modelled here is 30 minutes.
+    min_version:
+        Minimum acceptable client version string (lexicographic parts
+        compare, e.g. "4.0.5").
+    domain:
+        Authentication Domain name this manager serves (Section V).
+    """
+
+    def __init__(
+        self,
+        signing_key: RsaPrivateKey,
+        farm_secret: bytes,
+        drbg: HmacDrbg,
+        geo,
+        ticket_lifetime: float = 1800.0,
+        min_version: str = "1.0.0",
+        domain: str = "default",
+        challenge_max_age: float = 60.0,
+        user_id_start: int = 1,
+        user_id_stride: int = 1,
+    ) -> None:
+        self._key = signing_key
+        self._secret = farm_secret
+        self._drbg = drbg
+        self._geo = geo
+        self.ticket_lifetime = ticket_lifetime
+        self.min_version = min_version
+        self.domain = domain
+        self._issuer = ChallengeIssuer(farm_secret, drbg.fork(b"um-challenge"), challenge_max_age)
+        self._users_by_email: Dict[str, UserRecord] = {}
+        self._users_by_id: Dict[int, UserRecord] = {}
+        # Interleaved id spaces keep UserINs globally unique when
+        # multiple Authentication Domains feed the same Channel
+        # Managers (whose viewing log is keyed by UserIN).
+        if user_id_start < 1 or user_id_stride < 1:
+            raise ValueError("user id start and stride must be >= 1")
+        self._next_user_id = user_id_start
+        self._user_id_stride = user_id_stride
+        self._channel_attribute_list = AttributeSet()
+        self._client_images: Dict[str, bytes] = {}
+        self.logins_issued = 0
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The farm's ticket-verification key."""
+        return self._key.public_key
+
+    # ------------------------------------------------------------------
+    # Feeds from other managers
+    # ------------------------------------------------------------------
+
+    def sync_account(self, account: UserAccount) -> UserRecord:
+        """Account Manager push: create or refresh a UserDB row.
+
+        First sync "generates a unique user identification number
+        (UserIN) ... and creates a new entry in its user database"
+        (Section IV-B).
+        """
+        record = self._users_by_email.get(account.email)
+        if record is None:
+            record = UserRecord(
+                user_id=self._next_user_id,
+                email=account.email,
+                shp=account.shp,
+                account=account,
+            )
+            self._next_user_id += self._user_id_stride
+            self._users_by_email[account.email] = record
+            self._users_by_id[record.user_id] = record
+        else:
+            record.shp = account.shp
+            record.account = account
+        return record
+
+    def receive_channel_attribute_list(self, attributes: AttributeSet) -> None:
+        """Channel Policy Manager push (Section IV-A)."""
+        self._channel_attribute_list = attributes
+
+    def register_client_image(self, version: str, image: bytes) -> None:
+        """Register a released client binary for attestation checks."""
+        if not image:
+            raise ValueError("client image must be non-empty")
+        self._client_images[version] = bytes(image)
+
+    # ------------------------------------------------------------------
+    # LOGIN1
+    # ------------------------------------------------------------------
+
+    def login1(self, request: Login1Request, now: float) -> Login1Response:
+        """Handle the first login round."""
+        record = self._users_by_email.get(request.email)
+        if record is None:
+            raise AccountError(f"unknown user: {request.email}")
+        if record.account.suspended:
+            raise AccountError(f"account suspended: {request.email}")
+        nonce = self._drbg.generate(_NONCE_LEN)
+        commitment = hashlib.sha256(b"commit|" + nonce).digest()
+        token = self._issuer.issue(subject=request.email, now=now)
+        # Rebind the token's nonce slot to the commitment: LOGIN2 can
+        # then check the revealed nonce without the farm storing it.
+        token = Challenge(
+            subject=token.subject,
+            nonce=commitment,
+            issued_at=token.issued_at,
+            mac=self._commitment_mac(request.email, commitment, token.issued_at),
+        )
+        params = self._derive_checksum_params(commitment)
+        blob_nonce = int.from_bytes(self._drbg.generate(8), "big")
+        enc = Encoder()
+        enc.put_bytes(nonce)
+        enc.put_bytes(params.salt)
+        enc.put_u32(params.offset_seed)
+        enc.put_u32(params.length)
+        enc.put_f64(now)  # timing information for client clock sync
+        blob_key = SymmetricKey(material=record.shp[:16])
+        blob = blob_key.encrypt(enc.to_bytes(), nonce=blob_nonce, aad=b"login1")
+        return Login1Response(token=token, encrypted_blob=blob, blob_nonce=blob_nonce)
+
+    def _commitment_mac(self, email: str, commitment: bytes, issued_at: float) -> bytes:
+        enc = Encoder()
+        enc.put_str(email)
+        enc.put_bytes(commitment)
+        enc.put_f64(issued_at)
+        return hmac.new(self._secret, b"umtok|" + enc.to_bytes(), hashlib.sha256).digest()
+
+    def _derive_checksum_params(self, commitment: bytes) -> ChecksumParams:
+        """Derive attestation parameters from the commitment (stateless)."""
+        raw = hmac.new(self._secret, b"cksum|" + commitment, hashlib.sha256).digest()
+        return ChecksumParams(
+            salt=raw[:_SALT_LEN],
+            offset_seed=int.from_bytes(raw[_SALT_LEN : _SALT_LEN + 4], "big"),
+            length=_DEFAULT_CHECKSUM_WINDOW,
+        )
+
+    # ------------------------------------------------------------------
+    # LOGIN2
+    # ------------------------------------------------------------------
+
+    def login2(
+        self, request: Login2Request, observed_addr: str, now: float
+    ) -> Login2Response:
+        """Handle the second login round and issue the User Ticket."""
+        record = self._users_by_email.get(request.email)
+        if record is None:
+            raise AccountError(f"unknown user: {request.email}")
+        if record.account.suspended:
+            raise AccountError(f"account suspended: {request.email}")
+
+        token = request.token
+        expected_mac = self._commitment_mac(request.email, token.nonce, token.issued_at)
+        if not hmac.compare_digest(expected_mac, token.mac):
+            raise ChallengeError("login token MAC invalid")
+        if token.subject != request.email:
+            raise ChallengeError("login token subject mismatch")
+        age = now - token.issued_at
+        if age < 0 or age > self._issuer.max_age:
+            raise ChallengeError(f"login token expired (age {age:.1f}s)")
+
+        commitment = hashlib.sha256(b"commit|" + request.nonce).digest()
+        if not hmac.compare_digest(commitment, token.nonce):
+            raise ChallengeError("nonce does not match commitment (wrong password?)")
+
+        signed_payload = request.nonce + request.checksum + request.version.encode("utf-8")
+        try:
+            request.client_public_key.verify(signed_payload, request.signature)
+        except SignatureError as exc:
+            raise ChallengeError("login response signature invalid") from exc
+
+        if _version_tuple(request.version) < _version_tuple(self.min_version):
+            raise ProtocolError(
+                f"client version {request.version} below minimum {self.min_version}"
+            )
+
+        image = self._client_images.get(request.version)
+        if image is None:
+            raise AttestationError(f"unknown client version: {request.version}")
+        params = self._derive_checksum_params(token.nonce)
+        expected_checksum = params.compute(image)
+        if not hmac.compare_digest(expected_checksum, request.checksum):
+            raise AttestationError("client image checksum mismatch")
+
+        attributes = self._build_attributes(record, observed_addr, request.version, now)
+        expire = now + self.ticket_lifetime
+        soonest = attributes.soonest_etime()
+        if soonest is not None:
+            expire = min(expire, soonest)
+        ticket = UserTicket(
+            user_id=record.user_id,
+            client_public_key=request.client_public_key,
+            start_time=now,
+            expire_time=expire,
+            attributes=attributes,
+        ).signed(self._key)
+        self.logins_issued += 1
+        return Login2Response(ticket=ticket, server_time=now)
+
+    # ------------------------------------------------------------------
+    # Attribute generation (Section IV-B, Table I)
+    # ------------------------------------------------------------------
+
+    def _build_attributes(
+        self, record: UserRecord, observed_addr: str, version: str, now: float
+    ) -> AttributeSet:
+        """Generate user attributes from the three data sources.
+
+        (1) account/subscription info, (2) connection info, (3) the
+        Channel Attribute List (for utime stamping).
+        """
+        attrs = AttributeSet()
+        attrs.add(self._stamp(Attribute(name=ATTR_NETADDR, value=observed_addr)))
+        geo_record = self._geo.lookup(observed_addr)
+        if geo_record is not None:
+            attrs.add(self._stamp(Attribute(name=ATTR_REGION, value=geo_record.region)))
+            attrs.add(self._stamp(Attribute(name=ATTR_AS, value=str(geo_record.asn))))
+        attrs.add(self._stamp(Attribute(name=ATTR_VERSION, value=version)))
+        # Any subscription overlapping the ticket's lifetime rides
+        # along with its own validity window; ones starting mid-ticket
+        # (a pay-per-view program) become valid exactly at their stime.
+        for subscription in record.account.subscriptions_overlapping(
+            now, now + self.ticket_lifetime
+        ):
+            attrs.add(
+                self._stamp(
+                    Attribute(
+                        name=ATTR_SUBSCRIPTION,
+                        value=subscription.package_id,
+                        stime=subscription.stime,
+                        etime=subscription.etime,
+                    )
+                )
+            )
+        return attrs
+
+    def _stamp(self, attribute: Attribute) -> Attribute:
+        """Copy the matching Channel Attribute List utime onto ``attribute``.
+
+        An exact (name, value) entry's utime applies; additionally any
+        special-valued (ANY/ALL/NONE) channel attribute of the same
+        name bumps the utime, so e.g. a blackout expressed as
+        ``Region=ANY`` still prompts clients to refresh their Channel
+        List.
+        """
+        best: Optional[float] = None
+        for entry in self._channel_attribute_list:
+            if entry.name != attribute.name or entry.utime is None:
+                continue
+            if entry.value == attribute.value or entry.value in (
+                VALUE_ANY,
+                VALUE_ALL,
+                VALUE_NONE,
+            ):
+                if best is None or entry.utime > best:
+                    best = entry.utime
+        if best is None:
+            return attribute
+        return attribute.with_utime(best)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def user_by_email(self, email: str) -> Optional[UserRecord]:
+        """UserDB lookup by email."""
+        return self._users_by_email.get(email)
+
+    def user_count(self) -> int:
+        """Number of UserDB rows."""
+        return len(self._users_by_email)
+
+
+def _version_tuple(version: str) -> Tuple[int, ...]:
+    """Parse "4.0.5" into (4, 0, 5) for comparison; raises on junk."""
+    try:
+        return tuple(int(part) for part in version.split("."))
+    except ValueError as exc:
+        raise ProtocolError(f"unparseable version: {version!r}") from exc

@@ -1,0 +1,100 @@
+"""Prime generation for RSA key material.
+
+Implements deterministic trial division over small primes followed by
+Miller--Rabin probabilistic primality testing, driven by the library's
+HMAC-DRBG so that key generation is reproducible under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.crypto.drbg import HmacDrbg
+
+# Small primes for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277,
+    281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+]
+
+# Deterministic Miller-Rabin witnesses: for n < 3.3e24 the first 13
+# primes are a complete witness set, making the test *deterministic*
+# for small moduli; for larger n they still give error < 4^-13 per
+# random witness, far below anything a simulation can observe.
+_MR_WITNESSES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+
+
+def _miller_rabin_round(n: int, a: int) -> bool:
+    """One Miller-Rabin round; True means 'n may be prime'."""
+    if a % n == 0:
+        return True
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, extra_witnesses: Iterable[int] = ()) -> bool:
+    """Return True if ``n`` passes trial division and Miller--Rabin.
+
+    Uses a fixed witness set that is deterministic for ``n`` below
+    3.3e24 and overwhelmingly accurate above it.  ``extra_witnesses``
+    may add rounds (used by property tests).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    for a in _MR_WITNESSES:
+        if not _miller_rabin_round(n, a):
+            return False
+    for a in extra_witnesses:
+        if a >= 2 and not _miller_rabin_round(n, a):
+            return False
+    return True
+
+
+def generate_prime(bits: int, drbg: HmacDrbg) -> int:
+    """Generate a random probable prime with exactly ``bits`` bits.
+
+    Candidates come from the DRBG with the top bit forced (to fix the
+    bit length) and the bottom bit forced (odd).  Expected number of
+    candidates is O(bits) by the prime number theorem; with the
+    512-bit keys used in simulation this completes in milliseconds.
+    """
+    if bits < 8:
+        raise ValueError("prime size below 8 bits is not useful for RSA")
+    while True:
+        candidate = drbg.randint_bits(bits) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def generate_safe_distinct_primes(bits: int, drbg: HmacDrbg) -> "tuple[int, int]":
+    """Generate two distinct primes of ``bits`` bits each for an RSA modulus.
+
+    Distinctness matters: p == q would make the modulus a perfect
+    square and trivially factorable.  The primes are also required to
+    differ in their top 16 bits' worth of magnitude only implicitly --
+    for simulation-scale keys, plain distinctness suffices.
+    """
+    p = generate_prime(bits, drbg)
+    while True:
+        q = generate_prime(bits, drbg)
+        if q != p:
+            return p, q

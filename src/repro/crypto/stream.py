@@ -1,0 +1,111 @@
+"""Authenticated symmetric encryption: the content/session cipher.
+
+The production system encrypts the channel signal with 128-bit AES
+under a rotating *content key* and protects key-distribution hops with
+per-link *session keys* (Section IV-E).  AES itself is irrelevant to
+every quantity the paper measures, so this module substitutes a
+SHA-256-based CTR stream cipher with an encrypt-then-MAC HMAC tag
+(substitution documented in DESIGN.md).  The interface mirrors an AEAD:
+
+>>> key = SymmetricKey.generate(drbg)
+>>> ct = key.encrypt(b"frame", nonce=7)
+>>> key.decrypt(ct, nonce=7)
+b'frame'
+
+Integrity matters in the paper's threat model: encrypting the signal
+exists partly "to detect when the channel has been hijacked, whereby
+rogue contents are ... injected into the P2P network" (Section IV-E).
+The MAC tag is what turns injection into a detectable event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import DecryptionError, KeyFormatError
+
+_KEY_LEN = 16  # 128-bit key, matching the paper's AES-128
+_TAG_LEN = 16  # truncated HMAC-SHA256 tag
+_BLOCK = 32  # SHA-256 output per counter block
+
+
+def _keystream(key: bytes, nonce: int, length: int) -> bytes:
+    """Derive ``length`` keystream bytes for (key, nonce) in CTR mode."""
+    out = bytearray()
+    counter = 0
+    nonce_b = nonce.to_bytes(8, "big", signed=False)
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + b"|ctr|" + nonce_b + counter.to_bytes(8, "big")
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A 128-bit symmetric key with AEAD-style encrypt/decrypt.
+
+    Used both as the rotating *content key* (re-keyed every epoch by
+    the Channel Server) and as the pair-wise *session key* shared by
+    two adjacent peers in the distribution tree.
+    """
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != _KEY_LEN:
+            raise KeyFormatError(f"symmetric key must be {_KEY_LEN} bytes")
+
+    @classmethod
+    def generate(cls, drbg: HmacDrbg) -> "SymmetricKey":
+        """Draw a fresh key from the given DRBG."""
+        return cls(material=drbg.generate(_KEY_LEN))
+
+    def encrypt(self, plaintext: bytes, nonce: int, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate ``plaintext``.
+
+        ``nonce`` must be unique per key (content packets use their
+        sequence number; key-distribution messages use the content-key
+        serial).  ``aad`` binds additional context (e.g. the channel id)
+        into the tag without encrypting it.
+        """
+        if nonce < 0:
+            raise ValueError("nonce must be non-negative")
+        stream = _keystream(self.material, nonce, len(plaintext))
+        body = bytes(a ^ b for a, b in zip(plaintext, stream))
+        tag = self._tag(body, nonce, aad)
+        return body + tag
+
+    def decrypt(self, ciphertext: bytes, nonce: int, aad: bytes = b"") -> bytes:
+        """Verify the tag and decrypt; raise :class:`DecryptionError` on tamper."""
+        if len(ciphertext) < _TAG_LEN:
+            raise DecryptionError("ciphertext shorter than tag")
+        body, tag = ciphertext[:-_TAG_LEN], ciphertext[-_TAG_LEN:]
+        expected = self._tag(body, nonce, aad)
+        if not hmac.compare_digest(tag, expected):
+            raise DecryptionError("integrity tag mismatch")
+        stream = _keystream(self.material, nonce, len(body))
+        return bytes(a ^ b for a, b in zip(body, stream))
+
+    def _tag(self, body: bytes, nonce: int, aad: bytes) -> bytes:
+        msg = nonce.to_bytes(8, "big") + len(aad).to_bytes(4, "big") + aad + body
+        return hmac.new(self.material, msg, hashlib.sha256).digest()[:_TAG_LEN]
+
+    def fingerprint(self) -> str:
+        """Short identifier safe for logs (does not reveal the key)."""
+        return hashlib.sha256(b"fp|" + self.material).hexdigest()[:12]
+
+
+def seal(key: SymmetricKey, plaintext: bytes, nonce: int, aad: bytes = b"") -> bytes:
+    """Functional alias for :meth:`SymmetricKey.encrypt`."""
+    return key.encrypt(plaintext, nonce, aad)
+
+
+def open_sealed(key: SymmetricKey, ciphertext: bytes, nonce: int, aad: bytes = b"") -> bytes:
+    """Functional alias for :meth:`SymmetricKey.decrypt`."""
+    return key.decrypt(ciphertext, nonce, aad)

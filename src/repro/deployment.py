@@ -1,0 +1,428 @@
+"""Full-system deployment builder.
+
+Wires every component of Fig. 1 into a working functional service:
+Account Manager, Redirection Manager, one or more User Manager farms
+(Authentication Domains), the Channel Policy Manager, one or more
+Channel Manager farms (Channel Listing Partitions), per-channel
+Channel Servers and overlays, and a client factory.
+
+This is the entry point most examples and integration tests use::
+
+    deployment = Deployment(seed=7)
+    deployment.add_free_channel("ch1", regions=["CH", "DE"])
+    client = deployment.create_client("alice@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    response = client.switch_channel("ch1", now=1.0)
+    peer = deployment.make_peer(client, "ch1")
+    deployment.overlay("ch1").join(peer, response.peers, now=1.5)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.accounts import AccountManager
+from repro.core.attributes import (
+    ATTR_REGION,
+    ATTR_SUBSCRIPTION,
+    Attribute,
+    AttributeSet,
+)
+from repro.core.channel_manager import ChannelManager
+from repro.core.channel_server import ChannelServer
+from repro.core.client import Client
+from repro.core.directory import ServiceDirectory
+from repro.core.policy import Decision, Policy, PolicyCondition
+from repro.core.policy_manager import ChannelPolicyManager
+from repro.core.redirection import ManagerEndpoint, RedirectionManager
+from repro.core.user_manager import UserManager
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import ReproError
+from repro.geo.database import GeoDatabase
+from repro.p2p.overlay import ChannelOverlay
+from repro.p2p.peer import Peer
+
+#: The client software version every deployment registers by default.
+DEFAULT_CLIENT_VERSION = "4.0.5"
+_CLIENT_IMAGE_SIZE = 8192
+
+
+class Deployment:
+    """A complete single-provider service, functionally wired.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; everything (keys, addresses, nonces) derives from
+        it deterministically.
+    n_domains:
+        Number of Authentication Domains (User Manager farms).
+    partitions:
+        Channel Listing Partition names (one Channel Manager farm per
+        partition).
+    key_bits:
+        RSA modulus size used throughout (512 keeps simulations fast).
+    user_ticket_lifetime / channel_ticket_lifetime:
+        Ticket lifetimes in seconds.
+    """
+
+    def __init__(
+        self,
+        seed: int = 7,
+        n_domains: int = 1,
+        partitions: Sequence[str] = ("default",),
+        key_bits: int = 512,
+        user_ticket_lifetime: float = 1800.0,
+        channel_ticket_lifetime: float = 900.0,
+        substream_count: int = 1,
+        source_capacity: int = 16,
+    ) -> None:
+        if n_domains < 1 or not partitions:
+            raise ReproError("need at least one domain and one partition")
+        self.key_bits = key_bits
+        self.substream_count = substream_count
+        self.source_capacity = source_capacity
+        self._drbg = HmacDrbg(seed.to_bytes(8, "big", signed=False), b"deployment")
+        self.rng = random.Random(seed)
+        self.geo = GeoDatabase()
+        self.directory = ServiceDirectory()
+        self.accounts = AccountManager()
+        self.policy_manager = ChannelPolicyManager()
+
+        # Client image for attestation: one registered release.
+        self.client_version = DEFAULT_CLIENT_VERSION
+        self.client_image = self._drbg.fork(b"client-image").generate(_CLIENT_IMAGE_SIZE)
+
+        # Channel Policy Manager endpoint (clients learn it from the
+        # Redirection Manager).
+        cpm_key = generate_keypair(self._drbg.fork(b"cpm-key"), bits=key_bits)
+        self._cpm_endpoint = ManagerEndpoint(
+            address="cpm://main", public_key=cpm_key.public_key
+        )
+        self.directory.register("cpm://main", self.policy_manager)
+        self.redirection = RedirectionManager(self._cpm_endpoint)
+
+        # User Manager farms, one per Authentication Domain.
+        self.user_managers: Dict[str, UserManager] = {}
+        for index in range(n_domains):
+            domain = f"domain-{index}"
+            um_drbg = self._drbg.fork(f"um-{index}".encode())
+            manager = UserManager(
+                signing_key=generate_keypair(um_drbg.fork(b"key"), bits=key_bits),
+                farm_secret=um_drbg.fork(b"secret").generate(32),
+                drbg=um_drbg.fork(b"runtime"),
+                geo=self.geo,
+                ticket_lifetime=user_ticket_lifetime,
+                domain=domain,
+                user_id_start=index + 1,
+                user_id_stride=n_domains,
+            )
+            manager.register_client_image(self.client_version, self.client_image)
+            self.policy_manager.add_attribute_list_listener(
+                manager.receive_channel_attribute_list
+            )
+            self.accounts.add_listener(lambda account, m=manager: m.sync_account(account))
+            address = f"um://{domain}"
+            self.directory.register(address, manager)
+            self.redirection.register_domain(
+                domain, ManagerEndpoint(address=address, public_key=manager.public_key)
+            )
+            self.user_managers[domain] = manager
+
+        um_keys = [m.public_key for m in self.user_managers.values()]
+        self.policy_manager.enable_client_access(
+            farm_secret=self._drbg.fork(b"cpm-secret").generate(32),
+            drbg=self._drbg.fork(b"cpm-runtime"),
+            user_manager_keys=um_keys,
+        )
+
+        # Channel Manager farms, one per partition.
+        self.channel_managers: Dict[str, ChannelManager] = {}
+        for name in partitions:
+            cm_drbg = self._drbg.fork(f"cm-{name}".encode())
+            manager = ChannelManager(
+                signing_key=generate_keypair(cm_drbg.fork(b"key"), bits=key_bits),
+                farm_secret=cm_drbg.fork(b"secret").generate(32),
+                drbg=cm_drbg.fork(b"runtime"),
+                user_manager_keys=um_keys,
+                ticket_lifetime=channel_ticket_lifetime,
+                partition=name,
+            )
+            self.policy_manager.add_channel_list_listener(manager.receive_channel_list)
+            manager.set_peer_list_provider(self._peer_list_provider)
+            self.directory.register(f"cm://{name}", manager)
+            self.channel_managers[name] = manager
+
+        self.servers: Dict[str, ChannelServer] = {}
+        self.overlays: Dict[str, ChannelOverlay] = {}
+        self._client_counter = 0
+        self._epg = None
+
+    @property
+    def epg(self):
+        """The provider's Electronic Program Guide (lazily created)."""
+        if self._epg is None:
+            from repro.core.epg import ElectronicProgramGuide
+
+            self._epg = ElectronicProgramGuide(self.policy_manager)
+        return self._epg
+
+    def use_region_aware_sampling(self, same_region_fraction: float = 0.75) -> None:
+        """Install locality-preferring peer lists on every Channel Manager."""
+        from repro.p2p.selection import RegionAwarePeerSampler
+
+        sampler = RegionAwarePeerSampler(
+            self.overlays,
+            self.geo,
+            random.Random(self.rng.randrange(2**63)),
+            same_region_fraction=same_region_fraction,
+        )
+        for manager in self.channel_managers.values():
+            manager.set_peer_list_provider(sampler)
+
+    def analytics_for(self, channel_id: str):
+        """Viewing analytics over the channel's partition log."""
+        from repro.core.analytics import ViewingAnalytics
+
+        manager = self.channel_manager_for(channel_id)
+        return ViewingAnalytics(manager.viewing_log(), manager.ticket_lifetime)
+
+    # ------------------------------------------------------------------
+    # Channel provisioning
+    # ------------------------------------------------------------------
+
+    def _peer_list_provider(self, channel_id: str, exclude_addr: str, count: int):
+        overlay = self.overlays.get(channel_id)
+        if overlay is None:
+            return []
+        return overlay.sample_peers(channel_id, exclude_addr, count)
+
+    def add_channel(
+        self,
+        channel_id: str,
+        attributes: AttributeSet,
+        policies: List[Policy],
+        now: float = 0.0,
+        partition: Optional[str] = None,
+        key_epoch: float = 60.0,
+        encrypted: bool = True,
+    ) -> None:
+        """Provision a channel: metadata, server, overlay, CM routing."""
+        partition = partition or next(iter(self.channel_managers))
+        if partition not in self.channel_managers:
+            raise ReproError(f"unknown partition: {partition}")
+        self.policy_manager.add_channel(
+            channel_id, now, attributes=attributes, policies=policies, partition=partition
+        )
+        self.policy_manager.set_channel_manager(channel_id, f"cm://{partition}", now)
+        server = ChannelServer(
+            channel_id,
+            self._drbg.fork(f"server-{channel_id}".encode()),
+            key_epoch=key_epoch,
+            encrypted=encrypted,
+            start_time=now,
+        )
+        overlay = ChannelOverlay(
+            server,
+            cm_public_key=self.channel_managers[partition].public_key,
+            drbg=self._drbg.fork(f"overlay-{channel_id}".encode()),
+            rng=random.Random(self.rng.randrange(2**63)),
+            source_address=self.geo.random_address("CH", self.rng),
+            source_capacity=self.source_capacity,
+            substream_count=self.substream_count,
+        )
+        self.servers[channel_id] = server
+        self.overlays[channel_id] = overlay
+
+    def add_free_channel(
+        self,
+        channel_id: str,
+        regions: Sequence[str],
+        now: float = 0.0,
+        partition: Optional[str] = None,
+        **kwargs,
+    ) -> None:
+        """A free-to-view channel viewable from the given regions."""
+        attributes = AttributeSet()
+        policies: List[Policy] = []
+        for region in regions:
+            attributes.add(Attribute(name=ATTR_REGION, value=region))
+            policies.append(
+                Policy.of(
+                    priority=50,
+                    conditions=[PolicyCondition(name=ATTR_REGION, value=region)],
+                    action=Decision.ACCEPT,
+                    label=f"free-{region}",
+                )
+            )
+        self.add_channel(channel_id, attributes, policies, now, partition, **kwargs)
+
+    def add_subscription_channel(
+        self,
+        channel_id: str,
+        regions: Sequence[str],
+        package_id: str,
+        now: float = 0.0,
+        partition: Optional[str] = None,
+        **kwargs,
+    ) -> None:
+        """A premium channel: region AND current subscription required."""
+        attributes = AttributeSet()
+        attributes.add(Attribute(name=ATTR_SUBSCRIPTION, value=package_id))
+        policies: List[Policy] = []
+        for region in regions:
+            attributes.add(Attribute(name=ATTR_REGION, value=region))
+            policies.append(
+                Policy.of(
+                    priority=50,
+                    conditions=[
+                        PolicyCondition(name=ATTR_REGION, value=region),
+                        PolicyCondition(name=ATTR_SUBSCRIPTION, value=package_id),
+                    ],
+                    action=Decision.ACCEPT,
+                    label=f"sub-{package_id}-{region}",
+                )
+            )
+        self.add_channel(channel_id, attributes, policies, now, partition, **kwargs)
+
+    def add_partition(self, name: str) -> ChannelManager:
+        """Stand up a new Channel Listing Partition (CM farm) at runtime."""
+        if name in self.channel_managers:
+            raise ReproError(f"partition exists: {name}")
+        um_keys = [m.public_key for m in self.user_managers.values()]
+        cm_drbg = self._drbg.fork(f"cm-{name}".encode())
+        manager = ChannelManager(
+            signing_key=generate_keypair(cm_drbg.fork(b"key"), bits=self.key_bits),
+            farm_secret=cm_drbg.fork(b"secret").generate(32),
+            drbg=cm_drbg.fork(b"runtime"),
+            user_manager_keys=um_keys,
+            ticket_lifetime=next(iter(self.channel_managers.values())).ticket_lifetime,
+            partition=name,
+        )
+        self.policy_manager.add_channel_list_listener(manager.receive_channel_list)
+        manager.set_peer_list_provider(self._peer_list_provider)
+        self.directory.register(f"cm://{name}", manager)
+        self.channel_managers[name] = manager
+        return manager
+
+    def promote_channel(self, channel_id: str, partition: str, now: float) -> None:
+        """Move a (popular) channel onto its own partition (Section V).
+
+        Creates the partition if needed, re-homes the channel, and
+        re-points the overlay's ticket-verification key at the new
+        farm.  In-flight Channel Tickets from the old farm remain
+        valid at existing peers until expiry; *new* joins require a
+        ticket from the new farm, which clients obtain transparently
+        at their next switch/renewal (the utime bump prompts a Channel
+        List refresh).
+        """
+        if partition not in self.channel_managers:
+            self.add_partition(partition)
+        manager = self.channel_managers[partition]
+        self.policy_manager.move_channel_partition(
+            channel_id, partition, f"cm://{partition}", now
+        )
+        overlay = self.overlay(channel_id)
+        overlay.source.cm_public_key = manager.public_key
+        for peer in overlay.peers.values():
+            peer.cm_public_key = manager.public_key
+
+    def add_channel_bundle(
+        self,
+        bundle_package: str,
+        channel_regions: Dict[str, Sequence[str]],
+        now: float = 0.0,
+        partition: Optional[str] = None,
+    ) -> None:
+        """Provision a subscription *bundle*: one package, many channels.
+
+        Section III: channels "may be made available to the users as
+        part of channel bundles or individually, à la carte."  A bundle
+        is simply the same Subscription package gating several
+        channels; an à-la-carte channel uses its own package id via
+        :meth:`add_subscription_channel`.
+        """
+        for channel_id, regions in channel_regions.items():
+            self.add_subscription_channel(
+                channel_id, regions=regions, package_id=bundle_package,
+                now=now, partition=partition,
+            )
+
+    def overlay(self, channel_id: str) -> ChannelOverlay:
+        """The overlay carrying a channel."""
+        overlay = self.overlays.get(channel_id)
+        if overlay is None:
+            raise ReproError(f"no overlay for channel {channel_id!r}")
+        return overlay
+
+    def server(self, channel_id: str) -> ChannelServer:
+        """The Channel Server feeding a channel."""
+        server = self.servers.get(channel_id)
+        if server is None:
+            raise ReproError(f"no server for channel {channel_id!r}")
+        return server
+
+    def channel_manager_for(self, channel_id: str) -> ChannelManager:
+        """The Channel Manager farm serving a channel's partition."""
+        record = self.policy_manager.get_channel(channel_id)
+        return self.channel_managers[record.partition]
+
+    # ------------------------------------------------------------------
+    # Clients and peers
+    # ------------------------------------------------------------------
+
+    def create_client(
+        self,
+        email: str,
+        password: str,
+        region: str = "CH",
+        net_addr: Optional[str] = None,
+        register: bool = True,
+        version: Optional[str] = None,
+        image: Optional[bytes] = None,
+        key_bits: Optional[int] = None,
+    ) -> Client:
+        """Register (optionally) and build one client in a region."""
+        if register and not self.accounts.exists(email):
+            self.accounts.register(email, password)
+        self._client_counter += 1
+        return Client(
+            email=email,
+            password=password,
+            version=version or self.client_version,
+            image=image if image is not None else self.client_image,
+            net_addr=net_addr or self.geo.random_address(region, self.rng),
+            redirection=self.redirection,
+            directory=self.directory,
+            drbg=self._drbg.fork(f"client-{self._client_counter}-{email}".encode()),
+            key_bits=key_bits or self.key_bits,
+        )
+
+    def make_peer(self, client: Client, channel_id: str, capacity: int = 4) -> Peer:
+        """Wrap a ticketed client as an overlay peer."""
+        if client.channel_ticket is None or client.channel_ticket.channel_id != channel_id:
+            raise ReproError("client must hold a channel ticket for this channel")
+        record = self.policy_manager.get_channel(channel_id)
+        region = self.geo.region_of(client.net_addr) or "?"
+        return Peer(
+            peer_id=f"peer-{client.channel_ticket.user_id}",
+            client=client,
+            channel_id=channel_id,
+            cm_public_key=self.channel_managers[record.partition].public_key,
+            drbg=self._drbg.fork(f"peer-{client.channel_ticket.user_id}".encode()),
+            capacity=capacity,
+            region=region,
+        )
+
+    def watch(self, client: Client, channel_id: str, now: float, capacity: int = 4) -> Peer:
+        """Convenience: switch + join + register in one call.
+
+        Returns the client's overlay peer, fully connected.
+        """
+        response = client.switch_channel(channel_id, now)
+        peer = self.make_peer(client, channel_id, capacity=capacity)
+        self.overlay(channel_id).join(peer, response.peers, now)
+        return peer

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate finer-grained conditions.
+
+The hierarchy mirrors the paper's architecture: crypto failures,
+protocol violations, authorization denials, and simulation misuse are
+distinct families because they are handled at different layers.  A
+client treats :class:`AuthorizationError` as "the user may not watch
+this channel" (a policy outcome), whereas :class:`ProtocolError` means
+"the message exchange itself is broken" (a bug or an attack).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed verification.
+
+    Raised when a ticket, message, or key certificate does not verify
+    against the expected public key.  Per Section IV-G of the paper,
+    signed tickets "cannot be forged or tampered with" -- any tampering
+    surfaces as this error.
+    """
+
+
+class DecryptionError(CryptoError):
+    """Ciphertext could not be decrypted or failed its integrity check."""
+
+
+class KeyFormatError(CryptoError):
+    """A serialized key blob could not be parsed."""
+
+
+class ProtocolError(ReproError):
+    """A DRM protocol message was malformed or out of sequence."""
+
+
+class ChallengeError(ProtocolError):
+    """A nonce challenge-response failed.
+
+    The login and channel-switch protocols both challenge the client
+    with a nonce that must be returned encrypted under the client's
+    private key (Section IV-F).  A wrong nonce -- e.g. from a replay or
+    from an attacker holding a stolen ticket without the matching
+    private key -- raises this error.
+    """
+
+
+class AttestationError(ProtocolError):
+    """Remote attestation of the client software image failed.
+
+    The login protocol includes a checksum computed over the client
+    application with server-supplied parameters (Section IV-F1); a
+    mismatch means the client binary was modified.
+    """
+
+
+class AuthorizationError(ReproError):
+    """Access was denied by policy evaluation or ticket checks."""
+
+
+class TicketExpiredError(AuthorizationError):
+    """A User Ticket or Channel Ticket is past its expiration time."""
+
+
+class TicketInvalidError(AuthorizationError):
+    """A ticket failed a structural or contextual validity check.
+
+    Covers NetAddr mismatches, wrong channel, bad renewal-bit usage,
+    and tickets signed by the wrong manager.
+    """
+
+
+class PolicyRejectError(AuthorizationError):
+    """Channel policy evaluation returned REJECT for this user."""
+
+
+class RenewalRefusedError(AuthorizationError):
+    """Channel Ticket renewal was refused.
+
+    Per Section IV-D, renewal is refused when the Channel Manager's
+    viewing log shows a more recent entry for the same (UserIN,
+    channel) pair from a different network address -- the mechanism
+    that enforces one viewing location per account.
+    """
+
+
+class AccountError(ReproError):
+    """User account problems: unknown user, bad password, lapsed payment."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation substrate."""
+
+
+class CapacityError(ReproError):
+    """A peer or server had no capacity to accept a request."""
+
+
+class OverlayError(ReproError):
+    """P2P overlay invariant violation (orphan peers, cycles, etc.)."""

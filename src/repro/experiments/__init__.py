@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per figure/table plus ablations.
+
+* :mod:`repro.experiments.common` -- configuration and service-time
+  models shared by the timing simulations;
+* :mod:`repro.experiments.calibration` -- microbenchmarks of the real
+  functional implementation that ground the simulator's service times;
+* :mod:`repro.experiments.weeklong` -- the simulated measurement week
+  behind Figs. 5 and 6;
+* :mod:`repro.experiments.fig5` / :mod:`repro.experiments.fig6` --
+  series extraction and correlation statistics in the paper's shape;
+* :mod:`repro.experiments.ablations` -- farm scaling, key-distribution
+  comparison, traditional-DRM comparison, re-key interval, ticket
+  lifetime (DESIGN.md A1-A5).
+"""
+
+from repro.experiments.common import ServiceTimes, WeeklongConfig
+from repro.experiments.weeklong import WeeklongRunner, WeeklongResult
+
+__all__ = ["ServiceTimes", "WeeklongConfig", "WeeklongRunner", "WeeklongResult"]

@@ -1,0 +1,210 @@
+"""Fidelity check: the timing model versus the real functional stack.
+
+The week-long simulation charges each request a calibrated service
+time.  This module closes the loop in the other direction: it takes a
+(small) generated trace and *executes every operation through the real
+implementation* -- real logins with real RSA, real policy evaluation,
+real peer admission -- measuring each handler's wall-clock cost and
+adding a sampled WAN RTT, exactly as the timing model does.  Comparing
+the two latency distributions bounds the substitution error of
+DESIGN.md's "production testbed -> calibrated simulation" row.
+
+Scale is deliberately tiny (tens of concurrent users, hours not weeks):
+the point is distributional agreement per operation, which does not
+need volume.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.deployment import Deployment
+from repro.errors import CapacityError, ReproError
+from repro.metrics.collector import LatencyCollector
+from repro.metrics.stats import median
+from repro.sim.network import LatencyModel, peer_rtt, zattoo_like_rtt_table
+from repro.workload.traces import (
+    OP_JOIN,
+    OP_LOGIN,
+    OP_RENEW,
+    OP_SWITCH,
+    WeekTrace,
+    WeekTraceGenerator,
+)
+
+_SITE = "dc-eu"
+
+
+@dataclass
+class FidelityConfig:
+    """Scale knobs for the functional replay."""
+
+    seed: int = 4242
+    peak_concurrent: int = 15
+    n_channels: int = 6
+    horizon: float = 6 * 3600.0  # six hours of trace
+    peer_capacity: int = 4
+
+
+@dataclass
+class FidelityResult:
+    """Latency samples from the functional replay plus counters."""
+
+    collector: LatencyCollector
+    operations_executed: int
+    operations_failed: int
+
+    def median_latency(self, round_name: str) -> float:
+        return median(self.collector.latencies(round_name))
+
+
+class _SessionState:
+    """Per-session client bookkeeping during the replay."""
+
+    def __init__(self, client) -> None:
+        self.client = client
+        self.peer = None
+        self.channel: Optional[str] = None
+
+
+class FidelityRunner:
+    """Replays a generated trace through the real functional stack."""
+
+    def __init__(self, config: FidelityConfig = FidelityConfig()) -> None:
+        self.config = config
+
+    def run(self) -> FidelityResult:
+        config = self.config
+        deployment = Deployment(seed=config.seed)
+        channels = [f"ch{i:03d}" for i in range(config.n_channels)]
+        for channel in channels:
+            deployment.add_free_channel(channel, regions=["CH", "DE"])
+
+        trace = WeekTraceGenerator(
+            rng=random.Random(config.seed + 1),
+            peak_concurrent=config.peak_concurrent,
+            n_channels=config.n_channels,
+            horizon=config.horizon,
+        ).generate()
+
+        latency_model = LatencyModel(
+            random.Random(config.seed + 2), table=zattoo_like_rtt_table()
+        )
+        rng = random.Random(config.seed + 3)
+        collector = LatencyCollector()
+        sessions: Dict[int, _SessionState] = {}
+        last_event_of: Dict[int, int] = {
+            event.session_id: index for index, event in enumerate(trace.events)
+        }
+        executed = failed = 0
+
+        def timed(round1: str, round2: Optional[str], event_time: float, fn) -> None:
+            """Run a functional op; split its cost over its round(s).
+
+            The wall-clock cost of the whole exchange is measured once
+            and split evenly across the protocol's rounds (we cannot
+            observe per-round server time from outside the call); each
+            round then gets an independently sampled WAN RTT, matching
+            the timing model's accounting.
+            """
+            nonlocal executed, failed
+            start = time.perf_counter()
+            try:
+                fn()
+            except ReproError:
+                failed += 1
+                return
+            cost = time.perf_counter() - start
+            executed += 1
+            rounds = [round1] if round2 is None else [round1, round2]
+            for name in rounds:
+                rtt = latency_model.sample_rtt("CH", _SITE)
+                collector.record(name, event_time, rtt + cost / len(rounds))
+
+        for index, event in enumerate(trace.events):
+            state = sessions.get(event.session_id)
+            if state is None:
+                client = deployment.create_client(
+                    f"fid{event.session_id}@example.org", "pw", region="CH"
+                )
+                state = _SessionState(client)
+                sessions[event.session_id] = state
+
+            if event.op == OP_LOGIN:
+                timed("LOGIN1", "LOGIN2", event.time,
+                      lambda: state.client.login(now=event.time))
+            elif event.op == OP_SWITCH:
+                self._leave_current(deployment, state, event.time)
+                timed("SWITCH1", "SWITCH2", event.time,
+                      lambda: state.client.switch_channel(event.channel, now=event.time))
+                state.channel = event.channel
+            elif event.op == OP_RENEW:
+                if state.client.channel_ticket is not None:
+                    state.client.login(now=event.time)  # fresh user ticket
+                    timed("SWITCH1", "SWITCH2", event.time,
+                          lambda: state.client.renew_channel_ticket(now=event.time))
+            elif event.op == OP_JOIN:
+                if state.client.channel_ticket is not None:
+                    self._join(deployment, state, event.time, collector, rng)
+                    executed += 1
+
+            if last_event_of[event.session_id] == index:
+                self._leave_current(deployment, state, event.time)
+                sessions.pop(event.session_id, None)
+
+        return FidelityResult(
+            collector=collector, operations_executed=executed, operations_failed=failed
+        )
+
+    def _join(self, deployment, state, event_time, collector, rng) -> None:
+        channel = state.client.channel_ticket.channel_id
+        overlay = deployment.overlay(channel)
+        peer = deployment.make_peer(
+            state.client, channel, capacity=self.config.peer_capacity
+        )
+        candidates = overlay.sample_peers(channel, state.client.net_addr, 8)
+        start = time.perf_counter()
+        try:
+            _, attempts = overlay.join(peer, candidates, event_time)
+        except CapacityError:
+            return
+        cost = time.perf_counter() - start
+        total = sum(
+            peer_rtt(rng, same_region=rng.random() < 0.7) for _ in range(attempts)
+        )
+        collector.record("JOIN", event_time, total + cost)
+        state.peer = peer
+
+    def _leave_current(self, deployment, state, now: float) -> None:
+        if state.peer is None or state.channel is None:
+            return
+        overlay = deployment.overlays.get(state.channel)
+        if overlay is not None and state.peer.peer_id in overlay.peers:
+            overlay.remove_peer(state.peer.peer_id, now)
+        state.peer = None
+
+
+def compare_with_timing_model(
+    fidelity: FidelityResult, model_medians: Dict[str, float], tolerance: float = 3.0
+) -> Dict[str, "tuple[float, float, bool]"]:
+    """Per-round (functional median, model median, within tolerance).
+
+    Both stacks are WAN-dominated, so medians should agree within a
+    small factor; ``tolerance`` absorbs wall-clock noise from running
+    real crypto under a test harness.
+    """
+    report = {}
+    for round_name, model_median in model_medians.items():
+        if fidelity.collector.count(round_name) == 0:
+            continue
+        functional = fidelity.median_latency(round_name)
+        ratio = functional / model_median if model_median > 0 else float("inf")
+        report[round_name] = (
+            functional,
+            model_median,
+            (1.0 / tolerance) <= ratio <= tolerance,
+        )
+    return report

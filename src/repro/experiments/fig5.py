@@ -1,0 +1,112 @@
+"""Fig. 5: median protocol latency vs. total concurrent users.
+
+The paper plots, per protocol, the per-hour median latency of each
+round over one week against the concurrent-user curve, and reports the
+Pearson correlation between the two: "[it] ranges from -0.03 to 0.08
+for login and channel switching protocols, and is 0.13 for join
+protocol.  Although join protocol overhead exhibits slightly higher
+dependence on total system usage, its correlation can still be
+considered weak."
+
+This module extracts exactly those series from a
+:class:`~repro.experiments.weeklong.WeeklongResult` and renders the
+three sub-figures' data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.weeklong import WeeklongResult
+from repro.metrics.reporting import format_table, sparkline
+
+#: Sub-figure -> rounds, matching Fig. 5(a), (b), (c).
+FIG5_PANELS: Dict[str, Tuple[str, ...]] = {
+    "a-login": ("LOGIN1", "LOGIN2"),
+    "b-switch": ("SWITCH1", "SWITCH2"),
+    "c-join": ("JOIN",),
+}
+
+
+@dataclass
+class Fig5Series:
+    """One round's hourly-median series plus the load series."""
+
+    round_name: str
+    hours: List[float]  # hour offsets from trace start
+    median_latency: List[float]
+    concurrent_users: List[int]
+    correlation: float
+
+
+def extract_series(result: WeeklongResult, round_name: str, min_samples: int = 5) -> Fig5Series:
+    """Hourly medians + matching load for one protocol round."""
+    hours: List[float] = []
+    medians: List[float] = []
+    loads: List[int] = []
+    for bucket in result.collector.hourly_bins(round_name):
+        if bucket.count < min_samples:
+            continue
+        bin_start = bucket.hour_index * result.collector.bin_seconds
+        hours.append(bin_start / 3600.0)
+        medians.append(bucket.median_latency)
+        loads.append(result.trace.concurrent_at(bin_start + result.collector.bin_seconds / 2))
+    return Fig5Series(
+        round_name=round_name,
+        hours=hours,
+        median_latency=medians,
+        concurrent_users=loads,
+        correlation=result.correlation(round_name, min_samples),
+    )
+
+
+def panel(result: WeeklongResult, panel_key: str, min_samples: int = 5) -> List[Fig5Series]:
+    """All series for one sub-figure of Fig. 5."""
+    if panel_key not in FIG5_PANELS:
+        raise KeyError(f"unknown Fig. 5 panel: {panel_key}")
+    return [extract_series(result, name, min_samples) for name in FIG5_PANELS[panel_key]]
+
+
+def render_panel(result: WeeklongResult, panel_key: str, min_samples: int = 5) -> str:
+    """Plain-text rendition of one Fig. 5 sub-figure."""
+    series_list = panel(result, panel_key, min_samples)
+    lines = [f"Fig. 5({panel_key}): median latency vs concurrent users"]
+    load = series_list[0].concurrent_users
+    lines.append(f"  load shape     : {sparkline([float(v) for v in load])}")
+    rows = []
+    for series in series_list:
+        lines.append(
+            f"  {series.round_name:8s} shape : {sparkline(series.median_latency)}"
+        )
+        rows.append(
+            (
+                series.round_name,
+                f"{min(series.median_latency):.3f}",
+                f"{max(series.median_latency):.3f}",
+                f"{series.correlation:+.3f}",
+            )
+        )
+    lines.append(
+        format_table(
+            ["round", "min hourly median (s)", "max hourly median (s)", "Pearson r vs load"],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
+def paper_comparison(result: WeeklongResult, min_samples: int = 5) -> str:
+    """The headline correlation table, paper vs measured."""
+    paper = {
+        "LOGIN1": "[-0.03, 0.08]",
+        "LOGIN2": "[-0.03, 0.08]",
+        "SWITCH1": "[-0.03, 0.08]",
+        "SWITCH2": "[-0.03, 0.08]",
+        "JOIN": "0.13",
+    }
+    rows = [
+        (name, paper[name], f"{result.correlation(name, min_samples):+.3f}")
+        for name in ("LOGIN1", "LOGIN2", "SWITCH1", "SWITCH2", "JOIN")
+    ]
+    return format_table(["round", "paper Pearson r", "measured Pearson r"], rows)

@@ -1,0 +1,97 @@
+"""Fig. 6: latency CDFs, peak hours vs off-peak hours.
+
+"We compare the CDF distribution of latencies experienced during peak
+hours (from 6PM to 0AM) and off-peak hours (from 0AM to 6PM).  For all
+three protocols, the CDF distribution curves from the two separate
+time periods are virtually identical."
+
+We quantify "virtually identical" with the two-sample KS distance and
+quantile deltas, and render CDF probe tables shaped like the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.weeklong import WeeklongResult
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import cdf_at, ks_distance, percentile
+
+FIG6_PANELS: Dict[str, Tuple[str, ...]] = {
+    "a-login": ("LOGIN1", "LOGIN2"),
+    "b-switch": ("SWITCH1", "SWITCH2"),
+    "c-join": ("JOIN",),
+}
+
+#: The paper's x-axis runs 0-5 seconds with the y-axis starting at 0.5.
+PROBE_QUANTILES = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+@dataclass
+class Fig6Comparison:
+    """Peak vs off-peak distribution comparison for one round."""
+
+    round_name: str
+    peak_count: int
+    offpeak_count: int
+    ks: float
+    quantiles: List[Tuple[float, float, float]]  # (q, peak value, off-peak value)
+
+    @property
+    def max_quantile_gap(self) -> float:
+        """Largest absolute peak/off-peak gap across probed quantiles."""
+        return max(abs(p - o) for _, p, o in self.quantiles)
+
+
+def compare(result: WeeklongResult, round_name: str) -> Fig6Comparison:
+    """Build the peak/off-peak comparison for one round."""
+    peak, offpeak = result.collector.split_peak_offpeak(round_name)
+    quantiles = [
+        (q, percentile(peak, q * 100), percentile(offpeak, q * 100))
+        for q in PROBE_QUANTILES
+    ]
+    return Fig6Comparison(
+        round_name=round_name,
+        peak_count=len(peak),
+        offpeak_count=len(offpeak),
+        ks=ks_distance(peak, offpeak),
+        quantiles=quantiles,
+    )
+
+
+def panel(result: WeeklongResult, panel_key: str) -> List[Fig6Comparison]:
+    """All comparisons for one sub-figure of Fig. 6."""
+    if panel_key not in FIG6_PANELS:
+        raise KeyError(f"unknown Fig. 6 panel: {panel_key}")
+    return [compare(result, name) for name in FIG6_PANELS[panel_key]]
+
+
+def render_panel(result: WeeklongResult, panel_key: str) -> str:
+    """Plain-text rendition of one Fig. 6 sub-figure."""
+    lines = [f"Fig. 6({panel_key}): latency CDF, peak (18-24h) vs off-peak (0-18h)"]
+    for comparison in panel(result, panel_key):
+        lines.append(
+            f"  {comparison.round_name}: n_peak={comparison.peak_count} "
+            f"n_offpeak={comparison.offpeak_count} KS={comparison.ks:.4f}"
+        )
+        rows = [
+            (f"{q:.2f}", f"{p:.3f}", f"{o:.3f}", f"{abs(p - o):.3f}")
+            for q, p, o in comparison.quantiles
+        ]
+        lines.append(
+            format_table(
+                ["quantile", "peak latency (s)", "off-peak latency (s)", "|gap|"], rows
+            )
+        )
+    return "\n".join(lines)
+
+
+def fraction_under(result: WeeklongResult, round_name: str, threshold: float) -> Tuple[float, float]:
+    """(peak, off-peak) fractions of requests at or under ``threshold``.
+
+    Useful for checking the figure's visual claim at a glance, e.g.
+    ~90% of exchanges complete within half a second in both periods.
+    """
+    peak, offpeak = result.collector.split_peak_offpeak(round_name)
+    return cdf_at(peak, threshold), cdf_at(offpeak, threshold)

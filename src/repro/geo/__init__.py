@@ -1,0 +1,32 @@
+"""Synthetic GeoIP / AS substrate.
+
+The production User Manager infers each client's geographic region
+from its network address using a commercial GeoIP database and its
+Autonomous System from routing data (Section IV-B, refs [12, 13]).
+Neither data source is available offline, so this package provides a
+deterministic synthetic equivalent: a prefix-based database mapping
+IPv4 addresses to ``(region, AS number)`` records, plus helpers to
+mint addresses inside a chosen region -- which is all policy
+evaluation ever consumes.
+
+A small VPN-leakage model is included because the paper explicitly
+assumes "some signal leakage due to the use of VPN is unavoidable"
+(Section II); the threat tests exercise it.
+"""
+
+from repro.geo.regions import (
+    REGIONS,
+    REGION_ANY,
+    Region,
+    region_names,
+)
+from repro.geo.database import GeoDatabase, GeoRecord
+
+__all__ = [
+    "REGIONS",
+    "REGION_ANY",
+    "Region",
+    "region_names",
+    "GeoDatabase",
+    "GeoRecord",
+]

@@ -1,0 +1,60 @@
+"""Region model: the broadcast geography the DRM restricts over.
+
+A *region* is the paper's designated-market-area analogue: the unit at
+which broadcast rights are granted ("each broadcaster usually has the
+right to broadcast only in certain geographic region(s)", Section II).
+The synthetic deployment is shaped like the production one -- a
+European core plus roaming regions -- but nothing in the library
+depends on this particular set; regions are just named values matched
+by the attribute engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Wildcard region value.  The User Manager always assigns every user a
+#: Region that "matches ANY"; the paper's blackout trick relies on the
+#: inverse -- a channel attribute with value ANY that *no user value
+#: equals literally* (Section IV-A, Fig. 2).  See
+#: :mod:`repro.core.attributes` for the matching semantics.
+REGION_ANY = "ANY"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A broadcast region.
+
+    ``population_weight`` shapes workload generation (how many of the
+    synthetic users live there); ``timezone_offset`` shifts the diurnal
+    viewing curve in hours relative to the service's reference clock.
+    """
+
+    name: str
+    population_weight: float
+    timezone_offset: int = 0
+
+
+#: The default synthetic deployment geography.
+REGIONS: Dict[str, Region] = {
+    "CH": Region("CH", population_weight=0.40, timezone_offset=0),
+    "DE": Region("DE", population_weight=0.25, timezone_offset=0),
+    "FR": Region("FR", population_weight=0.12, timezone_offset=0),
+    "ES": Region("ES", population_weight=0.08, timezone_offset=0),
+    "UK": Region("UK", population_weight=0.08, timezone_offset=-1),
+    "DK": Region("DK", population_weight=0.04, timezone_offset=0),
+    "US": Region("US", population_weight=0.02, timezone_offset=-6),
+    "ASIA": Region("ASIA", population_weight=0.01, timezone_offset=7),
+}
+
+
+def region_names() -> List[str]:
+    """Names of all deployed regions, stable order."""
+    return list(REGIONS.keys())
+
+
+def population_weights() -> "tuple[List[str], List[float]]":
+    """Parallel name/weight lists for weighted sampling."""
+    names = region_names()
+    return names, [REGIONS[n].population_weight for n in names]

@@ -1,0 +1,26 @@
+"""Measurement and reporting: the statistics behind Figs. 5 and 6.
+
+* :mod:`repro.metrics.stats` -- medians, percentiles, CDFs, and the
+  Pearson product-moment correlation the paper reports;
+* :mod:`repro.metrics.collector` -- timestamped latency samples binned
+  by protocol round and by hour, plus peak/off-peak splits;
+* :mod:`repro.metrics.reporting` -- plain-text tables and figure
+  series shaped like the paper's plots.
+"""
+
+from repro.metrics.stats import (
+    median,
+    percentile,
+    pearson_correlation,
+    cdf_points,
+)
+from repro.metrics.collector import LatencyCollector, HourlyBin
+
+__all__ = [
+    "median",
+    "percentile",
+    "pearson_correlation",
+    "cdf_points",
+    "LatencyCollector",
+    "HourlyBin",
+]

@@ -1,0 +1,426 @@
+"""Per-channel overlay: registry, tree construction, repair, sampling.
+
+One :class:`ChannelOverlay` corresponds to one broadcast channel's P2P
+network (Section III: "each broadcast channel is carried over its own
+P2P overlay network").  The overlay's root is the Channel Server,
+modelled as a :class:`SourcePeer` that admits joiners with the same
+Channel-Ticket checks as any peer, rotates the content key on
+schedule, and pushes packets/keys down the tree.
+
+The overlay also provides the Channel Manager's peer-list sampler --
+the unsigned list of candidate parents returned in SWITCH2 -- and the
+churn-repair path: when a peer leaves, its orphaned children re-join
+through fresh candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.channel_server import ChannelServer
+from repro.core.keystream import ContentKeyRing
+from repro.core.protocol import JoinAccept, PeerDescriptor
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import CapacityError, OverlayError
+from repro.p2p.peer import Peer
+from repro.p2p.substreams import ParentPlan, SubstreamAssignment
+
+
+class _SourceEndpoint:
+    """Adapter giving the Channel Server the slice of the Client
+    interface that :class:`Peer` needs (address, key ring, no-ops)."""
+
+    def __init__(self, server: ChannelServer, address: str) -> None:
+        self._server = server
+        self.net_addr = address
+        self.key_ring = ContentKeyRing()
+
+    def receive_packet(self, packet) -> bytes:  # pragma: no cover - trivial
+        return b""
+
+    def receive_key_update(self, update, parent_id: str) -> bool:  # pragma: no cover
+        raise OverlayError("the source has no parents")
+
+    def drop_parent(self, peer_id: str) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class SourcePeer(Peer):
+    """The overlay root: the Channel Server in peer clothing.
+
+    Key material comes straight from the server's schedule rather than
+    from a parent, and :meth:`tick` drives rotation: once the upcoming
+    key enters its lead window it is pushed down the whole tree.
+    """
+
+    def __init__(
+        self,
+        server: ChannelServer,
+        address: str,
+        cm_public_key: RsaPublicKey,
+        drbg: HmacDrbg,
+        capacity: int = 16,
+        region: str = "dc",
+    ) -> None:
+        endpoint = _SourceEndpoint(server, address)
+        super().__init__(
+            peer_id=f"source:{server.channel_id}",
+            client=endpoint,  # type: ignore[arg-type]
+            channel_id=server.channel_id,
+            cm_public_key=cm_public_key,
+            drbg=drbg,
+            capacity=capacity,
+            region=region,
+        )
+        self.server = server
+        self._pushed_serials: set = set()
+
+    def current_content_key(self, now: float):
+        """Joiners get the server's live key, not a ring lookup."""
+        return self.server.current_key(now)
+
+    def tick(self, now: float) -> int:
+        """Rotate/push keys that have entered their distribution window.
+
+        Returns the number of link messages generated.  Idempotent per
+        serial: each key is pushed once.
+        """
+        sent = 0
+        for content_key in self.server.keys_for_join(now):
+            marker = (content_key.serial, content_key.activate_at)
+            if marker in self._pushed_serials:
+                continue
+            self._pushed_serials.add(marker)
+            sent += self.push_key_to_children(content_key, now)
+        return sent
+
+    def broadcast_packet(self, now: float, substream_count: int = 1) -> int:
+        """Emit one encrypted packet from the server and forward it."""
+        packet = self.server.emit_packet(now)
+        return self.forward_packet(packet, substream_count)
+
+
+class ChannelOverlay:
+    """All peers carrying one channel, rooted at the Channel Server."""
+
+    def __init__(
+        self,
+        server: ChannelServer,
+        cm_public_key: RsaPublicKey,
+        drbg: HmacDrbg,
+        rng: random.Random,
+        source_address: str = "10.0.0.1",
+        source_capacity: int = 16,
+        substream_count: int = 1,
+    ) -> None:
+        self.channel_id = server.channel_id
+        self.substreams = SubstreamAssignment(substream_count)
+        self.source = SourcePeer(
+            server,
+            address=source_address,
+            cm_public_key=cm_public_key,
+            drbg=drbg.fork(b"source"),
+            capacity=source_capacity,
+        )
+        self._rng = rng
+        self.peers: Dict[str, Peer] = {}
+        self.plans: Dict[str, ParentPlan] = {}
+        self.join_attempts = 0
+        self.repairs = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def register_peer(self, peer: Peer) -> None:
+        """Add a ticketed peer to the overlay registry."""
+        if peer.channel_id != self.channel_id:
+            raise OverlayError(
+                f"peer carries {peer.channel_id!r}, overlay is {self.channel_id!r}"
+            )
+        self.peers[peer.peer_id] = peer
+
+    def lookup(self, peer_id: str) -> Peer:
+        """Resolve a peer id (including the source)."""
+        if peer_id == self.source.peer_id:
+            return self.source
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            raise OverlayError(f"unknown peer: {peer_id}")
+        return peer
+
+    @property
+    def size(self) -> int:
+        """Number of member peers (excluding the source)."""
+        return len(self.peers)
+
+    # ------------------------------------------------------------------
+    # Peer-list sampling (plugs into the Channel Manager)
+    # ------------------------------------------------------------------
+
+    def sample_peers(
+        self, channel_id: str, exclude_addr: str, count: int
+    ) -> List[PeerDescriptor]:
+        """Candidate parents for a joiner: spare capacity, not itself.
+
+        Matches the :data:`~repro.core.channel_manager.PeerListProvider`
+        signature.  The source is included as a last-resort candidate
+        (early joiners have nobody else).
+        """
+        if channel_id != self.channel_id:
+            return []
+        candidates = [
+            peer
+            for peer in self.peers.values()
+            if peer.alive and peer.spare_capacity > 0 and peer.address != exclude_addr
+        ]
+        self._rng.shuffle(candidates)
+        chosen = candidates[: max(0, count - 1)]
+        descriptors = [peer.descriptor() for peer in chosen]
+        if self.source.spare_capacity > 0:
+            descriptors.append(self.source.descriptor())
+        return descriptors[:count]
+
+    # ------------------------------------------------------------------
+    # Join orchestration
+    # ------------------------------------------------------------------
+
+    def join(
+        self,
+        peer: Peer,
+        candidates: Sequence[PeerDescriptor],
+        now: float,
+    ) -> "tuple[Peer, int]":
+        """Walk the peer list until a parent accepts; wire the link.
+
+        Returns (parent, attempts).  Raises :class:`CapacityError` when
+        every candidate refuses -- the client would then go back to the
+        Channel Manager for a fresh list.
+        """
+        attempts = 0
+        for descriptor in candidates:
+            try:
+                target = self.lookup(descriptor.peer_id)
+            except OverlayError:
+                continue  # candidate churned away since the list was made
+            if not target.alive:
+                continue
+            attempts += 1
+            self.join_attempts += 1
+            try:
+                accept = peer.client.join_peer(target, now)
+            except CapacityError:
+                continue
+            assert isinstance(accept, JoinAccept)
+            target.bind_child_peer(peer.client.channel_ticket.user_id, peer)
+            self.register_peer(peer)
+            plan = self.plans.setdefault(
+                peer.peer_id, ParentPlan(assignment=self.substreams)
+            )
+            for substream in self.substreams.substreams():
+                if plan.parent_of(substream) is None:
+                    plan.assign(substream, target.peer_id)
+            target.set_child_substreams(
+                peer.client.channel_ticket.user_id,
+                plan.substreams_from(target.peer_id),
+            )
+            return target, attempts
+        raise CapacityError(
+            f"no candidate accepted peer {peer.peer_id} after {attempts} attempts"
+        )
+
+    def join_via_channel_manager(self, peer: Peer, peers: Sequence[PeerDescriptor], now: float):
+        """Convenience alias used by examples: join off a SWITCH2 list."""
+        return self.join(peer, peers, now)
+
+    def join_multiparent(
+        self,
+        peer: Peer,
+        candidates: Sequence[PeerDescriptor],
+        now: float,
+        max_parents: Optional[int] = None,
+    ) -> "tuple[List[Peer], int]":
+        """Receiver-based peer-division multiplexing join (ref [6]).
+
+        Spreads the channel's sub-streams over up to ``max_parents``
+        distinct parents (default: one per sub-stream when possible).
+        Each parent link runs the full JOIN admission -- the Channel
+        Ticket is presented once per parent, and per Section IV-E the
+        peer will consequently receive each rotating content key once
+        per parent, discarding duplicates by serial.
+
+        Returns (parents, attempts).  Falls back to fewer parents when
+        candidates run out; raises :class:`CapacityError` only if *no*
+        parent accepted.
+        """
+        substream_count = self.substreams.count
+        target_parents = min(
+            max_parents or substream_count, substream_count, max(1, len(candidates))
+        )
+        plan = self.plans.setdefault(peer.peer_id, ParentPlan(assignment=self.substreams))
+        parents: List[Peer] = []
+        attempts = 0
+        user_id = peer.client.channel_ticket.user_id
+        for descriptor in candidates:
+            if len(parents) >= target_parents:
+                break
+            try:
+                target = self.lookup(descriptor.peer_id)
+            except OverlayError:
+                continue
+            if any(p.peer_id == target.peer_id for p in parents):
+                continue
+            attempts += 1
+            self.join_attempts += 1
+            try:
+                peer.client.join_peer(target, now)
+            except CapacityError:
+                continue
+            target.bind_child_peer(user_id, peer)
+            parents.append(target)
+        if not parents:
+            raise CapacityError(
+                f"no candidate accepted peer {peer.peer_id} after {attempts} attempts"
+            )
+        self.register_peer(peer)
+        # Distribute sub-streams round-robin over the accepted parents.
+        for substream in self.substreams.substreams():
+            parent = parents[substream % len(parents)]
+            plan.assign(substream, parent.peer_id)
+        for parent in parents:
+            parent.set_child_substreams(user_id, plan.substreams_from(parent.peer_id))
+        return parents, attempts
+
+    # ------------------------------------------------------------------
+    # Churn and repair
+    # ------------------------------------------------------------------
+
+    def remove_peer(self, peer_id: str, now: float) -> List[str]:
+        """A peer leaves; orphaned children re-join through fresh lists.
+
+        Returns the ids of repaired (re-parented) peers.  A child that
+        cannot find a parent stays orphaned and is reported by
+        :meth:`orphans`.
+        """
+        peer = self.peers.pop(peer_id, None)
+        if peer is None:
+            raise OverlayError(f"unknown peer: {peer_id}")
+        departing_plan = self.plans.pop(peer_id, None)
+        # Detach the departing peer from its parents' children maps --
+        # otherwise the stale links keep feeding it keys/packets and,
+        # worse, a later parent departure would hand the dead peer to
+        # the repair machinery as an "orphan".
+        if departing_plan is not None and peer.client.channel_ticket is not None:
+            departing_uid = peer.client.channel_ticket.user_id
+            for parent_id in set(departing_plan.parents.values()):
+                try:
+                    self.lookup(parent_id).detach_child_link(departing_uid)
+                except OverlayError:
+                    continue  # parent itself already gone
+        orphans = peer.leave()
+        repaired: List[str] = []
+        for orphan in orphans:
+            plan = self.plans.get(orphan.peer_id)
+            if plan is not None:
+                plan.drop_parent(peer_id)
+            # Only source-reachable candidates are safe parents: wiring
+            # two simultaneous orphans to each other (or to a detached
+            # descendant) would orphan an island.  Build the candidate
+            # list from the connected set directly -- sampling first
+            # and filtering after can exhaust the sample when a
+            # near-root departure detaches most of the overlay.
+            connected = set(self.depths().keys())
+            connected.add(self.source.peer_id)
+            candidates = [
+                peer.descriptor()
+                for peer in self.peers.values()
+                if peer.alive
+                and peer.spare_capacity > 0
+                and peer.address != orphan.address
+                and peer.peer_id in connected
+            ]
+            self._rng.shuffle(candidates)
+            candidates = candidates[:16]
+            if self.source.spare_capacity > 0:
+                candidates.append(self.source.descriptor())
+            try:
+                self.join(orphan, candidates, now)
+                self.repairs += 1
+                repaired.append(orphan.peer_id)
+            except CapacityError:
+                pass
+        return repaired
+
+    def orphans(self) -> List[str]:
+        """Peers with incomplete parent plans (need repair)."""
+        return [
+            peer_id
+            for peer_id, plan in self.plans.items()
+            if peer_id in self.peers and not plan.complete
+        ]
+
+    # ------------------------------------------------------------------
+    # Invariants and stats
+    # ------------------------------------------------------------------
+
+    def check_tree(self) -> None:
+        """Assert reachability from the source and acyclicity.
+
+        Raises :class:`OverlayError` on violation.  Only single-parent
+        overlays form strict trees; with sub-streams the structure is a
+        DAG, and this check verifies reachability plus absence of
+        directed cycles.
+        """
+        visited: set = set()
+        stack = [self.source]
+        while stack:
+            node = stack.pop()
+            if node.peer_id in visited:
+                continue
+            visited.add(node.peer_id)
+            for link in node.children.values():
+                if link.child_peer is not None:
+                    stack.append(link.child_peer)
+        unreachable = [pid for pid in self.peers if pid not in visited]
+        if unreachable:
+            raise OverlayError(f"peers unreachable from source: {unreachable}")
+        # Cycle check: depth-first from source with a recursion marker.
+        in_progress: set = set()
+        done: set = set()
+
+        def visit(node: Peer) -> None:
+            if node.peer_id in done:
+                return
+            if node.peer_id in in_progress:
+                raise OverlayError(f"cycle through {node.peer_id}")
+            in_progress.add(node.peer_id)
+            for link in node.children.values():
+                if link.child_peer is not None:
+                    visit(link.child_peer)
+            in_progress.discard(node.peer_id)
+            done.add(node.peer_id)
+
+        visit(self.source)
+
+    def depths(self) -> Dict[str, int]:
+        """Hop distance of every reachable peer from the source."""
+        result: Dict[str, int] = {}
+        frontier = [(self.source, 0)]
+        while frontier:
+            node, depth = frontier.pop()
+            for link in node.children.values():
+                child = link.child_peer
+                if child is None or child.peer_id in result:
+                    continue
+                result[child.peer_id] = depth + 1
+                frontier.append((child, depth + 1))
+        return result
+
+    def enforce_expiry(self, now: float, grace: float = 0.0) -> int:
+        """Run ticket-expiry enforcement at every peer; returns severed count."""
+        severed = 0
+        for node in [self.source, *list(self.peers.values())]:
+            severed += len(node.enforce_ticket_expiry(now, grace))
+        return severed

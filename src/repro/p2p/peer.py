@@ -1,0 +1,317 @@
+"""A peer in one channel's distribution overlay.
+
+The peer is where the DRM's *distributed* half runs (Sections IV-C,
+IV-E): join admission is just four local checks against the Channel
+Ticket (signature, expiry, NetAddr, carried channel), after which the
+peer mints a pair-wise session key, and thereafter re-encrypts each
+rotating content key once per child.  Content *packets* are forwarded
+verbatim -- they are encrypted end-to-end by the Channel Server, so
+forwarding costs no cryptography.
+
+A peer also polices its children's ticket lifetimes: "a peer will
+terminate a peering relationship whose Channel Ticket has expired if a
+renewal ticket is not presented" (Section IV-D) -- the distributed
+enforcement point for the one-location-per-account rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.client import Client
+from repro.core.keystream import ContentKey
+from repro.core.packets import ContentPacket, reencrypt_key_for_link
+from repro.core.protocol import (
+    JoinAccept,
+    JoinReject,
+    JoinRequest,
+    KeyUpdate,
+    PeerDescriptor,
+)
+from repro.core.tickets import ChannelTicket
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.stream import SymmetricKey
+from repro.errors import AuthorizationError, OverlayError, ReproError
+from repro.p2p.substreams import SubstreamAssignment
+
+
+@dataclass
+class ChildLink:
+    """One accepted child relationship."""
+
+    user_id: int
+    session_key: SymmetricKey
+    ticket: ChannelTicket
+    child_peer: Optional["Peer"] = None
+    substreams: Optional[List[int]] = None
+
+    @property
+    def ticket_expiry(self) -> float:
+        return self.ticket.expire_time
+
+
+class Peer:
+    """One overlay member wrapping a DRM :class:`Client`.
+
+    Parameters
+    ----------
+    peer_id:
+        Stable overlay identifier (the deployment derives it from the
+        UserIN).
+    client:
+        The wrapped DRM endpoint; its Channel Ticket admits this peer,
+        its key ring decrypts the stream.
+    channel_id:
+        The channel this peer carries (a peer carries exactly one at a
+        time, Section III).
+    cm_public_key:
+        The Channel Manager key used to verify joiners' tickets; known
+        from the channel description.
+    capacity:
+        Maximum simultaneous children (uplink budget).
+    """
+
+    def __init__(
+        self,
+        peer_id: str,
+        client: Client,
+        channel_id: str,
+        cm_public_key: RsaPublicKey,
+        drbg: HmacDrbg,
+        capacity: int = 4,
+        region: str = "?",
+    ) -> None:
+        self.peer_id = peer_id
+        self.client = client
+        self.channel_id = channel_id
+        self.cm_public_key = cm_public_key
+        self.capacity = capacity
+        self.region = region
+        self._drbg = drbg
+        self.children: Dict[int, ChildLink] = {}
+        self.alive = True
+        self.joins_accepted = 0
+        self.joins_rejected = 0
+        self.key_updates_sent = 0
+        self.packets_forwarded = 0
+
+    @property
+    def address(self) -> str:
+        """The network address (the wrapped client's NetAddr)."""
+        return self.client.net_addr
+
+    def descriptor(self) -> PeerDescriptor:
+        """This peer as a peer-list entry."""
+        return PeerDescriptor(peer_id=self.peer_id, address=self.address, region=self.region)
+
+    @property
+    def spare_capacity(self) -> int:
+        """Child slots still free."""
+        return max(0, self.capacity - len(self.children))
+
+    # ------------------------------------------------------------------
+    # Join admission (Fig. 4c)
+    # ------------------------------------------------------------------
+
+    def current_content_key(self, now: float) -> ContentKey:
+        """The content key a joiner should receive (latest held)."""
+        serials = self.client.key_ring.serials()
+        if not serials:
+            raise OverlayError(f"peer {self.peer_id} holds no content key")
+        return self.client.key_ring.get(serials[-1])
+
+    def handle_join(self, request: JoinRequest, observed_addr: str, now: float):
+        """Admit or reject a joiner; returns JoinAccept or JoinReject.
+
+        Admission runs the target-peer checks of Section IV-C -- and
+        nothing more: "It does not need to evaluate channel viewing
+        policies and it does not have access to any other user
+        attributes."
+        """
+        if not self.alive:
+            return JoinReject(peer_id=self.peer_id, reason="peer offline")
+        ticket = request.channel_ticket
+        try:
+            ticket.verify(
+                self.cm_public_key,
+                now=now,
+                expected_channel=self.channel_id,
+                observed_addr=observed_addr,
+            )
+        except ReproError as exc:
+            self.joins_rejected += 1
+            return JoinReject(peer_id=self.peer_id, reason=f"ticket invalid: {exc}")
+        if self.spare_capacity <= 0:
+            self.joins_rejected += 1
+            return JoinReject(peer_id=self.peer_id, reason="no capacity")
+
+        session_key = SymmetricKey.generate(self._drbg)
+        try:
+            content_key = self.current_content_key(now)
+        except OverlayError as exc:
+            self.joins_rejected += 1
+            return JoinReject(peer_id=self.peer_id, reason=str(exc))
+        self.children[ticket.user_id] = ChildLink(
+            user_id=ticket.user_id, session_key=session_key, ticket=ticket
+        )
+        self.joins_accepted += 1
+        return JoinAccept(
+            peer_id=self.peer_id,
+            encrypted_session_key=ticket.client_public_key.encrypt(
+                session_key.material, self._drbg
+            ),
+            encrypted_content_key=reencrypt_key_for_link(
+                content_key, session_key, self.channel_id
+            ),
+            content_key_serial=content_key.serial,
+        )
+
+    def bind_child_peer(self, user_id: int, child: "Peer") -> None:
+        """Attach the child's Peer object so pushes can reach it."""
+        link = self.children.get(user_id)
+        if link is None:
+            raise OverlayError(f"no child link for user {user_id}")
+        link.child_peer = child
+
+    def set_child_substreams(self, user_id: int, substreams: List[int]) -> None:
+        """Restrict which sub-streams flow to a child over this link."""
+        link = self.children.get(user_id)
+        if link is None:
+            raise OverlayError(f"no child link for user {user_id}")
+        link.substreams = list(substreams)
+
+    # ------------------------------------------------------------------
+    # Key distribution (Section IV-E)
+    # ------------------------------------------------------------------
+
+    def push_key_to_children(self, content_key: ContentKey, now: float) -> int:
+        """Re-encrypt and push one content key to every child.
+
+        Returns the number of link messages sent.  Propagation is
+        recursive: each child peer that newly learns the key pushes it
+        to its own children, exactly the A->B->{D,E} cascade of the
+        paper's example.
+        """
+        sent = 0
+        for link in list(self.children.values()):
+            update = KeyUpdate(
+                channel_id=self.channel_id,
+                serial=content_key.serial,
+                encrypted_content_key=reencrypt_key_for_link(
+                    content_key, link.session_key, self.channel_id
+                ),
+                activate_at=content_key.activate_at,
+            )
+            self.key_updates_sent += 1
+            sent += 1
+            if link.child_peer is not None:
+                sent += link.child_peer.receive_key_update(update, parent=self, now=now)
+        return sent
+
+    def receive_key_update(self, update: KeyUpdate, parent: "Peer", now: float) -> int:
+        """Decrypt a pushed key; if new, cascade to our children."""
+        fresh = self.client.receive_key_update(update, parent_id=parent.peer_id)
+        if not fresh:
+            return 0
+        content_key = self.client.key_ring.get(update.serial)
+        return self.push_key_to_children(content_key, now)
+
+    # ------------------------------------------------------------------
+    # Content forwarding
+    # ------------------------------------------------------------------
+
+    def forward_packet(self, packet: ContentPacket, substream_count: int = 1) -> int:
+        """Forward a packet to children subscribed to its sub-stream.
+
+        Packets travel unmodified (end-to-end encrypted by the Channel
+        Server).  Returns the number of children reached.
+        """
+        assignment = SubstreamAssignment(substream_count)
+        substream = assignment.substream_of(packet.sequence)
+        reached = 0
+        for link in self.children.values():
+            if link.substreams is not None and substream not in link.substreams:
+                continue
+            if link.child_peer is None:
+                continue
+            self.packets_forwarded += 1
+            reached += 1
+            link.child_peer.deliver_packet(packet, substream_count)
+        return reached
+
+    def deliver_packet(self, packet: ContentPacket, substream_count: int = 1) -> None:
+        """Receive a packet: decrypt for local playback, then forward."""
+        try:
+            self.client.receive_packet(packet)
+        except ReproError:
+            # Undecryptable content (we lost authorization, or the
+            # channel was hijacked) is not forwarded onward.
+            return
+        self.forward_packet(packet, substream_count)
+
+    # ------------------------------------------------------------------
+    # Ticket-expiry enforcement (Section IV-D)
+    # ------------------------------------------------------------------
+
+    def present_renewal(self, user_id: int, renewed: ChannelTicket, now: float) -> None:
+        """A child presents its renewal ticket before expiry.
+
+        The renewal bit must be set and the ticket must verify for the
+        same user, channel, and address as the original link.
+        """
+        link = self.children.get(user_id)
+        if link is None:
+            raise OverlayError(f"no child link for user {user_id}")
+        if not renewed.renewal:
+            raise AuthorizationError("presented ticket has no renewal bit")
+        renewed.verify(
+            self.cm_public_key,
+            now=now,
+            expected_channel=self.channel_id,
+            observed_addr=link.ticket.net_addr,
+        )
+        if renewed.user_id != user_id:
+            raise AuthorizationError("renewal ticket for a different user")
+        link.ticket = renewed
+
+    def enforce_ticket_expiry(self, now: float, grace: float = 0.0) -> List[int]:
+        """Sever children whose tickets expired without renewal.
+
+        Returns the severed user ids.  ``grace`` tolerates in-flight
+        renewals.
+        """
+        severed: List[int] = []
+        for user_id, link in list(self.children.items()):
+            if now > link.ticket_expiry + grace:
+                self.sever_child(user_id)
+                severed.append(user_id)
+        return severed
+
+    def sever_child(self, user_id: int) -> None:
+        """Terminate one peering relationship."""
+        link = self.children.pop(user_id, None)
+        if link is not None and link.child_peer is not None:
+            link.child_peer.client.drop_parent(self.peer_id)
+
+    def leave(self) -> List["Peer"]:
+        """Leave the overlay; returns orphaned child peers for repair.
+
+        Only *live* children count as orphans: a stale link to a child
+        that already departed (it never said goodbye) must not be
+        resurrected by the repair machinery.
+        """
+        self.alive = False
+        orphans = []
+        for user_id, link in list(self.children.items()):
+            if link.child_peer is not None and link.child_peer.alive:
+                orphans.append(link.child_peer)
+            self.sever_child(user_id)
+        return orphans
+
+    def detach_child_link(self, user_id: int) -> bool:
+        """Drop the link to a departing child without touching the
+        child's own state (the child is leaving; it cleans itself up).
+        Returns True if a link existed."""
+        return self.children.pop(user_id, None) is not None

@@ -1,0 +1,149 @@
+"""Reliable content-key delivery over lossy links.
+
+Section IV-E leans on an assumption: "The underlying P2P protocol
+ensures reliable distribution of content key."  This module *builds*
+that assumption: an acknowledgement/retransmission layer for
+:class:`~repro.core.protocol.KeyUpdate` messages running over the
+virtual network, so a key pushed before its activation deadline
+arrives despite packet loss.
+
+Design: stop-and-wait per (link, serial) -- key updates are tiny and
+rare (one per child per epoch), so windowing would be over-engineering.
+The sender retransmits on a timer until acknowledged or until the
+key's activation time has passed (at which point a newer key is on its
+way anyway and the stale update is abandoned).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.protocol import KeyUpdate
+from repro.sim.engine import Simulator
+
+#: Delivery callback on the receiving side.
+DeliveryHandler = Callable[[KeyUpdate], None]
+
+
+@dataclass
+class LinkStats:
+    """Per-link reliability counters."""
+
+    sent: int = 0
+    retransmissions: int = 0
+    delivered: int = 0
+    acked: int = 0
+    abandoned: int = 0
+
+
+class LossyLink:
+    """A unidirectional parent->child link with iid loss both ways."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        one_way_delay: float,
+        loss_probability: float,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        self.sim = sim
+        self._rng = rng
+        self.one_way_delay = one_way_delay
+        self.loss_probability = loss_probability
+
+    def transmit(self, deliver: Callable[[], None]) -> None:
+        """Send one message; it may be lost."""
+        if self._rng.random() < self.loss_probability:
+            return
+        self.sim.schedule(self.one_way_delay, lambda sim: deliver())
+
+
+class ReliableKeySender:
+    """Parent-side stop-and-wait sender for one child link."""
+
+    def __init__(
+        self,
+        link: LossyLink,
+        receiver: "ReliableKeyReceiver",
+        retransmit_interval: float = 0.5,
+        max_attempts: int = 12,
+    ) -> None:
+        if retransmit_interval <= 0:
+            raise ValueError("retransmit interval must be positive")
+        self.link = link
+        self.receiver = receiver
+        self.retransmit_interval = retransmit_interval
+        self.max_attempts = max_attempts
+        self.stats = LinkStats()
+        self._acked: set = set()
+
+    def send(self, update: KeyUpdate) -> None:
+        """Push one key update reliably."""
+        self._attempt(update, attempt=1)
+
+    def _attempt(self, update: KeyUpdate, attempt: int) -> None:
+        marker = (update.serial, update.activate_at)
+        if marker in self._acked:
+            return
+        if attempt > self.max_attempts or (
+            attempt > 1 and self.link.sim.now > update.activate_at + self.retransmit_interval
+        ):
+            # A newer key has superseded this one; stop trying.
+            self.stats.abandoned += 1
+            return
+        self.stats.sent += 1
+        if attempt > 1:
+            self.stats.retransmissions += 1
+        self.link.transmit(lambda: self._delivered(update))
+        self.link.sim.schedule(
+            self.retransmit_interval, lambda sim: self._attempt(update, attempt + 1)
+        )
+
+    def _delivered(self, update: KeyUpdate) -> None:
+        ack_marker = self.receiver.receive(update)
+        # The ACK travels back over the same lossy path.
+        self.link.transmit(lambda: self._acknowledge(ack_marker))
+
+    def _acknowledge(self, marker: Tuple[int, float]) -> None:
+        if marker not in self._acked:
+            self._acked.add(marker)
+            self.stats.acked += 1
+
+
+class ReliableKeyReceiver:
+    """Child-side receiver: dedup by serial, hand fresh keys upward."""
+
+    def __init__(self, on_key: DeliveryHandler) -> None:
+        self._on_key = on_key
+        self._seen: set = set()
+        self.stats = LinkStats()
+
+    def receive(self, update: KeyUpdate) -> Tuple[int, float]:
+        """Process one (possibly duplicate) delivery; returns the ACK
+        marker.  Duplicates are acknowledged but not re-delivered --
+        the ACK, not the payload, is what stops retransmission."""
+        marker = (update.serial, update.activate_at)
+        self.stats.delivered += 1
+        if marker not in self._seen:
+            self._seen.add(marker)
+            self._on_key(update)
+        return marker
+
+
+def reliable_link_pair(
+    sim: Simulator,
+    rng: random.Random,
+    on_key: DeliveryHandler,
+    one_way_delay: float = 0.03,
+    loss_probability: float = 0.1,
+    retransmit_interval: float = 0.5,
+) -> Tuple[ReliableKeySender, ReliableKeyReceiver]:
+    """Convenience constructor for one parent->child reliable channel."""
+    receiver = ReliableKeyReceiver(on_key)
+    link = LossyLink(sim, rng, one_way_delay, loss_probability)
+    sender = ReliableKeySender(link, receiver, retransmit_interval)
+    return sender, receiver

@@ -1,0 +1,98 @@
+"""Peer selection policies for the Channel Manager's peer lists.
+
+The base overlay samples uniformly among peers with spare capacity.
+Production deployments prefer *locality*: a parent in the viewer's own
+region roughly halves the join RTT and keeps inter-ISP traffic down
+(the simulator's :func:`repro.sim.network.peer_rtt` encodes the same
+same-region/cross-region split).  This module provides a region-aware
+sampler that can be plugged in as the Channel Manager's
+:data:`~repro.core.channel_manager.PeerListProvider`.
+
+Selection is a pure ranking over the overlay's live state; it holds no
+state of its own, so it composes with farms and with churn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.protocol import PeerDescriptor
+from repro.p2p.overlay import ChannelOverlay
+
+
+class RegionAwarePeerSampler:
+    """Prefer same-region parents, then spare capacity, then luck.
+
+    Parameters
+    ----------
+    overlays:
+        channel id -> overlay map (the deployment's registry).
+    geo:
+        Database mapping a requester's address to its region.
+    rng:
+        Tie-breaking randomness (kept local for determinism).
+    same_region_fraction:
+        At most this fraction of the returned list is same-region;
+        the remainder is drawn from elsewhere so a region with few
+        peers still yields useful candidates (and the list never
+        becomes a region-partition oracle -- a privacy point: peer
+        lists already reveal addresses, they should not additionally
+        sort the world by geography for free).
+    """
+
+    def __init__(
+        self,
+        overlays: Dict[str, ChannelOverlay],
+        geo,
+        rng: random.Random,
+        same_region_fraction: float = 0.75,
+    ) -> None:
+        if not 0.0 <= same_region_fraction <= 1.0:
+            raise ValueError("same_region_fraction must be a fraction")
+        self._overlays = overlays
+        self._geo = geo
+        self._rng = rng
+        self.same_region_fraction = same_region_fraction
+
+    def __call__(
+        self, channel_id: str, exclude_addr: str, count: int
+    ) -> List[PeerDescriptor]:
+        """The PeerListProvider interface."""
+        overlay = self._overlays.get(channel_id)
+        if overlay is None or count <= 0:
+            return []
+        requester_region = self._geo.region_of(exclude_addr)
+        candidates = [
+            peer
+            for peer in overlay.peers.values()
+            if peer.alive and peer.spare_capacity > 0 and peer.address != exclude_addr
+        ]
+        local = [p for p in candidates if p.region == requester_region]
+        remote = [p for p in candidates if p.region != requester_region]
+        self._rng.shuffle(local)
+        self._rng.shuffle(remote)
+
+        local_quota = int(round((count - 1) * self.same_region_fraction))
+        chosen = local[:local_quota]
+        chosen += remote[: (count - 1) - len(chosen)]
+        if len(chosen) < count - 1:  # top back up from whichever side has more
+            leftovers = local[local_quota:] + remote[(count - 1) - local_quota :]
+            for peer in leftovers:
+                if len(chosen) >= count - 1:
+                    break
+                if peer not in chosen:
+                    chosen.append(peer)
+        descriptors = [peer.descriptor() for peer in chosen]
+        if overlay.source.spare_capacity > 0:
+            descriptors.append(overlay.source.descriptor())
+        return descriptors[:count]
+
+    def locality_fraction(self, channel_id: str, requester_addr: str, count: int = 8) -> float:
+        """Fraction of a sampled list in the requester's region (for tests)."""
+        sample = self(channel_id, requester_addr, count)
+        if not sample:
+            return 0.0
+        region = self._geo.region_of(requester_addr)
+        local = sum(1 for d in sample if d.region == region)
+        return local / len(sample)

@@ -1,0 +1,91 @@
+"""Peer-division multiplexing: the sub-stream model of reference [6].
+
+The production overlay splits each channel's stream into ``k``
+sub-streams; a receiver may draw different sub-streams from different
+parents, dividing its download across peers ("receiver-based
+peer-division multiplexing").  The DRM consequence the paper calls out
+(Section IV-E) is duplicate content-key delivery: a peer with several
+parents receives the same rotating key once per parent and discards
+duplicates by serial.
+
+:class:`SubstreamAssignment` maps packet sequence numbers to
+sub-streams; :class:`ParentPlan` tracks which parent serves which
+sub-stream for one receiver and reports gaps after churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class SubstreamAssignment:
+    """Round-robin packet-to-substream mapping."""
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("need at least one sub-stream")
+
+    def substream_of(self, sequence: int) -> int:
+        """Which sub-stream carries packet ``sequence``."""
+        return sequence % self.count
+
+    def substreams(self) -> List[int]:
+        """All sub-stream indices."""
+        return list(range(self.count))
+
+
+@dataclass
+class ParentPlan:
+    """One receiver's mapping of sub-streams to parents.
+
+    The plan is complete when every sub-stream has a parent; churn
+    leaves *gaps* the receiver must repair by re-joining (fetching a
+    fresh peer list from the Channel Manager if its known peers are
+    exhausted).
+    """
+
+    assignment: SubstreamAssignment
+    parents: Dict[int, str] = field(default_factory=dict)
+
+    def assign(self, substream: int, parent_id: str) -> None:
+        """Serve ``substream`` from ``parent_id``."""
+        if substream not in range(self.assignment.count):
+            raise ValueError(f"no such sub-stream: {substream}")
+        self.parents[substream] = parent_id
+
+    def assign_all(self, parent_id: str) -> None:
+        """Single-parent mode: one parent serves everything."""
+        for substream in self.assignment.substreams():
+            self.parents[substream] = parent_id
+
+    def parent_of(self, substream: int) -> Optional[str]:
+        """The parent serving a sub-stream, if any."""
+        return self.parents.get(substream)
+
+    def drop_parent(self, parent_id: str) -> List[int]:
+        """Remove a departed parent; returns the orphaned sub-streams."""
+        orphaned = [s for s, p in self.parents.items() if p == parent_id]
+        for substream in orphaned:
+            del self.parents[substream]
+        return orphaned
+
+    def gaps(self) -> List[int]:
+        """Sub-streams currently without a parent."""
+        return [s for s in self.assignment.substreams() if s not in self.parents]
+
+    @property
+    def complete(self) -> bool:
+        """Is every sub-stream served?"""
+        return not self.gaps()
+
+    def distinct_parents(self) -> Set[str]:
+        """The set of parents in use (size > 1 implies duplicate keys)."""
+        return set(self.parents.values())
+
+    def substreams_from(self, parent_id: str) -> List[int]:
+        """Sub-streams drawn from one parent (for the uplink filter)."""
+        return sorted(s for s, p in self.parents.items() if p == parent_id)

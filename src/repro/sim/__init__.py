@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates its DRM on a production network; we cannot, so we
+reproduce the *mechanisms* that produce its results inside a
+deterministic discrete-event simulator:
+
+* :mod:`repro.sim.engine` -- the event loop and virtual clock;
+* :mod:`repro.sim.station` -- multi-server FIFO service stations
+  modelling stateless manager farms (User Manager, Channel Manager)
+  and peers;
+* :mod:`repro.sim.network` -- a wide-area latency model (per-region
+  base RTTs, lognormal jitter, loss) between clients and
+  infrastructure.
+
+The DRM *logic* itself lives in :mod:`repro.core` and is exercised
+functionally (direct calls) by tests; the simulator adds the timing
+dimension for the scalability experiments (Figs. 5 and 6).
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.station import ServiceStation, ServiceStats
+from repro.sim.network import LatencyModel, RegionRtt
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "ServiceStation",
+    "ServiceStats",
+    "LatencyModel",
+    "RegionRtt",
+]

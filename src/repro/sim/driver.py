@@ -1,0 +1,324 @@
+"""Event-driven protocol execution: the functional DRM under virtual time.
+
+:class:`AsyncClient` performs the real protocol exchanges -- the same
+crypto, the same manager handlers as the synchronous
+:class:`~repro.core.client.Client` -- but as chained messages over a
+:class:`~repro.sim.rpc.VirtualNetwork`.  Every round's latency is then
+an *emergent* quantity: request one-way delay + farm queueing/service +
+reply one-way delay, plus the client's own compute charged at its
+measured wall-clock cost.
+
+This is the highest-fidelity rig in the repository: unit tests verify
+logic, the timing model gives scale, and this driver gives both at
+moderate scale.  Used by the virtual-time integration tests and the
+`test_bench_rpc_storm` benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.core.accounts import secure_hash_password
+from repro.core.challenge import answer_challenge
+from repro.core.protocol import (
+    JoinAccept,
+    Login1Request,
+    Login1Response,
+    Login2Request,
+    Login2Response,
+    Switch1Request,
+    Switch2Request,
+    Switch2Response,
+)
+from repro.core.user_manager import ChecksumParams
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.stream import SymmetricKey
+from repro.metrics.collector import LatencyCollector
+from repro.sim.rpc import RpcService, VirtualNetwork
+from repro.util.wire import Decoder
+
+
+def wire_user_manager(network: VirtualNetwork, manager, address: str, station=None) -> RpcService:
+    """Expose a functional User Manager as an RPC service.
+
+    The observed connection address -- what the paper's NetAddr checks
+    key on -- is taken from the RPC context, exactly as a real server
+    reads the socket peer address.
+    """
+    service = RpcService(address=address, station=station)
+    service.register("login1", lambda payload, ctx: manager.login1(payload, ctx.now))
+    service.register(
+        "login2",
+        lambda payload, ctx: manager.login2(
+            payload, observed_addr=ctx.caller_address, now=ctx.now
+        ),
+    )
+    network.attach(service)
+    return service
+
+
+def wire_channel_manager(network: VirtualNetwork, manager, address: str, station=None) -> RpcService:
+    """Expose a functional Channel Manager as an RPC service."""
+    service = RpcService(address=address, station=station)
+    service.register("switch1", lambda payload, ctx: manager.switch1(payload, ctx.now))
+    service.register(
+        "switch2",
+        lambda payload, ctx: manager.switch2(
+            payload, observed_addr=ctx.caller_address, now=ctx.now
+        ),
+    )
+    network.attach(service)
+    return service
+
+
+def wire_peer(network: VirtualNetwork, peer, address: Optional[str] = None) -> RpcService:
+    """Expose a peer's join admission as an RPC service."""
+    service = RpcService(address=address or f"peer://{peer.peer_id}", region=peer.region)
+    service.register(
+        "join",
+        lambda payload, ctx: peer.handle_join(
+            payload, observed_addr=ctx.caller_address, now=ctx.now
+        ),
+    )
+    network.attach(service)
+    return service
+
+
+class AsyncClient:
+    """A client driving the DRM protocols as virtual-time messages.
+
+    Client-side compute (RSA signing, blob decryption, checksum) is
+    measured with the wall clock as it happens and charged as virtual
+    delay before the next message leaves -- so the emergent round
+    latencies include real cryptographic cost on both ends without any
+    pre-calibration.
+    """
+
+    def __init__(
+        self,
+        network: VirtualNetwork,
+        email: str,
+        password: str,
+        version: str,
+        image: bytes,
+        net_addr: str,
+        region: str,
+        drbg: HmacDrbg,
+        collector: Optional[LatencyCollector] = None,
+        key_bits: int = 512,
+    ) -> None:
+        self._network = network
+        self.email = email
+        self._shp = secure_hash_password(email, password)
+        self.version = version
+        self.image = bytes(image)
+        self.net_addr = net_addr
+        self.region = region
+        self._key = generate_keypair(drbg.fork(b"async-client-key"), bits=key_bits)
+        self.collector = collector or LatencyCollector()
+        self.user_ticket = None
+        self.channel_ticket = None
+        self.peers = ()
+        self.errors: List[Exception] = []
+
+    @property
+    def public_key(self):
+        return self._key.public_key
+
+    def _charge_compute(self, fn: Callable[[], None], then: Callable[[], None]) -> None:
+        """Run client-side work now; advance virtual time by its cost."""
+        start = time.perf_counter()
+        fn()
+        cost = time.perf_counter() - start
+        self._network.sim.schedule(cost, lambda sim: then())
+
+    # ------------------------------------------------------------------
+    # Login (two chained exchanges)
+    # ------------------------------------------------------------------
+
+    def start_login(
+        self,
+        um_address: str,
+        on_done: Callable[[], None],
+        on_fail: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Begin the login flow; callbacks fire in virtual time."""
+        sim = self._network.sim
+        sent_at = sim.now
+
+        def fail(exc: Exception) -> None:
+            self.errors.append(exc)
+            if on_fail is not None:
+                on_fail(exc)
+
+        def handle_login1(response: Login1Response) -> None:
+            self.collector.record("LOGIN1", sent_at, sim.now - sent_at)
+            state = {}
+
+            def compute() -> None:
+                blob_key = SymmetricKey(material=self._shp[:16])
+                plain = blob_key.decrypt(
+                    response.encrypted_blob, nonce=response.blob_nonce, aad=b"login1"
+                )
+                dec = Decoder(plain)
+                nonce = dec.get_bytes()
+                params = ChecksumParams(
+                    salt=dec.get_bytes(), offset_seed=dec.get_u32(), length=dec.get_u32()
+                )
+                dec.get_f64()
+                checksum = params.compute(self.image)
+                payload = nonce + checksum + self.version.encode("utf-8")
+                state["request"] = Login2Request(
+                    email=self.email,
+                    client_public_key=self.public_key,
+                    token=response.token,
+                    nonce=nonce,
+                    checksum=checksum,
+                    version=self.version,
+                    signature=self._key.sign(payload),
+                )
+
+            def send_round2() -> None:
+                sent2_at = sim.now
+
+                def handle_login2(response2: Login2Response) -> None:
+                    self.collector.record("LOGIN2", sent2_at, sim.now - sent2_at)
+                    self.user_ticket = response2.ticket
+                    on_done()
+
+                self._network.call(
+                    caller_address=self.net_addr,
+                    caller_region=self.region,
+                    dst_address=um_address,
+                    method="login2",
+                    payload=state["request"],
+                    on_reply=handle_login2,
+                    on_error=fail,
+                )
+
+            self._charge_compute(compute, send_round2)
+
+        self._network.call(
+            caller_address=self.net_addr,
+            caller_region=self.region,
+            dst_address=um_address,
+            method="login1",
+            payload=Login1Request(email=self.email, client_public_key=self.public_key),
+            on_reply=handle_login1,
+            on_error=fail,
+        )
+
+    # ------------------------------------------------------------------
+    # Channel switch (two chained exchanges)
+    # ------------------------------------------------------------------
+
+    def start_switch(
+        self,
+        cm_address: str,
+        channel_id: str,
+        on_done: Callable[[Switch2Response], None],
+        on_fail: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Begin the switch flow for ``channel_id``."""
+        sim = self._network.sim
+        if self.user_ticket is None:
+            raise RuntimeError("login first")
+        sent_at = sim.now
+
+        def fail(exc: Exception) -> None:
+            self.errors.append(exc)
+            if on_fail is not None:
+                on_fail(exc)
+
+        def handle_switch1(response1) -> None:
+            self.collector.record("SWITCH1", sent_at, sim.now - sent_at)
+            state = {}
+
+            def compute() -> None:
+                state["signature"] = answer_challenge(response1.token, self._key)
+
+            def send_round2() -> None:
+                sent2_at = sim.now
+
+                def handle_switch2(response2: Switch2Response) -> None:
+                    self.collector.record("SWITCH2", sent2_at, sim.now - sent2_at)
+                    self.channel_ticket = response2.ticket
+                    self.peers = response2.peers
+                    on_done(response2)
+
+                self._network.call(
+                    caller_address=self.net_addr,
+                    caller_region=self.region,
+                    dst_address=cm_address,
+                    method="switch2",
+                    payload=Switch2Request(
+                        user_ticket=self.user_ticket,
+                        token=response1.token,
+                        signature=state["signature"],
+                        channel_id=channel_id,
+                    ),
+                    on_reply=handle_switch2,
+                    on_error=fail,
+                )
+
+            self._charge_compute(compute, send_round2)
+
+        self._network.call(
+            caller_address=self.net_addr,
+            caller_region=self.region,
+            dst_address=cm_address,
+            method="switch1",
+            payload=Switch1Request(user_ticket=self.user_ticket, channel_id=channel_id),
+            on_reply=handle_switch1,
+            on_error=fail,
+        )
+
+    # ------------------------------------------------------------------
+    # Peer join (single exchange)
+    # ------------------------------------------------------------------
+
+    def start_join(
+        self,
+        peer_address: str,
+        on_done: Callable[[JoinAccept], None],
+        on_fail: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Begin the join exchange with one target peer."""
+        sim = self._network.sim
+        if self.channel_ticket is None:
+            raise RuntimeError("switch first")
+        sent_at = sim.now
+        from repro.core.protocol import JoinReject, JoinRequest
+        from repro.errors import CapacityError
+
+        def fail(exc: Exception) -> None:
+            self.errors.append(exc)
+            if on_fail is not None:
+                on_fail(exc)
+
+        def handle_join(result) -> None:
+            self.collector.record("JOIN", sent_at, sim.now - sent_at)
+            if isinstance(result, JoinReject):
+                fail(CapacityError(result.reason))
+                return
+            # Decrypt the session key (client compute), then done.
+            state = {}
+
+            def compute() -> None:
+                state["session"] = SymmetricKey(
+                    material=self._key.decrypt(result.encrypted_session_key)
+                )
+
+            self._charge_compute(compute, lambda: on_done(result))
+
+        self._network.call(
+            caller_address=self.net_addr,
+            caller_region=self.region,
+            dst_address=peer_address,
+            method="join",
+            payload=JoinRequest(channel_ticket=self.channel_ticket),
+            on_reply=handle_join,
+            on_error=fail,
+        )

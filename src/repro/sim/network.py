@@ -1,0 +1,129 @@
+"""Wide-area latency model between clients, managers, and peers.
+
+Protocol-round latency in the production measurement (Figs. 5 and 6)
+is dominated by WAN round-trip time plus server service time.  This
+module supplies the WAN half: per-region-pair base RTTs with lognormal
+jitter and an optional tail of slow paths (modelling congested access
+links, which give the CDFs in Fig. 6 their long upper tails past the
+~80th percentile).
+
+The model is intentionally load-*independent* -- the Internet does not
+slow down because one streaming service has more viewers -- which is
+precisely the structural reason the paper's latencies decorrelate from
+concurrent user count.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class RegionRtt:
+    """Base RTT parameters between a client region and a server site.
+
+    ``base_rtt`` is the median round trip in seconds; ``sigma`` is the
+    lognormal shape parameter for jitter; ``slow_path_prob`` is the
+    probability a request crosses a congested path that multiplies the
+    RTT by ``slow_path_factor``.
+    """
+
+    base_rtt: float
+    sigma: float = 0.35
+    slow_path_prob: float = 0.04
+    slow_path_factor: float = 6.0
+
+
+DEFAULT_RTT = RegionRtt(base_rtt=0.060)
+
+
+class LatencyModel:
+    """Samples request round-trip latencies between regions and sites.
+
+    Parameters
+    ----------
+    rng:
+        Model-local random source.
+    table:
+        Mapping of ``(client_region, server_site)`` to :class:`RegionRtt`.
+        Missing pairs fall back to ``default``.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        table: Dict[Tuple[str, str], RegionRtt] = None,
+        default: RegionRtt = DEFAULT_RTT,
+    ) -> None:
+        self._rng = rng
+        self._table = dict(table or {})
+        self._default = default
+
+    def params(self, client_region: str, server_site: str) -> RegionRtt:
+        """Look up the RTT parameters for a region/site pair."""
+        return self._table.get((client_region, server_site), self._default)
+
+    def sample_rtt(self, client_region: str, server_site: str) -> float:
+        """Sample one round-trip time in seconds.
+
+        Lognormal jitter around the base RTT, with a small probability
+        of landing on a slow path.  Always strictly positive.
+        """
+        p = self.params(client_region, server_site)
+        jitter = self._rng.lognormvariate(0.0, p.sigma)
+        rtt = p.base_rtt * jitter
+        if self._rng.random() < p.slow_path_prob:
+            rtt *= p.slow_path_factor * (0.5 + self._rng.random())
+        return rtt
+
+    def sample_one_way(self, client_region: str, server_site: str) -> float:
+        """Sample a one-way delay (half a sampled RTT)."""
+        return self.sample_rtt(client_region, server_site) / 2.0
+
+
+def zattoo_like_rtt_table() -> Dict[Tuple[str, str], RegionRtt]:
+    """An RTT table shaped like a European deployment.
+
+    The production system served mostly European regions from central
+    European data centres; transcontinental clients (roaming users)
+    see higher base RTTs.  Region names follow :mod:`repro.geo`.
+    """
+    table: Dict[Tuple[str, str], RegionRtt] = {}
+    site = "dc-eu"
+    # 2008-era consumer access links: DSL/cable last miles dominate the
+    # RTT, so even intra-European paths run ~100 ms with heavy jitter.
+    european = {"CH": 0.080, "DE": 0.090, "FR": 0.100, "ES": 0.120, "UK": 0.100, "DK": 0.110}
+    for region, rtt in european.items():
+        table[(region, site)] = RegionRtt(base_rtt=rtt, sigma=0.50, slow_path_prob=0.08, slow_path_factor=8.0)
+    table[("US", site)] = RegionRtt(base_rtt=0.200, sigma=0.55, slow_path_prob=0.08, slow_path_factor=8.0)
+    table[("ASIA", site)] = RegionRtt(base_rtt=0.300, sigma=0.60, slow_path_prob=0.08, slow_path_factor=8.0)
+    return table
+
+
+def peer_rtt(rng: random.Random, same_region: bool) -> float:
+    """Sample an RTT between two *peers* (used by the JOIN protocol).
+
+    Peer-to-peer paths are more variable than client-to-datacentre
+    paths: residential uplinks add queueing, and inter-region pairs
+    traverse longer routes.  Values are seconds.
+    """
+    base = 0.060 if same_region else 0.140
+    jitter = rng.lognormvariate(0.0, 0.55)
+    rtt = base * jitter
+    if rng.random() < 0.08:
+        rtt *= 6.0 * (0.5 + rng.random())
+    return rtt
+
+
+def transmission_delay(size_bytes: int, bandwidth_bps: float) -> float:
+    """Serialization delay for ``size_bytes`` at ``bandwidth_bps``.
+
+    Protocol messages are small (a ticket is under a kilobyte) so this
+    term is tiny, but modelling it keeps message sizes honest.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return (size_bytes * 8.0) / bandwidth_bps

@@ -1,0 +1,222 @@
+"""Message-level RPC over the discrete-event engine.
+
+The timing experiments model requests as service-time samples; this
+module goes one level deeper: actual request/response *messages*
+between the functional components, delivered over the virtual network
+with per-message latency, optional loss, and farm queueing.  The same
+manager objects that serve the unit tests serve here -- handlers run
+real crypto inline -- but time is virtual, so a whole channel-switch
+storm plays out deterministically in milliseconds of wall clock.
+
+Pieces:
+
+* :class:`VirtualNetwork` -- owns the engine, the latency model, and
+  the address table;
+* :class:`RpcService` -- an addressable endpoint: named handlers, an
+  optional :class:`~repro.sim.station.ServiceStation` for queueing;
+* :func:`expose` -- helper wiring an object's methods as handlers.
+
+Handlers have the signature ``handler(payload, ctx) -> response`` where
+``ctx`` carries the caller's address and the virtual time.  Exceptions
+raised by handlers travel back to the caller's error callback -- a
+denial (e.g. :class:`~repro.errors.PolicyRejectError`) is a *reply*,
+not a lost message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel
+from repro.sim.station import ServiceStation
+
+ReplyCallback = Callable[[Any], None]
+ErrorCallback = Callable[[Exception], None]
+
+
+@dataclass
+class RequestContext:
+    """What a handler learns about the call."""
+
+    caller_address: str
+    now: float
+
+
+Handler = Callable[[Any, RequestContext], Any]
+
+
+class RpcService:
+    """One addressable endpoint with named handlers.
+
+    ``station`` models the farm: when set, the handler body runs after
+    the request has waited through the farm queue; its service time is
+    charged from the station's distribution (the handler's own Python
+    runtime is *not* charged -- virtual time and real time are kept
+    strictly separate).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        region: str = "dc",
+        station: Optional[ServiceStation] = None,
+    ) -> None:
+        self.address = address
+        self.region = region
+        self.station = station
+        self._handlers: Dict[str, Handler] = {}
+        self.requests_served = 0
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Bind a handler; rebinding is an error (catch wiring bugs)."""
+        if method in self._handlers:
+            raise SimulationError(f"handler already bound: {self.address}/{method}")
+        self._handlers[method] = handler
+
+    def handler_for(self, method: str) -> Handler:
+        handler = self._handlers.get(method)
+        if handler is None:
+            raise SimulationError(f"no handler {method!r} at {self.address}")
+        return handler
+
+
+def expose(service: RpcService, obj: object, methods: Dict[str, str]) -> None:
+    """Wire ``obj`` methods as handlers.
+
+    ``methods`` maps RPC method name -> attribute name.  The bound
+    attribute is called as ``attr(payload, ctx)``; use small lambda
+    adapters on the object side when signatures differ.
+    """
+    for rpc_name, attr_name in methods.items():
+        attr = getattr(obj, attr_name)
+        service.register(rpc_name, attr)
+
+
+class VirtualNetwork:
+    """Delivers requests and replies across the virtual WAN."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel,
+        rng: random.Random,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise SimulationError("loss probability must be in [0, 1]")
+        self.sim = sim
+        self._latency = latency
+        self._rng = rng
+        self.loss_probability = loss_probability
+        self._services: Dict[str, RpcService] = {}
+        self.messages_sent = 0
+        self.messages_lost = 0
+
+    def attach(self, service: RpcService) -> None:
+        """Make a service reachable."""
+        if service.address in self._services:
+            raise SimulationError(f"address in use: {service.address}")
+        self._services[service.address] = service
+
+    def service(self, address: str) -> RpcService:
+        service = self._services.get(address)
+        if service is None:
+            raise SimulationError(f"unreachable address: {address}")
+        return service
+
+    def _one_way(self, src_region: str, dst_region: str) -> float:
+        # Model as half an RTT between the two regions/sites.
+        return self._latency.sample_rtt(src_region, dst_region) / 2.0
+
+    def _lost(self) -> bool:
+        if self.loss_probability <= 0.0:
+            return False
+        return self._rng.random() < self.loss_probability
+
+    def call(
+        self,
+        caller_address: str,
+        caller_region: str,
+        dst_address: str,
+        method: str,
+        payload: Any,
+        on_reply: ReplyCallback,
+        on_error: Optional[ErrorCallback] = None,
+        timeout: Optional[float] = None,
+        on_timeout: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Send a request; exactly one of the callbacks eventually fires
+        (or ``on_timeout``, if the request or reply is lost and a
+        timeout was set)."""
+        service = self.service(dst_address)
+        self.messages_sent += 1
+        timed_out = {"flag": False, "delivered": False}
+        if timeout is not None:
+
+            def fire_timeout(sim: Simulator) -> None:
+                if not timed_out["delivered"]:
+                    timed_out["flag"] = True
+                    if on_timeout is not None:
+                        on_timeout()
+
+            self.sim.schedule(timeout, fire_timeout)
+
+        if self._lost():
+            self.messages_lost += 1
+            return  # request vanished; only the timeout can save the caller
+
+        request_owd = self._one_way(caller_region, service.region)
+
+        def deliver(sim: Simulator) -> None:
+            def run_handler(sim2: Simulator) -> None:
+                service.requests_served += 1
+                ctx = RequestContext(caller_address=caller_address, now=sim2.now)
+                try:
+                    response = service.handler_for(method)(payload, ctx)
+                except Exception as exc:  # denials travel back as errors
+                    self._send_reply(sim2, service, caller_region, exc, None,
+                                     on_reply, on_error, timed_out)
+                    return
+                self._send_reply(sim2, service, caller_region, None, response,
+                                 on_reply, on_error, timed_out)
+
+            if service.station is not None:
+                service.station.submit(
+                    on_complete=lambda sim2, _sojourn: run_handler(sim2)
+                )
+            else:
+                run_handler(sim)
+
+        self.sim.schedule(request_owd, deliver)
+
+    def _send_reply(
+        self,
+        sim: Simulator,
+        service: RpcService,
+        caller_region: str,
+        error: Optional[Exception],
+        response: Any,
+        on_reply: ReplyCallback,
+        on_error: Optional[ErrorCallback],
+        timed_out: dict,
+    ) -> None:
+        if self._lost():
+            self.messages_lost += 1
+            return
+        reply_owd = self._one_way(caller_region, service.region)
+
+        def deliver_reply(sim2: Simulator) -> None:
+            if timed_out["flag"]:
+                return  # caller gave up already
+            timed_out["delivered"] = True
+            if error is not None:
+                if on_error is not None:
+                    on_error(error)
+                return
+            on_reply(response)
+
+        sim.schedule(reply_owd, deliver_reply)

@@ -1,0 +1,158 @@
+"""Multi-server FIFO service stations: the manager-farm model.
+
+Section V of the paper argues that because ticket issuance is *atomic
+and stateless*, a "single logical" User Manager or Channel Manager can
+be realized as a farm of servers behind one name and keypair, and that
+this is what keeps protocol latency flat as concurrent users grow.
+
+:class:`ServiceStation` models exactly that: ``n_servers`` identical
+servers, a shared FIFO queue, and per-request service times drawn from
+a caller-supplied distribution (typically exponential around a mean
+calibrated from microbenchmarks of the real crypto operations in
+:mod:`repro.core`).  The station records every request's sojourn time
+(queue wait + service), which the experiments combine with the WAN
+latency model to produce end-to-end protocol-round latencies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+CompletionCallback = Callable[[Simulator, float], None]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate statistics kept by a station."""
+
+    arrivals: int = 0
+    completions: int = 0
+    total_sojourn: float = 0.0
+    max_queue_len: int = 0
+    busy_time: float = 0.0
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Mean time from arrival to completion, 0.0 if nothing completed."""
+        if self.completions == 0:
+            return 0.0
+        return self.total_sojourn / self.completions
+
+
+@dataclass
+class _QueuedRequest:
+    arrival_time: float
+    service_time: float
+    on_complete: Optional[CompletionCallback]
+
+
+class ServiceStation:
+    """An ``n``-server FIFO queue with sampled service times.
+
+    Parameters
+    ----------
+    sim:
+        The event engine this station schedules on.
+    n_servers:
+        Number of identical servers in the farm.
+    mean_service_time:
+        Mean of the default exponential service-time distribution, in
+        seconds.  Calibrate this from microbenchmarks of the real
+        request handler (see ``repro.experiments.calibration``).
+    rng:
+        Station-local random source; keeping it local preserves
+        determinism when stations are added or removed.
+    name:
+        Label used in error messages and reports.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_servers: int,
+        mean_service_time: float,
+        rng: random.Random,
+        name: str = "station",
+    ) -> None:
+        if n_servers < 1:
+            raise SimulationError("a station needs at least one server")
+        if mean_service_time <= 0:
+            raise SimulationError("mean service time must be positive")
+        self.sim = sim
+        self.name = name
+        self.n_servers = n_servers
+        self.mean_service_time = mean_service_time
+        self._rng = rng
+        self._busy = 0
+        self._queue: Deque[_QueuedRequest] = deque()
+        self.stats = ServiceStats()
+        self.sojourn_samples: List[Tuple[float, float]] = []
+        self.record_samples = True
+
+    def sample_service_time(self) -> float:
+        """Draw one service time; exponential by default.
+
+        Subclasses or tests may override for deterministic service.
+        """
+        return self._rng.expovariate(1.0 / self.mean_service_time)
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not yet in service)."""
+        return len(self._queue)
+
+    @property
+    def busy_servers(self) -> int:
+        """Servers currently serving a request."""
+        return self._busy
+
+    def submit(
+        self,
+        on_complete: Optional[CompletionCallback] = None,
+        service_time: Optional[float] = None,
+    ) -> None:
+        """Submit a request; ``on_complete(sim, sojourn)`` fires when done."""
+        request = _QueuedRequest(
+            arrival_time=self.sim.now,
+            service_time=(
+                service_time if service_time is not None else self.sample_service_time()
+            ),
+            on_complete=on_complete,
+        )
+        self.stats.arrivals += 1
+        if self._busy < self.n_servers:
+            self._start(request)
+        else:
+            self._queue.append(request)
+            if len(self._queue) > self.stats.max_queue_len:
+                self.stats.max_queue_len = len(self._queue)
+
+    def _start(self, request: _QueuedRequest) -> None:
+        self._busy += 1
+        self.stats.busy_time += request.service_time
+
+        def finish(sim: Simulator) -> None:
+            self._busy -= 1
+            sojourn = sim.now - request.arrival_time
+            self.stats.completions += 1
+            self.stats.total_sojourn += sojourn
+            if self.record_samples:
+                self.sojourn_samples.append((request.arrival_time, sojourn))
+            if request.on_complete is not None:
+                request.on_complete(sim, sojourn)
+            if self._queue:
+                self._start(self._queue.popleft())
+
+        self.sim.schedule(request.service_time, finish)
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of aggregate server capacity used over ``horizon`` seconds."""
+        if horizon <= 0:
+            return 0.0
+        return self.stats.busy_time / (self.n_servers * horizon)

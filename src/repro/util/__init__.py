@@ -1,0 +1,5 @@
+"""Shared utilities: canonical wire encoding and id/name helpers."""
+
+from repro.util.wire import Encoder, Decoder, WireError
+
+__all__ = ["Encoder", "Decoder", "WireError"]

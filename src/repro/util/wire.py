@@ -1,0 +1,153 @@
+"""Canonical binary encoding for tickets and protocol messages.
+
+Digital signatures only make sense over a *canonical* byte string: the
+same ticket must serialize identically on the signer and every
+verifier.  This module provides a tiny deterministic length-prefixed
+codec -- explicit, boring, and with no reflection magic -- used by
+every signed structure in the library.
+
+Format primitives (all big-endian):
+
+========  ===========================================
+``u8``    1-byte unsigned integer
+``u32``   4-byte unsigned integer
+``u64``   8-byte unsigned integer
+``f64``   IEEE-754 double (used for virtual timestamps)
+``bytes`` u32 length prefix + raw bytes
+``str``   ``bytes`` of the UTF-8 encoding
+``bool``  u8 0 or 1
+========  ===========================================
+
+Optional floats (the paper's NULL timestamps) encode as a presence
+byte followed by the value when present.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+
+class WireError(ReproError):
+    """Raised when a buffer cannot be decoded."""
+
+
+class Encoder:
+    """Append-only canonical encoder."""
+
+    def __init__(self) -> None:
+        self._parts: List[bytes] = []
+
+    def put_u8(self, value: int) -> "Encoder":
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"u8 out of range: {value}")
+        self._parts.append(struct.pack(">B", value))
+        return self
+
+    def put_u32(self, value: int) -> "Encoder":
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"u32 out of range: {value}")
+        self._parts.append(struct.pack(">I", value))
+        return self
+
+    def put_u64(self, value: int) -> "Encoder":
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            raise ValueError(f"u64 out of range: {value}")
+        self._parts.append(struct.pack(">Q", value))
+        return self
+
+    def put_f64(self, value: float) -> "Encoder":
+        self._parts.append(struct.pack(">d", value))
+        return self
+
+    def put_opt_f64(self, value: Optional[float]) -> "Encoder":
+        """NULL-able timestamp: presence byte + value."""
+        if value is None:
+            self._parts.append(b"\x00")
+        else:
+            self._parts.append(b"\x01" + struct.pack(">d", value))
+        return self
+
+    def put_bool(self, value: bool) -> "Encoder":
+        self._parts.append(b"\x01" if value else b"\x00")
+        return self
+
+    def put_bytes(self, value: bytes) -> "Encoder":
+        self.put_u32(len(value))
+        self._parts.append(bytes(value))
+        return self
+
+    def put_str(self, value: str) -> "Encoder":
+        return self.put_bytes(value.encode("utf-8"))
+
+    def to_bytes(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Decoder:
+    """Sequential decoder over a byte buffer.
+
+    Raises :class:`WireError` on truncation or malformed content; a
+    fully consumed buffer can be asserted with :meth:`finish`.
+    """
+
+    def __init__(self, buffer: bytes) -> None:
+        self._buf = bytes(buffer)
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._buf):
+            raise WireError(
+                f"truncated buffer: need {n} bytes at {self._pos}, have {len(self._buf)}"
+            )
+        chunk = self._buf[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def get_u8(self) -> int:
+        return struct.unpack(">B", self._take(1))[0]
+
+    def get_u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def get_u64(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def get_f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def get_opt_f64(self) -> Optional[float]:
+        present = self.get_u8()
+        if present == 0:
+            return None
+        if present != 1:
+            raise WireError(f"bad presence byte {present}")
+        return self.get_f64()
+
+    def get_bool(self) -> bool:
+        value = self.get_u8()
+        if value not in (0, 1):
+            raise WireError(f"bad bool byte {value}")
+        return bool(value)
+
+    def get_bytes(self) -> bytes:
+        length = self.get_u32()
+        return self._take(length)
+
+    def get_str(self) -> str:
+        raw = self.get_bytes()
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError("invalid UTF-8 in string field") from exc
+
+    @property
+    def remaining(self) -> int:
+        return len(self._buf) - self._pos
+
+    def finish(self) -> None:
+        """Assert the buffer was fully consumed."""
+        if self.remaining != 0:
+            raise WireError(f"{self.remaining} trailing bytes after decode")

@@ -1,0 +1,31 @@
+"""Workload generation: who watches what, when.
+
+The paper's evaluation rests on one week of production traffic with a
+strong diurnal shape (peak 18:00--24:00) and flash crowds at event
+starts.  This package synthesizes equivalent traffic:
+
+* :mod:`repro.workload.diurnal` -- the hour-of-day rate curve;
+* :mod:`repro.workload.arrivals` -- non-homogeneous Poisson arrival
+  sampling (thinning) and flash-crowd injection;
+* :mod:`repro.workload.zapping` -- per-session behaviour: Zipf channel
+  popularity, channel-switching (zapping) dynamics, session lengths;
+* :mod:`repro.workload.traces` -- week-long per-user request traces
+  and the opt-in feedback-log sampler mirroring the paper's data
+  collection methodology (Section VI).
+"""
+
+from repro.workload.diurnal import DiurnalProfile
+from repro.workload.arrivals import NonHomogeneousPoisson, FlashCrowd
+from repro.workload.zapping import ZipfChannelPopularity, ZappingModel
+from repro.workload.traces import RequestEvent, WeekTraceGenerator, FeedbackLogSampler
+
+__all__ = [
+    "DiurnalProfile",
+    "NonHomogeneousPoisson",
+    "FlashCrowd",
+    "ZipfChannelPopularity",
+    "ZappingModel",
+    "RequestEvent",
+    "WeekTraceGenerator",
+    "FeedbackLogSampler",
+]

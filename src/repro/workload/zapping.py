@@ -1,0 +1,130 @@
+"""Viewer behaviour: channel popularity and zapping dynamics.
+
+Channel popularity in live TV follows a Zipf-like law (a few channels
+carry most viewers); channel-switching alternates between rapid
+"zapping" bursts (browsing) and long dwell periods (watching a
+program).  Every switch is a SWITCH1+SWITCH2 exchange plus a JOIN, so
+this model drives the request mix of the week-long experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class ZipfChannelPopularity:
+    """Zipf(s) sampler over a channel lineup.
+
+    ``P(rank k) ∝ 1 / k^s``; ``s`` near 1 matches measured IPTV channel
+    popularity.  Ranks map to channel ids in the given order.
+    """
+
+    def __init__(self, channels: Sequence[str], s: float, rng: random.Random) -> None:
+        if not channels:
+            raise ValueError("need at least one channel")
+        if s < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        self.channels = list(channels)
+        self.s = s
+        self._rng = rng
+        weights = [1.0 / (rank ** s) for rank in range(1, len(self.channels) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cumulative.append(acc)
+
+    def sample(self) -> str:
+        """Draw one channel by popularity."""
+        roll = self._rng.random()
+        for channel, cum in zip(self.channels, self._cumulative):
+            if roll <= cum:
+                return channel
+        return self.channels[-1]
+
+    def probability(self, channel: str) -> float:
+        """The stationary probability of one channel."""
+        index = self.channels.index(channel)
+        prev = self._cumulative[index - 1] if index > 0 else 0.0
+        return self._cumulative[index] - prev
+
+
+@dataclass(frozen=True)
+class Dwell:
+    """One stretch of watching a single channel."""
+
+    channel: str
+    duration: float
+
+
+class ZappingModel:
+    """Alternating browse/watch channel-switching behaviour.
+
+    With probability ``browse_prob`` a dwell is a short zap (lognormal
+    around ``browse_mean`` seconds); otherwise it is a long watch
+    (exponential around ``watch_mean``).  Consecutive dwells avoid
+    repeating the same channel, like a viewer flipping away.
+    """
+
+    def __init__(
+        self,
+        popularity: ZipfChannelPopularity,
+        rng: random.Random,
+        browse_prob: float = 0.55,
+        browse_mean: float = 12.0,
+        watch_mean: float = 1500.0,
+    ) -> None:
+        if not 0 <= browse_prob <= 1:
+            raise ValueError("browse_prob must be a probability")
+        self._popularity = popularity
+        self._rng = rng
+        self.browse_prob = browse_prob
+        self.browse_mean = browse_mean
+        self.watch_mean = watch_mean
+
+    def _next_channel(self, current: Optional[str]) -> str:
+        for _ in range(10):
+            candidate = self._popularity.sample()
+            if candidate != current:
+                return candidate
+        return self._popularity.sample()
+
+    def session(self, session_length: float) -> List[Dwell]:
+        """Generate the dwell sequence for one viewing session.
+
+        The final dwell is truncated at the session boundary.  Every
+        dwell after the first represents one channel-switch protocol
+        exchange.
+        """
+        if session_length <= 0:
+            return []
+        dwells: List[Dwell] = []
+        elapsed = 0.0
+        current: Optional[str] = None
+        while elapsed < session_length:
+            channel = self._next_channel(current)
+            if self._rng.random() < self.browse_prob:
+                duration = self._rng.lognormvariate(
+                    _lognormal_mu(self.browse_mean, 0.6), 0.6
+                )
+            else:
+                duration = self._rng.expovariate(1.0 / self.watch_mean)
+            duration = min(duration, session_length - elapsed)
+            dwells.append(Dwell(channel=channel, duration=duration))
+            elapsed += duration
+            current = channel
+        return dwells
+
+    def switches_per_session(self, session_length: float) -> int:
+        """Number of channel switches (dwell count minus one, min 0)."""
+        return max(0, len(self.session(session_length)) - 1)
+
+
+def _lognormal_mu(mean: float, sigma: float) -> float:
+    """The lognormal mu giving the requested mean for a given sigma."""
+    import math
+
+    return math.log(mean) - sigma * sigma / 2.0

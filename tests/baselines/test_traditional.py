@@ -1,0 +1,103 @@
+"""Tests for the traditional per-file DRM baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.traditional import (
+    LicenseManager,
+    TraditionalDrmSimulation,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import AuthorizationError
+
+
+@pytest.fixture
+def license_manager():
+    manager = LicenseManager(
+        signing_key=generate_keypair(HmacDrbg(b"lm"), bits=512),
+        drbg=HmacDrbg(b"lm-runtime"),
+        max_devices_per_user=2,
+        default_max_playbacks=2,
+    )
+    manager.publish_file("movie-1")
+    manager.entitle("alice", "movie-1")
+    return manager
+
+
+class TestLicenseManager:
+    def test_acquire_license(self, license_manager):
+        license_ = license_manager.acquire_license("alice", "laptop", "movie-1", now=0.0)
+        assert license_.file_id == "movie-1"
+        assert license_.content_key
+        assert license_manager.licenses_issued == 1
+
+    def test_unentitled_user_rejected(self, license_manager):
+        with pytest.raises(AuthorizationError):
+            license_manager.acquire_license("mallory", "pc", "movie-1", now=0.0)
+
+    def test_unknown_file_rejected(self, license_manager):
+        with pytest.raises(AuthorizationError):
+            license_manager.acquire_license("alice", "pc", "nope", now=0.0)
+
+    def test_entitle_unknown_file_rejected(self, license_manager):
+        with pytest.raises(AuthorizationError):
+            license_manager.entitle("alice", "nope")
+
+    def test_device_limit_enforced(self, license_manager):
+        license_manager.acquire_license("alice", "laptop", "movie-1", now=0.0)
+        license_manager.acquire_license("alice", "phone", "movie-1", now=0.0)
+        with pytest.raises(AuthorizationError):
+            license_manager.acquire_license("alice", "tv", "movie-1", now=0.0)
+
+    def test_repeat_device_ok(self, license_manager):
+        license_manager.acquire_license("alice", "laptop", "movie-1", now=0.0)
+        license_manager.acquire_license("alice", "laptop", "movie-1", now=1.0)
+
+    def test_playback_limit_enforced(self, license_manager):
+        license_ = license_manager.acquire_license("alice", "laptop", "movie-1", now=0.0)
+        assert license_manager.record_playback("alice", license_) == 1
+        assert license_manager.record_playback("alice", license_) == 2
+        with pytest.raises(AuthorizationError):
+            license_manager.record_playback("alice", license_)
+
+    def test_forged_license_rejected(self, license_manager):
+        import dataclasses
+
+        license_ = license_manager.acquire_license("alice", "laptop", "movie-1", now=0.0)
+        forged = dataclasses.replace(license_, max_playbacks=10**6)
+        with pytest.raises(AuthorizationError):
+            license_manager.record_playback("alice", forged)
+
+
+class TestFlashCrowdSimulation:
+    def test_underprovisioned_server_queues_badly(self):
+        # 10k licenses x 10ms = 100 server-seconds of work arriving in
+        # a ~60s flash crowd: one server is saturated.
+        simulation = TraditionalDrmSimulation(random.Random(1), service_time=0.01)
+        result = simulation.run(arrivals=10000, n_servers=1, window=60.0)
+        assert result.max_wait > simulation.sla  # SLA blown at the tail
+        assert result.served_within_sla < 0.95
+
+    def test_more_servers_cut_waits(self):
+        simulation = TraditionalDrmSimulation(random.Random(2), service_time=0.01)
+        small = simulation.run(arrivals=10000, n_servers=1, window=60.0)
+        large = simulation.run(arrivals=10000, n_servers=8, window=60.0)
+        assert large.p95_wait < small.p95_wait
+        assert large.served_within_sla > small.served_within_sla
+
+    def test_provisioning_search_finds_sla_point(self):
+        simulation = TraditionalDrmSimulation(random.Random(3), service_time=0.01)
+        needed = simulation.provisioning_needed(arrivals=2000, window=60.0)
+        at_needed = simulation.run(2000, needed, window=60.0)
+        assert at_needed.served_within_sla >= 0.95
+        if needed > 1:
+            below = simulation.run(2000, needed - 1, window=60.0)
+            assert below.served_within_sla < 0.97  # near the knee
+
+    def test_provisioning_grows_with_audience(self):
+        simulation = TraditionalDrmSimulation(random.Random(4), service_time=0.01)
+        small = simulation.provisioning_needed(arrivals=1000, window=60.0)
+        large = simulation.provisioning_needed(arrivals=8000, window=60.0)
+        assert large > small

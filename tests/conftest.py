@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+The heavyweight fixtures (a fully wired deployment with a provisioned
+channel lineup) are module-scoped where mutation is not an issue and
+function-scoped where tests mutate manager state.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.deployment import Deployment
+
+
+@pytest.fixture
+def drbg() -> HmacDrbg:
+    """A fresh deterministic bit generator."""
+    return HmacDrbg(b"test-seed")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded stdlib RNG."""
+    return random.Random(12345)
+
+
+@pytest.fixture(scope="session")
+def session_keypair():
+    """One RSA keypair shared by tests that only need *a* key."""
+    return generate_keypair(HmacDrbg(b"session-keypair"), bits=512)
+
+
+@pytest.fixture
+def deployment() -> Deployment:
+    """A small fully wired deployment with a typical channel lineup.
+
+    * ``free-ch``: free-to-view in CH and DE;
+    * ``free-uk``: free-to-view in UK only;
+    * ``premium``: CH-only, requires subscription package "101".
+    """
+    dep = Deployment(seed=42)
+    dep.add_free_channel("free-ch", regions=["CH", "DE"])
+    dep.add_free_channel("free-uk", regions=["UK"])
+    dep.add_subscription_channel("premium", regions=["CH"], package_id="101")
+    return dep
+
+
+@pytest.fixture
+def viewer(deployment):
+    """A logged-in client in region CH, not yet watching anything."""
+    client = deployment.create_client("viewer@example.org", "hunter2", region="CH")
+    client.login(now=0.0)
+    return client

@@ -1,0 +1,124 @@
+"""Tests for the Account Manager."""
+
+import pytest
+
+from repro.core.accounts import AccountManager, Subscription, secure_hash_password
+from repro.errors import AccountError
+
+
+@pytest.fixture
+def manager():
+    return AccountManager()
+
+
+class TestPasswordHashing:
+    def test_deterministic(self):
+        assert secure_hash_password("a@b.c", "pw") == secure_hash_password("a@b.c", "pw")
+
+    def test_salted_by_email(self):
+        assert secure_hash_password("a@b.c", "pw") != secure_hash_password("x@y.z", "pw")
+
+    def test_password_sensitive(self):
+        assert secure_hash_password("a@b.c", "pw1") != secure_hash_password("a@b.c", "pw2")
+
+    def test_plaintext_not_embedded(self):
+        assert b"hunter2" not in secure_hash_password("a@b.c", "hunter2")
+
+
+class TestRegistration:
+    def test_register_and_get(self, manager):
+        account = manager.register("alice@example.org", "pw")
+        assert manager.get("alice@example.org") is account
+        assert manager.exists("alice@example.org")
+
+    def test_duplicate_rejected(self, manager):
+        manager.register("alice@example.org", "pw")
+        with pytest.raises(AccountError):
+            manager.register("alice@example.org", "pw2")
+
+    def test_invalid_email_rejected(self, manager):
+        for bad in ("", "no-at-sign"):
+            with pytest.raises(AccountError):
+                manager.register(bad, "pw")
+
+    def test_unknown_lookup_raises(self, manager):
+        with pytest.raises(AccountError):
+            manager.get("ghost@example.org")
+
+    def test_listener_notified_on_register(self, manager):
+        seen = []
+        manager.add_listener(seen.append)
+        manager.register("alice@example.org", "pw")
+        assert [a.email for a in seen] == ["alice@example.org"]
+
+
+class TestSubscriptions:
+    def test_subscribe_free(self, manager):
+        manager.register("a@b.c", "pw")
+        subscription = manager.subscribe("a@b.c", "101", stime=0.0, etime=100.0)
+        assert subscription.is_current_at(50.0)
+        assert not subscription.is_current_at(150.0)
+
+    def test_current_subscriptions_filtered(self, manager):
+        account = manager.register("a@b.c", "pw")
+        manager.subscribe("a@b.c", "old", etime=10.0)
+        manager.subscribe("a@b.c", "new", stime=5.0)
+        current = [s.package_id for s in account.current_subscriptions(20.0)]
+        assert current == ["new"]
+
+    def test_priced_subscription_debits_balance(self, manager):
+        manager.register("a@b.c", "pw")
+        manager.top_up("a@b.c", 10.0)
+        manager.subscribe("a@b.c", "101", price=7.5)
+        assert manager.get("a@b.c").balance == pytest.approx(2.5)
+
+    def test_insufficient_balance_rejected(self, manager):
+        manager.register("a@b.c", "pw")
+        with pytest.raises(AccountError):
+            manager.subscribe("a@b.c", "101", price=5.0)
+
+    def test_cancel_subscription(self, manager):
+        manager.register("a@b.c", "pw")
+        manager.subscribe("a@b.c", "101")
+        assert manager.cancel_subscription("a@b.c", "101")
+        assert not manager.cancel_subscription("a@b.c", "101")
+
+    def test_pay_per_view_is_bounded_priced_subscription(self, manager):
+        manager.register("a@b.c", "pw")
+        manager.top_up("a@b.c", 5.0)
+        ppv = manager.purchase_pay_per_view("a@b.c", "match-42", 100.0, 200.0, 3.0)
+        assert ppv.is_current_at(150.0)
+        assert not ppv.is_current_at(250.0)
+        assert manager.get("a@b.c").balance == pytest.approx(2.0)
+
+    def test_listener_notified_on_subscription_change(self, manager):
+        manager.register("a@b.c", "pw")
+        seen = []
+        manager.add_listener(seen.append)
+        manager.subscribe("a@b.c", "101")
+        manager.cancel_subscription("a@b.c", "101")
+        assert len(seen) == 2
+
+
+class TestBalanceAndSuspension:
+    def test_top_up(self, manager):
+        manager.register("a@b.c", "pw")
+        assert manager.top_up("a@b.c", 5.0) == pytest.approx(5.0)
+        assert manager.top_up("a@b.c", 2.5) == pytest.approx(7.5)
+
+    def test_nonpositive_top_up_rejected(self, manager):
+        manager.register("a@b.c", "pw")
+        with pytest.raises(AccountError):
+            manager.top_up("a@b.c", 0.0)
+
+    def test_suspend_and_reinstate(self, manager):
+        manager.register("a@b.c", "pw")
+        manager.suspend("a@b.c")
+        assert manager.get("a@b.c").suspended
+        manager.reinstate("a@b.c")
+        assert not manager.get("a@b.c").suspended
+
+    def test_all_accounts_snapshot(self, manager):
+        manager.register("a@b.c", "pw")
+        manager.register("d@e.f", "pw")
+        assert {a.email for a in manager.all_accounts()} == {"a@b.c", "d@e.f"}

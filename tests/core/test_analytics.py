@@ -1,0 +1,114 @@
+"""Tests for viewing analytics and royalty reporting."""
+
+import pytest
+
+from repro.core.analytics import ViewingAnalytics, reconstruct_sessions
+from repro.core.channel_manager import ViewingLogEntry
+
+
+def entry(user_id, channel, at, renewal=False, addr="11.1.1.1"):
+    return ViewingLogEntry(
+        user_id=user_id, channel_id=channel, net_addr=addr, issued_at=at, renewal=renewal
+    )
+
+
+LIFETIME = 900.0
+
+
+class TestSessionReconstruction:
+    def test_single_ticket_session(self):
+        sessions = reconstruct_sessions([entry(1, "ch", 100.0)], LIFETIME)
+        assert len(sessions) == 1
+        assert sessions[0].start == 100.0
+        assert sessions[0].end == 100.0 + LIFETIME
+        assert sessions[0].renewals == 0
+
+    def test_renewal_chain_is_one_session(self):
+        log = [
+            entry(1, "ch", 0.0),
+            entry(1, "ch", 860.0, renewal=True),
+            entry(1, "ch", 1720.0, renewal=True),
+        ]
+        sessions = reconstruct_sessions(log, LIFETIME)
+        assert len(sessions) == 1
+        assert sessions[0].renewals == 2
+        assert sessions[0].end == 1720.0 + LIFETIME
+
+    def test_large_gap_splits_sessions(self):
+        log = [entry(1, "ch", 0.0), entry(1, "ch", 10_000.0)]
+        sessions = reconstruct_sessions(log, LIFETIME)
+        assert len(sessions) == 2
+
+    def test_channels_separate(self):
+        log = [entry(1, "a", 0.0), entry(1, "b", 10.0)]
+        sessions = reconstruct_sessions(log, LIFETIME)
+        assert {s.channel_id for s in sessions} == {"a", "b"}
+
+    def test_users_separate(self):
+        log = [entry(1, "ch", 0.0), entry(2, "ch", 10.0)]
+        assert len(reconstruct_sessions(log, LIFETIME)) == 2
+
+    def test_empty_log(self):
+        assert reconstruct_sessions([], LIFETIME) == []
+
+
+class TestAnalytics:
+    @pytest.fixture
+    def analytics(self):
+        log = [
+            entry(1, "sports", 0.0),
+            entry(1, "sports", 860.0, renewal=True),   # watches ~0-1760
+            entry(2, "sports", 500.0),                  # watches ~500-1400
+            entry(3, "news", 100.0),                    # watches ~100-1000
+            entry(2, "sports", 50_000.0),               # comes back later
+        ]
+        return ViewingAnalytics(log, ticket_lifetime=LIFETIME)
+
+    def test_concurrent_viewers(self, analytics):
+        assert analytics.concurrent_viewers("sports", 600.0) == 2
+        assert analytics.concurrent_viewers("sports", 1500.0) == 1
+        assert analytics.concurrent_viewers("sports", 3000.0) == 0
+        assert analytics.concurrent_viewers("news", 600.0) == 1
+
+    def test_viewer_curve(self, analytics):
+        curve = analytics.viewer_curve("sports", 0.0, 2000.0, step=500.0)
+        assert [v for _, v in curve] == [1, 2, 2, 1, 0]
+
+    def test_channel_report(self, analytics):
+        report = analytics.channel_report("sports", 0.0, 2000.0)
+        assert report.unique_viewers == 2
+        assert report.sessions == 2
+        assert report.peak_concurrent == 2
+        assert report.viewer_seconds == pytest.approx(1760.0 + 900.0)
+
+    def test_report_window_clipping(self, analytics):
+        report = analytics.channel_report("sports", 0.0, 600.0)
+        # User 1 contributes 600 s, user 2 contributes 100 s.
+        assert report.viewer_seconds == pytest.approx(700.0)
+
+    def test_royalty_statement(self, analytics):
+        statement = analytics.royalty_statement(0.0, 2000.0, rate_per_viewer_hour=2.0)
+        assert statement["sports"] == pytest.approx((2660.0 / 3600.0) * 2.0)
+        assert statement["news"] == pytest.approx((900.0 / 3600.0) * 2.0)
+
+    def test_per_view_charges_dedup_renewals(self, analytics):
+        charges = analytics.per_view_charges("sports", 0.0, 2000.0, price=5.0)
+        # Users 1 and 2 watched; user 1's renewal is not double-billed.
+        assert charges == {1: 5.0, 2: 5.0}
+
+    def test_per_view_charges_window(self, analytics):
+        charges = analytics.per_view_charges("sports", 49_000.0, 52_000.0, price=5.0)
+        assert charges == {2: 5.0}
+
+
+class TestEndToEndAnalytics:
+    def test_from_real_viewing_log(self, deployment):
+        """Analytics over a real Channel Manager's log."""
+        for i in range(4):
+            client = deployment.create_client(f"a{i}@example.org", "pw", region="CH")
+            client.login(now=float(i))
+            client.switch_channel("free-ch", now=float(i))
+        analytics = deployment.analytics_for("free-ch")
+        report = analytics.channel_report("free-ch", 0.0, 1000.0)
+        assert report.unique_viewers == 4
+        assert report.peak_concurrent == 4

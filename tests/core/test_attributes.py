@@ -1,0 +1,182 @@
+"""Tests for the attribute model and matching semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import (
+    Attribute,
+    AttributeSet,
+    VALUE_ALL,
+    VALUE_ANY,
+    VALUE_NONE,
+)
+from repro.util.wire import Decoder, Encoder
+
+
+class TestAttribute:
+    def test_validity_window(self):
+        attr = Attribute(name="Region", value="CH", stime=10.0, etime=20.0)
+        assert not attr.is_valid_at(9.9)
+        assert attr.is_valid_at(10.0)
+        assert attr.is_valid_at(15.0)
+        assert attr.is_valid_at(20.0)
+        assert not attr.is_valid_at(20.1)
+
+    def test_null_times_are_unbounded(self):
+        attr = Attribute(name="Region", value="CH")
+        assert attr.is_valid_at(0.0)
+        assert attr.is_valid_at(1e12)
+
+    def test_half_open_windows(self):
+        starts_later = Attribute(name="A", value="v", stime=5.0)
+        assert not starts_later.is_valid_at(4.0)
+        assert starts_later.is_valid_at(1e9)
+        expires = Attribute(name="A", value="v", etime=5.0)
+        assert expires.is_valid_at(0.0)
+        assert not expires.is_valid_at(6.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute(name="A", value="v", stime=10.0, etime=5.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute(name="", value="v")
+
+    def test_with_utime_preserves_rest(self):
+        attr = Attribute(name="A", value="v", stime=1.0, etime=2.0)
+        stamped = attr.with_utime(99.0)
+        assert stamped.utime == 99.0
+        assert (stamped.name, stamped.value, stamped.stime, stamped.etime) == (
+            "A", "v", 1.0, 2.0,
+        )
+        assert attr.utime is None  # original untouched
+
+    def test_wire_roundtrip(self):
+        attr = Attribute(name="Subscription", value="101", stime=1.5, etime=None, utime=3.0)
+        enc = Encoder()
+        attr.encode(enc)
+        assert Attribute.decode(Decoder(enc.to_bytes())) == attr
+
+
+class TestAttributeSet:
+    def test_add_replaces_same_key(self):
+        attrs = AttributeSet()
+        attrs.add(Attribute(name="Region", value="CH", utime=1.0))
+        attrs.add(Attribute(name="Region", value="CH", utime=2.0))
+        assert len(attrs) == 1
+        assert attrs.named("Region")[0].utime == 2.0
+
+    def test_multiple_values_per_name(self):
+        attrs = AttributeSet()
+        attrs.add(Attribute(name="Region", value="CH"))
+        attrs.add(Attribute(name="Region", value="DE"))
+        assert len(attrs.named("Region")) == 2
+
+    def test_remove(self):
+        attrs = AttributeSet([Attribute(name="A", value="1")])
+        assert attrs.remove("A", "1")
+        assert not attrs.remove("A", "1")
+        assert len(attrs) == 0
+
+    def test_first_value_with_and_without_validity(self):
+        attrs = AttributeSet([Attribute(name="A", value="early", etime=10.0),
+                              Attribute(name="A", value="late", stime=20.0)])
+        assert attrs.first_value("A") == "early"
+        assert attrs.first_value("A", now=30.0) == "late"
+        assert attrs.first_value("B") is None
+
+    def test_soonest_etime(self):
+        attrs = AttributeSet([
+            Attribute(name="A", value="1", etime=50.0),
+            Attribute(name="B", value="2", etime=30.0),
+            Attribute(name="C", value="3"),
+        ])
+        assert attrs.soonest_etime() == 30.0
+
+    def test_soonest_etime_all_unbounded(self):
+        attrs = AttributeSet([Attribute(name="A", value="1")])
+        assert attrs.soonest_etime() is None
+
+    def test_utime_map(self):
+        attrs = AttributeSet([Attribute(name="A", value="1", utime=5.0),
+                              Attribute(name="B", value="2")])
+        assert attrs.utime_map() == {("A", "1"): 5.0, ("B", "2"): None}
+
+    def test_copy_is_independent(self):
+        attrs = AttributeSet([Attribute(name="A", value="1")])
+        clone = attrs.copy()
+        clone.add(Attribute(name="B", value="2"))
+        assert len(attrs) == 1
+        assert len(clone) == 2
+
+    def test_set_roundtrip(self):
+        attrs = AttributeSet([
+            Attribute(name="Region", value="CH", utime=1.0),
+            Attribute(name="Subscription", value="101", stime=0.0, etime=100.0),
+        ])
+        enc = Encoder()
+        attrs.encode(enc)
+        decoded = AttributeSet.decode(Decoder(enc.to_bytes()))
+        assert list(decoded) == list(attrs)
+
+
+class TestMatchingSemantics:
+    """The table in the module docstring of repro.core.attributes."""
+
+    def setup_method(self):
+        self.attrs = AttributeSet([
+            Attribute(name="Region", value="CH"),
+            Attribute(name="Subscription", value="101", etime=100.0),
+        ])
+
+    def test_literal_match(self):
+        assert self.attrs.satisfies("Region", "CH", now=0.0)
+        assert not self.attrs.satisfies("Region", "DE", now=0.0)
+
+    def test_any_requires_presence(self):
+        assert self.attrs.satisfies("Region", VALUE_ANY, now=0.0)
+        assert not self.attrs.satisfies("Missing", VALUE_ANY, now=0.0)
+
+    def test_none_requires_absence(self):
+        assert self.attrs.satisfies("Missing", VALUE_NONE, now=0.0)
+        assert not self.attrs.satisfies("Region", VALUE_NONE, now=0.0)
+
+    def test_all_held_value_satisfies_anything(self):
+        attrs = AttributeSet([Attribute(name="Region", value=VALUE_ALL)])
+        assert attrs.satisfies("Region", "CH", now=0.0)
+        assert attrs.satisfies("Region", "whatever", now=0.0)
+
+    def test_expired_attribute_does_not_match(self):
+        assert self.attrs.satisfies("Subscription", "101", now=50.0)
+        assert not self.attrs.satisfies("Subscription", "101", now=150.0)
+
+    def test_expired_attribute_counts_as_absent_for_none(self):
+        assert self.attrs.satisfies("Subscription", VALUE_NONE, now=150.0)
+
+    def test_any_does_not_match_literal_any_absent(self):
+        # A user whose only Region expired has no valid Region: ANY fails.
+        attrs = AttributeSet([Attribute(name="Region", value="CH", etime=1.0)])
+        assert not attrs.satisfies("Region", VALUE_ANY, now=2.0)
+
+
+@given(
+    name=st.text(min_size=1, max_size=10),
+    value=st.text(max_size=10),
+    stime=st.one_of(st.none(), st.floats(min_value=0, max_value=1e6)),
+    utime=st.one_of(st.none(), st.floats(min_value=0, max_value=1e6)),
+    delta=st.floats(min_value=0, max_value=1e6),
+)
+@settings(max_examples=100)
+def test_property_attribute_roundtrip_and_validity(name, value, stime, utime, delta):
+    etime = None if stime is None else stime + delta
+    attr = Attribute(name=name, value=value, stime=stime, etime=etime, utime=utime)
+    enc = Encoder()
+    attr.encode(enc)
+    assert Attribute.decode(Decoder(enc.to_bytes())) == attr
+    if stime is not None:
+        assert attr.is_valid_at(stime)
+        assert attr.is_valid_at(etime)
+        if stime > 0:
+            assert not attr.is_valid_at(stime - 1.0)

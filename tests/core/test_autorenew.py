@@ -1,0 +1,96 @@
+"""Tests for automatic ticket renewal under virtual time."""
+
+import pytest
+
+from repro.core.autorenew import TicketAutoRenewer
+from repro.deployment import Deployment
+from repro.errors import ReproError
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    deployment = Deployment(
+        seed=404, user_ticket_lifetime=1800.0, channel_ticket_lifetime=900.0
+    )
+    deployment.add_free_channel("marathon", regions=["CH"])
+    client = deployment.create_client("binge@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    peer = deployment.watch(client, "marathon", now=0.0)
+    sim = Simulator()
+    return deployment, client, peer, sim
+
+
+class TestAutoRenewal:
+    def test_requires_login(self, rig):
+        deployment, client, peer, sim = rig
+        fresh = deployment.create_client("new@example.org", "pw", region="CH")
+        with pytest.raises(ReproError):
+            TicketAutoRenewer(sim, fresh).start()
+
+    def test_positive_margin_required(self, rig):
+        _, client, _, sim = rig
+        with pytest.raises(ValueError):
+            TicketAutoRenewer(sim, client, margin=0.0)
+
+    def test_four_hour_session_uninterrupted(self, rig):
+        """The headline property: tickets never lapse over a long watch."""
+        deployment, client, peer, sim = rig
+        parent = deployment.overlay("marathon").source
+
+        renewer = TicketAutoRenewer(
+            sim, client, parents_provider=lambda: [parent]
+        )
+        renewer.start()
+        horizon = 4 * 3600.0
+        sim.run(until=horizon)
+
+        assert renewer.active
+        assert renewer.stats.renewal_failures == 0
+        # Tickets are live at the end...
+        assert client.user_ticket.expire_time > horizon
+        assert client.channel_ticket.expire_time > horizon
+        # ... renewal cadence matches the lifetimes (900 s channel /
+        # 1800 s user over 4 h => roughly 16 and 8).
+        assert renewer.stats.channel_ticket_renewals >= 12
+        assert renewer.stats.user_ticket_renewals >= 6
+        # ... and the parent never severed us.
+        assert parent.enforce_ticket_expiry(now=horizon) == []
+        assert client.channel_ticket.user_id in parent.children
+
+    def test_stop_cancels_everything(self, rig):
+        deployment, client, peer, sim = rig
+        renewer = TicketAutoRenewer(sim, client)
+        renewer.start()
+        renewer.stop()
+        sim.run(until=7200.0)
+        assert renewer.stats.channel_ticket_renewals == 0
+        assert sim.pending() == 0
+
+    def test_blackout_stops_renewal_cleanly(self, rig):
+        """When the rights change under the viewer, the renewer reports
+        the refusal instead of looping."""
+        deployment, client, peer, sim = rig
+        deployment.policy_manager.schedule_blackout(
+            "marathon", start=3000.0, end=6000.0, now=0.0
+        )
+        failures = []
+        renewer = TicketAutoRenewer(sim, client, on_failure=failures.append)
+        renewer.start()
+        sim.run(until=7200.0)
+        assert failures, "renewal should eventually be refused"
+        assert not renewer.active
+        assert renewer.stats.renewal_failures == 1
+        # The last successful ticket cannot cross the blackout start.
+        assert client.channel_ticket.expire_time <= 3000.0
+
+    def test_presentations_reach_parent(self, rig):
+        deployment, client, peer, sim = rig
+        parent = deployment.overlay("marathon").source
+        renewer = TicketAutoRenewer(sim, client, parents_provider=lambda: [parent])
+        renewer.start()
+        sim.run(until=2000.0)
+        assert renewer.stats.presentations >= 1
+        # The parent's recorded link now carries the renewed ticket.
+        link = parent.children[client.channel_ticket.user_id]
+        assert link.ticket.renewal

@@ -1,0 +1,126 @@
+"""Tests for the stateless nonce-challenge machinery."""
+
+import pytest
+
+from repro.core.challenge import Challenge, ChallengeIssuer, answer_challenge
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import ChallengeError
+
+
+@pytest.fixture(scope="module")
+def client_key():
+    return generate_keypair(HmacDrbg(b"challenge-client"), bits=512)
+
+
+@pytest.fixture
+def issuer():
+    return ChallengeIssuer(b"farm-secret-0123456789abcdef", HmacDrbg(b"issuer"))
+
+
+class TestIssuance:
+    def test_tokens_are_unique(self, issuer):
+        a = issuer.issue("alice", now=0.0)
+        b = issuer.issue("alice", now=0.0)
+        assert a.nonce != b.nonce
+
+    def test_short_secret_rejected(self):
+        with pytest.raises(ValueError):
+            ChallengeIssuer(b"short", HmacDrbg(b"x"))
+
+    def test_token_roundtrip(self, issuer):
+        token = issuer.issue("alice", now=5.0)
+        restored = Challenge.from_bytes(token.to_bytes())
+        assert restored == token
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(ChallengeError):
+            Challenge.from_bytes(b"garbage")
+
+
+class TestValidation:
+    def test_valid_token_accepted(self, issuer):
+        token = issuer.issue("alice", now=0.0)
+        issuer.validate_token(token, "alice", now=10.0)
+
+    def test_cross_instance_validation(self):
+        """Two farm instances sharing the secret accept each other's tokens.
+
+        This is the statelessness property of Section V: LOGIN1 and
+        LOGIN2 may land on different physical servers.
+        """
+        secret = b"shared-farm-secret-0123456789ab"
+        instance_a = ChallengeIssuer(secret, HmacDrbg(b"a"))
+        instance_b = ChallengeIssuer(secret, HmacDrbg(b"b"))
+        token = instance_a.issue("alice", now=0.0)
+        instance_b.validate_token(token, "alice", now=1.0)
+
+    def test_foreign_farm_rejected(self, issuer):
+        other = ChallengeIssuer(b"different-secret-0123456789abcd", HmacDrbg(b"o"))
+        token = other.issue("alice", now=0.0)
+        with pytest.raises(ChallengeError):
+            issuer.validate_token(token, "alice", now=1.0)
+
+    def test_subject_binding(self, issuer):
+        token = issuer.issue("alice", now=0.0)
+        with pytest.raises(ChallengeError):
+            issuer.validate_token(token, "mallory", now=1.0)
+
+    def test_expiry(self, issuer):
+        token = issuer.issue("alice", now=0.0)
+        issuer.validate_token(token, "alice", now=59.0)
+        with pytest.raises(ChallengeError):
+            issuer.validate_token(token, "alice", now=61.0)
+
+    def test_future_token_rejected(self, issuer):
+        token = issuer.issue("alice", now=100.0)
+        with pytest.raises(ChallengeError):
+            issuer.validate_token(token, "alice", now=50.0)
+
+    def test_tampered_nonce_rejected(self, issuer):
+        token = issuer.issue("alice", now=0.0)
+        forged = Challenge(
+            subject=token.subject,
+            nonce=b"\x00" * len(token.nonce),
+            issued_at=token.issued_at,
+            mac=token.mac,
+        )
+        with pytest.raises(ChallengeError):
+            issuer.validate_token(forged, "alice", now=1.0)
+
+
+class TestResponseVerification:
+    def test_correct_response_accepted(self, issuer, client_key):
+        token = issuer.issue("alice", now=0.0)
+        signature = answer_challenge(token, client_key)
+        issuer.verify_response(token, "alice", signature, client_key.public_key, now=1.0)
+
+    def test_wrong_key_rejected(self, issuer, client_key):
+        attacker_key = generate_keypair(HmacDrbg(b"attacker"), bits=512)
+        token = issuer.issue("alice", now=0.0)
+        signature = answer_challenge(token, attacker_key)
+        with pytest.raises(ChallengeError):
+            issuer.verify_response(
+                token, "alice", signature, client_key.public_key, now=1.0
+            )
+
+    def test_extra_data_binding(self, issuer, client_key):
+        token = issuer.issue("alice", now=0.0)
+        signature = answer_challenge(token, client_key, extra=b"checksum")
+        issuer.verify_response(
+            token, "alice", signature, client_key.public_key, now=1.0, extra=b"checksum"
+        )
+        with pytest.raises(ChallengeError):
+            issuer.verify_response(
+                token, "alice", signature, client_key.public_key, now=1.0, extra=b"other"
+            )
+
+    def test_replayed_response_to_new_token_fails(self, issuer, client_key):
+        """A captured response answers only its own nonce."""
+        token1 = issuer.issue("alice", now=0.0)
+        captured = answer_challenge(token1, client_key)
+        token2 = issuer.issue("alice", now=1.0)
+        with pytest.raises(ChallengeError):
+            issuer.verify_response(
+                token2, "alice", captured, client_key.public_key, now=2.0
+            )

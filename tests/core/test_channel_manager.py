@@ -1,0 +1,341 @@
+"""Tests for the Channel Manager: switching, policy gates, renewal."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.attributes import (
+    ATTR_NETADDR,
+    ATTR_REGION,
+    ATTR_SUBSCRIPTION,
+    Attribute,
+    AttributeSet,
+)
+from repro.core.challenge import answer_challenge
+from repro.core.channel_manager import ChannelManager
+from repro.core.policy import Decision, Policy, PolicyCondition
+from repro.core.policy_manager import ChannelPolicyManager
+from repro.core.protocol import PeerDescriptor, Switch1Request, Switch2Request
+from repro.core.tickets import UserTicket
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import (
+    AuthorizationError,
+    ChallengeError,
+    PolicyRejectError,
+    RenewalRefusedError,
+    TicketExpiredError,
+    TicketInvalidError,
+)
+
+UM_KEY = generate_keypair(HmacDrbg(b"cm-tests-um"), bits=512)
+CLIENT_KEY = generate_keypair(HmacDrbg(b"cm-tests-client"), bits=512)
+OTHER_CLIENT_KEY = generate_keypair(HmacDrbg(b"cm-tests-client2"), bits=512)
+ADDR = "11.1.2.3"
+OTHER_ADDR = "12.9.8.7"
+
+
+def make_user_ticket(
+    user_id=1,
+    addr=ADDR,
+    region="CH",
+    subscription=None,
+    now=0.0,
+    lifetime=1800.0,
+    client_key=CLIENT_KEY,
+):
+    attributes = AttributeSet([
+        Attribute(name=ATTR_NETADDR, value=addr),
+        Attribute(name=ATTR_REGION, value=region),
+    ])
+    if subscription:
+        attributes.add(Attribute(name=ATTR_SUBSCRIPTION, value=subscription))
+    return UserTicket(
+        user_id=user_id,
+        client_public_key=client_key.public_key,
+        start_time=now,
+        expire_time=now + lifetime,
+        attributes=attributes,
+    ).signed(UM_KEY)
+
+
+@pytest.fixture
+def cpm():
+    manager = ChannelPolicyManager()
+    manager.add_channel(
+        "free",
+        now=0.0,
+        attributes=AttributeSet([Attribute(name=ATTR_REGION, value="CH")]),
+        policies=[
+            Policy.of(50, [PolicyCondition(ATTR_REGION, "CH")], Decision.ACCEPT)
+        ],
+        partition="default",
+    )
+    manager.add_channel(
+        "premium",
+        now=0.0,
+        attributes=AttributeSet([
+            Attribute(name=ATTR_REGION, value="CH"),
+            Attribute(name=ATTR_SUBSCRIPTION, value="101"),
+        ]),
+        policies=[
+            Policy.of(
+                50,
+                [PolicyCondition(ATTR_REGION, "CH"), PolicyCondition(ATTR_SUBSCRIPTION, "101")],
+                Decision.ACCEPT,
+            )
+        ],
+        partition="default",
+    )
+    manager.add_channel("elsewhere", now=0.0, partition="other")
+    return manager
+
+
+@pytest.fixture
+def cm(cpm):
+    manager = ChannelManager(
+        signing_key=generate_keypair(HmacDrbg(b"cm-key"), bits=512),
+        farm_secret=b"cm-farm-secret-0123456789abcdef0",
+        drbg=HmacDrbg(b"cm-runtime"),
+        user_manager_keys=[UM_KEY.public_key],
+        ticket_lifetime=900.0,
+        renewal_window=120.0,
+        partition="default",
+    )
+    cpm.add_channel_list_listener(manager.receive_channel_list)
+    return manager
+
+
+def full_switch(cm, user_ticket, channel_id=None, expiring=None, addr=ADDR,
+                now=0.0, client_key=CLIENT_KEY):
+    """Run both switch rounds."""
+    request1 = Switch1Request(
+        user_ticket=user_ticket,
+        channel_id=channel_id,
+        expiring_ticket=expiring,
+    )
+    response1 = cm.switch1(request1, now)
+    signature = answer_challenge(response1.token, client_key)
+    return cm.switch2(
+        Switch2Request(
+            user_ticket=user_ticket,
+            token=response1.token,
+            signature=signature,
+            channel_id=channel_id,
+            expiring_ticket=expiring,
+        ),
+        observed_addr=addr,
+        now=now,
+    )
+
+
+class TestSwitchHappyPath:
+    def test_issues_channel_ticket(self, cm):
+        response = full_switch(cm, make_user_ticket(), "free")
+        ticket = response.ticket
+        ticket.verify(cm.public_key, now=0.0, expected_channel="free", observed_addr=ADDR)
+        assert not ticket.renewal
+        assert ticket.user_id == 1
+
+    def test_ticket_lifetime_capped_by_user_ticket(self, cm):
+        short = make_user_ticket(lifetime=300.0)
+        ticket = full_switch(cm, short, "free").ticket
+        assert ticket.expire_time == 300.0  # user ticket expiry, not 900
+
+    def test_viewing_log_appended(self, cm):
+        full_switch(cm, make_user_ticket(user_id=7), "free")
+        entry = cm.latest_entry(7, "free")
+        assert entry is not None
+        assert entry.net_addr == ADDR
+        assert not entry.renewal
+        assert len(cm.viewing_log()) == 1
+
+    def test_peer_list_from_provider(self, cm):
+        descriptor = PeerDescriptor(peer_id="p1", address="11.5.5.5", region="CH")
+        cm.set_peer_list_provider(lambda ch, excl, count: [descriptor])
+        response = full_switch(cm, make_user_ticket(), "free")
+        assert response.peers == (descriptor,)
+
+    def test_subscription_channel_accessible_with_subscription(self, cm):
+        ticket = make_user_ticket(subscription="101")
+        assert full_switch(cm, ticket, "premium").ticket.channel_id == "premium"
+
+    def test_stats_counted(self, cm):
+        full_switch(cm, make_user_ticket(), "free")
+        assert cm.tickets_issued == 1
+        assert cm.renewals_issued == 0
+
+
+class TestSwitchRejections:
+    def test_policy_reject_without_subscription(self, cm):
+        with pytest.raises(PolicyRejectError):
+            full_switch(cm, make_user_ticket(), "premium")
+        assert cm.rejections == 1
+
+    def test_wrong_region_rejected(self, cm):
+        with pytest.raises(PolicyRejectError):
+            full_switch(cm, make_user_ticket(region="US"), "free")
+
+    def test_channel_outside_partition_rejected(self, cm):
+        with pytest.raises(AuthorizationError):
+            full_switch(cm, make_user_ticket(), "elsewhere")
+
+    def test_expired_user_ticket_rejected(self, cm):
+        stale = make_user_ticket(now=0.0, lifetime=10.0)
+        with pytest.raises(TicketExpiredError):
+            full_switch(cm, stale, "free", now=20.0)
+
+    def test_netaddr_mismatch_rejected(self, cm):
+        """A relayed/stolen User Ticket presented from elsewhere fails."""
+        with pytest.raises(TicketInvalidError):
+            full_switch(cm, make_user_ticket(), "free", addr=OTHER_ADDR)
+
+    def test_ticket_from_unknown_domain_rejected(self, cm):
+        rogue_um = generate_keypair(HmacDrbg(b"rogue-um"), bits=512)
+        forged = UserTicket(
+            user_id=1,
+            client_public_key=CLIENT_KEY.public_key,
+            start_time=0.0,
+            expire_time=1800.0,
+            attributes=AttributeSet([
+                Attribute(name=ATTR_NETADDR, value=ADDR),
+                Attribute(name=ATTR_REGION, value="CH"),
+            ]),
+        ).signed(rogue_um)
+        with pytest.raises(TicketInvalidError):
+            full_switch(cm, forged, "free")
+
+    def test_wrong_private_key_fails_challenge(self, cm):
+        """Stolen User Ticket without the client's private key is useless."""
+        ticket = make_user_ticket()
+        request1 = Switch1Request(user_ticket=ticket, channel_id="free")
+        response1 = cm.switch1(request1, 0.0)
+        signature = answer_challenge(response1.token, OTHER_CLIENT_KEY)
+        with pytest.raises(ChallengeError):
+            cm.switch2(
+                Switch2Request(
+                    user_ticket=ticket,
+                    token=response1.token,
+                    signature=signature,
+                    channel_id="free",
+                ),
+                observed_addr=ADDR,
+                now=0.0,
+            )
+
+    def test_multi_domain_keys(self, cm):
+        second_um = generate_keypair(HmacDrbg(b"um-2"), bits=512)
+        cm.add_user_manager_key(second_um.public_key)
+        ticket = UserTicket(
+            user_id=2,
+            client_public_key=CLIENT_KEY.public_key,
+            start_time=0.0,
+            expire_time=1800.0,
+            attributes=AttributeSet([
+                Attribute(name=ATTR_NETADDR, value=ADDR),
+                Attribute(name=ATTR_REGION, value="CH"),
+            ]),
+        ).signed(second_um)
+        assert full_switch(cm, ticket, "free").ticket.user_id == 2
+
+
+class TestRenewal:
+    def issue_then_renew(self, cm, now_issue=0.0, now_renew=850.0,
+                         renew_addr=ADDR, move_first_to=None):
+        user_ticket = make_user_ticket(now=now_issue, lifetime=3600.0)
+        original = full_switch(cm, user_ticket, "free", now=now_issue).ticket
+        if move_first_to is not None:
+            # The same account gets a fresh ticket from a new address.
+            moved_ticket = make_user_ticket(addr=move_first_to, now=now_issue + 10)
+            full_switch(cm, moved_ticket, "free", addr=move_first_to, now=now_issue + 10)
+        renew_user_ticket = make_user_ticket(addr=renew_addr, now=now_renew)
+        return full_switch(
+            cm, renew_user_ticket, expiring=original, addr=renew_addr, now=now_renew
+        )
+
+    def test_renewal_sets_bit_and_extends(self, cm):
+        response = self.issue_then_renew(cm)
+        assert response.ticket.renewal
+        assert response.ticket.expire_time == 850.0 + 900.0
+        assert cm.renewals_issued == 1
+
+    def test_renewal_outside_window_refused(self, cm):
+        """Too early: the expiring ticket is nowhere near expiry."""
+        with pytest.raises(RenewalRefusedError):
+            self.issue_then_renew(cm, now_renew=100.0)
+
+    def test_renewal_after_account_moved_refused(self, cm):
+        """Section IV-D: the viewing log's latest entry shows the new
+        address, so the old location's renewal is not processed."""
+        with pytest.raises(RenewalRefusedError):
+            self.issue_then_renew(cm, move_first_to=OTHER_ADDR)
+
+    def test_renewal_with_no_log_entry_refused(self, cm, cpm):
+        other_cm = ChannelManager(
+            signing_key=generate_keypair(HmacDrbg(b"cm-key"), bits=512),  # same key
+            farm_secret=b"cm-farm-secret-0123456789abcdef0",
+            drbg=HmacDrbg(b"cm-runtime-2"),
+            user_manager_keys=[UM_KEY.public_key],
+            partition="default",
+        )
+        cpm.add_channel_list_listener(other_cm.receive_channel_list)
+        user_ticket = make_user_ticket(lifetime=3600.0)
+        original = full_switch(cm, user_ticket, "free").ticket
+        renew_ticket = make_user_ticket(now=850.0)
+        with pytest.raises(RenewalRefusedError):
+            full_switch(other_cm, renew_ticket, expiring=original, now=850.0)
+
+    def test_shared_log_enables_farm_renewal(self, cm, cpm):
+        """Instances sharing the viewing log renew each other's tickets
+        (Section V's farm deployment)."""
+        sibling = ChannelManager(
+            signing_key=generate_keypair(HmacDrbg(b"cm-key"), bits=512),
+            farm_secret=b"cm-farm-secret-0123456789abcdef0",
+            drbg=HmacDrbg(b"cm-runtime-3"),
+            user_manager_keys=[UM_KEY.public_key],
+            partition="default",
+        )
+        cpm.add_channel_list_listener(sibling.receive_channel_list)
+        cm.share_log_with(sibling)
+        user_ticket = make_user_ticket(lifetime=3600.0)
+        original = full_switch(cm, user_ticket, "free").ticket
+        renew_ticket = make_user_ticket(now=850.0)
+        response = full_switch(sibling, renew_ticket, expiring=original, now=850.0)
+        assert response.ticket.renewal
+
+    def test_renewal_for_other_user_refused(self, cm):
+        alice = make_user_ticket(user_id=1, lifetime=3600.0)
+        original = full_switch(cm, alice, "free").ticket
+        mallory = make_user_ticket(user_id=9, now=850.0)
+        with pytest.raises(TicketInvalidError):
+            full_switch(cm, mallory, expiring=original, now=850.0)
+
+    def test_renewal_respects_policy_changes(self, cm, cpm):
+        """A blackout deployed before renewal blocks the renewal."""
+        user_ticket = make_user_ticket(lifetime=3600.0)
+        original = full_switch(cm, user_ticket, "free").ticket
+        cpm.schedule_blackout("free", start=800.0, end=2000.0, now=100.0)
+        renew_ticket = make_user_ticket(now=850.0)
+        with pytest.raises(PolicyRejectError):
+            full_switch(cm, renew_ticket, expiring=original, now=850.0)
+
+
+class TestSwitch1Validation:
+    def test_switch1_rejects_unknown_channel(self, cm):
+        with pytest.raises(AuthorizationError):
+            cm.switch1(Switch1Request(user_ticket=make_user_ticket(), channel_id="nope"), 0.0)
+
+    def test_switch1_rejects_expired_ticket(self, cm):
+        stale = make_user_ticket(lifetime=10.0)
+        with pytest.raises(TicketExpiredError):
+            cm.switch1(Switch1Request(user_ticket=stale, channel_id="free"), 20.0)
+
+    def test_request_requires_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            Switch1Request(user_ticket=make_user_ticket())
+        with pytest.raises(ValueError):
+            Switch1Request(
+                user_ticket=make_user_ticket(),
+                channel_id="free",
+                expiring_ticket="something",  # type: ignore[arg-type]
+            )

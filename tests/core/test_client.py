@@ -1,0 +1,187 @@
+"""Tests for the client state machine (against a full deployment)."""
+
+import pytest
+
+from repro.core.attributes import ATTR_REGION
+from repro.errors import (
+    AccountError,
+    AttestationError,
+    PolicyRejectError,
+    ProtocolError,
+)
+
+
+class TestLogin:
+    def test_login_stores_verified_ticket(self, deployment):
+        client = deployment.create_client("u@example.org", "pw", region="CH")
+        ticket = client.login(now=0.0)
+        assert client.user_ticket is ticket
+        assert ticket.attributes.first_value(ATTR_REGION) == "CH"
+
+    def test_first_login_fetches_full_channel_list(self, deployment, viewer):
+        assert set(viewer.channel_list) == {"free-ch", "free-uk", "premium"}
+
+    def test_relogin_without_changes_skips_refresh(self, deployment, viewer):
+        cpm_lookups_before = len(viewer.channel_list)
+        viewer.channel_list["marker"] = viewer.channel_list["free-ch"]
+        viewer.login(now=10.0)
+        # No full refresh: our marker survives (nothing changed upstream).
+        assert "marker" in viewer.channel_list
+
+    def test_utime_change_triggers_partial_refresh(self, deployment, viewer):
+        """Blackout scheduling bumps utimes; next login re-fetches."""
+        deployment.policy_manager.schedule_blackout(
+            "free-ch", start=1000.0, end=2000.0, now=50.0
+        )
+        viewer.login(now=100.0)
+        record = viewer.channel_list["free-ch"]
+        assert any(p.label == "blackout" for p in record.policies)
+
+    def test_wrong_password_fails(self, deployment):
+        deployment.accounts.register("w@example.org", "right")
+        client = deployment.create_client(
+            "w@example.org", "wrong", region="CH", register=False
+        )
+        from repro.errors import DecryptionError
+
+        with pytest.raises(DecryptionError):
+            client.login(now=0.0)
+
+    def test_unregistered_user_fails(self, deployment):
+        client = deployment.create_client(
+            "ghost@example.org", "pw", region="CH", register=False
+        )
+        with pytest.raises(AccountError):
+            client.login(now=0.0)
+
+    def test_tampered_client_image_fails(self, deployment):
+        tampered = bytes(b ^ 0xFF for b in deployment.client_image)
+        client = deployment.create_client(
+            "t@example.org", "pw", region="CH", image=tampered
+        )
+        with pytest.raises(AttestationError):
+            client.login(now=0.0)
+
+    def test_clock_offset_recorded(self, deployment):
+        client = deployment.create_client("c@example.org", "pw", region="CH")
+        client.login(now=500.0)
+        assert client.clock_offset == 0.0  # simulated clocks agree
+
+
+class TestChannelSelection:
+    def test_viewable_channels_filtered_by_region(self, deployment, viewer):
+        assert viewer.viewable_channels(now=1.0) == ["free-ch"]
+
+    def test_subscription_expands_lineup(self, deployment):
+        deployment.accounts.register("s@example.org", "pw")
+        deployment.accounts.subscribe("s@example.org", "101")
+        client = deployment.create_client(
+            "s@example.org", "pw", region="CH", register=False
+        )
+        client.login(now=0.0)
+        assert client.viewable_channels(now=1.0) == ["free-ch", "premium"]
+
+    def test_uk_viewer_sees_uk_channel(self, deployment):
+        client = deployment.create_client("uk@example.org", "pw", region="UK")
+        client.login(now=0.0)
+        assert client.viewable_channels(now=1.0) == ["free-uk"]
+
+    def test_requires_login(self, deployment):
+        client = deployment.create_client("x@example.org", "pw", region="CH")
+        with pytest.raises(ProtocolError):
+            client.viewable_channels(now=0.0)
+
+
+class TestSwitching:
+    def test_switch_issues_ticket_and_peers(self, deployment, viewer):
+        response = viewer.switch_channel("free-ch", now=1.0)
+        assert viewer.channel_ticket is response.ticket
+        assert response.ticket.channel_id == "free-ch"
+        assert len(response.peers) >= 1  # at least the source
+
+    def test_switch_to_unauthorized_channel_rejected(self, deployment, viewer):
+        with pytest.raises(PolicyRejectError):
+            viewer.switch_channel("premium", now=1.0)
+
+    def test_switch_to_unknown_channel_rejected(self, deployment, viewer):
+        with pytest.raises(ProtocolError):
+            viewer.switch_channel("nope", now=1.0)
+
+    def test_switch_requires_login(self, deployment):
+        client = deployment.create_client("y@example.org", "pw", region="CH")
+        with pytest.raises(ProtocolError):
+            client.switch_channel("free-ch", now=0.0)
+
+    def test_switch_resets_keys_and_parents(self, deployment, viewer):
+        deployment.watch(viewer, "free-ch", now=1.0)
+        assert viewer.parents
+        assert viewer.key_ring.serials()
+        deployment.add_free_channel("free-2", regions=["CH"], now=2.0)
+        viewer.login(now=3.0)  # refresh channel list
+        viewer.switch_channel("free-2", now=4.0)
+        assert not viewer.parents
+        assert not viewer.key_ring.serials()
+
+    def test_renewal_extends_without_reset(self, deployment, viewer):
+        deployment.watch(viewer, "free-ch", now=1.0)
+        original = viewer.channel_ticket
+        renew_at = original.expire_time - 10.0
+        viewer.login(now=renew_at)  # fresh user ticket for the renewal
+        response = viewer.renew_channel_ticket(now=renew_at)
+        assert response.ticket.renewal
+        assert response.ticket.expire_time > original.expire_time
+        assert viewer.parents  # connections survive renewal
+
+    def test_renew_requires_ticket(self, deployment, viewer):
+        with pytest.raises(ProtocolError):
+            viewer.renew_channel_ticket(now=1.0)
+
+
+class TestContentPath:
+    def test_end_to_end_decryption(self, deployment, viewer):
+        deployment.watch(viewer, "free-ch", now=1.0)
+        source = deployment.overlay("free-ch").source
+        packet = source.server.emit_packet(2.0)
+        payload = viewer.receive_packet(packet)
+        assert len(payload) == source.server.frame_size
+        assert viewer.packets_decrypted == 1
+
+    def test_receive_without_join_rejected(self, deployment, viewer):
+        source = deployment.overlay("free-ch").source
+        packet = source.server.emit_packet(2.0)
+        with pytest.raises(ProtocolError):
+            viewer.receive_packet(packet)
+
+    def test_key_update_from_unknown_parent_rejected(self, deployment, viewer):
+        deployment.watch(viewer, "free-ch", now=1.0)
+        from repro.core.protocol import KeyUpdate
+
+        update = KeyUpdate(
+            channel_id="free-ch", serial=9, encrypted_content_key=b"x" * 32,
+            activate_at=540.0,
+        )
+        with pytest.raises(ProtocolError):
+            viewer.receive_key_update(update, parent_id="stranger")
+
+    def test_decrypt_failure_counted(self, deployment, viewer):
+        from repro.core.packets import ContentPacket
+        from repro.errors import DecryptionError
+
+        deployment.watch(viewer, "free-ch", now=1.0)
+        rogue = ContentPacket(serial=200, sequence=1, ciphertext=b"\x00" * 64)
+        with pytest.raises(DecryptionError):
+            viewer.receive_packet(rogue)
+        assert viewer.decrypt_failures == 1
+
+
+class TestMobility:
+    def test_move_clears_session_state(self, deployment, viewer):
+        deployment.watch(viewer, "free-ch", now=1.0)
+        new_addr = deployment.geo.random_address("CH", deployment.rng)
+        viewer.move_to(new_addr)
+        assert viewer.user_ticket is None
+        assert viewer.channel_ticket is None
+        assert not viewer.parents
+        # Re-login from the new address works.
+        viewer.login(now=10.0)
+        assert viewer.user_ticket.net_addr == new_addr

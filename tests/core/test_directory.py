@@ -1,0 +1,42 @@
+"""Tests for the service directory."""
+
+import pytest
+
+from repro.core.directory import ServiceDirectory
+from repro.errors import ReproError
+
+
+class TestDirectory:
+    def test_register_and_resolve(self):
+        directory = ServiceDirectory()
+        marker = object()
+        directory.register("um://a", marker)
+        assert directory.resolve("um://a") is marker
+
+    def test_unresolvable_raises(self):
+        with pytest.raises(ReproError):
+            ServiceDirectory().resolve("nope://x")
+
+    def test_empty_address_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceDirectory().register("", object())
+
+    def test_rebind_replaces(self):
+        directory = ServiceDirectory()
+        directory.register("cm://p", "old")
+        directory.register("cm://p", "new")
+        assert directory.resolve("cm://p") == "new"
+
+    def test_unregister(self):
+        directory = ServiceDirectory()
+        directory.register("a", 1)
+        assert directory.unregister("a")
+        assert not directory.unregister("a")
+        with pytest.raises(ReproError):
+            directory.resolve("a")
+
+    def test_addresses(self):
+        directory = ServiceDirectory()
+        directory.register("a", 1)
+        directory.register("b", 2)
+        assert sorted(directory.addresses()) == ["a", "b"]

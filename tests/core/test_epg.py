@@ -1,0 +1,130 @@
+"""Tests for the Electronic Program Guide and pay-per-view."""
+
+import pytest
+
+from repro.core.epg import Program
+from repro.errors import PolicyRejectError, ReproError
+
+
+@pytest.fixture
+def scheduled(deployment):
+    """Deployment with a free channel carrying a PPV match and a
+    rights-less documentary."""
+    epg = deployment.epg
+    epg.add_program(Program(
+        program_id="match",
+        channel_id="free-ch",
+        start=10_000.0,
+        end=15_400.0,
+        title="The Derby",
+        ppv_price=4.90,
+    ))
+    epg.add_program(Program(
+        program_id="docu",
+        channel_id="free-ch",
+        start=20_000.0,
+        end=23_600.0,
+        title="No Internet Rights",
+        internet_rights=False,
+    ))
+    epg.apply_all_rights(now=0.0)
+    return deployment
+
+
+class TestSchedule:
+    def test_program_validation(self):
+        with pytest.raises(ValueError):
+            Program(program_id="x", channel_id="c", start=10.0, end=5.0)
+        with pytest.raises(ValueError):
+            Program(program_id="x", channel_id="c", start=0.0, end=1.0, ppv_price=-1.0)
+
+    def test_overlap_rejected(self, deployment):
+        epg = deployment.epg
+        epg.add_program(Program(program_id="a", channel_id="free-ch", start=0.0, end=100.0))
+        with pytest.raises(ReproError):
+            epg.add_program(Program(program_id="b", channel_id="free-ch", start=50.0, end=150.0))
+        # Same window on another channel is fine.
+        epg.add_program(Program(program_id="c", channel_id="free-uk", start=50.0, end=150.0))
+
+    def test_duplicate_id_rejected(self, deployment):
+        epg = deployment.epg
+        epg.add_program(Program(program_id="a", channel_id="free-ch", start=0.0, end=1.0))
+        with pytest.raises(ReproError):
+            epg.add_program(Program(program_id="a", channel_id="free-uk", start=5.0, end=6.0))
+
+    def test_current_program(self, scheduled):
+        epg = scheduled.epg
+        assert epg.current_program("free-ch", 12_000.0).program_id == "match"
+        assert epg.current_program("free-ch", 16_000.0) is None
+        assert epg.current_program("free-uk", 12_000.0) is None
+
+    def test_schedule_ordering(self, scheduled):
+        ids = [p.program_id for p in scheduled.epg.schedule_for("free-ch")]
+        assert ids == ["match", "docu"]
+
+
+class TestPayPerView:
+    def test_non_purchaser_fenced_out_during_program(self, scheduled):
+        client = scheduled.create_client("cheap@example.org", "pw", region="CH")
+        client.login(now=11_000.0)
+        with pytest.raises(PolicyRejectError):
+            client.switch_channel("free-ch", now=11_000.0)
+
+    def test_purchaser_admitted(self, scheduled):
+        scheduled.accounts.register("fan@example.org", "pw")
+        scheduled.accounts.top_up("fan@example.org", 10.0)
+        scheduled.epg.purchase(scheduled.accounts, "fan@example.org", "match")
+        client = scheduled.create_client("fan@example.org", "pw", region="CH", register=False)
+        client.login(now=11_000.0)
+        response = client.switch_channel("free-ch", now=11_000.0)
+        assert response.ticket.channel_id == "free-ch"
+        # The entitlement is visible as a time-boxed Subscription.
+        assert scheduled.accounts.get("fan@example.org").balance == pytest.approx(10.0 - 4.90)
+
+    def test_channel_free_outside_ppv_window(self, scheduled):
+        client = scheduled.create_client("casual@example.org", "pw", region="CH")
+        client.login(now=5_000.0)
+        assert client.switch_channel("free-ch", now=5_000.0)
+
+    def test_purchase_grants_only_the_window(self, scheduled):
+        scheduled.accounts.register("fan@example.org", "pw")
+        scheduled.accounts.top_up("fan@example.org", 10.0)
+        subscription = scheduled.epg.purchase(scheduled.accounts, "fan@example.org", "match")
+        assert subscription.stime == 10_000.0
+        assert subscription.etime == 15_400.0
+
+    def test_non_ppv_purchase_rejected(self, scheduled):
+        scheduled.accounts.register("fan@example.org", "pw")
+        with pytest.raises(ReproError):
+            scheduled.epg.purchase(scheduled.accounts, "fan@example.org", "docu")
+
+    def test_insufficient_balance(self, scheduled):
+        scheduled.accounts.register("broke@example.org", "pw")
+        from repro.errors import AccountError
+
+        with pytest.raises(AccountError):
+            scheduled.epg.purchase(scheduled.accounts, "broke@example.org", "match")
+
+    def test_ticket_issued_before_ppv_window_capped_at_its_start(self, scheduled):
+        """A non-purchaser watching ahead of the PPV program holds a
+        ticket that expires exactly at the fence."""
+        client = scheduled.create_client("casual@example.org", "pw", region="CH")
+        login_at = 9_500.0
+        client.login(now=login_at)
+        response = client.switch_channel("free-ch", now=login_at)
+        assert response.ticket.expire_time == 10_000.0
+
+
+class TestBlackoutProgram:
+    def test_rightsless_program_blacked_out(self, scheduled):
+        client = scheduled.create_client("v@example.org", "pw", region="CH")
+        client.login(now=21_000.0)
+        with pytest.raises(PolicyRejectError):
+            client.switch_channel("free-ch", now=21_000.0)
+
+    def test_apply_rights_idempotent(self, scheduled):
+        policies_before = len(scheduled.policy_manager.get_channel("free-ch").policies)
+        scheduled.epg.apply_rights("match", now=0.0)
+        scheduled.epg.apply_rights("docu", now=0.0)
+        policies_after = len(scheduled.policy_manager.get_channel("free-ch").policies)
+        assert policies_before == policies_after

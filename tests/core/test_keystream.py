@@ -1,0 +1,138 @@
+"""Tests for rotating content keys."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keystream import (
+    SERIAL_MODULUS,
+    ContentKey,
+    ContentKeyRing,
+    ContentKeySchedule,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.stream import SymmetricKey
+from repro.errors import DecryptionError
+
+
+def make_schedule(epoch=60.0, lead=10.0, start=0.0):
+    return ContentKeySchedule(HmacDrbg(b"keys"), epoch=epoch, lead_time=lead, start_time=start)
+
+
+class TestContentKey:
+    def test_serial_range_enforced(self):
+        key = SymmetricKey.generate(HmacDrbg(b"k"))
+        with pytest.raises(ValueError):
+            ContentKey(serial=256, key=key, activate_at=0.0)
+        with pytest.raises(ValueError):
+            ContentKey(serial=-1, key=key, activate_at=0.0)
+
+
+class TestSchedule:
+    def test_epoch_boundaries(self):
+        schedule = make_schedule()
+        assert schedule.current_key(0.0).serial == 0
+        assert schedule.current_key(59.9).serial == 0
+        assert schedule.current_key(60.0).serial == 1
+        assert schedule.current_key(3599.0).serial == 59
+
+    def test_keys_differ_between_epochs(self):
+        schedule = make_schedule()
+        a = schedule.current_key(0.0)
+        b = schedule.current_key(60.0)
+        assert a.key.material != b.key.material
+
+    def test_stable_within_epoch(self):
+        schedule = make_schedule()
+        assert schedule.current_key(10.0) == schedule.current_key(50.0)
+
+    def test_upcoming_key_only_inside_lead_window(self):
+        schedule = make_schedule(epoch=60.0, lead=10.0)
+        assert schedule.upcoming_key(30.0) is None
+        upcoming = schedule.upcoming_key(51.0)
+        assert upcoming is not None
+        assert upcoming.serial == 1
+        assert upcoming.activate_at == 60.0
+
+    def test_distributable_keys(self):
+        schedule = make_schedule()
+        assert [k.serial for k in schedule.distributable_keys(30.0)] == [0]
+        assert [k.serial for k in schedule.distributable_keys(55.0)] == [0, 1]
+
+    def test_serial_wraparound(self):
+        schedule = make_schedule()
+        late = schedule.current_key(60.0 * (SERIAL_MODULUS + 3))
+        assert late.serial == 3
+        # The wrapped key replaced the original serial-3 key.
+        assert schedule.key_by_serial(3) == late
+
+    def test_deterministic_under_seed(self):
+        a = make_schedule().current_key(120.0)
+        b = make_schedule().current_key(120.0)
+        assert a.key.material == b.key.material
+
+    def test_start_time_offset(self):
+        schedule = make_schedule(start=1000.0)
+        assert schedule.current_key(1000.0).serial == 0
+        assert schedule.current_key(1060.0).serial == 1
+        assert schedule.current_key(0.0).serial == 0  # clamped pre-start
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_schedule(epoch=0.0)
+        with pytest.raises(ValueError):
+            make_schedule(epoch=60.0, lead=60.0)
+
+
+class TestKeyRing:
+    def key(self, serial):
+        return ContentKey(
+            serial=serial,
+            key=SymmetricKey.generate(HmacDrbg(serial.to_bytes(2, "big"))),
+            activate_at=serial * 60.0,
+        )
+
+    def test_offer_and_get(self):
+        ring = ContentKeyRing()
+        assert ring.offer(self.key(1))
+        assert ring.get(1).serial == 1
+        assert ring.has(1)
+
+    def test_duplicate_discarded(self):
+        """Section IV-E: multi-parent peers discard duplicate keys by serial."""
+        ring = ContentKeyRing()
+        ring.offer(self.key(1))
+        assert not ring.offer(self.key(1))
+        assert ring.duplicates_discarded == 1
+
+    def test_missing_serial_raises(self):
+        ring = ContentKeyRing()
+        with pytest.raises(DecryptionError):
+            ring.get(7)
+
+    def test_eviction_by_arrival_order(self):
+        ring = ContentKeyRing(capacity=2)
+        ring.offer(self.key(1))
+        ring.offer(self.key(2))
+        ring.offer(self.key(3))
+        assert not ring.has(1)
+        assert ring.serials() == [2, 3]
+
+    def test_minimum_capacity(self):
+        with pytest.raises(ValueError):
+            ContentKeyRing(capacity=1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=255), max_size=50))
+@settings(max_examples=50)
+def test_property_ring_never_duplicates(serials):
+    ring = ContentKeyRing(capacity=300)
+    drbg = HmacDrbg(b"ring-prop")
+    accepted = set()
+    for serial in serials:
+        fresh = ring.offer(
+            ContentKey(serial=serial, key=SymmetricKey.generate(drbg), activate_at=0.0)
+        )
+        assert fresh == (serial not in accepted)
+        accepted.add(serial)
+    assert set(ring.serials()) == accepted

@@ -1,0 +1,82 @@
+"""Property-based tests for the rotating key schedule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keystream import SERIAL_MODULUS, ContentKeySchedule
+from repro.crypto.drbg import HmacDrbg
+
+
+def make_schedule(epoch=60.0, start=0.0):
+    return ContentKeySchedule(HmacDrbg(b"prop-keys"), epoch=epoch, lead_time=10.0, start_time=start)
+
+
+@given(t=st.floats(min_value=0, max_value=1e6))
+@settings(max_examples=200, deadline=None)
+def test_serial_matches_epoch_index(t):
+    schedule = make_schedule()
+    key = schedule.current_key(t)
+    assert key.serial == int(t // 60.0) % SERIAL_MODULUS
+
+
+@given(t=st.floats(min_value=0, max_value=1e6))
+@settings(max_examples=100, deadline=None)
+def test_activation_time_brackets_query(t):
+    schedule = make_schedule()
+    key = schedule.current_key(t)
+    assert key.activate_at <= t < key.activate_at + 60.0
+
+
+@given(
+    # Within one serial-wrap window (256 epochs x 60 s): the 8-bit
+    # serial space means keys older than 256 epochs are *discarded by
+    # design* (Section IV-E), so distinctness only holds inside it.
+    t1=st.floats(min_value=0, max_value=15000.0),
+    t2=st.floats(min_value=0, max_value=15000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_same_epoch_same_key(t1, t2):
+    schedule = make_schedule()
+    a = schedule.current_key(t1)
+    b = schedule.current_key(t2)
+    if int(t1 // 60.0) == int(t2 // 60.0):
+        assert a == b
+    else:
+        assert a.key.material != b.key.material or a.serial != b.serial
+
+
+def test_wraparound_aliases_old_serials_by_design():
+    """Past one wrap, an old epoch's slot holds the newer key -- the
+    schedule keeps only the live window, exactly as the paper's 8-bit
+    serial implies."""
+    schedule = make_schedule()
+    old = schedule.current_key(30.0)          # epoch 0, serial 0
+    new = schedule.current_key(256 * 60.0 + 30.0)  # epoch 256, serial 0
+    assert new.serial == old.serial == 0
+    assert new.key.material != old.key.material
+    assert schedule.key_by_serial(0) == new
+
+
+@given(t=st.floats(min_value=0, max_value=1e5))
+@settings(max_examples=100, deadline=None)
+def test_upcoming_key_only_in_lead_window(t):
+    schedule = make_schedule()
+    upcoming = schedule.upcoming_key(t)
+    next_activate = (int(t // 60.0) + 1) * 60.0
+    if upcoming is None:
+        assert t < next_activate - 10.0
+    else:
+        assert t >= next_activate - 10.0
+        assert upcoming.activate_at == next_activate
+
+
+@given(epoch=st.floats(min_value=5.0, max_value=600.0), t=st.floats(min_value=0, max_value=2e4))
+@settings(max_examples=100, deadline=None)
+def test_forward_secrecy_window_scales_with_epoch(epoch, t):
+    """A key unlocks exactly its [activate, activate+epoch) span."""
+    schedule = ContentKeySchedule(
+        HmacDrbg(b"fs"), epoch=epoch, lead_time=min(0.5, epoch / 2), start_time=0.0
+    )
+    key = schedule.current_key(t)
+    assert key.activate_at <= t
+    assert t - key.activate_at < epoch

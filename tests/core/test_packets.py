@@ -1,0 +1,128 @@
+"""Tests for content packets and per-link key re-encryption."""
+
+import pytest
+
+from repro.core.keystream import ContentKey, ContentKeyRing
+from repro.core.packets import (
+    ContentPacket,
+    decrypt_key_from_link,
+    decrypt_packet,
+    encrypt_packet,
+    reencrypt_key_for_link,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.stream import SymmetricKey
+from repro.errors import DecryptionError
+
+
+@pytest.fixture
+def content_key():
+    return ContentKey(
+        serial=7, key=SymmetricKey.generate(HmacDrbg(b"ck")), activate_at=420.0
+    )
+
+
+@pytest.fixture
+def ring(content_key):
+    ring = ContentKeyRing()
+    ring.offer(content_key)
+    return ring
+
+
+class TestPacketFormat:
+    def test_wire_roundtrip(self, content_key):
+        packet = encrypt_packet(content_key, "ch1", 12345, b"frame data")
+        restored = ContentPacket.from_bytes(packet.to_bytes())
+        assert restored == packet
+
+    def test_serial_byte_prepended(self, content_key):
+        packet = encrypt_packet(content_key, "ch1", 1, b"payload")
+        assert packet.to_bytes()[0] == 7
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecryptionError):
+            ContentPacket.from_bytes(b"\x07\x00\x00")
+
+    def test_size_accounts_header(self, content_key):
+        packet = encrypt_packet(content_key, "ch1", 1, b"x" * 100)
+        assert packet.size == len(packet.to_bytes())
+
+
+class TestPacketEncryption:
+    def test_roundtrip(self, content_key, ring):
+        packet = encrypt_packet(content_key, "ch1", 42, b"media frame")
+        assert decrypt_packet(ring, "ch1", packet) == b"media frame"
+
+    def test_payload_not_visible_in_ciphertext(self, content_key):
+        payload = b"SECRET-MEDIA-CONTENT"
+        packet = encrypt_packet(content_key, "ch1", 42, payload)
+        assert payload not in packet.to_bytes()
+
+    def test_unknown_serial_fails(self, content_key):
+        empty_ring = ContentKeyRing()
+        packet = encrypt_packet(content_key, "ch1", 42, b"x")
+        with pytest.raises(DecryptionError):
+            decrypt_packet(empty_ring, "ch1", packet)
+
+    def test_wrong_channel_fails(self, content_key, ring):
+        """Channel id is bound as AAD: cross-channel replay is rejected."""
+        packet = encrypt_packet(content_key, "ch1", 42, b"x")
+        with pytest.raises(DecryptionError):
+            decrypt_packet(ring, "ch2", packet)
+
+    def test_injected_content_detected(self, content_key, ring):
+        """The hijack-detection property of Section IV-E: rogue packets
+        fail the integrity check."""
+        genuine = encrypt_packet(content_key, "ch1", 42, b"x")
+        rogue = ContentPacket(
+            serial=genuine.serial,
+            sequence=genuine.sequence,
+            ciphertext=b"\x00" * len(genuine.ciphertext),
+        )
+        with pytest.raises(DecryptionError):
+            decrypt_packet(ring, "ch1", rogue)
+
+    def test_sequence_tampering_detected(self, content_key, ring):
+        packet = encrypt_packet(content_key, "ch1", 42, b"x")
+        replayed = ContentPacket(serial=packet.serial, sequence=43, ciphertext=packet.ciphertext)
+        with pytest.raises(DecryptionError):
+            decrypt_packet(ring, "ch1", replayed)
+
+
+class TestKeyReencryption:
+    def test_link_roundtrip(self, content_key):
+        session = SymmetricKey.generate(HmacDrbg(b"session"))
+        blob = reencrypt_key_for_link(content_key, session, "ch1")
+        restored = decrypt_key_from_link(blob, 7, session, "ch1", activate_at=420.0)
+        assert restored.key.material == content_key.key.material
+        assert restored.serial == 7
+
+    def test_wrong_session_key_fails(self, content_key):
+        session = SymmetricKey.generate(HmacDrbg(b"session"))
+        other = SymmetricKey.generate(HmacDrbg(b"other"))
+        blob = reencrypt_key_for_link(content_key, session, "ch1")
+        with pytest.raises(DecryptionError):
+            decrypt_key_from_link(blob, 7, other, "ch1", activate_at=0.0)
+
+    def test_wrong_serial_fails(self, content_key):
+        session = SymmetricKey.generate(HmacDrbg(b"session"))
+        blob = reencrypt_key_for_link(content_key, session, "ch1")
+        with pytest.raises(DecryptionError):
+            decrypt_key_from_link(blob, 8, session, "ch1", activate_at=0.0)
+
+    def test_per_link_ciphertexts_differ(self, content_key):
+        """The A->B->{D,E} cascade: each link sees a different blob of
+        the same key."""
+        session_d = SymmetricKey.generate(HmacDrbg(b"link-d"))
+        session_e = SymmetricKey.generate(HmacDrbg(b"link-e"))
+        blob_d = reencrypt_key_for_link(content_key, session_d, "ch1")
+        blob_e = reencrypt_key_for_link(content_key, session_e, "ch1")
+        assert blob_d != blob_e
+        key_d = decrypt_key_from_link(blob_d, 7, session_d, "ch1", 420.0)
+        key_e = decrypt_key_from_link(blob_e, 7, session_e, "ch1", 420.0)
+        assert key_d.key.material == key_e.key.material
+
+    def test_key_material_not_in_blob(self, content_key):
+        session = SymmetricKey.generate(HmacDrbg(b"session"))
+        blob = reencrypt_key_for_link(content_key, session, "ch1")
+        assert content_key.key.material not in blob

@@ -1,0 +1,219 @@
+"""Tests for policy evaluation, including the paper's Fig. 2 worked example."""
+
+import pytest
+
+from repro.core.attributes import Attribute, AttributeSet, VALUE_ANY
+from repro.core.policy import (
+    Decision,
+    Policy,
+    PolicyCondition,
+    evaluate_policies,
+)
+from repro.util.wire import Decoder, Encoder
+
+
+def accept(priority, *conds, label=""):
+    return Policy.of(priority, conds, Decision.ACCEPT, label=label)
+
+
+def reject(priority, *conds, label=""):
+    return Policy.of(priority, conds, Decision.REJECT, label=label)
+
+
+def cond(name, value):
+    return PolicyCondition(name=name, value=value)
+
+
+class TestPolicyBasics:
+    def test_needs_conditions(self):
+        with pytest.raises(ValueError):
+            Policy.of(50, [], Decision.ACCEPT)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            Policy.of(-1, [cond("A", "1")], Decision.ACCEPT)
+
+    def test_str_matches_paper_notation(self):
+        policy = accept(50, cond("Region", "100"), cond("Subscription", "101"))
+        assert str(policy) == (
+            "Priority 50: Region=100 & Subscription=101, Return ACCEPT"
+        )
+
+    def test_wire_roundtrip(self):
+        policy = reject(100, cond("Region", VALUE_ANY), label="blackout")
+        enc = Encoder()
+        policy.encode(enc)
+        assert Policy.decode(Decoder(enc.to_bytes())) == policy
+
+
+class TestBackingValidity:
+    def test_condition_backed_by_valid_channel_attribute(self):
+        channel = AttributeSet([Attribute(name="Region", value="100")])
+        assert cond("Region", "100").is_backed(channel, now=0.0)
+
+    def test_condition_unbacked_when_expired(self):
+        channel = AttributeSet([Attribute(name="Region", value="100", etime=10.0)])
+        assert cond("Region", "100").is_backed(channel, now=5.0)
+        assert not cond("Region", "100").is_backed(channel, now=15.0)
+
+    def test_unbacked_policy_is_dormant(self):
+        channel = AttributeSet([Attribute(name="Region", value="100", etime=10.0)])
+        user = AttributeSet([Attribute(name="Region", value="100")])
+        policy = accept(50, cond("Region", "100"))
+        assert policy.is_active(channel, now=5.0)
+        assert not policy.is_active(channel, now=15.0)
+        result = evaluate_policies([policy], channel, user, now=15.0)
+        assert result.decision is Decision.REJECT
+        assert policy in result.dormant_policies
+
+
+class TestEvaluationOrder:
+    def test_higher_priority_wins(self):
+        channel = AttributeSet([Attribute(name="Region", value="100"),
+                                Attribute(name="Region", value=VALUE_ANY)])
+        user = AttributeSet([Attribute(name="Region", value="100")])
+        policies = [
+            accept(50, cond("Region", "100")),
+            reject(100, cond("Region", VALUE_ANY)),
+        ]
+        result = evaluate_policies(policies, channel, user, now=0.0)
+        assert result.decision is Decision.REJECT
+        assert result.matched_policy.priority == 100
+
+    def test_tie_broken_by_definition_order(self):
+        channel = AttributeSet([Attribute(name="Region", value="100")])
+        user = AttributeSet([Attribute(name="Region", value="100")])
+        first = accept(50, cond("Region", "100"), label="first")
+        second = reject(50, cond("Region", "100"), label="second")
+        result = evaluate_policies([first, second], channel, user, now=0.0)
+        assert result.matched_policy.label == "first"
+
+    def test_non_matching_policy_falls_through(self):
+        channel = AttributeSet([
+            Attribute(name="Region", value="100"),
+            Attribute(name="Region", value="101"),
+        ])
+        user = AttributeSet([Attribute(name="Region", value="101")])
+        policies = [
+            accept(50, cond("Region", "100")),
+            accept(50, cond("Region", "101")),
+        ]
+        result = evaluate_policies(policies, channel, user, now=0.0)
+        assert result.accepted
+
+    def test_default_is_reject(self):
+        channel = AttributeSet([Attribute(name="Region", value="100")])
+        user = AttributeSet([Attribute(name="Region", value="999")])
+        result = evaluate_policies(
+            [accept(50, cond("Region", "100"))], channel, user, now=0.0
+        )
+        assert result.decision is Decision.REJECT
+        assert result.matched_policy is None
+
+    def test_empty_policy_list_rejects(self):
+        result = evaluate_policies([], AttributeSet(), AttributeSet(), now=0.0)
+        assert result.decision is Decision.REJECT
+
+    def test_conjunction_requires_all_conditions(self):
+        channel = AttributeSet([
+            Attribute(name="Region", value="100"),
+            Attribute(name="Subscription", value="101"),
+        ])
+        policy = accept(50, cond("Region", "100"), cond("Subscription", "101"))
+        subscribed = AttributeSet([
+            Attribute(name="Region", value="100"),
+            Attribute(name="Subscription", value="101"),
+        ])
+        unsubscribed = AttributeSet([Attribute(name="Region", value="100")])
+        assert evaluate_policies([policy], channel, subscribed, now=0.0).accepted
+        assert not evaluate_policies([policy], channel, unsubscribed, now=0.0).accepted
+
+
+class TestPaperFigure2:
+    """The worked example of Fig. 2 in the paper, verbatim.
+
+    Channel A:
+        Priority 50: Region=100 & Subscription=101, Return ACCEPT
+        Priority 50: Region=101, Return ACCEPT
+    Channel B:
+        Priority 50: Region=100 & Subscription=101, Return ACCEPT
+        Priority 100: Region=ANY, Return REJECT      (blackout 8-9pm)
+    """
+
+    # Times: 07/10 8pm = 1000.0, 07/10 9pm = 2000.0 in test units.
+    BLACKOUT_START = 1000.0
+    BLACKOUT_END = 2000.0
+
+    def channel_a(self):
+        attrs = AttributeSet([
+            Attribute(name="Region", value="100"),
+            Attribute(name="Region", value="101"),
+            Attribute(name="Subscription", value="101"),
+        ])
+        policies = [
+            accept(50, cond("Region", "100"), cond("Subscription", "101")),
+            accept(50, cond("Region", "101")),
+        ]
+        return attrs, policies
+
+    def channel_b(self):
+        attrs = AttributeSet([
+            Attribute(name="Region", value="100"),
+            Attribute(name="Subscription", value="101"),
+            Attribute(
+                name="Region", value=VALUE_ANY,
+                stime=self.BLACKOUT_START, etime=self.BLACKOUT_END,
+            ),
+        ])
+        policies = [
+            accept(50, cond("Region", "100"), cond("Subscription", "101")),
+            reject(100, cond("Region", VALUE_ANY)),
+        ]
+        return attrs, policies
+
+    def paper_user(self):
+        """The user of Fig. 2(b): Region 100, AS 177, Subscription 101."""
+        return AttributeSet([
+            Attribute(name="Region", value="100"),
+            Attribute(name="AS", value="177"),
+            Attribute(name="Subscription", value="101", etime=10_000.0),
+            Attribute(name="NetAddr", value="11.1.1.1"),
+        ])
+
+    def test_subscriber_in_region_100_accesses_channel_a(self):
+        attrs, policies = self.channel_a()
+        assert evaluate_policies(policies, attrs, self.paper_user(), now=0.0).accepted
+
+    def test_region_101_user_accesses_channel_a_via_second_policy(self):
+        attrs, policies = self.channel_a()
+        user = AttributeSet([Attribute(name="Region", value="101")])
+        result = evaluate_policies(policies, attrs, user, now=0.0)
+        assert result.accepted
+        assert result.matched_policy.conditions == (cond("Region", "101"),)
+
+    def test_region_100_without_subscription_rejected_on_channel_a(self):
+        attrs, policies = self.channel_a()
+        user = AttributeSet([Attribute(name="Region", value="100")])
+        assert not evaluate_policies(policies, attrs, user, now=0.0).accepted
+
+    def test_channel_b_accessible_before_blackout(self):
+        attrs, policies = self.channel_b()
+        result = evaluate_policies(policies, attrs, self.paper_user(), now=500.0)
+        assert result.accepted
+
+    def test_channel_b_blacked_out_for_everyone_during_window(self):
+        attrs, policies = self.channel_b()
+        result = evaluate_policies(policies, attrs, self.paper_user(), now=1500.0)
+        assert result.decision is Decision.REJECT
+        assert result.matched_policy.priority == 100
+
+    def test_channel_b_accessible_again_after_blackout(self):
+        attrs, policies = self.channel_b()
+        assert evaluate_policies(policies, attrs, self.paper_user(), now=2500.0).accepted
+
+    def test_blackout_boundary_times(self):
+        attrs, policies = self.channel_b()
+        at_start = evaluate_policies(policies, attrs, self.paper_user(), now=1000.0)
+        at_end = evaluate_policies(policies, attrs, self.paper_user(), now=2000.0)
+        assert at_start.decision is Decision.REJECT
+        assert at_end.decision is Decision.REJECT

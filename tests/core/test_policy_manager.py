@@ -1,0 +1,180 @@
+"""Tests for the Channel Policy Manager."""
+
+import pytest
+
+from repro.core.attributes import ATTR_REGION, Attribute, AttributeSet, VALUE_ANY
+from repro.core.policy import Decision, Policy, PolicyCondition, evaluate_policies
+from repro.core.policy_manager import ChannelPolicyManager
+from repro.errors import AuthorizationError, ProtocolError, ReproError
+
+
+@pytest.fixture
+def cpm():
+    return ChannelPolicyManager()
+
+
+def region_attrs(*regions):
+    return AttributeSet([Attribute(name=ATTR_REGION, value=r) for r in regions])
+
+
+def region_policy(region, priority=50):
+    return Policy.of(
+        priority,
+        [PolicyCondition(name=ATTR_REGION, value=region)],
+        Decision.ACCEPT,
+        label=f"free-{region}",
+    )
+
+
+class TestChannelCrud:
+    def test_add_and_get(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        record = cpm.get_channel("ch1")
+        assert record.channel_id == "ch1"
+        assert len(record.policies) == 1
+
+    def test_duplicate_add_rejected(self, cpm):
+        cpm.add_channel("ch1", now=0.0)
+        with pytest.raises(ReproError):
+            cpm.add_channel("ch1", now=1.0)
+
+    def test_delete(self, cpm):
+        cpm.add_channel("ch1", now=0.0)
+        cpm.delete_channel("ch1", now=1.0)
+        with pytest.raises(AuthorizationError):
+            cpm.get_channel("ch1")
+
+    def test_delete_unknown_rejected(self, cpm):
+        with pytest.raises(AuthorizationError):
+            cpm.delete_channel("ghost", now=0.0)
+
+    def test_get_returns_copy(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        record = cpm.get_channel("ch1")
+        record.policies.append(region_policy("XX"))
+        assert cpm.get_channel("ch1").policies == []
+
+
+class TestUtimePropagation:
+    def test_modification_touches_all_channel_attribute_utimes(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH", "DE"))
+        cpm.set_channel_attribute("ch1", Attribute(name="Quality", value="HD"), now=42.0)
+        attribute_list = cpm.channel_attribute_list()
+        utimes = {a.key: a.utime for a in attribute_list}
+        assert utimes[(ATTR_REGION, "CH")] == 42.0
+        assert utimes[(ATTR_REGION, "DE")] == 42.0
+        assert utimes[("Quality", "HD")] == 42.0
+
+    def test_deletion_makes_utimes_current(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        cpm.delete_channel("ch1", now=9.0)
+        attribute_list = cpm.channel_attribute_list()
+        assert {a.utime for a in attribute_list if a.key == (ATTR_REGION, "CH")} == {9.0}
+
+    def test_attribute_list_collates_across_channels(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        cpm.add_channel("ch2", now=1.0, attributes=region_attrs("CH", "DE"))
+        keys = {a.key for a in cpm.channel_attribute_list()}
+        assert keys == {(ATTR_REGION, "CH"), (ATTR_REGION, "DE")}
+
+
+class TestListeners:
+    def test_listeners_pushed_on_every_change(self, cpm):
+        channel_pushes, attribute_pushes = [], []
+        cpm.add_channel_list_listener(lambda cl: channel_pushes.append(len(cl)))
+        cpm.add_attribute_list_listener(lambda al: attribute_pushes.append(len(al)))
+        # Registration itself pushes once.
+        assert channel_pushes == [0]
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        assert channel_pushes[-1] == 1
+        assert attribute_pushes[-1] == 1
+        cpm.set_channel_attribute("ch1", Attribute(name="Q", value="HD"), now=1.0)
+        assert attribute_pushes[-1] == 2
+
+    def test_partition_filtering_downstream(self, cpm):
+        """Channel Managers receive the full list and filter by partition."""
+        cpm.add_channel("a", now=0.0, partition="p1")
+        cpm.add_channel("b", now=0.0, partition="p2")
+        received = {}
+        cpm.add_channel_list_listener(lambda cl: received.update(cl))
+        assert received["a"].partition == "p1"
+        assert received["b"].partition == "p2"
+
+
+class TestPartialRefresh:
+    def test_channels_for_attributes(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        cpm.add_channel("ch2", now=0.0, attributes=region_attrs("DE"))
+        cpm.add_channel("ch3", now=0.0, attributes=region_attrs("CH", "DE"))
+        result = cpm.channels_for_attributes([(ATTR_REGION, "CH")])
+        assert set(result) == {"ch1", "ch3"}
+
+    def test_unknown_keys_return_empty(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        assert cpm.channels_for_attributes([("Nope", "x")]) == {}
+
+
+class TestBlackout:
+    def user(self):
+        return AttributeSet([Attribute(name=ATTR_REGION, value="CH")])
+
+    def test_blackout_window_rejects_everyone(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        cpm.schedule_blackout("ch1", start=100.0, end=200.0, now=0.0)
+        record = cpm.get_channel("ch1")
+        before = evaluate_policies(record.policies, record.attributes, self.user(), 50.0)
+        during = evaluate_policies(record.policies, record.attributes, self.user(), 150.0)
+        after = evaluate_policies(record.policies, record.attributes, self.user(), 250.0)
+        assert before.accepted and after.accepted
+        assert during.decision is Decision.REJECT
+
+    def test_blackout_invalid_window_rejected(self, cpm):
+        cpm.add_channel("ch1", now=0.0)
+        with pytest.raises(ValueError):
+            cpm.schedule_blackout("ch1", start=200.0, end=100.0, now=0.0)
+
+    def test_cancel_blackout(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        cpm.schedule_blackout("ch1", start=100.0, end=200.0, now=0.0)
+        assert cpm.cancel_blackout("ch1", now=50.0)
+        record = cpm.get_channel("ch1")
+        during = evaluate_policies(record.policies, record.attributes, self.user(), 150.0)
+        assert during.accepted
+
+    def test_blackout_touches_utimes_for_client_refresh(self, cpm):
+        """Scheduling a blackout must bump utimes so clients re-fetch."""
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        cpm.schedule_blackout("ch1", start=100.0, end=200.0, now=33.0)
+        utimes = {a.key: a.utime for a in cpm.channel_attribute_list()}
+        assert utimes[(ATTR_REGION, "CH")] == 33.0
+        assert utimes[(ATTR_REGION, VALUE_ANY)] == 33.0
+
+
+class TestPolicyCrud:
+    def test_add_and_remove_policy(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"))
+        cpm.add_policy("ch1", region_policy("CH"), now=1.0)
+        assert len(cpm.get_channel("ch1").policies) == 1
+        assert cpm.remove_policy("ch1", "free-CH", now=2.0)
+        assert cpm.get_channel("ch1").policies == []
+        assert not cpm.remove_policy("ch1", "free-CH", now=3.0)
+
+    def test_remove_channel_attribute(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH", "DE"))
+        assert cpm.remove_channel_attribute("ch1", ATTR_REGION, "DE", now=5.0)
+        record = cpm.get_channel("ch1")
+        assert {a.value for a in record.attributes.named(ATTR_REGION)} == {"CH"}
+
+    def test_set_channel_manager_address(self, cpm):
+        cpm.add_channel("ch1", now=0.0)
+        cpm.set_channel_manager("ch1", "cm://p1", now=1.0)
+        assert cpm.get_channel("ch1").channel_manager_addr == "cm://p1"
+
+
+class TestClientAccess:
+    def test_disabled_by_default(self, cpm):
+        with pytest.raises(ProtocolError):
+            cpm.request_channel_list(None, now=0.0)

@@ -1,0 +1,158 @@
+"""Property-based tests of the policy engine's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import Attribute, AttributeSet, VALUE_ANY
+from repro.core.policy import Decision, Policy, PolicyCondition, evaluate_policies
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+attr_names = st.sampled_from(["Region", "Subscription", "Quality", "AS"])
+attr_values = st.sampled_from(["A", "B", "C", "101", "102"])
+
+
+@st.composite
+def attributes(draw):
+    name = draw(attr_names)
+    value = draw(attr_values)
+    has_window = draw(st.booleans())
+    if has_window:
+        start = draw(st.floats(min_value=0, max_value=500))
+        length = draw(st.floats(min_value=1, max_value=500))
+        return Attribute(name=name, value=value, stime=start, etime=start + length)
+    return Attribute(name=name, value=value)
+
+
+@st.composite
+def attribute_sets(draw, max_size=6):
+    return AttributeSet(draw(st.lists(attributes(), max_size=max_size)))
+
+
+@st.composite
+def policies(draw, action=None):
+    conditions = draw(
+        st.lists(
+            st.builds(
+                PolicyCondition,
+                name=attr_names,
+                value=st.one_of(attr_values, st.just(VALUE_ANY)),
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return Policy.of(
+        priority=draw(st.integers(min_value=0, max_value=100)),
+        conditions=conditions,
+        action=action or draw(st.sampled_from([Decision.ACCEPT, Decision.REJECT])),
+    )
+
+
+@st.composite
+def policy_lists(draw, max_size=5, action=None):
+    return draw(st.lists(policies(action=action), max_size=max_size))
+
+
+now_times = st.floats(min_value=0, max_value=1000)
+
+
+# ----------------------------------------------------------------------
+# Invariants
+# ----------------------------------------------------------------------
+
+
+@given(channel=attribute_sets(), user=attribute_sets(), ps=policy_lists(), now=now_times)
+@settings(max_examples=200)
+def test_evaluation_is_deterministic(channel, user, ps, now):
+    first = evaluate_policies(ps, channel, user, now)
+    second = evaluate_policies(ps, channel, user, now)
+    assert first.decision == second.decision
+    assert first.matched_policy == second.matched_policy
+
+
+@given(channel=attribute_sets(), user=attribute_sets(), ps=policy_lists(), now=now_times)
+@settings(max_examples=200)
+def test_empty_or_no_match_defaults_to_reject(channel, user, ps, now):
+    result = evaluate_policies(ps, channel, user, now)
+    if result.matched_policy is None:
+        assert result.decision is Decision.REJECT
+
+
+@given(
+    channel=attribute_sets(),
+    user=attribute_sets(),
+    ps=policy_lists(action=Decision.ACCEPT),
+    now=now_times,
+)
+@settings(max_examples=200)
+def test_accept_only_policies_never_grant_without_match(channel, user, ps, now):
+    """With only ACCEPT policies, acceptance requires an active match."""
+    result = evaluate_policies(ps, channel, user, now)
+    if result.decision is Decision.ACCEPT:
+        matched = result.matched_policy
+        assert matched is not None
+        assert matched.is_active(channel, now)
+        assert matched.matches(user, now)
+
+
+@given(
+    channel=attribute_sets(),
+    user=attribute_sets(),
+    ps=policy_lists(action=Decision.ACCEPT),
+    now=now_times,
+)
+@settings(max_examples=200)
+def test_overriding_reject_is_monotone(channel, user, ps, now):
+    """Adding a max-priority universal REJECT never *grants* access.
+
+    The blackout construction relies on this: a high-priority REJECT
+    can only shrink the accepted set.
+    """
+    baseline = evaluate_policies(ps, channel, user, now)
+    fence = Policy.of(
+        priority=101,
+        conditions=[PolicyCondition(name="Region", value=VALUE_ANY)],
+        action=Decision.REJECT,
+    )
+    # Back the fence so it is active whenever the user has any Region.
+    fenced_channel = channel.copy()
+    fenced_channel.add(Attribute(name="Region", value=VALUE_ANY))
+    fenced = evaluate_policies(list(ps) + [fence], fenced_channel, user, now)
+    if baseline.decision is Decision.REJECT:
+        assert fenced.decision is Decision.REJECT
+
+
+@given(channel=attribute_sets(), user=attribute_sets(), ps=policy_lists(), now=now_times)
+@settings(max_examples=200)
+def test_dormant_policies_never_decide(channel, user, ps, now):
+    result = evaluate_policies(ps, channel, user, now)
+    for dormant in result.dormant_policies:
+        assert not dormant.is_active(channel, now)
+    if result.matched_policy is not None:
+        assert result.matched_policy.is_active(channel, now)
+
+
+@given(channel=attribute_sets(), user=attribute_sets(), ps=policy_lists(), now=now_times)
+@settings(max_examples=200)
+def test_matched_policy_has_maximal_priority_among_deciders(channel, user, ps, now):
+    """No active, matching policy with a *higher* priority was skipped."""
+    result = evaluate_policies(ps, channel, user, now)
+    if result.matched_policy is None:
+        return
+    for policy in ps:
+        if policy.priority > result.matched_policy.priority:
+            assert not (policy.is_active(channel, now) and policy.matches(user, now))
+
+
+@given(user=attribute_sets(), now=now_times)
+@settings(max_examples=100)
+def test_policy_order_ties_resolved_by_definition_order(user, now):
+    channel = AttributeSet([Attribute(name="Region", value="A")])
+    first = Policy.of(50, [PolicyCondition("Region", "A")], Decision.ACCEPT, label="one")
+    second = Policy.of(50, [PolicyCondition("Region", "A")], Decision.REJECT, label="two")
+    result = evaluate_policies([first, second], channel, user, now)
+    if result.matched_policy is not None:
+        assert result.matched_policy.label == "one"

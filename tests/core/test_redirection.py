@@ -1,0 +1,68 @@
+"""Tests for the Redirection Manager."""
+
+import pytest
+
+from repro.core.redirection import ManagerEndpoint, RedirectionManager
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import AccountError
+
+KEY = generate_keypair(HmacDrbg(b"redirection"), bits=512)
+CPM = ManagerEndpoint(address="cpm://main", public_key=KEY.public_key)
+
+
+def endpoint(addr):
+    return ManagerEndpoint(address=addr, public_key=KEY.public_key)
+
+
+@pytest.fixture
+def redirection():
+    manager = RedirectionManager(CPM)
+    manager.register_domain("eu", endpoint("um://eu"))
+    manager.register_domain("us", endpoint("um://us"))
+    return manager
+
+
+class TestLookup:
+    def test_returns_cpm_endpoint(self, redirection):
+        assert redirection.lookup("a@b.c").channel_policy_manager == CPM
+
+    def test_lookup_deterministic(self, redirection):
+        first = redirection.lookup("alice@example.org")
+        second = redirection.lookup("alice@example.org")
+        assert first.user_manager.address == second.user_manager.address
+
+    def test_hashing_spreads_users(self, redirection):
+        domains = {
+            redirection.domain_for(f"user{i}@example.org") for i in range(50)
+        }
+        assert domains == {"eu", "us"}
+
+    def test_explicit_assignment_overrides_hash(self, redirection):
+        redirection.assign_user("alice@example.org", "us")
+        assert redirection.domain_for("alice@example.org") == "us"
+        assert redirection.lookup("alice@example.org").user_manager.address == "um://us"
+
+    def test_assign_to_unknown_domain_rejected(self, redirection):
+        with pytest.raises(AccountError):
+            redirection.assign_user("a@b.c", "mars")
+
+    def test_no_domains_registered(self):
+        empty = RedirectionManager(CPM)
+        with pytest.raises(AccountError):
+            empty.domain_for("a@b.c")
+
+    def test_lookup_counter(self, redirection):
+        redirection.lookup("a@b.c")
+        redirection.lookup("d@e.f")
+        assert redirection.lookups == 2
+
+    def test_domains_listing(self, redirection):
+        assert redirection.domains() == ["eu", "us"]
+
+    def test_domain_rebinding_updates_endpoint(self, redirection):
+        """Re-registering a domain re-points its farm (a 'DNS change')."""
+        redirection.register_domain("eu", endpoint("um://eu-new"))
+        redirection.assign_user("a@b.c", "eu")
+        assert redirection.lookup("a@b.c").user_manager.address == "um://eu-new"
+        assert redirection.domains() == ["eu", "us"]

@@ -1,0 +1,167 @@
+"""Tests for User Tickets and Channel Tickets."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.attributes import Attribute, AttributeSet
+from repro.core.tickets import ChannelTicket, UserTicket
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import SignatureError, TicketExpiredError, TicketInvalidError
+
+
+@pytest.fixture(scope="module")
+def manager_key():
+    return generate_keypair(HmacDrbg(b"manager"), bits=512)
+
+
+@pytest.fixture(scope="module")
+def client_key():
+    return generate_keypair(HmacDrbg(b"client"), bits=512)
+
+
+@pytest.fixture
+def user_ticket(manager_key, client_key):
+    attributes = AttributeSet([
+        Attribute(name="NetAddr", value="11.1.2.3"),
+        Attribute(name="Region", value="CH", utime=5.0),
+        Attribute(name="Subscription", value="101", etime=900.0),
+    ])
+    return UserTicket(
+        user_id=42,
+        client_public_key=client_key.public_key,
+        start_time=100.0,
+        expire_time=1000.0,
+        attributes=attributes,
+    ).signed(manager_key)
+
+
+@pytest.fixture
+def channel_ticket(manager_key, client_key):
+    return ChannelTicket(
+        channel_id="sports-1",
+        user_id=42,
+        client_public_key=client_key.public_key,
+        net_addr="11.1.2.3",
+        renewal=False,
+        start_time=100.0,
+        expire_time=700.0,
+    ).signed(manager_key)
+
+
+class TestUserTicket:
+    def test_verifies_when_valid(self, user_ticket, manager_key):
+        user_ticket.verify(manager_key.public_key, now=500.0)
+
+    def test_unsigned_rejected(self, user_ticket, manager_key):
+        bare = dataclasses.replace(user_ticket, signature=b"")
+        with pytest.raises(SignatureError):
+            bare.verify(manager_key.public_key, now=500.0)
+
+    def test_expired_rejected(self, user_ticket, manager_key):
+        with pytest.raises(TicketExpiredError):
+            user_ticket.verify(manager_key.public_key, now=1001.0)
+
+    def test_not_yet_valid_rejected(self, user_ticket, manager_key):
+        with pytest.raises(TicketInvalidError):
+            user_ticket.verify(manager_key.public_key, now=99.0)
+
+    def test_tampered_user_id_rejected(self, user_ticket, manager_key):
+        forged = dataclasses.replace(user_ticket, user_id=7)
+        with pytest.raises(SignatureError):
+            forged.verify(manager_key.public_key, now=500.0)
+
+    def test_tampered_attributes_rejected(self, user_ticket, manager_key):
+        inflated = user_ticket.attributes.copy()
+        inflated.add(Attribute(name="Subscription", value="999"))
+        forged = dataclasses.replace(user_ticket, attributes=inflated)
+        with pytest.raises(SignatureError):
+            forged.verify(manager_key.public_key, now=500.0)
+
+    def test_wrong_issuer_rejected(self, user_ticket):
+        other = generate_keypair(HmacDrbg(b"other-manager"), bits=512)
+        with pytest.raises(SignatureError):
+            user_ticket.verify(other.public_key, now=500.0)
+
+    def test_net_addr_extraction_and_check(self, user_ticket):
+        assert user_ticket.net_addr == "11.1.2.3"
+        user_ticket.check_net_addr("11.1.2.3")
+        with pytest.raises(TicketInvalidError):
+            user_ticket.check_net_addr("99.9.9.9")
+
+    def test_serialization_roundtrip(self, user_ticket, manager_key):
+        restored = UserTicket.from_bytes(user_ticket.to_bytes())
+        assert restored == user_ticket
+        restored.verify(manager_key.public_key, now=500.0)
+
+    def test_remaining_lifetime(self, user_ticket):
+        assert user_ticket.remaining_lifetime == 900.0
+
+    def test_wrong_magic_rejected(self, channel_ticket):
+        with pytest.raises(TicketInvalidError):
+            UserTicket.from_bytes(channel_ticket.to_bytes())
+
+
+class TestChannelTicket:
+    def test_full_peer_checks_pass(self, channel_ticket, manager_key):
+        channel_ticket.verify(
+            manager_key.public_key,
+            now=500.0,
+            expected_channel="sports-1",
+            observed_addr="11.1.2.3",
+        )
+
+    def test_wrong_channel_rejected(self, channel_ticket, manager_key):
+        with pytest.raises(TicketInvalidError):
+            channel_ticket.verify(
+                manager_key.public_key, now=500.0, expected_channel="news-1"
+            )
+
+    def test_wrong_address_rejected(self, channel_ticket, manager_key):
+        with pytest.raises(TicketInvalidError):
+            channel_ticket.verify(
+                manager_key.public_key, now=500.0, observed_addr="99.9.9.9"
+            )
+
+    def test_expired_rejected(self, channel_ticket, manager_key):
+        with pytest.raises(TicketExpiredError):
+            channel_ticket.verify(manager_key.public_key, now=701.0)
+
+    def test_renewal_bit_covered_by_signature(self, channel_ticket, manager_key):
+        flipped = dataclasses.replace(channel_ticket, renewal=True)
+        with pytest.raises(SignatureError):
+            flipped.verify(manager_key.public_key, now=500.0)
+
+    def test_renewal_window(self, channel_ticket):
+        # expire_time=700, window=60: renewable in [640, 760].
+        assert not channel_ticket.is_within_renewal_window(600.0, 60.0)
+        assert channel_ticket.is_within_renewal_window(640.0, 60.0)
+        assert channel_ticket.is_within_renewal_window(700.0, 60.0)
+        assert channel_ticket.is_within_renewal_window(760.0, 60.0)
+        assert not channel_ticket.is_within_renewal_window(761.0, 60.0)
+
+    def test_serialization_roundtrip(self, channel_ticket, manager_key):
+        restored = ChannelTicket.from_bytes(channel_ticket.to_bytes())
+        assert restored == channel_ticket
+        restored.verify(manager_key.public_key, now=500.0)
+
+    def test_privacy_by_construction(self, channel_ticket):
+        """The wire form carries no user attributes beyond NetAddr.
+
+        Section IV-C: "By filtering out all user attributes other than
+        the client's network address, the Channel Manager serves to
+        intermediate between the protection of user privacy and
+        protection of content owner's digital rights."
+        """
+        blob = channel_ticket.to_bytes()
+        assert b"Subscription" not in blob
+        assert b"Region" not in blob
+        assert b"AS" not in blob
+
+    def test_wrong_magic_rejected(self, user_ticket):
+        with pytest.raises(TicketInvalidError):
+            ChannelTicket.from_bytes(user_ticket.to_bytes())
+
+    def test_certified_client_key_matches(self, channel_ticket, client_key):
+        assert channel_ticket.client_public_key == client_key.public_key

@@ -1,0 +1,352 @@
+"""Tests for the User Manager and the login protocol."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.accounts import AccountManager, secure_hash_password
+from repro.core.attributes import (
+    ATTR_AS,
+    ATTR_NETADDR,
+    ATTR_REGION,
+    ATTR_SUBSCRIPTION,
+    ATTR_VERSION,
+    Attribute,
+    AttributeSet,
+    VALUE_ANY,
+)
+from repro.core.protocol import Login1Request, Login2Request
+from repro.core.user_manager import ChecksumParams, UserManager
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.stream import SymmetricKey
+from repro.errors import (
+    AccountError,
+    AttestationError,
+    ChallengeError,
+    ProtocolError,
+)
+from repro.geo.database import GeoDatabase
+from repro.util.wire import Decoder
+
+IMAGE = bytes(range(256)) * 64  # 16 KiB client binary
+VERSION = "4.0.5"
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return GeoDatabase()
+
+
+@pytest.fixture
+def accounts():
+    manager = AccountManager()
+    manager.register("alice@example.org", "pw")
+    return manager
+
+
+@pytest.fixture
+def user_manager(geo, accounts):
+    manager = UserManager(
+        signing_key=generate_keypair(HmacDrbg(b"um-key"), bits=512),
+        farm_secret=b"um-farm-secret-0123456789abcdef0",
+        drbg=HmacDrbg(b"um-runtime"),
+        geo=geo,
+        min_version="4.0.0",
+    )
+    manager.register_client_image(VERSION, IMAGE)
+    accounts.add_listener(manager.sync_account)
+    for account in accounts.all_accounts():
+        manager.sync_account(account)
+    return manager
+
+
+@pytest.fixture
+def client_key():
+    return generate_keypair(HmacDrbg(b"login-client"), bits=512)
+
+
+def perform_login(
+    user_manager,
+    client_key,
+    email="alice@example.org",
+    password="pw",
+    image=IMAGE,
+    version=VERSION,
+    addr="11.1.2.3",
+    now=0.0,
+    tamper_nonce=False,
+):
+    """Drive both login rounds the way a client would."""
+    response1 = user_manager.login1(
+        Login1Request(email=email, client_public_key=client_key.public_key), now
+    )
+    shp = secure_hash_password(email, password)
+    blob = SymmetricKey(material=shp[:16]).decrypt(
+        response1.encrypted_blob, nonce=response1.blob_nonce, aad=b"login1"
+    )
+    dec = Decoder(blob)
+    nonce = dec.get_bytes()
+    params = ChecksumParams(salt=dec.get_bytes(), offset_seed=dec.get_u32(), length=dec.get_u32())
+    dec.get_f64()  # server time
+    if tamper_nonce:
+        nonce = bytes(len(nonce))
+    checksum = params.compute(image)
+    payload = nonce + checksum + version.encode()
+    return user_manager.login2(
+        Login2Request(
+            email=email,
+            client_public_key=client_key.public_key,
+            token=response1.token,
+            nonce=nonce,
+            checksum=checksum,
+            version=version,
+            signature=client_key.sign(payload),
+        ),
+        observed_addr=addr,
+        now=now,
+    )
+
+
+class TestLoginHappyPath:
+    def test_login_issues_verified_ticket(self, user_manager, client_key, geo):
+        response = perform_login(user_manager, client_key)
+        ticket = response.ticket
+        ticket.verify(user_manager.public_key, now=0.0)
+        assert ticket.client_public_key == client_key.public_key
+        assert ticket.net_addr == "11.1.2.3"
+
+    def test_standard_attributes_present(self, user_manager, client_key, geo):
+        addr = geo.random_address("DE", __import__("random").Random(1))
+        ticket = perform_login(user_manager, client_key, addr=addr).ticket
+        names = {a.name for a in ticket.attributes}
+        assert {ATTR_NETADDR, ATTR_REGION, ATTR_AS, ATTR_VERSION} <= names
+        assert ticket.attributes.first_value(ATTR_REGION) == "DE"
+
+    def test_ticket_lifetime_default(self, user_manager, client_key):
+        ticket = perform_login(user_manager, client_key, now=100.0).ticket
+        assert ticket.start_time == 100.0
+        assert ticket.expire_time == 100.0 + user_manager.ticket_lifetime
+
+    def test_logins_counted(self, user_manager, client_key):
+        perform_login(user_manager, client_key)
+        perform_login(user_manager, client_key)
+        assert user_manager.logins_issued == 2
+
+    def test_nonce_never_in_cleartext_response(self, user_manager, client_key):
+        """The LOGIN1 token carries only a commitment, not the nonce."""
+        response1 = user_manager.login1(
+            Login1Request(email="alice@example.org", client_public_key=client_key.public_key),
+            0.0,
+        )
+        shp = secure_hash_password("alice@example.org", "pw")
+        blob = SymmetricKey(material=shp[:16]).decrypt(
+            response1.encrypted_blob, nonce=response1.blob_nonce, aad=b"login1"
+        )
+        nonce = Decoder(blob).get_bytes()
+        assert nonce not in response1.token.to_bytes()
+
+
+class TestLoginFailures:
+    def test_unknown_user(self, user_manager, client_key):
+        with pytest.raises(AccountError):
+            user_manager.login1(
+                Login1Request(email="ghost@example.org", client_public_key=client_key.public_key),
+                0.0,
+            )
+
+    def test_wrong_password_cannot_recover_nonce(self, user_manager, client_key):
+        """A wrong password fails at blob decryption (integrity tag)."""
+        from repro.errors import DecryptionError
+
+        with pytest.raises(DecryptionError):
+            perform_login(user_manager, client_key, password="wrong")
+
+    def test_tampered_nonce_rejected(self, user_manager, client_key):
+        with pytest.raises(ChallengeError):
+            perform_login(user_manager, client_key, tamper_nonce=True)
+
+    def test_modified_client_image_fails_attestation(self, user_manager, client_key):
+        # Flip every byte: the checksum samples a server-chosen window,
+        # so a single-byte patch could fall outside it (the partial-
+        # checksum weakness the paper itself concedes in footnote 4).
+        tampered = bytes(b ^ 0xFF for b in IMAGE)
+        with pytest.raises(AttestationError):
+            perform_login(user_manager, client_key, image=tampered)
+
+    def test_single_byte_patch_caught_when_inside_window(self, user_manager, client_key):
+        """A patch inside the sampled window is detected; the server
+        randomizes the window per login, so repeated logins catch
+        patches probabilistically."""
+        caught = 0
+        for attempt in range(8):
+            tampered = bytearray(IMAGE)
+            tampered[attempt * 2048] ^= 0xFF
+            try:
+                perform_login(user_manager, client_key, image=bytes(tampered), now=float(attempt))
+            except AttestationError:
+                caught += 1
+        assert caught >= 1
+
+    def test_unknown_version_fails_attestation(self, user_manager, client_key):
+        with pytest.raises(AttestationError):
+            perform_login(user_manager, client_key, version="9.9.9")
+
+    def test_version_below_minimum_rejected(self, user_manager, client_key):
+        user_manager.register_client_image("3.0.0", IMAGE)
+        with pytest.raises(ProtocolError):
+            perform_login(user_manager, client_key, version="3.0.0")
+
+    def test_suspended_account_rejected(self, user_manager, accounts, client_key):
+        accounts.suspend("alice@example.org")
+        with pytest.raises(AccountError):
+            perform_login(user_manager, client_key)
+
+    def test_stale_token_rejected(self, user_manager, client_key):
+        response1 = user_manager.login1(
+            Login1Request(email="alice@example.org", client_public_key=client_key.public_key),
+            0.0,
+        )
+        shp = secure_hash_password("alice@example.org", "pw")
+        blob = SymmetricKey(material=shp[:16]).decrypt(
+            response1.encrypted_blob, nonce=response1.blob_nonce, aad=b"login1"
+        )
+        dec = Decoder(blob)
+        nonce = dec.get_bytes()
+        params = ChecksumParams(dec.get_bytes(), dec.get_u32(), dec.get_u32())
+        checksum = params.compute(IMAGE)
+        payload = nonce + checksum + VERSION.encode()
+        request = Login2Request(
+            email="alice@example.org",
+            client_public_key=client_key.public_key,
+            token=response1.token,
+            nonce=nonce,
+            checksum=checksum,
+            version=VERSION,
+            signature=client_key.sign(payload),
+        )
+        with pytest.raises(ChallengeError):
+            user_manager.login2(request, observed_addr="11.1.2.3", now=120.0)
+
+    def test_signature_by_other_key_rejected(self, user_manager, client_key):
+        """An attacker substituting its own pubkey in LOGIN2 still fails:
+        the signature must match the presented key AND the nonce only
+        decrypts with the password."""
+        attacker = generate_keypair(HmacDrbg(b"attacker-key"), bits=512)
+        response1 = user_manager.login1(
+            Login1Request(email="alice@example.org", client_public_key=client_key.public_key),
+            0.0,
+        )
+        shp = secure_hash_password("alice@example.org", "pw")
+        blob = SymmetricKey(material=shp[:16]).decrypt(
+            response1.encrypted_blob, nonce=response1.blob_nonce, aad=b"login1"
+        )
+        dec = Decoder(blob)
+        nonce = dec.get_bytes()
+        params = ChecksumParams(dec.get_bytes(), dec.get_u32(), dec.get_u32())
+        checksum = params.compute(IMAGE)
+        payload = nonce + checksum + VERSION.encode()
+        request = Login2Request(
+            email="alice@example.org",
+            client_public_key=client_key.public_key,  # claims alice's key
+            token=response1.token,
+            nonce=nonce,
+            checksum=checksum,
+            version=VERSION,
+            signature=attacker.sign(payload),  # signs with its own
+        )
+        with pytest.raises(ChallengeError):
+            user_manager.login2(request, observed_addr="11.1.2.3", now=1.0)
+
+
+class TestAttributeGeneration:
+    def test_subscription_attributes_with_windows(self, user_manager, accounts, client_key):
+        accounts.subscribe("alice@example.org", "101", stime=0.0, etime=500.0)
+        ticket = perform_login(user_manager, client_key, now=10.0).ticket
+        subs = ticket.attributes.named(ATTR_SUBSCRIPTION)
+        assert [s.value for s in subs] == ["101"]
+        assert subs[0].etime == 500.0
+
+    def test_lapsed_subscription_not_included(self, user_manager, accounts, client_key):
+        accounts.subscribe("alice@example.org", "101", etime=5.0)
+        ticket = perform_login(user_manager, client_key, now=10.0).ticket
+        assert ticket.attributes.named(ATTR_SUBSCRIPTION) == []
+
+    def test_ticket_expiry_capped_by_soonest_attribute(self, user_manager, accounts, client_key):
+        """Section IV-B: ticket expiry <= soonest attribute etime."""
+        accounts.subscribe("alice@example.org", "101", etime=60.0)
+        ticket = perform_login(user_manager, client_key, now=10.0).ticket
+        assert ticket.expire_time == 60.0
+
+    def test_utime_stamped_from_channel_attribute_list(self, user_manager, client_key, geo):
+        addr = geo.random_address("CH", __import__("random").Random(2))
+        attribute_list = AttributeSet([Attribute(name=ATTR_REGION, value="CH", utime=77.0)])
+        user_manager.receive_channel_attribute_list(attribute_list)
+        ticket = perform_login(user_manager, client_key, addr=addr).ticket
+        region = ticket.attributes.named(ATTR_REGION)[0]
+        assert region.utime == 77.0
+
+    def test_special_value_utime_propagates(self, user_manager, client_key, geo):
+        """A Region=ANY channel attribute (blackout) bumps all Region utimes."""
+        addr = geo.random_address("CH", __import__("random").Random(3))
+        attribute_list = AttributeSet([
+            Attribute(name=ATTR_REGION, value=VALUE_ANY, utime=99.0),
+            Attribute(name=ATTR_REGION, value="CH", utime=10.0),
+        ])
+        user_manager.receive_channel_attribute_list(attribute_list)
+        ticket = perform_login(user_manager, client_key, addr=addr).ticket
+        assert ticket.attributes.named(ATTR_REGION)[0].utime == 99.0
+
+
+class TestUserDb:
+    def test_user_ids_unique_and_stable(self, user_manager, accounts, client_key):
+        accounts.register("bob@example.org", "pw")
+        alice = user_manager.user_by_email("alice@example.org")
+        bob = user_manager.user_by_email("bob@example.org")
+        assert alice.user_id != bob.user_id
+        # Re-sync does not reassign.
+        user_manager.sync_account(accounts.get("alice@example.org"))
+        assert user_manager.user_by_email("alice@example.org").user_id == alice.user_id
+
+    def test_strided_id_spaces(self, geo):
+        managers = [
+            UserManager(
+                signing_key=generate_keypair(HmacDrbg(f"k{i}".encode()), bits=512),
+                farm_secret=b"farm-secret-0123456789abcdef0123",
+                drbg=HmacDrbg(f"d{i}".encode()),
+                geo=geo,
+                user_id_start=i + 1,
+                user_id_stride=2,
+            )
+            for i in range(2)
+        ]
+        accounts = AccountManager()
+        ids = []
+        for i in range(4):
+            account = accounts.register(f"user{i}@example.org", "pw")
+            ids.append(managers[i % 2].sync_account(account).user_id)
+        assert len(set(ids)) == 4
+
+    def test_user_count(self, user_manager):
+        assert user_manager.user_count() == 1
+
+
+class TestChecksumParams:
+    def test_deterministic(self):
+        params = ChecksumParams(salt=b"12345678", offset_seed=1000, length=64)
+        assert params.compute(IMAGE) == params.compute(IMAGE)
+
+    def test_offset_wraps_safely_on_short_images(self):
+        params = ChecksumParams(salt=b"12345678", offset_seed=10**9, length=4096)
+        short = b"tiny client"
+        assert params.compute(short)  # must not raise
+
+    def test_empty_image_rejected(self):
+        params = ChecksumParams(salt=b"12345678", offset_seed=0, length=64)
+        with pytest.raises(AttestationError):
+            params.compute(b"")
+
+    def test_different_params_different_checksums(self):
+        a = ChecksumParams(salt=b"aaaaaaaa", offset_seed=0, length=64)
+        b = ChecksumParams(salt=b"bbbbbbbb", offset_seed=0, length=64)
+        assert a.compute(IMAGE) != b.compute(IMAGE)

@@ -1,0 +1,92 @@
+"""Tests for primality testing and prime generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.primes import (
+    generate_prime,
+    generate_safe_distinct_primes,
+    is_probable_prime,
+)
+
+SMALL_PRIMES = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97,
+}
+
+KNOWN_PRIMES = [101, 257, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [
+    4, 100, 561, 1105, 1729, 2465,  # Carmichael numbers included
+    7919 * 104729,
+    (2**31 - 1) * (2**61 - 1),
+]
+
+
+class TestIsProbablePrime:
+    def test_small_primes(self):
+        for p in SMALL_PRIMES:
+            assert is_probable_prime(p), p
+
+    def test_small_composites(self):
+        for n in range(2, 200):
+            expected = all(n % d for d in range(2, n))
+            assert is_probable_prime(n) == expected, n
+
+    def test_known_large_primes(self):
+        for p in KNOWN_PRIMES:
+            assert is_probable_prime(p), p
+
+    def test_known_composites_including_carmichael(self):
+        for n in KNOWN_COMPOSITES:
+            assert not is_probable_prime(n), n
+
+    def test_edge_cases(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(-7)
+
+    def test_extra_witnesses_do_not_flip_primes(self):
+        assert is_probable_prime(104729, extra_witnesses=[2, 1000003])
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        drbg = HmacDrbg(b"primes")
+        for bits in (16, 64, 128, 256):
+            p = generate_prime(bits, drbg)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_deterministic_under_seed(self):
+        a = generate_prime(128, HmacDrbg(b"fixed"))
+        b = generate_prime(128, HmacDrbg(b"fixed"))
+        assert a == b
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, HmacDrbg(b"x"))
+
+    def test_generated_primes_are_odd(self):
+        drbg = HmacDrbg(b"odd")
+        for _ in range(5):
+            assert generate_prime(32, drbg) % 2 == 1
+
+
+class TestDistinctPrimes:
+    def test_primes_distinct(self):
+        p, q = generate_safe_distinct_primes(64, HmacDrbg(b"pq"))
+        assert p != q
+        assert is_probable_prime(p) and is_probable_prime(q)
+
+    def test_product_has_expected_magnitude(self):
+        p, q = generate_safe_distinct_primes(128, HmacDrbg(b"pq2"))
+        assert (p * q).bit_length() in (255, 256)
+
+
+@given(st.integers(min_value=2, max_value=3000))
+@settings(max_examples=200)
+def test_property_agrees_with_trial_division(n):
+    expected = n >= 2 and all(n % d for d in range(2, int(n**0.5) + 1))
+    assert is_probable_prime(n) == expected

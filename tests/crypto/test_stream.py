@@ -1,0 +1,130 @@
+"""Tests for the authenticated stream cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.stream import SymmetricKey, open_sealed, seal
+from repro.errors import DecryptionError, KeyFormatError
+
+
+@pytest.fixture
+def key():
+    return SymmetricKey.generate(HmacDrbg(b"stream"))
+
+
+class TestKeyBasics:
+    def test_generated_key_is_128_bit(self, key):
+        assert len(key.material) == 16
+
+    def test_wrong_length_material_rejected(self):
+        with pytest.raises(KeyFormatError):
+            SymmetricKey(material=b"short")
+
+    def test_generation_is_deterministic(self):
+        a = SymmetricKey.generate(HmacDrbg(b"k"))
+        b = SymmetricKey.generate(HmacDrbg(b"k"))
+        assert a.material == b.material
+
+    def test_fingerprint_does_not_leak_material(self, key):
+        assert key.material.hex() not in key.fingerprint()
+        assert len(key.fingerprint()) == 12
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, key):
+        ct = key.encrypt(b"media frame", nonce=1)
+        assert key.decrypt(ct, nonce=1) == b"media frame"
+
+    def test_ciphertext_differs_from_plaintext(self, key):
+        ct = key.encrypt(b"media frame", nonce=1)
+        assert b"media frame" not in ct
+
+    def test_nonce_changes_ciphertext(self, key):
+        assert key.encrypt(b"x", nonce=1) != key.encrypt(b"x", nonce=2)
+
+    def test_wrong_nonce_fails(self, key):
+        ct = key.encrypt(b"payload", nonce=5)
+        with pytest.raises(DecryptionError):
+            key.decrypt(ct, nonce=6)
+
+    def test_wrong_key_fails(self, key):
+        other = SymmetricKey.generate(HmacDrbg(b"other"))
+        ct = key.encrypt(b"payload", nonce=1)
+        with pytest.raises(DecryptionError):
+            other.decrypt(ct, nonce=1)
+
+    def test_tampered_body_fails(self, key):
+        ct = bytearray(key.encrypt(b"payload", nonce=1))
+        ct[0] ^= 0x01
+        with pytest.raises(DecryptionError):
+            key.decrypt(bytes(ct), nonce=1)
+
+    def test_tampered_tag_fails(self, key):
+        ct = bytearray(key.encrypt(b"payload", nonce=1))
+        ct[-1] ^= 0x01
+        with pytest.raises(DecryptionError):
+            key.decrypt(bytes(ct), nonce=1)
+
+    def test_truncated_ciphertext_fails(self, key):
+        with pytest.raises(DecryptionError):
+            key.decrypt(b"\x00" * 8, nonce=1)
+
+    def test_negative_nonce_rejected(self, key):
+        with pytest.raises(ValueError):
+            key.encrypt(b"x", nonce=-1)
+
+    def test_empty_plaintext(self, key):
+        ct = key.encrypt(b"", nonce=9)
+        assert key.decrypt(ct, nonce=9) == b""
+        assert len(ct) == 16  # tag only
+
+
+class TestAssociatedData:
+    def test_aad_must_match(self, key):
+        ct = key.encrypt(b"frame", nonce=1, aad=b"ch1")
+        assert key.decrypt(ct, nonce=1, aad=b"ch1") == b"frame"
+        with pytest.raises(DecryptionError):
+            key.decrypt(ct, nonce=1, aad=b"ch2")
+
+    def test_missing_aad_fails(self, key):
+        ct = key.encrypt(b"frame", nonce=1, aad=b"ch1")
+        with pytest.raises(DecryptionError):
+            key.decrypt(ct, nonce=1)
+
+    def test_aad_is_not_encrypted_into_body(self, key):
+        # Same plaintext, different AAD: bodies equal, tags differ.
+        a = key.encrypt(b"frame", nonce=1, aad=b"x")
+        b = key.encrypt(b"frame", nonce=1, aad=b"y")
+        assert a[:-16] == b[:-16]
+        assert a[-16:] != b[-16:]
+
+
+class TestFunctionalAliases:
+    def test_seal_open(self, key):
+        ct = seal(key, b"data", nonce=3, aad=b"a")
+        assert open_sealed(key, ct, nonce=3, aad=b"a") == b"data"
+
+
+@given(
+    plaintext=st.binary(min_size=0, max_size=2048),
+    nonce=st.integers(min_value=0, max_value=2**63),
+    aad=st.binary(max_size=64),
+)
+@settings(max_examples=80)
+def test_property_roundtrip(plaintext, nonce, aad):
+    key = SymmetricKey.generate(HmacDrbg(b"prop-stream"))
+    assert key.decrypt(key.encrypt(plaintext, nonce, aad), nonce, aad) == plaintext
+
+
+@given(plaintext=st.binary(min_size=1, max_size=256), flip=st.integers(min_value=0))
+@settings(max_examples=60)
+def test_property_any_bitflip_detected(plaintext, flip):
+    key = SymmetricKey.generate(HmacDrbg(b"prop-flip"))
+    ct = bytearray(key.encrypt(plaintext, nonce=1))
+    ct[flip % len(ct)] ^= 1 << (flip % 8) or 1
+    if bytes(ct) == key.encrypt(plaintext, nonce=1):
+        return  # the flip was a no-op (xor with 0); nothing to detect
+    with pytest.raises(DecryptionError):
+        key.decrypt(bytes(ct), nonce=1)

@@ -1,0 +1,71 @@
+"""Tests for the ablation drivers."""
+
+import random
+
+from repro.experiments.ablations import (
+    farm_scaling,
+    keydist_comparison,
+    rekey_tradeoff,
+    ticket_lifetime_tradeoff,
+    traditional_comparison,
+)
+
+
+class TestFarmScaling:
+    def test_waits_fall_with_farm_size(self):
+        points = farm_scaling(random.Random(1), arrivals=2000, farm_sizes=(1, 4))
+        assert points[1].p95_wait < points[0].p95_wait
+        assert points[1].max_queue <= points[0].max_queue
+
+    def test_rows_match_requested_sizes(self):
+        points = farm_scaling(random.Random(2), arrivals=500, farm_sizes=(1, 2, 4))
+        assert [p.n_servers for p in points] == [1, 2, 4]
+        assert all(p.arrivals == 500 for p in points)
+
+
+class TestKeydist:
+    def test_central_load_linear_push_constant(self):
+        rows = keydist_comparison(random.Random(3), audiences=(100, 10000))
+        small, large = rows
+        # Central server absorbs one request per client per re-key...
+        assert small.central_requests_per_rekey == 100
+        assert large.central_requests_per_rekey == 10000
+        # ...while the infrastructure cost of the push stays capped at
+        # the source fan-out regardless of audience.
+        assert large.push_server_messages == small.push_server_messages
+
+    def test_push_propagation_grows_slowly(self):
+        rows = keydist_comparison(random.Random(4), audiences=(100, 60000))
+        assert rows[1].push_propagation < rows[0].push_propagation * 4
+
+
+class TestTraditionalComparison:
+    def test_ours_needs_fewer_servers(self):
+        rows = traditional_comparison(random.Random(5), audiences=(2000,))
+        assert rows[0].ours_servers_for_sla <= rows[0].traditional_servers_for_sla
+
+    def test_provisioning_grows_with_audience(self):
+        rows = traditional_comparison(random.Random(6), audiences=(1000, 5000))
+        assert rows[1].traditional_servers_for_sla >= rows[0].traditional_servers_for_sla
+
+
+class TestRekeyTradeoff:
+    def test_traffic_inverse_to_exposure(self):
+        rows = rekey_tradeoff(epochs=(30.0, 300.0))
+        fast, slow = rows
+        assert fast.keys_per_hour > slow.keys_per_hour
+        assert fast.exposure_window < slow.exposure_window
+
+    def test_paper_default_epoch(self):
+        rows = rekey_tradeoff(epochs=(60.0,))
+        assert rows[0].keys_per_hour == 60.0
+        assert rows[0].exposure_window == 60.0
+
+
+class TestTicketLifetime:
+    def test_shorter_tickets_more_renewals_shorter_lead(self):
+        rows = ticket_lifetime_tradeoff(lifetimes=(300.0, 3600.0))
+        short, long_ = rows
+        assert short.renewals_per_viewer_hour > long_.renewals_per_viewer_hour
+        assert short.blackout_lead_time < long_.blackout_lead_time
+        assert short.stolen_ticket_usefulness < long_.stolen_ticket_usefulness

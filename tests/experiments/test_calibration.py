@@ -1,0 +1,33 @@
+"""Tests for service-time calibration against the real implementation."""
+
+import pytest
+
+from repro.experiments.calibration import calibrate
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibrate(repetitions=8, seed=101)
+
+
+class TestCalibration:
+    def test_all_measurements_positive(self, report):
+        for field in ("login1", "login2", "switch1", "switch2", "join_peer", "client_compute"):
+            assert getattr(report, field) > 0.0, field
+
+    def test_measurements_are_fast_operations(self, report):
+        """Every handler is a sub-100ms operation on any modern box --
+        the stateless-cheap-request property the paper's design rests on."""
+        for field in ("login1", "login2", "switch1", "switch2", "join_peer"):
+            assert getattr(report, field) < 0.1, field
+
+    def test_cost_ordering_matches_crypto_work(self, report):
+        """SWITCH2 (3 RSA ops) costs more than SWITCH1 (1 RSA verify);
+        LOGIN1 (symmetric only) is the cheapest server round."""
+        assert report.switch2 > report.switch1
+        assert report.login1 < report.switch2
+
+    def test_feeds_into_service_times(self, report):
+        service = report.as_service_times()
+        assert service.login1 == report.login1
+        assert service.join_peer == report.join_peer

@@ -1,0 +1,56 @@
+"""Tests for the fidelity check: functional replay vs timing model."""
+
+import pytest
+
+from repro.experiments.common import WeeklongConfig
+from repro.experiments.fidelity import (
+    FidelityConfig,
+    FidelityRunner,
+    compare_with_timing_model,
+)
+from repro.experiments.weeklong import WeeklongRunner
+from repro.metrics.stats import median
+
+
+@pytest.fixture(scope="module")
+def fidelity_result():
+    # Twelve hours starting Monday 00:00 covers the trough and the
+    # daytime ramp; enough arrivals for per-round statistics.
+    config = FidelityConfig(peak_concurrent=12, n_channels=4, horizon=12 * 3600.0)
+    return FidelityRunner(config).run()
+
+
+class TestFunctionalReplay:
+    def test_operations_execute_through_real_stack(self, fidelity_result):
+        assert fidelity_result.operations_executed > 50
+        # The replay drives a coherent trace: essentially nothing fails.
+        assert fidelity_result.operations_failed <= fidelity_result.operations_executed * 0.05
+
+    def test_all_rounds_sampled(self, fidelity_result):
+        for round_name in ("LOGIN1", "LOGIN2", "SWITCH1", "SWITCH2", "JOIN"):
+            assert fidelity_result.collector.count(round_name) > 10, round_name
+
+    def test_latencies_wan_dominated(self, fidelity_result):
+        """Real crypto under a 100 ms WAN: medians land in the same
+        regime the paper measured (well under a second)."""
+        for round_name in ("LOGIN1", "LOGIN2", "SWITCH1", "SWITCH2"):
+            m = fidelity_result.median_latency(round_name)
+            assert 0.02 < m < 1.0, (round_name, m)
+
+
+class TestModelAgreement:
+    def test_functional_and_model_medians_agree(self, fidelity_result):
+        """The substitution check of DESIGN.md: the timing model's
+        per-round medians match a replay through the real stack within
+        a small factor."""
+        model = WeeklongRunner(
+            WeeklongConfig(peak_concurrent=60, n_channels=10, horizon=86400.0)
+        ).run()
+        model_medians = {
+            name: median(model.collector.latencies(name))
+            for name in ("LOGIN1", "LOGIN2", "SWITCH1", "SWITCH2", "JOIN")
+        }
+        report = compare_with_timing_model(fidelity_result, model_medians, tolerance=3.0)
+        assert report, "no rounds compared"
+        disagreements = {k: v for k, v in report.items() if not v[2]}
+        assert not disagreements, disagreements

@@ -1,0 +1,81 @@
+"""Tests for the Fig. 5 / Fig. 6 extraction layers."""
+
+import pytest
+
+from repro.experiments import fig5, fig6
+from repro.experiments.common import WeeklongConfig
+from repro.experiments.weeklong import WeeklongRunner
+
+
+@pytest.fixture(scope="module")
+def result():
+    return WeeklongRunner(
+        WeeklongConfig(peak_concurrent=100, n_channels=15, horizon=2 * 86400.0)
+    ).run()
+
+
+class TestFig5:
+    def test_panels_cover_all_rounds(self):
+        rounds = [r for panel in fig5.FIG5_PANELS.values() for r in panel]
+        assert sorted(rounds) == ["JOIN", "LOGIN1", "LOGIN2", "SWITCH1", "SWITCH2"]
+
+    def test_series_aligned(self, result):
+        series = fig5.extract_series(result, "LOGIN1")
+        assert len(series.hours) == len(series.median_latency) == len(series.concurrent_users)
+        assert len(series.hours) > 20  # most hours of two days present
+
+    def test_series_reflects_diurnal_load(self, result):
+        series = fig5.extract_series(result, "SWITCH1")
+        assert max(series.concurrent_users) > 3 * min(series.concurrent_users)
+
+    def test_unknown_panel_rejected(self, result):
+        with pytest.raises(KeyError):
+            fig5.panel(result, "z-nope")
+
+    def test_render_contains_correlation(self, result):
+        text = fig5.render_panel(result, "a-login")
+        assert "LOGIN1" in text
+        assert "Pearson r" in text
+
+    def test_paper_comparison_table(self, result):
+        text = fig5.paper_comparison(result)
+        assert "0.13" in text  # the paper's join figure quoted
+        for round_name in ("LOGIN1", "JOIN"):
+            assert round_name in text
+
+
+class TestFig6:
+    def test_comparison_counts(self, result):
+        comparison = fig6.compare(result, "LOGIN1")
+        assert comparison.peak_count > 0
+        assert comparison.offpeak_count > 0
+        total = comparison.peak_count + comparison.offpeak_count
+        assert total == result.collector.count("LOGIN1")
+
+    def test_virtually_identical(self, result):
+        for round_name in ("LOGIN1", "SWITCH2", "JOIN"):
+            comparison = fig6.compare(result, round_name)
+            assert comparison.ks < 0.08
+            # Below the slow-path tail, quantiles stay close in
+            # absolute terms too.
+            median_gap = [g for q, p, o in comparison.quantiles if q == 0.5
+                          for g in [abs(p - o)]][0]
+            assert median_gap < 0.05
+
+    def test_quantiles_monotone(self, result):
+        comparison = fig6.compare(result, "SWITCH1")
+        peaks = [p for _, p, _ in comparison.quantiles]
+        assert peaks == sorted(peaks)
+
+    def test_render(self, result):
+        text = fig6.render_panel(result, "c-join")
+        assert "JOIN" in text
+        assert "KS=" in text
+
+    def test_fraction_under(self, result):
+        peak, off_peak = fig6.fraction_under(result, "LOGIN1", 5.0)
+        assert peak > 0.9 and off_peak > 0.9
+
+    def test_unknown_panel_rejected(self, result):
+        with pytest.raises(KeyError):
+            fig6.panel(result, "nope")

@@ -1,0 +1,97 @@
+"""Tests for the synthetic GeoIP/AS database."""
+
+import random
+
+import pytest
+
+from repro.geo.database import GeoDatabase, format_ip, parse_ip
+from repro.geo.regions import REGIONS
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return GeoDatabase()
+
+
+class TestIpParsing:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "255.255.255.255", "11.22.33.44"):
+            assert format_ip(parse_ip(text)) == text
+
+    def test_rejects_garbage(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                parse_ip(bad)
+
+
+class TestLookups:
+    def test_every_region_reachable(self, geo):
+        rng = random.Random(1)
+        for region in REGIONS:
+            address = geo.random_address(region, rng)
+            record = geo.lookup(address)
+            assert record is not None
+            assert record.region == region
+
+    def test_unallocated_space_returns_none(self, geo):
+        assert geo.lookup("200.1.2.3") is None
+        assert geo.lookup("10.0.0.1") is None
+
+    def test_lookup_is_pure(self, geo):
+        assert geo.lookup("11.5.6.7") == geo.lookup("11.5.6.7")
+
+    def test_region_of_convenience(self, geo):
+        rng = random.Random(2)
+        address = geo.random_address("DE", rng)
+        assert geo.region_of(address) == "DE"
+        assert geo.region_of("200.1.1.1") is None
+
+    def test_asn_assigned_per_slash16(self, geo):
+        a = geo.lookup("11.5.1.1")
+        b = geo.lookup("11.5.200.200")
+        c = geo.lookup("11.6.1.1")
+        assert a.asn == b.asn
+        assert a.asn != c.asn
+
+    def test_bigger_regions_get_more_blocks(self):
+        geo = GeoDatabase(n_blocks=64)
+        rng = random.Random(3)
+        ch_blocks = {
+            int(geo.random_address("CH", rng).split(".")[0]) for _ in range(300)
+        }
+        asia_blocks = {
+            int(geo.random_address("ASIA", rng).split(".")[0]) for _ in range(300)
+        }
+        assert len(ch_blocks) > len(asia_blocks)
+
+
+class TestAddressMinting:
+    def test_host_bytes_avoid_network_and_broadcast(self, geo):
+        rng = random.Random(4)
+        for _ in range(300):
+            last_octet = int(geo.random_address("CH", rng).split(".")[-1])
+            assert 1 <= last_octet <= 254
+
+    def test_unknown_region_rejected(self, geo):
+        with pytest.raises(ValueError):
+            geo.random_address("ATLANTIS", random.Random(1))
+
+    def test_vpn_exit_lands_in_apparent_region(self, geo):
+        rng = random.Random(5)
+        address = geo.vpn_exit_address("CH", rng)
+        assert geo.region_of(address) == "CH"
+
+
+class TestConstruction:
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            GeoDatabase(n_blocks=3)
+
+    def test_block_count_respected(self):
+        geo = GeoDatabase(n_blocks=16)
+        blocks = set()
+        rng = random.Random(6)
+        for region in REGIONS:
+            for _ in range(50):
+                blocks.add(int(geo.random_address(region, rng).split(".")[0]))
+        assert blocks <= set(range(11, 11 + 16))

@@ -1,0 +1,29 @@
+"""Tests for the region model."""
+
+from repro.geo.regions import REGIONS, REGION_ANY, population_weights, region_names
+
+
+class TestRegions:
+    def test_names_stable_and_complete(self):
+        names = region_names()
+        assert names[0] == "CH"  # the deployment's home market leads
+        assert set(names) == set(REGIONS)
+
+    def test_weights_align_with_names(self):
+        names, weights = population_weights()
+        assert len(names) == len(weights)
+        assert all(w > 0 for w in weights)
+        assert abs(sum(weights) - 1.0) < 0.05  # roughly normalized
+
+    def test_home_market_dominates(self):
+        names, weights = population_weights()
+        by_name = dict(zip(names, weights))
+        assert by_name["CH"] == max(weights)
+
+    def test_any_is_not_a_real_region(self):
+        assert REGION_ANY not in REGIONS
+
+    def test_timezone_offsets_present_for_remote_regions(self):
+        assert REGIONS["US"].timezone_offset != 0
+        assert REGIONS["ASIA"].timezone_offset != 0
+        assert REGIONS["CH"].timezone_offset == 0

@@ -1,0 +1,152 @@
+"""Integration: blackouts and dynamic rights changes end-to-end.
+
+Covers the paper's key operational scenario (Sections II, IV-A,
+IV-C): a program must be blacked out on the Internet distribution;
+the policy must be deployed at least one ticket lifetime ahead; and
+viewers must be unable to hold a valid ticket into the window.
+"""
+
+import pytest
+
+from repro.deployment import Deployment
+from repro.errors import PolicyRejectError
+
+
+@pytest.fixture
+def deployment():
+    dep = Deployment(
+        seed=55, user_ticket_lifetime=600.0, channel_ticket_lifetime=300.0
+    )
+    dep.add_free_channel("otb", regions=["CH"])  # over-the-air rebroadcast
+    return dep
+
+
+BLACKOUT_START = 10_000.0
+BLACKOUT_END = 13_600.0
+
+
+class TestBlackoutLifecycle:
+    def test_lead_time_rule_makes_no_ticket_survive_into_blackout(self, deployment):
+        """Deploy the policy one User Ticket lifetime ahead: any ticket
+        issued before deployment has expired by the blackout start."""
+        deploy_at = BLACKOUT_START - deployment.user_managers["domain-0"].ticket_lifetime
+        client = deployment.create_client("fan@example.org", "pw", region="CH")
+        client.login(now=deploy_at - 1.0)
+        response = client.switch_channel("otb", now=deploy_at - 1.0)
+        deployment.policy_manager.schedule_blackout(
+            "otb", BLACKOUT_START, BLACKOUT_END, now=deploy_at
+        )
+        # The channel ticket issued just before deployment cannot be
+        # valid into the blackout window.
+        assert response.ticket.expire_time <= BLACKOUT_START
+
+    def test_switch_rejected_during_blackout(self, deployment):
+        deployment.policy_manager.schedule_blackout(
+            "otb", BLACKOUT_START, BLACKOUT_END, now=0.0
+        )
+        client = deployment.create_client("late@example.org", "pw", region="CH")
+        client.login(now=BLACKOUT_START + 10.0)
+        with pytest.raises(PolicyRejectError):
+            client.switch_channel("otb", now=BLACKOUT_START + 10.0)
+
+    def test_renewal_before_blackout_capped_not_refused(self, deployment):
+        """A renewal shortly before the window succeeds but the renewed
+        ticket's expiry is pinned to the blackout start -- the viewer
+        is guaranteed to be kicked exactly at the boundary."""
+        deployment.policy_manager.schedule_blackout(
+            "otb", BLACKOUT_START, BLACKOUT_END, now=0.0
+        )
+        client = deployment.create_client("viewer@example.org", "pw", region="CH")
+        watch_at = BLACKOUT_START - 290.0
+        client.login(now=watch_at)
+        client.switch_channel("otb", now=watch_at)
+        assert client.channel_ticket.expire_time == BLACKOUT_START
+        renew_at = BLACKOUT_START - 60.0  # within the renewal window
+        client.login(now=renew_at)
+        response = client.renew_channel_ticket(now=renew_at)
+        assert response.ticket.renewal
+        assert response.ticket.expire_time == BLACKOUT_START
+
+    def test_ticket_capped_at_blackout_start(self, deployment):
+        """Tickets issued after the policy deployment never extend into
+        the REJECT window: the Channel Manager caps expiry at the
+        first future boundary that would reject the user."""
+        deployment.policy_manager.schedule_blackout(
+            "otb", BLACKOUT_START, BLACKOUT_END, now=0.0
+        )
+        client = deployment.create_client("v@example.org", "pw", region="CH")
+        join_at = BLACKOUT_START - 200.0
+        client.login(now=join_at)
+        deployment.watch(client, "otb", now=join_at)
+        assert client.channel_ticket.expire_time == BLACKOUT_START
+
+    def test_peers_sever_unrenewed_viewers_at_expiry(self, deployment):
+        deployment.policy_manager.schedule_blackout(
+            "otb", BLACKOUT_START, BLACKOUT_END, now=0.0
+        )
+        client = deployment.create_client("v@example.org", "pw", region="CH")
+        join_at = BLACKOUT_START - 200.0
+        client.login(now=join_at)
+        deployment.watch(client, "otb", now=join_at)
+        expiry = client.channel_ticket.expire_time  # == blackout start
+        # Inside the blackout (still within the renewal window) the
+        # viewer cannot renew; at expiry the overlay severs the peering.
+        client.login(now=expiry + 5.0)
+        with pytest.raises(PolicyRejectError):
+            client.renew_channel_ticket(now=expiry + 5.0)
+        severed = deployment.overlay("otb").enforce_expiry(now=expiry + 10.0)
+        assert severed >= 1
+
+    def test_service_resumes_after_blackout(self, deployment):
+        deployment.policy_manager.schedule_blackout(
+            "otb", BLACKOUT_START, BLACKOUT_END, now=0.0
+        )
+        client = deployment.create_client("back@example.org", "pw", region="CH")
+        client.login(now=BLACKOUT_END + 10.0)
+        response = client.switch_channel("otb", now=BLACKOUT_END + 10.0)
+        assert response.ticket.channel_id == "otb"
+
+
+class TestDynamicLineupChanges:
+    def test_new_channel_visible_after_relogin(self, deployment):
+        client = deployment.create_client("c@example.org", "pw", region="CH")
+        client.login(now=0.0)
+        assert "newch" not in client.channel_list
+        deployment.add_free_channel("newch", regions=["CH"], now=100.0)
+        client.login(now=200.0)
+        assert "newch" in client.channel_list
+        assert "newch" in client.viewable_channels(now=200.0)
+
+    def test_deleted_channel_disappears(self, deployment):
+        deployment.add_free_channel("doomed", regions=["CH"], now=0.0)
+        client = deployment.create_client("c@example.org", "pw", region="CH")
+        client.login(now=1.0)
+        assert "doomed" in client.channel_list
+        deployment.policy_manager.delete_channel("doomed", now=100.0)
+        client.login(now=200.0)
+        # Partial refresh returns surviving channels touching the
+        # stale attribute keys; the client's guide no longer lists the
+        # deleted channel as viewable.
+        viewable = client.viewable_channels(now=200.0)
+        assert "doomed" not in viewable
+
+    def test_subscription_purchase_unlocks_channel_on_next_login(self, deployment):
+        deployment.add_subscription_channel("prem", regions=["CH"], package_id="101", now=0.0)
+        client = deployment.create_client("buyer@example.org", "pw", region="CH")
+        client.login(now=1.0)
+        assert "prem" not in client.viewable_channels(now=1.0)
+        deployment.accounts.top_up("buyer@example.org", 10.0)
+        deployment.accounts.subscribe("buyer@example.org", "101", price=5.0)
+        client.login(now=2.0)
+        assert "prem" in client.viewable_channels(now=2.0)
+        response = client.switch_channel("prem", now=3.0)
+        assert response.ticket.channel_id == "prem"
+
+    def test_expired_subscription_blocks_switch(self, deployment):
+        deployment.add_subscription_channel("prem", regions=["CH"], package_id="101", now=0.0)
+        deployment.accounts.register("exp@example.org", "pw")
+        deployment.accounts.subscribe("exp@example.org", "101", etime=100.0)
+        client = deployment.create_client("exp@example.org", "pw", region="CH", register=False)
+        client.login(now=150.0)
+        with pytest.raises(PolicyRejectError):
+            client.switch_channel("prem", now=150.0)

@@ -1,0 +1,134 @@
+"""Capstone: one full broadcast evening, every subsystem engaged.
+
+A provider runs a free channel with an evening schedule: regular
+programming, then a pay-per-view match, then a rights-less segment
+that must be blacked out.  An audience arrives as a flash crowd,
+auto-renews through the evening, part of it buys the match, analytics
+closes the books.  EPG + policies + tickets + overlay + auto-renewal +
+analytics, in one continuous scenario.
+"""
+
+import random
+
+import pytest
+
+from repro.core.autorenew import TicketAutoRenewer
+from repro.core.epg import Program
+from repro.deployment import Deployment
+from repro.errors import PolicyRejectError, ReproError
+from repro.sim.engine import Simulator
+
+EVENING_START = 18 * 3600.0
+MATCH_START = 20 * 3600.0
+MATCH_END = 21.5 * 3600.0
+BLACKOUT_START = 22 * 3600.0
+BLACKOUT_END = 23 * 3600.0
+
+
+@pytest.fixture
+def evening():
+    deployment = Deployment(
+        seed=777, user_ticket_lifetime=1800.0, channel_ticket_lifetime=900.0,
+        source_capacity=16,
+    )
+    deployment.add_free_channel("one", regions=["CH"])
+    epg = deployment.epg
+    epg.add_program(Program(
+        program_id="news", channel_id="one",
+        start=EVENING_START, end=MATCH_START, title="Evening News",
+    ))
+    epg.add_program(Program(
+        program_id="match", channel_id="one",
+        start=MATCH_START, end=MATCH_END, title="The Match", ppv_price=9.90,
+    ))
+    epg.add_program(Program(
+        program_id="import", channel_id="one",
+        start=BLACKOUT_START, end=BLACKOUT_END,
+        title="No Internet Rights", internet_rights=False,
+    ))
+    epg.apply_all_rights(now=0.0)
+    return deployment
+
+
+def test_broadcast_evening(evening):
+    deployment = evening
+    rng = random.Random(1)
+    sim = Simulator()
+    overlay = deployment.overlay("one")
+
+    # ------------------------------------------------------------------
+    # 18:00 -- the audience arrives (half will buy the match).
+    # ------------------------------------------------------------------
+    viewers = []
+    for i in range(10):
+        email = f"fan{i}@example.org"
+        deployment.accounts.register(email, "pw")
+        if i % 2 == 0:
+            deployment.accounts.top_up(email, 20.0)
+            deployment.epg.purchase(deployment.accounts, email, "match")
+        client = deployment.create_client(email, "pw", region="CH", register=False)
+        arrive = EVENING_START + rng.uniform(0.0, 120.0)
+        client.login(now=arrive)
+        deployment.watch(client, "one", now=arrive, capacity=3)
+        viewers.append(client)
+    overlay.check_tree()
+
+    # Non-buyers' tickets are already pinned to the match fence.
+    for i, client in enumerate(viewers):
+        if i % 2 == 1:
+            assert client.channel_ticket.expire_time <= MATCH_START
+
+    # Auto-renewal keeps everyone glued until their rights run out.
+    failures = {}
+    renewers = []
+    for i, client in enumerate(viewers):
+        renewer = TicketAutoRenewer(
+            sim, client,
+            on_failure=lambda exc, idx=i: failures.setdefault(idx, exc),
+        )
+        # Renewers start at each client's arrival; the sim clock starts
+        # at 0, so schedule their start at the login time.
+        sim.schedule_at(client.user_ticket.start_time + 1.0,
+                        lambda s, r=renewer: r.start())
+        renewers.append(renewer)
+
+    # ------------------------------------------------------------------
+    # Run the evening up to just before the blackout.
+    # ------------------------------------------------------------------
+    sim.run(until=BLACKOUT_START - 300.0)
+
+    # Buyers sailed through the match; non-buyers were refused at it.
+    for i, client in enumerate(viewers):
+        if i % 2 == 0:
+            assert i not in failures, f"buyer {i} was cut off: {failures.get(i)}"
+            assert client.channel_ticket.expire_time > MATCH_END - 1.0
+        else:
+            assert i in failures
+            assert isinstance(failures[i], PolicyRejectError)
+
+    # ------------------------------------------------------------------
+    # The blackout: even buyers' renewals pin at its start and then fail.
+    # ------------------------------------------------------------------
+    sim.run(until=BLACKOUT_START + 600.0)
+    for i, client in enumerate(viewers):
+        if i % 2 == 0:
+            assert client.channel_ticket.expire_time <= BLACKOUT_START
+
+    # Peers sever the unrenewed at the boundary.
+    severed = overlay.enforce_expiry(now=BLACKOUT_START + 120.0)
+    assert severed >= 1
+
+    # ------------------------------------------------------------------
+    # Close the books.
+    # ------------------------------------------------------------------
+    analytics = deployment.analytics_for("one")
+    charges = analytics.per_view_charges("one", MATCH_START, MATCH_END, price=9.90)
+    buyer_ids = {
+        viewers[i].user_ticket.user_id for i in range(10) if i % 2 == 0
+    }
+    assert set(charges) == buyer_ids  # exactly the buyers billed once
+    report = analytics.channel_report("one", EVENING_START, BLACKOUT_START)
+    assert report.unique_viewers == 10
+    assert report.peak_concurrent >= 5
+    # Royalty viewer-hours: ten viewers for at least the news block.
+    assert report.viewer_hours > 5.0

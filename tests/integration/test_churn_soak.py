@@ -1,0 +1,100 @@
+"""Churn soak: sustained joins/leaves with continuous invariants.
+
+Long-running membership churn is where overlay bugs hide (orphan
+islands, stale links, key-distribution gaps).  This soak drives a
+Poisson churn process through a real overlay, checking structural
+invariants and DRM liveness at every step boundary.
+"""
+
+import random
+
+import pytest
+
+from repro.deployment import Deployment
+from repro.errors import CapacityError
+from repro.p2p.churn import PoissonChurn
+
+
+@pytest.fixture
+def soak_deployment():
+    deployment = Deployment(seed=202, source_capacity=8)
+    deployment.add_free_channel("soak", regions=["CH"], key_epoch=60.0)
+    return deployment
+
+
+class TestChurnSoak:
+    def test_invariants_through_sustained_churn(self, soak_deployment):
+        deployment = soak_deployment
+        overlay = deployment.overlay("soak")
+        churn = PoissonChurn(
+            random.Random(7), arrival_rate=0.2, mean_holding_time=120.0
+        )
+        events = churn.generate(horizon=1200.0)
+        peers = {}
+        joined = failed_joins = 0
+        for index, event in enumerate(events):
+            if event.kind == "join":
+                email = f"soak{event.peer_index}@example.org"
+                client = deployment.create_client(email, "pw", region="CH")
+                client.login(now=event.time)
+                try:
+                    peer = deployment.watch(client, "soak", now=event.time, capacity=3)
+                except CapacityError:
+                    failed_joins += 1
+                    continue
+                peers[event.peer_index] = peer
+                joined += 1
+            else:
+                peer = peers.pop(event.peer_index, None)
+                if peer is not None and peer.peer_id in overlay.peers:
+                    overlay.remove_peer(peer.peer_id, now=event.time)
+            if index % 20 == 0:
+                overlay.check_tree()
+        overlay.check_tree()
+        assert joined > 50
+        # Joins essentially always succeed at this load.
+        assert failed_joins <= joined * 0.05
+
+    def test_stream_liveness_through_churn(self, soak_deployment):
+        """After heavy churn, every connected peer still decrypts."""
+        deployment = soak_deployment
+        overlay = deployment.overlay("soak")
+        rng = random.Random(9)
+        peers = []
+        # Build up, tear down randomly, build again.
+        for wave in range(3):
+            base = wave * 20
+            for i in range(12):
+                email = f"w{wave}-{i}@example.org"
+                client = deployment.create_client(email, "pw", region="CH")
+                client.login(now=float(base + i))
+                peers.append(
+                    deployment.watch(client, "soak", now=float(base + i), capacity=3)
+                )
+            rng.shuffle(peers)
+            for peer in peers[: len(peers) // 3]:
+                if peer.peer_id in overlay.peers:
+                    overlay.remove_peer(peer.peer_id, now=float(base + 15))
+            peers = [p for p in peers if p.peer_id in overlay.peers]
+        overlay.check_tree()
+        # Push the current key to everyone and broadcast.
+        overlay.source.tick(100.0)
+        overlay.source.broadcast_packet(101.0)
+        for peer in peers:
+            if peer.peer_id in overlay.peers:
+                assert peer.client.packets_decrypted >= 1, peer.peer_id
+
+    def test_expiry_sweep_during_churn(self, soak_deployment):
+        """Ticket-expiry enforcement coexists with churn repair."""
+        deployment = soak_deployment
+        overlay = deployment.overlay("soak")
+        for i in range(10):
+            client = deployment.create_client(f"e{i}@example.org", "pw", region="CH")
+            client.login(now=0.0)
+            deployment.watch(client, "soak", now=0.0, capacity=3)
+        # No renewals happen; at ticket expiry everyone is severed.
+        lifetime = deployment.channel_manager_for("soak").ticket_lifetime
+        severed = overlay.enforce_expiry(now=lifetime + 1.0)
+        assert severed == 10
+        for peer in overlay.peers.values():
+            assert not peer.children

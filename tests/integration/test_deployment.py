@@ -1,0 +1,108 @@
+"""Tests for the deployment builder itself."""
+
+import pytest
+
+from repro.core.policy_manager import ChannelRecord
+from repro.deployment import Deployment
+from repro.errors import PolicyRejectError, ReproError
+
+
+class TestProvisioning:
+    def test_unknown_partition_rejected(self):
+        deployment = Deployment(seed=1)
+        with pytest.raises(ReproError):
+            deployment.add_free_channel("x", regions=["CH"], partition="nope")
+
+    def test_channel_routing_recorded(self, deployment):
+        record = deployment.policy_manager.get_channel("free-ch")
+        assert record.channel_manager_addr == "cm://default"
+
+    def test_overlay_and_server_per_channel(self, deployment):
+        assert deployment.overlay("free-ch").channel_id == "free-ch"
+        assert deployment.server("free-ch").channel_id == "free-ch"
+        with pytest.raises(ReproError):
+            deployment.overlay("ghost")
+        with pytest.raises(ReproError):
+            deployment.server("ghost")
+
+    def test_make_peer_requires_matching_ticket(self, deployment, viewer):
+        with pytest.raises(ReproError):
+            deployment.make_peer(viewer, "free-ch")  # no ticket yet
+        viewer.switch_channel("free-ch", now=1.0)
+        peer = deployment.make_peer(viewer, "free-ch")
+        assert peer.channel_id == "free-ch"
+
+    def test_deterministic_under_seed(self):
+        def build():
+            deployment = Deployment(seed=123)
+            deployment.add_free_channel("d", regions=["CH"])
+            client = deployment.create_client("d@example.org", "pw", region="CH")
+            return client.login(now=0.0)
+
+        a, b = build(), build()
+        assert a.to_bytes() == b.to_bytes()
+
+
+class TestBundles:
+    def test_bundle_gates_multiple_channels_with_one_package(self):
+        deployment = Deployment(seed=5)
+        deployment.add_channel_bundle(
+            "sports-pack",
+            {"sports-1": ["CH"], "sports-2": ["CH"]},
+        )
+        deployment.accounts.register("fan@example.org", "pw")
+        deployment.accounts.subscribe("fan@example.org", "sports-pack")
+        fan = deployment.create_client("fan@example.org", "pw", region="CH", register=False)
+        fan.login(now=0.0)
+        assert set(fan.viewable_channels(now=0.0)) == {"sports-1", "sports-2"}
+        # Without the package: nothing.
+        other = deployment.create_client("no@example.org", "pw", region="CH")
+        other.login(now=0.0)
+        assert other.viewable_channels(now=0.0) == []
+
+
+class TestRoaming:
+    def test_roamer_sees_the_new_regions_lineup(self, deployment):
+        """Section III: 'When a roaming user enters a geographic
+        region, it sees only the channels offered by its service
+        provider in that geographic region.'"""
+        roamer = deployment.create_client("roam@example.org", "pw", region="CH")
+        roamer.login(now=0.0)
+        assert roamer.viewable_channels(now=0.0) == ["free-ch"]
+        # The user travels to the UK: new address, re-login.
+        roamer.move_to(deployment.geo.random_address("UK", deployment.rng))
+        roamer.login(now=100.0)
+        assert roamer.viewable_channels(now=100.0) == ["free-uk"]
+        response = roamer.switch_channel("free-uk", now=100.0)
+        assert response.ticket.channel_id == "free-uk"
+        with pytest.raises(PolicyRejectError):
+            roamer.switch_channel("free-ch", now=100.0)
+
+
+class TestChannelRecordWire:
+    def test_roundtrip(self, deployment):
+        record = deployment.policy_manager.get_channel("premium")
+        restored = ChannelRecord.from_bytes(record.to_bytes())
+        assert restored.channel_id == record.channel_id
+        assert restored.partition == record.partition
+        assert restored.channel_manager_addr == record.channel_manager_addr
+        assert list(restored.attributes) == list(record.attributes)
+        assert restored.policies == record.policies
+
+    def test_missing_cm_addr_roundtrips_as_none(self):
+        record = ChannelRecord(channel_id="bare")
+        restored = ChannelRecord.from_bytes(record.to_bytes())
+        assert restored.channel_manager_addr is None
+
+    def test_policy_evaluation_identical_after_roundtrip(self, deployment, viewer):
+        from repro.core.policy import evaluate_policies
+
+        record = deployment.policy_manager.get_channel("free-ch")
+        restored = ChannelRecord.from_bytes(record.to_bytes())
+        original = evaluate_policies(
+            record.policies, record.attributes, viewer.user_ticket.attributes, 1.0
+        )
+        roundtripped = evaluate_policies(
+            restored.policies, restored.attributes, viewer.user_ticket.attributes, 1.0
+        )
+        assert original.decision == roundtripped.decision

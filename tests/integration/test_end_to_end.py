@@ -1,0 +1,145 @@
+"""Full-stack integration: login -> switch -> join -> watch -> rotate.
+
+Exercises the complete Fig. 1 flow through real components -- no
+mocks anywhere -- including key rotation while a tree of viewers is
+watching.
+"""
+
+import pytest
+
+from repro.deployment import Deployment
+
+
+@pytest.fixture
+def live_deployment():
+    deployment = Deployment(seed=77)
+    deployment.add_free_channel("live", regions=["CH", "DE"], key_epoch=60.0)
+    return deployment
+
+
+def tune_in(deployment, email, region="CH", now=1.0, capacity=3):
+    client = deployment.create_client(email, "pw", region=region)
+    client.login(now=now)
+    return deployment.watch(client, "live", now=now, capacity=capacity)
+
+
+class TestFullFlow:
+    def test_audience_of_twenty_watches_through_rotation(self, live_deployment):
+        overlay = live_deployment.overlay("live")
+        peers = [
+            tune_in(live_deployment, f"viewer{i}@example.org", now=1.0 + i * 0.1)
+            for i in range(20)
+        ]
+        overlay.check_tree()
+
+        # Minute one: everyone decrypts.
+        source = overlay.source
+        source.broadcast_packet(30.0)
+        for peer in peers:
+            assert peer.client.packets_decrypted == 1
+
+        # Key rotation: push serial 1 inside its lead window, then
+        # broadcast epoch-1 content.
+        source.tick(55.0)
+        source.broadcast_packet(65.0)
+        for peer in peers:
+            assert peer.client.packets_decrypted == 2, peer.peer_id
+            assert peer.client.decrypt_failures == 0
+
+    def test_multi_epoch_viewing(self, live_deployment):
+        peer = tune_in(live_deployment, "solo@example.org")
+        source = live_deployment.overlay("live").source
+        for epoch in range(4):
+            t = 30.0 + epoch * 60.0
+            source.tick(t - 8.0)  # key for this epoch pre-distributed
+            source.broadcast_packet(t)
+        assert peer.client.packets_decrypted == 4
+
+    def test_churn_mid_broadcast(self, live_deployment):
+        overlay = live_deployment.overlay("live")
+        peers = [
+            tune_in(live_deployment, f"v{i}@example.org", capacity=3)
+            for i in range(12)
+        ]
+        # A mid-tree peer with children departs.
+        depths = overlay.depths()
+        inner = next(
+            (p for p in peers if p.children and depths.get(p.peer_id, 0) >= 1), None
+        )
+        if inner is not None:
+            overlay.remove_peer(inner.peer_id, now=5.0)
+            overlay.check_tree()
+        source = overlay.source
+        source.broadcast_packet(30.0)
+        # Every still-connected peer decrypts the broadcast.
+        for peer in peers:
+            if peer.peer_id in overlay.peers:
+                assert peer.client.packets_decrypted >= 1
+
+    def test_late_joiner_gets_current_key_immediately(self, live_deployment):
+        tune_in(live_deployment, "early@example.org", now=1.0)
+        source = live_deployment.overlay("live").source
+        # The source has been pushing rotated keys all along; model the
+        # push for the current epoch before the late join.
+        source.tick(495.0)
+        late = tune_in(live_deployment, "late@example.org", now=500.0)
+        source.broadcast_packet(505.0)
+        assert late.client.packets_decrypted == 1
+
+    def test_viewing_log_records_all_switches(self, live_deployment):
+        for i in range(5):
+            tune_in(live_deployment, f"v{i}@example.org")
+        manager = live_deployment.channel_manager_for("live")
+        log = manager.viewing_log()
+        assert len(log) == 5
+        assert {entry.channel_id for entry in log} == {"live"}
+        assert len({entry.user_id for entry in log}) == 5
+
+
+class TestMultiDomainMultiPartition:
+    def test_cross_domain_cross_partition_service(self):
+        deployment = Deployment(
+            seed=88, n_domains=2, partitions=("pop", "sport")
+        )
+        deployment.add_free_channel("news", regions=["CH"], partition="pop")
+        deployment.add_free_channel("match", regions=["CH"], partition="sport")
+        viewers = []
+        for i in range(6):
+            client = deployment.create_client(f"multi{i}@example.org", "pw", region="CH")
+            client.login(now=0.0)
+            viewers.append(client)
+        # Users span both domains (consistent hashing).
+        domains = {deployment.redirection.domain_for(c.email) for c in viewers}
+        assert domains == {"domain-0", "domain-1"}
+        # Every viewer can reach channels in both partitions.
+        for i, client in enumerate(viewers):
+            channel = "news" if i % 2 == 0 else "match"
+            deployment.watch(client, channel, now=1.0)
+        assert deployment.overlay("news").size == 3
+        assert deployment.overlay("match").size == 3
+
+    def test_user_ids_globally_unique_across_domains(self):
+        deployment = Deployment(seed=99, n_domains=3)
+        deployment.add_free_channel("ch", regions=["CH"])
+        ids = []
+        for i in range(9):
+            client = deployment.create_client(f"u{i}@example.org", "pw", region="CH")
+            client.login(now=0.0)
+            ids.append(client.user_ticket.user_id)
+        assert len(set(ids)) == 9
+
+
+class TestSubstreams:
+    def test_multi_substream_overlay_delivers(self):
+        deployment = Deployment(seed=111, substream_count=4)
+        deployment.add_free_channel("hd", regions=["CH"])
+        client = deployment.create_client("s@example.org", "pw", region="CH")
+        client.login(now=0.0)
+        peer = deployment.watch(client, "hd", now=1.0)
+        source = deployment.overlay("hd").source
+        # Four consecutive packets cover all four sub-streams.
+        for i in range(4):
+            source.broadcast_packet(10.0 + i)
+        assert client.packets_decrypted == 4
+        plan = deployment.overlay("hd").plans[peer.peer_id]
+        assert plan.complete

@@ -1,0 +1,152 @@
+"""Section V operations: stateless farms and partition rebalancing."""
+
+import pytest
+
+from repro.core.accounts import AccountManager
+from repro.core.attributes import Attribute, AttributeSet
+from repro.core.protocol import Login1Request, Login2Request
+from repro.core.user_manager import ChecksumParams, UserManager
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.stream import SymmetricKey
+from repro.deployment import Deployment
+from repro.errors import ReproError
+from repro.geo.database import GeoDatabase
+from repro.util.wire import Decoder
+
+IMAGE = bytes(range(251)) * 40
+VERSION = "4.0.5"
+
+
+class TestStatelessUserManagerFarm:
+    """'a client can finish the authentication process with different
+    User Managers at each step' (Section V)."""
+
+    @pytest.fixture
+    def farm(self):
+        """Two UM instances sharing keypair, farm secret, and UserDB feed."""
+        geo = GeoDatabase()
+        signing_key = generate_keypair(HmacDrbg(b"farm-key"), bits=512)
+        secret = b"farm-shared-secret-0123456789abc"
+        instances = []
+        accounts = AccountManager()
+        accounts.register("farm@example.org", "pw")
+        for i in range(2):
+            manager = UserManager(
+                signing_key=signing_key,
+                farm_secret=secret,
+                drbg=HmacDrbg(f"um-instance-{i}".encode()),
+                geo=geo,
+            )
+            manager.register_client_image(VERSION, IMAGE)
+            for account in accounts.all_accounts():
+                manager.sync_account(account)
+            instances.append(manager)
+        return instances
+
+    def test_login1_on_a_login2_on_b(self, farm):
+        instance_a, instance_b = farm
+        client_key = generate_keypair(HmacDrbg(b"farm-client"), bits=512)
+        addr = "11.1.2.3"
+
+        response1 = instance_a.login1(
+            Login1Request(email="farm@example.org", client_public_key=client_key.public_key),
+            now=0.0,
+        )
+        from repro.core.accounts import secure_hash_password
+
+        shp = secure_hash_password("farm@example.org", "pw")
+        blob = SymmetricKey(material=shp[:16]).decrypt(
+            response1.encrypted_blob, nonce=response1.blob_nonce, aad=b"login1"
+        )
+        dec = Decoder(blob)
+        nonce = dec.get_bytes()
+        params = ChecksumParams(dec.get_bytes(), dec.get_u32(), dec.get_u32())
+        checksum = params.compute(IMAGE)
+        payload = nonce + checksum + VERSION.encode()
+        # Round 2 lands on the *other* instance.
+        response2 = instance_b.login2(
+            Login2Request(
+                email="farm@example.org",
+                client_public_key=client_key.public_key,
+                token=response1.token,
+                nonce=nonce,
+                checksum=checksum,
+                version=VERSION,
+                signature=client_key.sign(payload),
+            ),
+            observed_addr=addr,
+            now=1.0,
+        )
+        # And the ticket verifies under the farm's single public key.
+        response2.ticket.verify(instance_a.public_key, now=1.0)
+
+
+class TestPartitionRebalancing:
+    @pytest.fixture
+    def busy(self):
+        deployment = Deployment(seed=71, partitions=("default",))
+        deployment.add_free_channel("hot", regions=["CH"])
+        deployment.add_free_channel("cold", regions=["CH"])
+        return deployment
+
+    def test_promote_channel_to_own_partition(self, busy):
+        busy.promote_channel("hot", "hot-only", now=100.0)
+        record = busy.policy_manager.get_channel("hot")
+        assert record.partition == "hot-only"
+        assert record.channel_manager_addr == "cm://hot-only"
+        # The new farm serves it; the old one no longer does.
+        assert busy.channel_managers["hot-only"].serves_channel("hot")
+        assert not busy.channel_managers["default"].serves_channel("hot")
+        # "cold" stays where it was.
+        assert busy.channel_managers["default"].serves_channel("cold")
+
+    def test_clients_route_to_new_partition_after_refresh(self, busy):
+        viewer = busy.create_client("v@example.org", "pw", region="CH")
+        viewer.login(now=0.0)
+        viewer.switch_channel("hot", now=0.0)
+        busy.promote_channel("hot", "hot-only", now=100.0)
+        # Next login sees bumped utimes, refreshes the Channel List,
+        # and the next switch lands on the new farm.
+        viewer.login(now=200.0)
+        response = viewer.switch_channel("hot", now=200.0)
+        response.ticket.verify(
+            busy.channel_managers["hot-only"].public_key, now=200.0
+        )
+        assert busy.channel_managers["hot-only"].tickets_issued == 1
+
+    def test_new_joins_verified_against_new_farm_key(self, busy):
+        viewer = busy.create_client("v@example.org", "pw", region="CH")
+        viewer.login(now=0.0)
+        busy.promote_channel("hot", "hot-only", now=10.0)
+        viewer.login(now=20.0)
+        peer = busy.watch(viewer, "hot", now=20.0)
+        assert peer.cm_public_key == busy.channel_managers["hot-only"].public_key
+        busy.overlay("hot").check_tree()
+
+    def test_duplicate_partition_rejected(self, busy):
+        busy.add_partition("extra")
+        with pytest.raises(ReproError):
+            busy.add_partition("extra")
+
+    def test_stale_ticket_from_old_farm_rejected_at_new_peers(self, busy):
+        """After promotion, a ticket signed by the old farm cannot join
+        peers that trust the new farm's key."""
+        early = busy.create_client("early@example.org", "pw", region="CH")
+        early.login(now=0.0)
+        early.switch_channel("hot", now=0.0)  # old-farm ticket
+        old_ticket = early.channel_ticket
+
+        busy.promote_channel("hot", "hot-only", now=10.0)
+        anchor = busy.create_client("anchor@example.org", "pw", region="CH")
+        anchor.login(now=20.0)
+        anchor_peer = busy.watch(anchor, "hot", now=20.0)
+
+        from repro.core.protocol import JoinReject, JoinRequest
+
+        result = anchor_peer.handle_join(
+            JoinRequest(channel_ticket=old_ticket),
+            observed_addr=early.net_addr,
+            now=25.0,
+        )
+        assert isinstance(result, JoinReject)

@@ -1,0 +1,88 @@
+"""Tests for the churn processes."""
+
+import random
+
+import pytest
+
+from repro.p2p.churn import ChurnEvent, EventBoundaryChurn, PoissonChurn
+from repro.workload.arrivals import burstiness_index
+
+
+class TestPoissonChurn:
+    def test_events_time_ordered(self):
+        churn = PoissonChurn(random.Random(1), arrival_rate=0.5, mean_holding_time=100.0)
+        events = churn.generate(horizon=1000.0)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_every_leave_has_prior_join(self):
+        churn = PoissonChurn(random.Random(2), arrival_rate=0.5, mean_holding_time=50.0)
+        events = churn.generate(horizon=500.0)
+        joined = set()
+        for event in events:
+            if event.kind == "join":
+                joined.add(event.peer_index)
+            else:
+                assert event.peer_index in joined
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            PoissonChurn(random.Random(1), arrival_rate=0.0, mean_holding_time=1.0)
+        with pytest.raises(ValueError):
+            PoissonChurn(random.Random(1), arrival_rate=1.0, mean_holding_time=0.0)
+
+    def test_arrival_count_near_expectation(self):
+        churn = PoissonChurn(random.Random(3), arrival_rate=1.0, mean_holding_time=10.0)
+        joins = [e for e in churn.generate(2000.0) if e.kind == "join"]
+        assert 1800 < len(joins) < 2200
+
+    def test_deterministic_under_seed(self):
+        a = PoissonChurn(random.Random(4), 0.5, 50.0).generate(200.0)
+        b = PoissonChurn(random.Random(4), 0.5, 50.0).generate(200.0)
+        assert a == b
+
+
+class TestEventBoundaryChurn:
+    def make(self, audience=500, seed=5):
+        return EventBoundaryChurn(
+            random.Random(seed),
+            audience=audience,
+            event_start=3600.0,
+            event_end=3600.0 + 5400.0,
+        )
+
+    def test_every_peer_joins_and_leaves(self):
+        events = self.make().generate()
+        joins = [e for e in events if e.kind == "join"]
+        leaves = [e for e in events if e.kind == "leave"]
+        assert len(joins) == len(leaves) == 500
+
+    def test_leave_after_join_per_peer(self):
+        events = self.make().generate()
+        join_time = {}
+        for event in events:
+            if event.kind == "join":
+                join_time[event.peer_index] = event.time
+            else:
+                assert event.time > join_time[event.peer_index]
+
+    def test_flash_crowd_is_bursty(self):
+        """The arrival process must actually exhibit the paper's
+        premise: correlated arrivals at the event start."""
+        arrivals = self.make(audience=2000).arrival_times()
+        index = burstiness_index(arrivals, bin_width=60.0)
+        assert index > 5.0  # a Poisson stream would be near 1
+
+    def test_most_arrivals_near_event_start(self):
+        churn = self.make(audience=1000)
+        arrivals = churn.arrival_times()
+        window = [t for t in arrivals if churn.event_start <= t <= churn.event_start + 300]
+        assert len(window) > 500
+
+    def test_invalid_event_window_rejected(self):
+        with pytest.raises(ValueError):
+            EventBoundaryChurn(random.Random(1), 10, event_start=100.0, event_end=50.0)
+
+    def test_zero_audience(self):
+        churn = EventBoundaryChurn(random.Random(1), 0, event_start=0.0, event_end=10.0)
+        assert churn.generate() == []

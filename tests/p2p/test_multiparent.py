@@ -1,0 +1,128 @@
+"""Tests for multi-parent (peer-division multiplexing) joins."""
+
+import pytest
+
+from repro.deployment import Deployment
+from repro.errors import CapacityError
+
+
+@pytest.fixture
+def pdm():
+    """A 4-sub-stream deployment with several available parents."""
+    deployment = Deployment(seed=21, substream_count=4, source_capacity=16)
+    deployment.add_free_channel("hd", regions=["CH"])
+    parents = []
+    for i in range(4):
+        client = deployment.create_client(f"parent{i}@example.org", "pw", region="CH")
+        client.login(now=0.0)
+        parents.append(deployment.watch(client, "hd", now=0.0, capacity=4))
+    return deployment, parents
+
+
+def make_joiner(deployment, email="joiner@example.org"):
+    client = deployment.create_client(email, "pw", region="CH")
+    client.login(now=1.0)
+    client.switch_channel("hd", now=1.0)
+    return deployment.make_peer(client, "hd", capacity=4)
+
+
+class TestMultiparentJoin:
+    def test_substreams_split_across_parents(self, pdm):
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        joiner = make_joiner(deployment)
+        accepted, attempts = overlay.join_multiparent(
+            joiner, [p.descriptor() for p in parents], now=2.0
+        )
+        assert len(accepted) == 4
+        plan = overlay.plans[joiner.peer_id]
+        assert plan.complete
+        assert len(plan.distinct_parents()) == 4
+        assert len(joiner.client.parents) == 4
+
+    def test_duplicate_keys_discarded_by_serial(self, pdm):
+        """Section IV-E: a peer with several parents receives the same
+        content key once per parent and discards the duplicates."""
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        joiner = make_joiner(deployment)
+        overlay.join_multiparent(joiner, [p.descriptor() for p in parents], now=2.0)
+        # Rotate: the source pushes the next key through all parents.
+        overlay.source.tick(55.0)
+        ring = joiner.client.key_ring
+        assert ring.has(1)
+        assert ring.duplicates_discarded >= len(joiner.client.parents) - 1
+
+    def test_all_substream_packets_delivered_once(self, pdm):
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        joiner = make_joiner(deployment)
+        overlay.join_multiparent(joiner, [p.descriptor() for p in parents], now=2.0)
+        for i in range(8):  # two packets per sub-stream
+            overlay.source.broadcast_packet(10.0 + i, )
+        assert joiner.client.packets_decrypted == 8
+
+    def test_parent_loss_leaves_gap_stream_continues_partially(self, pdm):
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        joiner = make_joiner(deployment)
+        accepted, _ = overlay.join_multiparent(
+            joiner, [p.descriptor() for p in parents], now=2.0
+        )
+        lost = accepted[0]
+        overlay.remove_peer(lost.peer_id, now=3.0)
+        plan = overlay.plans[joiner.peer_id]
+        # Repair may or may not have found a substitute; if gaps remain
+        # they are exactly the lost parent's sub-streams.
+        if not plan.complete:
+            assert set(plan.gaps()) <= {0, 1, 2, 3}
+        # The joiner still decrypts packets on surviving sub-streams.
+        before = joiner.client.packets_decrypted
+        for i in range(4):
+            overlay.source.broadcast_packet(10.0 + i)
+        assert joiner.client.packets_decrypted > before - 1
+
+    def test_fewer_candidates_than_substreams(self, pdm):
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        joiner = make_joiner(deployment)
+        accepted, _ = overlay.join_multiparent(
+            joiner, [parents[0].descriptor()], now=2.0
+        )
+        assert len(accepted) == 1
+        plan = overlay.plans[joiner.peer_id]
+        assert plan.complete  # one parent carries all sub-streams
+
+    def test_max_parents_cap(self, pdm):
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        joiner = make_joiner(deployment)
+        accepted, _ = overlay.join_multiparent(
+            joiner, [p.descriptor() for p in parents], now=2.0, max_parents=2
+        )
+        assert len(accepted) == 2
+        assert len(overlay.plans[joiner.peer_id].distinct_parents()) == 2
+
+    def test_no_acceptance_raises(self, pdm):
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        # Saturate every parent.
+        blockers = []
+        for parent in parents:
+            for j in range(parent.spare_capacity):
+                blocker = make_joiner(deployment, f"blk{parent.peer_id}-{j}@example.org")
+                overlay.join(blocker, [parent.descriptor()], now=2.0)
+                blockers.append(blocker)
+        joiner = make_joiner(deployment, "unlucky@example.org")
+        with pytest.raises(CapacityError):
+            overlay.join_multiparent(
+                joiner, [p.descriptor() for p in parents], now=3.0
+            )
+
+    def test_tree_invariants_hold_with_dag(self, pdm):
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        for i in range(3):
+            joiner = make_joiner(deployment, f"multi{i}@example.org")
+            overlay.join_multiparent(joiner, [p.descriptor() for p in parents], now=2.0)
+        overlay.check_tree()  # reachable, acyclic (DAG-safe check)

@@ -1,0 +1,173 @@
+"""Tests for overlay construction, sampling, repair, and invariants."""
+
+import pytest
+
+from repro.errors import CapacityError, OverlayError
+
+
+def join_viewer(deployment, email, channel="free-ch", now=1.0, capacity=4):
+    client = deployment.create_client(email, "pw", region="CH")
+    client.login(now=now)
+    return deployment.watch(client, channel, now=now, capacity=capacity)
+
+
+def ticketed(deployment, email, channel="free-ch", now=1.0, capacity=4):
+    client = deployment.create_client(email, "pw", region="CH")
+    client.login(now=now)
+    client.switch_channel(channel, now=now)
+    return deployment.make_peer(client, channel, capacity=capacity)
+
+
+class TestMembership:
+    def test_register_wrong_channel_rejected(self, deployment):
+        deployment.add_free_channel("free-2", regions=["CH"], now=0.0)
+        peer = ticketed(deployment, "a@example.org", "free-ch")
+        with pytest.raises(OverlayError):
+            deployment.overlay("free-2").register_peer(peer)
+
+    def test_size_counts_members(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        assert overlay.size == 0
+        join_viewer(deployment, "a@example.org")
+        join_viewer(deployment, "b@example.org")
+        assert overlay.size == 2
+
+    def test_lookup_source_and_members(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        peer = join_viewer(deployment, "a@example.org")
+        assert overlay.lookup(peer.peer_id) is peer
+        assert overlay.lookup(overlay.source.peer_id) is overlay.source
+        with pytest.raises(OverlayError):
+            overlay.lookup("ghost")
+
+
+class TestSampling:
+    def test_sample_excludes_requester(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        peer = join_viewer(deployment, "a@example.org")
+        sample = overlay.sample_peers("free-ch", peer.address, 8)
+        assert all(d.address != peer.address for d in sample)
+
+    def test_sample_excludes_full_peers(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        full = join_viewer(deployment, "a@example.org", capacity=1)
+        child = ticketed(deployment, "b@example.org")
+        overlay.join(child, [full.descriptor()], now=2.0)
+        sample = overlay.sample_peers("free-ch", "99.9.9.9", 8)
+        assert all(d.peer_id != full.peer_id for d in sample)
+
+    def test_sample_wrong_channel_empty(self, deployment):
+        assert deployment.overlay("free-ch").sample_peers("other", "x", 8) == []
+
+    def test_source_included_as_fallback(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        sample = overlay.sample_peers("free-ch", "99.9.9.9", 8)
+        assert [d.peer_id for d in sample] == [overlay.source.peer_id]
+
+    def test_sample_respects_count(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        for i in range(6):
+            join_viewer(deployment, f"u{i}@example.org")
+        assert len(overlay.sample_peers("free-ch", "99.9.9.9", 3)) <= 3
+
+
+class TestJoin:
+    def test_join_walks_list_past_full_candidates(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        full = join_viewer(deployment, "full@example.org", capacity=1)
+        blocker = ticketed(deployment, "blocker@example.org")
+        overlay.join(blocker, [full.descriptor()], now=2.0)
+        open_peer = join_viewer(deployment, "open@example.org", capacity=4)
+        joiner = ticketed(deployment, "joiner@example.org")
+        parent, attempts = overlay.join(
+            joiner, [full.descriptor(), open_peer.descriptor()], now=3.0
+        )
+        assert parent is open_peer
+        assert attempts == 2
+
+    def test_join_fails_when_all_full(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        full = join_viewer(deployment, "full@example.org", capacity=1)
+        blocker = ticketed(deployment, "blocker@example.org")
+        overlay.join(blocker, [full.descriptor()], now=2.0)
+        joiner = ticketed(deployment, "joiner@example.org")
+        with pytest.raises(CapacityError):
+            overlay.join(joiner, [full.descriptor()], now=3.0)
+
+    def test_join_skips_departed_candidates(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        gone = join_viewer(deployment, "gone@example.org")
+        descriptor = gone.descriptor()
+        overlay.remove_peer(gone.peer_id, now=2.0)
+        joiner = ticketed(deployment, "joiner@example.org")
+        parent, _ = overlay.join(
+            joiner, [descriptor, overlay.source.descriptor()], now=3.0
+        )
+        assert parent is overlay.source
+
+    def test_join_sets_parent_plan(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        peer = join_viewer(deployment, "a@example.org")
+        plan = overlay.plans[peer.peer_id]
+        assert plan.complete
+        assert plan.distinct_parents() == {overlay.source.peer_id}
+
+
+class TestRepair:
+    def test_orphans_rejoin_after_departure(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        parent = join_viewer(deployment, "parent@example.org", capacity=2)
+        child = ticketed(deployment, "child@example.org")
+        overlay.join(child, [parent.descriptor()], now=2.0)
+        # Another potential parent exists with spare capacity (it may
+        # itself have attached under `parent`, making it a co-orphan).
+        join_viewer(deployment, "backup@example.org", capacity=4)
+        repaired = overlay.remove_peer(parent.peer_id, now=3.0)
+        assert child.peer_id in repaired
+        overlay.check_tree()
+        assert child.client.parents  # reconnected
+
+    def test_remove_unknown_peer_rejected(self, deployment):
+        with pytest.raises(OverlayError):
+            deployment.overlay("free-ch").remove_peer("ghost", now=1.0)
+
+    def test_repair_counted(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        parent = join_viewer(deployment, "parent@example.org", capacity=2)
+        child = ticketed(deployment, "child@example.org")
+        overlay.join(child, [parent.descriptor()], now=2.0)
+        join_viewer(deployment, "backup@example.org")
+        overlay.remove_peer(parent.peer_id, now=3.0)
+        assert overlay.repairs == 1
+
+
+class TestInvariants:
+    def test_tree_check_passes_for_built_overlay(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        for i in range(8):
+            join_viewer(deployment, f"u{i}@example.org", capacity=2)
+        overlay.check_tree()
+
+    def test_tree_check_detects_unreachable(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        stray = ticketed(deployment, "stray@example.org")
+        overlay.register_peer(stray)  # registered but never joined
+        with pytest.raises(OverlayError):
+            overlay.check_tree()
+
+    def test_depths_grow_with_membership(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        # Tiny source fan-out forces depth. Source capacity is 16 in
+        # the fixture, so fill beyond it with capacity-1 peers.
+        for i in range(20):
+            join_viewer(deployment, f"u{i}@example.org", capacity=2)
+        depths = overlay.depths()
+        assert len(depths) == 20
+        assert max(depths.values()) >= 2
+
+    def test_enforce_expiry_sweeps_whole_overlay(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        peer = join_viewer(deployment, "a@example.org")
+        expiry = peer.client.channel_ticket.expire_time
+        severed = overlay.enforce_expiry(now=expiry + 1.0)
+        assert severed == 1

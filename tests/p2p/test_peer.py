@@ -1,0 +1,218 @@
+"""Tests for peer admission, key cascade, forwarding, and expiry."""
+
+import pytest
+
+from repro.core.protocol import JoinAccept, JoinReject, JoinRequest
+from repro.errors import AuthorizationError, OverlayError
+
+
+def watching_peer(deployment, email, channel="free-ch", now=1.0, capacity=4, region="CH"):
+    client = deployment.create_client(email, "pw", region=region)
+    client.login(now=now)
+    return deployment.watch(client, channel, now=now, capacity=capacity)
+
+
+def ticketed_peer(deployment, email, channel="free-ch", now=1.0, capacity=4, region="CH"):
+    """A peer holding a channel ticket but not yet joined."""
+    client = deployment.create_client(email, "pw", region=region)
+    client.login(now=now)
+    client.switch_channel(channel, now=now)
+    return deployment.make_peer(client, channel, capacity=capacity)
+
+
+class TestJoinAdmission:
+    def test_accepts_valid_ticket(self, deployment):
+        parent = watching_peer(deployment, "parent@example.org")
+        child = ticketed_peer(deployment, "child@example.org")
+        result = parent.handle_join(
+            JoinRequest(channel_ticket=child.client.channel_ticket),
+            observed_addr=child.client.net_addr,
+            now=2.0,
+        )
+        assert isinstance(result, JoinAccept)
+        assert parent.joins_accepted == 1
+
+    def test_rejects_wrong_channel_ticket(self, deployment):
+        deployment.add_free_channel("free-2", regions=["CH"], now=0.0)
+        parent = watching_peer(deployment, "parent@example.org")
+        other = deployment.create_client("other@example.org", "pw", region="CH")
+        other.login(now=1.0)
+        other.switch_channel("free-2", now=1.0)
+        result = parent.handle_join(
+            JoinRequest(channel_ticket=other.channel_ticket),
+            observed_addr=other.net_addr,
+            now=2.0,
+        )
+        assert isinstance(result, JoinReject)
+        assert "ticket invalid" in result.reason
+
+    def test_rejects_address_mismatch(self, deployment):
+        parent = watching_peer(deployment, "parent@example.org")
+        child = ticketed_peer(deployment, "child@example.org")
+        result = parent.handle_join(
+            JoinRequest(channel_ticket=child.client.channel_ticket),
+            observed_addr="99.9.9.9",
+            now=2.0,
+        )
+        assert isinstance(result, JoinReject)
+
+    def test_rejects_expired_ticket(self, deployment):
+        parent = watching_peer(deployment, "parent@example.org")
+        child = ticketed_peer(deployment, "child@example.org")
+        expiry = child.client.channel_ticket.expire_time
+        result = parent.handle_join(
+            JoinRequest(channel_ticket=child.client.channel_ticket),
+            observed_addr=child.client.net_addr,
+            now=expiry + 1.0,
+        )
+        assert isinstance(result, JoinReject)
+
+    def test_rejects_at_capacity(self, deployment):
+        parent = watching_peer(deployment, "parent@example.org", capacity=1)
+        first = ticketed_peer(deployment, "first@example.org")
+        second = ticketed_peer(deployment, "second@example.org")
+        first.client.join_peer(parent, now=2.0)
+        result = parent.handle_join(
+            JoinRequest(channel_ticket=second.client.channel_ticket),
+            observed_addr=second.client.net_addr,
+            now=2.0,
+        )
+        assert isinstance(result, JoinReject)
+        assert result.reason == "no capacity"
+        assert parent.spare_capacity == 0
+
+    def test_offline_peer_rejects(self, deployment):
+        parent = watching_peer(deployment, "parent@example.org")
+        parent.alive = False
+        child = ticketed_peer(deployment, "child@example.org")
+        result = parent.handle_join(
+            JoinRequest(channel_ticket=child.client.channel_ticket),
+            observed_addr=child.client.net_addr,
+            now=2.0,
+        )
+        assert isinstance(result, JoinReject)
+
+    def test_session_key_unique_per_child(self, deployment):
+        parent = watching_peer(deployment, "parent@example.org")
+        a = ticketed_peer(deployment, "a@example.org")
+        b = ticketed_peer(deployment, "b@example.org")
+        a.client.join_peer(parent, now=2.0)
+        b.client.join_peer(parent, now=2.0)
+        links = list(parent.children.values())
+        assert links[0].session_key.material != links[1].session_key.material
+
+
+class TestKeyCascade:
+    def test_key_reaches_grandchildren(self, deployment):
+        """The paper's A->B->{D,E} example."""
+        overlay = deployment.overlay("free-ch")
+        a = watching_peer(deployment, "a@example.org", capacity=4)
+        b = ticketed_peer(deployment, "b@example.org", capacity=4)
+        overlay.join(b, [a.descriptor()], now=2.0)
+        d = ticketed_peer(deployment, "d@example.org")
+        e = ticketed_peer(deployment, "e@example.org")
+        overlay.join(d, [b.descriptor()], now=2.0)
+        overlay.join(e, [b.descriptor()], now=2.0)
+        sent = overlay.source.tick(55.0)  # serial 1 enters its lead window
+        assert sent >= 4  # a, b, d, e each got a link message
+        for peer in (a, b, d, e):
+            assert peer.client.key_ring.has(1)
+
+    def test_duplicate_key_not_recascaded(self, deployment):
+        parent = watching_peer(deployment, "p@example.org")
+        child = ticketed_peer(deployment, "c@example.org")
+        deployment.overlay("free-ch").join(child, [parent.descriptor()], now=2.0)
+        key = deployment.server("free-ch").current_key(2.0)
+        first = parent.push_key_to_children(key, now=2.0)
+        second = parent.push_key_to_children(key, now=2.0)
+        assert first >= 1
+        # Second push sends link messages but children discard dupes
+        # and do not cascade further.
+        assert second <= first
+
+
+class TestForwarding:
+    def test_packet_cascades_and_decrypts(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        a = watching_peer(deployment, "a@example.org", capacity=2)
+        b = ticketed_peer(deployment, "b@example.org", capacity=2)
+        overlay.join(b, [a.descriptor()], now=2.0)
+        reached = overlay.source.broadcast_packet(3.0)
+        assert reached >= 1
+        assert a.client.packets_decrypted == 1
+        assert b.client.packets_decrypted == 1
+
+    def test_unauthorized_peer_does_not_forward(self, deployment):
+        """A peer that cannot decrypt (no key) does not propagate."""
+        overlay = deployment.overlay("free-ch")
+        a = watching_peer(deployment, "a@example.org", capacity=2)
+        b = ticketed_peer(deployment, "b@example.org", capacity=2)
+        overlay.join(b, [a.descriptor()], now=2.0)
+        # Blow away A's keys: it can no longer decrypt, so it must not
+        # forward downstream either.
+        from repro.core.keystream import ContentKeyRing
+
+        a.client.key_ring = ContentKeyRing()
+        overlay.source.broadcast_packet(3.0)
+        assert b.client.packets_decrypted == 0
+
+
+class TestRenewalEnforcement:
+    def test_expired_child_severed(self, deployment):
+        parent = watching_peer(deployment, "p@example.org")
+        child = ticketed_peer(deployment, "c@example.org")
+        deployment.overlay("free-ch").join(child, [parent.descriptor()], now=2.0)
+        expiry = child.client.channel_ticket.expire_time
+        severed = parent.enforce_ticket_expiry(now=expiry + 1.0)
+        assert severed == [child.client.channel_ticket.user_id]
+        assert not parent.children
+        assert not child.client.parents
+
+    def test_renewed_child_survives(self, deployment):
+        parent = watching_peer(deployment, "p@example.org")
+        child = ticketed_peer(deployment, "c@example.org")
+        deployment.overlay("free-ch").join(child, [parent.descriptor()], now=2.0)
+        old_expiry = child.client.channel_ticket.expire_time
+        renew_at = old_expiry - 10.0
+        child.client.login(now=renew_at)
+        child.client.renew_channel_ticket(now=renew_at)
+        parent.present_renewal(
+            child.client.channel_ticket.user_id, child.client.channel_ticket, now=renew_at
+        )
+        assert parent.enforce_ticket_expiry(now=old_expiry + 1.0) == []
+        assert parent.children
+
+    def test_renewal_without_bit_rejected(self, deployment):
+        parent = watching_peer(deployment, "p@example.org")
+        child = ticketed_peer(deployment, "c@example.org")
+        deployment.overlay("free-ch").join(child, [parent.descriptor()], now=2.0)
+        with pytest.raises(AuthorizationError):
+            parent.present_renewal(
+                child.client.channel_ticket.user_id,
+                child.client.channel_ticket,  # renewal bit not set
+                now=3.0,
+            )
+
+    def test_grace_period_tolerates_inflight_renewal(self, deployment):
+        parent = watching_peer(deployment, "p@example.org")
+        child = ticketed_peer(deployment, "c@example.org")
+        deployment.overlay("free-ch").join(child, [parent.descriptor()], now=2.0)
+        expiry = child.client.channel_ticket.expire_time
+        assert parent.enforce_ticket_expiry(now=expiry + 1.0, grace=30.0) == []
+
+
+class TestLeave:
+    def test_leave_returns_orphans(self, deployment):
+        overlay = deployment.overlay("free-ch")
+        parent = watching_peer(deployment, "p@example.org", capacity=2)
+        child = ticketed_peer(deployment, "c@example.org")
+        overlay.join(child, [parent.descriptor()], now=2.0)
+        orphans = parent.leave()
+        assert [o.peer_id for o in orphans] == [child.peer_id]
+        assert not parent.alive
+        assert not child.client.parents
+
+    def test_bind_child_unknown_user_rejected(self, deployment):
+        parent = watching_peer(deployment, "p@example.org")
+        with pytest.raises(OverlayError):
+            parent.bind_child_peer(999, parent)

@@ -1,0 +1,157 @@
+"""Tests for reliable key delivery over lossy links."""
+
+import random
+
+import pytest
+
+from repro.core.protocol import KeyUpdate
+from repro.p2p.reliable import (
+    LossyLink,
+    ReliableKeyReceiver,
+    ReliableKeySender,
+    reliable_link_pair,
+)
+from repro.sim.engine import Simulator
+
+
+def make_update(serial=1, activate_at=60.0):
+    return KeyUpdate(
+        channel_id="ch", serial=serial,
+        encrypted_content_key=b"k" * 32, activate_at=activate_at,
+    )
+
+
+class TestLossyLink:
+    def test_lossless_delivers_after_delay(self):
+        sim = Simulator()
+        link = LossyLink(sim, random.Random(1), one_way_delay=0.05, loss_probability=0.0)
+        arrivals = []
+        link.transmit(lambda: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.05)]
+
+    def test_full_loss_never_delivers(self):
+        sim = Simulator()
+        link = LossyLink(sim, random.Random(2), one_way_delay=0.05, loss_probability=0.999999)
+        arrivals = []
+        for _ in range(50):
+            link.transmit(lambda: arrivals.append(1))
+        sim.run()
+        assert arrivals == []
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LossyLink(Simulator(), random.Random(1), 0.05, 1.0)
+
+
+class TestReliableDelivery:
+    def run_pair(self, loss, updates, seed=3, retransmit=0.5):
+        sim = Simulator()
+        received = []
+        sender, receiver = reliable_link_pair(
+            sim, random.Random(seed), received.append,
+            loss_probability=loss, retransmit_interval=retransmit,
+        )
+        for update in updates:
+            sender.send(update)
+        sim.run()
+        return sim, sender, receiver, received
+
+    def test_lossless_single_shot(self):
+        _, sender, _, received = self.run_pair(0.0, [make_update()])
+        assert len(received) == 1
+        assert sender.stats.retransmissions == 0
+        assert sender.stats.acked == 1
+
+    def test_survives_heavy_loss(self):
+        """At 40% loss per direction, every key still lands before its
+        activation (the paper's reliability assumption, earned)."""
+        updates = [make_update(serial=s, activate_at=60.0 + s) for s in range(8)]
+        _, sender, _, received = self.run_pair(0.4, updates, seed=4)
+        assert {u.serial for u in received} == set(range(8))
+        assert sender.stats.retransmissions > 0
+
+    def test_duplicates_not_redelivered_upward(self):
+        """Lost ACKs cause duplicate deliveries; the application sees
+        each key exactly once."""
+        sim = Simulator()
+        received = []
+        sender, receiver = reliable_link_pair(
+            sim, random.Random(5), received.append, loss_probability=0.5,
+        )
+        sender.send(make_update(serial=9, activate_at=120.0))
+        sim.run()
+        assert len(received) == 1
+        assert receiver.stats.delivered >= 1  # possibly several arrivals
+
+    def test_stale_update_abandoned(self):
+        """Once the activation deadline passes, retransmission stops:
+        a newer key supersedes the stale one."""
+        sim = Simulator()
+        received = []
+        sender, receiver = reliable_link_pair(
+            sim, random.Random(6), received.append,
+            loss_probability=0.999999, retransmit_interval=0.5,
+        )
+        sender.send(make_update(serial=1, activate_at=2.0))
+        sim.run()
+        assert received == []
+        assert sender.stats.abandoned >= 1
+        # The sender gave up quickly, not after max_attempts * interval.
+        assert sim.now < 10.0
+
+    def test_retransmission_bounded_by_max_attempts(self):
+        sim = Simulator()
+        sender, receiver = reliable_link_pair(
+            sim, random.Random(7), lambda u: None,
+            loss_probability=0.999999, retransmit_interval=0.1,
+        )
+        sender.max_attempts = 5
+        sender.send(make_update(serial=1, activate_at=1e9))
+        sim.run()
+        assert sender.stats.sent <= 5
+
+    def test_ack_stops_retransmission(self):
+        _, sender, _, _ = self.run_pair(0.0, [make_update(activate_at=1e9)])
+        # One send, one ack, no retries even with a far deadline.
+        assert sender.stats.sent == 1
+
+    def test_validation(self):
+        sim = Simulator()
+        receiver = ReliableKeyReceiver(lambda u: None)
+        link = LossyLink(sim, random.Random(1), 0.05, 0.0)
+        with pytest.raises(ValueError):
+            ReliableKeySender(link, receiver, retransmit_interval=0.0)
+
+
+class TestTreeScaleReliability:
+    def test_fanout_tree_under_loss(self):
+        """A 3-level tree of lossy links: a key pushed at the root
+        reaches all 21 descendants before activation."""
+        sim = Simulator()
+        rng = random.Random(8)
+        delivered = []
+
+        def make_subtree(depth, label):
+            """Returns a delivery handler that forwards to children."""
+            children = []
+            if depth < 2:
+                children = [make_subtree(depth + 1, f"{label}.{i}") for i in range(4)]
+
+            def on_key(update, label=label, children=children):
+                delivered.append(label)
+                for child_sender in children:
+                    child_sender.send(update)
+
+            sender, _receiver = reliable_link_pair(
+                sim, rng, on_key, loss_probability=0.25, retransmit_interval=0.3
+            )
+            return sender
+
+        roots = [make_subtree(0, str(i)) for i in range(1)]
+        update = make_update(serial=1, activate_at=30.0)
+        for root in roots:
+            root.send(update)
+        sim.run()
+        # 1 + 4 + 16 = 21 nodes
+        assert len(delivered) == 21

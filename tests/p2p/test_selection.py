@@ -1,0 +1,83 @@
+"""Tests for region-aware peer selection."""
+
+import random
+
+import pytest
+
+from repro.deployment import Deployment
+from repro.p2p.selection import RegionAwarePeerSampler
+
+
+@pytest.fixture
+def populated():
+    """A deployment with viewers split across CH and DE."""
+    deployment = Deployment(seed=9, source_capacity=64)
+    deployment.add_free_channel("intl", regions=["CH", "DE"])
+    for i in range(10):
+        region = "CH" if i % 2 == 0 else "DE"
+        client = deployment.create_client(f"p{i}@example.org", "pw", region=region)
+        client.login(now=0.0)
+        deployment.watch(client, "intl", now=0.0, capacity=8)
+    return deployment
+
+
+def make_sampler(deployment, fraction=0.75):
+    return RegionAwarePeerSampler(
+        deployment.overlays, deployment.geo, random.Random(3), same_region_fraction=fraction
+    )
+
+
+class TestSampler:
+    def test_prefers_same_region(self, populated):
+        sampler = make_sampler(populated)
+        addr = populated.geo.random_address("CH", random.Random(1))
+        fraction = sampler.locality_fraction("intl", addr, count=6)
+        assert fraction >= 0.5
+
+    def test_includes_remote_fallback(self, populated):
+        """Even with full preference, remote candidates appear when the
+        local pool is too small."""
+        sampler = make_sampler(populated, fraction=1.0)
+        addr = populated.geo.random_address("US", random.Random(2))
+        sample = sampler("intl", addr, count=6)
+        assert sample  # US has no local peers; still served
+
+    def test_excludes_requester(self, populated):
+        sampler = make_sampler(populated)
+        overlay = populated.overlays["intl"]
+        victim = next(iter(overlay.peers.values()))
+        sample = sampler("intl", victim.address, count=8)
+        assert all(d.address != victim.address for d in sample)
+
+    def test_respects_count(self, populated):
+        sampler = make_sampler(populated)
+        addr = populated.geo.random_address("CH", random.Random(4))
+        assert len(sampler("intl", addr, count=3)) <= 3
+
+    def test_unknown_channel_empty(self, populated):
+        sampler = make_sampler(populated)
+        assert sampler("ghost", "1.2.3.4", 8) == []
+
+    def test_invalid_fraction_rejected(self, populated):
+        with pytest.raises(ValueError):
+            make_sampler(populated, fraction=1.5)
+
+    def test_pluggable_into_channel_manager(self, populated):
+        """End to end: SWITCH2's peer list is locality-biased."""
+        populated.use_region_aware_sampling()
+        client = populated.create_client("local@example.org", "pw", region="CH")
+        client.login(now=1.0)
+        response = client.switch_channel("intl", now=1.0)
+        regions = [d.region for d in response.peers if not d.peer_id.startswith("source")]
+        assert regions.count("CH") >= regions.count("DE")
+
+    def test_joinable_list(self, populated):
+        """The sampled list actually admits the joiner."""
+        populated.use_region_aware_sampling()
+        client = populated.create_client("joiner@example.org", "pw", region="DE")
+        client.login(now=1.0)
+        response = client.switch_channel("intl", now=1.0)
+        peer = populated.make_peer(client, "intl")
+        parent, attempts = populated.overlay("intl").join(peer, response.peers, now=2.0)
+        assert attempts >= 1
+        populated.overlay("intl").check_tree()

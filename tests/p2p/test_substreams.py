@@ -1,0 +1,83 @@
+"""Tests for peer-division multiplexing structures."""
+
+import pytest
+
+from repro.p2p.substreams import ParentPlan, SubstreamAssignment
+
+
+class TestAssignment:
+    def test_round_robin(self):
+        assignment = SubstreamAssignment(4)
+        assert [assignment.substream_of(s) for s in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_single_substream_degenerates(self):
+        assignment = SubstreamAssignment(1)
+        assert assignment.substream_of(12345) == 0
+
+    def test_zero_substreams_rejected(self):
+        with pytest.raises(ValueError):
+            SubstreamAssignment(0)
+
+    def test_substreams_listing(self):
+        assert SubstreamAssignment(3).substreams() == [0, 1, 2]
+
+
+class TestParentPlan:
+    def test_assign_all_single_parent(self):
+        plan = ParentPlan(assignment=SubstreamAssignment(4))
+        plan.assign_all("p1")
+        assert plan.complete
+        assert plan.distinct_parents() == {"p1"}
+
+    def test_multi_parent_split(self):
+        plan = ParentPlan(assignment=SubstreamAssignment(4))
+        plan.assign(0, "p1")
+        plan.assign(1, "p1")
+        plan.assign(2, "p2")
+        plan.assign(3, "p2")
+        assert plan.complete
+        assert plan.distinct_parents() == {"p1", "p2"}
+        assert plan.substreams_from("p1") == [0, 1]
+        assert plan.substreams_from("p2") == [2, 3]
+
+    def test_invalid_substream_rejected(self):
+        plan = ParentPlan(assignment=SubstreamAssignment(2))
+        with pytest.raises(ValueError):
+            plan.assign(5, "p1")
+
+    def test_gaps_reported(self):
+        plan = ParentPlan(assignment=SubstreamAssignment(3))
+        plan.assign(0, "p1")
+        assert plan.gaps() == [1, 2]
+        assert not plan.complete
+
+    def test_drop_parent_orphans_its_substreams(self):
+        plan = ParentPlan(assignment=SubstreamAssignment(4))
+        plan.assign(0, "p1")
+        plan.assign(1, "p2")
+        plan.assign(2, "p2")
+        plan.assign(3, "p1")
+        orphaned = plan.drop_parent("p2")
+        assert sorted(orphaned) == [1, 2]
+        assert plan.gaps() == [1, 2]
+        assert plan.parent_of(0) == "p1"
+
+    def test_reassignment_after_churn(self):
+        plan = ParentPlan(assignment=SubstreamAssignment(2))
+        plan.assign_all("p1")
+        plan.drop_parent("p1")
+        plan.assign(0, "p2")
+        plan.assign(1, "p3")
+        assert plan.complete
+        assert plan.distinct_parents() == {"p2", "p3"}
+
+    def test_multi_parent_implies_duplicate_keys(self):
+        """The DRM consequence of sub-streams the paper notes: a peer
+        with k distinct parents receives each content key k times."""
+        plan = ParentPlan(assignment=SubstreamAssignment(4))
+        plan.assign(0, "p1")
+        plan.assign(1, "p2")
+        plan.assign(2, "p3")
+        plan.assign(3, "p1")
+        expected_duplicates = len(plan.distinct_parents()) - 1
+        assert expected_duplicates == 2

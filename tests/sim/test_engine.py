@@ -1,0 +1,141 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda s: fired.append("c"))
+        sim.schedule(1.0, lambda s: fired.append("a"))
+        sim.schedule(2.0, lambda s: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, lambda s, t=tag: fired.append(t))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        fired = []
+
+        def first(s):
+            fired.append(("first", s.now))
+            s.schedule(1.0, lambda s2: fired.append(("second", s2.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda s: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda s: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(10.0, lambda s: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_on_empty_heap(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_backstop(self):
+        sim = Simulator()
+
+        def loop(s):
+            s.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def bad(s):
+            s.run()
+
+        sim.schedule(0.0, bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda s: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        event = sim.schedule(2.0, lambda s: None)
+        assert sim.pending() == 2
+        event.cancel()
+        assert sim.pending() == 1
+
+
+class TestExceptionPropagation:
+    def test_callback_exception_escapes_run(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_engine_usable_after_exception(self):
+        sim = Simulator()
+
+        def boom(s):
+            raise RuntimeError
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(True))
+        sim.run()
+        assert fired == [True]

@@ -1,0 +1,103 @@
+"""Tests for the WAN latency model."""
+
+import random
+
+import pytest
+
+from repro.sim.network import (
+    DEFAULT_RTT,
+    LatencyModel,
+    RegionRtt,
+    peer_rtt,
+    transmission_delay,
+    zattoo_like_rtt_table,
+)
+
+
+class TestLatencyModel:
+    def test_samples_positive(self):
+        model = LatencyModel(random.Random(1), table=zattoo_like_rtt_table())
+        for _ in range(500):
+            assert model.sample_rtt("CH", "dc-eu") > 0.0
+
+    def test_unknown_pair_uses_default(self):
+        model = LatencyModel(random.Random(1))
+        assert model.params("XX", "nowhere") == DEFAULT_RTT
+
+    def test_median_near_base(self):
+        base = RegionRtt(base_rtt=0.1, sigma=0.3, slow_path_prob=0.0)
+        model = LatencyModel(random.Random(2), table={("R", "S"): base})
+        samples = sorted(model.sample_rtt("R", "S") for _ in range(2001))
+        median = samples[1000]
+        assert 0.08 < median < 0.12  # lognormal(0, s) has median 1
+
+    def test_slow_paths_create_tail(self):
+        fast = RegionRtt(base_rtt=0.1, sigma=0.1, slow_path_prob=0.0)
+        slow = RegionRtt(base_rtt=0.1, sigma=0.1, slow_path_prob=0.3, slow_path_factor=10.0)
+        model = LatencyModel(
+            random.Random(3), table={("R", "fast"): fast, ("R", "slow"): slow}
+        )
+        fast_max = max(model.sample_rtt("R", "fast") for _ in range(500))
+        slow_max = max(model.sample_rtt("R", "slow") for _ in range(500))
+        assert slow_max > fast_max * 3
+
+    def test_one_way_is_half_scale(self):
+        base = RegionRtt(base_rtt=0.1, sigma=0.01, slow_path_prob=0.0)
+        model = LatencyModel(random.Random(4), table={("R", "S"): base})
+        one_way = sum(model.sample_one_way("R", "S") for _ in range(500)) / 500
+        round_trip = sum(model.sample_rtt("R", "S") for _ in range(500)) / 500
+        assert one_way == pytest.approx(round_trip / 2, rel=0.1)
+
+    def test_load_independence(self):
+        # The WAN model has no load input at all -- sampling many times
+        # does not trend (a regression guard on the structural property
+        # behind the paper's flat-latency result).
+        model = LatencyModel(random.Random(5), table=zattoo_like_rtt_table())
+        first = [model.sample_rtt("DE", "dc-eu") for _ in range(2000)]
+        second = [model.sample_rtt("DE", "dc-eu") for _ in range(2000)]
+        assert abs(sorted(first)[1000] - sorted(second)[1000]) < 0.02
+
+    def test_deterministic_under_seed(self):
+        a = LatencyModel(random.Random(9)).sample_rtt("CH", "dc-eu")
+        b = LatencyModel(random.Random(9)).sample_rtt("CH", "dc-eu")
+        assert a == b
+
+
+class TestZattooTable:
+    def test_covers_all_regions(self):
+        table = zattoo_like_rtt_table()
+        for region in ("CH", "DE", "FR", "ES", "UK", "DK", "US", "ASIA"):
+            assert (region, "dc-eu") in table
+
+    def test_transcontinental_slower(self):
+        table = zattoo_like_rtt_table()
+        assert table[("US", "dc-eu")].base_rtt > table[("CH", "dc-eu")].base_rtt
+        assert table[("ASIA", "dc-eu")].base_rtt > table[("US", "dc-eu")].base_rtt
+
+
+class TestPeerRtt:
+    def test_positive(self):
+        rng = random.Random(6)
+        for _ in range(200):
+            assert peer_rtt(rng, same_region=True) > 0
+
+    def test_cross_region_slower_on_average(self):
+        rng = random.Random(7)
+        same = sum(peer_rtt(rng, True) for _ in range(2000)) / 2000
+        cross = sum(peer_rtt(rng, False) for _ in range(2000)) / 2000
+        assert cross > same
+
+
+class TestTransmissionDelay:
+    def test_linear_in_size(self):
+        assert transmission_delay(2000, 1e6) == pytest.approx(
+            2 * transmission_delay(1000, 1e6)
+        )
+
+    def test_ticket_sized_message_is_fast(self):
+        # A kilobyte at 1 Mbit/s uplink: ~8 ms, negligible vs RTT.
+        assert transmission_delay(1024, 1e6) < 0.01
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_delay(100, 0)

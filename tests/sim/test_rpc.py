@@ -1,0 +1,157 @@
+"""Tests for the virtual-time RPC layer."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, RegionRtt
+from repro.sim.rpc import RpcService, VirtualNetwork
+from repro.sim.station import ServiceStation
+
+
+def make_network(loss=0.0, rtt=0.1):
+    sim = Simulator()
+    latency = LatencyModel(
+        random.Random(1),
+        table={("client", "dc"): RegionRtt(base_rtt=rtt, sigma=0.0001, slow_path_prob=0.0)},
+    )
+    network = VirtualNetwork(sim, latency, random.Random(2), loss_probability=loss)
+    return sim, network
+
+
+class TestBasicCall:
+    def test_request_reply_roundtrip(self):
+        sim, network = make_network()
+        service = RpcService(address="svc://a", region="dc")
+        service.register("echo", lambda payload, ctx: payload.upper())
+        network.attach(service)
+        replies = []
+        network.call("1.2.3.4", "client", "svc://a", "echo", "hello",
+                     on_reply=replies.append)
+        sim.run()
+        assert replies == ["HELLO"]
+
+    def test_latency_is_full_rtt(self):
+        sim, network = make_network(rtt=0.2)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("noop", lambda payload, ctx: None)
+        network.attach(service)
+        done = []
+        network.call("c", "client", "svc://a", "noop", None,
+                     on_reply=lambda _r: done.append(sim.now))
+        sim.run()
+        assert done[0] == pytest.approx(0.2, rel=0.01)
+
+    def test_context_carries_caller_address_and_time(self):
+        sim, network = make_network()
+        seen = []
+        service = RpcService(address="svc://a", region="dc")
+        service.register("probe", lambda payload, ctx: seen.append((ctx.caller_address, ctx.now)))
+        network.attach(service)
+        network.call("9.9.9.9", "client", "svc://a", "probe", None, on_reply=lambda r: None)
+        sim.run()
+        assert seen[0][0] == "9.9.9.9"
+        assert seen[0][1] == pytest.approx(0.05, rel=0.01)  # one-way delay
+
+    def test_handler_exception_becomes_error_callback(self):
+        sim, network = make_network()
+        service = RpcService(address="svc://a", region="dc")
+
+        def boom(payload, ctx):
+            raise ValueError("denied")
+
+        service.register("boom", boom)
+        network.attach(service)
+        errors = []
+        network.call("c", "client", "svc://a", "boom", None,
+                     on_reply=lambda r: pytest.fail("should not reply"),
+                     on_error=errors.append)
+        sim.run()
+        assert isinstance(errors[0], ValueError)
+
+    def test_unknown_address_rejected(self):
+        sim, network = make_network()
+        with pytest.raises(SimulationError):
+            network.call("c", "client", "svc://ghost", "x", None, on_reply=lambda r: None)
+
+    def test_unknown_method_travels_as_error(self):
+        sim, network = make_network()
+        network.attach(RpcService(address="svc://a", region="dc"))
+        errors = []
+        network.call("c", "client", "svc://a", "nope", None,
+                     on_reply=lambda r: None, on_error=errors.append)
+        sim.run()
+        assert isinstance(errors[0], SimulationError)
+
+    def test_duplicate_attach_rejected(self):
+        _, network = make_network()
+        network.attach(RpcService(address="svc://a"))
+        with pytest.raises(SimulationError):
+            network.attach(RpcService(address="svc://a"))
+
+    def test_duplicate_handler_rejected(self):
+        service = RpcService(address="svc://a")
+        service.register("m", lambda p, c: None)
+        with pytest.raises(SimulationError):
+            service.register("m", lambda p, c: None)
+
+
+class TestQueueing:
+    def test_station_serializes_requests(self):
+        sim, network = make_network(rtt=0.0002)
+        station = ServiceStation(sim, n_servers=1, mean_service_time=1.0,
+                                 rng=random.Random(3))
+        service = RpcService(address="svc://farm", region="dc", station=station)
+        service.register("work", lambda payload, ctx: payload)
+        network.attach(service)
+        finish_times = []
+        for i in range(3):
+            network.call("c", "client", "svc://farm", "work", i,
+                         on_reply=lambda r: finish_times.append(sim.now))
+        sim.run()
+        assert len(finish_times) == 3
+        # Strictly increasing completion: a single server works in series.
+        assert finish_times == sorted(finish_times)
+        assert finish_times[-1] - finish_times[0] > 0.5
+
+
+class TestLoss:
+    def test_lost_request_triggers_timeout(self):
+        sim, network = make_network(loss=1.0)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        timeouts = []
+        network.call("c", "client", "svc://a", "x", None,
+                     on_reply=lambda r: pytest.fail("lost message replied"),
+                     timeout=1.0, on_timeout=lambda: timeouts.append(sim.now))
+        sim.run()
+        assert timeouts == [1.0]
+        assert network.messages_lost == 1
+
+    def test_no_timeout_after_successful_reply(self):
+        sim, network = make_network(loss=0.0)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        events = []
+        network.call("c", "client", "svc://a", "x", 42,
+                     on_reply=lambda r: events.append(("reply", r)),
+                     timeout=5.0, on_timeout=lambda: events.append(("timeout", None)))
+        sim.run()
+        assert events == [("reply", 42)]
+
+    def test_partial_loss_statistics(self):
+        sim, network = make_network(loss=0.3, rtt=0.001)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        replies = []
+        for _ in range(300):
+            network.call("c", "client", "svc://a", "x", 1, on_reply=replies.append)
+        sim.run()
+        # With 30% loss per direction, ~49% of calls complete.
+        assert 100 < len(replies) < 200
+        assert network.messages_lost > 50

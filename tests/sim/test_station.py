@@ -1,0 +1,150 @@
+"""Tests for the multi-server service station."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.station import ServiceStation
+
+
+def make_station(n_servers=1, mean=1.0, seed=1):
+    sim = Simulator()
+    station = ServiceStation(
+        sim, n_servers=n_servers, mean_service_time=mean, rng=random.Random(seed)
+    )
+    return sim, station
+
+
+class TestConstruction:
+    def test_rejects_zero_servers(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            ServiceStation(sim, 0, 1.0, random.Random(1))
+
+    def test_rejects_nonpositive_service_time(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            ServiceStation(sim, 1, 0.0, random.Random(1))
+
+
+class TestSingleServer:
+    def test_one_request_takes_its_service_time(self):
+        sim, station = make_station()
+        done = []
+        station.submit(
+            on_complete=lambda s, sojourn: done.append((s.now, sojourn)),
+            service_time=2.0,
+        )
+        sim.run()
+        assert done == [(2.0, 2.0)]
+
+    def test_fifo_queueing(self):
+        sim, station = make_station()
+        order = []
+        for tag in ("a", "b", "c"):
+            station.submit(
+                on_complete=lambda s, _sj, t=tag: order.append(t), service_time=1.0
+            )
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_second_request_waits(self):
+        sim, station = make_station()
+        sojourns = []
+        station.submit(on_complete=lambda s, sj: sojourns.append(sj), service_time=3.0)
+        station.submit(on_complete=lambda s, sj: sojourns.append(sj), service_time=1.0)
+        sim.run()
+        # Second request: 3s queue wait + 1s service.
+        assert sojourns == [3.0, 4.0]
+
+    def test_queue_length_observable(self):
+        sim, station = make_station()
+        for _ in range(5):
+            station.submit(service_time=1.0)
+        assert station.busy_servers == 1
+        assert station.queue_length == 4
+        sim.run()
+        assert station.queue_length == 0
+        assert station.busy_servers == 0
+
+
+class TestMultiServer:
+    def test_parallel_servers_avoid_queueing(self):
+        sim, station = make_station(n_servers=3)
+        sojourns = []
+        for _ in range(3):
+            station.submit(on_complete=lambda s, sj: sojourns.append(sj), service_time=2.0)
+        sim.run()
+        assert sojourns == [2.0, 2.0, 2.0]
+
+    def test_fourth_request_queues_behind_three(self):
+        sim, station = make_station(n_servers=3)
+        sojourns = []
+        for _ in range(4):
+            station.submit(on_complete=lambda s, sj: sojourns.append(sj), service_time=2.0)
+        sim.run()
+        assert sojourns == [2.0, 2.0, 2.0, 4.0]
+
+    def test_doubling_servers_halves_backlog_wait(self):
+        waits = {}
+        for n in (1, 2):
+            sim, station = make_station(n_servers=n)
+            sojourns = []
+            for _ in range(10):
+                station.submit(
+                    on_complete=lambda s, sj: sojourns.append(sj), service_time=1.0
+                )
+            sim.run()
+            waits[n] = max(sojourns)
+        assert waits[2] == pytest.approx(waits[1] / 2.0)
+
+
+class TestStatistics:
+    def test_counts_and_mean(self):
+        sim, station = make_station()
+        for _ in range(4):
+            station.submit(service_time=1.0)
+        sim.run()
+        assert station.stats.arrivals == 4
+        assert station.stats.completions == 4
+        assert station.stats.mean_sojourn == pytest.approx((1 + 2 + 3 + 4) / 4)
+
+    def test_max_queue_len(self):
+        sim, station = make_station()
+        for _ in range(6):
+            station.submit(service_time=1.0)
+        sim.run()
+        assert station.stats.max_queue_len == 5
+
+    def test_utilization(self):
+        sim, station = make_station(n_servers=2)
+        for _ in range(4):
+            station.submit(service_time=1.0)
+        sim.run()
+        # 4 seconds of work over 2 servers * 2 seconds horizon = 1.0
+        assert station.utilization(horizon=2.0) == pytest.approx(1.0)
+
+    def test_sample_recording_toggle(self):
+        sim, station = make_station()
+        station.record_samples = False
+        station.submit(service_time=1.0)
+        sim.run()
+        assert station.sojourn_samples == []
+        assert station.stats.completions == 1
+
+    def test_mean_sojourn_empty(self):
+        _, station = make_station()
+        assert station.stats.mean_sojourn == 0.0
+
+
+class TestSampledServiceTimes:
+    def test_exponential_mean_roughly_matches(self):
+        sim, station = make_station(n_servers=1000, mean=0.5, seed=7)
+        sojourns = []
+        for _ in range(1000):
+            station.submit(on_complete=lambda s, sj: sojourns.append(sj))
+        sim.run()
+        mean = sum(sojourns) / len(sojourns)
+        assert 0.4 < mean < 0.6  # no queueing with 1000 servers

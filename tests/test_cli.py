@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("week", "calibrate", "ablations", "demo", "threats"):
+            args = parser.parse_args([command] if command != "week" else ["week"])
+            assert args.command == command or command != "week"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_week_options(self):
+        args = build_parser().parse_args(["week", "--peak", "99", "--channels", "7"])
+        assert args.peak == 99
+        assert args.channels == 7
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "logged in" in out
+        assert "decrypted 2 packets" in out
+
+    def test_calibrate_runs(self, capsys):
+        assert main(["calibrate", "--repetitions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "switch2" in out
+
+    def test_ablations_run(self, capsys):
+        assert main(["ablations", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("A1", "A2", "A3", "A4", "A5"):
+            assert marker in out

@@ -1,0 +1,85 @@
+"""Threat model: compromised client software (Section IV-G2).
+
+The paper is explicit about what a compromised client *can* do (record
+and rebroadcast decrypted signal -- unpreventable by any DRM) and what
+the system still prevents or detects (modified binaries failing
+attestation, version floors forcing upgrades).
+"""
+
+import pytest
+
+from repro.errors import AttestationError, ProtocolError
+
+
+class TestAttestationGate:
+    def test_patched_binary_rejected_at_login(self, deployment):
+        patched = bytes(b ^ 0x5A for b in deployment.client_image)
+        client = deployment.create_client(
+            "cracker@example.org", "pw", region="CH", image=patched
+        )
+        with pytest.raises(AttestationError):
+            client.login(now=0.0)
+
+    def test_unknown_version_rejected(self, deployment):
+        client = deployment.create_client(
+            "oldsoft@example.org", "pw", region="CH", version="4.9.9"
+        )
+        with pytest.raises(AttestationError):
+            client.login(now=0.0)
+
+    def test_version_floor_enforced(self, deployment):
+        """Deploying a new DRM protocol bumps the minimum version;
+        old clients are locked out at the next login."""
+        manager = deployment.user_managers["domain-0"]
+        manager.register_client_image("5.0.0", deployment.client_image)
+        manager.min_version = "5.0.0"
+        outdated = deployment.create_client("late@example.org", "pw", region="CH")
+        with pytest.raises(ProtocolError):
+            outdated.login(now=0.0)
+        updated = deployment.create_client(
+            "fresh@example.org", "pw", region="CH", version="5.0.0"
+        )
+        assert updated.login(now=0.0)
+
+    def test_keeping_pristine_copy_defeats_checksum(self, deployment):
+        """The paper's footnote 4: checksum attestation is rudimentary;
+        a compromised client that computes checksums over a kept
+        pristine image passes.  We document the accepted weakness by
+        demonstrating it."""
+        pristine = deployment.client_image
+        client = deployment.create_client(
+            "sneaky@example.org", "pw", region="CH", image=pristine
+        )
+        # The 'running binary' is modified, but the client computes its
+        # checksum over the pristine copy -- indistinguishable to the
+        # User Manager.
+        assert client.login(now=0.0)
+
+
+class TestCompromisedClientCapabilities:
+    def test_decrypted_signal_rebroadcast_is_possible(self, deployment):
+        """A compromised authorized client CAN re-serve plaintext; the
+        paper concedes this for every DRM.  What the system preserves
+        is that the *P2P network itself* never carries plaintext."""
+        client = deployment.create_client("insider@example.org", "pw", region="CH")
+        client.login(now=0.0)
+        deployment.watch(client, "free-ch", now=0.0)
+        packet = deployment.server("free-ch").emit_packet(10.0)
+        plaintext = client.receive_packet(packet)
+        assert len(plaintext) > 0  # the insider holds the plaintext...
+        assert plaintext not in packet.to_bytes()  # ...the network does not
+
+    def test_simultaneous_use_no_worse_than_rebroadcast(self, deployment):
+        """A compromised client sharing its keys lets a second device
+        decrypt -- equivalent in power to rebroadcasting, as the paper
+        argues.  The honest-protocol path (renewal) still shuts the
+        second *account location* out; see test_simultaneous_use."""
+        insider = deployment.create_client("insider@example.org", "pw", region="CH")
+        insider.login(now=0.0)
+        deployment.watch(insider, "free-ch", now=0.0)
+        packet = deployment.server("free-ch").emit_packet(10.0)
+        # Key sharing out-of-band:
+        from repro.core.packets import decrypt_packet
+
+        accomplice_ring = insider.key_ring  # handed over wholesale
+        assert decrypt_packet(accomplice_ring, "free-ch", packet)

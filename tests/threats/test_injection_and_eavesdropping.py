@@ -1,0 +1,113 @@
+"""Threat model: content hijacking, eavesdropping, and de-authorization.
+
+Covers the two stated purposes of channel encryption (Section IV-E):
+keeping unauthorized parties (including formerly authorized ones) out,
+and detecting injected rogue content.
+"""
+
+import pytest
+
+from repro.core.keystream import ContentKeyRing
+from repro.core.packets import ContentPacket, decrypt_packet
+from repro.errors import DecryptionError
+
+
+@pytest.fixture
+def watching(deployment):
+    client = deployment.create_client("viewer2@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    peer = deployment.watch(client, "free-ch", now=0.0)
+    return client, peer
+
+
+class TestEavesdropping:
+    def test_off_network_eavesdropper_cannot_decrypt(self, deployment, watching):
+        """A party that captures packets but never joined holds no
+        content key at all."""
+        source = deployment.overlay("free-ch").source
+        packet = source.server.emit_packet(10.0)
+        eavesdropper_ring = ContentKeyRing()
+        with pytest.raises(DecryptionError):
+            decrypt_packet(eavesdropper_ring, "free-ch", packet)
+
+    def test_payload_absent_from_wire_bytes(self, deployment):
+        source = deployment.overlay("free-ch").source
+        secret = b"THE-MATCH-FOOTAGE" * 10
+        packet = source.server.emit_packet(10.0, payload=secret)
+        assert secret not in packet.to_bytes()
+        assert b"THE-MATCH" not in packet.to_bytes()
+
+    def test_deauthorized_client_loses_stream_after_rotation(self, deployment, watching):
+        """Forward secrecy for departures: a client severed before a
+        re-key cannot decrypt later epochs with its old keys."""
+        client, peer = watching
+        source = deployment.overlay("free-ch").source
+        packet_now = source.server.emit_packet(10.0)
+        client.receive_packet(packet_now)  # fine while authorized
+
+        # Sever the peer (no renewal); the source rotates onward.
+        deployment.overlay("free-ch").source.sever_child(
+            client.channel_ticket.user_id
+        )
+        later = source.server.emit_packet(100.0)  # epoch 1, serial 1
+        with pytest.raises(DecryptionError):
+            client.receive_packet(later)
+
+    def test_old_key_limited_to_its_epoch(self, deployment):
+        """Section IV-E: a leaked content key decrypts only the content
+        of its one-minute period."""
+        server = deployment.server("free-ch")
+        leaked_ring = ContentKeyRing()
+        leaked_ring.offer(server.current_key(30.0))  # the leak
+        same_epoch = server.emit_packet(45.0)
+        next_epoch = server.emit_packet(75.0)
+        assert decrypt_packet(leaked_ring, "free-ch", same_epoch)
+        with pytest.raises(DecryptionError):
+            decrypt_packet(leaked_ring, "free-ch", next_epoch)
+
+
+class TestContentInjection:
+    def test_injected_packet_detected_and_not_forwarded(self, deployment, watching):
+        """Hijack detection: rogue content fails authentication and the
+        receiving peer refuses to propagate it."""
+        client, peer = watching
+        # A downstream child under our peer.
+        child_client = deployment.create_client("child@example.org", "pw", region="CH")
+        child_client.login(now=0.0)
+        child_client.switch_channel("free-ch", now=0.0)
+        child_peer = deployment.make_peer(child_client, "free-ch")
+        deployment.overlay("free-ch").join(child_peer, [peer.descriptor()], now=1.0)
+
+        genuine = deployment.server("free-ch").emit_packet(10.0)
+        rogue = ContentPacket(
+            serial=genuine.serial,
+            sequence=genuine.sequence + 1,
+            ciphertext=b"\x41" * len(genuine.ciphertext),
+        )
+        peer.deliver_packet(rogue)
+        assert client.decrypt_failures == 1
+        assert child_client.packets_decrypted == 0  # never propagated
+
+    def test_cross_channel_replay_detected(self, deployment, watching):
+        """A packet from one channel cannot masquerade on another even
+        if key serials align (channel id is bound as AAD)."""
+        client, _ = watching
+        deployment.add_free_channel("free-x", regions=["CH"], now=0.0)
+        foreign = deployment.server("free-x").emit_packet(10.0)
+        with pytest.raises(DecryptionError):
+            client.receive_packet(foreign)
+
+
+class TestVpnLeakage:
+    def test_vpn_user_admitted_as_paper_accepts(self, deployment):
+        """The paper's stated assumption: VPN leakage is tolerated.  A
+        user physically abroad but presenting an in-region exit address
+        receives in-region service -- by design, not by accident."""
+        exit_addr = deployment.geo.vpn_exit_address("CH", deployment.rng)
+        roamer = deployment.create_client(
+            "roamer@example.org", "pw", net_addr=exit_addr
+        )
+        roamer.login(now=0.0)
+        assert "free-ch" in roamer.viewable_channels(now=0.0)
+        response = roamer.switch_channel("free-ch", now=0.0)
+        assert response.ticket.channel_id == "free-ch"

@@ -1,0 +1,96 @@
+"""Threat model: one account, multiple viewing locations (Section IV-D).
+
+The requirement: "an account can be used to join the same channel at
+most once at any given time."  Enforcement is split between the
+Channel Manager's viewing log (renewal refusal) and peers (severing
+expired, unrenewed links).
+"""
+
+import pytest
+
+from repro.errors import RenewalRefusedError
+
+
+@pytest.fixture
+def home_client(deployment):
+    client = deployment.create_client("shared@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    return client
+
+
+class TestAccountMobility:
+    def test_moving_user_does_not_wait_for_old_ticket_expiry(self, deployment, home_client):
+        """The paper's mobility walk-through: the user switches
+        computers; the new location gets service immediately."""
+        deployment.watch(home_client, "free-ch", now=0.0)
+        office = deployment.create_client(
+            "shared@example.org", "pw", region="CH", register=False
+        )
+        office.login(now=100.0)
+        response = office.switch_channel("free-ch", now=100.0)
+        assert response.ticket.net_addr == office.net_addr
+
+    def test_old_location_renewal_refused_after_move(self, deployment, home_client):
+        deployment.watch(home_client, "free-ch", now=0.0)
+        office = deployment.create_client(
+            "shared@example.org", "pw", region="CH", register=False
+        )
+        office.login(now=100.0)
+        office.switch_channel("free-ch", now=100.0)
+        # The log's latest (UserIN, channel) entry now shows the office
+        # address; home's renewal is refused.
+        renew_at = home_client.channel_ticket.expire_time - 10.0
+        home_client.login(now=renew_at)
+        with pytest.raises(RenewalRefusedError):
+            home_client.renew_channel_ticket(now=renew_at)
+
+    def test_old_location_severed_at_expiry(self, deployment, home_client):
+        home_peer = deployment.watch(home_client, "free-ch", now=0.0)
+        office = deployment.create_client(
+            "shared@example.org", "pw", region="CH", register=False
+        )
+        office.login(now=100.0)
+        office.switch_channel("free-ch", now=100.0)
+        expiry = home_client.channel_ticket.expire_time
+        severed = deployment.overlay("free-ch").enforce_expiry(now=expiry + 1.0)
+        assert severed >= 1
+        assert not home_client.parents
+
+    def test_staying_put_renews_indefinitely(self, deployment, home_client):
+        """Without a competing location, renewals keep succeeding."""
+        deployment.watch(home_client, "free-ch", now=0.0)
+        for cycle in range(3):
+            renew_at = home_client.channel_ticket.expire_time - 10.0
+            home_client.login(now=renew_at)
+            response = home_client.renew_channel_ticket(now=renew_at)
+            assert response.ticket.renewal
+
+    def test_different_channels_do_not_interfere(self, deployment, home_client):
+        """The rule is per (account, channel): watching channel A at
+        home does not block watching channel B elsewhere."""
+        deployment.add_free_channel("free-b", regions=["CH"], now=0.0)
+        home_client.login(now=0.5)  # pick up the new lineup
+        deployment.watch(home_client, "free-ch", now=0.5)
+        office = deployment.create_client(
+            "shared@example.org", "pw", region="CH", register=False
+        )
+        office.login(now=1.0)
+        office.switch_channel("free-b", now=1.0)
+        # Home can still renew on free-ch.
+        renew_at = home_client.channel_ticket.expire_time - 10.0
+        home_client.login(now=renew_at)
+        assert home_client.renew_channel_ticket(now=renew_at).ticket.renewal
+
+    def test_log_tracks_alternating_locations(self, deployment, home_client):
+        manager = deployment.channel_manager_for("free-ch")
+        deployment.watch(home_client, "free-ch", now=0.0)
+        user_id = home_client.channel_ticket.user_id
+        office = deployment.create_client(
+            "shared@example.org", "pw", region="CH", register=False
+        )
+        office.login(now=50.0)
+        office.switch_channel("free-ch", now=50.0)
+        assert manager.latest_entry(user_id, "free-ch").net_addr == office.net_addr
+        home_client.login(now=60.0)
+        home_client.switch_channel("free-ch", now=60.0)
+        assert manager.latest_entry(user_id, "free-ch").net_addr == home_client.net_addr

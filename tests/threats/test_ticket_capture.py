@@ -1,0 +1,169 @@
+"""Threat model: ticket capture and replay (Section IV-G1).
+
+"A stolen ticket is useful to an attacker for its contents and for
+replay attack. ... an attacker that has a client's User Ticket but
+not the client's private key cannot do much with the ticket."
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.challenge import answer_challenge
+from repro.core.protocol import JoinRequest, Switch1Request, Switch2Request
+from repro.core.tickets import ChannelTicket, UserTicket
+from repro.errors import (
+    ChallengeError,
+    DecryptionError,
+    SignatureError,
+    TicketInvalidError,
+)
+
+
+@pytest.fixture
+def victim(deployment):
+    client = deployment.create_client("victim@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    client.switch_channel("free-ch", now=0.0)
+    return client
+
+
+@pytest.fixture
+def attacker(deployment):
+    """An attacker with its own keys and address, inside the region."""
+    return deployment.create_client("attacker@example.org", "pw", region="CH")
+
+
+class TestUserTicketCapture:
+    def test_captured_user_ticket_fails_nonce_challenge(self, deployment, victim, attacker):
+        """The attacker presents the victim's User Ticket from its own
+        connection; the nonce response requires the victim's private
+        key."""
+        stolen = UserTicket.from_bytes(victim.user_ticket.to_bytes())
+        manager = deployment.channel_manager_for("free-ch")
+        response1 = manager.switch1(
+            Switch1Request(user_ticket=stolen, channel_id="free-ch"), now=1.0
+        )
+        forged_signature = answer_challenge(response1.token, attacker.private_key)
+        with pytest.raises(ChallengeError):
+            manager.switch2(
+                Switch2Request(
+                    user_ticket=stolen,
+                    token=response1.token,
+                    signature=forged_signature,
+                    channel_id="free-ch",
+                ),
+                observed_addr=stolen.net_addr,  # attacker even spoofs the address
+                now=1.0,
+            )
+
+    def test_captured_user_ticket_fails_netaddr_check(self, deployment, victim, attacker):
+        """Without address spoofing the mismatch is caught first."""
+        stolen = victim.user_ticket
+        manager = deployment.channel_manager_for("free-ch")
+        response1 = manager.switch1(
+            Switch1Request(user_ticket=stolen, channel_id="free-ch"), now=1.0
+        )
+        signature = answer_challenge(response1.token, attacker.private_key)
+        with pytest.raises(TicketInvalidError):
+            manager.switch2(
+                Switch2Request(
+                    user_ticket=stolen,
+                    token=response1.token,
+                    signature=signature,
+                    channel_id="free-ch",
+                ),
+                observed_addr=attacker.net_addr,
+                now=1.0,
+            )
+
+    def test_user_ticket_cannot_be_modified(self, deployment, victim):
+        """Swapping in the attacker's public key breaks the signature."""
+        attacker_key = deployment.create_client(
+            "rekey@example.org", "pw", region="CH"
+        ).public_key
+        forged = dataclasses.replace(victim.user_ticket, client_public_key=attacker_key)
+        with pytest.raises(SignatureError):
+            forged.verify(
+                deployment.user_managers["domain-0"].public_key, now=1.0
+            )
+
+    def test_channel_list_fetch_also_challenge_gated(self, deployment, victim, attacker):
+        """Section IV-G1: the Channel Policy Manager fetch demands the
+        same proof of key possession."""
+        stolen = victim.user_ticket
+        cpm = deployment.policy_manager
+        token = cpm.request_channel_list(stolen, now=1.0)
+        signature = answer_challenge(token, attacker.private_key)
+        with pytest.raises(ChallengeError):
+            cpm.fetch_channel_list(stolen, token, signature, None, now=1.0)
+
+
+class TestChannelTicketCapture:
+    def test_peer_list_substitution_captures_ticket_but_no_content(
+        self, deployment, victim, attacker
+    ):
+        """The unsigned-peer-list attack: the attacker redirects the
+        victim to itself, captures the Channel Ticket on join -- and
+        still cannot decrypt anything, because the session key the
+        victim receives is encrypted to the *victim's* public key and
+        the attacker's copy of the ticket is bound to the victim's
+        NetAddr."""
+        captured = ChannelTicket.from_bytes(victim.channel_ticket.to_bytes())
+        # The attacker replays the captured ticket from its own
+        # connection: the NetAddr binding fails at any honest peer.
+        manager_key = deployment.channel_manager_for("free-ch").public_key
+        with pytest.raises(TicketInvalidError):
+            captured.verify(
+                manager_key,
+                now=1.0,
+                expected_channel="free-ch",
+                observed_addr=attacker.net_addr,
+            )
+
+    def test_replayed_channel_ticket_rejected_at_peer(self, deployment, victim, attacker):
+        honest_client = deployment.create_client("honest@example.org", "pw", region="CH")
+        honest_client.login(now=1.0)
+        honest_peer = deployment.watch(honest_client, "free-ch", now=1.0)
+        captured = ChannelTicket.from_bytes(victim.channel_ticket.to_bytes())
+        from repro.core.protocol import JoinReject
+
+        result = honest_peer.handle_join(
+            JoinRequest(channel_ticket=captured),
+            observed_addr=attacker.net_addr,
+            now=2.0,
+        )
+        assert isinstance(result, JoinReject)
+
+    def test_session_key_undecryptable_without_private_key(self, deployment, victim, attacker):
+        """Even if the attacker spoofs the victim's address end-to-end,
+        the JoinAccept's session key is RSA-encrypted to the victim."""
+        honest_client = deployment.create_client("honest@example.org", "pw", region="CH")
+        honest_client.login(now=1.0)
+        honest_peer = deployment.watch(honest_client, "free-ch", now=1.0)
+        captured = ChannelTicket.from_bytes(victim.channel_ticket.to_bytes())
+        accept = honest_peer.handle_join(
+            JoinRequest(channel_ticket=captured),
+            observed_addr=victim.net_addr,  # full address spoofing
+            now=2.0,
+        )
+        from repro.core.protocol import JoinAccept
+
+        assert isinstance(accept, JoinAccept)  # the peer cannot tell
+        with pytest.raises(DecryptionError):
+            attacker.private_key.decrypt(accept.encrypted_session_key)
+
+    def test_tampered_channel_ticket_rejected(self, deployment, victim):
+        forged = dataclasses.replace(victim.channel_ticket, expire_time=10**9)
+        manager_key = deployment.channel_manager_for("free-ch").public_key
+        with pytest.raises(SignatureError):
+            forged.verify(manager_key, now=1.0)
+
+    def test_expired_channel_ticket_replay_rejected(self, deployment, victim):
+        manager_key = deployment.channel_manager_for("free-ch").public_key
+        from repro.errors import TicketExpiredError
+
+        with pytest.raises(TicketExpiredError):
+            victim.channel_ticket.verify(
+                manager_key, now=victim.channel_ticket.expire_time + 1.0
+            )

@@ -1,0 +1,104 @@
+"""Fuzzing: malformed wire input must fail with *library* errors only.
+
+A verifier fed attacker-controlled bytes (tickets, tokens, keys,
+packets) must raise the library's typed exceptions -- never an
+uncontrolled IndexError/struct.error/UnicodeDecodeError that could
+crash a server loop.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.challenge import Challenge
+from repro.core.packets import ContentPacket
+from repro.core.tickets import ChannelTicket, UserTicket
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import ReproError
+from repro.util.wire import Decoder, WireError
+
+LIBRARY_ERRORS = (ReproError,)
+
+
+@given(blob=st.binary(max_size=256))
+@settings(max_examples=300)
+def test_decoder_raises_only_wire_errors(blob):
+    dec = Decoder(blob)
+    operations = [
+        dec.get_u8, dec.get_u32, dec.get_u64, dec.get_f64,
+        dec.get_opt_f64, dec.get_bool, dec.get_bytes, dec.get_str,
+    ]
+    for operation in operations:
+        fresh = Decoder(blob)
+        try:
+            getattr(fresh, operation.__name__)()
+        except WireError:
+            pass  # the only acceptable failure
+
+
+@given(blob=st.binary(max_size=512))
+@settings(max_examples=200)
+def test_user_ticket_parse_never_crashes(blob):
+    try:
+        UserTicket.from_bytes(blob)
+    except LIBRARY_ERRORS:
+        pass
+
+
+@given(blob=st.binary(max_size=512))
+@settings(max_examples=200)
+def test_channel_ticket_parse_never_crashes(blob):
+    try:
+        ChannelTicket.from_bytes(blob)
+    except LIBRARY_ERRORS:
+        pass
+
+
+@given(blob=st.binary(max_size=256))
+@settings(max_examples=200)
+def test_challenge_parse_never_crashes(blob):
+    try:
+        Challenge.from_bytes(blob)
+    except LIBRARY_ERRORS:
+        pass
+
+
+@given(blob=st.binary(max_size=256))
+@settings(max_examples=200)
+def test_public_key_parse_never_crashes(blob):
+    try:
+        RsaPublicKey.from_bytes(blob)
+    except LIBRARY_ERRORS:
+        pass
+
+
+@given(blob=st.binary(max_size=256))
+@settings(max_examples=200)
+def test_packet_parse_never_crashes(blob):
+    try:
+        packet = ContentPacket.from_bytes(blob)
+        # A structurally valid packet parse must roundtrip.
+        assert ContentPacket.from_bytes(packet.to_bytes()) == packet
+    except LIBRARY_ERRORS:
+        pass
+
+
+class TestBitflippedTickets:
+    """Every single-byte corruption of a real ticket is rejected."""
+
+    def test_flipped_user_ticket_rejected_everywhere(self, deployment, viewer):
+        blob = bytearray(viewer.user_ticket.to_bytes())
+        um_key = deployment.user_managers["domain-0"].public_key
+        step = max(1, len(blob) // 40)  # sample positions for speed
+        for position in range(0, len(blob), step):
+            corrupted = bytearray(blob)
+            corrupted[position] ^= 0xFF
+            try:
+                ticket = UserTicket.from_bytes(bytes(corrupted))
+                ticket.verify(um_key, now=0.0)
+            except LIBRARY_ERRORS:
+                continue
+            # Reaching here means the corruption was invisible -- only
+            # acceptable if it produced a byte-identical ticket, which
+            # a bit flip cannot.
+            pytest.fail(f"corruption at byte {position} accepted")

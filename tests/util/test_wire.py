@@ -1,0 +1,173 @@
+"""Tests for the canonical wire codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.wire import Decoder, Encoder, WireError
+
+
+class TestScalars:
+    def test_u8_roundtrip(self):
+        blob = Encoder().put_u8(0).put_u8(255).to_bytes()
+        dec = Decoder(blob)
+        assert dec.get_u8() == 0
+        assert dec.get_u8() == 255
+        dec.finish()
+
+    def test_u8_range_enforced(self):
+        with pytest.raises(ValueError):
+            Encoder().put_u8(256)
+        with pytest.raises(ValueError):
+            Encoder().put_u8(-1)
+
+    def test_u32_roundtrip(self):
+        blob = Encoder().put_u32(0).put_u32(0xFFFFFFFF).to_bytes()
+        dec = Decoder(blob)
+        assert dec.get_u32() == 0
+        assert dec.get_u32() == 0xFFFFFFFF
+
+    def test_u64_roundtrip(self):
+        value = 2**63 + 12345
+        dec = Decoder(Encoder().put_u64(value).to_bytes())
+        assert dec.get_u64() == value
+
+    def test_f64_roundtrip(self):
+        for value in (0.0, -1.5, 1e300, 3.141592653589793):
+            dec = Decoder(Encoder().put_f64(value).to_bytes())
+            assert dec.get_f64() == value
+
+    def test_bool_roundtrip(self):
+        dec = Decoder(Encoder().put_bool(True).put_bool(False).to_bytes())
+        assert dec.get_bool() is True
+        assert dec.get_bool() is False
+
+    def test_bad_bool_byte_rejected(self):
+        with pytest.raises(WireError):
+            Decoder(b"\x02").get_bool()
+
+
+class TestOptionalFloat:
+    def test_present(self):
+        dec = Decoder(Encoder().put_opt_f64(2.5).to_bytes())
+        assert dec.get_opt_f64() == 2.5
+
+    def test_absent(self):
+        dec = Decoder(Encoder().put_opt_f64(None).to_bytes())
+        assert dec.get_opt_f64() is None
+
+    def test_bad_presence_byte(self):
+        with pytest.raises(WireError):
+            Decoder(b"\x07" + b"\x00" * 8).get_opt_f64()
+
+
+class TestBytesAndStrings:
+    def test_bytes_roundtrip(self):
+        dec = Decoder(Encoder().put_bytes(b"").put_bytes(b"abc\x00def").to_bytes())
+        assert dec.get_bytes() == b""
+        assert dec.get_bytes() == b"abc\x00def"
+
+    def test_str_roundtrip(self):
+        dec = Decoder(Encoder().put_str("héllo wörld").to_bytes())
+        assert dec.get_str() == "héllo wörld"
+
+    def test_invalid_utf8_rejected(self):
+        blob = Encoder().put_bytes(b"\xff\xfe").to_bytes()
+        with pytest.raises(WireError):
+            Decoder(blob).get_str()
+
+
+class TestErrors:
+    def test_truncated_buffer(self):
+        blob = Encoder().put_u32(7).to_bytes()
+        dec = Decoder(blob[:2])
+        with pytest.raises(WireError):
+            dec.get_u32()
+
+    def test_truncated_length_prefixed(self):
+        blob = Encoder().put_bytes(b"abcdef").to_bytes()
+        with pytest.raises(WireError):
+            Decoder(blob[:-2]).get_bytes()
+
+    def test_finish_rejects_trailing(self):
+        dec = Decoder(b"\x00\x01")
+        dec.get_u8()
+        with pytest.raises(WireError):
+            dec.finish()
+
+    def test_finish_accepts_exact(self):
+        dec = Decoder(b"\x07")
+        dec.get_u8()
+        dec.finish()
+
+    def test_remaining_counts_down(self):
+        dec = Decoder(b"\x00\x00\x00\x01x")
+        assert dec.remaining == 5
+        dec.get_u32()
+        assert dec.remaining == 1
+
+
+class TestCanonicality:
+    def test_same_values_same_bytes(self):
+        def build():
+            return (
+                Encoder()
+                .put_str("channel-a")
+                .put_u64(42)
+                .put_opt_f64(None)
+                .put_bool(True)
+                .to_bytes()
+            )
+
+        assert build() == build()
+
+    def test_field_order_matters(self):
+        a = Encoder().put_u8(1).put_u8(2).to_bytes()
+        b = Encoder().put_u8(2).put_u8(1).to_bytes()
+        assert a != b
+
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            st.binary(max_size=64),
+            st.text(max_size=32),
+            st.booleans(),
+            st.none(),
+            st.floats(allow_nan=False),
+        ),
+        max_size=20,
+    )
+)
+@settings(max_examples=100)
+def test_property_heterogeneous_roundtrip(values):
+    enc = Encoder()
+    for value in values:
+        if isinstance(value, bool):
+            enc.put_bool(value)
+        elif isinstance(value, int):
+            enc.put_u32(value)
+        elif isinstance(value, bytes):
+            enc.put_bytes(value)
+        elif isinstance(value, str):
+            enc.put_str(value)
+        elif value is None:
+            enc.put_opt_f64(None)
+        else:
+            enc.put_f64(value)
+    dec = Decoder(enc.to_bytes())
+    for value in values:
+        if isinstance(value, bool):
+            assert dec.get_bool() == value
+        elif isinstance(value, int):
+            assert dec.get_u32() == value
+        elif isinstance(value, bytes):
+            assert dec.get_bytes() == value
+        elif isinstance(value, str):
+            assert dec.get_str() == value
+        elif value is None:
+            assert dec.get_opt_f64() is None
+        else:
+            assert dec.get_f64() == value
+    dec.finish()

@@ -1,0 +1,93 @@
+"""Tests for channel popularity and zapping behaviour."""
+
+import random
+
+import pytest
+
+from repro.workload.zapping import ZappingModel, ZipfChannelPopularity
+
+
+def channels(n=20):
+    return [f"ch{i:02d}" for i in range(n)]
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        popularity = ZipfChannelPopularity(channels(), 1.0, random.Random(1))
+        total = sum(popularity.probability(c) for c in channels())
+        assert total == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        popularity = ZipfChannelPopularity(channels(), 1.0, random.Random(2))
+        probs = [popularity.probability(c) for c in channels()]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_head_dominates(self):
+        popularity = ZipfChannelPopularity(channels(50), 1.0, random.Random(3))
+        top5 = sum(popularity.probability(c) for c in channels(50)[:5])
+        assert top5 > 0.45  # the few channels carrying most viewers
+
+    def test_s_zero_is_uniform(self):
+        popularity = ZipfChannelPopularity(channels(10), 0.0, random.Random(4))
+        for channel in channels(10):
+            assert popularity.probability(channel) == pytest.approx(0.1)
+
+    def test_samples_follow_distribution(self):
+        popularity = ZipfChannelPopularity(channels(10), 1.0, random.Random(5))
+        counts = {c: 0 for c in channels(10)}
+        for _ in range(10000):
+            counts[popularity.sample()] += 1
+        assert counts["ch00"] > counts["ch09"] * 3
+
+    def test_empty_lineup_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfChannelPopularity([], 1.0, random.Random(1))
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfChannelPopularity(channels(), -1.0, random.Random(1))
+
+
+class TestZappingModel:
+    def make(self, seed=6, **kwargs):
+        popularity = ZipfChannelPopularity(channels(), 1.0, random.Random(seed))
+        return ZappingModel(popularity, random.Random(seed + 1), **kwargs)
+
+    def test_session_durations_fill_length(self):
+        model = self.make()
+        dwells = model.session(3600.0)
+        assert sum(d.duration for d in dwells) == pytest.approx(3600.0)
+
+    def test_no_immediate_repeat(self):
+        model = self.make()
+        for _ in range(20):
+            dwells = model.session(3600.0)
+            for a, b in zip(dwells, dwells[1:]):
+                assert a.channel != b.channel
+
+    def test_empty_session(self):
+        assert self.make().session(0.0) == []
+
+    def test_browse_heavy_sessions_switch_more(self):
+        browsy = self.make(browse_prob=0.95)
+        watchy = self.make(browse_prob=0.05)
+        browsy_switches = sum(len(browsy.session(3600.0)) for _ in range(20))
+        watchy_switches = sum(len(watchy.session(3600.0)) for _ in range(20))
+        assert browsy_switches > watchy_switches * 2
+
+    def test_invalid_browse_prob(self):
+        with pytest.raises(ValueError):
+            self.make(browse_prob=1.5)
+
+    def test_switches_per_session_nonnegative(self):
+        model = self.make()
+        assert model.switches_per_session(1.0) >= 0
+        assert model.switches_per_session(0.0) == 0
+
+    def test_popular_channels_watched_more(self):
+        model = self.make()
+        counts = {}
+        for _ in range(200):
+            for dwell in model.session(1800.0):
+                counts[dwell.channel] = counts.get(dwell.channel, 0) + 1
+        assert counts.get("ch00", 0) > counts.get("ch19", 0)
