@@ -7,6 +7,7 @@ Commands:
 ``ablations``  print the A1-A5 ablation tables
 ``demo``       a compact end-to-end walk-through of Fig. 1
 ``threats``    run the Section IV-G scenarios and report outcomes
+``store``      inspect / verify / compact an on-disk durable store
 
 Each command is a thin wrapper over the library -- everything the CLI
 prints is available programmatically from :mod:`repro.experiments`.
@@ -123,6 +124,72 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_store_report(path: str, report) -> str:
+    lines = [f"store: {path}"]
+    if report.snapshot_seq is None:
+        lines.append("  snapshot: none")
+    else:
+        lines.append(
+            f"  snapshot: seq {report.snapshot_seq}, {report.snapshot_bytes} bytes, "
+            f"taken at t={report.snapshot_taken_at}"
+            + (f" (age {report.snapshot_age:.1f}s)" if report.snapshot_age is not None else "")
+        )
+    lines.append(
+        f"  wal: {report.wal_records} records, {report.wal_bytes} bytes"
+        f" ({report.covered_records} covered by the snapshot)"
+    )
+    if report.torn_bytes:
+        lines.append(f"  torn tail: {report.torn_bytes} bytes")
+    for problem in report.problems:
+        lines.append(f"  PROBLEM: {problem}")
+    lines.append(f"  status: {'healthy' if report.healthy else 'NEEDS ATTENTION'}")
+    return "\n".join(lines)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.store import DurableStore, FileBackend, StoreError
+
+    if not os.path.isdir(args.path):
+        # FileBackend would happily create the directory -- right for a
+        # manager starting fresh, wrong for a maintenance tool: a typo'd
+        # path must not become an empty "healthy" store.
+        print(f"error: no store directory at {args.path}", file=sys.stderr)
+        return 2
+    try:
+        store = DurableStore(FileBackend(args.path))
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "inspect":
+        report = store.verify()
+        print(_format_store_report(args.path, report))
+        counts: dict = {}
+        from repro.store import scan
+        from repro.store.store import WAL_NAME
+
+        for record in scan(store._backend.read(WAL_NAME)).records:
+            counts[record.rec_type] = counts.get(record.rec_type, 0) + 1
+        if counts:
+            print("  record types:")
+            for rec_type in sorted(counts):
+                print(f"    type {rec_type}: {counts[rec_type]}")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(_format_store_report(args.path, report))
+        return 0 if report.healthy else 1
+    if args.action == "compact":
+        before = store.wal_bytes()
+        report = store.compact()
+        print(f"compacted: {before} -> {report.wal_bytes} WAL bytes")
+        print(_format_store_report(args.path, report))
+        return 0 if report.healthy else 1
+    raise AssertionError(f"unknown action {args.action!r}")
+
+
 def _cmd_threats(args: argparse.Namespace) -> int:
     # Delegate to the narrated playbook example logic.
     import examples.threat_playbook as playbook  # type: ignore
@@ -157,6 +224,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     threats = sub.add_parser("threats", help="run the threat playbook")
     threats.set_defaults(func=_cmd_threats)
+
+    store = sub.add_parser("store", help="durable-store maintenance")
+    store.add_argument(
+        "action", choices=("inspect", "verify", "compact"),
+        help="inspect: report + record histogram; verify: health check "
+             "(exit 1 if unhealthy); compact: drop covered records and torn tail",
+    )
+    store.add_argument("path", help="store directory (one manager's FileBackend root)")
+    store.set_defaults(func=_cmd_store)
 
     return parser
 

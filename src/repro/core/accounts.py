@@ -112,6 +112,14 @@ class AccountManager:
         """Subscribe a User Manager to account-change notifications."""
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: AccountListener) -> bool:
+        """Unsubscribe a listener (a crashed farm); True if present."""
+        try:
+            self._listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
+
     def _notify(self, account: UserAccount) -> None:
         for listener in self._listeners:
             listener(account)

@@ -42,6 +42,12 @@ from repro.errors import (
     RenewalRefusedError,
     TicketInvalidError,
 )
+from repro.util.wire import Decoder, Encoder
+
+#: Durable-store record types (see :mod:`repro.store`).
+REC_VIEWING_ENTRY = 1
+REC_CHANNEL_LIST = 2
+REC_REJECTION = 3
 
 #: Returns up to ``count`` candidate peers on ``channel_id``, excluding
 #: the requesting address (a client is never pointed at itself).
@@ -65,6 +71,27 @@ class ViewingLogEntry:
     #: Billing and royalty reports need this because expiries can be
     #: pinned short of the lifetime (blackout/PPV boundaries).
     expires_at: Optional[float] = None
+
+    def encode(self, enc: "Encoder") -> None:
+        """Append the canonical encoding to ``enc``."""
+        enc.put_u64(self.user_id)
+        enc.put_str(self.channel_id)
+        enc.put_str(self.net_addr)
+        enc.put_f64(self.issued_at)
+        enc.put_bool(self.renewal)
+        enc.put_opt_f64(self.expires_at)
+
+    @classmethod
+    def decode(cls, dec: "Decoder") -> "ViewingLogEntry":
+        """Read one entry from ``dec``."""
+        return cls(
+            user_id=dec.get_u64(),
+            channel_id=dec.get_str(),
+            net_addr=dec.get_str(),
+            issued_at=dec.get_f64(),
+            renewal=dec.get_bool(),
+            expires_at=dec.get_opt_f64(),
+        )
 
 
 class ChannelManager:
@@ -115,6 +142,9 @@ class ChannelManager:
         self.tickets_issued = 0
         self.renewals_issued = 0
         self.rejections = 0
+        self._store = None
+        self._snapshot_every: Optional[int] = None
+        self._records_since_snapshot = 0
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -132,6 +162,12 @@ class ChannelManager:
             for cid, record in channel_list.items()
             if record.partition == self.partition
         }
+        if self._store is not None:
+            enc = Encoder()
+            enc.put_u32(len(self._channels))
+            for cid in sorted(self._channels):
+                enc.put_bytes(self._channels[cid].to_bytes())
+            self._journal(REC_CHANNEL_LIST, enc.to_bytes())
 
     def add_user_manager_key(self, key: RsaPublicKey) -> None:
         """Accept tickets from an additional Authentication Domain."""
@@ -199,7 +235,7 @@ class ChannelManager:
         channel_id = request.target_channel
         record = self._channels.get(channel_id)
         if record is None:
-            self.rejections += 1
+            self._note_rejection(now)
             raise AuthorizationError(
                 f"channel {channel_id!r} not in partition {self.partition!r}"
             )
@@ -247,7 +283,7 @@ class ChannelManager:
             record.policies, record.attributes, user_ticket.attributes, now
         )
         if result.decision is not Decision.ACCEPT:
-            self.rejections += 1
+            self._note_rejection(now)
             matched = str(result.matched_policy) if result.matched_policy else "default"
             raise PolicyRejectError(
                 f"policy rejected user {user_ticket.user_id} on channel "
@@ -337,20 +373,49 @@ class ChannelManager:
             renewal=ticket.renewal,
             expires_at=ticket.expire_time,
         )
+        if self._store is not None:
+            # Write-ahead: the entry is durable before the issuance is
+            # visible to anyone (the ticket has not left the handler).
+            enc = Encoder()
+            entry.encode(enc)
+            self._journal(REC_VIEWING_ENTRY, enc.to_bytes())
         self._log.append(entry)
         self._latest[(ticket.user_id, ticket.channel_id)] = entry
+
+    def _note_rejection(self, now: float) -> None:
+        self.rejections += 1
+        if self._store is not None:
+            self._journal(REC_REJECTION, Encoder().put_f64(now).to_bytes())
 
     # ------------------------------------------------------------------
     # Log access (billing / royalties / audits)
     # ------------------------------------------------------------------
 
     def viewing_log(self) -> List[ViewingLogEntry]:
-        """The full viewing activity log, oldest first."""
+        """A defensive copy of the viewing activity log, oldest first.
+
+        Callers (analytics, royalty reports) receive their own list of
+        the immutable entries: mutating the returned list can never
+        corrupt the manager's internal log or its renewal decisions.
+        """
         return list(self._log)
 
     def latest_entry(self, user_id: int, channel_id: str) -> Optional[ViewingLogEntry]:
         """The most recent log row for (UserIN, channel)."""
         return self._latest.get((user_id, channel_id))
+
+    def viewing_log_bytes(self) -> bytes:
+        """Canonical encoding of the whole log.
+
+        Two managers hold identical viewing-log state iff these byte
+        strings are equal -- the check the crash-recovery tests and
+        the sim fault injector use.
+        """
+        enc = Encoder()
+        enc.put_u32(len(self._log))
+        for entry in self._log:
+            entry.encode(enc)
+        return enc.to_bytes()
 
     def share_log_with(self, other: "ChannelManager") -> None:
         """Make another instance share this farm's viewing log.
@@ -360,3 +425,141 @@ class ChannelManager:
         """
         other._log = self._log
         other._latest = self._latest
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.store)
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store, snapshot_every: Optional[int] = None,
+                     now: float = 0.0) -> None:
+        """Journal every mutation to ``store`` from here on.
+
+        An initial snapshot of the current in-memory state is taken
+        immediately, so a store attached to a warm manager is complete
+        from the first byte.  ``snapshot_every`` enables automatic
+        compaction: after that many appended records the WAL is folded
+        into a fresh snapshot.
+        """
+        self._store = store
+        self._snapshot_every = snapshot_every
+        self._records_since_snapshot = 0
+        store.write_snapshot(self._snapshot_state(), taken_at=now)
+
+    def _journal(self, rec_type: int, body: bytes) -> None:
+        self._store.append(rec_type, body)
+        self._records_since_snapshot += 1
+        if (
+            self._snapshot_every is not None
+            and self._records_since_snapshot >= self._snapshot_every
+        ):
+            self._store.write_snapshot(self._snapshot_state())
+            self._records_since_snapshot = 0
+
+    def _snapshot_state(self) -> bytes:
+        enc = Encoder()
+        enc.put_str(self.partition)
+        enc.put_u32(len(self._channels))
+        for cid in sorted(self._channels):
+            enc.put_bytes(self._channels[cid].to_bytes())
+        enc.put_u32(len(self._log))
+        for entry in self._log:
+            entry.encode(enc)
+        enc.put_u64(self.tickets_issued)
+        enc.put_u64(self.renewals_issued)
+        enc.put_u64(self.rejections)
+        return enc.to_bytes()
+
+    def _restore_state(self, state: bytes) -> None:
+        dec = Decoder(state)
+        partition = dec.get_str()
+        if partition != self.partition:
+            raise TicketInvalidError(
+                f"store holds partition {partition!r}, manager is {self.partition!r}"
+            )
+        self._channels = {}
+        for _ in range(dec.get_u32()):
+            record = ChannelRecord.from_bytes(dec.get_bytes())
+            self._channels[record.channel_id] = record
+        self._log = []
+        self._latest = {}
+        for _ in range(dec.get_u32()):
+            entry = ViewingLogEntry.decode(dec)
+            self._log.append(entry)
+            self._latest[(entry.user_id, entry.channel_id)] = entry
+        self.tickets_issued = dec.get_u64()
+        self.renewals_issued = dec.get_u64()
+        self.rejections = dec.get_u64()
+        dec.finish()
+
+    def _apply_record(self, rec_type: int, body: bytes) -> None:
+        dec = Decoder(body)
+        if rec_type == REC_VIEWING_ENTRY:
+            entry = ViewingLogEntry.decode(dec)
+            self._log.append(entry)
+            self._latest[(entry.user_id, entry.channel_id)] = entry
+            if entry.renewal:
+                self.renewals_issued += 1
+            else:
+                self.tickets_issued += 1
+        elif rec_type == REC_CHANNEL_LIST:
+            channels: Dict[str, ChannelRecord] = {}
+            for _ in range(dec.get_u32()):
+                record = ChannelRecord.from_bytes(dec.get_bytes())
+                channels[record.channel_id] = record
+            self._channels = channels
+        elif rec_type == REC_REJECTION:
+            dec.get_f64()
+            self.rejections += 1
+        else:
+            raise TicketInvalidError(f"unknown WAL record type {rec_type}")
+        dec.finish()
+
+    @classmethod
+    def recover(
+        cls,
+        store,
+        *,
+        signing_key: RsaPrivateKey,
+        farm_secret: bytes,
+        drbg: HmacDrbg,
+        user_manager_keys: Sequence[RsaPublicKey],
+        ticket_lifetime: float = 900.0,
+        renewal_window: float = 120.0,
+        partition: str = "default",
+        peer_list_size: int = 8,
+        snapshot_every: Optional[int] = None,
+    ) -> "ChannelManager":
+        """Rebuild a manager from snapshot + WAL replay.
+
+        Key material and farm secrets are deliberately *not* in the
+        store (they live in the deployment's key management, the moral
+        equivalent of an HSM) -- they are passed back in, and because
+        challenge tokens are MAC'd under the farm secret, a client
+        holding a SWITCH1 token from before the crash can complete
+        SWITCH2 against the recovered instance without re-login.
+        """
+        import time as _time
+
+        started = _time.perf_counter()
+        manager = cls(
+            signing_key=signing_key,
+            farm_secret=farm_secret,
+            drbg=drbg,
+            user_manager_keys=user_manager_keys,
+            ticket_lifetime=ticket_lifetime,
+            renewal_window=renewal_window,
+            partition=partition,
+            peer_list_size=peer_list_size,
+        )
+        state = store.load()
+        if state.snapshot is not None:
+            manager._restore_state(state.snapshot.state)
+        for record in state.records:
+            manager._apply_record(record.rec_type, record.body)
+        manager._store = store
+        manager._snapshot_every = snapshot_every
+        manager._records_since_snapshot = len(state.records)
+        store.stats.note_recovery(
+            len(state.records), _time.perf_counter() - started
+        )
+        return manager

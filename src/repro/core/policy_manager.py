@@ -31,6 +31,20 @@ from repro.core.challenge import Challenge, ChallengeIssuer
 from repro.core.policy import Decision, Policy, PolicyCondition
 from repro.core.tickets import UserTicket
 from repro.errors import AuthorizationError, ProtocolError, ReproError, TicketInvalidError
+from repro.util.wire import Decoder, Encoder
+
+#: Durable-store op-record types (see :mod:`repro.store`).  The CPM
+#: journals *operations* rather than state images: replaying them with
+#: their original ``now`` stamps reproduces every utime exactly, which
+#: is what keeps utimes monotone across a crash.
+OP_ADD_CHANNEL = 1
+OP_DELETE_CHANNEL = 2
+OP_SET_ATTRIBUTE = 3
+OP_REMOVE_ATTRIBUTE = 4
+OP_ADD_POLICY = 5
+OP_REMOVE_POLICY = 6
+OP_MOVE_PARTITION = 7
+OP_SET_CHANNEL_MANAGER = 8
 
 
 @dataclass
@@ -112,6 +126,10 @@ class ChannelPolicyManager:
         self._attribute_listeners: List[AttributeListListener] = []
         self._issuer: Optional[ChallengeIssuer] = None
         self._um_keys: List = []
+        self._store = None
+        self._replaying = False
+        self._snapshot_every: Optional[int] = None
+        self._records_since_snapshot = 0
 
     # ------------------------------------------------------------------
     # Client access (challenge-protected Channel List fetch)
@@ -195,6 +213,22 @@ class ChannelPolicyManager:
         self._attribute_listeners.append(listener)
         listener(self.channel_attribute_list())
 
+    def remove_channel_list_listener(self, listener: ChannelListListener) -> bool:
+        """Drop a Channel List listener (a crashed farm); True if present."""
+        try:
+            self._channel_listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
+
+    def remove_attribute_list_listener(self, listener: AttributeListListener) -> bool:
+        """Drop an attribute-list listener; True if present."""
+        try:
+            self._attribute_listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
+
     def _push(self) -> None:
         channel_list = self.channel_list()
         attribute_list = self.channel_attribute_list()
@@ -274,8 +308,17 @@ class ChannelPolicyManager:
             policies=list(policies or []),
             partition=partition,
         )
+        enc = Encoder()
+        enc.put_str(channel_id)
+        enc.put_f64(now)
+        record.attributes.encode(enc)
+        enc.put_u32(len(record.policies))
+        for policy in record.policies:
+            policy.encode(enc)
+        enc.put_str(partition)
         self._channels[channel_id] = record
         self._touch_channel(record, now)
+        self._journal(OP_ADD_CHANNEL, enc.to_bytes())
         return record.copy()
 
     def delete_channel(self, channel_id: str, now: float) -> None:
@@ -286,6 +329,10 @@ class ChannelPolicyManager:
         for attr in record.attributes:
             self._attribute_list.add(attr.with_utime(now))
         self._push()
+        self._journal(
+            OP_DELETE_CHANNEL,
+            Encoder().put_str(channel_id).put_f64(now).to_bytes(),
+        )
 
     def set_channel_attribute(self, channel_id: str, attribute: Attribute, now: float) -> None:
         """Add or replace one channel attribute."""
@@ -294,6 +341,11 @@ class ChannelPolicyManager:
             raise AuthorizationError(f"unknown channel: {channel_id}")
         record.attributes.add(attribute)
         self._touch_channel(record, now)
+        enc = Encoder()
+        enc.put_str(channel_id)
+        attribute.encode(enc)
+        enc.put_f64(now)
+        self._journal(OP_SET_ATTRIBUTE, enc.to_bytes())
 
     def remove_channel_attribute(
         self, channel_id: str, name: str, value: str, now: float
@@ -308,6 +360,12 @@ class ChannelPolicyManager:
                 Attribute(name=name, value=value, utime=now)
             )
             self._touch_channel(record, now)
+            enc = Encoder()
+            enc.put_str(channel_id)
+            enc.put_str(name)
+            enc.put_str(value)
+            enc.put_f64(now)
+            self._journal(OP_REMOVE_ATTRIBUTE, enc.to_bytes())
         return removed
 
     def add_policy(self, channel_id: str, policy: Policy, now: float) -> None:
@@ -317,6 +375,11 @@ class ChannelPolicyManager:
             raise AuthorizationError(f"unknown channel: {channel_id}")
         record.policies.append(policy)
         self._touch_channel(record, now)
+        enc = Encoder()
+        enc.put_str(channel_id)
+        policy.encode(enc)
+        enc.put_f64(now)
+        self._journal(OP_ADD_POLICY, enc.to_bytes())
 
     def remove_policy(self, channel_id: str, label: str, now: float) -> bool:
         """Remove policies by label; True if any removed."""
@@ -328,6 +391,10 @@ class ChannelPolicyManager:
         changed = len(record.policies) != before
         if changed:
             self._touch_channel(record, now)
+            self._journal(
+                OP_REMOVE_POLICY,
+                Encoder().put_str(channel_id).put_str(label).put_f64(now).to_bytes(),
+            )
         return changed
 
     def move_channel_partition(
@@ -347,6 +414,11 @@ class ChannelPolicyManager:
         record.partition = partition
         record.channel_manager_addr = address
         self._touch_channel(record, now)
+        self._journal(
+            OP_MOVE_PARTITION,
+            Encoder().put_str(channel_id).put_str(partition).put_str(address)
+            .put_f64(now).to_bytes(),
+        )
 
     def set_channel_manager(self, channel_id: str, address: str, now: float) -> None:
         """Record the Channel Manager farm serving this channel."""
@@ -355,6 +427,10 @@ class ChannelPolicyManager:
             raise AuthorizationError(f"unknown channel: {channel_id}")
         record.channel_manager_addr = address
         self._touch_channel(record, now)
+        self._journal(
+            OP_SET_CHANNEL_MANAGER,
+            Encoder().put_str(channel_id).put_str(address).put_f64(now).to_bytes(),
+        )
 
     # ------------------------------------------------------------------
     # The paper's blackout idiom, packaged (Section IV-A)
@@ -404,3 +480,113 @@ class ChannelPolicyManager:
     def cancel_blackout(self, channel_id: str, now: float, label: str = "blackout") -> bool:
         """Remove a scheduled blackout's policy (attribute simply expires)."""
         return self.remove_policy(channel_id, label, now)
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.store)
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store, snapshot_every: Optional[int] = None,
+                     now: float = 0.0) -> None:
+        """Journal every lineup mutation to ``store``; snapshot now."""
+        self._store = store
+        self._snapshot_every = snapshot_every
+        self._records_since_snapshot = 0
+        store.write_snapshot(self._snapshot_state(), taken_at=now)
+
+    def _journal(self, op: int, body: bytes) -> None:
+        if self._store is None or self._replaying:
+            return
+        self._store.append(op, body)
+        self._records_since_snapshot += 1
+        if (
+            self._snapshot_every is not None
+            and self._records_since_snapshot >= self._snapshot_every
+        ):
+            self._store.write_snapshot(self._snapshot_state())
+            self._records_since_snapshot = 0
+
+    def _snapshot_state(self) -> bytes:
+        enc = Encoder()
+        enc.put_u32(len(self._channels))
+        for cid in sorted(self._channels):
+            enc.put_bytes(self._channels[cid].to_bytes())
+        self._attribute_list.encode(enc)
+        return enc.to_bytes()
+
+    def _restore_state(self, state: bytes) -> None:
+        dec = Decoder(state)
+        self._channels = {}
+        for _ in range(dec.get_u32()):
+            record = ChannelRecord.from_bytes(dec.get_bytes())
+            self._channels[record.channel_id] = record
+        self._attribute_list = AttributeSet.decode(dec)
+        dec.finish()
+
+    def _apply_record(self, op: int, body: bytes) -> None:
+        """Replay one journaled operation with its original timestamp."""
+        dec = Decoder(body)
+        if op == OP_ADD_CHANNEL:
+            channel_id = dec.get_str()
+            now = dec.get_f64()
+            attributes = AttributeSet.decode(dec)
+            policies = [Policy.decode(dec) for _ in range(dec.get_u32())]
+            partition = dec.get_str()
+            self.add_channel(
+                channel_id, now, attributes=attributes,
+                policies=policies, partition=partition,
+            )
+        elif op == OP_DELETE_CHANNEL:
+            self.delete_channel(dec.get_str(), dec.get_f64())
+        elif op == OP_SET_ATTRIBUTE:
+            channel_id = dec.get_str()
+            attribute = Attribute.decode(dec)
+            self.set_channel_attribute(channel_id, attribute, dec.get_f64())
+        elif op == OP_REMOVE_ATTRIBUTE:
+            self.remove_channel_attribute(
+                dec.get_str(), dec.get_str(), dec.get_str(), dec.get_f64()
+            )
+        elif op == OP_ADD_POLICY:
+            channel_id = dec.get_str()
+            policy = Policy.decode(dec)
+            self.add_policy(channel_id, policy, dec.get_f64())
+        elif op == OP_REMOVE_POLICY:
+            self.remove_policy(dec.get_str(), dec.get_str(), dec.get_f64())
+        elif op == OP_MOVE_PARTITION:
+            self.move_channel_partition(
+                dec.get_str(), dec.get_str(), dec.get_str(), dec.get_f64()
+            )
+        elif op == OP_SET_CHANNEL_MANAGER:
+            self.set_channel_manager(dec.get_str(), dec.get_str(), dec.get_f64())
+        else:
+            raise ProtocolError(f"unknown WAL op type {op}")
+        dec.finish()
+
+    @classmethod
+    def recover(cls, store, snapshot_every: Optional[int] = None) -> "ChannelPolicyManager":
+        """Rebuild the channel lineup from snapshot + op replay.
+
+        Replayed operations run with their original ``now`` stamps, so
+        every utime in the recovered Channel Attribute List is exactly
+        what it was before the crash -- utimes never regress, and
+        clients' change-detection keeps working across the restart.
+        Listeners and client-access keys are runtime wiring, re-added
+        by the deployment after recovery.
+        """
+        import time as _time
+
+        started = _time.perf_counter()
+        manager = cls()
+        state = store.load()
+        if state.snapshot is not None:
+            manager._restore_state(state.snapshot.state)
+        manager._replaying = True
+        try:
+            for record in state.records:
+                manager._apply_record(record.rec_type, record.body)
+        finally:
+            manager._replaying = False
+        manager._store = store
+        manager._snapshot_every = snapshot_every
+        manager._records_since_snapshot = len(state.records)
+        store.stats.note_recovery(len(state.records), _time.perf_counter() - started)
+        return manager

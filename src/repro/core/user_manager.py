@@ -33,7 +33,7 @@ import hmac
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.accounts import UserAccount
+from repro.core.accounts import Subscription, UserAccount
 from repro.core.attributes import (
     ATTR_AS,
     ATTR_NETADDR,
@@ -70,6 +70,12 @@ _NONCE_LEN = 16
 _SALT_LEN = 8
 _DEFAULT_CHECKSUM_WINDOW = 4096
 
+#: Durable-store record types (see :mod:`repro.store`).
+REC_USER_RECORD = 1
+REC_CLIENT_IMAGE = 2
+REC_ATTRIBUTE_LIST = 3
+REC_LOGIN_ISSUED = 4
+
 
 @dataclass
 class ChecksumParams:
@@ -102,6 +108,44 @@ class UserRecord:
     email: str
     shp: bytes
     account: UserAccount
+
+    def encode(self, enc: Encoder) -> None:
+        """Append the canonical encoding (the WAL/snapshot row form)."""
+        enc.put_u64(self.user_id)
+        enc.put_str(self.email)
+        enc.put_bytes(self.shp)
+        enc.put_f64(self.account.balance)
+        enc.put_bool(self.account.suspended)
+        enc.put_u32(len(self.account.subscriptions))
+        for subscription in self.account.subscriptions:
+            enc.put_str(subscription.package_id)
+            enc.put_opt_f64(subscription.stime)
+            enc.put_opt_f64(subscription.etime)
+
+    @classmethod
+    def decode(cls, dec: Decoder) -> "UserRecord":
+        """Rebuild a row (with a detached account image) from ``dec``."""
+        user_id = dec.get_u64()
+        email = dec.get_str()
+        shp = dec.get_bytes()
+        balance = dec.get_f64()
+        suspended = dec.get_bool()
+        subscriptions = [
+            Subscription(
+                package_id=dec.get_str(),
+                stime=dec.get_opt_f64(),
+                etime=dec.get_opt_f64(),
+            )
+            for _ in range(dec.get_u32())
+        ]
+        account = UserAccount(
+            email=email,
+            shp=shp,
+            subscriptions=subscriptions,
+            balance=balance,
+            suspended=suspended,
+        )
+        return cls(user_id=user_id, email=email, shp=shp, account=account)
 
 
 class UserManager:
@@ -162,6 +206,9 @@ class UserManager:
         self._channel_attribute_list = AttributeSet()
         self._client_images: Dict[str, bytes] = {}
         self.logins_issued = 0
+        self._store = None
+        self._snapshot_every: Optional[int] = None
+        self._records_since_snapshot = 0
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -193,17 +240,30 @@ class UserManager:
         else:
             record.shp = account.shp
             record.account = account
+        if self._store is not None:
+            enc = Encoder()
+            record.encode(enc)
+            self._journal(REC_USER_RECORD, enc.to_bytes())
         return record
 
     def receive_channel_attribute_list(self, attributes: AttributeSet) -> None:
         """Channel Policy Manager push (Section IV-A)."""
         self._channel_attribute_list = attributes
+        if self._store is not None:
+            enc = Encoder()
+            attributes.encode(enc)
+            self._journal(REC_ATTRIBUTE_LIST, enc.to_bytes())
 
     def register_client_image(self, version: str, image: bytes) -> None:
         """Register a released client binary for attestation checks."""
         if not image:
             raise ValueError("client image must be non-empty")
         self._client_images[version] = bytes(image)
+        if self._store is not None:
+            enc = Encoder()
+            enc.put_str(version)
+            enc.put_bytes(self._client_images[version])
+            self._journal(REC_CLIENT_IMAGE, enc.to_bytes())
 
     # ------------------------------------------------------------------
     # LOGIN1
@@ -315,6 +375,9 @@ class UserManager:
             attributes=attributes,
         ).signed(self._key)
         self.logins_issued += 1
+        if self._store is not None:
+            body = Encoder().put_u64(record.user_id).put_f64(now).to_bytes()
+            self._journal(REC_LOGIN_ISSUED, body)
         return Login2Response(ticket=ticket, server_time=now)
 
     # ------------------------------------------------------------------
@@ -389,6 +452,137 @@ class UserManager:
     def user_count(self) -> int:
         """Number of UserDB rows."""
         return len(self._users_by_email)
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.store)
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store, snapshot_every: Optional[int] = None,
+                     now: float = 0.0) -> None:
+        """Journal UserDB mutations to ``store``; snapshot now."""
+        self._store = store
+        self._snapshot_every = snapshot_every
+        self._records_since_snapshot = 0
+        store.write_snapshot(self._snapshot_state(), taken_at=now)
+
+    def _journal(self, rec_type: int, body: bytes) -> None:
+        self._store.append(rec_type, body)
+        self._records_since_snapshot += 1
+        if (
+            self._snapshot_every is not None
+            and self._records_since_snapshot >= self._snapshot_every
+        ):
+            self._store.write_snapshot(self._snapshot_state())
+            self._records_since_snapshot = 0
+
+    def _snapshot_state(self) -> bytes:
+        enc = Encoder()
+        enc.put_str(self.domain)
+        enc.put_u64(self._next_user_id)
+        enc.put_u32(len(self._users_by_id))
+        for user_id in sorted(self._users_by_id):
+            self._users_by_id[user_id].encode(enc)
+        self._channel_attribute_list.encode(enc)
+        enc.put_u32(len(self._client_images))
+        for version in sorted(self._client_images):
+            enc.put_str(version)
+            enc.put_bytes(self._client_images[version])
+        enc.put_u64(self.logins_issued)
+        return enc.to_bytes()
+
+    def _restore_state(self, state: bytes) -> None:
+        dec = Decoder(state)
+        domain = dec.get_str()
+        if domain != self.domain:
+            raise ProtocolError(
+                f"store holds domain {domain!r}, manager is {self.domain!r}"
+            )
+        self._next_user_id = dec.get_u64()
+        self._users_by_email = {}
+        self._users_by_id = {}
+        for _ in range(dec.get_u32()):
+            self._install_record(UserRecord.decode(dec))
+        self._channel_attribute_list = AttributeSet.decode(dec)
+        self._client_images = {}
+        for _ in range(dec.get_u32()):
+            version = dec.get_str()
+            self._client_images[version] = dec.get_bytes()
+        self.logins_issued = dec.get_u64()
+        dec.finish()
+
+    def _install_record(self, record: UserRecord) -> None:
+        """Upsert one replayed UserDB row, keeping id allocation ahead."""
+        self._users_by_email[record.email] = record
+        self._users_by_id[record.user_id] = record
+        if record.user_id >= self._next_user_id:
+            self._next_user_id = record.user_id + self._user_id_stride
+
+    def _apply_record(self, rec_type: int, body: bytes) -> None:
+        dec = Decoder(body)
+        if rec_type == REC_USER_RECORD:
+            self._install_record(UserRecord.decode(dec))
+        elif rec_type == REC_CLIENT_IMAGE:
+            version = dec.get_str()
+            self._client_images[version] = dec.get_bytes()
+        elif rec_type == REC_ATTRIBUTE_LIST:
+            self._channel_attribute_list = AttributeSet.decode(dec)
+        elif rec_type == REC_LOGIN_ISSUED:
+            dec.get_u64()
+            dec.get_f64()
+            self.logins_issued += 1
+        else:
+            raise ProtocolError(f"unknown WAL record type {rec_type}")
+        dec.finish()
+
+    @classmethod
+    def recover(
+        cls,
+        store,
+        *,
+        signing_key: RsaPrivateKey,
+        farm_secret: bytes,
+        drbg: HmacDrbg,
+        geo,
+        ticket_lifetime: float = 1800.0,
+        min_version: str = "1.0.0",
+        domain: str = "default",
+        challenge_max_age: float = 60.0,
+        user_id_start: int = 1,
+        user_id_stride: int = 1,
+        snapshot_every: Optional[int] = None,
+    ) -> "UserManager":
+        """Rebuild a User Manager from snapshot + WAL replay.
+
+        Secrets stay out of the store (deployment key management owns
+        them); because challenge tokens and checksum parameters are
+        both derived from the farm secret, in-flight LOGIN1 tokens
+        issued before the crash complete LOGIN2 on the recovered farm.
+        """
+        import time as _time
+
+        started = _time.perf_counter()
+        manager = cls(
+            signing_key=signing_key,
+            farm_secret=farm_secret,
+            drbg=drbg,
+            geo=geo,
+            ticket_lifetime=ticket_lifetime,
+            min_version=min_version,
+            domain=domain,
+            challenge_max_age=challenge_max_age,
+            user_id_start=user_id_start,
+            user_id_stride=user_id_stride,
+        )
+        state = store.load()
+        if state.snapshot is not None:
+            manager._restore_state(state.snapshot.state)
+        for record in state.records:
+            manager._apply_record(record.rec_type, record.body)
+        manager._store = store
+        manager._snapshot_every = snapshot_every
+        manager._records_since_snapshot = len(state.records)
+        store.stats.note_recovery(len(state.records), _time.perf_counter() - started)
+        return manager
 
 
 def _version_tuple(version: str) -> Tuple[int, ...]:

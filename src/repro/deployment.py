@@ -105,14 +105,33 @@ class Deployment:
         self.directory.register("cpm://main", self.policy_manager)
         self.redirection = RedirectionManager(self._cpm_endpoint)
 
+        # Farm credentials (keypair + farm secret) outlive any single
+        # process: they are the deployment's key-management layer, and
+        # crash recovery hands them back to the rebuilt manager.
+        self._credentials: Dict[str, tuple] = {}
+        self._account_listeners: Dict[str, object] = {}
+        self._attribute_listeners: Dict[str, object] = {}
+        self._channel_list_listeners: Dict[str, object] = {}
+        self._recovery_counts: Dict[str, int] = {}
+        #: Durable stores by component name, populated by
+        #: :meth:`enable_durability`.
+        self.stores: Dict[str, object] = {}
+        self._store_root: Optional[str] = None
+        self._store_snapshot_every: Optional[int] = None
+
         # User Manager farms, one per Authentication Domain.
         self.user_managers: Dict[str, UserManager] = {}
+        self.user_ticket_lifetime = user_ticket_lifetime
+        self.n_domains = n_domains
         for index in range(n_domains):
             domain = f"domain-{index}"
             um_drbg = self._drbg.fork(f"um-{index}".encode())
+            um_key = generate_keypair(um_drbg.fork(b"key"), bits=key_bits)
+            um_secret = um_drbg.fork(b"secret").generate(32)
+            self._credentials[f"um://{domain}"] = (um_key, um_secret)
             manager = UserManager(
-                signing_key=generate_keypair(um_drbg.fork(b"key"), bits=key_bits),
-                farm_secret=um_drbg.fork(b"secret").generate(32),
+                signing_key=um_key,
+                farm_secret=um_secret,
                 drbg=um_drbg.fork(b"runtime"),
                 geo=self.geo,
                 ticket_lifetime=user_ticket_lifetime,
@@ -121,10 +140,7 @@ class Deployment:
                 user_id_stride=n_domains,
             )
             manager.register_client_image(self.client_version, self.client_image)
-            self.policy_manager.add_attribute_list_listener(
-                manager.receive_channel_attribute_list
-            )
-            self.accounts.add_listener(lambda account, m=manager: m.sync_account(account))
+            self._wire_user_manager_listeners(domain, manager)
             address = f"um://{domain}"
             self.directory.register(address, manager)
             self.redirection.register_domain(
@@ -133,25 +149,31 @@ class Deployment:
             self.user_managers[domain] = manager
 
         um_keys = [m.public_key for m in self.user_managers.values()]
+        cpm_secret = self._drbg.fork(b"cpm-secret").generate(32)
+        self._credentials["cpm://main"] = (cpm_key, cpm_secret)
         self.policy_manager.enable_client_access(
-            farm_secret=self._drbg.fork(b"cpm-secret").generate(32),
+            farm_secret=cpm_secret,
             drbg=self._drbg.fork(b"cpm-runtime"),
             user_manager_keys=um_keys,
         )
 
         # Channel Manager farms, one per partition.
         self.channel_managers: Dict[str, ChannelManager] = {}
+        self.channel_ticket_lifetime = channel_ticket_lifetime
         for name in partitions:
             cm_drbg = self._drbg.fork(f"cm-{name}".encode())
+            cm_key = generate_keypair(cm_drbg.fork(b"key"), bits=key_bits)
+            cm_secret = cm_drbg.fork(b"secret").generate(32)
+            self._credentials[f"cm://{name}"] = (cm_key, cm_secret)
             manager = ChannelManager(
-                signing_key=generate_keypair(cm_drbg.fork(b"key"), bits=key_bits),
-                farm_secret=cm_drbg.fork(b"secret").generate(32),
+                signing_key=cm_key,
+                farm_secret=cm_secret,
                 drbg=cm_drbg.fork(b"runtime"),
                 user_manager_keys=um_keys,
                 ticket_lifetime=channel_ticket_lifetime,
                 partition=name,
             )
-            self.policy_manager.add_channel_list_listener(manager.receive_channel_list)
+            self._wire_channel_manager_listeners(name, manager)
             manager.set_peer_list_provider(self._peer_list_provider)
             self.directory.register(f"cm://{name}", manager)
             self.channel_managers[name] = manager
@@ -294,18 +316,29 @@ class Deployment:
             raise ReproError(f"partition exists: {name}")
         um_keys = [m.public_key for m in self.user_managers.values()]
         cm_drbg = self._drbg.fork(f"cm-{name}".encode())
+        cm_key = generate_keypair(cm_drbg.fork(b"key"), bits=self.key_bits)
+        cm_secret = cm_drbg.fork(b"secret").generate(32)
+        self._credentials[f"cm://{name}"] = (cm_key, cm_secret)
         manager = ChannelManager(
-            signing_key=generate_keypair(cm_drbg.fork(b"key"), bits=self.key_bits),
-            farm_secret=cm_drbg.fork(b"secret").generate(32),
+            signing_key=cm_key,
+            farm_secret=cm_secret,
             drbg=cm_drbg.fork(b"runtime"),
             user_manager_keys=um_keys,
-            ticket_lifetime=next(iter(self.channel_managers.values())).ticket_lifetime,
+            ticket_lifetime=self.channel_ticket_lifetime,
             partition=name,
         )
-        self.policy_manager.add_channel_list_listener(manager.receive_channel_list)
+        self._wire_channel_manager_listeners(name, manager)
         manager.set_peer_list_provider(self._peer_list_provider)
         self.directory.register(f"cm://{name}", manager)
         self.channel_managers[name] = manager
+        if self.stores:
+            store = self._make_store(f"cm-{name}")
+            if store.has_state():
+                # A previous process already ran this partition: recover
+                # its state instead of snapshotting the fresh farm over it.
+                self.crash_channel_manager(name)
+                return self.recover_channel_manager(name)
+            manager.attach_store(store, snapshot_every=self._store_snapshot_every)
         return manager
 
     def promote_channel(self, channel_id: str, partition: str, now: float) -> None:
@@ -369,6 +402,203 @@ class Deployment:
         """The Channel Manager farm serving a channel's partition."""
         record = self.policy_manager.get_channel(channel_id)
         return self.channel_managers[record.partition]
+
+    # ------------------------------------------------------------------
+    # Durability and crash recovery (see repro.store, repro.sim.faults)
+    # ------------------------------------------------------------------
+
+    def _wire_user_manager_listeners(self, domain: str, manager: UserManager) -> None:
+        """(Re-)subscribe a UM instance to CPM and Account pushes."""
+        attribute_listener = manager.receive_channel_attribute_list
+        self.policy_manager.add_attribute_list_listener(attribute_listener)
+        self._attribute_listeners[domain] = attribute_listener
+        account_listener = lambda account, m=manager: m.sync_account(account)
+        self.accounts.add_listener(account_listener)
+        self._account_listeners[domain] = account_listener
+
+    def _wire_channel_manager_listeners(self, name: str, manager: ChannelManager) -> None:
+        """(Re-)subscribe a CM instance to Channel List pushes."""
+        listener = manager.receive_channel_list
+        self.policy_manager.add_channel_list_listener(listener)
+        self._channel_list_listeners[name] = listener
+
+    def _make_store(self, name: str):
+        from repro.store import DurableStore, FileBackend, MemoryBackend
+
+        if self._store_root is None:
+            backend = MemoryBackend()
+        else:
+            import os
+
+            backend = FileBackend(os.path.join(self._store_root, name))
+        store = DurableStore(backend)
+        self.stores[name] = store
+        return store
+
+    def enable_durability(
+        self, root: Optional[str] = None, snapshot_every: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Attach a durable store to every stateful manager.
+
+        ``root=None`` uses in-memory backends (simulation-grade
+        durability: state survives a *process object* crash, which is
+        what the fault injector models); a directory path uses
+        :class:`~repro.store.FileBackend` subdirectories per manager.
+        ``snapshot_every`` bounds WAL growth by auto-compacting after
+        that many records.
+
+        If ``root`` already holds state from a previous process, each
+        manager is *recovered* from its store instead of snapshotting
+        the fresh in-memory state over it -- pointing a restarted
+        deployment at its old root never destroys data.  Build the
+        deployment with the same ``seed`` so key management re-derives
+        the farm credentials the persisted tickets expect.
+        """
+        self._store_root = root
+        self._store_snapshot_every = snapshot_every
+
+        cpm_store = self._make_store("cpm")
+        if cpm_store.has_state():
+            self._recover_policy_manager(cpm_store)
+        else:
+            self.policy_manager.attach_store(cpm_store, snapshot_every=snapshot_every)
+
+        for domain in list(self.user_managers):
+            store = self._make_store(f"um-{domain}")
+            if store.has_state():
+                self.crash_user_manager(domain)
+                self.recover_user_manager(domain)
+            else:
+                self.user_managers[domain].attach_store(
+                    store, snapshot_every=snapshot_every
+                )
+
+        for name in list(self.channel_managers):
+            store = self._make_store(f"cm-{name}")
+            if store.has_state():
+                self.crash_channel_manager(name)
+                self.recover_channel_manager(name)
+            else:
+                self.channel_managers[name].attach_store(
+                    store, snapshot_every=snapshot_every
+                )
+        return self.stores
+
+    def _recover_policy_manager(self, store) -> ChannelPolicyManager:
+        """Rebuild the Channel Policy Manager from a pre-existing store.
+
+        The recovered instance takes over the old one's directory
+        binding and listener registrations; registering the stashed
+        listeners pushes the recovered Channel (Attribute) List to the
+        live User/Channel Managers immediately.
+        """
+        generation = self._recovery_counts.get("cpm://main", 0) + 1
+        self._recovery_counts["cpm://main"] = generation
+        _cpm_key, cpm_secret = self._credentials["cpm://main"]
+        manager = ChannelPolicyManager.recover(
+            store, snapshot_every=self._store_snapshot_every
+        )
+        manager.enable_client_access(
+            farm_secret=cpm_secret,
+            drbg=HmacDrbg(cpm_secret, f"cpm-recovery-{generation}".encode()),
+            user_manager_keys=[m.public_key for m in self.user_managers.values()],
+        )
+        self.policy_manager = manager
+        self.directory.register("cpm://main", manager)
+        for listener in self._attribute_listeners.values():
+            manager.add_attribute_list_listener(listener)
+        for listener in self._channel_list_listeners.values():
+            manager.add_channel_list_listener(listener)
+        self._epg = None
+        return manager
+
+    def crash_channel_manager(self, partition: str) -> ChannelManager:
+        """Kill a Channel Manager farm process.
+
+        The manager object is unhooked from every feed and the
+        directory -- only its durable store, and the farm credentials
+        held by the deployment's key management, survive.  Returns the
+        dead instance (tests compare its state against the recovered
+        one).
+        """
+        dead = self.channel_managers.pop(partition, None)
+        if dead is None:
+            raise ReproError(f"unknown partition: {partition}")
+        listener = self._channel_list_listeners.pop(partition, None)
+        if listener is not None:
+            self.policy_manager.remove_channel_list_listener(listener)
+        self.directory.unregister(f"cm://{partition}")
+        return dead
+
+    def recover_channel_manager(self, partition: str) -> ChannelManager:
+        """Rebuild a crashed Channel Manager from its durable store."""
+        store = self.stores.get(f"cm-{partition}")
+        if store is None:
+            raise ReproError(f"no durable store for partition {partition!r}")
+        credentials = self._credentials.get(f"cm://{partition}")
+        if credentials is None:
+            raise ReproError(f"no credentials for partition {partition!r}")
+        signing_key, farm_secret = credentials
+        generation = self._recovery_counts.get(f"cm://{partition}", 0) + 1
+        self._recovery_counts[f"cm://{partition}"] = generation
+        manager = ChannelManager.recover(
+            store,
+            signing_key=signing_key,
+            farm_secret=farm_secret,
+            drbg=HmacDrbg(farm_secret, f"cm-recovery-{generation}".encode()),
+            user_manager_keys=[m.public_key for m in self.user_managers.values()],
+            ticket_lifetime=self.channel_ticket_lifetime,
+            partition=partition,
+            snapshot_every=self._store_snapshot_every,
+        )
+        self.channel_managers[partition] = manager
+        self._wire_channel_manager_listeners(partition, manager)
+        manager.set_peer_list_provider(self._peer_list_provider)
+        self.directory.register(f"cm://{partition}", manager)
+        return manager
+
+    def crash_user_manager(self, domain: str) -> UserManager:
+        """Kill a User Manager farm process (see crash_channel_manager)."""
+        dead = self.user_managers.pop(domain, None)
+        if dead is None:
+            raise ReproError(f"unknown domain: {domain}")
+        attribute_listener = self._attribute_listeners.pop(domain, None)
+        if attribute_listener is not None:
+            self.policy_manager.remove_attribute_list_listener(attribute_listener)
+        account_listener = self._account_listeners.pop(domain, None)
+        if account_listener is not None:
+            self.accounts.remove_listener(account_listener)
+        self.directory.unregister(f"um://{domain}")
+        return dead
+
+    def recover_user_manager(self, domain: str) -> UserManager:
+        """Rebuild a crashed User Manager from its durable store."""
+        store = self.stores.get(f"um-{domain}")
+        if store is None:
+            raise ReproError(f"no durable store for domain {domain!r}")
+        credentials = self._credentials.get(f"um://{domain}")
+        if credentials is None:
+            raise ReproError(f"no credentials for domain {domain!r}")
+        signing_key, farm_secret = credentials
+        generation = self._recovery_counts.get(f"um://{domain}", 0) + 1
+        self._recovery_counts[f"um://{domain}"] = generation
+        index = int(domain.rsplit("-", 1)[-1])
+        manager = UserManager.recover(
+            store,
+            signing_key=signing_key,
+            farm_secret=farm_secret,
+            drbg=HmacDrbg(farm_secret, f"um-recovery-{generation}".encode()),
+            geo=self.geo,
+            ticket_lifetime=self.user_ticket_lifetime,
+            domain=domain,
+            user_id_start=index + 1,
+            user_id_stride=self.n_domains,
+            snapshot_every=self._store_snapshot_every,
+        )
+        self.user_managers[domain] = manager
+        self._wire_user_manager_listeners(domain, manager)
+        self.directory.register(f"um://{domain}", manager)
+        return manager
 
     # ------------------------------------------------------------------
     # Clients and peers

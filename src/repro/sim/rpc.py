@@ -70,6 +70,9 @@ class RpcService:
         self.station = station
         self._handlers: Dict[str, Handler] = {}
         self.requests_served = 0
+        #: Crash flag (see :mod:`repro.sim.faults`): while True the
+        #: process is dead -- requests and replies touching it vanish.
+        self.down = False
 
     def register(self, method: str, handler: Handler) -> None:
         """Bind a handler; rebinding is an error (catch wiring bugs)."""
@@ -115,12 +118,46 @@ class VirtualNetwork:
         self._services: Dict[str, RpcService] = {}
         self.messages_sent = 0
         self.messages_lost = 0
+        self.messages_dropped_down = 0
 
     def attach(self, service: RpcService) -> None:
-        """Make a service reachable."""
-        if service.address in self._services:
+        """Make a service reachable.
+
+        Attaching over a *down* binding replaces it (a recovered
+        process taking back its address); attaching over a live one is
+        a wiring bug.
+        """
+        existing = self._services.get(service.address)
+        if existing is not None and not existing.down:
             raise SimulationError(f"address in use: {service.address}")
         self._services[service.address] = service
+
+    def detach(self, address: str) -> Optional[RpcService]:
+        """Crash the process at ``address``; returns the dead service.
+
+        The binding stays in the table as a *down* tombstone: callers
+        of a crashed (as opposed to never-existing) address get message
+        drops and timeouts, not a simulation error.  In-flight messages
+        still holding the dead object see its ``down`` flag, so nothing
+        queued before the crash leaks into the replacement instance
+        attached later at the same address.
+        """
+        service = self._services.get(address)
+        if service is not None:
+            service.down = True
+        return service
+
+    def set_down(self, address: str) -> RpcService:
+        """Crash a service in place: requests to it silently vanish."""
+        service = self.service(address)
+        service.down = True
+        return service
+
+    def set_up(self, address: str) -> RpcService:
+        """Bring a crashed (but still attached) service back."""
+        service = self.service(address)
+        service.down = False
+        return service
 
     def service(self, address: str) -> RpcService:
         service = self._services.get(address)
@@ -168,11 +205,19 @@ class VirtualNetwork:
         if self._lost():
             self.messages_lost += 1
             return  # request vanished; only the timeout can save the caller
+        if service.down:
+            self.messages_dropped_down += 1
+            return  # connection refused by a dead process; timeout applies
 
         request_owd = self._one_way(caller_region, service.region)
 
         def deliver(sim: Simulator) -> None:
             def run_handler(sim2: Simulator) -> None:
+                if service.down:
+                    # The process died while the request was in flight
+                    # (or queued): the request dies with it.
+                    self.messages_dropped_down += 1
+                    return
                 service.requests_served += 1
                 ctx = RequestContext(caller_address=caller_address, now=sim2.now)
                 try:
@@ -207,9 +252,21 @@ class VirtualNetwork:
         if self._lost():
             self.messages_lost += 1
             return
+        if service.down:
+            # Crashed after computing but before the reply hit the
+            # wire: the WAL made the mutation durable, the reply is
+            # gone -- exactly the ambiguity recovery must tolerate.
+            self.messages_dropped_down += 1
+            return
         reply_owd = self._one_way(caller_region, service.region)
 
         def deliver_reply(sim2: Simulator) -> None:
+            if service.down:
+                # The process died with the reply still in its send
+                # path: the handler's mutation is durable, the caller
+                # never hears -- the ambiguity recovery must tolerate.
+                self.messages_dropped_down += 1
+                return
             if timed_out["flag"]:
                 return  # caller gave up already
             timed_out["delivered"] = True

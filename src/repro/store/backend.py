@@ -1,0 +1,208 @@
+"""Storage backends: where durable bytes actually live.
+
+The write-ahead log and snapshot layers above this module speak a
+narrow byte-level contract -- read, atomic replace, append, truncate --
+so the same recovery logic runs against an in-memory map (tests,
+simulations) and a directory of files (real durability).  Nothing in
+the contract is async or transactional beyond single-name atomic
+replace: the WAL framing (per-record CRC + torn-tail truncation)
+supplies crash consistency on top of these primitives, exactly as
+production log-structured stores do over POSIX files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, IO, List, Optional
+
+from repro.errors import ReproError
+
+
+class StoreError(ReproError):
+    """Raised when a storage backend operation fails."""
+
+
+class StoreBackend:
+    """Abstract byte-level storage for one store directory.
+
+    Names are flat strings (no path separators); values are byte
+    strings.  ``write`` must replace atomically -- a crash during
+    ``write`` leaves either the old or the new content, never a mix --
+    while ``append`` may tear mid-record (the WAL layer recovers).
+    """
+
+    def read(self, name: str) -> bytes:
+        """Full contents of ``name``; empty bytes if it does not exist."""
+        raise NotImplementedError
+
+    def write(self, name: str, data: bytes) -> None:
+        """Atomically replace ``name`` with ``data``."""
+        raise NotImplementedError
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to ``name``, creating it if missing."""
+        raise NotImplementedError
+
+    def truncate(self, name: str, size: int) -> None:
+        """Cut ``name`` down to ``size`` bytes (no-op if already shorter)."""
+        raise NotImplementedError
+
+    def size(self, name: str) -> int:
+        """Current length of ``name`` in bytes; 0 if missing."""
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        """Does ``name`` hold any written content?"""
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove ``name`` if present."""
+        raise NotImplementedError
+
+    def names(self) -> List[str]:
+        """All existing names, sorted."""
+        raise NotImplementedError
+
+
+class MemoryBackend(StoreBackend):
+    """Byte storage in a plain dict -- for tests and pure simulations.
+
+    Crash injection support: :meth:`tear_tail` chops bytes off the end
+    of a name, modelling the partially flushed append a real power cut
+    leaves behind.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytearray] = {}
+
+    def read(self, name: str) -> bytes:
+        return bytes(self._data.get(name, b""))
+
+    def write(self, name: str, data: bytes) -> None:
+        self._data[name] = bytearray(data)
+
+    def append(self, name: str, data: bytes) -> None:
+        self._data.setdefault(name, bytearray()).extend(data)
+
+    def truncate(self, name: str, size: int) -> None:
+        existing = self._data.get(name)
+        if existing is not None and len(existing) > size:
+            del existing[size:]
+
+    def size(self, name: str) -> int:
+        return len(self._data.get(name, b""))
+
+    def exists(self, name: str) -> bool:
+        return name in self._data
+
+    def delete(self, name: str) -> None:
+        self._data.pop(name, None)
+
+    def names(self) -> List[str]:
+        return sorted(self._data)
+
+    def tear_tail(self, name: str, nbytes: int) -> None:
+        """Simulate a torn append: drop the last ``nbytes`` of ``name``."""
+        self.truncate(name, max(0, self.size(name) - nbytes))
+
+
+class FileBackend(StoreBackend):
+    """Byte storage in one directory of flat files.
+
+    ``write`` goes through a temp file + ``os.replace`` so snapshot
+    installation is atomic against crashes.  ``append`` keeps the file
+    handle open between calls (the WAL's hot path) and flushes each
+    record; ``fsync=True`` additionally forces the page cache out,
+    trading throughput for power-cut safety.
+    """
+
+    def __init__(self, root: str, fsync: bool = False) -> None:
+        self.root = root
+        self.fsync = fsync
+        os.makedirs(root, exist_ok=True)
+        self._append_handles: Dict[str, IO[bytes]] = {}
+
+    def _path(self, name: str) -> str:
+        if not name or "/" in name or os.sep in name or name.startswith("."):
+            raise StoreError(f"bad store name: {name!r}")
+        return os.path.join(self.root, name)
+
+    def _drop_handle(self, name: str) -> None:
+        handle = self._append_handles.pop(name, None)
+        if handle is not None:
+            handle.close()
+
+    def read(self, name: str) -> bytes:
+        path = self._path(name)
+        self._flush(name)
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return b""
+
+    def write(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        self._drop_handle(name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def append(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        handle = self._append_handles.get(name)
+        if handle is None:
+            handle = open(path, "ab")
+            self._append_handles[name] = handle
+        handle.write(data)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def _flush(self, name: str) -> None:
+        handle = self._append_handles.get(name)
+        if handle is not None:
+            handle.flush()
+
+    def truncate(self, name: str, size: int) -> None:
+        path = self._path(name)
+        self._drop_handle(name)
+        try:
+            if os.path.getsize(path) > size:
+                with open(path, "r+b") as fh:
+                    fh.truncate(size)
+        except FileNotFoundError:
+            pass
+
+    def size(self, name: str) -> int:
+        self._flush(name)
+        try:
+            return os.path.getsize(self._path(name))
+        except FileNotFoundError:
+            return 0
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def delete(self, name: str) -> None:
+        self._drop_handle(name)
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def names(self) -> List[str]:
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if not entry.endswith(".tmp") and not entry.startswith(".")
+        )
+
+    def close(self) -> None:
+        """Release every cached append handle."""
+        for name in list(self._append_handles):
+            self._drop_handle(name)

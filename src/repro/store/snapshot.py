@@ -1,0 +1,80 @@
+"""Snapshots: one atomic image of manager state plus its WAL watermark.
+
+A snapshot file holds a single frame (same CRC framing as a WAL
+record) whose payload is::
+
+    u64 last_seq | f64 taken_at | bytes state
+
+``last_seq`` is the highest WAL sequence number folded into ``state``;
+replay resumes from the first record after it.  ``taken_at`` is the
+virtual/wall time the snapshot was taken -- purely informational
+("snapshot age" in `repro store inspect`).
+
+Installation goes through the backend's atomic ``write``, so a crash
+during snapshotting leaves the previous snapshot intact; the WAL is
+only truncated after the new image is durable (crash between the two
+leaves covered records, which compaction and replay both tolerate).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.store.backend import StoreError
+from repro.util.wire import Decoder, Encoder, WireError
+
+_HEADER_LEN = 8
+
+
+class SnapshotError(StoreError):
+    """Raised when a snapshot file is unreadable or corrupt."""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A decoded snapshot image."""
+
+    last_seq: int
+    taken_at: float
+    state: bytes
+
+
+def encode_snapshot(last_seq: int, taken_at: float, state: bytes) -> bytes:
+    """Serialize a snapshot to its on-disk frame."""
+    payload = (
+        Encoder().put_u64(last_seq).put_f64(taken_at).put_bytes(state).to_bytes()
+    )
+    header = Encoder().put_u32(len(payload)).put_u32(zlib.crc32(payload)).to_bytes()
+    return header + payload
+
+
+def decode_snapshot(blob: bytes) -> Optional[Snapshot]:
+    """Parse a snapshot file; None for an empty/absent file.
+
+    Unlike the WAL -- where a bad tail is expected crash debris -- a
+    snapshot that fails its CRC is real corruption (the write was
+    atomic), so it raises instead of being silently ignored.
+    """
+    if not blob:
+        return None
+    if len(blob) < _HEADER_LEN:
+        raise SnapshotError(f"snapshot too short: {len(blob)} bytes")
+    try:
+        header = Decoder(blob[:_HEADER_LEN])
+        length = header.get_u32()
+        crc = header.get_u32()
+        payload = blob[_HEADER_LEN : _HEADER_LEN + length]
+        if len(payload) != length:
+            raise SnapshotError("snapshot truncated mid-payload")
+        if zlib.crc32(payload) != crc:
+            raise SnapshotError("snapshot CRC mismatch")
+        dec = Decoder(payload)
+        snapshot = Snapshot(
+            last_seq=dec.get_u64(), taken_at=dec.get_f64(), state=dec.get_bytes()
+        )
+        dec.finish()
+        return snapshot
+    except WireError as exc:
+        raise SnapshotError(f"malformed snapshot: {exc}") from exc

@@ -1,0 +1,216 @@
+"""DurableStore: snapshot + write-ahead log over a pluggable backend.
+
+One store persists one manager's state machine.  The contract with the
+manager is narrow:
+
+* the manager appends one typed record per mutation (``append``);
+* the manager can install a full-state snapshot (``write_snapshot``),
+  which atomically replaces the old one and truncates the WAL;
+* recovery (``load``) returns the newest snapshot plus every WAL
+  record *after* it, in order, with any torn tail already truncated.
+
+The store never interprets record bodies -- managers own their schema
+-- which is what lets one implementation back the UserDB, the viewing
+log, and the channel lineup alike.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.metrics.durability import StoreStats
+from repro.store.backend import StoreBackend
+from repro.store.snapshot import Snapshot, SnapshotError, decode_snapshot, encode_snapshot
+from repro.store.wal import (
+    WalError,
+    WalRecord,
+    check_sequence,
+    encode_record,
+    scan,
+)
+
+SNAPSHOT_NAME = "snapshot.bin"
+WAL_NAME = "wal.bin"
+
+
+@dataclass(frozen=True)
+class RecoveredState:
+    """What ``load`` hands back to a recovering manager."""
+
+    snapshot: Optional[Snapshot]
+    records: List[WalRecord]
+    torn_bytes: int
+
+    @property
+    def last_seq(self) -> int:
+        if self.records:
+            return self.records[-1].seq
+        if self.snapshot is not None:
+            return self.snapshot.last_seq
+        return 0
+
+
+@dataclass
+class StoreReport:
+    """``repro store verify`` / ``inspect`` findings."""
+
+    wal_records: int
+    wal_bytes: int
+    covered_records: int
+    torn_bytes: int
+    snapshot_seq: Optional[int]
+    snapshot_taken_at: Optional[float]
+    snapshot_age: Optional[float]
+    snapshot_bytes: int
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.problems and self.torn_bytes == 0
+
+
+class DurableStore:
+    """Write-ahead log + snapshot for one state machine."""
+
+    def __init__(self, backend: StoreBackend) -> None:
+        self._backend = backend
+        self.stats = StoreStats()
+        self._next_seq = self._scan_next_seq()
+
+    def _scan_next_seq(self) -> int:
+        snapshot = self._read_snapshot()
+        last = snapshot.last_seq if snapshot is not None else 0
+        result = scan(self._backend.read(WAL_NAME))
+        if result.records:
+            last = max(last, result.records[-1].seq)
+        return last + 1
+
+    def _read_snapshot(self) -> Optional[Snapshot]:
+        return decode_snapshot(self._backend.read(SNAPSHOT_NAME))
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def append(self, rec_type: int, body: bytes) -> int:
+        """Durably append one record; returns its sequence number."""
+        seq = self._next_seq
+        frame = encode_record(seq, rec_type, body)
+        self._backend.append(WAL_NAME, frame)
+        self._next_seq = seq + 1
+        self.stats.note_append(len(frame))
+        return seq
+
+    def write_snapshot(self, state: bytes, taken_at: float = 0.0) -> int:
+        """Install a snapshot covering everything appended so far.
+
+        Returns the snapshot's high-water sequence number.  Ordering
+        matters: the image lands atomically first, the WAL truncation
+        second -- a crash in between only leaves covered records.
+        """
+        last_seq = self._next_seq - 1
+        blob = encode_snapshot(last_seq, taken_at, state)
+        self._backend.write(SNAPSHOT_NAME, blob)
+        self._backend.write(WAL_NAME, b"")
+        self.stats.note_snapshot(len(blob))
+        return last_seq
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def load(self) -> RecoveredState:
+        """Snapshot + post-snapshot records, torn tail truncated.
+
+        Truncation is *persisted*: after ``load`` the backend holds
+        exactly the bytes that were trusted, so a second recovery (or
+        an inspect) sees a clean log.
+        """
+        started = time.perf_counter()
+        snapshot = self._read_snapshot()
+        covered = snapshot.last_seq if snapshot is not None else 0
+        result = scan(self._backend.read(WAL_NAME))
+        if result.torn:
+            self._backend.truncate(WAL_NAME, result.clean_length)
+            self.stats.torn_tails_truncated += 1
+        records = [r for r in result.records if r.seq > covered]
+        self._next_seq = max(covered, result.records[-1].seq if result.records else 0) + 1
+        self.stats.note_recovery(len(records), time.perf_counter() - started)
+        return RecoveredState(
+            snapshot=snapshot, records=records, torn_bytes=result.torn_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / offline maintenance
+    # ------------------------------------------------------------------
+
+    def record_count(self) -> int:
+        """Valid WAL records currently on the backend."""
+        return len(scan(self._backend.read(WAL_NAME)).records)
+
+    def has_state(self) -> bool:
+        """True if the backend holds a snapshot or any WAL record.
+
+        Distinguishes a fresh directory (safe to attach and snapshot
+        over) from one left by a previous process (must be recovered,
+        never overwritten).
+        """
+        if self._read_snapshot() is not None:
+            return True
+        return bool(scan(self._backend.read(WAL_NAME)).records)
+
+    def wal_bytes(self) -> int:
+        """WAL size on the backend, torn tail included."""
+        return self._backend.size(WAL_NAME)
+
+    def verify(self, now: Optional[float] = None) -> StoreReport:
+        """Read-only health check: CRCs, torn tail, sequence sanity."""
+        problems: List[str] = []
+        snapshot: Optional[Snapshot] = None
+        snapshot_bytes = self._backend.size(SNAPSHOT_NAME)
+        try:
+            snapshot = self._read_snapshot()
+        except SnapshotError as exc:
+            problems.append(str(exc))
+        covered = snapshot.last_seq if snapshot is not None else 0
+        result = scan(self._backend.read(WAL_NAME))
+        if result.torn:
+            problems.append(
+                f"torn tail: {result.torn_bytes} bytes after offset {result.clean_length}"
+            )
+        problems.extend(check_sequence(result.records, after_seq=covered))
+        age = None
+        if snapshot is not None and now is not None:
+            age = now - snapshot.taken_at
+        return StoreReport(
+            wal_records=len(result.records),
+            wal_bytes=self._backend.size(WAL_NAME),
+            covered_records=sum(1 for r in result.records if r.seq <= covered),
+            torn_bytes=result.torn_bytes,
+            snapshot_seq=snapshot.last_seq if snapshot is not None else None,
+            snapshot_taken_at=snapshot.taken_at if snapshot is not None else None,
+            snapshot_age=age,
+            snapshot_bytes=snapshot_bytes,
+            problems=problems,
+        )
+
+    def compact(self) -> StoreReport:
+        """Offline cleanup: drop the torn tail and snapshot-covered records.
+
+        This is the schema-agnostic half of compaction (folding live
+        records *into* the snapshot needs the manager and happens via
+        ``write_snapshot``).  Safe to run on a store left by a crash
+        between snapshot install and WAL truncation.
+        """
+        snapshot = self._read_snapshot()
+        covered = snapshot.last_seq if snapshot is not None else 0
+        result = scan(self._backend.read(WAL_NAME))
+        keep = [r for r in result.records if r.seq > covered]
+        rewritten = b"".join(encode_record(r.seq, r.rec_type, r.body) for r in keep)
+        self._backend.write(WAL_NAME, rewritten)
+        if result.torn:
+            self.stats.torn_tails_truncated += 1
+        self._next_seq = (keep[-1].seq if keep else covered) + 1
+        return self.verify()

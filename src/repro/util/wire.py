@@ -94,10 +94,16 @@ class Decoder:
     """
 
     def __init__(self, buffer: bytes) -> None:
+        if not isinstance(buffer, (bytes, bytearray, memoryview)):
+            raise WireError(
+                f"decoder needs a byte buffer, got {type(buffer).__name__}"
+            )
         self._buf = bytes(buffer)
         self._pos = 0
 
     def _take(self, n: int) -> bytes:
+        if n < 0:
+            raise WireError(f"negative read of {n} bytes")
         if self._pos + n > len(self._buf):
             raise WireError(
                 f"truncated buffer: need {n} bytes at {self._pos}, have {len(self._buf)}"

@@ -1,0 +1,130 @@
+"""Tests for the byte-level storage backends."""
+
+import os
+
+import pytest
+
+from repro.store import FileBackend, MemoryBackend, StoreError
+
+
+@pytest.fixture(params=["memory", "file"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryBackend()
+    else:
+        fb = FileBackend(str(tmp_path / "store"))
+        yield fb
+        fb.close()
+
+
+class TestContract:
+    def test_read_missing_is_empty(self, backend):
+        assert backend.read("wal.bin") == b""
+        assert backend.size("wal.bin") == 0
+        assert not backend.exists("wal.bin")
+
+    def test_write_then_read(self, backend):
+        backend.write("a.bin", b"hello")
+        assert backend.read("a.bin") == b"hello"
+        assert backend.size("a.bin") == 5
+        assert backend.exists("a.bin")
+
+    def test_write_replaces(self, backend):
+        backend.write("a.bin", b"one")
+        backend.write("a.bin", b"two!")
+        assert backend.read("a.bin") == b"two!"
+
+    def test_append_creates_and_extends(self, backend):
+        backend.append("wal.bin", b"abc")
+        backend.append("wal.bin", b"def")
+        assert backend.read("wal.bin") == b"abcdef"
+
+    def test_append_after_write(self, backend):
+        backend.write("wal.bin", b"xy")
+        backend.append("wal.bin", b"z")
+        assert backend.read("wal.bin") == b"xyz"
+
+    def test_truncate(self, backend):
+        backend.write("wal.bin", b"abcdef")
+        backend.truncate("wal.bin", 4)
+        assert backend.read("wal.bin") == b"abcd"
+        backend.truncate("wal.bin", 100)  # no-op when already shorter
+        assert backend.read("wal.bin") == b"abcd"
+
+    def test_truncate_missing_is_noop(self, backend):
+        backend.truncate("ghost.bin", 3)
+        assert not backend.exists("ghost.bin")
+
+    def test_delete(self, backend):
+        backend.write("a.bin", b"x")
+        backend.delete("a.bin")
+        assert not backend.exists("a.bin")
+        backend.delete("a.bin")  # idempotent
+
+    def test_names_sorted(self, backend):
+        backend.write("b.bin", b"2")
+        backend.write("a.bin", b"1")
+        assert backend.names() == ["a.bin", "b.bin"]
+
+    def test_append_then_truncate_then_append(self, backend):
+        # The WAL recovery path: truncate a torn tail, keep appending.
+        backend.append("wal.bin", b"aaaa")
+        backend.truncate("wal.bin", 2)
+        backend.append("wal.bin", b"bb")
+        assert backend.read("wal.bin") == b"aabb"
+
+
+class TestMemoryBackend:
+    def test_tear_tail(self):
+        backend = MemoryBackend()
+        backend.append("wal.bin", b"abcdef")
+        backend.tear_tail("wal.bin", 2)
+        assert backend.read("wal.bin") == b"abcd"
+        backend.tear_tail("wal.bin", 100)
+        assert backend.read("wal.bin") == b""
+
+    def test_read_returns_copy(self):
+        backend = MemoryBackend()
+        backend.write("a.bin", b"abc")
+        blob = backend.read("a.bin")
+        backend.append("a.bin", b"def")
+        assert blob == b"abc"
+
+
+class TestFileBackend:
+    def test_rejects_path_traversal(self, tmp_path):
+        backend = FileBackend(str(tmp_path))
+        for bad in ("", "../evil", "a/b", ".hidden"):
+            with pytest.raises(StoreError):
+                backend.read(bad)
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        backend = FileBackend(str(tmp_path))
+        backend.write("snapshot.bin", b"state")
+        assert os.listdir(str(tmp_path)) == ["snapshot.bin"]
+
+    def test_names_ignore_tmp_litter(self, tmp_path):
+        backend = FileBackend(str(tmp_path))
+        backend.write("wal.bin", b"x")
+        # Simulate a crash mid-write: a stale temp file left behind.
+        with open(os.path.join(str(tmp_path), "snapshot.bin.tmp"), "wb") as fh:
+            fh.write(b"partial")
+        assert backend.names() == ["wal.bin"]
+
+    def test_state_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "s")
+        first = FileBackend(root)
+        first.append("wal.bin", b"abc")
+        first.write("snapshot.bin", b"img")
+        first.close()
+        second = FileBackend(root)
+        assert second.read("wal.bin") == b"abc"
+        assert second.read("snapshot.bin") == b"img"
+        second.close()
+
+    def test_fsync_mode_works(self, tmp_path):
+        backend = FileBackend(str(tmp_path), fsync=True)
+        backend.append("wal.bin", b"abc")
+        backend.write("snapshot.bin", b"img")
+        assert backend.read("wal.bin") == b"abc"
+        backend.close()

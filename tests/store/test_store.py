@@ -1,0 +1,200 @@
+"""Tests for DurableStore: append, snapshot, recovery, verify, compact."""
+
+import pytest
+
+from repro.store import DurableStore, FileBackend, MemoryBackend
+from repro.store.snapshot import SnapshotError
+from repro.store.store import SNAPSHOT_NAME, WAL_NAME
+
+
+class TestAppendAndLoad:
+    def test_fresh_store_is_empty(self):
+        store = DurableStore(MemoryBackend())
+        state = store.load()
+        assert state.snapshot is None
+        assert state.records == []
+        assert state.last_seq == 0
+
+    def test_appends_replay_in_order(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        assert store.append(1, b"a") == 1
+        assert store.append(2, b"b") == 2
+        assert store.append(1, b"c") == 3
+        # A new store object over the same bytes = a restarted process.
+        state = DurableStore(backend).load()
+        assert [(r.seq, r.rec_type, r.body) for r in state.records] == [
+            (1, 1, b"a"), (2, 2, b"b"), (3, 1, b"c"),
+        ]
+        assert state.last_seq == 3
+
+    def test_sequence_continues_after_restart(self):
+        backend = MemoryBackend()
+        DurableStore(backend).append(1, b"a")
+        second = DurableStore(backend)
+        assert second.append(1, b"b") == 2
+
+    def test_load_truncates_torn_tail_persistently(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"aaaa")
+        store.append(1, b"bbbb")
+        backend.tear_tail(WAL_NAME, 3)
+
+        recovering = DurableStore(backend)
+        state = recovering.load()
+        assert [r.seq for r in state.records] == [1]
+        assert state.torn_bytes > 0
+        assert recovering.stats.torn_tails_truncated == 1
+        # The truncation is durable: a second recovery sees a clean log.
+        again = DurableStore(backend).load()
+        assert again.torn_bytes == 0
+        assert [r.seq for r in again.records] == [1]
+
+    def test_append_after_torn_recovery_reuses_freed_seq(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"aaaa")
+        store.append(1, b"bbbb")
+        backend.tear_tail(WAL_NAME, 3)
+        recovering = DurableStore(backend)
+        recovering.load()
+        assert recovering.append(1, b"replacement") == 2
+
+
+class TestSnapshot:
+    def test_snapshot_covers_and_truncates(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"a")
+        store.append(1, b"b")
+        assert store.write_snapshot(b"STATE", taken_at=42.0) == 2
+        assert backend.size(WAL_NAME) == 0
+        store.append(1, b"c")
+
+        state = DurableStore(backend).load()
+        assert state.snapshot.state == b"STATE"
+        assert state.snapshot.last_seq == 2
+        assert state.snapshot.taken_at == 42.0
+        assert [r.seq for r in state.records] == [3]
+        assert state.last_seq == 3
+
+    def test_crash_between_snapshot_and_truncate(self):
+        # Simulate: snapshot installed, WAL truncation never happened.
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"a")
+        store.append(1, b"b")
+        wal_before = backend.read(WAL_NAME)
+        store.write_snapshot(b"STATE")
+        backend.write(WAL_NAME, wal_before)  # undo the truncation
+
+        state = DurableStore(backend).load()
+        # Covered records are filtered out of replay.
+        assert state.records == []
+        assert state.snapshot.last_seq == 2
+
+    def test_corrupt_snapshot_raises(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"a")
+        store.write_snapshot(b"STATE")
+        blob = bytearray(backend.read(SNAPSHOT_NAME))
+        blob[-1] ^= 0xFF
+        backend.write(SNAPSHOT_NAME, bytes(blob))
+        with pytest.raises(SnapshotError):
+            DurableStore(backend)
+
+
+class TestVerify:
+    def test_healthy_report(self):
+        store = DurableStore(MemoryBackend())
+        store.append(1, b"a")
+        store.write_snapshot(b"S", taken_at=10.0)
+        store.append(1, b"b")
+        report = store.verify(now=25.0)
+        assert report.healthy
+        assert report.wal_records == 1
+        assert report.covered_records == 0
+        assert report.snapshot_seq == 1
+        assert report.snapshot_age == 15.0
+
+    def test_torn_tail_reported(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"aaaa")
+        backend.append(WAL_NAME, b"\x00" * 5)
+        report = store.verify()
+        assert not report.healthy
+        assert report.torn_bytes == 5
+        assert any("torn" in p for p in report.problems)
+
+    def test_covered_records_counted(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"a")
+        wal = backend.read(WAL_NAME)
+        store.write_snapshot(b"S")
+        backend.write(WAL_NAME, wal)
+        report = DurableStore(backend).verify()
+        assert report.healthy  # covered prefix is legal crash debris
+        assert report.covered_records == 1
+
+
+class TestCompact:
+    def test_compact_drops_covered_and_torn(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"a")
+        wal = backend.read(WAL_NAME)
+        store.write_snapshot(b"S")
+        backend.write(WAL_NAME, wal)      # covered record resurfaces
+        store.append(1, b"live")          # seq 2, uncovered
+        backend.append(WAL_NAME, b"junk")  # torn tail
+
+        report = store.compact()
+        assert report.healthy
+        assert report.wal_records == 1
+        assert report.covered_records == 0
+        state = DurableStore(backend).load()
+        assert [(r.seq, r.body) for r in state.records] == [(2, b"live")]
+
+    def test_compact_then_append_continues_sequence(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"a")
+        store.write_snapshot(b"S")
+        store.compact()
+        assert store.append(1, b"b") == 2
+
+
+class TestFileBacked:
+    def test_full_cycle_on_disk(self, tmp_path):
+        root = str(tmp_path / "cm")
+        store = DurableStore(FileBackend(root))
+        store.append(1, b"a")
+        store.write_snapshot(b"STATE")
+        store.append(2, b"b")
+        store._backend.close()
+
+        reopened = DurableStore(FileBackend(root))
+        state = reopened.load()
+        assert state.snapshot.state == b"STATE"
+        assert [(r.seq, r.rec_type) for r in state.records] == [(2, 2)]
+        assert reopened.append(3, b"c") == 3
+
+
+class TestStats:
+    def test_append_and_recovery_counters(self):
+        backend = MemoryBackend()
+        store = DurableStore(backend)
+        store.append(1, b"a")
+        store.append(1, b"b")
+        assert store.stats.records_appended == 2
+        assert store.stats.bytes_appended == backend.size(WAL_NAME)
+
+        recovering = DurableStore(backend)
+        recovering.load()
+        assert recovering.stats.records_replayed == 2
+        assert recovering.stats.recovery_seconds > 0
+        assert recovering.stats.replay_records_per_sec > 0

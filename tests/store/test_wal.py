@@ -1,0 +1,125 @@
+"""Tests for WAL framing, scanning, and the torn-tail rule."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.wal import (
+    MAX_RECORD_LEN,
+    WalError,
+    WalRecord,
+    check_sequence,
+    encode_record,
+    scan,
+)
+from repro.util.wire import Encoder
+
+
+def frames(*records):
+    return b"".join(encode_record(seq, t, body) for seq, t, body in records)
+
+
+class TestRoundTrip:
+    def test_single_record(self):
+        result = scan(encode_record(1, 7, b"body"))
+        assert result.records == [WalRecord(seq=1, rec_type=7, body=b"body")]
+        assert not result.torn
+        assert result.clean_length == len(encode_record(1, 7, b"body"))
+
+    def test_many_records_in_order(self):
+        blob = frames((1, 1, b"a"), (2, 2, b""), (3, 1, b"ccc"))
+        result = scan(blob)
+        assert [r.seq for r in result.records] == [1, 2, 3]
+        assert [r.rec_type for r in result.records] == [1, 2, 1]
+        assert result.records[2].body == b"ccc"
+
+    def test_empty_stream(self):
+        result = scan(b"")
+        assert result.records == []
+        assert result.clean_length == 0
+        assert not result.torn
+
+    def test_oversized_record_rejected_at_encode(self):
+        with pytest.raises(WalError):
+            encode_record(1, 0, b"x" * (MAX_RECORD_LEN + 1))
+
+
+class TestTornTail:
+    def test_torn_mid_header(self):
+        blob = frames((1, 1, b"a")) + b"\x00\x00"
+        result = scan(blob)
+        assert len(result.records) == 1
+        assert result.torn_bytes == 2
+
+    def test_torn_mid_payload(self):
+        whole = frames((1, 1, b"aaaa"), (2, 1, b"bbbb"))
+        torn = whole[:-3]
+        result = scan(torn)
+        assert [r.seq for r in result.records] == [1]
+        assert result.torn
+        assert result.clean_length == len(encode_record(1, 1, b"aaaa"))
+
+    def test_crc_corruption_ends_log(self):
+        blob = bytearray(frames((1, 1, b"aaaa"), (2, 1, b"bbbb"), (3, 1, b"cc")))
+        first = len(encode_record(1, 1, b"aaaa"))
+        blob[first + 10] ^= 0xFF  # flip a bit inside record 2
+        result = scan(bytes(blob))
+        # Nothing after the corrupt record is trusted, even valid frames.
+        assert [r.seq for r in result.records] == [1]
+        assert result.torn
+
+    def test_insane_length_field_treated_as_corruption(self):
+        header = Encoder().put_u32(MAX_RECORD_LEN + 1).put_u32(0).to_bytes()
+        result = scan(frames((1, 1, b"ok")) + header + b"junk")
+        assert [r.seq for r in result.records] == [1]
+        assert result.torn
+
+    def test_valid_crc_bad_shape_distrusted(self):
+        # A frame whose payload passes CRC but is not seq|type|body.
+        payload = b"\x01\x02\x03"
+        header = Encoder().put_u32(len(payload)).put_u32(zlib.crc32(payload)).to_bytes()
+        result = scan(header + payload)
+        assert result.records == []
+        assert result.torn
+
+
+# Property: cutting a valid log at ANY byte offset recovers a prefix
+# of the original records, never garbage.
+@given(data=st.data())
+@settings(max_examples=100)
+def test_property_arbitrary_cut_recovers_prefix(data):
+    bodies = data.draw(st.lists(st.binary(max_size=32), min_size=1, max_size=8))
+    blob = frames(*[(i + 1, i % 3, b) for i, b in enumerate(bodies)])
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob)))
+    result = scan(blob[:cut])
+    assert [r.seq for r in result.records] == list(range(1, len(result.records) + 1))
+    assert [r.body for r in result.records] == bodies[: len(result.records)]
+    assert result.clean_length <= cut
+
+
+class TestCheckSequence:
+    def test_healthy(self):
+        records = [WalRecord(s, 1, b"") for s in (1, 2, 3)]
+        assert check_sequence(records) == []
+
+    def test_gap_is_legal(self):
+        # Gaps arise from compaction; only ordering is guaranteed.
+        records = [WalRecord(s, 1, b"") for s in (5, 9, 40)]
+        assert check_sequence(records, after_seq=4) == []
+
+    def test_regression_flagged(self):
+        records = [WalRecord(s, 1, b"") for s in (1, 3, 2)]
+        problems = check_sequence(records)
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_covered_prefix_is_legal(self):
+        records = [WalRecord(s, 1, b"") for s in (3, 4, 5)]
+        assert check_sequence(records, after_seq=4) == []
+
+    def test_covered_record_after_newer_flagged(self):
+        records = [WalRecord(5, 1, b""), WalRecord(3, 1, b"")]
+        problems = check_sequence(records, after_seq=4)
+        assert any("covered" in p for p in problems)

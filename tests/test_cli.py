@@ -39,3 +39,55 @@ class TestCommands:
         out = capsys.readouterr().out
         for marker in ("A1", "A2", "A3", "A4", "A5"):
             assert marker in out
+
+
+class TestStoreCommand:
+    def _store_dir(self, tmp_path):
+        from repro.store import DurableStore, FileBackend
+
+        path = str(tmp_path / "cm-default")
+        store = DurableStore(FileBackend(path))
+        for i in range(4):
+            store.append(1, bytes([i]) * 8)
+        return path
+
+    def test_verify_healthy(self, tmp_path, capsys):
+        path = self._store_dir(tmp_path)
+        assert main(["store", "verify", path]) == 0
+        assert "healthy" in capsys.readouterr().out
+
+    def test_inspect_prints_histogram(self, tmp_path, capsys):
+        path = self._store_dir(tmp_path)
+        assert main(["store", "inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "record types" in out
+        assert "type 1: 4" in out
+
+    def test_torn_tail_fails_then_compact_heals(self, tmp_path, capsys):
+        import os
+
+        path = self._store_dir(tmp_path)
+        wal = os.path.join(path, "wal.bin")
+        with open(wal, "r+b") as fh:
+            fh.truncate(os.path.getsize(wal) - 3)
+        assert main(["store", "verify", path]) == 1
+        assert "torn tail" in capsys.readouterr().out
+        assert main(["store", "compact", path]) == 0
+        assert main(["store", "verify", path]) == 0
+
+    def test_missing_directory_is_an_error_and_not_created(self, tmp_path, capsys):
+        import os
+
+        path = str(tmp_path / "typo" / "cm-default")
+        assert main(["store", "verify", path]) == 2
+        assert "no store directory" in capsys.readouterr().err
+        assert not os.path.exists(path)
+
+    def test_corrupt_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        import os
+
+        path = self._store_dir(tmp_path)
+        with open(os.path.join(path, "snapshot.bin"), "wb") as fh:
+            fh.write(b"\x00" * 32)
+        assert main(["store", "verify", path]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -171,3 +171,64 @@ def test_property_heterogeneous_roundtrip(values):
         else:
             assert dec.get_f64() == value
     dec.finish()
+
+
+class TestDecoderHardening:
+    """No input may escape the Decoder as anything but WireError."""
+
+    @pytest.mark.parametrize("bad", ["text", 7, None, [1, 2], 3.5, object()])
+    def test_non_bytes_buffer_rejected(self, bad):
+        with pytest.raises(WireError):
+            Decoder(bad)
+
+    def test_bytearray_and_memoryview_accepted(self):
+        assert Decoder(bytearray(b"\x07")).get_u8() == 7
+        assert Decoder(memoryview(b"\x07")).get_u8() == 7
+
+    def test_negative_take_rejected(self):
+        with pytest.raises(WireError):
+            Decoder(b"abcd")._take(-1)
+
+    def test_huge_length_prefix_is_wire_error(self):
+        # A corrupt length prefix claiming 4 GiB must not raise
+        # MemoryError / OverflowError / struct.error.
+        blob = b"\xff\xff\xff\xff" + b"x" * 8
+        with pytest.raises(WireError):
+            Decoder(blob).get_bytes()
+
+
+@given(data=st.binary(max_size=128), ops=st.lists(st.sampled_from(
+    ["u8", "u32", "u64", "f64", "opt_f64", "bool", "bytes", "str"]), max_size=16))
+@settings(max_examples=200)
+def test_property_arbitrary_bytes_never_leak_other_exceptions(data, ops):
+    """Decoding garbage raises WireError or succeeds -- never
+    struct.error, IndexError, UnicodeDecodeError, or MemoryError."""
+    dec = Decoder(data)
+    for op in ops:
+        try:
+            getattr(dec, f"get_{op}")()
+        except WireError:
+            return
+
+
+@given(
+    values=st.lists(
+        st.one_of(
+            st.tuples(st.just("u8"), st.integers(0, 0xFF)),
+            st.tuples(st.just("u64"), st.integers(0, 2**64 - 1)),
+            st.tuples(st.just("opt_f64"),
+                      st.one_of(st.none(), st.floats(allow_nan=False))),
+        ),
+        max_size=20,
+    )
+)
+@settings(max_examples=100)
+def test_property_remaining_primitives_roundtrip(values):
+    """u8 / u64 / optional-float (present and NULL) round-trip exactly."""
+    enc = Encoder()
+    for kind, value in values:
+        getattr(enc, f"put_{kind}")(value)
+    dec = Decoder(enc.to_bytes())
+    for kind, value in values:
+        assert getattr(dec, f"get_{kind}")() == value
+    dec.finish()
