@@ -1,0 +1,268 @@
+"""Hot-path ticket pipeline: before/after throughput of PR 2's fast paths.
+
+The paper's central scaling claim (Fig. 5) is that protocol latency
+stays flat while the audience grows to Zattoo scale; per-request
+manager cost is the lever.  This benchmark measures the manager-side
+throughput of the latency-critical rounds under two configurations of
+the *same* handlers:
+
+* **before** -- the pre-PR configuration: signing key stripped of its
+  CRT components, ticket verification cache disabled, and policy
+  evaluation through the uncached :func:`evaluate_policies` path
+  (per-call sort + linear attribute scans);
+* **after** -- the shipped configuration: CRT signing, the
+  verification cache, and the compiled per-record policy index.
+
+Results (ops/s per round, speedups, hotpath counter snapshots) are
+written to ``BENCH_protocol_hotpath.json`` at the repo root so the
+trajectory of the hot path is recorded alongside the code.
+
+``HOTPATH_BENCH_ITERS`` scales the iteration count (CI smoke uses a
+small value; the default is sized for stable local numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.challenge import answer_challenge
+from repro.core.channel_manager import ChannelManager
+from repro.core.policy import evaluate_policies
+from repro.core.protocol import Switch1Request, Switch2Request
+from repro.crypto.drbg import HmacDrbg
+from repro.deployment import Deployment
+from repro.metrics.hotpath import counters
+
+ITERS = int(os.environ.get("HOTPATH_BENCH_ITERS", "300"))
+CHANNEL = "hot-bench"
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_protocol_hotpath.json"
+
+
+class _UncompiledPlan:
+    """Restores the pre-PR evaluation path for one channel record.
+
+    Installed in a record's compiled-index slot, it satisfies the
+    ``compiled()`` contract but answers every call the way the old
+    code did: a fresh sort and full attribute scans per evaluation,
+    and a boundary set rebuilt from the attribute list per call.
+    """
+
+    def __init__(self, record) -> None:
+        self._record = record
+        self.version = record.version
+
+    def evaluate(self, user_attributes, now):
+        return evaluate_policies(
+            self._record.policies, self._record.attributes, user_attributes, now
+        )
+
+    def boundaries_between(self, start, end):
+        bounds = set()
+        for attribute in self._record.attributes:
+            for bound in (attribute.stime, attribute.etime):
+                if bound is not None and start < bound <= end:
+                    bounds.add(bound)
+        return sorted(bounds)
+
+
+def _build_deployment() -> Deployment:
+    deployment = Deployment(seed=11)
+    # A channel with enough rights structure that policy evaluation is
+    # non-trivial: several region tiers, a subscription gate, and a
+    # far-future scheduled blackout contributing stime/etime
+    # boundaries to every expiry-capping scan.
+    deployment.add_free_channel(CHANNEL, regions=["CH", "DE", "AT", "FR", "UK"])
+    deployment.policy_manager.schedule_blackout(
+        CHANNEL, start=50_000.0, end=56_000.0, now=0.0
+    )
+    return deployment
+
+
+def _legacy_manager(deployment: Deployment) -> ChannelManager:
+    """A Channel Manager running the pre-PR slow paths."""
+    hot = deployment.channel_manager_for(CHANNEL)
+    manager = ChannelManager(
+        signing_key=hot._key.without_crt(),
+        farm_secret=b"legacy-farm-secret-0123456789abcdef",
+        drbg=HmacDrbg(b"legacy-cm"),
+        user_manager_keys=[m.public_key for m in deployment.user_managers.values()],
+        ticket_lifetime=deployment.channel_ticket_lifetime,
+        partition=hot.partition,
+        ticket_cache_size=0,
+    )
+    manager.receive_channel_list(deployment.policy_manager.channel_list())
+    for record in manager._channels.values():
+        record.__dict__["_compiled"] = _UncompiledPlan(record)
+    return manager
+
+
+def _ops_per_second(fn, iters: int = ITERS, repeats: int = 3) -> float:
+    """Best-of-N throughput of ``fn`` (best run suppresses scheduler noise)."""
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return iters / best
+
+
+def _switch2_loop(manager: ChannelManager, client, now: float):
+    """One SWITCH2 issuance closure against ``manager``.
+
+    The SWITCH1 token is minted once: challenge tokens are stateless
+    MAC'd blobs valid for their whole max-age, so reusing one isolates
+    the SWITCH2 handler -- the round whose throughput caps a farm.
+    """
+    token = manager.switch1(
+        Switch1Request(user_ticket=client.user_ticket, channel_id=CHANNEL), now
+    ).token
+    signature = answer_challenge(token, client.private_key)
+    request = Switch2Request(
+        user_ticket=client.user_ticket,
+        token=token,
+        signature=signature,
+        channel_id=CHANNEL,
+    )
+    return lambda: manager.switch2(request, observed_addr=client.net_addr, now=now)
+
+
+def _renewal_loop(manager: ChannelManager, client, issue_now: float, renew_now: float):
+    """One renewal closure; seeds the viewing log with a fresh issue."""
+    expiring = _switch2_loop(manager, client, issue_now)().ticket
+    token = manager.switch1(
+        Switch1Request(user_ticket=client.user_ticket, expiring_ticket=expiring),
+        renew_now,
+    ).token
+    signature = answer_challenge(token, client.private_key)
+    request = Switch2Request(
+        user_ticket=client.user_ticket,
+        token=token,
+        signature=signature,
+        expiring_ticket=expiring,
+    )
+    return lambda: manager.switch2(
+        request, observed_addr=client.net_addr, now=renew_now
+    )
+
+
+@pytest.fixture(scope="module")
+def env():
+    deployment = _build_deployment()
+    client = deployment.create_client("hot@example.org", "pw", region="CH")
+    client.login(now=0.0)
+    return deployment, client
+
+
+def test_bench_hotpath_switch2_renewal_login(env):
+    deployment, client = env
+    hot_cm = deployment.channel_manager_for(CHANNEL)
+    legacy_cm = _legacy_manager(deployment)
+    user_manager = next(iter(deployment.user_managers.values()))
+
+    results = {}
+
+    # --- SWITCH2 (fresh issue) ------------------------------------
+    # Closures are built before each reset: the client answers the
+    # challenge with its own (CRT) key during setup, and that one
+    # client-side op must not pollute the manager-side counters.
+    run_hot = _switch2_loop(hot_cm, client, now=0.0)
+    counters.reset()
+    after = _ops_per_second(run_hot)
+    after_counters = counters.snapshot()
+    run_legacy = _switch2_loop(legacy_cm, client, now=0.0)
+    counters.reset()
+    before = _ops_per_second(run_legacy)
+    before_counters = counters.snapshot()
+    results["switch2"] = {
+        "before_ops_per_s": round(before, 1),
+        "after_ops_per_s": round(after, 1),
+        "speedup": round(after / before, 2),
+        "after_counters": after_counters,
+        "before_counters": before_counters,
+    }
+
+    # --- SWITCH2 (renewal) ----------------------------------------
+    # Issue at t=0 (expiry 900), renew inside the +/-120 s window.
+    after = _ops_per_second(_renewal_loop(hot_cm, client, 0.0, 850.0))
+    before = _ops_per_second(_renewal_loop(legacy_cm, client, 0.0, 850.0))
+    results["renewal"] = {
+        "before_ops_per_s": round(before, 1),
+        "after_ops_per_s": round(after, 1),
+        "speedup": round(after / before, 2),
+    }
+
+    # --- LOGIN (both rounds, same manager, CRT on/off) -------------
+    login_iters = max(ITERS // 10, 5)
+    after = _ops_per_second(lambda: client.login(now=0.0), iters=login_iters)
+    crt_key = user_manager._key
+    user_manager._key = crt_key.without_crt()
+    try:
+        before = _ops_per_second(lambda: client.login(now=0.0), iters=login_iters)
+    finally:
+        user_manager._key = crt_key
+    results["login"] = {
+        "before_ops_per_s": round(before, 1),
+        "after_ops_per_s": round(after, 1),
+        "speedup": round(after / before, 2),
+    }
+
+    # --- policy evaluation micro-bench ----------------------------
+    record = deployment.policy_manager.get_channel(CHANNEL)
+    attrs = client.user_ticket.attributes
+    compiled = record.compiled()
+    after = _ops_per_second(lambda: compiled.evaluate(attrs, 0.0))
+    before = _ops_per_second(
+        lambda: evaluate_policies(record.policies, record.attributes, attrs, 0.0)
+    )
+    results["policy_eval"] = {
+        "before_ops_per_s": round(before, 1),
+        "after_ops_per_s": round(after, 1),
+        "speedup": round(after / before, 2),
+    }
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "protocol_hotpath",
+                "config": {
+                    "iters": ITERS,
+                    "key_bits": deployment.key_bits,
+                    "channel_policies": len(record.policies),
+                },
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The acceptance bar for this PR: CRT signing + verification
+    # cache + compiled policy index must at least double manager-side
+    # SWITCH2 throughput.
+    assert results["switch2"]["speedup"] >= 2.0, results["switch2"]
+    # The fast paths must actually have been exercised.
+    assert results["switch2"]["after_counters"]["ticket_cache_hits"] > 0
+    assert results["switch2"]["after_counters"]["rsa_crt_ops"] > 0
+    assert results["switch2"]["before_counters"]["rsa_crt_ops"] == 0
+    assert results["switch2"]["before_counters"]["ticket_cache_hits"] == 0
+
+
+def test_bench_hotpath_verification_cache_equivalence(env):
+    """The cached and uncached verify paths agree on accept *and* reject."""
+    deployment, client = env
+    hot_cm = deployment.channel_manager_for(CHANNEL)
+    legacy_cm = _legacy_manager(deployment)
+    run_hot = _switch2_loop(hot_cm, client, now=0.0)
+    run_legacy = _switch2_loop(legacy_cm, client, now=0.0)
+    hot_ticket = run_hot().ticket
+    legacy_ticket = run_legacy().ticket
+    assert hot_ticket.channel_id == legacy_ticket.channel_id == CHANNEL
+    assert hot_ticket.expire_time == legacy_ticket.expire_time
+    assert hot_ticket.user_id == legacy_ticket.user_id

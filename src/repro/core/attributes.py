@@ -230,10 +230,18 @@ class AttributeSet:
         for attr in self._attrs:
             attr.encode(enc)
 
+    #: Minimum wire size of one attribute: two empty strings (4-byte
+    #: length prefixes) plus three absent opt-f64 presence bytes.
+    _MIN_ATTRIBUTE_WIRE_SIZE = 11
+
     @classmethod
     def decode(cls, dec: Decoder) -> "AttributeSet":
-        """Read a counted attribute list from ``dec``."""
-        count = dec.get_u32()
+        """Read a counted attribute list from ``dec``.
+
+        The count is bounded against the remaining buffer so a hostile
+        blob cannot demand billions of decodes from four bytes.
+        """
+        count = dec.get_count(cls._MIN_ATTRIBUTE_WIRE_SIZE)
         return cls(Attribute.decode(dec) for _ in range(count))
 
     def copy(self) -> "AttributeSet":

@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.challenge import ChallengeIssuer, answer_challenge
-from repro.core.policy import Decision, evaluate_policies
+from repro.core.policy import Decision
 from repro.core.policy_manager import ChannelRecord
+from repro.core.ticket_cache import TicketVerificationCache
 from repro.core.protocol import (
     PeerDescriptor,
     Switch1Request,
@@ -115,6 +116,12 @@ class ChannelManager:
         request is acceptable.
     partition:
         Channel Listing Partition name.
+    ticket_cache_size:
+        Bound on the signature-verification cache.  A client presents
+        the same User Ticket on every switch and renewal for the
+        ticket's lifetime; caching the (key, body, signature) triples
+        that verified turns those repeat checks into a dict lookup.
+        0 disables the cache (benchmarks use this to measure it).
     """
 
     def __init__(
@@ -127,10 +134,14 @@ class ChannelManager:
         renewal_window: float = 120.0,
         partition: str = "default",
         peer_list_size: int = 8,
+        ticket_cache_size: int = 1024,
     ) -> None:
         self._key = signing_key
         self._issuer = ChallengeIssuer(farm_secret, drbg.fork(b"cm-challenge"))
         self._um_keys = list(user_manager_keys)
+        self._ticket_cache = (
+            TicketVerificationCache(ticket_cache_size) if ticket_cache_size else None
+        )
         self.ticket_lifetime = ticket_lifetime
         self.renewal_window = renewal_window
         self.partition = partition
@@ -190,7 +201,7 @@ class ChannelManager:
         last_error: Optional[Exception] = None
         for key in self._um_keys:
             try:
-                ticket.verify(key, now)
+                ticket.verify(key, now, cache=self._ticket_cache)
                 return
             except AuthorizationError:
                 raise
@@ -264,24 +275,21 @@ class ChannelManager:
         (now, expire] and cap the expiry at the first one that turns
         the decision into REJECT.
         """
-        boundaries = set()
-        for attribute in list(record.attributes) + list(user_ticket.attributes):
+        compiled = record.compiled()
+        boundaries = set(compiled.boundaries_between(now, expire))
+        for attribute in user_ticket.attributes:
             for bound in (attribute.stime, attribute.etime):
                 if bound is not None and now < bound <= expire:
                     boundaries.add(bound)
         for boundary in sorted(boundaries):
-            result = evaluate_policies(
-                record.policies, record.attributes, user_ticket.attributes, boundary
-            )
+            result = compiled.evaluate(user_ticket.attributes, boundary)
             if result.decision is not Decision.ACCEPT:
                 return boundary
         return expire
 
     def _evaluate(self, record: ChannelRecord, user_ticket: UserTicket, now: float) -> None:
         """Run policy evaluation; raise PolicyRejectError on REJECT."""
-        result = evaluate_policies(
-            record.policies, record.attributes, user_ticket.attributes, now
-        )
+        result = record.compiled().evaluate(user_ticket.attributes, now)
         if result.decision is not Decision.ACCEPT:
             self._note_rejection(now)
             matched = str(result.matched_policy) if result.matched_policy else "default"
@@ -332,7 +340,11 @@ class ChannelManager:
         user_ticket = request.user_ticket
         expiring = request.expiring_ticket
         assert expiring is not None
-        expiring.verify(self.public_key, now=min(now, expiring.expire_time))
+        expiring.verify(
+            self.public_key,
+            now=min(now, expiring.expire_time),
+            cache=self._ticket_cache,
+        )
         if expiring.user_id != user_ticket.user_id:
             raise TicketInvalidError("expiring ticket belongs to a different user")
         if not expiring.is_within_renewal_window(now, self.renewal_window):

@@ -24,7 +24,6 @@ from repro.core.challenge import answer_challenge
 from repro.core.directory import ServiceDirectory
 from repro.core.keystream import ContentKey, ContentKeyRing
 from repro.core.packets import decrypt_key_from_link, decrypt_packet
-from repro.core.policy import evaluate_policies
 from repro.core.policy_manager import ChannelRecord
 from repro.core.protocol import (
     JoinAccept,
@@ -235,9 +234,10 @@ class Client:
             raise ProtocolError("not logged in")
         viewable = []
         for channel_id, record in sorted(self.channel_list.items()):
-            result = evaluate_policies(
-                record.policies, record.attributes, self.user_ticket.attributes, now
-            )
+            # The compiled index makes the full-lineup scan cheap:
+            # each record's policy plan is built once per fetched
+            # version, not re-sorted per EPG refresh.
+            result = record.compiled().evaluate(self.user_ticket.attributes, now)
             if result.accepted:
                 viewable.append(channel_id)
         return viewable

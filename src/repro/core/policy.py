@@ -149,12 +149,19 @@ class Policy:
         for cond in self.conditions:
             cond.encode(enc)
 
+    #: Minimum wire size of one encoded condition: two empty strings
+    #: (4-byte length prefixes) plus two absent opt-f64 presence bytes.
+    _MIN_CONDITION_WIRE_SIZE = 10
+
     @classmethod
     def decode(cls, dec: Decoder) -> "Policy":
         priority = dec.get_u32()
         action = Decision(dec.get_str())
         label = dec.get_str()
-        count = dec.get_u32()
+        # The condition count arrives from the wire: bound it against
+        # the remaining buffer before looping, or a hostile four-byte
+        # count field can demand ~4 billion decodes.
+        count = dec.get_count(cls._MIN_CONDITION_WIRE_SIZE)
         conditions = tuple(PolicyCondition.decode(dec) for _ in range(count))
         return cls(priority=priority, conditions=conditions, action=action, label=label)
 
@@ -165,7 +172,13 @@ class Policy:
 
 @dataclass
 class EvaluationResult:
-    """Decision plus provenance, for logging and tests."""
+    """Decision plus provenance, for logging and tests.
+
+    ``dormant_policies`` always covers the **entire** policy list, in
+    priority order, regardless of where (or whether) a match landed:
+    audit trails ("why did the blackout not fire?") need the dormant
+    set to be complete, not truncated at the first match.
+    """
 
     decision: Decision
     matched_policy: Optional[Policy]
@@ -174,6 +187,16 @@ class EvaluationResult:
     @property
     def accepted(self) -> bool:
         return self.decision is Decision.ACCEPT
+
+
+def ordered_policies(policies: Sequence[Policy]) -> "List[Policy]":
+    """The evaluation order: priority descending, ties by definition order."""
+    return [
+        policy
+        for _, policy in sorted(
+            enumerate(policies), key=lambda pair: (-pair[1].priority, pair[0])
+        )
+    ]
 
 
 def evaluate_policies(
@@ -186,18 +209,16 @@ def evaluate_policies(
 
     Highest priority first; ties resolve in definition order.  The
     first active policy whose conditions the user satisfies decides.
-    Default (no match at all): REJECT.
+    Default (no match at all): REJECT.  The scan continues past the
+    deciding policy so the dormant-policy provenance spans the full
+    list (see :class:`EvaluationResult`).
     """
     result = EvaluationResult(decision=Decision.REJECT, matched_policy=None)
-    ordered = sorted(
-        enumerate(policies), key=lambda pair: (-pair[1].priority, pair[0])
-    )
-    for _, policy in ordered:
+    for policy in ordered_policies(policies):
         if not policy.is_active(channel_attributes, now):
             result.dormant_policies.append(policy)
             continue
-        if policy.matches(user_attributes, now):
+        if result.matched_policy is None and policy.matches(user_attributes, now):
             result.decision = policy.action
             result.matched_policy = policy
-            return result
     return result

@@ -1,0 +1,138 @@
+"""Compiled per-channel policy index: the policy-evaluation fast path.
+
+Every SWITCH2 and renewal evaluates the target channel's policies, and
+:func:`repro.core.policy.evaluate_policies` pays three repeated costs
+per call that depend only on the *channel*, not on the request:
+
+1. sorting the policy list into priority order;
+2. scanning the whole channel attribute list per condition to find
+   backing attributes (``AttributeSet.valid_named`` is linear);
+3. re-deriving the stime/etime boundary set that
+   ``ChannelManager._cap_at_future_reject`` walks.
+
+:class:`CompiledPolicyIndex` hoists all three into a one-time compile
+per channel record version:
+
+* the evaluation order is pre-sorted;
+* each policy condition is resolved to its *backing candidates* -- the
+  channel attributes whose (name, value) and, for pinned conditions,
+  window match it -- so activity checks touch only those candidates;
+* a per-name index accelerates ``valid_named`` lookups;
+* the channel-side boundary list is pre-sorted for bisection.
+
+The compiled form is a pure function of ``(policies, attributes)``:
+:meth:`evaluate` returns results identical (decision, matched policy,
+and the full dormant list) to the uncached ``evaluate_policies`` --
+the property tests in ``tests/core/test_policy_index_properties.py``
+assert exactly that.  Invalidation is by record **version**: the
+Channel Policy Manager bumps a record's version alongside its utimes
+on every propagation, and ``ChannelRecord.compiled()`` rebuilds the
+index whenever the versions disagree, so a stale index can never grant
+against retracted policies.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.attributes import Attribute, AttributeSet
+from repro.core.policy import (
+    Decision,
+    EvaluationResult,
+    Policy,
+    PolicyCondition,
+    ordered_policies,
+)
+from repro.metrics.hotpath import counters as _hot
+
+
+def _backing_candidates(
+    condition: PolicyCondition, channel_attributes: AttributeSet
+) -> "Tuple[Attribute, ...]":
+    """Channel attributes that can back ``condition``.
+
+    Mirrors :meth:`PolicyCondition.is_backed`: same (name, value), and
+    for pinned conditions exactly the pinned window.  Only validity at
+    evaluation time remains to be checked per call.
+    """
+    return tuple(
+        attribute
+        for attribute in channel_attributes
+        if attribute.name == condition.name
+        and attribute.value == condition.value
+        and (
+            not condition.pinned
+            or (
+                attribute.stime == condition.stime
+                and attribute.etime == condition.etime
+            )
+        )
+    )
+
+
+class CompiledPolicyIndex:
+    """Pre-resolved evaluation plan for one channel's policy list."""
+
+    def __init__(
+        self,
+        policies: Sequence[Policy],
+        channel_attributes: AttributeSet,
+        version: int = 0,
+    ) -> None:
+        self.version = version
+        self._ordered: List[Policy] = ordered_policies(policies)
+        self._backing: List[Tuple[Tuple[Attribute, ...], ...]] = [
+            tuple(_backing_candidates(c, channel_attributes) for c in p.conditions)
+            for p in self._ordered
+        ]
+        by_name: Dict[str, List[Attribute]] = {}
+        boundaries = set()
+        for attribute in channel_attributes:
+            by_name.setdefault(attribute.name, []).append(attribute)
+            if attribute.stime is not None:
+                boundaries.add(attribute.stime)
+            if attribute.etime is not None:
+                boundaries.add(attribute.etime)
+        self._by_name: Dict[str, Tuple[Attribute, ...]] = {
+            name: tuple(attrs) for name, attrs in by_name.items()
+        }
+        #: Times at which some channel attribute enters or leaves
+        #: validity -- the only instants a policy decision can flip on
+        #: the channel side.  Sorted for bisection.
+        self.channel_boundaries: Tuple[float, ...] = tuple(sorted(boundaries))
+        _hot.policy_index_builds += 1
+
+    def valid_named(self, name: str, now: float) -> List[Attribute]:
+        """Index-backed equivalent of :meth:`AttributeSet.valid_named`."""
+        return [a for a in self._by_name.get(name, ()) if a.is_valid_at(now)]
+
+    def _is_active(self, policy_pos: int, now: float) -> bool:
+        """Is every condition of the policy at ``policy_pos`` backed now?"""
+        return all(
+            any(candidate.is_valid_at(now) for candidate in candidates)
+            for candidates in self._backing[policy_pos]
+        )
+
+    def evaluate(self, user_attributes: AttributeSet, now: float) -> EvaluationResult:
+        """Identical contract to :func:`evaluate_policies`, pre-compiled.
+
+        Same decision, same matched policy, same (full) dormant list --
+        only the channel-side work is answered from the index.
+        """
+        _hot.policy_index_evals += 1
+        result = EvaluationResult(decision=Decision.REJECT, matched_policy=None)
+        for pos, policy in enumerate(self._ordered):
+            if not self._is_active(pos, now):
+                result.dormant_policies.append(policy)
+                continue
+            if result.matched_policy is None and policy.matches(user_attributes, now):
+                result.decision = policy.action
+                result.matched_policy = policy
+        return result
+
+    def boundaries_between(self, start: float, end: float) -> List[float]:
+        """Channel-side boundaries in the half-open window (start, end]."""
+        lo = bisect.bisect_right(self.channel_boundaries, start)
+        hi = bisect.bisect_right(self.channel_boundaries, end)
+        return list(self.channel_boundaries[lo:hi])

@@ -29,6 +29,8 @@ from repro.core.attributes import (
 )
 from repro.core.challenge import Challenge, ChallengeIssuer
 from repro.core.policy import Decision, Policy, PolicyCondition
+from repro.core.policy_index import CompiledPolicyIndex
+from repro.core.ticket_cache import TicketVerificationCache
 from repro.core.tickets import UserTicket
 from repro.errors import AuthorizationError, ProtocolError, ReproError, TicketInvalidError
 from repro.util.wire import Decoder, Encoder
@@ -60,16 +62,42 @@ class ChannelRecord:
     #: Channel Manager's name and key "becomes part of the channel
     #: description").
     channel_manager_addr: Optional[str] = None
+    #: Monotone modification counter.  The Channel Policy Manager bumps
+    #: it (alongside the attribute utimes) on every mutation before
+    #: propagating the record, and :meth:`compiled` rebuilds its cached
+    #: policy index whenever the version moved -- the invalidation rule
+    #: that makes a stale index (and thus a stale grant) impossible.
+    version: int = 0
+
+    #: Minimum wire size of one encoded policy: priority u32, two empty
+    #: strings (4-byte prefixes each), and a u32 condition count.
+    _MIN_POLICY_WIRE_SIZE = 16
 
     def copy(self) -> "ChannelRecord":
-        """Deep-enough copy for handing to other managers."""
+        """Deep-enough copy for handing to other managers.
+
+        The compiled-index cache does not travel: the copy compiles
+        its own on first evaluation, against its own version.
+        """
         return ChannelRecord(
             channel_id=self.channel_id,
             attributes=self.attributes.copy(),
             policies=list(self.policies),
             partition=self.partition,
             channel_manager_addr=self.channel_manager_addr,
+            version=self.version,
         )
+
+    def compiled(self) -> "CompiledPolicyIndex":
+        """This record's policy index, rebuilt when the version moved."""
+        cached = self.__dict__.get("_compiled")
+        if cached is not None and cached.version == self.version:
+            return cached
+        index = CompiledPolicyIndex(
+            self.policies, self.attributes, version=self.version
+        )
+        self.__dict__["_compiled"] = index
+        return index
 
     def to_bytes(self) -> bytes:
         """Canonical wire form, as pushed to Channel Managers and
@@ -81,6 +109,7 @@ class ChannelRecord:
         enc.put_str(self.channel_id)
         enc.put_str(self.partition)
         enc.put_str(self.channel_manager_addr or "")
+        enc.put_u64(self.version)
         self.attributes.encode(enc)
         enc.put_u32(len(self.policies))
         for policy in self.policies:
@@ -96,8 +125,12 @@ class ChannelRecord:
         channel_id = dec.get_str()
         partition = dec.get_str()
         cm_addr = dec.get_str() or None
+        version = dec.get_u64()
         attributes = AttributeSet.decode(dec)
-        policies = [Policy.decode(dec) for _ in range(dec.get_u32())]
+        policies = [
+            Policy.decode(dec)
+            for _ in range(dec.get_count(cls._MIN_POLICY_WIRE_SIZE))
+        ]
         dec.finish()
         return cls(
             channel_id=channel_id,
@@ -105,6 +138,7 @@ class ChannelRecord:
             policies=policies,
             partition=partition,
             channel_manager_addr=cm_addr,
+            version=version,
         )
 
 
@@ -126,6 +160,7 @@ class ChannelPolicyManager:
         self._attribute_listeners: List[AttributeListListener] = []
         self._issuer: Optional[ChallengeIssuer] = None
         self._um_keys: List = []
+        self._ticket_cache: Optional[TicketVerificationCache] = None
         self._store = None
         self._replaying = False
         self._snapshot_every: Optional[int] = None
@@ -135,16 +170,29 @@ class ChannelPolicyManager:
     # Client access (challenge-protected Channel List fetch)
     # ------------------------------------------------------------------
 
-    def enable_client_access(self, farm_secret: bytes, drbg, user_manager_keys) -> None:
+    def enable_client_access(
+        self,
+        farm_secret: bytes,
+        drbg,
+        user_manager_keys,
+        ticket_cache_size: int = 1024,
+    ) -> None:
         """Turn on the client-facing fetch API.
 
         Section IV-G1: obtaining the Channel List, like obtaining a
         Channel Ticket, requires the client to answer a nonce
         challenge signed with its private key -- so a stolen User
         Ticket alone reveals nothing.
+
+        ``ticket_cache_size`` bounds the verification cache that spares
+        repeat fetches a full RSA check of the same User Ticket; 0
+        disables it.
         """
         self._issuer = ChallengeIssuer(farm_secret, drbg.fork(b"cpm-challenge"))
         self._um_keys = list(user_manager_keys)
+        self._ticket_cache = (
+            TicketVerificationCache(ticket_cache_size) if ticket_cache_size else None
+        )
 
     def add_user_manager_key(self, key) -> None:
         """Accept tickets from an additional Authentication Domain."""
@@ -154,7 +202,7 @@ class ChannelPolicyManager:
         last_error: Optional[Exception] = None
         for key in self._um_keys:
             try:
-                ticket.verify(key, now)
+                ticket.verify(key, now, cache=self._ticket_cache)
                 return
             except AuthorizationError:
                 raise
@@ -281,8 +329,11 @@ class ChannelPolicyManager:
 
         Implements: "Whenever a channel is modified, all its
         attributes' last update times are updated to the current time
-        in the Channel Attribute List."
+        in the Channel Attribute List."  The record version bump is
+        what invalidates every compiled policy index derived from the
+        record (here and in every manager the push reaches).
         """
+        record.version += 1
         refreshed = AttributeSet()
         for attr in record.attributes:
             refreshed.add(attr.with_utime(now))

@@ -1,0 +1,66 @@
+"""Bounded LRU cache for ticket signature verifications.
+
+A manager farm sees the same User Ticket on every SWITCH1/SWITCH2 and
+renewal a client performs for the ticket's whole lifetime (30 minutes
+of zapping in the paper's production profile).  The RSA verification
+of that ticket is pure: the same (issuer key, body, signature) triple
+always verifies the same way.  Caching a *successful* verification is
+therefore sound -- the cache can never turn a forgery into a pass,
+because only triples that survived the full :meth:`RsaPublicKey.verify`
+are ever inserted, and any bit flip in key, body, or signature changes
+the lookup key.
+
+Failures are deliberately **not** cached: a negative entry keyed by
+attacker-controlled bytes would let an attacker churn the cache, and
+rejections are off the hot path anyway.
+
+Time-window checks (start/expiry, NetAddr, channel binding) stay
+outside the cache: they depend on ``now`` and the connection, not on
+the signature, and they are cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.crypto.rsa import RsaPublicKey
+from repro.metrics.hotpath import counters as _hot
+
+_CacheKey = Tuple[str, bytes, bytes]
+
+
+class TicketVerificationCache:
+    """Remembers signature triples that verified, with LRU eviction."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[_CacheKey, None]" = OrderedDict()
+
+    @staticmethod
+    def _key(issuer_key: RsaPublicKey, body: bytes, signature: bytes) -> _CacheKey:
+        return (issuer_key.fingerprint(), hashlib.sha256(body).digest(), signature)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def seen(self, issuer_key: RsaPublicKey, body: bytes, signature: bytes) -> bool:
+        """Has this exact triple verified before?  Refreshes LRU order."""
+        key = self._key(issuer_key, body, signature)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            _hot.ticket_cache_hits += 1
+            return True
+        _hot.ticket_cache_misses += 1
+        return False
+
+    def remember(self, issuer_key: RsaPublicKey, body: bytes, signature: bytes) -> None:
+        """Record a triple that just passed full verification."""
+        key = self._key(issuer_key, body, signature)
+        self._entries[key] = None
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.core.attributes import ATTR_NETADDR, AttributeSet
+from repro.core.ticket_cache import TicketVerificationCache
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.errors import (
     SignatureError,
@@ -51,7 +52,16 @@ class UserTicket:
     signature: bytes = b""
 
     def body_bytes(self) -> bytes:
-        """Canonical encoding of the signed portion."""
+        """Canonical encoding of the signed portion.
+
+        Memoized on the (frozen) instance: signing encodes the body
+        once, and every subsequent verify -- one per SWITCH1/SWITCH2
+        for the ticket's whole lifetime -- reuses the same bytes
+        instead of re-running the encoder.
+        """
+        cached = self.__dict__.get("_body_cache")
+        if cached is not None:
+            return cached
         enc = Encoder()
         enc.put_bytes(_USER_TICKET_MAGIC)
         enc.put_u64(self.user_id)
@@ -59,17 +69,35 @@ class UserTicket:
         enc.put_f64(self.start_time)
         enc.put_f64(self.expire_time)
         self.attributes.encode(enc)
-        return enc.to_bytes()
+        body = enc.to_bytes()
+        object.__setattr__(self, "_body_cache", body)
+        return body
 
     def signed(self, issuer_key: RsaPrivateKey) -> "UserTicket":
         """Return a copy carrying the issuer's signature."""
         return replace(self, signature=issuer_key.sign(self.body_bytes()))
 
-    def verify(self, issuer_public_key: RsaPublicKey, now: float) -> None:
-        """Check signature and validity window; raise on failure."""
+    def verify(
+        self,
+        issuer_public_key: RsaPublicKey,
+        now: float,
+        cache: Optional[TicketVerificationCache] = None,
+    ) -> None:
+        """Check signature and validity window; raise on failure.
+
+        With ``cache`` given, a (key, body, signature) triple that
+        already passed full RSA verification skips the exponentiation;
+        the time-window checks below always run -- they depend on
+        ``now``, not on the signature.
+        """
         if not self.signature:
             raise SignatureError("user ticket is unsigned")
-        issuer_public_key.verify(self.body_bytes(), self.signature)
+        if cache is None or not cache.seen(
+            issuer_public_key, self.body_bytes(), self.signature
+        ):
+            issuer_public_key.verify(self.body_bytes(), self.signature)
+            if cache is not None:
+                cache.remember(issuer_public_key, self.body_bytes(), self.signature)
         if now < self.start_time:
             raise TicketInvalidError(
                 f"user ticket not valid until {self.start_time} (now {now})"
@@ -152,7 +180,10 @@ class ChannelTicket:
     signature: bytes = b""
 
     def body_bytes(self) -> bytes:
-        """Canonical encoding of the signed portion."""
+        """Canonical encoding of the signed portion (memoized)."""
+        cached = self.__dict__.get("_body_cache")
+        if cached is not None:
+            return cached
         enc = Encoder()
         enc.put_bytes(_CHANNEL_TICKET_MAGIC)
         enc.put_str(self.channel_id)
@@ -162,7 +193,9 @@ class ChannelTicket:
         enc.put_bool(self.renewal)
         enc.put_f64(self.start_time)
         enc.put_f64(self.expire_time)
-        return enc.to_bytes()
+        body = enc.to_bytes()
+        object.__setattr__(self, "_body_cache", body)
+        return body
 
     def signed(self, issuer_key: RsaPrivateKey) -> "ChannelTicket":
         """Return a copy carrying the issuer's signature."""
@@ -174,16 +207,24 @@ class ChannelTicket:
         now: float,
         expected_channel: Optional[str] = None,
         observed_addr: Optional[str] = None,
+        cache: Optional[TicketVerificationCache] = None,
     ) -> None:
         """Run the target-peer checks of Section IV-C; raise on failure.
 
         A peer verifies: the Channel Manager's signature, expiry, the
         NetAddr against the live connection, and that the channel is
-        the one the peer itself carries.
+        the one the peer itself carries.  ``cache`` short-circuits the
+        RSA verification for triples that already passed it; the
+        ``now``-dependent and connection-dependent checks always run.
         """
         if not self.signature:
             raise SignatureError("channel ticket is unsigned")
-        issuer_public_key.verify(self.body_bytes(), self.signature)
+        if cache is None or not cache.seen(
+            issuer_public_key, self.body_bytes(), self.signature
+        ):
+            issuer_public_key.verify(self.body_bytes(), self.signature)
+            if cache is not None:
+                cache.remember(issuer_public_key, self.body_bytes(), self.signature)
         if now < self.start_time:
             raise TicketInvalidError(
                 f"channel ticket not valid until {self.start_time} (now {now})"

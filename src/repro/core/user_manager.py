@@ -204,6 +204,7 @@ class UserManager:
         self._next_user_id = user_id_start
         self._user_id_stride = user_id_stride
         self._channel_attribute_list = AttributeSet()
+        self._attr_utime_index: Dict[str, List[Attribute]] = {}
         self._client_images: Dict[str, bytes] = {}
         self.logins_issued = 0
         self._store = None
@@ -249,10 +250,27 @@ class UserManager:
     def receive_channel_attribute_list(self, attributes: AttributeSet) -> None:
         """Channel Policy Manager push (Section IV-A)."""
         self._channel_attribute_list = attributes
+        self._rebuild_attr_index()
         if self._store is not None:
             enc = Encoder()
             attributes.encode(enc)
             self._journal(REC_ATTRIBUTE_LIST, enc.to_bytes())
+
+    def _rebuild_attr_index(self) -> None:
+        """Per-name index over utime-carrying channel attributes.
+
+        ``_stamp`` runs once per generated user attribute on every
+        LOGIN2; scanning the whole collated Channel Attribute List
+        each time is O(channels) per login.  Only entries that carry a
+        utime matter to stamping, and only same-name entries can ever
+        match, so index exactly those.  Rebuilt on every CPM push (the
+        push replaces the list wholesale).
+        """
+        index: Dict[str, List[Attribute]] = {}
+        for entry in self._channel_attribute_list:
+            if entry.utime is not None:
+                index.setdefault(entry.name, []).append(entry)
+        self._attr_utime_index = index
 
     def register_client_image(self, version: str, image: bytes) -> None:
         """Register a released client binary for attestation checks."""
@@ -427,9 +445,7 @@ class UserManager:
         List.
         """
         best: Optional[float] = None
-        for entry in self._channel_attribute_list:
-            if entry.name != attribute.name or entry.utime is None:
-                continue
+        for entry in self._attr_utime_index.get(attribute.name, ()):
             if entry.value == attribute.value or entry.value in (
                 VALUE_ANY,
                 VALUE_ALL,
@@ -503,6 +519,7 @@ class UserManager:
         for _ in range(dec.get_u32()):
             self._install_record(UserRecord.decode(dec))
         self._channel_attribute_list = AttributeSet.decode(dec)
+        self._rebuild_attr_index()
         self._client_images = {}
         for _ in range(dec.get_u32()):
             version = dec.get_str()
@@ -526,6 +543,7 @@ class UserManager:
             self._client_images[version] = dec.get_bytes()
         elif rec_type == REC_ATTRIBUTE_LIST:
             self._channel_attribute_list = AttributeSet.decode(dec)
+            self._rebuild_attr_index()
         elif rec_type == REC_LOGIN_ISSUED:
             dec.get_u64()
             dec.get_f64()

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.primes import generate_safe_distinct_primes
 from repro.errors import DecryptionError, KeyFormatError, SignatureError
+from repro.metrics.hotpath import counters as _hot
 
 _SIG_PREFIX = b"\x00\x01"
 _SIG_FILL = b"\xff"
@@ -86,6 +88,7 @@ class RsaPublicKey:
         sig_int = int.from_bytes(signature, "big")
         if sig_int >= self.n:
             raise SignatureError("signature out of range")
+        _hot.rsa_verifies += 1
         recovered = pow(sig_int, self.e, self.n)
         padded = recovered.to_bytes(self.size_bytes, "big")
         expected = _pad_digest(_sha256(message), self.size_bytes)
@@ -125,12 +128,22 @@ class RsaPublicKey:
         return c_int.to_bytes(k, "big")
 
     def to_bytes(self) -> bytes:
-        """Canonical serialization: lengths-then-values, big endian."""
+        """Canonical serialization: lengths-then-values, big endian.
+
+        Memoized: the encoding is pure over the frozen fields, and the
+        ticket pipeline re-serializes the same key on every signed-body
+        encode and cache lookup.
+        """
+        cached = self.__dict__.get("_bytes_cache")
+        if cached is not None:
+            return cached
         n_b = self.n.to_bytes((self.n.bit_length() + 7) // 8, "big")
         e_b = self.e.to_bytes((self.e.bit_length() + 7) // 8, "big")
-        return (
+        blob = (
             len(n_b).to_bytes(2, "big") + n_b + len(e_b).to_bytes(2, "big") + e_b
         )
+        object.__setattr__(self, "_bytes_cache", blob)
+        return blob
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "RsaPublicKey":
@@ -148,8 +161,17 @@ class RsaPublicKey:
         return cls(n=n, e=e)
 
     def fingerprint(self) -> str:
-        """Short hex identifier for logs and debugging."""
-        return _sha256(self.to_bytes()).hex()[:16]
+        """Short hex identifier for logs, debugging, and cache keys.
+
+        Memoized alongside :meth:`to_bytes` -- the ticket verification
+        cache computes it once per lookup.
+        """
+        cached = self.__dict__.get("_fingerprint_cache")
+        if cached is not None:
+            return cached
+        fp = _sha256(self.to_bytes()).hex()[:16]
+        object.__setattr__(self, "_fingerprint_cache", fp)
+        return fp
 
 
 @dataclass(frozen=True)
@@ -158,11 +180,49 @@ class RsaPrivateKey:
 
     The decryption/signing exponent ``d`` satisfies
     ``e*d ≡ 1 (mod lcm(p-1, q-1))``.
+
+    When the prime factorization is known the key also carries the
+    Chinese-Remainder-Theorem components ``(p, q, dp, dq, qinv)`` with
+    ``dp = d mod (p-1)``, ``dq = d mod (q-1)``, ``qinv = q^-1 mod p``.
+    Private-key operations then run as two half-size exponentiations
+    recombined by Garner's formula -- ~3-4x faster than the single
+    full-size ``pow(m, d, n)`` -- which is what keeps ticket signing
+    off the SWITCH2 critical path at renewal-storm load.  Keys built
+    from ``(n, e, d)`` alone still work; they simply take the slow
+    path.
     """
 
     n: int
     e: int
     d: int
+    p: Optional[int] = None
+    q: Optional[int] = None
+    dp: Optional[int] = None
+    dq: Optional[int] = None
+    qinv: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.p is not None:
+            if self.q is None or self.p * self.q != self.n:
+                raise KeyFormatError("CRT primes do not factor the modulus")
+            if self.dp is None or self.dq is None or self.qinv is None:
+                raise KeyFormatError("incomplete CRT parameter set")
+            if (self.qinv * self.q) % self.p != 1:
+                raise KeyFormatError("qinv is not q^-1 mod p")
+
+    @property
+    def has_crt(self) -> bool:
+        """Does this key carry the CRT fast-path components?"""
+        return self.p is not None
+
+    def without_crt(self) -> "RsaPrivateKey":
+        """A copy restricted to ``(n, e, d)`` -- the slow path.
+
+        Used by benchmarks to measure the CRT speedup, and by callers
+        that must ship a key somewhere the factorization should not
+        travel.
+        """
+        return RsaPrivateKey(n=self.n, e=self.e, d=self.d)
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -174,11 +234,22 @@ class RsaPrivateKey:
         """Modulus size in whole bytes."""
         return (self.n.bit_length() + 7) // 8
 
+    def _private_op(self, m_int: int) -> int:
+        """``m^d mod n`` via CRT when possible, else directly."""
+        _hot.rsa_private_ops += 1
+        if self.p is None:
+            return pow(m_int, self.d, self.n)
+        _hot.rsa_crt_ops += 1
+        m1 = pow(m_int % self.p, self.dp, self.p)
+        m2 = pow(m_int % self.q, self.dq, self.q)
+        h = (self.qinv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
     def sign(self, message: bytes) -> bytes:
         """Sign SHA-256(message) with deterministic padding."""
         padded = _pad_digest(_sha256(message), self.size_bytes)
         m_int = int.from_bytes(padded, "big")
-        sig_int = pow(m_int, self.d, self.n)
+        sig_int = self._private_op(m_int)
         return sig_int.to_bytes(self.size_bytes, "big")
 
     def decrypt(self, ciphertext: bytes) -> bytes:
@@ -188,7 +259,7 @@ class RsaPrivateKey:
         c_int = int.from_bytes(ciphertext, "big")
         if c_int >= self.n:
             raise DecryptionError("ciphertext out of range")
-        m_int = pow(c_int, self.d, self.n)
+        m_int = self._private_op(c_int)
         block = m_int.to_bytes(self.size_bytes, "big")
         if not block.startswith(_ENC_PREFIX):
             raise DecryptionError("bad padding prefix")
@@ -232,7 +303,16 @@ def generate_keypair(drbg: HmacDrbg, bits: int = 512, e: int = 65537) -> RsaPriv
         n = p * q
         if n.bit_length() != bits:
             continue
-        return RsaPrivateKey(n=n, e=e, d=d)
+        return RsaPrivateKey(
+            n=n,
+            e=e,
+            d=d,
+            p=p,
+            q=q,
+            dp=d % (p - 1),
+            dq=d % (q - 1),
+            qinv=_modinv(q, p),
+        )
 
 
 def _gcd(a: int, b: int) -> int:

@@ -5,7 +5,10 @@
 * :mod:`repro.metrics.collector` -- timestamped latency samples binned
   by protocol round and by hour, plus peak/off-peak splits;
 * :mod:`repro.metrics.reporting` -- plain-text tables and figure
-  series shaped like the paper's plots.
+  series shaped like the paper's plots;
+* :mod:`repro.metrics.hotpath` -- counters for the ticket pipeline's
+  fast paths (CRT signing, the verification cache, compiled policy
+  indexes).
 """
 
 from repro.metrics.stats import (
@@ -15,6 +18,7 @@ from repro.metrics.stats import (
     cdf_points,
 )
 from repro.metrics.collector import LatencyCollector, HourlyBin
+from repro.metrics.hotpath import HotpathCounters, counters as hotpath_counters
 
 __all__ = [
     "median",
@@ -23,4 +27,6 @@ __all__ = [
     "cdf_points",
     "LatencyCollector",
     "HourlyBin",
+    "HotpathCounters",
+    "hotpath_counters",
 ]

@@ -11,6 +11,7 @@ two questions the evaluation asks:
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -43,9 +44,20 @@ class LatencyCollector:
         self._samples: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
 
     def record(self, round_name: str, time: float, latency: float) -> None:
-        """Add one sample."""
+        """Add one sample.
+
+        Rejects non-finite samples explicitly: ``latency < 0`` is
+        False for NaN, so without the finiteness check a single NaN
+        (or inf) from a broken timer would sail through and silently
+        poison every hourly median and the Fig. 5 Pearson statistic
+        downstream.
+        """
+        if not math.isfinite(latency):
+            raise ValueError(f"latency must be finite, got {latency}")
         if latency < 0:
             raise ValueError("latency cannot be negative")
+        if not math.isfinite(time):
+            raise ValueError(f"sample time must be finite, got {time}")
         self._samples[round_name].append((time, latency))
 
     def count(self, round_name: str) -> int:

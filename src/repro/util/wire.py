@@ -34,6 +34,12 @@ class WireError(ReproError):
     """Raised when a buffer cannot be decoded."""
 
 
+#: Alias kept alongside :class:`WireError`: malformed *content* (as
+#: opposed to truncation) is a format violation; both are the same
+#: failure class to callers.
+WireFormatError = WireError
+
+
 class Encoder:
     """Append-only canonical encoder."""
 
@@ -141,6 +147,27 @@ class Decoder:
     def get_bytes(self) -> bytes:
         length = self.get_u32()
         return self._take(length)
+
+    def get_count(self, min_item_size: int = 1) -> int:
+        """Read a u32 element count, bounded by the remaining buffer.
+
+        A hostile blob can claim a ~4-billion element list in four
+        bytes; decoding loops that trust it would spin (and allocate)
+        for minutes before hitting the truncation error.  Each element
+        of any encoded sequence occupies at least ``min_item_size``
+        bytes, so any honest count satisfies
+        ``count * min_item_size <= remaining`` -- enforce that before
+        the loop starts.
+        """
+        if min_item_size < 1:
+            raise ValueError("min_item_size must be >= 1")
+        count = self.get_u32()
+        if count * min_item_size > self.remaining:
+            raise WireError(
+                f"claimed count {count} exceeds remaining buffer "
+                f"({self.remaining} bytes, >= {min_item_size} per element)"
+            )
+        return count
 
     def get_str(self) -> str:
         raw = self.get_bytes()

@@ -217,3 +217,55 @@ class TestPaperFigure2:
         at_end = evaluate_policies(policies, attrs, self.paper_user(), now=2000.0)
         assert at_start.decision is Decision.REJECT
         assert at_end.decision is Decision.REJECT
+
+
+class TestDormantProvenance:
+    def test_dormant_list_spans_past_the_match(self):
+        """A high-priority match must not truncate the dormant audit trail."""
+        channel = AttributeSet([Attribute(name="Region", value="CH")])
+        user = AttributeSet([Attribute(name="Region", value="CH")])
+        policies = [
+            accept(90, cond("Region", "CH"), label="winner"),
+            # Dormant (unbacked) policies on both sides of the winner.
+            reject(95, cond("Region", "DE"), label="dormant-above"),
+            accept(10, cond("Subscription", "101"), label="dormant-below"),
+        ]
+        result = evaluate_policies(policies, channel, user, now=0.0)
+        assert result.matched_policy.label == "winner"
+        assert [p.label for p in result.dormant_policies] == [
+            "dormant-above",
+            "dormant-below",
+        ]
+
+    def test_dormant_list_in_priority_order(self):
+        channel = AttributeSet()
+        user = AttributeSet()
+        policies = [
+            accept(10, cond("A", "1"), label="low"),
+            accept(50, cond("B", "2"), label="high"),
+        ]
+        result = evaluate_policies(policies, channel, user, now=0.0)
+        assert [p.label for p in result.dormant_policies] == ["high", "low"]
+
+
+class TestHostileDecode:
+    def test_inflated_condition_count_rejected(self):
+        from repro.util.wire import WireFormatError
+
+        policy = accept(5, cond("Region", "CH"))
+        enc = Encoder()
+        policy.encode(enc)
+        blob = bytearray(enc.to_bytes())
+        # The condition count is the u32 right after priority (u32),
+        # action, and label (length-prefixed strings).  Overwrite it
+        # with a huge value the remaining buffer cannot hold.
+        count_off = 4 + 4 + len("ACCEPT") + 4 + 0
+        blob[count_off : count_off + 4] = (0xFFFFFFF0).to_bytes(4, "big")
+        with pytest.raises(WireFormatError):
+            Policy.decode(Decoder(bytes(blob)))
+
+    def test_honest_count_still_decodes(self):
+        policy = accept(5, cond("Region", "CH"), cond("Subscription", "101"))
+        enc = Encoder()
+        policy.encode(enc)
+        assert Policy.decode(Decoder(enc.to_bytes())) == policy

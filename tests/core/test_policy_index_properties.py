@@ -1,0 +1,162 @@
+"""Property tests: the compiled policy index is observably identical to
+the uncached :func:`evaluate_policies` path.
+
+The compiled form may reorganize the work however it likes, but every
+externally visible output -- decision, matched policy, the full dormant
+list, and the channel-side boundary scan -- must match the reference
+implementation bit for bit.  Strategies deliberately cover the special
+match values (ANY / ALL / NONE) and pinned-condition windows, the two
+corners where a sloppy index would diverge first.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import (
+    Attribute,
+    AttributeSet,
+    VALUE_ALL,
+    VALUE_ANY,
+    VALUE_NONE,
+)
+from repro.core.policy import Decision, Policy, PolicyCondition, evaluate_policies
+from repro.core.policy_index import CompiledPolicyIndex
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+attr_names = st.sampled_from(["Region", "Subscription", "Quality"])
+plain_values = st.sampled_from(["A", "B", "101"])
+held_values = st.one_of(plain_values, st.just(VALUE_ALL))
+required_values = st.one_of(
+    plain_values, st.sampled_from([VALUE_ANY, VALUE_ALL, VALUE_NONE])
+)
+
+windows = st.one_of(
+    st.just((None, None)),
+    st.tuples(
+        st.floats(min_value=0, max_value=500),
+        st.floats(min_value=1, max_value=500),
+    ).map(lambda t: (t[0], t[0] + t[1])),
+)
+
+
+@st.composite
+def attributes(draw, values=held_values):
+    stime, etime = draw(windows)
+    return Attribute(
+        name=draw(attr_names), value=draw(values), stime=stime, etime=etime
+    )
+
+
+@st.composite
+def attribute_sets(draw, max_size=6, values=held_values):
+    return AttributeSet(draw(st.lists(attributes(values=values), max_size=max_size)))
+
+
+@st.composite
+def conditions(draw, channel):
+    """A condition, sometimes pinned to a real channel attribute's window.
+
+    Pinning against an *existing* window is the interesting case: a
+    pinned condition whose window matches nothing is trivially dormant
+    everywhere and exercises no index logic.
+    """
+    channel_attrs = list(channel)
+    if channel_attrs and draw(st.booleans()):
+        backing = draw(st.sampled_from(channel_attrs))
+        pin = draw(st.booleans()) and backing.stime is not None
+        return PolicyCondition(
+            name=backing.name,
+            value=backing.value,
+            stime=backing.stime if pin else None,
+            etime=backing.etime if pin else None,
+        )
+    return PolicyCondition(name=draw(attr_names), value=draw(required_values))
+
+
+@st.composite
+def policy_lists(draw, channel, max_size=5):
+    out = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_size))):
+        conds = draw(st.lists(conditions(channel), min_size=1, max_size=3))
+        out.append(
+            Policy.of(
+                priority=draw(st.integers(min_value=0, max_value=100)),
+                conditions=conds,
+                action=draw(st.sampled_from([Decision.ACCEPT, Decision.REJECT])),
+            )
+        )
+    return out
+
+
+now_times = st.floats(min_value=-10, max_value=1100)
+
+
+@st.composite
+def scenarios(draw):
+    channel = draw(attribute_sets())
+    return (
+        channel,
+        draw(policy_lists(channel)),
+        draw(attribute_sets(values=held_values)),
+        draw(now_times),
+    )
+
+
+# ----------------------------------------------------------------------
+# Equivalence properties
+# ----------------------------------------------------------------------
+
+
+@given(scenario=scenarios())
+@settings(max_examples=300)
+def test_compiled_evaluation_matches_reference(scenario):
+    channel, policies, user, now = scenario
+    reference = evaluate_policies(policies, channel, user, now)
+    compiled = CompiledPolicyIndex(policies, channel).evaluate(user, now)
+    assert compiled.decision == reference.decision
+    assert compiled.matched_policy == reference.matched_policy
+    assert compiled.dormant_policies == reference.dormant_policies
+
+
+@given(scenario=scenarios())
+@settings(max_examples=200)
+def test_compiled_index_is_reusable(scenario):
+    """One compile, many evaluations at different times -- all equivalent."""
+    channel, policies, user, now = scenario
+    index = CompiledPolicyIndex(policies, channel)
+    for t in (now, now + 42.0, 0.0, 1e6):
+        reference = evaluate_policies(policies, channel, user, t)
+        got = index.evaluate(user, t)
+        assert got.decision == reference.decision
+        assert got.matched_policy == reference.matched_policy
+        assert got.dormant_policies == reference.dormant_policies
+
+
+@given(channel=attribute_sets(), name=attr_names, now=now_times)
+@settings(max_examples=200)
+def test_valid_named_matches_attribute_set(channel, name, now):
+    index = CompiledPolicyIndex([], channel)
+    assert index.valid_named(name, now) == channel.valid_named(name, now)
+
+
+@given(
+    channel=attribute_sets(),
+    start=st.floats(min_value=-10, max_value=1100),
+    span=st.floats(min_value=0, max_value=1200),
+)
+@settings(max_examples=200)
+def test_boundaries_between_matches_linear_scan(channel, start, span):
+    end = start + span
+    index = CompiledPolicyIndex([], channel)
+    expected = sorted(
+        {
+            bound
+            for attribute in channel
+            for bound in (attribute.stime, attribute.etime)
+            if bound is not None and start < bound <= end
+        }
+    )
+    assert index.boundaries_between(start, end) == expected

@@ -178,3 +178,70 @@ class TestClientAccess:
     def test_disabled_by_default(self, cpm):
         with pytest.raises(ProtocolError):
             cpm.request_channel_list(None, now=0.0)
+
+
+class TestCompiledIndexInvalidation:
+    def test_compiled_is_cached_per_version(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        record = cpm.get_channel("ch1")
+        index = record.compiled()
+        assert record.compiled() is index  # same version -> same object
+        assert index.version == record.version
+
+    def test_every_mutation_bumps_version(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        version = cpm.get_channel("ch1").version
+        cpm.add_policy("ch1", region_policy("DE", priority=60), now=1.0)
+        after_policy = cpm.get_channel("ch1").version
+        assert after_policy > version
+        cpm.set_channel_attribute(
+            "ch1", Attribute(name=ATTR_REGION, value="DE"), now=2.0
+        )
+        assert cpm.get_channel("ch1").version > after_policy
+
+    def test_stale_index_rebuilt_after_policy_change(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        record = cpm._channels["ch1"]
+        stale = record.compiled()
+        cpm.add_policy(
+            "ch1",
+            Policy.of(
+                90,
+                [PolicyCondition(name=ATTR_REGION, value=VALUE_ANY)],
+                Decision.REJECT,
+                label="lockdown",
+            ),
+            now=1.0,
+        )
+        cpm.set_channel_attribute(
+            "ch1", Attribute(name=ATTR_REGION, value=VALUE_ANY), now=1.0
+        )
+        rebuilt = record.compiled()
+        assert rebuilt is not stale
+        user = region_attrs("CH")
+        assert rebuilt.evaluate(user, now=2.0).decision is Decision.REJECT
+        # And the rebuilt index still agrees with the reference path.
+        reference = evaluate_policies(record.policies, record.attributes, user, 2.0)
+        assert rebuilt.evaluate(user, 2.0).decision == reference.decision
+
+    def test_copy_carries_version_not_cache(self, cpm):
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        record = cpm._channels["ch1"]
+        original_index = record.compiled()
+        clone = record.copy()
+        assert clone.version == record.version
+        assert clone.compiled() is not original_index
+
+    def test_version_survives_wire_roundtrip(self, cpm):
+        from repro.core.policy_manager import ChannelRecord
+
+        cpm.add_channel("ch1", now=0.0, attributes=region_attrs("CH"),
+                        policies=[region_policy("CH")])
+        cpm.add_policy("ch1", region_policy("DE", priority=60), now=1.0)
+        record = cpm.get_channel("ch1")
+        restored = ChannelRecord.from_bytes(record.to_bytes())
+        assert restored.version == record.version

@@ -1,0 +1,125 @@
+"""Tests for the bounded LRU ticket-verification cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.attributes import Attribute, AttributeSet
+from repro.core.ticket_cache import TicketVerificationCache
+from repro.core.tickets import UserTicket
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.errors import SignatureError
+from repro.metrics.hotpath import counters
+
+
+@pytest.fixture(scope="module")
+def manager_key():
+    return generate_keypair(HmacDrbg(b"cache-manager"), bits=512)
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return generate_keypair(HmacDrbg(b"cache-other"), bits=512)
+
+
+@pytest.fixture(scope="module")
+def client_key():
+    return generate_keypair(HmacDrbg(b"cache-client"), bits=512)
+
+
+@pytest.fixture
+def user_ticket(manager_key, client_key):
+    attributes = AttributeSet([Attribute(name="Region", value="CH")])
+    return UserTicket(
+        user_id=7,
+        client_public_key=client_key.public_key,
+        start_time=0.0,
+        expire_time=1800.0,
+        attributes=attributes,
+    ).signed(manager_key)
+
+
+class TestCacheMechanics:
+    def test_miss_then_hit(self, manager_key):
+        cache = TicketVerificationCache(maxsize=4)
+        public = manager_key.public_key
+        assert not cache.seen(public, b"body", b"sig")
+        cache.remember(public, b"body", b"sig")
+        assert cache.seen(public, b"body", b"sig")
+        assert len(cache) == 1
+
+    def test_any_component_change_misses(self, manager_key, other_key):
+        cache = TicketVerificationCache(maxsize=4)
+        cache.remember(manager_key.public_key, b"body", b"sig")
+        assert not cache.seen(other_key.public_key, b"body", b"sig")
+        assert not cache.seen(manager_key.public_key, b"Body", b"sig")
+        assert not cache.seen(manager_key.public_key, b"body", b"gis")
+
+    def test_lru_eviction_order(self, manager_key):
+        cache = TicketVerificationCache(maxsize=2)
+        public = manager_key.public_key
+        cache.remember(public, b"a", b"s")
+        cache.remember(public, b"b", b"s")
+        # Touch "a" so "b" becomes least recently used.
+        assert cache.seen(public, b"a", b"s")
+        cache.remember(public, b"c", b"s")
+        assert len(cache) == 2
+        assert cache.seen(public, b"a", b"s")
+        assert not cache.seen(public, b"b", b"s")
+        assert cache.seen(public, b"c", b"s")
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TicketVerificationCache(maxsize=0)
+
+    def test_counters_track_hits_and_misses(self, manager_key):
+        counters.reset()
+        cache = TicketVerificationCache(maxsize=4)
+        public = manager_key.public_key
+        cache.seen(public, b"x", b"s")
+        cache.remember(public, b"x", b"s")
+        cache.seen(public, b"x", b"s")
+        assert counters.ticket_cache_misses == 1
+        assert counters.ticket_cache_hits == 1
+        assert counters.ticket_cache_hit_rate == 0.5
+        counters.reset()
+
+
+class TestTicketVerifyWithCache:
+    def test_repeat_verify_skips_rsa(self, user_ticket, manager_key):
+        cache = TicketVerificationCache(maxsize=4)
+        counters.reset()
+        user_ticket.verify(manager_key.public_key, now=500.0, cache=cache)
+        assert counters.rsa_verifies == 1
+        user_ticket.verify(manager_key.public_key, now=500.0, cache=cache)
+        user_ticket.verify(manager_key.public_key, now=600.0, cache=cache)
+        assert counters.rsa_verifies == 1  # cached; no further modexp
+        assert counters.ticket_cache_hits == 2
+        counters.reset()
+
+    def test_forgery_never_cached(self, user_ticket, manager_key):
+        cache = TicketVerificationCache(maxsize=4)
+        forged = dataclasses.replace(user_ticket, signature=b"\x01" * 64)
+        for _ in range(2):
+            with pytest.raises(SignatureError):
+                forged.verify(manager_key.public_key, now=500.0, cache=cache)
+        assert len(cache) == 0
+
+    def test_cache_respects_issuer_key(self, user_ticket, manager_key, other_key):
+        # A triple cached under one issuer must not satisfy another.
+        cache = TicketVerificationCache(maxsize=4)
+        user_ticket.verify(manager_key.public_key, now=500.0, cache=cache)
+        with pytest.raises(SignatureError):
+            user_ticket.verify(other_key.public_key, now=500.0, cache=cache)
+
+    def test_time_window_checks_still_run_on_hits(self, user_ticket, manager_key):
+        from repro.errors import TicketExpiredError
+
+        cache = TicketVerificationCache(maxsize=4)
+        user_ticket.verify(manager_key.public_key, now=500.0, cache=cache)
+        with pytest.raises(TicketExpiredError):
+            user_ticket.verify(manager_key.public_key, now=5000.0, cache=cache)
+
+    def test_body_bytes_memoized(self, user_ticket):
+        assert user_ticket.body_bytes() is user_ticket.body_bytes()

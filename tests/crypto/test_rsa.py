@@ -158,3 +158,72 @@ def test_property_encrypt_decrypt(plaintext):
     key = generate_keypair(HmacDrbg(b"prop-rsa-enc"), bits=512)
     drbg = HmacDrbg(b"prop-enc")
     assert key.decrypt(key.public_key.encrypt(plaintext, drbg)) == plaintext
+
+
+class TestCrtSigning:
+    def test_generated_keys_carry_crt(self, key):
+        assert key.has_crt
+        assert key.p * key.q == key.n
+        assert key.dp == key.d % (key.p - 1)
+        assert key.dq == key.d % (key.q - 1)
+        assert (key.qinv * key.q) % key.p == 1
+
+    def test_crt_and_plain_signatures_identical(self, key):
+        slow = key.without_crt()
+        assert not slow.has_crt
+        for message in (b"", b"ticket body", b"\x00" * 64):
+            assert key.sign(message) == slow.sign(message)
+
+    def test_crt_and_plain_decrypt_identical(self, key):
+        drbg = HmacDrbg(b"crt-dec")
+        ciphertext = key.public_key.encrypt(b"session-key", drbg)
+        assert key.decrypt(ciphertext) == key.without_crt().decrypt(ciphertext)
+
+    def test_without_crt_preserves_public_half(self, key):
+        slow = key.without_crt()
+        assert slow.public_key == key.public_key
+        assert (slow.n, slow.e, slow.d) == (key.n, key.e, key.d)
+        assert slow.p is slow.q is slow.dp is slow.dq is slow.qinv is None
+
+    def test_wrong_primes_rejected(self, key):
+        from repro.crypto.rsa import RsaPrivateKey
+
+        with pytest.raises(KeyFormatError):
+            RsaPrivateKey(
+                n=key.n, e=key.e, d=key.d,
+                p=key.p + 2, q=key.q, dp=key.dp, dq=key.dq, qinv=key.qinv,
+            )
+
+    def test_partial_crt_set_rejected(self, key):
+        from repro.crypto.rsa import RsaPrivateKey
+
+        with pytest.raises(KeyFormatError):
+            RsaPrivateKey(n=key.n, e=key.e, d=key.d, p=key.p, q=key.q)
+
+    def test_bad_qinv_rejected(self, key):
+        from repro.crypto.rsa import RsaPrivateKey
+
+        with pytest.raises(KeyFormatError):
+            RsaPrivateKey(
+                n=key.n, e=key.e, d=key.d,
+                p=key.p, q=key.q, dp=key.dp, dq=key.dq, qinv=key.qinv + 1,
+            )
+
+    def test_crt_counter_increments(self, key):
+        from repro.metrics.hotpath import counters
+
+        counters.reset()
+        key.sign(b"m")
+        assert counters.rsa_private_ops == 1
+        assert counters.rsa_crt_ops == 1
+        key.without_crt().sign(b"m")
+        assert counters.rsa_private_ops == 2
+        assert counters.rsa_crt_ops == 1
+        counters.reset()
+
+
+@given(message=st.binary(min_size=0, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_property_crt_matches_plain_signature(message):
+    key = generate_keypair(HmacDrbg(b"prop-crt"), bits=512)
+    assert key.sign(message) == key.without_crt().sign(message)

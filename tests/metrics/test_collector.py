@@ -103,3 +103,33 @@ class TestPeakSplit:
         peak_cdf, off_cdf = collector.peak_offpeak_cdfs("X")
         assert len(peak_cdf) == len(off_cdf) == 10
         assert peak_cdf[-1][1] == 1.0
+
+
+class TestSampleValidation:
+    def test_nan_latency_rejected(self, collector):
+        with pytest.raises(ValueError):
+            collector.record("X", 0.0, float("nan"))
+        assert collector.count("X") == 0
+
+    def test_infinite_latency_rejected(self, collector):
+        for bad in (float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                collector.record("X", 0.0, bad)
+        assert collector.count("X") == 0
+
+    def test_negative_latency_rejected(self, collector):
+        with pytest.raises(ValueError):
+            collector.record("X", 0.0, -0.1)
+
+    def test_nonfinite_time_rejected(self, collector):
+        with pytest.raises(ValueError):
+            collector.record("X", float("nan"), 0.1)
+        with pytest.raises(ValueError):
+            collector.record("X", float("inf"), 0.1)
+
+    def test_rejected_sample_does_not_poison_medians(self, collector):
+        collector.record("X", 0.0, 0.2)
+        with pytest.raises(ValueError):
+            collector.record("X", 1.0, float("nan"))
+        series = collector.hourly_median_series("X")
+        assert series == [(0.0, 0.2)]

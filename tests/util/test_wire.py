@@ -232,3 +232,34 @@ def test_property_remaining_primitives_roundtrip(values):
     for kind, value in values:
         assert getattr(dec, f"get_{kind}")() == value
     dec.finish()
+
+
+class TestBoundedCounts:
+    def test_count_within_buffer_allowed(self):
+        blob = Encoder().put_u32(3).to_bytes() + b"\x00" * 30
+        dec = Decoder(blob)
+        assert dec.get_count(min_item_size=10) == 3
+
+    def test_count_exceeding_buffer_rejected(self):
+        blob = Encoder().put_u32(4).to_bytes() + b"\x00" * 30
+        with pytest.raises(WireError):
+            Decoder(blob).get_count(min_item_size=10)
+
+    def test_hostile_u32_count_rejected(self):
+        blob = Encoder().put_u32(0xFFFFFFFF).to_bytes()
+        with pytest.raises(WireError):
+            Decoder(blob).get_count()
+
+    def test_zero_count_always_fine(self):
+        assert Decoder(Encoder().put_u32(0).to_bytes()).get_count(min_item_size=100) == 0
+
+    @given(count=st.integers(min_value=0, max_value=1000), size=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100)
+    def test_count_bound_is_exact(self, count, size):
+        payload = b"\x00" * (count * size)
+        dec = Decoder(Encoder().put_u32(count).to_bytes() + payload)
+        assert dec.get_count(min_item_size=size) == count
+        short = Decoder(Encoder().put_u32(count + 1).to_bytes() + payload)
+        if size * (count + 1) > len(payload):
+            with pytest.raises(WireError):
+                short.get_count(min_item_size=size)
