@@ -254,6 +254,30 @@ def test_bench_hotpath_switch2_renewal_login(env):
     assert results["switch2"]["before_counters"]["ticket_cache_hits"] == 0
 
 
+def test_bench_tracing_overhead_under_five_percent(env):
+    """The acceptance bar for the tracing layer: spans on the SWITCH2
+    hot path cost < 5% throughput.  RSA dominates each issuance, so a
+    handful of dict writes per request must disappear in the noise."""
+    from repro.trace.span import Tracer
+
+    deployment, client = env
+    hot_cm = deployment.channel_manager_for(CHANNEL)
+    run = _switch2_loop(hot_cm, client, now=0.0)
+    untraced = _ops_per_second(run)
+    tracer = Tracer(max_spans=10_000_000)
+    hot_cm.tracer = tracer
+    try:
+        traced = _ops_per_second(run)
+    finally:
+        hot_cm.tracer = None
+    assert tracer.spans, "traced run recorded no spans"
+    overhead = 1.0 - traced / untraced
+    assert traced >= 0.95 * untraced, (
+        f"tracing overhead {overhead:.1%} (untraced {untraced:.0f} ops/s, "
+        f"traced {traced:.0f} ops/s)"
+    )
+
+
 def test_bench_hotpath_verification_cache_equivalence(env):
     """The cached and uncached verify paths agree on accept *and* reject."""
     deployment, client = env

@@ -8,6 +8,7 @@ Commands:
 ``demo``       a compact end-to-end walk-through of Fig. 1
 ``threats``    run the Section IV-G scenarios and report outcomes
 ``store``      inspect / verify / compact an on-disk durable store
+``trace``      run a traced switch storm / report a saved span buffer
 
 Each command is a thin wrapper over the library -- everything the CLI
 prints is available programmatically from :mod:`repro.experiments`.
@@ -109,6 +110,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     deployment = Deployment(seed=args.seed)
     deployment.add_free_channel("demo", regions=["CH", "DE"])
+    tracer = deployment.enable_tracing() if args.traced else None
     client = deployment.create_client("demo@example.org", "pw", region="CH")
     ticket = client.login(now=0.0)
     print(f"logged in: UserIN={ticket.user_id}, "
@@ -121,7 +123,49 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     source.broadcast_packet(65.0)
     print(f"decrypted {client.packets_decrypted} packets across a key rotation "
           f"({client.decrypt_failures} failures)")
+    if tracer is not None:
+        from repro.trace import render_report, render_tree
+
+        print()
+        print(render_report(tracer.spans))
+        print()
+        print(render_tree(tracer.spans))
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace import load_spans, render_report, render_tree
+
+    if args.action == "report":
+        spans = load_spans(args.path)
+        print(render_report(spans))
+        if args.tree:
+            print()
+            print(render_tree(spans, trace_id=args.trace_id))
+        return 0
+
+    if args.action == "storm":
+        from repro.trace.storm import run_switch_storm
+
+        result = run_switch_storm(clients=args.clients, seed=args.seed)
+        print(f"storm done at t={result.sim.now:.1f}s: {result.counts}")
+        if result.errors:
+            print(f"errors: {[type(e).__name__ for e in result.errors]}")
+        spans = result.tracer.spans
+        if args.out:
+            count = result.tracer.save(args.out)
+            print(f"saved {count} spans to {args.out}")
+        print()
+        print(render_report(spans))
+        print()
+        print(render_tree(spans, trace_id=args.trace_id))
+        if not spans:
+            # The CI smoke test keys on this: a traced storm that
+            # records nothing means the propagation plumbing broke.
+            print("error: traced storm recorded no spans", file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError(f"unknown action {args.action!r}")
 
 
 def _format_store_report(path: str, report) -> str:
@@ -220,7 +264,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="compact end-to-end walk-through")
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--traced", action="store_true",
+        help="record causal spans and print the trace report afterwards",
+    )
     demo.set_defaults(func=_cmd_demo)
+
+    trace = sub.add_parser("trace", help="causal tracing tools")
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    trace_report = trace_sub.add_parser(
+        "report", help="per-round latency breakdown from a saved span buffer"
+    )
+    trace_report.add_argument("path", help="JSONL span file written by Tracer.save")
+    trace_report.add_argument("--tree", action="store_true", help="also dump a causal tree")
+    trace_report.add_argument("--trace-id", type=int, default=None)
+    trace_report.set_defaults(func=_cmd_trace)
+    trace_storm = trace_sub.add_parser(
+        "storm", help="run a traced switch storm (exit 1 if no spans recorded)"
+    )
+    trace_storm.add_argument("--clients", type=int, default=6)
+    trace_storm.add_argument("--seed", type=int, default=17)
+    trace_storm.add_argument("--out", default=None, help="save the span buffer as JSONL")
+    trace_storm.add_argument("--trace-id", type=int, default=None)
+    trace_storm.set_defaults(func=_cmd_trace)
 
     threats = sub.add_parser("threats", help="run the threat playbook")
     threats.set_defaults(func=_cmd_threats)

@@ -43,6 +43,7 @@ from repro.errors import (
     RenewalRefusedError,
     TicketInvalidError,
 )
+from repro.trace.span import Tracer, maybe_span
 from repro.util.wire import Decoder, Encoder
 
 #: Durable-store record types (see :mod:`repro.store`).
@@ -156,6 +157,8 @@ class ChannelManager:
         self._store = None
         self._snapshot_every: Optional[int] = None
         self._records_since_snapshot = 0
+        #: Shared tracer, attached by Deployment.enable_tracing().
+        self.tracer: Optional[Tracer] = None
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -217,6 +220,13 @@ class ChannelManager:
 
     def switch1(self, request: Switch1Request, now: float) -> Switch1Response:
         """First round: vet the User Ticket cheaply, return a nonce."""
+        with maybe_span(
+            self.tracer, "CM.SWITCH1", now=now, kind="server",
+            renewal=request.is_renewal,
+        ):
+            return self._switch1(request, now)
+
+    def _switch1(self, request: Switch1Request, now: float) -> Switch1Response:
         self._verify_user_ticket(request.user_ticket, now)
         if not self.serves_channel(request.target_channel):
             raise AuthorizationError(
@@ -233,6 +243,15 @@ class ChannelManager:
         self, request: Switch2Request, observed_addr: str, now: float
     ) -> Switch2Response:
         """Second round: full checks, then issue (or renew) the ticket."""
+        with maybe_span(
+            self.tracer, "CM.SWITCH2", now=now, kind="server",
+            renewal=request.is_renewal, channel=request.target_channel,
+        ):
+            return self._switch2(request, observed_addr, now)
+
+    def _switch2(
+        self, request: Switch2Request, observed_addr: str, now: float
+    ) -> Switch2Response:
         user_ticket = request.user_ticket
         self._verify_user_ticket(user_ticket, now)
         user_ticket.check_net_addr(observed_addr)

@@ -23,6 +23,7 @@ from typing import List, Optional
 from repro.core.keystream import ContentKey, ContentKeySchedule
 from repro.core.packets import ContentPacket, encrypt_packet
 from repro.crypto.drbg import HmacDrbg
+from repro.trace.span import Tracer, maybe_span
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,8 @@ class ChannelServer:
         )
         self._sequence = 0
         self.packets_emitted = 0
+        #: Shared tracer, attached by Deployment.enable_tracing().
+        self.tracer: Optional[Tracer] = None
 
     def ingest_frame(self, now: float, payload: Optional[bytes] = None) -> MediaFrame:
         """Produce one encoded frame (synthetic payload unless given)."""
@@ -103,7 +106,13 @@ class ChannelServer:
 
     def keys_for_join(self, now: float) -> List[ContentKey]:
         """Keys a newly joined peer must receive immediately."""
-        return self.schedule.distributable_keys(now)
+        with maybe_span(
+            self.tracer, "CS.KEYS", now=now, kind="server", channel=self.channel_id
+        ) as span:
+            keys = self.schedule.distributable_keys(now)
+            if span is not None:
+                span.annotate("keys", len(keys))
+            return keys
 
     def upcoming_key(self, now: float) -> Optional[ContentKey]:
         """The next key once within its distribution lead window."""

@@ -43,6 +43,7 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPrivateKey, generate_keypair
 from repro.crypto.stream import SymmetricKey
 from repro.errors import CapacityError, ProtocolError, ReproError
+from repro.trace.span import Tracer, maybe_span
 from repro.util.wire import Decoder
 
 
@@ -108,6 +109,8 @@ class Client:
         self.clock_offset = 0.0
         self.packets_decrypted = 0
         self.decrypt_failures = 0
+        #: Shared tracer, attached by Deployment.enable_tracing().
+        self.tracer: Optional[Tracer] = None
 
     @property
     def public_key(self):
@@ -130,12 +133,17 @@ class Client:
         whose utime advanced since the previous ticket trigger a
         Channel List refresh from the Channel Policy Manager.
         """
+        with maybe_span(self.tracer, "LOGIN", now=now, kind="op"):
+            return self._login(now)
+
+    def _login(self, now: float) -> UserTicket:
         route = self._redirection.lookup(self.email)
         user_manager = self._directory.resolve(route.user_manager.address)
 
-        response1 = user_manager.login1(
-            Login1Request(email=self.email, client_public_key=self.public_key), now
-        )
+        with maybe_span(self.tracer, "LOGIN1", now=now, kind="round"):
+            response1 = user_manager.login1(
+                Login1Request(email=self.email, client_public_key=self.public_key), now
+            )
         blob_key = SymmetricKey(material=self._shp[:16])
         plain = blob_key.decrypt(
             response1.encrypted_blob, nonce=response1.blob_nonce, aad=b"login1"
@@ -151,19 +159,20 @@ class Client:
 
         checksum = params.compute(self.image)
         payload = nonce + checksum + self.version.encode("utf-8")
-        response2 = user_manager.login2(
-            Login2Request(
-                email=self.email,
-                client_public_key=self.public_key,
-                token=response1.token,
-                nonce=nonce,
-                checksum=checksum,
-                version=self.version,
-                signature=self._key.sign(payload),
-            ),
-            observed_addr=self.net_addr,
-            now=now,
-        )
+        with maybe_span(self.tracer, "LOGIN2", now=now, kind="round"):
+            response2 = user_manager.login2(
+                Login2Request(
+                    email=self.email,
+                    client_public_key=self.public_key,
+                    token=response1.token,
+                    nonce=nonce,
+                    checksum=checksum,
+                    version=self.version,
+                    signature=self._key.sign(payload),
+                ),
+                observed_addr=self.net_addr,
+                now=now,
+            )
         ticket = response2.ticket
         ticket.verify(route.user_manager.public_key, now)
 
@@ -248,6 +257,12 @@ class Client:
 
     def switch_channel(self, channel_id: str, now: float) -> Switch2Response:
         """Run SWITCH1 + SWITCH2 for a fresh Channel Ticket."""
+        with maybe_span(
+            self.tracer, "SWITCH", now=now, kind="op", channel=channel_id
+        ):
+            return self._switch_channel(channel_id, now)
+
+    def _switch_channel(self, channel_id: str, now: float) -> Switch2Response:
         if self.user_ticket is None:
             raise ProtocolError("not logged in")
         record = self.channel_list.get(channel_id)
@@ -255,25 +270,31 @@ class Client:
             raise ProtocolError(f"channel {channel_id!r} not in my channel list")
         channel_manager = self._directory.resolve(record.channel_manager_addr)
 
-        response1 = channel_manager.switch1(
-            Switch1Request(user_ticket=self.user_ticket, channel_id=channel_id), now
-        )
+        with maybe_span(self.tracer, "SWITCH1", now=now, kind="round"):
+            response1 = channel_manager.switch1(
+                Switch1Request(user_ticket=self.user_ticket, channel_id=channel_id), now
+            )
         signature = answer_challenge(response1.token, self._key)
-        response2 = channel_manager.switch2(
-            Switch2Request(
-                user_ticket=self.user_ticket,
-                token=response1.token,
-                signature=signature,
-                channel_id=channel_id,
-            ),
-            observed_addr=self.net_addr,
-            now=now,
-        )
+        with maybe_span(self.tracer, "SWITCH2", now=now, kind="round"):
+            response2 = channel_manager.switch2(
+                Switch2Request(
+                    user_ticket=self.user_ticket,
+                    token=response1.token,
+                    signature=signature,
+                    channel_id=channel_id,
+                ),
+                observed_addr=self.net_addr,
+                now=now,
+            )
         self._adopt_channel_ticket(response2.ticket, reset_state=True)
         return response2
 
     def renew_channel_ticket(self, now: float) -> Switch2Response:
         """Renew the current Channel Ticket (Section IV-D)."""
+        with maybe_span(self.tracer, "RENEWAL", now=now, kind="op"):
+            return self._renew_channel_ticket(now)
+
+    def _renew_channel_ticket(self, now: float) -> Switch2Response:
         if self.user_ticket is None or self.channel_ticket is None:
             raise ProtocolError("nothing to renew")
         record = self.channel_list.get(self.channel_ticket.channel_id)
@@ -281,23 +302,25 @@ class Client:
             raise ProtocolError("channel no longer in my channel list")
         channel_manager = self._directory.resolve(record.channel_manager_addr)
 
-        response1 = channel_manager.switch1(
-            Switch1Request(
-                user_ticket=self.user_ticket, expiring_ticket=self.channel_ticket
-            ),
-            now,
-        )
+        with maybe_span(self.tracer, "RENEW1", now=now, kind="round"):
+            response1 = channel_manager.switch1(
+                Switch1Request(
+                    user_ticket=self.user_ticket, expiring_ticket=self.channel_ticket
+                ),
+                now,
+            )
         signature = answer_challenge(response1.token, self._key)
-        response2 = channel_manager.switch2(
-            Switch2Request(
-                user_ticket=self.user_ticket,
-                token=response1.token,
-                signature=signature,
-                expiring_ticket=self.channel_ticket,
-            ),
-            observed_addr=self.net_addr,
-            now=now,
-        )
+        with maybe_span(self.tracer, "RENEW2", now=now, kind="round"):
+            response2 = channel_manager.switch2(
+                Switch2Request(
+                    user_ticket=self.user_ticket,
+                    token=response1.token,
+                    signature=signature,
+                    expiring_ticket=self.channel_ticket,
+                ),
+                observed_addr=self.net_addr,
+                now=now,
+            )
         self._adopt_channel_ticket(response2.ticket, reset_state=False)
         return response2
 
@@ -318,6 +341,10 @@ class Client:
         On accept, decrypts the session key with our private key and
         the bundled content key with the session key (Section IV-E).
         """
+        with maybe_span(self.tracer, "JOIN", now=now, kind="op"):
+            return self._join_peer(peer, now)
+
+    def _join_peer(self, peer, now: float) -> JoinAccept:
         if self.channel_ticket is None:
             raise ProtocolError("no channel ticket to join with")
         result = peer.handle_join(
@@ -360,7 +387,10 @@ class Client:
         link = self.parents.get(parent_id)
         if link is None:
             raise ProtocolError(f"key update from unknown parent {parent_id!r}")
-        if self.key_ring.has(update.serial):
+        # Dedup must compare activation times, not bare serials: after
+        # a serial wraparound the same serial names a *newer* key,
+        # which the ring replaces rather than discards.
+        if self.key_ring.is_duplicate(update.serial, update.activate_at):
             self.key_ring.duplicates_discarded += 1
             return False
         content_key = decrypt_key_from_link(

@@ -21,7 +21,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.stream import SymmetricKey
-from repro.errors import DecryptionError
+from repro.errors import DecryptionError, ProtocolError
 
 SERIAL_MODULUS = 256
 
@@ -95,7 +95,16 @@ class ContentKeySchedule:
             self._generated_through = next_index
 
     def current_key(self, now: float) -> ContentKey:
-        """The key encrypting content at ``now``."""
+        """The key encrypting content at ``now``.
+
+        Raises before ``start_time``: no content exists yet, and
+        silently handing out the not-yet-active serial-0 key would let
+        a pre-start caller decrypt the first minute of the broadcast.
+        """
+        if now < self.start_time:
+            raise ProtocolError(
+                f"key schedule starts at t={self.start_time}, queried at t={now}"
+            )
         index = self._epoch_index(now)
         self._ensure_generated(index)
         return self._keys[index % SERIAL_MODULUS]
@@ -140,16 +149,39 @@ class ContentKeyRing:
         self.duplicates_discarded = 0
 
     def offer(self, content_key: ContentKey) -> bool:
-        """Add a key; False (and counted) if the serial is already held."""
-        if content_key.serial in self._keys:
-            self.duplicates_discarded += 1
-            return False
+        """Add a key; False (and counted) if it is a duplicate.
+
+        Serials wrap at 256, so "same serial" does not mean "same
+        key": a peer stalled for >= 256 epochs still holds the old
+        generation under the incoming serial.  A copy with the same
+        serial and the same ``activate_at`` is a true duplicate
+        (multi-parent delivery); a *later* ``activate_at`` is the next
+        wrap generation and replaces the stale entry.
+        """
+        held = self._keys.get(content_key.serial)
+        if held is not None:
+            if content_key.activate_at <= held.activate_at:
+                self.duplicates_discarded += 1
+                return False
+            # Wraparound replacement: refresh the arrival position so
+            # the revived serial is not the next eviction victim.
+            self._arrival.remove(content_key.serial)
         self._keys[content_key.serial] = content_key
         self._arrival.append(content_key.serial)
         while len(self._arrival) > self.capacity:
             evicted = self._arrival.pop(0)
             self._keys.pop(evicted, None)
         return True
+
+    def is_duplicate(self, serial: int, activate_at: float) -> bool:
+        """Would offering ``(serial, activate_at)`` be discarded?
+
+        The dedup check callers must use instead of :meth:`has`:
+        serial equality alone misclassifies a post-wraparound fresh
+        key as a duplicate.
+        """
+        held = self._keys.get(serial)
+        return held is not None and activate_at <= held.activate_at
 
     def get(self, serial: int) -> ContentKey:
         """The key for a packet's serial byte; raises if unknown."""

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import AccountError
+from repro.trace.span import Tracer, maybe_span
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,10 @@ class RedirectionManager:
         self._explicit: Dict[str, str] = {}
         self._cpm = channel_policy_manager
         self.lookups = 0
+        #: Shared tracer, attached by Deployment.enable_tracing().
+        #: lookup() has no ``now`` argument, so its spans fall back to
+        #: the tracer's clock.
+        self.tracer: Optional[Tracer] = None
 
     def register_domain(self, domain: str, endpoint: ManagerEndpoint) -> None:
         """Add an Authentication Domain's User Manager farm."""
@@ -79,12 +84,13 @@ class RedirectionManager:
 
     def lookup(self, email: str) -> RedirectionResult:
         """The client's bootstrap call: find my User Manager and the CPM."""
-        self.lookups += 1
-        domain = self.domain_for(email)
-        return RedirectionResult(
-            user_manager=self._domains[domain],
-            channel_policy_manager=self._cpm,
-        )
+        with maybe_span(self.tracer, "RM.LOOKUP", kind="server"):
+            self.lookups += 1
+            domain = self.domain_for(email)
+            return RedirectionResult(
+                user_manager=self._domains[domain],
+                channel_policy_manager=self._cpm,
+            )
 
     def domains(self) -> List[str]:
         """Registered domain names, registration order."""

@@ -64,6 +64,7 @@ from repro.errors import (
     ProtocolError,
     SignatureError,
 )
+from repro.trace.span import Tracer, maybe_span
 from repro.util.wire import Decoder, Encoder
 
 _NONCE_LEN = 16
@@ -210,6 +211,8 @@ class UserManager:
         self._store = None
         self._snapshot_every: Optional[int] = None
         self._records_since_snapshot = 0
+        #: Shared tracer, attached by Deployment.enable_tracing().
+        self.tracer: Optional[Tracer] = None
 
     @property
     def public_key(self) -> RsaPublicKey:
@@ -289,6 +292,10 @@ class UserManager:
 
     def login1(self, request: Login1Request, now: float) -> Login1Response:
         """Handle the first login round."""
+        with maybe_span(self.tracer, "UM.LOGIN1", now=now, kind="server"):
+            return self._login1(request, now)
+
+    def _login1(self, request: Login1Request, now: float) -> Login1Response:
         record = self._users_by_email.get(request.email)
         if record is None:
             raise AccountError(f"unknown user: {request.email}")
@@ -341,6 +348,12 @@ class UserManager:
         self, request: Login2Request, observed_addr: str, now: float
     ) -> Login2Response:
         """Handle the second login round and issue the User Ticket."""
+        with maybe_span(self.tracer, "UM.LOGIN2", now=now, kind="server"):
+            return self._login2(request, observed_addr, now)
+
+    def _login2(
+        self, request: Login2Request, observed_addr: str, now: float
+    ) -> Login2Response:
         record = self._users_by_email.get(request.email)
         if record is None:
             raise AccountError(f"unknown user: {request.email}")

@@ -42,8 +42,11 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import generate_keypair
 from repro.errors import ReproError
 from repro.geo.database import GeoDatabase
+from repro.metrics.hotpath import counters as hotpath_counters
+from repro.metrics.registry import MetricsRegistry
 from repro.p2p.overlay import ChannelOverlay
 from repro.p2p.peer import Peer
+from repro.trace.span import Tracer
 
 #: The client software version every deployment registers by default.
 DEFAULT_CLIENT_VERSION = "4.0.5"
@@ -183,6 +186,13 @@ class Deployment:
         self._client_counter = 0
         self._epg = None
 
+        #: Per-deployment metric registry; counter sources register as
+        #: subsystems come up (durable stores, the tracer).
+        self.metrics = MetricsRegistry()
+        self.metrics.register("hotpath", hotpath_counters)
+        #: Shared tracer, set by :meth:`enable_tracing`.
+        self.tracer: Optional[Tracer] = None
+
     @property
     def epg(self):
         """The provider's Electronic Program Guide (lazily created)."""
@@ -256,6 +266,9 @@ class Deployment:
             source_capacity=self.source_capacity,
             substream_count=self.substream_count,
         )
+        if self.tracer is not None:
+            server.tracer = self.tracer
+            overlay.source.tracer = self.tracer
         self.servers[channel_id] = server
         self.overlays[channel_id] = overlay
 
@@ -331,6 +344,8 @@ class Deployment:
         manager.set_peer_list_provider(self._peer_list_provider)
         self.directory.register(f"cm://{name}", manager)
         self.channel_managers[name] = manager
+        if self.tracer is not None:
+            manager.tracer = self.tracer
         if self.stores:
             store = self._make_store(f"cm-{name}")
             if store.has_state():
@@ -404,6 +419,34 @@ class Deployment:
         return self.channel_managers[record.partition]
 
     # ------------------------------------------------------------------
+    # Causal tracing (see repro.trace)
+    # ------------------------------------------------------------------
+
+    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Attach one shared tracer to every protocol component.
+
+        Components created *after* this call (clients, peers, channels,
+        recovered managers) pick the tracer up automatically.  Returns
+        the tracer so callers can pull reports from it.
+        """
+        if tracer is None:
+            tracer = Tracer()
+        self.tracer = tracer
+        self.redirection.tracer = tracer
+        for manager in self.user_managers.values():
+            manager.tracer = tracer
+        for manager in self.channel_managers.values():
+            manager.tracer = tracer
+        for server in self.servers.values():
+            server.tracer = tracer
+        for overlay in self.overlays.values():
+            overlay.source.tracer = tracer
+            for peer in overlay.peers.values():
+                peer.tracer = tracer
+        self.metrics.register("trace", tracer)
+        return tracer
+
+    # ------------------------------------------------------------------
     # Durability and crash recovery (see repro.store, repro.sim.faults)
     # ------------------------------------------------------------------
 
@@ -433,6 +476,7 @@ class Deployment:
             backend = FileBackend(os.path.join(self._store_root, name))
         store = DurableStore(backend)
         self.stores[name] = store
+        self.metrics.register(f"store.{name}", store.stats)
         return store
 
     def enable_durability(
@@ -555,6 +599,8 @@ class Deployment:
         self._wire_channel_manager_listeners(partition, manager)
         manager.set_peer_list_provider(self._peer_list_provider)
         self.directory.register(f"cm://{partition}", manager)
+        if self.tracer is not None:
+            manager.tracer = self.tracer
         return manager
 
     def crash_user_manager(self, domain: str) -> UserManager:
@@ -598,6 +644,8 @@ class Deployment:
         self.user_managers[domain] = manager
         self._wire_user_manager_listeners(domain, manager)
         self.directory.register(f"um://{domain}", manager)
+        if self.tracer is not None:
+            manager.tracer = self.tracer
         return manager
 
     # ------------------------------------------------------------------
@@ -619,7 +667,7 @@ class Deployment:
         if register and not self.accounts.exists(email):
             self.accounts.register(email, password)
         self._client_counter += 1
-        return Client(
+        client = Client(
             email=email,
             password=password,
             version=version or self.client_version,
@@ -630,6 +678,9 @@ class Deployment:
             drbg=self._drbg.fork(f"client-{self._client_counter}-{email}".encode()),
             key_bits=key_bits or self.key_bits,
         )
+        if self.tracer is not None:
+            client.tracer = self.tracer
+        return client
 
     def make_peer(self, client: Client, channel_id: str, capacity: int = 4) -> Peer:
         """Wrap a ticketed client as an overlay peer."""
@@ -637,7 +688,7 @@ class Deployment:
             raise ReproError("client must hold a channel ticket for this channel")
         record = self.policy_manager.get_channel(channel_id)
         region = self.geo.region_of(client.net_addr) or "?"
-        return Peer(
+        peer = Peer(
             peer_id=f"peer-{client.channel_ticket.user_id}",
             client=client,
             channel_id=channel_id,
@@ -646,6 +697,9 @@ class Deployment:
             capacity=capacity,
             region=region,
         )
+        if self.tracer is not None:
+            peer.tracer = self.tracer
+        return peer
 
     def watch(self, client: Client, channel_id: str, now: float, capacity: int = 4) -> Peer:
         """Convenience: switch + join + register in one call.

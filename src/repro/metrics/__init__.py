@@ -8,7 +8,9 @@
   series shaped like the paper's plots;
 * :mod:`repro.metrics.hotpath` -- counters for the ticket pipeline's
   fast paths (CRT signing, the verification cache, compiled policy
-  indexes).
+  indexes);
+* :mod:`repro.metrics.registry` -- one front door over every counter
+  source (hot path, durability stores, links, tracer).
 """
 
 from repro.metrics.stats import (
@@ -19,6 +21,7 @@ from repro.metrics.stats import (
 )
 from repro.metrics.collector import LatencyCollector, HourlyBin
 from repro.metrics.hotpath import HotpathCounters, counters as hotpath_counters
+from repro.metrics.registry import MetricsRegistry, registry
 
 __all__ = [
     "median",
@@ -29,4 +32,6 @@ __all__ = [
     "HourlyBin",
     "HotpathCounters",
     "hotpath_counters",
+    "MetricsRegistry",
+    "registry",
 ]

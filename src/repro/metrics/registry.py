@@ -1,0 +1,78 @@
+"""A unified registry for the repo's scattered counter sources.
+
+The hot-path counters, the durability stores, the reliable links, and
+the tracer each keep their own statistics.  The registry gives them one
+front door: a source registers under a name, ``snapshot()`` resolves
+every source to a flat ``{metric: value}`` mapping, and ``report()``
+renders the whole lot as one table.  Sources stay live -- the registry
+holds references, not copies -- so a snapshot always reflects current
+values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Mapping
+
+from repro.metrics.hotpath import counters as _hotpath_counters
+from repro.metrics.reporting import format_table
+
+
+class MetricsRegistry:
+    """Named metric sources resolved lazily at snapshot time.
+
+    A source may be:
+
+    * a callable returning a mapping (``tracer.snapshot`` style);
+    * an object with a ``snapshot()`` method;
+    * a dataclass instance (fields become metrics);
+    * a plain mapping.
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, Any] = {}
+
+    def register(self, name: str, source: Any) -> None:
+        """Add (or replace) a metric source under ``name``."""
+        self._sources[name] = source
+
+    def unregister(self, name: str) -> None:
+        self._sources.pop(name, None)
+
+    def sources(self) -> Dict[str, Any]:
+        return dict(self._sources)
+
+    @staticmethod
+    def _resolve(source: Any) -> Dict[str, Any]:
+        if dataclasses.is_dataclass(source) and not isinstance(source, type):
+            return dataclasses.asdict(source)
+        if isinstance(source, Mapping):
+            return dict(source)
+        if hasattr(source, "snapshot") and callable(source.snapshot):
+            source = source.snapshot()
+        elif callable(source):
+            source = source()
+        else:
+            raise TypeError(f"cannot resolve metric source: {source!r}")
+        if dataclasses.is_dataclass(source) and not isinstance(source, type):
+            return dataclasses.asdict(source)
+        if isinstance(source, Mapping):
+            return dict(source)
+        raise TypeError(f"metric source resolved to non-mapping: {source!r}")
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Resolve every source to ``{source: {metric: value}}``."""
+        return {name: self._resolve(src) for name, src in sorted(self._sources.items())}
+
+    def report(self) -> str:
+        """One aligned table over every registered source."""
+        rows = []
+        for name, metrics in self.snapshot().items():
+            for metric, value in metrics.items():
+                rows.append((name, metric, value))
+        return format_table(["source", "metric", "value"], rows)
+
+
+#: Process-wide default registry; the hot-path counters are always in.
+registry = MetricsRegistry()
+registry.register("hotpath", _hotpath_counters)

@@ -35,6 +35,7 @@ from repro.crypto.rsa import RsaPublicKey
 from repro.crypto.stream import SymmetricKey
 from repro.errors import AuthorizationError, OverlayError, ReproError
 from repro.p2p.substreams import SubstreamAssignment
+from repro.trace.span import Tracer, maybe_span
 
 
 @dataclass
@@ -96,6 +97,8 @@ class Peer:
         self.joins_rejected = 0
         self.key_updates_sent = 0
         self.packets_forwarded = 0
+        #: Shared tracer, attached by Deployment.enable_tracing().
+        self.tracer: Optional[Tracer] = None
 
     @property
     def address(self) -> str:
@@ -130,6 +133,15 @@ class Peer:
         policies and it does not have access to any other user
         attributes."
         """
+        with maybe_span(
+            self.tracer, "JOIN.serve", now=now, kind="server", peer=self.peer_id
+        ) as span:
+            result = self._handle_join(request, observed_addr, now)
+            if span is not None and isinstance(result, JoinReject):
+                span.annotate("rejected", result.reason)
+            return result
+
+    def _handle_join(self, request: JoinRequest, observed_addr: str, now: float):
         if not self.alive:
             return JoinReject(peer_id=self.peer_id, reason="peer offline")
         ticket = request.channel_ticket
@@ -194,6 +206,16 @@ class Peer:
         to its own children, exactly the A->B->{D,E} cascade of the
         paper's example.
         """
+        with maybe_span(
+            self.tracer, "KEYPUSH", now=now, kind="push",
+            peer=self.peer_id, serial=content_key.serial,
+        ) as span:
+            sent = self._push_key_to_children(content_key, now)
+            if span is not None:
+                span.annotate("sent", sent)
+            return sent
+
+    def _push_key_to_children(self, content_key: ContentKey, now: float) -> int:
         sent = 0
         for link in list(self.children.values()):
             update = KeyUpdate(
@@ -212,11 +234,17 @@ class Peer:
 
     def receive_key_update(self, update: KeyUpdate, parent: "Peer", now: float) -> int:
         """Decrypt a pushed key; if new, cascade to our children."""
-        fresh = self.client.receive_key_update(update, parent_id=parent.peer_id)
-        if not fresh:
-            return 0
-        content_key = self.client.key_ring.get(update.serial)
-        return self.push_key_to_children(content_key, now)
+        with maybe_span(
+            self.tracer, "KEYPUSH.recv", now=now, kind="push",
+            peer=self.peer_id, serial=update.serial,
+        ) as span:
+            fresh = self.client.receive_key_update(update, parent_id=parent.peer_id)
+            if not fresh:
+                if span is not None:
+                    span.annotate("duplicate", True)
+                return 0
+            content_key = self.client.key_ring.get(update.serial)
+            return self._push_key_to_children(content_key, now)
 
     # ------------------------------------------------------------------
     # Content forwarding

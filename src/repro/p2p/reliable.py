@@ -22,9 +22,17 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.protocol import KeyUpdate
 from repro.sim.engine import Simulator
+from repro.trace.span import Span, Tracer
 
 #: Delivery callback on the receiving side.
 DeliveryHandler = Callable[[KeyUpdate], None]
+
+#: How long after a key's activation its dedup marker is kept.  A
+#: duplicate older than this is unreachable in practice: the sender
+#: abandons retransmission shortly after activation, and the epoch
+#: clock has moved several keys onward.  Sized to several epochs so
+#: even pathologically delayed copies are still caught.
+DEDUP_GRACE = 600.0
 
 
 @dataclass
@@ -71,6 +79,7 @@ class ReliableKeySender:
         receiver: "ReliableKeyReceiver",
         retransmit_interval: float = 0.5,
         max_attempts: int = 12,
+        grace: float = DEDUP_GRACE,
     ) -> None:
         if retransmit_interval <= 0:
             raise ValueError("retransmit interval must be positive")
@@ -78,11 +87,28 @@ class ReliableKeySender:
         self.receiver = receiver
         self.retransmit_interval = retransmit_interval
         self.max_attempts = max_attempts
+        self.grace = grace
         self.stats = LinkStats()
-        self._acked: set = set()
+        #: Acked markers -> activate_at, insertion-ordered so pruning
+        #: pops from the front (keys are sent in activation order).
+        self._acked: "Dict[Tuple[int, float], float]" = {}
+        self.tracer: Optional[Tracer] = None
+        self._spans: "Dict[Tuple[int, float], Span]" = {}
+
+    @property
+    def dedup_markers(self) -> int:
+        """Markers currently held for dedup; bounded by the grace window."""
+        return len(self._acked)
 
     def send(self, update: KeyUpdate) -> None:
         """Push one key update reliably."""
+        if self.tracer is not None:
+            marker = (update.serial, update.activate_at)
+            span = self.tracer.start_span(
+                "KEYPUSH.reliable", now=self.link.sim.now, kind="link"
+            )
+            span.annotate("serial", update.serial)
+            self._spans[marker] = span
         self._attempt(update, attempt=1)
 
     def _attempt(self, update: KeyUpdate, attempt: int) -> None:
@@ -94,33 +120,82 @@ class ReliableKeySender:
         ):
             # A newer key has superseded this one; stop trying.
             self.stats.abandoned += 1
+            self._finish_span(marker, abandoned=True)
             return
         self.stats.sent += 1
         if attempt > 1:
             self.stats.retransmissions += 1
+        span = self._spans.get(marker)
+        if span is not None:
+            span.annotate("attempts", attempt)
+            span.network_time += self.link.one_way_delay
         self.link.transmit(lambda: self._delivered(update))
         self.link.sim.schedule(
             self.retransmit_interval, lambda sim: self._attempt(update, attempt + 1)
         )
 
     def _delivered(self, update: KeyUpdate) -> None:
-        ack_marker = self.receiver.receive(update)
+        span = self._spans.get((update.serial, update.activate_at))
+        if self.tracer is not None and span is not None:
+            # Reinstate the link span's context so whatever the
+            # receiver's on_key handler does (decrypt, cascade to its
+            # own children) nests under this delivery.
+            with self.tracer.using(span.context):
+                ack_marker = self.receiver.receive(update)
+        else:
+            ack_marker = self.receiver.receive(update)
         # The ACK travels back over the same lossy path.
         self.link.transmit(lambda: self._acknowledge(ack_marker))
 
     def _acknowledge(self, marker: Tuple[int, float]) -> None:
         if marker not in self._acked:
-            self._acked.add(marker)
+            self._acked[marker] = marker[1]
             self.stats.acked += 1
+            self._finish_span(marker, abandoned=False)
+            self._prune(self.link.sim.now)
+
+    def _finish_span(self, marker: Tuple[int, float], abandoned: bool) -> None:
+        span = self._spans.pop(marker, None)
+        if span is not None and self.tracer is not None:
+            if abandoned:
+                span.annotate("abandoned", True)
+            self.tracer.finish(span, now=self.link.sim.now)
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.grace
+        while self._acked:
+            oldest = next(iter(self._acked))
+            if self._acked[oldest] >= cutoff:
+                break
+            del self._acked[oldest]
 
 
 class ReliableKeyReceiver:
-    """Child-side receiver: dedup by serial, hand fresh keys upward."""
+    """Child-side receiver: dedup by serial, hand fresh keys upward.
 
-    def __init__(self, on_key: DeliveryHandler) -> None:
+    ``clock`` (when available) drives pruning of the dedup markers;
+    without one, the incoming update's ``activate_at`` stands in for
+    the current time -- activations are monotone, so either way
+    markers older than the grace window are dropped instead of
+    accumulating one per epoch forever.
+    """
+
+    def __init__(
+        self,
+        on_key: DeliveryHandler,
+        clock: Optional[Callable[[], float]] = None,
+        grace: float = DEDUP_GRACE,
+    ) -> None:
         self._on_key = on_key
-        self._seen: set = set()
+        self.clock = clock
+        self.grace = grace
+        self._seen: "Dict[Tuple[int, float], float]" = {}
         self.stats = LinkStats()
+
+    @property
+    def dedup_markers(self) -> int:
+        """Markers currently held for dedup; bounded by the grace window."""
+        return len(self._seen)
 
     def receive(self, update: KeyUpdate) -> Tuple[int, float]:
         """Process one (possibly duplicate) delivery; returns the ACK
@@ -129,8 +204,15 @@ class ReliableKeyReceiver:
         marker = (update.serial, update.activate_at)
         self.stats.delivered += 1
         if marker not in self._seen:
-            self._seen.add(marker)
+            self._seen[marker] = update.activate_at
             self._on_key(update)
+        now = self.clock() if self.clock is not None else update.activate_at
+        cutoff = now - self.grace
+        while self._seen:
+            oldest = next(iter(self._seen))
+            if self._seen[oldest] >= cutoff:
+                break
+            del self._seen[oldest]
         return marker
 
 
@@ -141,9 +223,10 @@ def reliable_link_pair(
     one_way_delay: float = 0.03,
     loss_probability: float = 0.1,
     retransmit_interval: float = 0.5,
+    grace: float = DEDUP_GRACE,
 ) -> Tuple[ReliableKeySender, ReliableKeyReceiver]:
     """Convenience constructor for one parent->child reliable channel."""
-    receiver = ReliableKeyReceiver(on_key)
+    receiver = ReliableKeyReceiver(on_key, clock=lambda: sim.now, grace=grace)
     link = LossyLink(sim, rng, one_way_delay, loss_probability)
-    sender = ReliableKeySender(link, receiver, retransmit_interval)
+    sender = ReliableKeySender(link, receiver, retransmit_interval, grace=grace)
     return sender, receiver

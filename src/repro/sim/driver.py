@@ -37,6 +37,7 @@ from repro.crypto.rsa import generate_keypair
 from repro.crypto.stream import SymmetricKey
 from repro.metrics.collector import LatencyCollector
 from repro.sim.rpc import RpcService, VirtualNetwork
+from repro.trace.span import Span, Tracer
 from repro.util.wire import Decoder
 
 
@@ -108,6 +109,7 @@ class AsyncClient:
         drbg: HmacDrbg,
         collector: Optional[LatencyCollector] = None,
         key_bits: int = 512,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._network = network
         self.email = email
@@ -118,6 +120,7 @@ class AsyncClient:
         self.region = region
         self._key = generate_keypair(drbg.fork(b"async-client-key"), bits=key_bits)
         self.collector = collector or LatencyCollector()
+        self.tracer = tracer
         self.user_ticket = None
         self.channel_ticket = None
         self.peers = ()
@@ -126,6 +129,33 @@ class AsyncClient:
     @property
     def public_key(self):
         return self._key.public_key
+
+    # ------------------------------------------------------------------
+    # Tracing helpers: spans across async hops are parented explicitly
+    # (the callback chain has no ambient stack to inherit from).
+    # ------------------------------------------------------------------
+
+    def _open_span(self, name: str, kind: str, parent=None) -> Optional[Span]:
+        if self.tracer is None:
+            return None
+        span = self.tracer.start_span(
+            name, now=self._network.sim.now, parent=parent, kind=kind
+        )
+        span.annotate("client", self.email)
+        return span
+
+    def _close_span(
+        self, span: Optional[Span], error: Optional[Exception] = None
+    ) -> None:
+        if span is None:
+            return
+        if error is not None:
+            span.annotate("error", type(error).__name__)
+        self.tracer.finish(span, now=self._network.sim.now)
+
+    @staticmethod
+    def _ctx(span: Optional[Span]):
+        return span.context if span is not None else None
 
     def _charge_compute(self, fn: Callable[[], None], then: Callable[[], None]) -> None:
         """Run client-side work now; advance virtual time by its cost."""
@@ -147,14 +177,19 @@ class AsyncClient:
         """Begin the login flow; callbacks fire in virtual time."""
         sim = self._network.sim
         sent_at = sim.now
+        op = self._open_span("LOGIN", kind="op")
+        spans = {"round": self._open_span("LOGIN1", kind="round", parent=self._ctx(op))}
 
         def fail(exc: Exception) -> None:
+            self._close_span(spans["round"], error=exc)
+            self._close_span(op, error=exc)
             self.errors.append(exc)
             if on_fail is not None:
                 on_fail(exc)
 
         def handle_login1(response: Login1Response) -> None:
             self.collector.record("LOGIN1", sent_at, sim.now - sent_at)
+            self._close_span(spans["round"])
             state = {}
 
             def compute() -> None:
@@ -182,9 +217,14 @@ class AsyncClient:
 
             def send_round2() -> None:
                 sent2_at = sim.now
+                spans["round"] = self._open_span(
+                    "LOGIN2", kind="round", parent=self._ctx(op)
+                )
 
                 def handle_login2(response2: Login2Response) -> None:
                     self.collector.record("LOGIN2", sent2_at, sim.now - sent2_at)
+                    self._close_span(spans["round"])
+                    self._close_span(op)
                     self.user_ticket = response2.ticket
                     on_done()
 
@@ -196,6 +236,7 @@ class AsyncClient:
                     payload=state["request"],
                     on_reply=handle_login2,
                     on_error=fail,
+                    trace=self._ctx(spans["round"]),
                 )
 
             self._charge_compute(compute, send_round2)
@@ -208,6 +249,7 @@ class AsyncClient:
             payload=Login1Request(email=self.email, client_public_key=self.public_key),
             on_reply=handle_login1,
             on_error=fail,
+            trace=self._ctx(spans["round"]),
         )
 
     # ------------------------------------------------------------------
@@ -222,18 +264,81 @@ class AsyncClient:
         on_fail: Optional[Callable[[Exception], None]] = None,
     ) -> None:
         """Begin the switch flow for ``channel_id``."""
-        sim = self._network.sim
         if self.user_ticket is None:
             raise RuntimeError("login first")
+        self._start_switch_rounds(
+            cm_address,
+            op_name="SWITCH",
+            round_names=("SWITCH1", "SWITCH2"),
+            request1=Switch1Request(
+                user_ticket=self.user_ticket, channel_id=channel_id
+            ),
+            request2_builder=lambda token, signature: Switch2Request(
+                user_ticket=self.user_ticket,
+                token=token,
+                signature=signature,
+                channel_id=channel_id,
+            ),
+            on_done=on_done,
+            on_fail=on_fail,
+        )
+
+    def start_renewal(
+        self,
+        cm_address: str,
+        on_done: Callable[[Switch2Response], None],
+        on_fail: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Begin renewal of the held Channel Ticket (Section IV-D)."""
+        if self.user_ticket is None or self.channel_ticket is None:
+            raise RuntimeError("switch first")
+        expiring = self.channel_ticket
+        self._start_switch_rounds(
+            cm_address,
+            op_name="RENEWAL",
+            round_names=("RENEW1", "RENEW2"),
+            request1=Switch1Request(
+                user_ticket=self.user_ticket, expiring_ticket=expiring
+            ),
+            request2_builder=lambda token, signature: Switch2Request(
+                user_ticket=self.user_ticket,
+                token=token,
+                signature=signature,
+                expiring_ticket=expiring,
+            ),
+            on_done=on_done,
+            on_fail=on_fail,
+        )
+
+    def _start_switch_rounds(
+        self,
+        cm_address: str,
+        op_name: str,
+        round_names,
+        request1: Switch1Request,
+        request2_builder,
+        on_done: Callable[[Switch2Response], None],
+        on_fail: Optional[Callable[[Exception], None]],
+    ) -> None:
+        """The shared SWITCH1+SWITCH2 exchange (fresh issue or renewal)."""
+        sim = self._network.sim
         sent_at = sim.now
+        round1_name, round2_name = round_names
+        op = self._open_span(op_name, kind="op")
+        spans = {
+            "round": self._open_span(round1_name, kind="round", parent=self._ctx(op))
+        }
 
         def fail(exc: Exception) -> None:
+            self._close_span(spans["round"], error=exc)
+            self._close_span(op, error=exc)
             self.errors.append(exc)
             if on_fail is not None:
                 on_fail(exc)
 
         def handle_switch1(response1) -> None:
-            self.collector.record("SWITCH1", sent_at, sim.now - sent_at)
+            self.collector.record(round1_name, sent_at, sim.now - sent_at)
+            self._close_span(spans["round"])
             state = {}
 
             def compute() -> None:
@@ -241,9 +346,14 @@ class AsyncClient:
 
             def send_round2() -> None:
                 sent2_at = sim.now
+                spans["round"] = self._open_span(
+                    round2_name, kind="round", parent=self._ctx(op)
+                )
 
                 def handle_switch2(response2: Switch2Response) -> None:
-                    self.collector.record("SWITCH2", sent2_at, sim.now - sent2_at)
+                    self.collector.record(round2_name, sent2_at, sim.now - sent2_at)
+                    self._close_span(spans["round"])
+                    self._close_span(op)
                     self.channel_ticket = response2.ticket
                     self.peers = response2.peers
                     on_done(response2)
@@ -253,14 +363,10 @@ class AsyncClient:
                     caller_region=self.region,
                     dst_address=cm_address,
                     method="switch2",
-                    payload=Switch2Request(
-                        user_ticket=self.user_ticket,
-                        token=response1.token,
-                        signature=state["signature"],
-                        channel_id=channel_id,
-                    ),
+                    payload=request2_builder(response1.token, state["signature"]),
                     on_reply=handle_switch2,
                     on_error=fail,
+                    trace=self._ctx(spans["round"]),
                 )
 
             self._charge_compute(compute, send_round2)
@@ -270,9 +376,10 @@ class AsyncClient:
             caller_region=self.region,
             dst_address=cm_address,
             method="switch1",
-            payload=Switch1Request(user_ticket=self.user_ticket, channel_id=channel_id),
+            payload=request1,
             on_reply=handle_switch1,
             on_error=fail,
+            trace=self._ctx(spans["round"]),
         )
 
     # ------------------------------------------------------------------
@@ -293,7 +400,12 @@ class AsyncClient:
         from repro.core.protocol import JoinReject, JoinRequest
         from repro.errors import CapacityError
 
+        op = self._open_span("JOIN", kind="op")
+        spans = {"round": self._open_span("JOIN1", kind="round", parent=self._ctx(op))}
+
         def fail(exc: Exception) -> None:
+            self._close_span(spans["round"], error=exc)
+            self._close_span(op, error=exc)
             self.errors.append(exc)
             if on_fail is not None:
                 on_fail(exc)
@@ -303,6 +415,7 @@ class AsyncClient:
             if isinstance(result, JoinReject):
                 fail(CapacityError(result.reason))
                 return
+            self._close_span(spans["round"])
             # Decrypt the session key (client compute), then done.
             state = {}
 
@@ -311,7 +424,11 @@ class AsyncClient:
                     material=self._key.decrypt(result.encrypted_session_key)
                 )
 
-            self._charge_compute(compute, lambda: on_done(result))
+            def finish() -> None:
+                self._close_span(op)
+                on_done(result)
+
+            self._charge_compute(compute, finish)
 
         self._network.call(
             caller_address=self.net_addr,
@@ -321,4 +438,5 @@ class AsyncClient:
             payload=JoinRequest(channel_ticket=self.channel_ticket),
             on_reply=handle_join,
             on_error=fail,
+            trace=self._ctx(spans["round"]),
         )

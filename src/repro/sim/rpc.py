@@ -33,6 +33,7 @@ from repro.errors import SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.network import LatencyModel
 from repro.sim.station import ServiceStation
+from repro.trace.span import Span, TraceContext, Tracer
 
 ReplyCallback = Callable[[Any], None]
 ErrorCallback = Callable[[Exception], None]
@@ -44,6 +45,9 @@ class RequestContext:
 
     caller_address: str
     now: float
+    #: The RPC span's identity, when the network is traced: handlers
+    #: that open spans against the shared tracer nest under it.
+    trace: Optional[TraceContext] = None
 
 
 Handler = Callable[[Any, RequestContext], Any]
@@ -119,6 +123,9 @@ class VirtualNetwork:
         self.messages_sent = 0
         self.messages_lost = 0
         self.messages_dropped_down = 0
+        #: When set, every call records one ``rpc:<method>`` span with
+        #: its network/queue/service time split (see repro.trace).
+        self.tracer: Optional[Tracer] = None
 
     def attach(self, service: RpcService) -> None:
         """Make a service reachable.
@@ -185,31 +192,58 @@ class VirtualNetwork:
         on_error: Optional[ErrorCallback] = None,
         timeout: Optional[float] = None,
         on_timeout: Optional[Callable[[], None]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """Send a request; exactly one of the callbacks eventually fires
         (or ``on_timeout``, if the request or reply is lost and a
-        timeout was set)."""
+        timeout was set).
+
+        ``trace`` parents this call's RPC span explicitly (for callers
+        resuming across async hops); without it the tracer's ambient
+        context, if any, is used.
+        """
         service = self.service(dst_address)
         self.messages_sent += 1
-        timed_out = {"flag": False, "delivered": False}
+        tracer = self.tracer
+        rpc_span: Optional[Span] = None
+        if tracer is not None:
+            parent = trace if trace is not None else tracer.current
+            rpc_span = tracer.start_span(
+                f"rpc:{method}", now=self.sim.now, parent=parent, kind="rpc"
+            )
+            rpc_span.annotate("dst", dst_address)
+
+        def drop_span(reason: str, now: float) -> None:
+            if rpc_span is not None:
+                rpc_span.annotate("dropped", reason)
+                tracer.finish(rpc_span, now=now)
+
+        timed_out = {"flag": False, "delivered": False, "event": None}
         if timeout is not None:
 
             def fire_timeout(sim: Simulator) -> None:
                 if not timed_out["delivered"]:
                     timed_out["flag"] = True
+                    if rpc_span is not None:
+                        rpc_span.annotate("timed_out", True)
+                        tracer.finish(rpc_span, now=sim.now)
                     if on_timeout is not None:
                         on_timeout()
 
-            self.sim.schedule(timeout, fire_timeout)
+            timed_out["event"] = self.sim.schedule(timeout, fire_timeout)
 
         if self._lost():
             self.messages_lost += 1
+            drop_span("request-lost", self.sim.now)
             return  # request vanished; only the timeout can save the caller
         if service.down:
             self.messages_dropped_down += 1
+            drop_span("dst-down", self.sim.now)
             return  # connection refused by a dead process; timeout applies
 
         request_owd = self._one_way(caller_region, service.region)
+        if rpc_span is not None:
+            rpc_span.network_time += request_owd
 
         def deliver(sim: Simulator) -> None:
             def run_handler(sim2: Simulator) -> None:
@@ -217,22 +251,39 @@ class VirtualNetwork:
                     # The process died while the request was in flight
                     # (or queued): the request dies with it.
                     self.messages_dropped_down += 1
+                    drop_span("died-with-request", sim2.now)
                     return
                 service.requests_served += 1
-                ctx = RequestContext(caller_address=caller_address, now=sim2.now)
+                ctx = RequestContext(
+                    caller_address=caller_address,
+                    now=sim2.now,
+                    trace=rpc_span.context if rpc_span is not None else None,
+                )
+                if rpc_span is not None:
+                    tracer.push(rpc_span.context)
                 try:
                     response = service.handler_for(method)(payload, ctx)
                 except Exception as exc:  # denials travel back as errors
+                    if rpc_span is not None:
+                        rpc_span.annotate("error", type(exc).__name__)
                     self._send_reply(sim2, service, caller_region, exc, None,
-                                     on_reply, on_error, timed_out)
+                                     on_reply, on_error, timed_out, rpc_span)
                     return
+                finally:
+                    if rpc_span is not None:
+                        tracer.pop()
                 self._send_reply(sim2, service, caller_region, None, response,
-                                 on_reply, on_error, timed_out)
+                                 on_reply, on_error, timed_out, rpc_span)
 
             if service.station is not None:
-                service.station.submit(
-                    on_complete=lambda sim2, _sojourn: run_handler(sim2)
-                )
+
+                def queued_done(sim2: Simulator, _sojourn: float) -> None:
+                    if rpc_span is not None:
+                        rpc_span.queue_time += service.station.last_wait
+                        rpc_span.service_time += service.station.last_service
+                    run_handler(sim2)
+
+                service.station.submit(on_complete=queued_done)
             else:
                 run_handler(sim)
 
@@ -248,17 +299,29 @@ class VirtualNetwork:
         on_reply: ReplyCallback,
         on_error: Optional[ErrorCallback],
         timed_out: dict,
+        rpc_span: Optional[Span] = None,
     ) -> None:
+        tracer = self.tracer
+
+        def drop_span(reason: str, now: float) -> None:
+            if rpc_span is not None:
+                rpc_span.annotate("dropped", reason)
+                tracer.finish(rpc_span, now=now)
+
         if self._lost():
             self.messages_lost += 1
+            drop_span("reply-lost", sim.now)
             return
         if service.down:
             # Crashed after computing but before the reply hit the
             # wire: the WAL made the mutation durable, the reply is
             # gone -- exactly the ambiguity recovery must tolerate.
             self.messages_dropped_down += 1
+            drop_span("died-before-reply", sim.now)
             return
         reply_owd = self._one_way(caller_region, service.region)
+        if rpc_span is not None:
+            rpc_span.network_time += reply_owd
 
         def deliver_reply(sim2: Simulator) -> None:
             if service.down:
@@ -266,10 +329,20 @@ class VirtualNetwork:
                 # path: the handler's mutation is durable, the caller
                 # never hears -- the ambiguity recovery must tolerate.
                 self.messages_dropped_down += 1
+                drop_span("died-with-reply", sim2.now)
                 return
             if timed_out["flag"]:
+                if rpc_span is not None:
+                    rpc_span.annotate("late", True)
                 return  # caller gave up already
             timed_out["delivered"] = True
+            if timed_out["event"] is not None:
+                # Successful delivery: cancel the pending timeout so it
+                # neither bloats the engine heap nor drags the clock
+                # forward to the timeout horizon.
+                timed_out["event"].cancel()
+            if rpc_span is not None:
+                tracer.finish(rpc_span, now=sim2.now)
             if error is not None:
                 if on_error is not None:
                     on_error(error)

@@ -94,6 +94,13 @@ class ServiceStation:
         self.stats = ServiceStats()
         self.sojourn_samples: List[Tuple[float, float]] = []
         self.record_samples = True
+        #: Queue-wait and service-time split of the request whose
+        #: completion callback is currently firing.  The RPC layer
+        #: reads these inside ``on_complete`` to attribute time to the
+        #: in-flight trace span (valid because the engine is
+        #: single-threaded and callbacks run to completion).
+        self.last_wait = 0.0
+        self.last_service = 0.0
 
     def sample_service_time(self) -> float:
         """Draw one service time; exponential by default.
@@ -144,6 +151,8 @@ class ServiceStation:
             self.stats.total_sojourn += sojourn
             if self.record_samples:
                 self.sojourn_samples.append((request.arrival_time, sojourn))
+            self.last_service = request.service_time
+            self.last_wait = max(0.0, sojourn - request.service_time)
             if request.on_complete is not None:
                 request.on_complete(sim, sojourn)
             if self._queue:

@@ -1,0 +1,37 @@
+"""Causal tracing with virtual-time clocks.
+
+One trace follows one protocol operation (a LOGIN, a channel SWITCH, a
+renewal, a key-push cascade) across every component it touches --
+client, redirection, manager farms, the RPC fabric, and the p2p
+overlay -- as a tree of spans carrying a queue/service/network time
+split.  See DESIGN.md section 9 for the span taxonomy and propagation
+rules.
+
+* :mod:`repro.trace.span` -- spans, contexts, and the :class:`Tracer`;
+* :mod:`repro.trace.report` -- per-round percentile breakdowns and the
+  causal tree dump behind ``repro trace report``;
+* :mod:`repro.trace.storm` -- the traced channel-switch storm used by
+  the CLI, the tests, and the CI smoke job.
+"""
+
+from repro.trace.span import (
+    Span,
+    TraceContext,
+    TraceError,
+    Tracer,
+    load_spans,
+    maybe_span,
+)
+from repro.trace.report import render_report, render_tree, round_breakdown
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "TraceError",
+    "Tracer",
+    "load_spans",
+    "maybe_span",
+    "render_report",
+    "render_tree",
+    "round_breakdown",
+]

@@ -1,0 +1,174 @@
+"""Replaying a trace buffer into round breakdowns and causal trees.
+
+Two views of the same spans:
+
+* :func:`round_breakdown` groups spans by name and reports count,
+  p50/p95 duration, and the mean queue/service/network split summed
+  over each span's subtree -- the "where does a SWITCH spend its
+  time" table;
+* :func:`render_tree` dumps one trace as an indented causal tree --
+  the "what did this one LOGIN actually do" view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.reporting import format_table
+from repro.metrics.stats import percentile
+from repro.trace.span import Span, TraceError
+
+#: Display order for span kinds: operations first, then rounds, then
+#: the transport and server internals they decompose into.
+_KIND_ORDER = {"op": 0, "round": 1, "push": 2, "rpc": 3, "server": 4, "link": 5}
+
+
+def _children_index(spans: Sequence[Span]) -> Dict[int, List[Span]]:
+    children: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    return children
+
+
+def _subtree_split(
+    span: Span,
+    children: Dict[int, List[Span]],
+    memo: Dict[int, Tuple[float, float, float]],
+) -> Tuple[float, float, float]:
+    """Queue/service/network totals over ``span`` and its descendants."""
+    cached = memo.get(span.span_id)
+    if cached is not None:
+        return cached
+    queue, service, network = span.queue_time, span.service_time, span.network_time
+    for child in children.get(span.span_id, ()):
+        c_queue, c_service, c_network = _subtree_split(child, children, memo)
+        queue += c_queue
+        service += c_service
+        network += c_network
+    memo[span.span_id] = (queue, service, network)
+    return memo[span.span_id]
+
+
+def round_breakdown(spans: Sequence[Span]) -> List[Dict[str, object]]:
+    """Per-span-name statistics, ordered operations-first.
+
+    Durations come from closed spans only; the queue/service/network
+    columns are subtree totals, so an operation row (LOGIN, SWITCH)
+    accounts for everything its rounds and RPCs spent.
+    """
+    children = _children_index(spans)
+    memo: Dict[int, Tuple[float, float, float]] = {}
+    groups: Dict[Tuple[str, str], List[Span]] = {}
+    for span in spans:
+        groups.setdefault((span.kind, span.name), []).append(span)
+
+    rows: List[Dict[str, object]] = []
+    for (kind, name), members in groups.items():
+        durations = [s.duration for s in members if s.duration is not None]
+        splits = [_subtree_split(s, children, memo) for s in members]
+        count = len(members)
+        rows.append(
+            {
+                "name": name,
+                "kind": kind,
+                "count": count,
+                "p50": percentile(durations, 50) if durations else 0.0,
+                "p95": percentile(durations, 95) if durations else 0.0,
+                "avg_queue": sum(s[0] for s in splits) / count,
+                "avg_service": sum(s[1] for s in splits) / count,
+                "avg_network": sum(s[2] for s in splits) / count,
+            }
+        )
+    rows.sort(key=lambda r: (_KIND_ORDER.get(r["kind"], 99), r["name"]))
+    return rows
+
+
+def _ms(value: float) -> str:
+    return f"{value * 1000.0:.1f}"
+
+
+def render_report(spans: Sequence[Span]) -> str:
+    """The per-round table printed by ``repro trace report``."""
+    if not spans:
+        return "(no spans recorded)"
+    rows = round_breakdown(spans)
+    table = format_table(
+        ["span", "kind", "count", "p50 ms", "p95 ms",
+         "queue ms", "service ms", "network ms"],
+        [
+            [
+                row["name"],
+                row["kind"],
+                str(row["count"]),
+                _ms(row["p50"]),
+                _ms(row["p95"]),
+                _ms(row["avg_queue"]),
+                _ms(row["avg_service"]),
+                _ms(row["avg_network"]),
+            ]
+            for row in rows
+        ],
+    )
+    n_traces = len({s.trace_id for s in spans})
+    return f"{len(spans)} spans across {n_traces} traces\n\n{table}"
+
+
+def busiest_trace(spans: Sequence[Span]) -> int:
+    """The trace id with the most spans (ties break toward the oldest)."""
+    if not spans:
+        raise TraceError("no spans to choose a trace from")
+    counts: Dict[int, int] = {}
+    for span in spans:
+        counts[span.trace_id] = counts.get(span.trace_id, 0) + 1
+    return max(sorted(counts), key=lambda tid: counts[tid])
+
+
+def _tree_line(span: Span, depth: int) -> str:
+    duration = span.duration
+    timing = f"{_ms(duration)}ms" if duration is not None else "open"
+    parts = [f"{'  ' * depth}{span.name} [{span.kind}] {timing}"]
+    split = []
+    if span.queue_time:
+        split.append(f"queue={_ms(span.queue_time)}")
+    if span.service_time:
+        split.append(f"svc={_ms(span.service_time)}")
+    if span.network_time:
+        split.append(f"net={_ms(span.network_time)}")
+    if split:
+        parts.append("(" + " ".join(split) + ")")
+    for key, value in span.annotations.items():
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_tree(spans: Sequence[Span], trace_id: Optional[int] = None) -> str:
+    """One trace as an indented causal tree.
+
+    Defaults to the busiest trace.  Spans whose parent was dropped by
+    the tracer's buffer cap surface as extra roots rather than
+    disappearing.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    if trace_id is None:
+        trace_id = busiest_trace(spans)
+    members = [s for s in spans if s.trace_id == trace_id]
+    if not members:
+        raise TraceError(f"no spans for trace {trace_id}")
+    present = {s.span_id for s in members}
+    children = _children_index(members)
+    roots = [s for s in members if s.parent_id is None or s.parent_id not in present]
+
+    lines = [f"trace {trace_id} ({len(members)} spans)"]
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append(_tree_line(span, depth))
+        for child in sorted(
+            children.get(span.span_id, ()), key=lambda s: (s.start, s.span_id)
+        ):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: (s.start, s.span_id)):
+        walk(root, 1)
+    return "\n".join(lines)

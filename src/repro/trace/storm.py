@@ -1,0 +1,152 @@
+"""A traced switch storm: the tracing layer's standard workload.
+
+Drives a small fleet of :class:`~repro.sim.driver.AsyncClient` viewers
+through login -> switch -> ticket renewal over the virtual network while
+a synchronous overlay carries key pushes, all under one shared
+:class:`~repro.trace.span.Tracer` whose clock is the simulator.  The
+result is a span buffer exercising every protocol round the paper
+describes -- the fixture behind ``repro trace storm``, the CI smoke
+test, and the trace-report tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.deployment import Deployment
+from repro.crypto.drbg import HmacDrbg
+from repro.sim.driver import AsyncClient, wire_channel_manager, wire_user_manager
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, RegionRtt
+from repro.sim.rpc import VirtualNetwork
+from repro.sim.station import ServiceStation
+from repro.trace.span import Tracer
+
+UM_ADDR = "rpc://um"
+CM_ADDR = "rpc://cm"
+
+#: Renewal kicks off this long before Channel Ticket expiry.
+RENEW_LEAD = 48.0
+
+
+@dataclass
+class StormResult:
+    """Everything a caller might want to inspect after the storm."""
+
+    tracer: Tracer
+    deployment: Deployment
+    sim: Simulator
+    #: Completed operations by name (LOGIN/SWITCH/RENEWAL/...).
+    counts: Dict[str, int] = field(default_factory=dict)
+    errors: List[Exception] = field(default_factory=list)
+
+
+def run_switch_storm(
+    clients: int = 6,
+    seed: int = 17,
+    channel: str = "storm",
+    horizon: float = 900.0,
+    tracer: Tracer = None,
+) -> StormResult:
+    """Run the traced storm; returns the populated tracer and rig.
+
+    ``horizon`` must stretch past the renewal point (the Channel
+    Ticket lifetime is the deployment default, 900 s) for RENEWAL
+    spans to appear.
+    """
+    deployment = Deployment(seed=seed)
+    deployment.add_free_channel(channel, regions=["CH"])
+    sim = Simulator()
+    if tracer is None:
+        tracer = Tracer(clock=lambda: sim.now)
+    deployment.enable_tracing(tracer)
+
+    rng = random.Random(seed)
+    latency = LatencyModel(
+        random.Random(rng.randrange(2**63)),
+        table={("CH", "dc"): RegionRtt(base_rtt=0.08, sigma=0.01, slow_path_prob=0.0)},
+    )
+    network = VirtualNetwork(sim, latency, random.Random(rng.randrange(2**63)))
+    network.tracer = tracer
+    um_station = ServiceStation(sim, 2, 0.005, random.Random(rng.randrange(2**63)), name="um")
+    cm_station = ServiceStation(sim, 2, 0.005, random.Random(rng.randrange(2**63)), name="cm")
+    wire_user_manager(
+        network, deployment.user_managers["domain-0"], UM_ADDR, station=um_station
+    )
+    wire_channel_manager(
+        network, deployment.channel_manager_for(channel), CM_ADDR, station=cm_station
+    )
+
+    result = StormResult(tracer=tracer, deployment=deployment, sim=sim)
+
+    def bump(name: str):
+        def record(*_args) -> None:
+            result.counts[name] = result.counts.get(name, 0) + 1
+
+        return record
+
+    def on_fail(exc: Exception) -> None:
+        result.errors.append(exc)
+
+    renew_at = deployment.channel_ticket_lifetime - RENEW_LEAD
+    fleet: List[AsyncClient] = []
+    for index in range(clients):
+        email = f"storm{index}@example.org"
+        deployment.accounts.register(email, "pw")
+        viewer = AsyncClient(
+            network=network,
+            email=email,
+            password="pw",
+            version=deployment.client_version,
+            image=deployment.client_image,
+            net_addr=deployment.geo.random_address("CH", deployment.rng),
+            region="CH",
+            drbg=HmacDrbg(email.encode(), b"storm"),
+            tracer=tracer,
+        )
+        fleet.append(viewer)
+
+        def kickoff(sim_, viewer=viewer, index=index):
+            def switched(response) -> None:
+                bump("SWITCH")(response)
+
+            def logged_in() -> None:
+                bump("LOGIN")()
+                viewer.start_switch(CM_ADDR, channel, on_done=switched, on_fail=on_fail)
+
+            viewer.start_login(UM_ADDR, on_done=logged_in, on_fail=on_fail)
+
+        def renew(sim_, viewer=viewer):
+            if viewer.channel_ticket is None:
+                return
+            viewer.start_renewal(CM_ADDR, on_done=bump("RENEWAL"), on_fail=on_fail)
+
+        sim.schedule(0.5 * index, kickoff)
+        if horizon > renew_at:
+            sim.schedule(renew_at + 0.5 * index, renew)
+
+    # A small synchronous overlay alongside the RPC fleet: two viewers
+    # join the tree, then the source ticks push rotating keys down it
+    # (JOIN / KEYPUSH spans with real parent-child cascades).
+    def setup_overlay(sim_) -> None:
+        now = sim_.now
+        for index in range(2):
+            sync_client = deployment.create_client(
+                f"overlay{index}@example.org", "pw", region="CH"
+            )
+            sync_client.login(now=now)
+            deployment.watch(sync_client, channel, now=now)
+            result.counts["JOIN"] = result.counts.get("JOIN", 0) + 1
+
+    sim.schedule(5.0, setup_overlay)
+    source = deployment.overlay(channel).source
+    epoch = deployment.server(channel).schedule.epoch
+    push_at = epoch - 5.0
+    while push_at < min(horizon, 3 * epoch):
+        sim.schedule(push_at, lambda sim_: source.tick(sim_.now))
+        push_at += epoch
+
+    sim.run(until=horizon)
+    return result

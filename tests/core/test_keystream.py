@@ -12,7 +12,7 @@ from repro.core.keystream import (
 )
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.stream import SymmetricKey
-from repro.errors import DecryptionError
+from repro.errors import DecryptionError, ProtocolError
 
 
 def make_schedule(epoch=60.0, lead=10.0, start=0.0):
@@ -75,7 +75,13 @@ class TestSchedule:
         schedule = make_schedule(start=1000.0)
         assert schedule.current_key(1000.0).serial == 0
         assert schedule.current_key(1060.0).serial == 1
-        assert schedule.current_key(0.0).serial == 0  # clamped pre-start
+
+    def test_pre_start_query_raises(self):
+        """Before the broadcast starts there is no current key: handing
+        out the not-yet-active serial-0 key would leak the first epoch."""
+        schedule = make_schedule(start=1000.0)
+        with pytest.raises(ProtocolError):
+            schedule.current_key(999.9)
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
@@ -121,6 +127,65 @@ class TestKeyRing:
     def test_minimum_capacity(self):
         with pytest.raises(ValueError):
             ContentKeyRing(capacity=1)
+
+    def test_wraparound_replaces_stale_serial(self):
+        """Regression: a peer stalled >= 256 epochs holds a stale key
+        under the incoming serial.  The fresh generation (same serial,
+        later activate_at) must replace it, not be discarded as a
+        duplicate forever."""
+        ring = ContentKeyRing()
+        stale = self.key(5)  # activates at 300.0
+        ring.offer(stale)
+        fresh = ContentKey(
+            serial=5,
+            key=SymmetricKey.generate(HmacDrbg(b"next-gen")),
+            activate_at=stale.activate_at + SERIAL_MODULUS * 60.0,
+        )
+        assert ring.offer(fresh)
+        assert ring.duplicates_discarded == 0
+        assert ring.get(5) == fresh
+        # The revived serial moved to the back of the eviction order.
+        assert ring.serials() == [5]
+
+    def test_wraparound_replacement_refreshes_eviction_order(self):
+        ring = ContentKeyRing(capacity=2)
+        ring.offer(self.key(5))
+        ring.offer(self.key(6))
+        fresh = ContentKey(
+            serial=5,
+            key=SymmetricKey.generate(HmacDrbg(b"gen2")),
+            activate_at=5 * 60.0 + SERIAL_MODULUS * 60.0,
+        )
+        ring.offer(fresh)
+        assert ring.serials() == [6, 5]
+        ring.offer(self.key(7))
+        # Serial 6, now oldest, is the eviction victim -- not the
+        # freshly replaced 5.
+        assert not ring.has(6)
+        assert ring.has(5) and ring.has(7)
+
+    def test_stale_copy_after_wraparound_is_duplicate(self):
+        """The mirror case: once the fresh generation is held, a
+        straggling copy of the *old* generation is the duplicate."""
+        ring = ContentKeyRing()
+        fresh = ContentKey(
+            serial=5,
+            key=SymmetricKey.generate(HmacDrbg(b"gen2")),
+            activate_at=5 * 60.0 + SERIAL_MODULUS * 60.0,
+        )
+        ring.offer(fresh)
+        assert not ring.offer(self.key(5))
+        assert ring.duplicates_discarded == 1
+        assert ring.get(5) == fresh
+
+    def test_is_duplicate_matches_offer(self):
+        ring = ContentKeyRing()
+        key = self.key(3)
+        assert not ring.is_duplicate(3, key.activate_at)
+        ring.offer(key)
+        assert ring.is_duplicate(3, key.activate_at)
+        assert ring.is_duplicate(3, key.activate_at - 60.0)
+        assert not ring.is_duplicate(3, key.activate_at + SERIAL_MODULUS * 60.0)
 
 
 @given(st.lists(st.integers(min_value=0, max_value=255), max_size=50))

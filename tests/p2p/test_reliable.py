@@ -124,6 +124,76 @@ class TestReliableDelivery:
             ReliableKeySender(link, receiver, retransmit_interval=0.0)
 
 
+class TestDedupBounded:
+    def test_soak_dedup_state_stays_within_grace_window(self):
+        """Regression: a long-lived link must not accumulate one dedup
+        marker per epoch forever.  Over ~2000 epochs, both ends hold at
+        most a grace window's worth of markers."""
+        sim = Simulator()
+        received = []
+        grace = 120.0
+        epoch = 1.0
+        n_epochs = 2000
+        sender, receiver = reliable_link_pair(
+            sim, random.Random(11), received.append,
+            loss_probability=0.1, retransmit_interval=0.2, grace=grace,
+        )
+        for i in range(n_epochs):
+            update = make_update(serial=i % 256, activate_at=i * epoch + 30.0)
+            sim.schedule(i * epoch, lambda s, u=update: sender.send(u))
+        sim.run()
+        assert len(received) == n_epochs
+        # Bound: one marker per epoch inside the grace window, plus the
+        # 30 s activation lead still waiting to age out.
+        bound = (grace + 30.0) / epoch + 10
+        assert sender.dedup_markers <= bound
+        assert receiver.dedup_markers <= bound
+        # The window is actually used (not pruned to nothing).
+        assert sender.dedup_markers > 0
+        assert receiver.dedup_markers > 0
+
+    def test_wrapped_serial_not_treated_as_duplicate(self):
+        """After serial wraparound, a new key reusing an old serial has
+        a different activate_at and must be delivered."""
+        sim = Simulator()
+        received = []
+        sender, _receiver = reliable_link_pair(
+            sim, random.Random(12), received.append,
+            loss_probability=0.0, grace=1e9,
+        )
+        sender.send(make_update(serial=5, activate_at=60.0))
+        sender.send(make_update(serial=5, activate_at=60.0 + 256 * 60.0))
+        sim.run()
+        assert len(received) == 2
+
+
+class TestTracedSender:
+    def test_reliable_span_records_attempts_and_nesting(self):
+        from repro.trace.span import Tracer
+
+        sim = Simulator()
+        tracer = Tracer(clock=lambda: sim.now)
+        inner = []
+
+        def on_key(update):
+            inner.append(tracer.current)
+
+        sender, _receiver = reliable_link_pair(
+            sim, random.Random(13), on_key, loss_probability=0.0,
+        )
+        sender.tracer = tracer
+        sender.send(make_update(serial=3, activate_at=60.0))
+        sim.run()
+        (span,) = tracer.spans
+        assert span.name == "KEYPUSH.reliable"
+        assert span.annotations["serial"] == 3
+        assert span.annotations["attempts"] == 1
+        assert span.end is not None
+        # Delivery reinstated the link span as ambient context, so the
+        # receiver's handler saw it.
+        assert inner[0] is not None and inner[0].span_id == span.span_id
+
+
 class TestTreeScaleReliability:
     def test_fanout_tree_under_loss(self):
         """A 3-level tree of lossy links: a key pushed at the root

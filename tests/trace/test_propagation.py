@@ -1,0 +1,148 @@
+"""Tests for causal propagation across the virtual-time RPC layer."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, RegionRtt
+from repro.sim.rpc import RpcService, VirtualNetwork
+from repro.sim.station import ServiceStation
+from repro.trace.span import Tracer, maybe_span
+
+RTT = 0.1
+
+
+def make_traced_network(rtt=RTT, loss=0.0):
+    sim = Simulator()
+    latency = LatencyModel(
+        random.Random(1),
+        table={("client", "dc"): RegionRtt(base_rtt=rtt, sigma=0.0001, slow_path_prob=0.0)},
+    )
+    network = VirtualNetwork(sim, latency, random.Random(2), loss_probability=loss)
+    tracer = Tracer(clock=lambda: sim.now)
+    network.tracer = tracer
+    return sim, network, tracer
+
+
+class TestRpcHop:
+    def test_round_rpc_server_linkage(self):
+        """Client round context -> rpc span -> server-side handler span
+        form one causally linked chain across the hop."""
+        sim, network, tracer = make_traced_network()
+
+        class Server:
+            tracer = None
+
+            def handle(self, payload, ctx):
+                with maybe_span(self.tracer, "SRV.handle", now=ctx.now, kind="server"):
+                    return payload * 2
+
+        server = Server()
+        server.tracer = tracer
+        service = RpcService(address="svc://a", region="dc")
+        service.register("dbl", server.handle)
+        network.attach(service)
+
+        round_span = tracer.start_span("ROUND", now=0.0, kind="round")
+        network.call(
+            "c", "client", "svc://a", "dbl", 21,
+            on_reply=lambda r: tracer.finish(round_span),
+            trace=round_span.context,
+        )
+        sim.run()
+
+        by_name = {s.name: s for s in tracer.spans}
+        rpc = by_name["rpc:dbl"]
+        srv = by_name["SRV.handle"]
+        assert rpc.parent_id == round_span.span_id
+        assert srv.parent_id == rpc.span_id
+        assert srv.trace_id == rpc.trace_id == round_span.trace_id
+
+    def test_request_context_carries_trace(self):
+        sim, network, tracer = make_traced_network()
+        seen = []
+        service = RpcService(address="svc://a", region="dc")
+        service.register("probe", lambda payload, ctx: seen.append(ctx.trace))
+        network.attach(service)
+        root = tracer.start_span("root", now=0.0)
+        network.call("c", "client", "svc://a", "probe", None,
+                     on_reply=lambda r: None, trace=root.context)
+        sim.run()
+        assert seen[0] is not None
+        assert seen[0].trace_id == root.trace_id
+
+    def test_network_time_is_both_legs(self):
+        sim, network, tracer = make_traced_network(rtt=0.2)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("noop", lambda p, c: None)
+        network.attach(service)
+        network.call("c", "client", "svc://a", "noop", None, on_reply=lambda r: None)
+        sim.run()
+        (rpc,) = [s for s in tracer.spans if s.kind == "rpc"]
+        assert rpc.network_time == pytest.approx(0.2, rel=0.01)
+        assert rpc.duration == pytest.approx(0.2, rel=0.01)
+
+    def test_untraced_call_records_nothing(self):
+        """With no tracer attached the RPC layer stays silent."""
+        sim, network, tracer = make_traced_network()
+        network.tracer = None
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        network.call("c", "client", "svc://a", "x", 1, on_reply=lambda r: None)
+        sim.run()
+        assert tracer.spans == []
+
+
+class TestQueueAttribution:
+    def test_station_wait_lands_in_queue_time(self):
+        """Three requests at a single slow server: the later rpc spans
+        carry real queue time, the service time matches the station."""
+        sim, network, tracer = make_traced_network(rtt=0.0002)
+        station = ServiceStation(sim, n_servers=1, mean_service_time=1.0,
+                                 rng=random.Random(3))
+        service = RpcService(address="svc://farm", region="dc", station=station)
+        service.register("work", lambda p, c: p)
+        network.attach(service)
+        for i in range(3):
+            network.call("c", "client", "svc://farm", "work", i,
+                         on_reply=lambda r: None)
+        sim.run()
+        rpcs = [s for s in tracer.spans if s.kind == "rpc"]
+        assert len(rpcs) == 3
+        assert all(s.service_time > 0.0 for s in rpcs)
+        # The queue was empty for the first arrival only.
+        assert sum(1 for s in rpcs if s.queue_time > 0.0) == 2
+        for s in rpcs:
+            assert s.duration == pytest.approx(
+                s.queue_time + s.service_time + s.network_time, rel=0.01
+            )
+
+
+class TestDropsAndTimeouts:
+    def test_lost_request_span_closes_with_reason(self):
+        sim, network, tracer = make_traced_network(loss=1.0)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        network.call("c", "client", "svc://a", "x", None,
+                     on_reply=lambda r: None, timeout=1.0, on_timeout=lambda: None)
+        sim.run()
+        (rpc,) = [s for s in tracer.spans if s.kind == "rpc"]
+        assert rpc.end is not None
+        assert rpc.annotations.get("dropped") == "request-lost"
+
+    def test_timeout_event_cancelled_on_delivery(self):
+        """Regression: a delivered reply must cancel its timeout event,
+        not leave it to fire (and advance the clock) at the horizon."""
+        sim, network, tracer = make_traced_network(rtt=0.1)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        network.call("c", "client", "svc://a", "x", 1,
+                     on_reply=lambda r: None,
+                     timeout=10_000.0, on_timeout=lambda: None)
+        sim.run()
+        # Pre-fix the dead timeout event dragged the clock to t=10000.
+        assert sim.now == pytest.approx(0.1, rel=0.01)

@@ -1,0 +1,127 @@
+"""Tests for the span primitives: lifecycle, clocks, persistence."""
+
+import pytest
+
+from repro.trace.span import TraceError, Tracer, load_spans, maybe_span
+
+
+class TestLifecycle:
+    def test_root_span_starts_new_trace(self):
+        tracer = Tracer()
+        a = tracer.start_span("A", now=1.0)
+        b = tracer.start_span("B", now=2.0)
+        assert a.parent_id is None and b.parent_id is None
+        assert a.trace_id != b.trace_id
+
+    def test_stacked_context_parents_inner_spans(self):
+        tracer = Tracer()
+        with tracer.span("outer", now=0.0) as outer:
+            inner = tracer.start_span("inner", now=0.5)
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+
+    def test_explicit_parent_crosses_async_hop(self):
+        tracer = Tracer()
+        op = tracer.start_span("op", now=0.0)
+        # No ambient stack -- the callback chain passes the context.
+        later = tracer.start_span("later", now=5.0, parent=op.context)
+        assert later.parent_id == op.span_id
+
+    def test_explicit_none_forces_new_root_inside_context(self):
+        tracer = Tracer()
+        with tracer.span("outer", now=0.0) as outer:
+            root = tracer.start_span("fresh", now=0.1, parent=None)
+        assert root.parent_id is None
+        assert root.trace_id != outer.trace_id
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start_span("x", now=1.0)
+        tracer.finish(span, now=2.0)
+        tracer.finish(span, now=9.0)
+        assert span.duration == pytest.approx(1.0)
+
+    def test_exception_annotates_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom", now=0.0):
+                raise ValueError("nope")
+        (span,) = tracer.spans
+        assert span.annotations["error"] == "ValueError"
+        assert span.end is not None
+        assert tracer.current is None  # stack unwound
+
+    def test_pop_underflow_raises(self):
+        with pytest.raises(TraceError):
+            Tracer().pop()
+
+
+class TestClock:
+    def test_explicit_now_beats_clock(self):
+        tracer = Tracer(clock=lambda: 99.0)
+        assert tracer.now(3.0) == 3.0
+        assert tracer.now() == 99.0
+
+    def test_no_clock_falls_back_to_zero(self):
+        assert Tracer().now() == 0.0
+
+    def test_clock_drives_span_times(self):
+        ticks = iter([10.0, 12.5])
+        tracer = Tracer(clock=lambda: next(ticks))
+        span = tracer.start_span("timed")
+        tracer.finish(span)
+        assert span.duration == pytest.approx(2.5)
+
+
+class TestBudget:
+    def test_over_budget_spans_dropped_but_still_parent(self):
+        tracer = Tracer(max_spans=1)
+        kept = tracer.start_span("kept", now=0.0)
+        extra = tracer.start_span("extra", now=1.0, parent=kept.context)
+        assert len(tracer.spans) == 1
+        assert tracer.dropped == 1
+        assert extra.trace_id == kept.trace_id  # causality survives
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("op", now=0.0, kind="op", who="alice"):
+            child = tracer.start_span("round", now=0.5, kind="round")
+            child.queue_time = 0.1
+            child.network_time = 0.2
+            tracer.finish(child, now=1.0)
+        path = str(tmp_path / "spans.jsonl")
+        assert tracer.save(path) == 2
+        loaded = load_spans(path)
+        assert [s.name for s in loaded] == ["op", "round"]
+        by_name = {s.name: s for s in loaded}
+        assert by_name["round"].parent_id == by_name["op"].span_id
+        assert by_name["round"].queue_time == pytest.approx(0.1)
+        assert by_name["round"].network_time == pytest.approx(0.2)
+        assert by_name["op"].annotations == {"who": "alice"}
+
+
+class TestMaybeSpan:
+    def test_none_tracer_is_noop(self):
+        with maybe_span(None, "x", now=1.0) as span:
+            assert span is None
+
+    def test_real_tracer_records(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "x", now=1.0, kind="server", k="v") as span:
+            assert span is not None
+        assert tracer.spans[0].annotations == {"k": "v"}
+        assert tracer.spans[0].kind == "server"
+
+
+class TestSnapshot:
+    def test_counters(self):
+        tracer = Tracer()
+        with tracer.span("done", now=0.0):
+            pass
+        tracer.start_span("open", now=1.0)
+        snap = tracer.snapshot()
+        assert snap["spans"] == 2
+        assert snap["open_spans"] == 1
+        assert snap["traces"] == 2
