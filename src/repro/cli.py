@@ -9,6 +9,7 @@ Commands:
 ``threats``    run the Section IV-G scenarios and report outcomes
 ``store``      inspect / verify / compact an on-disk durable store
 ``trace``      run a traced switch storm / report a saved span buffer
+``chaos``      run failure-injection scenarios / report a saved run
 
 Each command is a thin wrapper over the library -- everything the CLI
 prints is available programmatically from :mod:`repro.experiments`.
@@ -234,6 +235,40 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown action {args.action!r}")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.sim.chaos import (
+        SCENARIOS, ChaosConfig, load_result, render_result, run_scenario,
+    )
+
+    if args.action == "report":
+        result = load_result(args.path)
+        print(render_result(result))
+        return 0 if result.passed else 1
+
+    if args.action == "run":
+        names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+        config = ChaosConfig(seed=args.seed, clients=args.clients)
+        failed = 0
+        for index, name in enumerate(names):
+            result = run_scenario(name, config)
+            if index:
+                print()
+            print(render_result(result))
+            if args.out:
+                path = args.out if len(names) == 1 else f"{args.out}.{name}.json"
+                result.save(path)
+                print(f"  saved to {path}")
+            if not result.passed:
+                failed += 1
+        if failed:
+            # The CI smoke job keys on this exit code: an invariant
+            # violation under injected faults must fail the build.
+            print(f"error: {failed} scenario(s) failed", file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError(f"unknown action {args.action!r}")
+
+
 def _cmd_threats(args: argparse.Namespace) -> int:
     # Delegate to the narrated playbook example logic.
     import examples.threat_playbook as playbook  # type: ignore
@@ -287,6 +322,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace_storm.add_argument("--out", default=None, help="save the span buffer as JSONL")
     trace_storm.add_argument("--trace-id", type=int, default=None)
     trace_storm.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser("chaos", help="failure-injection scenario suite")
+    chaos_sub = chaos.add_subparsers(dest="action", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run one scenario or 'all' (exit 1 on invariant violation)"
+    )
+    chaos_run.add_argument(
+        "scenario",
+        help="scenario name (manager_crash_mid_storm, rolling_restarts, "
+             "partition_cm_farm, slow_station_brownout, replica_flap) or 'all'",
+    )
+    chaos_run.add_argument("--clients", type=int, default=8)
+    chaos_run.add_argument("--seed", type=int, default=11)
+    chaos_run.add_argument("--out", default=None, help="save the run result as JSON")
+    chaos_run.set_defaults(func=_cmd_chaos)
+    chaos_report = chaos_sub.add_parser(
+        "report", help="render a saved chaos run (exit 1 if it failed)"
+    )
+    chaos_report.add_argument("path", help="JSON file written by chaos run --out")
+    chaos_report.set_defaults(func=_cmd_chaos)
 
     threats = sub.add_parser("threats", help="run the threat playbook")
     threats.set_defaults(func=_cmd_threats)

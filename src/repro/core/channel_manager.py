@@ -457,6 +457,17 @@ class ChannelManager:
         other._log = self._log
         other._latest = self._latest
 
+    def share_state_with(self, other: "ChannelManager") -> None:
+        """Initialize a fresh replica of this farm.
+
+        The viewing log is shared *by reference* -- the one-location
+        rule only holds if every instance consults the same log -- and
+        the Channel List is copied (each replica is independently
+        subscribed to CPM pushes, which replace the dict wholesale).
+        """
+        self.share_log_with(other)
+        other._channels = dict(self._channels)
+
     # ------------------------------------------------------------------
     # Durability (see repro.store)
     # ------------------------------------------------------------------

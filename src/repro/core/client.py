@@ -42,7 +42,7 @@ from repro.core.user_manager import ChecksumParams
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPrivateKey, generate_keypair
 from repro.crypto.stream import SymmetricKey
-from repro.errors import CapacityError, ProtocolError, ReproError
+from repro.errors import CapacityError, ProtocolError, ReproError, TransportError
 from repro.trace.span import Tracer, maybe_span
 from repro.util.wire import Decoder
 
@@ -109,6 +109,8 @@ class Client:
         self.clock_offset = 0.0
         self.packets_decrypted = 0
         self.decrypt_failures = 0
+        #: Logins served by a non-primary User Manager replica.
+        self.failovers = 0
         #: Shared tracer, attached by Deployment.enable_tracing().
         self.tracer: Optional[Tracer] = None
 
@@ -138,7 +140,7 @@ class Client:
 
     def _login(self, now: float) -> UserTicket:
         route = self._redirection.lookup(self.email)
-        user_manager = self._directory.resolve(route.user_manager.address)
+        user_manager, endpoint = self._resolve_user_manager(route)
 
         with maybe_span(self.tracer, "LOGIN1", now=now, kind="round"):
             response1 = user_manager.login1(
@@ -174,7 +176,7 @@ class Client:
                 now=now,
             )
         ticket = response2.ticket
-        ticket.verify(route.user_manager.public_key, now)
+        ticket.verify(endpoint.public_key, now)
 
         stale = self._stale_attribute_keys(ticket)
         self.user_ticket = ticket
@@ -184,6 +186,30 @@ class Client:
             self._refresh_channel_list(route, ticket, now, stale_keys=stale)
         self._prev_utimes = ticket.attributes.utime_map()
         return ticket
+
+    def _resolve_user_manager(self, route):
+        """Resolve the first reachable User Manager replica.
+
+        A replica whose address no longer resolves (crashed farm,
+        directory binding gone) is skipped and reported down to the
+        Redirection Manager, steering later lookups -- this client's
+        and other clients' -- away from it.  All replicas of a farm
+        share one key pair, so the ticket verifies identically
+        whichever instance serves the login.
+        """
+        endpoints = list(route.user_manager_replicas) or [route.user_manager]
+        last_exc: Optional[Exception] = None
+        for index, endpoint in enumerate(endpoints):
+            try:
+                user_manager = self._directory.resolve(endpoint.address)
+            except TransportError as exc:
+                last_exc = exc
+                self._redirection.mark_down(endpoint.address)
+                continue
+            if index:
+                self.failovers += 1
+            return user_manager, endpoint
+        raise last_exc
 
     def _stale_attribute_keys(
         self, new_ticket: UserTicket

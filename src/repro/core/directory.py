@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, TypeVar
 
-from repro.errors import ReproError
+from repro.errors import ReproError, UnresolvableAddressError
 
 T = TypeVar("T")
 
@@ -32,10 +32,17 @@ class ServiceDirectory:
         self._entries[address] = service
 
     def resolve(self, address: str) -> object:
-        """Look up a service; raises :class:`ReproError` if unbound."""
+        """Look up a service.
+
+        Raises :class:`~repro.errors.UnresolvableAddressError` (a
+        :class:`TransportError`) if unbound: a de-registered farm looks
+        like connection refused, which failover treats as retryable.
+        """
         service = self._entries.get(address)
         if service is None:
-            raise ReproError(f"unresolvable service address: {address!r}")
+            raise UnresolvableAddressError(
+                f"unresolvable service address: {address!r}"
+            )
         return service
 
     def unregister(self, address: str) -> bool:

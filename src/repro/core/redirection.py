@@ -10,16 +10,23 @@ provider network is sufficient."
 Its address and public key are "built-in to the client application";
 for future extensibility it also returns the Channel Policy Manager's
 address and public key.
+
+A domain may be served by a *farm* of replicas rather than a single
+endpoint: :meth:`add_replica` appends to an ordered replica list, and
+:meth:`lookup` returns the full list (healthy endpoints first) so a
+client can fail over without re-asking.  The first registered endpoint
+stays the nominal primary -- the paper's single-endpoint contract is
+the one-replica special case.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.crypto.rsa import RsaPublicKey
-from repro.errors import AccountError
+from repro.errors import AccountError, RedirectionLookupError
 from repro.trace.span import Tracer, maybe_span
 
 
@@ -33,10 +40,16 @@ class ManagerEndpoint:
 
 @dataclass(frozen=True)
 class RedirectionResult:
-    """What the client gets back: its User Manager and the CPM."""
+    """What the client gets back: its User Manager and the CPM.
+
+    ``user_manager`` is the preferred (first healthy) endpoint;
+    ``user_manager_replicas`` is the full ordered failover list,
+    beginning with ``user_manager`` itself.
+    """
 
     user_manager: ManagerEndpoint
     channel_policy_manager: ManagerEndpoint
+    user_manager_replicas: Tuple[ManagerEndpoint, ...] = field(default=())
 
 
 class RedirectionManager:
@@ -49,9 +62,10 @@ class RedirectionManager:
     """
 
     def __init__(self, channel_policy_manager: ManagerEndpoint) -> None:
-        self._domains: Dict[str, ManagerEndpoint] = {}
+        self._domains: Dict[str, List[ManagerEndpoint]] = {}
         self._domain_order: List[str] = []
         self._explicit: Dict[str, str] = {}
+        self._down: Set[str] = set()
         self._cpm = channel_policy_manager
         self.lookups = 0
         #: Shared tracer, attached by Deployment.enable_tracing().
@@ -60,10 +74,27 @@ class RedirectionManager:
         self.tracer: Optional[Tracer] = None
 
     def register_domain(self, domain: str, endpoint: ManagerEndpoint) -> None:
-        """Add an Authentication Domain's User Manager farm."""
+        """Add an Authentication Domain's User Manager farm.
+
+        Re-registering an existing domain *replaces* its replica list
+        (the rebinding contract predates replicas); use
+        :meth:`add_replica` to grow a farm instead.
+        """
         if domain not in self._domains:
             self._domain_order.append(domain)
-        self._domains[domain] = endpoint
+        self._domains[domain] = [endpoint]
+
+    def add_replica(self, domain: str, endpoint: ManagerEndpoint) -> None:
+        """Append a failover replica to an existing domain's farm."""
+        replicas = self._domains.get(domain)
+        if replicas is None:
+            raise AccountError(f"unknown domain: {domain}")
+        if any(existing.address == endpoint.address for existing in replicas):
+            raise AccountError(
+                f"replica address already registered for {domain!r}: "
+                f"{endpoint.address}"
+            )
+        replicas.append(endpoint)
 
     def assign_user(self, email: str, domain: str) -> None:
         """Pin a user to a specific domain (overrides hashing)."""
@@ -71,10 +102,26 @@ class RedirectionManager:
             raise AccountError(f"unknown domain: {domain}")
         self._explicit[email] = domain
 
+    def mark_down(self, address: str) -> None:
+        """Record an endpoint as unhealthy: lookups order it last.
+
+        Health is advisory -- a client may still try a down-marked
+        endpoint (e.g. as a probe); the ordering just stops *new*
+        lookups from steering to a known-bad replica first.
+        """
+        self._down.add(address)
+
+    def mark_up(self, address: str) -> None:
+        """Clear an endpoint's unhealthy mark."""
+        self._down.discard(address)
+
+    def is_down(self, address: str) -> bool:
+        return address in self._down
+
     def domain_for(self, email: str) -> str:
         """Which domain serves this user?"""
         if not self._domain_order:
-            raise AccountError("no authentication domains registered")
+            raise RedirectionLookupError(email, self._domain_order)
         explicit = self._explicit.get(email)
         if explicit is not None:
             return explicit
@@ -82,14 +129,32 @@ class RedirectionManager:
         index = int.from_bytes(digest[:4], "big") % len(self._domain_order)
         return self._domain_order[index]
 
+    def replicas(self, domain: str) -> List[ManagerEndpoint]:
+        """The domain's replica list, healthy endpoints first.
+
+        Within each health class the registration order is preserved,
+        so with no health marks this is exactly the registered order.
+        """
+        replicas = self._domains.get(domain)
+        if replicas is None:
+            raise AccountError(f"unknown domain: {domain}")
+        healthy = [r for r in replicas if r.address not in self._down]
+        unhealthy = [r for r in replicas if r.address in self._down]
+        return healthy + unhealthy
+
     def lookup(self, email: str) -> RedirectionResult:
         """The client's bootstrap call: find my User Manager and the CPM."""
         with maybe_span(self.tracer, "RM.LOOKUP", kind="server"):
             self.lookups += 1
             domain = self.domain_for(email)
+            replicas = self._domains.get(domain)
+            if not replicas:
+                raise RedirectionLookupError(email, self._domain_order)
+            ordered = self.replicas(domain)
             return RedirectionResult(
-                user_manager=self._domains[domain],
+                user_manager=ordered[0],
                 channel_policy_manager=self._cpm,
+                user_manager_replicas=tuple(ordered),
             )
 
     def domains(self) -> List[str]:

@@ -232,6 +232,10 @@ class UserManager:
         """
         record = self._users_by_email.get(account.email)
         if record is None:
+            # Replicas share the user dicts but not the id counter --
+            # skip ids another instance already allocated.
+            while self._next_user_id in self._users_by_id:
+                self._next_user_id += self._user_id_stride
             record = UserRecord(
                 user_id=self._next_user_id,
                 email=account.email,
@@ -274,6 +278,22 @@ class UserManager:
             if entry.utime is not None:
                 index.setdefault(entry.name, []).append(entry)
         self._attr_utime_index = index
+
+    def share_state_with(self, other: "UserManager") -> None:
+        """Initialize a fresh replica of this farm.
+
+        Section V's farm contract: instances share one name, one key
+        pair, and one user database.  The user dicts and image registry
+        are shared *by reference* (a login handled by any replica is
+        visible to all); the Channel Attribute List is copied, since
+        CPM pushes replace it wholesale per subscribed instance.
+        """
+        other._users_by_email = self._users_by_email
+        other._users_by_id = self._users_by_id
+        other._client_images = self._client_images
+        other._channel_attribute_list = self._channel_attribute_list
+        other._rebuild_attr_index()
+        other._next_user_id = self._next_user_id
 
     def register_client_image(self, version: str, image: bytes) -> None:
         """Register a released client binary for attestation checks."""

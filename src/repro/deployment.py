@@ -44,6 +44,7 @@ from repro.errors import ReproError
 from repro.geo.database import GeoDatabase
 from repro.metrics.hotpath import counters as hotpath_counters
 from repro.metrics.registry import MetricsRegistry
+from repro.resilience.counters import ResilienceCounters
 from repro.p2p.overlay import ChannelOverlay
 from repro.p2p.peer import Peer
 from repro.trace.span import Tracer
@@ -186,10 +187,21 @@ class Deployment:
         self._client_counter = 0
         self._epg = None
 
+        #: Failover replicas by farm, spawned via
+        #: :meth:`add_user_manager_replicas` /
+        #: :meth:`add_channel_manager_replicas` (primary not included).
+        self.um_replicas: Dict[str, List[UserManager]] = {}
+        self.cm_replicas: Dict[str, List[ChannelManager]] = {}
+
         #: Per-deployment metric registry; counter sources register as
         #: subsystems come up (durable stores, the tracer).
         self.metrics = MetricsRegistry()
         self.metrics.register("hotpath", hotpath_counters)
+        #: Shared resilience counter block: every retry loop, breaker,
+        #: and degraded-mode transition built against this deployment
+        #: should aggregate here so ``metrics`` reports them.
+        self.resilience = ResilienceCounters()
+        self.metrics.register("resilience", self.resilience)
         #: Shared tracer, set by :meth:`enable_tracing`.
         self.tracer: Optional[Tracer] = None
 
@@ -437,6 +449,12 @@ class Deployment:
             manager.tracer = tracer
         for manager in self.channel_managers.values():
             manager.tracer = tracer
+        for replicas in self.um_replicas.values():
+            for replica in replicas:
+                replica.tracer = tracer
+        for replicas in self.cm_replicas.values():
+            for replica in replicas:
+                replica.tracer = tracer
         for server in self.servers.values():
             server.tracer = tracer
         for overlay in self.overlays.values():
@@ -615,6 +633,7 @@ class Deployment:
         if account_listener is not None:
             self.accounts.remove_listener(account_listener)
         self.directory.unregister(f"um://{domain}")
+        self.redirection.mark_down(f"um://{domain}")
         return dead
 
     def recover_user_manager(self, domain: str) -> UserManager:
@@ -644,9 +663,119 @@ class Deployment:
         self.user_managers[domain] = manager
         self._wire_user_manager_listeners(domain, manager)
         self.directory.register(f"um://{domain}", manager)
+        self.redirection.mark_up(f"um://{domain}")
         if self.tracer is not None:
             manager.tracer = self.tracer
         return manager
+
+    # ------------------------------------------------------------------
+    # Manager replicas (see repro.resilience)
+    # ------------------------------------------------------------------
+
+    def add_user_manager_replicas(self, domain: str, count: int) -> List[UserManager]:
+        """Spawn ``count`` extra instances of a User Manager farm.
+
+        Each replica holds the farm's credentials (same signing key and
+        secret -- tickets verify against one public key regardless of
+        which instance issued them), shares the primary's user database
+        by reference, subscribes to the same CPM/Account feeds, and is
+        published to the Redirection Manager as a failover target at
+        ``um://<domain>!<n>``.
+        """
+        primary = self.user_managers.get(domain)
+        if primary is None:
+            raise ReproError(f"unknown domain: {domain}")
+        signing_key, farm_secret = self._credentials[f"um://{domain}"]
+        index = int(domain.rsplit("-", 1)[-1])
+        replicas = self.um_replicas.setdefault(domain, [])
+        created: List[UserManager] = []
+        store = self.stores.get(f"um-{domain}")
+        for _ in range(count):
+            n = len(replicas) + 1
+            replica = UserManager(
+                signing_key=signing_key,
+                farm_secret=farm_secret,
+                drbg=HmacDrbg(farm_secret, f"um-{domain}-replica-{n}".encode()),
+                geo=self.geo,
+                ticket_lifetime=self.user_ticket_lifetime,
+                domain=domain,
+                user_id_start=index + 1,
+                user_id_stride=self.n_domains,
+            )
+            replica.register_client_image(self.client_version, self.client_image)
+            primary.share_state_with(replica)
+            self._wire_user_manager_listeners(f"{domain}!{n}", replica)
+            address = f"um://{domain}!{n}"
+            self.directory.register(address, replica)
+            self.redirection.add_replica(
+                domain, ManagerEndpoint(address=address, public_key=replica.public_key)
+            )
+            if store is not None:
+                replica.attach_store(store, snapshot_every=self._store_snapshot_every)
+            if self.tracer is not None:
+                replica.tracer = self.tracer
+            replicas.append(replica)
+            created.append(replica)
+        return created
+
+    def add_channel_manager_replicas(
+        self, partition: str, count: int
+    ) -> List[ChannelManager]:
+        """Spawn ``count`` extra instances of a Channel Manager farm.
+
+        Replicas share the primary's viewing log *by reference* --
+        Section V's farm contract, and the load-bearing detail for the
+        one-viewing-location rule surviving failover: whichever
+        instance handles a renewal consults the same latest-entry
+        index.  Published in the directory at ``cm://<partition>!<n>``.
+        """
+        primary = self.channel_managers.get(partition)
+        if primary is None:
+            raise ReproError(f"unknown partition: {partition}")
+        signing_key, farm_secret = self._credentials[f"cm://{partition}"]
+        um_keys = [m.public_key for m in self.user_managers.values()]
+        replicas = self.cm_replicas.setdefault(partition, [])
+        created: List[ChannelManager] = []
+        store = self.stores.get(f"cm-{partition}")
+        for _ in range(count):
+            n = len(replicas) + 1
+            replica = ChannelManager(
+                signing_key=signing_key,
+                farm_secret=farm_secret,
+                drbg=HmacDrbg(farm_secret, f"cm-{partition}-replica-{n}".encode()),
+                user_manager_keys=um_keys,
+                ticket_lifetime=self.channel_ticket_lifetime,
+                partition=partition,
+            )
+            primary.share_state_with(replica)
+            self._wire_channel_manager_listeners(f"{partition}!{n}", replica)
+            replica.set_peer_list_provider(self._peer_list_provider)
+            self.directory.register(f"cm://{partition}!{n}", replica)
+            if store is not None:
+                replica.attach_store(store, snapshot_every=self._store_snapshot_every)
+            if self.tracer is not None:
+                replica.tracer = self.tracer
+            replicas.append(replica)
+            created.append(replica)
+        return created
+
+    def um_farm_addresses(self, domain: str) -> List[str]:
+        """Directory addresses of a UM farm: primary first, then replicas."""
+        if domain not in self.user_managers:
+            raise ReproError(f"unknown domain: {domain}")
+        return [f"um://{domain}"] + [
+            f"um://{domain}!{n}"
+            for n in range(1, len(self.um_replicas.get(domain, ())) + 1)
+        ]
+
+    def cm_farm_addresses(self, partition: str) -> List[str]:
+        """Directory addresses of a CM farm: primary first, then replicas."""
+        if partition not in self.channel_managers:
+            raise ReproError(f"unknown partition: {partition}")
+        return [f"cm://{partition}"] + [
+            f"cm://{partition}!{n}"
+            for n in range(1, len(self.cm_replicas.get(partition, ())) + 1)
+        ]
 
     # ------------------------------------------------------------------
     # Clients and peers

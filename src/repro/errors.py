@@ -99,6 +99,71 @@ class AccountError(ReproError):
     """User account problems: unknown user, bad password, lapsed payment."""
 
 
+class RedirectionLookupError(AccountError):
+    """The Redirection Manager could not map a user to a User Manager.
+
+    Carries the offending email and the domains the manager does know
+    about, so an operator reading the message can tell a typo'd email
+    from a decommissioned Authentication Domain at a glance.
+    """
+
+    def __init__(self, email: str, domains) -> None:
+        self.email = email
+        self.domains = list(domains)
+        known = ", ".join(sorted(self.domains)) if self.domains else "(none)"
+        super().__init__(
+            f"no User Manager domain serves {email!r}; known domains: {known}"
+        )
+
+
+class TransportError(ReproError):
+    """A message-level transport failure.
+
+    Unlike protocol rejections (bad nonce, policy REJECT, expired
+    ticket) -- which are *replies* and must never be retried -- a
+    transport failure means the request or response simply did not make
+    it.  Retry policies key on this distinction: everything under
+    :class:`TransportError` is safe to retry, nothing else is.
+    """
+
+
+class RpcTimeoutError(TransportError):
+    """No reply arrived within the caller's timeout."""
+
+    def __init__(self, method: str, dst_address: str, timeout: float) -> None:
+        self.method = method
+        self.dst_address = dst_address
+        self.timeout = timeout
+        super().__init__(
+            f"rpc {method!r} to {dst_address} timed out after {timeout:g}s"
+        )
+
+
+class RpcDropError(TransportError):
+    """The message was dropped before any handler could run.
+
+    Raised on fail-fast connection refusal (the destination process is
+    known to be down) and as the synthetic failure when every replica
+    of an endpoint pool is circuit-broken.
+    """
+
+    def __init__(self, method: str, dst_address: str, reason: str) -> None:
+        self.method = method
+        self.dst_address = dst_address
+        self.reason = reason
+        super().__init__(f"rpc {method!r} to {dst_address} dropped: {reason}")
+
+
+class UnresolvableAddressError(TransportError):
+    """A service address had no live binding in the directory.
+
+    A crashed farm's address resolves to nothing until a replacement
+    re-registers -- the sync-path analogue of connection refused, and
+    therefore a transport (retryable/failover-able) condition rather
+    than a protocol one.
+    """
+
+
 class SimulationError(ReproError):
     """Misuse of the discrete-event simulation substrate."""
 

@@ -1,0 +1,35 @@
+"""Failure-domain survival: retries, breakers, failover, degraded mode.
+
+The paper's backend ran live at Zattoo, where manager crashes, slow
+farms, and partitions are routine.  This package supplies the client
+side of surviving them:
+
+* :class:`RetryPolicy` / :class:`Deadline` -- exponential backoff with
+  deterministic jitter drawn from the sim RNG, bounded by a cap and an
+  optional total-delay budget;
+* :class:`CircuitBreaker` / :class:`EndpointPool` -- per-endpoint trip
+  on consecutive transport failures, half-open probing, and ordered
+  replica failover;
+* :class:`ResilienceCounters` -- the shared counter block surfaced via
+  :class:`~repro.metrics.registry.MetricsRegistry`;
+* :class:`ResilientAsyncClient` -- an :class:`~repro.sim.driver.AsyncClient`
+  that wraps every protocol round in retry + failover and implements
+  the degraded viewing mode grounded in the paper's renewal-bit
+  semantics (Section IV-D).
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.client import ResilientAsyncClient
+from repro.resilience.counters import ResilienceCounters
+from repro.resilience.endpoints import EndpointPool
+from repro.resilience.retry import Deadline, RetryPolicy
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "EndpointPool",
+    "ResilienceCounters",
+    "ResilientAsyncClient",
+    "RetryPolicy",
+]

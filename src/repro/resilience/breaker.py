@@ -1,0 +1,104 @@
+"""Per-endpoint circuit breaker.
+
+State machine (DESIGN.md section 10 has the diagram)::
+
+    CLOSED --(failure_threshold consecutive transport failures)--> OPEN
+    OPEN   --(reset_timeout elapses; next allow() admits a probe)--> HALF_OPEN
+    HALF_OPEN --(probe succeeds)--> CLOSED
+    HALF_OPEN --(probe fails)----> OPEN (cooldown restarts)
+
+Only *transport* failures feed the breaker -- protocol rejections are
+replies from a live server and prove the endpoint healthy.  While OPEN
+every ``allow()`` is rejected without touching the network, which is
+what lets a client skip a dead replica's timeout and go straight to
+the next one in its :class:`~repro.resilience.endpoints.EndpointPool`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.resilience.counters import ResilienceCounters
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trips on consecutive transport failures; half-opens on a probe.
+
+    HALF_OPEN admits exactly one in-flight probe: concurrent callers
+    are rejected until the probe's outcome lands, so a flapping
+    endpoint sees one request per cooldown, not a thundering herd.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        counters: Optional[ResilienceCounters] = None,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise SimulationError("failure_threshold must be >= 1")
+        if reset_timeout <= 0.0:
+            raise SimulationError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.counters = counters or ResilienceCounters()
+        self.name = name
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    def allow(self, now: float) -> bool:
+        """May a request go to this endpoint right now?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self.opened_at is not None and now - self.opened_at >= self.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                self._probe_in_flight = True
+                self.counters.breaker_half_opens += 1
+                return True
+            self.counters.breaker_rejections += 1
+            return False
+        # HALF_OPEN: one probe at a time.
+        if self._probe_in_flight:
+            self.counters.breaker_rejections += 1
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self, now: float) -> None:
+        """The endpoint answered: close (if open) and reset the count."""
+        self._probe_in_flight = False
+        self.consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self.opened_at = None
+            self.counters.breaker_closes += 1
+
+    def record_failure(self, now: float) -> None:
+        """A transport failure: count it; trip or re-trip as needed."""
+        self._probe_in_flight = False
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: back to OPEN, cooldown restarts.
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.counters.breaker_opens += 1
+            return
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.counters.breaker_opens += 1

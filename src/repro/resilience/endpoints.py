@@ -1,0 +1,72 @@
+"""Ordered endpoint pools: replica failover driven by breakers.
+
+A pool holds a manager farm's replica addresses in preference order
+(the Redirection Manager's registered order) with one
+:class:`~repro.resilience.breaker.CircuitBreaker` per address.
+:meth:`EndpointPool.pick` returns the first replica whose breaker
+admits a request -- so a client sticks to the primary while it is
+healthy, slides to the next replica when the primary's breaker opens,
+and drifts back when the primary's half-open probe succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.counters import ResilienceCounters
+
+
+class EndpointPool:
+    """Replica addresses in preference order, each behind a breaker."""
+
+    def __init__(
+        self,
+        addresses: Iterable[str],
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        counters: Optional[ResilienceCounters] = None,
+    ) -> None:
+        self.addresses: List[str] = list(addresses)
+        if not self.addresses:
+            raise SimulationError("endpoint pool needs at least one address")
+        if len(set(self.addresses)) != len(self.addresses):
+            raise SimulationError("duplicate address in endpoint pool")
+        self._breakers: Dict[str, CircuitBreaker] = {
+            address: CircuitBreaker(
+                failure_threshold=failure_threshold,
+                reset_timeout=reset_timeout,
+                counters=counters,
+                name=address,
+            )
+            for address in self.addresses
+        }
+
+    @property
+    def primary(self) -> str:
+        return self.addresses[0]
+
+    def breaker(self, address: str) -> CircuitBreaker:
+        try:
+            return self._breakers[address]
+        except KeyError:
+            raise SimulationError(f"address not in pool: {address}") from None
+
+    def pick(self, now: float) -> Optional[str]:
+        """First replica whose breaker admits a request; None if all
+        are open (the caller backs off and re-picks later)."""
+        for address in self.addresses:
+            if self._breakers[address].allow(now):
+                return address
+        return None
+
+    def record_success(self, address: str, now: float) -> None:
+        self.breaker(address).record_success(now)
+
+    def record_failure(self, address: str, now: float) -> None:
+        self.breaker(address).record_failure(now)
+
+    def states(self) -> Dict[str, BreakerState]:
+        """Current breaker state per address (for reports/tests)."""
+        return {a: b.state for a, b in self._breakers.items()}

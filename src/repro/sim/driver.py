@@ -110,6 +110,7 @@ class AsyncClient:
         collector: Optional[LatencyCollector] = None,
         key_bits: int = 512,
         tracer: Optional[Tracer] = None,
+        round_timeout: Optional[float] = None,
     ) -> None:
         self._network = network
         self.email = email
@@ -125,6 +126,10 @@ class AsyncClient:
         self.channel_ticket = None
         self.peers = ()
         self.errors: List[Exception] = []
+        #: Per-round timeout.  When set, a lost request/reply surfaces
+        #: as an ``RpcTimeoutError`` to ``on_fail`` instead of hanging
+        #: forever -- the hook the resilience layer's retry loop uses.
+        self.round_timeout = round_timeout
 
     @property
     def public_key(self):
@@ -236,6 +241,7 @@ class AsyncClient:
                     payload=state["request"],
                     on_reply=handle_login2,
                     on_error=fail,
+                    timeout=self.round_timeout,
                     trace=self._ctx(spans["round"]),
                 )
 
@@ -249,6 +255,7 @@ class AsyncClient:
             payload=Login1Request(email=self.email, client_public_key=self.public_key),
             on_reply=handle_login1,
             on_error=fail,
+            timeout=self.round_timeout,
             trace=self._ctx(spans["round"]),
         )
 
@@ -366,6 +373,7 @@ class AsyncClient:
                     payload=request2_builder(response1.token, state["signature"]),
                     on_reply=handle_switch2,
                     on_error=fail,
+                    timeout=self.round_timeout,
                     trace=self._ctx(spans["round"]),
                 )
 
@@ -379,6 +387,7 @@ class AsyncClient:
             payload=request1,
             on_reply=handle_switch1,
             on_error=fail,
+            timeout=self.round_timeout,
             trace=self._ctx(spans["round"]),
         )
 
@@ -438,5 +447,6 @@ class AsyncClient:
             payload=JoinRequest(channel_ticket=self.channel_ticket),
             on_reply=handle_join,
             on_error=fail,
+            timeout=self.round_timeout,
             trace=self._ctx(spans["round"]),
         )

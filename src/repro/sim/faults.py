@@ -60,6 +60,9 @@ class FaultInjector:
         self._network = network
         self._sim = network.sim
         self.crashes: List[CrashRecord] = []
+        #: Scheduled soft faults, ``(when, kind, target)`` -- the
+        #: chaos report prints these next to the client outcomes.
+        self.events: List[Tuple[float, str, str]] = []
 
     def crash_at(self, when: float, address: str) -> CrashRecord:
         """Kill the service at ``address`` at virtual time ``when``.
@@ -106,6 +109,85 @@ class FaultInjector:
         record = self.crash_at(crash_at, address)
         self.recover_at(recover_at, record, rebuild)
         return record
+
+    # ------------------------------------------------------------------
+    # Softer faults (the chaos suite's vocabulary)
+    # ------------------------------------------------------------------
+    #
+    # ``crash_at``/``recover_at`` model a process death: state is gone
+    # and must come back via the durable store.  The faults below keep
+    # the process object intact -- they model the network (or the
+    # scheduler) misbehaving around a healthy process, which is what
+    # rolling restarts, partitions, and brownouts look like from the
+    # client side.
+
+    def down_at(self, when: float, address: str) -> None:
+        """Crash the service in place at ``when`` (state preserved)."""
+        self._log_event(when, "down", address)
+        self._sim.schedule_at(when, lambda _sim: self._network.set_down(address))
+
+    def up_at(self, when: float, address: str) -> None:
+        """Bring an in-place-crashed service back at ``when``."""
+        self._log_event(when, "up", address)
+        self._sim.schedule_at(when, lambda _sim: self._network.set_up(address))
+
+    def flap(
+        self, address: str, start: float, stop: float, period: float
+    ) -> None:
+        """Alternate down/up every ``period`` seconds over [start, stop)."""
+        if period <= 0.0:
+            raise SimulationError("flap period must be positive")
+        when, down = start, True
+        while when < stop:
+            (self.down_at if down else self.up_at)(when, address)
+            down = not down
+            when += period
+        if down is False:
+            # An odd number of transitions left it down: restore it.
+            self.up_at(stop, address)
+
+    def partition_at(
+        self, when: float, group_a: Sequence[str], group_b: Sequence[str]
+    ) -> None:
+        """Cut both directions between the groups at ``when``."""
+        a, b = list(group_a), list(group_b)
+        self._log_event(when, "partition", f"{a}<->{b}")
+        self._sim.schedule_at(when, lambda _sim: self._network.partition(a, b))
+
+    def heal_at(self, when: float) -> None:
+        """Remove every blocked link at ``when``."""
+        self._log_event(when, "heal", "*")
+        self._sim.schedule_at(when, lambda _sim: self._network.heal())
+
+    def brownout_at(self, when: float, station, factor: float) -> None:
+        """Multiply a station's mean service time by ``factor``.
+
+        ``sample_service_time`` reads ``mean_service_time`` live, so
+        the slowdown applies to every request serviced after ``when``
+        -- including ones already queued.
+        """
+        if factor <= 0.0:
+            raise SimulationError("brownout factor must be positive")
+        self._log_event(when, "brownout", f"{station.name} x{factor:g}")
+
+        def slow(_sim) -> None:
+            station.mean_service_time *= factor
+
+        self._sim.schedule_at(when, slow)
+
+    def restore_at(self, when: float, station, factor: float) -> None:
+        """Undo a brownout applied with the same ``factor``."""
+        if factor <= 0.0:
+            raise SimulationError("brownout factor must be positive")
+        self._log_event(when, "restore", station.name)
+
+        def fast(_sim) -> None:
+            station.mean_service_time /= factor
+
+        self._sim.schedule_at(when, fast)
+
+    def _log_event(self, when: float, kind: str, target: str) -> None:
+        self.events.append((when, kind, target))
 
 
 # ----------------------------------------------------------------------

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterable, Optional, Set, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import RpcDropError, RpcTimeoutError, SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.network import LatencyModel
 from repro.sim.station import ServiceStation
@@ -120,9 +120,11 @@ class VirtualNetwork:
         self._rng = rng
         self.loss_probability = loss_probability
         self._services: Dict[str, RpcService] = {}
+        self._blocked_links: Set[Tuple[str, str]] = set()
         self.messages_sent = 0
         self.messages_lost = 0
         self.messages_dropped_down = 0
+        self.messages_blocked = 0
         #: When set, every call records one ``rpc:<method>`` span with
         #: its network/queue/service time split (see repro.trace).
         self.tracer: Optional[Tracer] = None
@@ -172,6 +174,41 @@ class VirtualNetwork:
             raise SimulationError(f"unreachable address: {address}")
         return service
 
+    # -- partitions -------------------------------------------------
+    #
+    # A blocked link swallows messages *directionally*: requests check
+    # (caller -> dst), replies check (dst -> caller), so a one-way
+    # block produces the classic "they heard me but I can't hear them"
+    # asymmetry.  ``"*"`` wildcards either side.
+
+    def block_link(self, src: str, dst: str) -> None:
+        """Silently drop messages travelling ``src -> dst``."""
+        self._blocked_links.add((src, dst))
+
+    def unblock_link(self, src: str, dst: str) -> None:
+        self._blocked_links.discard((src, dst))
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        """Cut both directions between every pair across the groups."""
+        for a in group_a:
+            for b in group_b:
+                self._blocked_links.add((a, b))
+                self._blocked_links.add((b, a))
+
+    def heal(self) -> None:
+        """Remove every blocked link (the partition ends)."""
+        self._blocked_links.clear()
+
+    def _link_blocked(self, src: str, dst: str) -> bool:
+        if not self._blocked_links:
+            return False
+        blocked = self._blocked_links
+        return (
+            (src, dst) in blocked
+            or (src, "*") in blocked
+            or ("*", dst) in blocked
+        )
+
     def _one_way(self, src_region: str, dst_region: str) -> float:
         # Model as half an RTT between the two regions/sites.
         return self._latency.sample_rtt(src_region, dst_region) / 2.0
@@ -193,10 +230,24 @@ class VirtualNetwork:
         timeout: Optional[float] = None,
         on_timeout: Optional[Callable[[], None]] = None,
         trace: Optional[TraceContext] = None,
+        fail_fast: bool = False,
     ) -> None:
         """Send a request; exactly one of the callbacks eventually fires
         (or ``on_timeout``, if the request or reply is lost and a
         timeout was set).
+
+        A lost or timed-out exchange surfaces as ``on_timeout()`` when
+        that callback is given; otherwise a typed
+        :class:`~repro.errors.RpcTimeoutError` goes to ``on_error`` so
+        retry policies can tell transport failures from protocol
+        rejections without a separate callback.
+
+        ``fail_fast`` models connection refusal: when the destination
+        is *known* dead at send time (a crashed-in-place process whose
+        TCP stack answers RST), the caller gets an
+        :class:`~repro.errors.RpcDropError` after one round trip
+        instead of burning the whole timeout.  Messages dropped
+        mid-flight still need the timeout -- nobody answers for those.
 
         ``trace`` parents this call's RPC span explicitly (for callers
         resuming across async hops); without it the tracer's ambient
@@ -229,9 +280,15 @@ class VirtualNetwork:
                         tracer.finish(rpc_span, now=sim.now)
                     if on_timeout is not None:
                         on_timeout()
+                    elif on_error is not None:
+                        on_error(RpcTimeoutError(method, dst_address, timeout))
 
             timed_out["event"] = self.sim.schedule(timeout, fire_timeout)
 
+        if self._link_blocked(caller_address, dst_address):
+            self.messages_blocked += 1
+            drop_span("link-blocked", self.sim.now)
+            return  # partitioned away; only the timeout can save the caller
         if self._lost():
             self.messages_lost += 1
             drop_span("request-lost", self.sim.now)
@@ -239,7 +296,23 @@ class VirtualNetwork:
         if service.down:
             self.messages_dropped_down += 1
             drop_span("dst-down", self.sim.now)
-            return  # connection refused by a dead process; timeout applies
+            if fail_fast:
+                # Connection refused: the remote OS answers with a
+                # reset after one round trip, so the caller learns now
+                # rather than at the timeout horizon.
+                rtt = 2.0 * self._one_way(caller_region, service.region)
+
+                def refuse(sim: Simulator) -> None:
+                    if timed_out["flag"] or timed_out["delivered"]:
+                        return
+                    timed_out["delivered"] = True
+                    if timed_out["event"] is not None:
+                        timed_out["event"].cancel()
+                    if on_error is not None:
+                        on_error(RpcDropError(method, dst_address, "dst-down"))
+
+                self.sim.schedule(rtt, refuse)
+            return  # dead process; without fail_fast the timeout applies
 
         request_owd = self._one_way(caller_region, service.region)
         if rpc_span is not None:
@@ -266,14 +339,16 @@ class VirtualNetwork:
                 except Exception as exc:  # denials travel back as errors
                     if rpc_span is not None:
                         rpc_span.annotate("error", type(exc).__name__)
-                    self._send_reply(sim2, service, caller_region, exc, None,
-                                     on_reply, on_error, timed_out, rpc_span)
+                    self._send_reply(sim2, service, caller_address, caller_region,
+                                     exc, None, on_reply, on_error, timed_out,
+                                     rpc_span)
                     return
                 finally:
                     if rpc_span is not None:
                         tracer.pop()
-                self._send_reply(sim2, service, caller_region, None, response,
-                                 on_reply, on_error, timed_out, rpc_span)
+                self._send_reply(sim2, service, caller_address, caller_region,
+                                 None, response, on_reply, on_error, timed_out,
+                                 rpc_span)
 
             if service.station is not None:
 
@@ -293,6 +368,7 @@ class VirtualNetwork:
         self,
         sim: Simulator,
         service: RpcService,
+        caller_address: str,
         caller_region: str,
         error: Optional[Exception],
         response: Any,
@@ -308,6 +384,13 @@ class VirtualNetwork:
                 rpc_span.annotate("dropped", reason)
                 tracer.finish(rpc_span, now=now)
 
+        if self._link_blocked(service.address, caller_address):
+            # The partition came up between request and reply: the
+            # handler ran (its mutation may be durable) but the caller
+            # never hears -- same ambiguity as a pre-reply crash.
+            self.messages_blocked += 1
+            drop_span("link-blocked", sim.now)
+            return
         if self._lost():
             self.messages_lost += 1
             drop_span("reply-lost", sim.now)

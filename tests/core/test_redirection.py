@@ -66,3 +66,60 @@ class TestLookup:
         redirection.assign_user("a@b.c", "eu")
         assert redirection.lookup("a@b.c").user_manager.address == "um://eu-new"
         assert redirection.domains() == ["eu", "us"]
+
+
+class TestReplicas:
+    def test_add_replica_to_unknown_domain(self, redirection):
+        with pytest.raises(AccountError):
+            redirection.add_replica("asia", endpoint("um://asia-1"))
+
+    def test_duplicate_replica_address_rejected(self, redirection):
+        redirection.add_replica("eu", endpoint("um://eu-1"))
+        with pytest.raises(AccountError):
+            redirection.add_replica("eu", endpoint("um://eu-1"))
+
+    def test_lookup_carries_ordered_replica_list(self, redirection):
+        redirection.add_replica("eu", endpoint("um://eu-1"))
+        redirection.assign_user("a@b.c", "eu")
+        route = redirection.lookup("a@b.c")
+        assert [e.address for e in route.user_manager_replicas] == [
+            "um://eu", "um://eu-1",
+        ]
+        assert route.user_manager.address == "um://eu"
+
+    def test_mark_down_steers_lookups_to_healthy_replica(self, redirection):
+        redirection.add_replica("eu", endpoint("um://eu-1"))
+        redirection.assign_user("a@b.c", "eu")
+        redirection.mark_down("um://eu")
+        route = redirection.lookup("a@b.c")
+        # Healthy first; the sick primary stays listed as a fallback.
+        assert route.user_manager.address == "um://eu-1"
+        assert [e.address for e in route.user_manager_replicas] == [
+            "um://eu-1", "um://eu",
+        ]
+        redirection.mark_up("um://eu")
+        assert redirection.lookup("a@b.c").user_manager.address == "um://eu"
+
+    def test_health_marks_are_idempotent(self, redirection):
+        redirection.mark_down("um://eu")
+        redirection.mark_down("um://eu")
+        assert redirection.is_down("um://eu")
+        redirection.mark_up("um://eu")
+        assert not redirection.is_down("um://eu")
+
+
+class TestLookupError:
+    def test_no_domain_error_names_email_and_domains(self, redirection):
+        from repro.errors import RedirectionLookupError
+
+        empty = RedirectionManager(CPM)
+        with pytest.raises(RedirectionLookupError) as excinfo:
+            empty.lookup("ghost@example.org")
+        assert excinfo.value.email == "ghost@example.org"
+        assert excinfo.value.domains == []
+        assert "ghost@example.org" in str(excinfo.value)
+
+    def test_is_an_account_error(self):
+        from repro.errors import RedirectionLookupError
+
+        assert issubclass(RedirectionLookupError, AccountError)

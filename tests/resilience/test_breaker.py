@@ -1,0 +1,70 @@
+"""Unit tests for the per-endpoint circuit breaker state machine."""
+
+from repro.resilience import BreakerState, CircuitBreaker
+from repro.resilience.counters import ResilienceCounters
+
+
+def test_starts_closed_and_allows():
+    breaker = CircuitBreaker()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow(0.0)
+
+
+def test_trips_after_threshold_consecutive_failures():
+    breaker = CircuitBreaker(failure_threshold=3)
+    breaker.record_failure(1.0)
+    breaker.record_failure(2.0)
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure(3.0)
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow(3.1)
+
+
+def test_success_resets_consecutive_count():
+    breaker = CircuitBreaker(failure_threshold=2)
+    breaker.record_failure(1.0)
+    breaker.record_success(2.0)
+    breaker.record_failure(3.0)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_opens_after_reset_timeout():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0)
+    breaker.record_failure(0.0)
+    assert not breaker.allow(9.9)
+    assert breaker.allow(10.0)
+    assert breaker.state is BreakerState.HALF_OPEN
+
+
+def test_half_open_admits_a_single_probe():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(2.0)       # the probe
+    assert not breaker.allow(2.1)   # a second caller must wait
+    breaker.record_success(2.5)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow(2.6)
+
+
+def test_failed_probe_reopens():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(2.0)
+    breaker.record_failure(2.5)
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow(3.0)       # timer restarted at the probe failure
+    assert breaker.allow(3.5)
+
+
+def test_counters_track_transitions():
+    counters = ResilienceCounters()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                             counters=counters, name="cm0")
+    breaker.record_failure(0.0)
+    assert counters.breaker_opens == 1
+    assert not breaker.allow(0.5)
+    assert counters.breaker_rejections == 1
+    assert breaker.allow(1.5)
+    assert counters.breaker_half_opens == 1
+    breaker.record_success(1.6)
+    assert counters.breaker_closes == 1

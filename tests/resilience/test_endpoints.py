@@ -1,0 +1,59 @@
+"""Unit tests for the ordered-failover endpoint pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.resilience import BreakerState, EndpointPool
+
+
+def make_pool(**kwargs):
+    return EndpointPool(["rpc://a", "rpc://b"], failure_threshold=2,
+                        reset_timeout=10.0, **kwargs)
+
+
+def test_prefers_primary_while_healthy():
+    pool = make_pool()
+    assert pool.primary == "rpc://a"
+    assert pool.pick(0.0) == "rpc://a"
+
+
+def test_fails_over_when_primary_breaker_opens():
+    pool = make_pool()
+    pool.record_failure("rpc://a", 1.0)
+    assert pool.pick(1.5) == "rpc://a"  # one failure is below threshold
+    pool.record_failure("rpc://a", 2.0)
+    assert pool.pick(2.5) == "rpc://b"
+
+
+def test_exhausted_pool_returns_none():
+    pool = make_pool()
+    for address in ("rpc://a", "rpc://b"):
+        pool.record_failure(address, 1.0)
+        pool.record_failure(address, 2.0)
+    assert pool.pick(3.0) is None
+
+
+def test_primary_returns_after_half_open_probe_succeeds():
+    pool = make_pool()
+    pool.record_failure("rpc://a", 0.0)
+    pool.record_failure("rpc://a", 1.0)
+    assert pool.pick(2.0) == "rpc://b"
+    # Past the reset timeout the primary gets a probe slot again.
+    assert pool.pick(12.0) == "rpc://a"
+    assert pool.breaker("rpc://a").state is BreakerState.HALF_OPEN
+    pool.record_success("rpc://a", 12.5)
+    assert pool.pick(13.0) == "rpc://a"
+
+
+def test_states_snapshot():
+    pool = make_pool()
+    assert pool.states() == {
+        "rpc://a": BreakerState.CLOSED, "rpc://b": BreakerState.CLOSED,
+    }
+
+
+def test_rejects_empty_and_duplicate_addresses():
+    with pytest.raises(SimulationError):
+        EndpointPool([])
+    with pytest.raises(SimulationError):
+        EndpointPool(["rpc://a", "rpc://a"])

@@ -1,0 +1,83 @@
+"""Integration tests for ResilientAsyncClient over the chaos rig.
+
+The unit tests pin the retry/breaker mechanics; these pin the
+*viewing* semantics -- failover picks the replica, degraded mode keeps
+playback alive exactly while the Channel Ticket is valid, and an
+outage that outlives the ticket becomes a recorded interruption, not a
+silent hang.
+"""
+
+from repro.sim.chaos import CM0, CM1, UM0, ChaosConfig, ChaosRig
+
+
+def test_watch_converges_with_healthy_farms():
+    rig = ChaosRig(ChaosConfig(clients=2, horizon=400.0))
+    result = rig.run("healthy")
+    assert result.passed, result.violations
+    assert all(o.converged for o in result.outcomes)
+    assert all(o.retries == 0 and o.failovers == 0 for o in result.outcomes)
+    assert rig.deployment.resilience.degraded_entries == 0
+
+
+def test_primary_cm_down_from_start_fails_over():
+    rig = ChaosRig(ChaosConfig(clients=2, horizon=400.0))
+    rig.injector.down_at(0.0, CM0)
+    result = rig.run("primary-dead")
+    assert result.passed, result.violations
+    assert all(o.converged for o in result.outcomes)
+    assert all(o.failovers >= 1 for o in result.outcomes)
+    # The switch never succeeded against cm0, yet its viewing log has
+    # the entries: the log is shared by reference across the farm.
+    assert len(rig.primary_cm.viewing_log()) > 0
+    assert rig.primary_cm.viewing_log() == rig.replica_cm.viewing_log()
+
+
+def test_outage_shorter_than_ticket_is_degraded_not_interrupted():
+    rig = ChaosRig(ChaosConfig(clients=2, horizon=700.0))
+    # Both farm instances gone across the renewal point (~241 s), back
+    # well before any ticket expires (~301 s).
+    for address in (CM0, CM1):
+        rig.injector.down_at(235.0, address)
+        rig.injector.up_at(265.0, address)
+    result = rig.run("blip")
+    assert result.passed, result.violations
+    for outcome in result.outcomes:
+        assert outcome.interruptions == 0
+        assert outcome.degraded_seconds > 0.0
+        assert outcome.converged
+
+
+def test_outage_outliving_ticket_records_interruption_then_recovers():
+    # Shorter round timeout tightens the retry schedule so the client
+    # is mid-backoff, not mid-timeout, when the farm returns.
+    config = ChaosConfig(clients=2, horizon=700.0, round_timeout=5.0,
+                         min_uninterrupted=0.0)
+    rig = ChaosRig(config)
+    # Both instances down from before the renewal window until well
+    # past every ticket's expiry (~301-303 s): playback must stop.
+    for address in (CM0, CM1):
+        rig.injector.down_at(230.0, address)
+        rig.injector.up_at(380.0, address)
+    result = rig.run("long-outage")
+    assert result.passed, result.violations
+    for outcome in result.outcomes:
+        assert outcome.interruptions == 1
+        assert outcome.interruption_seconds > 0.0
+        assert outcome.degraded_seconds > 0.0
+        # The ±120 s renewal window is still open at recovery, so the
+        # old ticket renews and the client reconverges.
+        assert outcome.converged
+    counters = rig.deployment.resilience
+    assert counters.breaker_opens > 0
+    assert counters.playback_interruptions == 2
+
+
+def test_um_outage_during_login_retries_until_converged():
+    rig = ChaosRig(ChaosConfig(clients=2, horizon=400.0))
+    rig.injector.down_at(0.0, UM0)
+    rig.injector.up_at(40.0, UM0)
+    result = rig.run("um-down")
+    assert result.passed, result.violations
+    assert all(o.converged for o in result.outcomes)
+    # Login either failed over to um1 or retried into the recovery.
+    assert rig.deployment.resilience.retries > 0

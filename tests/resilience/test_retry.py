@@ -1,0 +1,93 @@
+"""Unit tests for RetryPolicy and Deadline."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    AuthorizationError,
+    ProtocolError,
+    RpcDropError,
+    RpcTimeoutError,
+    SimulationError,
+    TransportError,
+    UnresolvableAddressError,
+)
+from repro.resilience import Deadline, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=100.0,
+                             max_attempts=5, jitter=0.0)
+        assert list(policy.delays(random.Random(1))) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_delay_count_is_attempts_minus_one(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        assert len(list(policy.delays(random.Random(1)))) == 2
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(base_delay=10.0, multiplier=10.0, max_delay=25.0,
+                             max_attempts=6, jitter=0.0)
+        delays = list(policy.delays(random.Random(1)))
+        assert delays == [10.0, 25.0, 25.0, 25.0, 25.0]
+
+    def test_jitter_never_exceeds_cap_or_shrinks(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=9.0,
+                             max_attempts=8, jitter=0.5)
+        delays = list(policy.delays(random.Random(7)))
+        for earlier, later in zip(delays, delays[1:]):
+            assert later >= earlier
+        assert all(d <= 9.0 for d in delays)
+        assert delays[0] >= 1.0  # jitter only stretches, never shrinks
+
+    def test_deadline_budget_truncates_schedule(self):
+        policy = RetryPolicy(base_delay=4.0, multiplier=2.0, max_delay=60.0,
+                             max_attempts=10, jitter=0.0, deadline=10.0)
+        delays = list(policy.delays(random.Random(1)))
+        # 4 + 8 would blow the 10 s budget, so only the first delay fits.
+        assert delays == [4.0]
+        assert sum(delays) <= 10.0
+
+    def test_deterministic_given_same_seed(self):
+        policy = RetryPolicy(jitter=0.3)
+        a = list(policy.delays(random.Random(42)))
+        b = list(policy.delays(random.Random(42)))
+        assert a == b
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base_delay": 0.0},
+        {"multiplier": 0.5},
+        {"max_delay": 0.0},
+        {"max_attempts": 0},
+        {"jitter": -0.1},
+        {"deadline": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(SimulationError):
+            RetryPolicy(**kwargs)
+
+    @pytest.mark.parametrize("exc,retryable", [
+        (RpcTimeoutError("m", "a", 1.0), True),
+        (RpcDropError("m", "a", "down"), True),
+        (UnresolvableAddressError("x"), True),
+        (TransportError("generic"), True),
+        (AuthorizationError("no"), False),
+        (ProtocolError("bad"), False),
+        (ValueError("boom"), False),
+    ])
+    def test_is_retryable(self, exc, retryable):
+        assert RetryPolicy.is_retryable(exc) is retryable
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        deadline = Deadline.after(10.0, 5.0)
+        assert deadline.expires_at == 15.0
+        assert deadline.remaining(12.0) == 3.0
+        assert deadline.remaining(20.0) == 0.0
+
+    def test_exceeded(self):
+        deadline = Deadline(expires_at=4.0)
+        assert not deadline.exceeded(3.9)
+        assert deadline.exceeded(4.0)

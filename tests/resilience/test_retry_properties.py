@@ -1,0 +1,64 @@
+"""Property tests for the backoff schedule (the satellite-3 contract).
+
+Three properties, over the whole parameter space:
+
+* the schedule is monotone non-decreasing and never exceeds the cap;
+* the sum of delays respects the deadline budget when one is set;
+* the schedule is a pure function of (policy, RNG seed).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import RetryPolicy
+
+@st.composite
+def policies(draw):
+    base_delay = draw(st.floats(min_value=0.01, max_value=30.0,
+                                allow_nan=False, allow_infinity=False))
+    # The cap must dominate the base or the policy rejects itself.
+    cap_stretch = draw(st.floats(min_value=1.0, max_value=64.0,
+                                 allow_nan=False, allow_infinity=False))
+    return RetryPolicy(
+        base_delay=base_delay,
+        multiplier=draw(st.floats(min_value=1.0, max_value=8.0,
+                                  allow_nan=False, allow_infinity=False)),
+        max_delay=base_delay * cap_stretch,
+        max_attempts=draw(st.integers(min_value=1, max_value=24)),
+        jitter=draw(st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False, allow_infinity=False)),
+        deadline=draw(st.one_of(
+            st.none(),
+            st.floats(min_value=0.1, max_value=1000.0,
+                      allow_nan=False, allow_infinity=False),
+        )),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_monotone_and_capped(policy, seed):
+    delays = list(policy.delays(random.Random(seed)))
+    assert len(delays) <= policy.max_attempts - 1
+    for earlier, later in zip(delays, delays[1:]):
+        assert later >= earlier
+    for delay in delays:
+        assert 0.0 < delay <= policy.max_delay
+
+
+@settings(max_examples=200, deadline=None)
+@given(policy=policies(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_deadline_budget_respected(policy, seed):
+    delays = list(policy.delays(random.Random(seed)))
+    if policy.deadline is not None:
+        assert sum(delays) <= policy.deadline
+
+
+@settings(max_examples=100, deadline=None)
+@given(policy=policies(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_deterministic_given_seed(policy, seed):
+    first = list(policy.delays(random.Random(seed)))
+    second = list(policy.delays(random.Random(seed)))
+    assert first == second

@@ -155,3 +155,125 @@ class TestLoss:
         # With 30% loss per direction, ~49% of calls complete.
         assert 100 < len(replies) < 200
         assert network.messages_lost > 50
+
+
+class TestTypedTransportErrors:
+    def test_timeout_without_on_timeout_delivers_typed_error(self):
+        from repro.errors import RpcTimeoutError
+
+        sim, network = make_network()
+        service = RpcService(address="svc://a", region="dc")
+        service.register("slow", lambda p, c: p)
+        network.attach(service)
+        network.set_down("svc://a")
+        errors = []
+        network.call("c", "client", "svc://a", "slow", 1,
+                     on_reply=lambda r: pytest.fail("dead service replied"),
+                     on_error=errors.append, timeout=1.0)
+        sim.run()
+        assert len(errors) == 1
+        exc = errors[0]
+        assert isinstance(exc, RpcTimeoutError)
+        assert exc.method == "slow"
+        assert exc.dst_address == "svc://a"
+        assert exc.timeout == 1.0
+
+    def test_on_timeout_takes_precedence_over_on_error(self):
+        sim, network = make_network()
+        service = RpcService(address="svc://a", region="dc")
+        service.register("slow", lambda p, c: p)
+        network.attach(service)
+        network.set_down("svc://a")
+        events = []
+        network.call("c", "client", "svc://a", "slow", 1,
+                     on_reply=lambda r: None,
+                     on_error=lambda e: events.append(("error", e)),
+                     timeout=1.0, on_timeout=lambda: events.append(("timeout",)))
+        sim.run()
+        assert events == [("timeout",)]
+
+    def test_fail_fast_down_service_refuses_after_one_rtt(self):
+        from repro.errors import RpcDropError
+
+        sim, network = make_network(rtt=0.2)
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        network.set_down("svc://a")
+        errors = []
+        network.call("c", "client", "svc://a", "x", 1,
+                     on_reply=lambda r: pytest.fail("dead service replied"),
+                     on_error=errors.append, timeout=30.0, fail_fast=True)
+        sim.run()
+        assert len(errors) == 1
+        assert isinstance(errors[0], RpcDropError)
+        assert errors[0].reason == "dst-down"
+        assert sim.now == pytest.approx(0.2, rel=0.05)  # rtt, not timeout
+
+
+class TestPartitions:
+    def setup_rig(self):
+        sim, network = make_network()
+        service = RpcService(address="svc://a", region="dc")
+        service.register("x", lambda p, c: p)
+        network.attach(service)
+        return sim, network
+
+    def test_blocked_request_path_times_out(self):
+        sim, network = self.setup_rig()
+        network.block_link("1.1.1.1", "svc://a")
+        timeouts, replies = [], []
+        network.call("1.1.1.1", "client", "svc://a", "x", 1,
+                     on_reply=replies.append, timeout=2.0,
+                     on_timeout=lambda: timeouts.append(sim.now))
+        sim.run()
+        assert replies == []
+        assert timeouts == [2.0]
+        assert network.messages_blocked == 1
+
+    def test_blocked_reply_path_times_out(self):
+        sim, network = self.setup_rig()
+        # Request gets through; the reply is cut -- the caller cannot
+        # tell this apart from a lost request.
+        network.block_link("svc://a", "1.1.1.1")
+        timeouts = []
+        network.call("1.1.1.1", "client", "svc://a", "x", 1,
+                     on_reply=lambda r: pytest.fail("reply crossed the cut"),
+                     timeout=2.0, on_timeout=lambda: timeouts.append(sim.now))
+        sim.run()
+        assert timeouts == [2.0]
+        assert network.messages_blocked == 1
+
+    def test_partition_blocks_both_directions_and_heals(self):
+        sim, network = self.setup_rig()
+        network.partition(["1.1.1.1"], ["svc://a"])
+        replies = []
+        network.call("1.1.1.1", "client", "svc://a", "x", 1,
+                     on_reply=replies.append, timeout=1.0,
+                     on_timeout=lambda: None)
+        sim.run()
+        assert replies == []
+        network.heal()
+        network.call("1.1.1.1", "client", "svc://a", "x", 2,
+                     on_reply=replies.append)
+        sim.run()
+        assert replies == [2]
+
+    def test_unaffected_caller_is_not_blocked(self):
+        sim, network = self.setup_rig()
+        network.partition(["1.1.1.1"], ["svc://a"])
+        replies = []
+        network.call("2.2.2.2", "client", "svc://a", "x", 3,
+                     on_reply=replies.append)
+        sim.run()
+        assert replies == [3]
+
+    def test_wildcard_blocks_every_caller(self):
+        sim, network = self.setup_rig()
+        network.block_link("*", "svc://a")
+        timeouts = []
+        network.call("9.9.9.9", "client", "svc://a", "x", 1,
+                     on_reply=lambda r: pytest.fail("wildcard leak"),
+                     timeout=1.0, on_timeout=lambda: timeouts.append(1))
+        sim.run()
+        assert timeouts == [1]
