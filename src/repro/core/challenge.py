@@ -61,7 +61,7 @@ class Challenge:
         """Parse the wire form; raises :class:`ChallengeError`."""
         try:
             outer = Decoder(blob)
-            body = Decoder(outer.get_bytes())
+            body = Decoder(outer.get_view())
             mac = outer.get_bytes()
             outer.finish()
             challenge = cls(

@@ -520,7 +520,7 @@ class ChannelManager:
             )
         self._channels = {}
         for _ in range(dec.get_u32()):
-            record = ChannelRecord.from_bytes(dec.get_bytes())
+            record = ChannelRecord.from_bytes(dec.get_view())
             self._channels[record.channel_id] = record
         self._log = []
         self._latest = {}
@@ -546,7 +546,7 @@ class ChannelManager:
         elif rec_type == REC_CHANNEL_LIST:
             channels: Dict[str, ChannelRecord] = {}
             for _ in range(dec.get_u32()):
-                record = ChannelRecord.from_bytes(dec.get_bytes())
+                record = ChannelRecord.from_bytes(dec.get_view())
                 channels[record.channel_id] = record
             self._channels = channels
         elif rec_type == REC_REJECTION:

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.keystream import ContentKey, ContentKeySchedule
-from repro.core.packets import ContentPacket, encrypt_packet
+from repro.core.packets import ContentPacket, encrypt_packet, encrypt_packets
 from repro.crypto.drbg import HmacDrbg
 from repro.trace.span import Tracer, maybe_span
 
@@ -90,15 +90,52 @@ class ChannelServer:
         return frame
 
     def emit_packet(self, now: float, payload: Optional[bytes] = None) -> ContentPacket:
-        """Ingest one frame and seal it under the current content key."""
-        frame = self.ingest_frame(now, payload)
-        self.packets_emitted += 1
+        """Ingest one frame and seal it under the current content key.
+
+        ``packets_emitted`` counts only packets that actually leave the
+        server: the key lookup runs *before* the frame is ingested and
+        counted, so a pre-start ``ProtocolError`` neither inflates the
+        counter nor burns a sequence number.
+        """
         if not self.encrypted:
             # Unencrypted channels still carry the serial byte (0) and
             # sequence so the packet format is uniform on the overlay.
+            frame = self.ingest_frame(now, payload)
+            self.packets_emitted += 1
             return ContentPacket(serial=0, sequence=frame.sequence, ciphertext=frame.payload)
         content_key = self.schedule.current_key(now)
-        return encrypt_packet(content_key, self.channel_id, frame.sequence, frame.payload)
+        frame = self.ingest_frame(now, payload)
+        packet = encrypt_packet(content_key, self.channel_id, frame.sequence, frame.payload)
+        self.packets_emitted += 1
+        return packet
+
+    def emit_packets(self, now: float, count: int) -> List[ContentPacket]:
+        """Ingest and seal a whole batch of frames (e.g. one GOP).
+
+        All ``count`` frames share the content key active at ``now``
+        (a GOP never straddles an epoch at realistic frame rates), so
+        the schedule is consulted once and the batch is sealed through
+        :func:`~repro.core.packets.encrypt_packets`, which amortizes
+        the per-key cipher state and the AAD encoding over the batch.
+        """
+        if count <= 0:
+            return []
+        if not self.encrypted:
+            frames = [self.ingest_frame(now) for _ in range(count)]
+            self.packets_emitted += count
+            return [
+                ContentPacket(serial=0, sequence=f.sequence, ciphertext=f.payload)
+                for f in frames
+            ]
+        content_key = self.schedule.current_key(now)
+        frames = [self.ingest_frame(now) for _ in range(count)]
+        packets = encrypt_packets(
+            content_key,
+            self.channel_id,
+            [(f.sequence, f.payload) for f in frames],
+        )
+        self.packets_emitted += count
+        return packets
 
     def current_key(self, now: float) -> ContentKey:
         """The active content key (for the overlay root)."""

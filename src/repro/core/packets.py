@@ -11,15 +11,25 @@ and gives receivers loss/reorder visibility.  The AEAD tag is what
 detects channel hijacking: rogue packets "accidentally or maliciously
 injected into the P2P network to masquerade as legitimate contents"
 fail authentication at every honest client.
+
+This module is on the data plane's per-frame hot path, so it offers
+batch entry points (:func:`encrypt_packets` for whole-GOP sealing,
+:func:`reencrypt_key_for_links` for per-child key fan-out) that hoist
+the invariant work -- key lookup, AAD encoding, cipher state -- out of
+the per-packet/per-child loop, and :meth:`ContentPacket.from_bytes`
+accepts any bytes-like buffer so wire decode can hand it a
+:class:`memoryview` without copying first.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.keystream import ContentKey, ContentKeyRing
 from repro.crypto.stream import SymmetricKey
 from repro.errors import DecryptionError
+from repro.metrics.dataplane import counters as dataplane_counters
 
 _HEADER_LEN = 1 + 8
 
@@ -37,18 +47,24 @@ class ContentPacket:
         return (
             self.serial.to_bytes(1, "big")
             + self.sequence.to_bytes(8, "big")
-            + self.ciphertext
+            + bytes(self.ciphertext)
         )
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "ContentPacket":
-        """Parse the wire form."""
+    def from_bytes(cls, blob) -> "ContentPacket":
+        """Parse the wire form from any bytes-like buffer.
+
+        A :class:`memoryview` input is parsed in place -- only the
+        ciphertext is materialized, once; headers are read without
+        slicing copies.
+        """
         if len(blob) < _HEADER_LEN:
             raise DecryptionError("packet shorter than header")
+        view = blob if isinstance(blob, memoryview) else memoryview(blob)
         return cls(
-            serial=blob[0],
-            sequence=int.from_bytes(blob[1:9], "big"),
-            ciphertext=blob[9:],
+            serial=view[0],
+            sequence=int.from_bytes(view[1:9], "big"),
+            ciphertext=bytes(view[9:]),
         )
 
     @property
@@ -70,9 +86,35 @@ def encrypt_packet(
     ciphertext = content_key.key.encrypt(
         payload, nonce=sequence, aad=channel_id.encode("utf-8")
     )
+    dataplane_counters.packets_sealed += 1
+    dataplane_counters.bytes_sealed += len(payload)
     return ContentPacket(
         serial=content_key.serial, sequence=sequence, ciphertext=ciphertext
     )
+
+
+def encrypt_packets(
+    content_key: ContentKey,
+    channel_id: str,
+    frames: Sequence[Tuple[int, bytes]],
+) -> List[ContentPacket]:
+    """Seal a whole batch of ``(sequence, payload)`` frames (one GOP).
+
+    Equivalent to calling :func:`encrypt_packet` per frame but the AAD
+    is encoded once and the cipher amortizes its per-key state over
+    the batch (:meth:`SymmetricKey.encrypt_many`).
+    """
+    aad = channel_id.encode("utf-8")
+    sequences = [sequence for sequence, _ in frames]
+    payloads = [payload for _, payload in frames]
+    ciphertexts = content_key.key.encrypt_many(payloads, sequences, aad=aad)
+    serial = content_key.serial
+    dataplane_counters.packets_sealed += len(frames)
+    dataplane_counters.bytes_sealed += sum(len(p) for p in payloads)
+    return [
+        ContentPacket(serial=serial, sequence=sequence, ciphertext=ciphertext)
+        for sequence, ciphertext in zip(sequences, ciphertexts)
+    ]
 
 
 def decrypt_packet(
@@ -85,9 +127,12 @@ def decrypt_packet(
     keys) or when the tag fails (hijacked/corrupted content).
     """
     content_key = ring.get(packet.serial)
-    return content_key.key.decrypt(
+    payload = content_key.key.decrypt(
         packet.ciphertext, nonce=packet.sequence, aad=channel_id.encode("utf-8")
     )
+    dataplane_counters.packets_opened += 1
+    dataplane_counters.bytes_opened += len(payload)
+    return payload
 
 
 def reencrypt_key_for_link(
@@ -104,6 +149,26 @@ def reencrypt_key_for_link(
         nonce=content_key.serial,
         aad=b"keydist|" + channel_id.encode("utf-8"),
     )
+
+
+def reencrypt_key_for_links(
+    content_key: ContentKey,
+    session_keys: Iterable[SymmetricKey],
+    channel_id: str,
+) -> List[bytes]:
+    """Re-encrypt one content key for a whole set of child links.
+
+    The per-message parts that do not vary across children -- the AAD,
+    the nonce bytes, the key-material plaintext -- are built once; the
+    per-child work is exactly one session-key encryption.
+    """
+    aad = b"keydist|" + channel_id.encode("utf-8")
+    material = content_key.key.material
+    serial = content_key.serial
+    return [
+        session_key.encrypt(material, nonce=serial, aad=aad)
+        for session_key in session_keys
+    ]
 
 
 def decrypt_key_from_link(

@@ -568,7 +568,7 @@ class ChannelPolicyManager:
         dec = Decoder(state)
         self._channels = {}
         for _ in range(dec.get_u32()):
-            record = ChannelRecord.from_bytes(dec.get_bytes())
+            record = ChannelRecord.from_bytes(dec.get_view())
             self._channels[record.channel_id] = record
         self._attribute_list = AttributeSet.decode(dec)
         dec.finish()

@@ -141,7 +141,7 @@ class UserTicket:
     def from_bytes(cls, blob: bytes) -> "UserTicket":
         """Parse the wire form produced by :meth:`to_bytes`."""
         outer = Decoder(blob)
-        body = Decoder(outer.get_bytes())
+        body = Decoder(outer.get_view())
         signature = outer.get_bytes()
         outer.finish()
         magic = body.get_bytes()
@@ -149,7 +149,7 @@ class UserTicket:
             raise TicketInvalidError("not a user ticket")
         ticket = cls(
             user_id=body.get_u64(),
-            client_public_key=RsaPublicKey.from_bytes(body.get_bytes()),
+            client_public_key=RsaPublicKey.from_bytes(body.get_view()),
             start_time=body.get_f64(),
             expire_time=body.get_f64(),
             attributes=AttributeSet.decode(body),
@@ -263,7 +263,7 @@ class ChannelTicket:
     def from_bytes(cls, blob: bytes) -> "ChannelTicket":
         """Parse the wire form produced by :meth:`to_bytes`."""
         outer = Decoder(blob)
-        body = Decoder(outer.get_bytes())
+        body = Decoder(outer.get_view())
         signature = outer.get_bytes()
         outer.finish()
         magic = body.get_bytes()
@@ -272,7 +272,7 @@ class ChannelTicket:
         ticket = cls(
             channel_id=body.get_str(),
             user_id=body.get_u64(),
-            client_public_key=RsaPublicKey.from_bytes(body.get_bytes()),
+            client_public_key=RsaPublicKey.from_bytes(body.get_view()),
             net_addr=body.get_str(),
             renewal=body.get_bool(),
             start_time=body.get_f64(),

@@ -4,7 +4,7 @@ The production system encrypts the channel signal with 128-bit AES
 under a rotating *content key* and protects key-distribution hops with
 per-link *session keys* (Section IV-E).  AES itself is irrelevant to
 every quantity the paper measures, so this module substitutes a
-SHA-256-based CTR stream cipher with an encrypt-then-MAC HMAC tag
+keyed-XOF stream cipher with an encrypt-then-MAC HMAC tag
 (substitution documented in DESIGN.md).  The interface mirrors an AEAD:
 
 >>> key = SymmetricKey.generate(drbg)
@@ -16,33 +16,134 @@ Integrity matters in the paper's threat model: encrypting the signal
 exists partly "to detect when the channel has been hijacked, whereby
 rogue contents are ... injected into the P2P network" (Section IV-E).
 The MAC tag is what turns injection into a detectable event.
+
+The cipher sits on the data-plane hot path -- every media frame is
+sealed once at the Channel Server and opened at every peer, at 25
+frames/s across the whole audience -- so the implementation is
+vectorized end to end (DESIGN.md §11):
+
+* the keystream for ``(key, nonce)`` is ``SHAKE256(key || "|ctr|" ||
+  nonce_8)`` squeezed to the message length in **one** C-level call;
+  the XOF state over the invariant ``key || "|ctr|"`` prefix is
+  absorbed once per key and ``.copy()``'d per message;
+* the HMAC-SHA256 key schedule is absorbed once per key and
+  ``.copy()``'d per tag;
+* the keystream XOR runs as a single wide-integer operation instead of
+  a per-byte generator.
+
+:func:`reference_encrypt`/:func:`reference_decrypt` are a scalar
+implementation of the *same* construction (per-32-byte-block squeeze,
+per-byte XOR, fresh HMAC per tag); the equivalence suite pins the fast
+path against them byte for byte.  :func:`legacy_encrypt`/
+:func:`legacy_decrypt` retain the seed SHA-256-CTR implementation this
+PR replaced -- not ciphertext-compatible, kept as the data-plane
+benchmark's *before* baseline.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import DecryptionError, KeyFormatError
+from repro.metrics.dataplane import counters as dataplane_counters
 
 _KEY_LEN = 16  # 128-bit key, matching the paper's AES-128
 _TAG_LEN = 16  # truncated HMAC-SHA256 tag
-_BLOCK = 32  # SHA-256 output per counter block
+_BLOCK = 32  # keystream accounting unit (one SHA-256 output's worth)
+
+#: Cached per-key XOF/MAC states, keyed by key material.  Kept at
+#: module level (bounded LRU) rather than on the SymmetricKey instance
+#: so frozen keys stay trivially picklable/deep-copyable -- hashlib
+#: and hmac state objects are neither.
+_STATE_CACHE_MAX = 1024
+_prefix_states: "OrderedDict[bytes, object]" = OrderedDict()
+_mac_states: "OrderedDict[bytes, hmac.HMAC]" = OrderedDict()
+
+
+def _cached_state(cache: OrderedDict, key: bytes, build):
+    state = cache.get(key)
+    if state is None:
+        state = build()
+        cache[key] = state
+        if len(cache) > _STATE_CACHE_MAX:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return state
+
+
+def _prefix_state(key: bytes):
+    """XOF state over the per-key keystream prefix ``key || "|ctr|"``."""
+    return _cached_state(
+        _prefix_states, key, lambda: hashlib.shake_256(key + b"|ctr|")
+    )
+
+
+def _mac_state(key: bytes) -> "hmac.HMAC":
+    """HMAC-SHA256 state with the key schedule absorbed, body pending."""
+    return _cached_state(
+        _mac_states, key, lambda: hmac.new(key, digestmod=hashlib.sha256)
+    )
+
+
+try:  # numpy is an optional accelerator; the wide-int path is always there
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+
+def _xor_bytes(data, stream: bytes) -> bytes:
+    """XOR two equal-length byte strings in one vectorized operation."""
+    if _np is not None and len(data) >= 256:
+        return (
+            _np.frombuffer(data, dtype=_np.uint8)
+            ^ _np.frombuffer(stream, dtype=_np.uint8)
+        ).tobytes()
+    n = len(data)
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(n, "big")
 
 
 def _keystream(key: bytes, nonce: int, length: int) -> bytes:
-    """Derive ``length`` keystream bytes for (key, nonce) in CTR mode."""
+    """Derive ``length`` keystream bytes for (key, nonce).
+
+    The keystream is ``SHAKE256(key || "|ctr|" || nonce_8)`` squeezed
+    to ``length`` -- the invariant prefix state comes from the per-key
+    cache, so the per-message work is one ``.copy()``, one 8-byte
+    update, and a single C-level squeeze.
+    """
+    if length <= 0:
+        return b""
+    xof = _prefix_state(key).copy()
+    xof.update(nonce.to_bytes(8, "big", signed=False))
+    dataplane_counters.keystream_blocks += -(-length // _BLOCK)
+    return xof.digest(length)
+
+
+def _reference_keystream(key: bytes, nonce: int, length: int) -> bytes:
+    """Scalar keystream: re-absorb and squeeze per 32-byte block.
+
+    Computes exactly the bytes of :func:`_keystream` the slow way,
+    leaning on the XOF prefix property (``digest(n)`` is a prefix of
+    ``digest(m)`` for ``n <= m``): block ``i`` re-absorbs the whole
+    input from scratch and squeezes through offset ``32*(i+1)``.
+    Retained as the behavioural pin for the vectorized path -- the
+    equivalence suite asserts byte-for-byte agreement.
+    """
     out = bytearray()
-    counter = 0
     nonce_b = nonce.to_bytes(8, "big", signed=False)
+    block_index = 0
     while len(out) < length:
-        block = hashlib.sha256(
-            key + b"|ctr|" + nonce_b + counter.to_bytes(8, "big")
-        ).digest()
+        end = (block_index + 1) * _BLOCK
+        block = hashlib.shake_256(key + b"|ctr|" + nonce_b).digest(end)[-_BLOCK:]
         out.extend(block)
-        counter += 1
+        block_index += 1
     return bytes(out[:length])
 
 
@@ -77,28 +178,169 @@ class SymmetricKey:
         if nonce < 0:
             raise ValueError("nonce must be non-negative")
         stream = _keystream(self.material, nonce, len(plaintext))
-        body = bytes(a ^ b for a, b in zip(plaintext, stream))
+        body = _xor_bytes(plaintext, stream)
         tag = self._tag(body, nonce, aad)
         return body + tag
 
-    def decrypt(self, ciphertext: bytes, nonce: int, aad: bytes = b"") -> bytes:
-        """Verify the tag and decrypt; raise :class:`DecryptionError` on tamper."""
+    def encrypt_many(
+        self,
+        plaintexts: Sequence[bytes],
+        nonces: Sequence[int],
+        aad: bytes = b"",
+    ) -> List[bytes]:
+        """Seal a whole batch (e.g. one GOP) under this key.
+
+        Semantically identical to ``[encrypt(p, n, aad) for p, n in
+        zip(plaintexts, nonces)]`` but hoists the per-key XOF/MAC state
+        lookups and the AAD tag header out of the loop.
+        """
+        if len(plaintexts) != len(nonces):
+            raise ValueError(
+                f"{len(plaintexts)} plaintexts but {len(nonces)} nonces"
+            )
+        if any(nonce < 0 for nonce in nonces):
+            raise ValueError("nonce must be non-negative")
+        prefix = _prefix_state(self.material)
+        mac = _mac_state(self.material)
+        aad_header = len(aad).to_bytes(4, "big") + aad
+        out: List[bytes] = []
+        blocks = 0
+        for plaintext, nonce in zip(plaintexts, nonces):
+            length = len(plaintext)
+            nonce_b = nonce.to_bytes(8, "big", signed=False)
+            if length:
+                xof = prefix.copy()
+                xof.update(nonce_b)
+                blocks += -(-length // _BLOCK)
+                body = _xor_bytes(plaintext, xof.digest(length))
+            else:
+                body = b""
+            tagger = mac.copy()
+            tagger.update(nonce_b + aad_header)
+            tagger.update(body)
+            out.append(body + tagger.digest()[:_TAG_LEN])
+        dataplane_counters.keystream_blocks += blocks
+        return out
+
+    def decrypt(self, ciphertext, nonce: int, aad: bytes = b"") -> bytes:
+        """Verify the tag and decrypt; raise :class:`DecryptionError` on tamper.
+
+        Accepts any bytes-like buffer; the body/tag split is done over
+        a :class:`memoryview` so opening a wire-decoded packet never
+        copies the ciphertext.
+        """
         if len(ciphertext) < _TAG_LEN:
             raise DecryptionError("ciphertext shorter than tag")
-        body, tag = ciphertext[:-_TAG_LEN], ciphertext[-_TAG_LEN:]
+        view = memoryview(ciphertext)
+        body, tag = view[:-_TAG_LEN], view[-_TAG_LEN:]
         expected = self._tag(body, nonce, aad)
         if not hmac.compare_digest(tag, expected):
             raise DecryptionError("integrity tag mismatch")
         stream = _keystream(self.material, nonce, len(body))
-        return bytes(a ^ b for a, b in zip(body, stream))
+        return _xor_bytes(body, stream)
 
-    def _tag(self, body: bytes, nonce: int, aad: bytes) -> bytes:
-        msg = nonce.to_bytes(8, "big") + len(aad).to_bytes(4, "big") + aad + body
-        return hmac.new(self.material, msg, hashlib.sha256).digest()[:_TAG_LEN]
+    def _tag(self, body, nonce: int, aad: bytes) -> bytes:
+        mac = _mac_state(self.material).copy()
+        mac.update(nonce.to_bytes(8, "big") + len(aad).to_bytes(4, "big") + aad)
+        mac.update(body)
+        return mac.digest()[:_TAG_LEN]
 
     def fingerprint(self) -> str:
-        """Short identifier safe for logs (does not reveal the key)."""
-        return hashlib.sha256(b"fp|" + self.material).hexdigest()[:12]
+        """Short identifier safe for logs (does not reveal the key).
+
+        Memoized on first use: tracing and log formatting call this on
+        every event, and the key is frozen, so one SHA-256 suffices.
+        """
+        cached = self.__dict__.get("_fingerprint_cache")
+        if cached is not None:
+            return cached
+        fp = hashlib.sha256(b"fp|" + self.material).hexdigest()[:12]
+        object.__setattr__(self, "_fingerprint_cache", fp)
+        return fp
+
+
+def reference_encrypt(
+    key: "SymmetricKey", plaintext: bytes, nonce: int, aad: bytes = b""
+) -> bytes:
+    """Scalar encrypt: byte-identical to :meth:`SymmetricKey.encrypt`.
+
+    Per-byte generator XOR over :func:`_reference_keystream`, with a
+    fresh HMAC per tag.  The equivalence suite pins the fast path
+    against this.
+    """
+    if nonce < 0:
+        raise ValueError("nonce must be non-negative")
+    stream = _reference_keystream(key.material, nonce, len(plaintext))
+    body = bytes(a ^ b for a, b in zip(plaintext, stream))
+    tag = _fresh_tag(key.material, body, nonce, aad)
+    return body + tag
+
+
+def reference_decrypt(
+    key: "SymmetricKey", ciphertext: bytes, nonce: int, aad: bytes = b""
+) -> bytes:
+    """Scalar decrypt: byte-identical to :meth:`SymmetricKey.decrypt`."""
+    if len(ciphertext) < _TAG_LEN:
+        raise DecryptionError("ciphertext shorter than tag")
+    ciphertext = bytes(ciphertext)
+    body, tag = ciphertext[:-_TAG_LEN], ciphertext[-_TAG_LEN:]
+    expected = _fresh_tag(key.material, body, nonce, aad)
+    if not hmac.compare_digest(tag, expected):
+        raise DecryptionError("integrity tag mismatch")
+    stream = _reference_keystream(key.material, nonce, len(body))
+    return bytes(a ^ b for a, b in zip(body, stream))
+
+
+def _legacy_keystream(key: bytes, nonce: int, length: int) -> bytes:
+    """The seed SHA-256-CTR keystream: full re-hash per 32-byte block."""
+    out = bytearray()
+    counter = 0
+    nonce_b = nonce.to_bytes(8, "big", signed=False)
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + b"|ctr|" + nonce_b + counter.to_bytes(8, "big")
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def legacy_encrypt(
+    key: "SymmetricKey", plaintext: bytes, nonce: int, aad: bytes = b""
+) -> bytes:
+    """The seed data-plane encrypt path, retained verbatim.
+
+    SHA-256-CTR keystream rebuilt from scratch per block and a
+    per-byte generator XOR.  **Not** ciphertext-compatible with
+    :meth:`SymmetricKey.encrypt` (different keystream construction);
+    kept solely as the data-plane benchmark's *before* configuration.
+    """
+    if nonce < 0:
+        raise ValueError("nonce must be non-negative")
+    stream = _legacy_keystream(key.material, nonce, len(plaintext))
+    body = bytes(a ^ b for a, b in zip(plaintext, stream))
+    tag = _fresh_tag(key.material, body, nonce, aad)
+    return body + tag
+
+
+def legacy_decrypt(
+    key: "SymmetricKey", ciphertext: bytes, nonce: int, aad: bytes = b""
+) -> bytes:
+    """The seed data-plane decrypt path, retained verbatim."""
+    if len(ciphertext) < _TAG_LEN:
+        raise DecryptionError("ciphertext shorter than tag")
+    ciphertext = bytes(ciphertext)
+    body, tag = ciphertext[:-_TAG_LEN], ciphertext[-_TAG_LEN:]
+    expected = _fresh_tag(key.material, body, nonce, aad)
+    if not hmac.compare_digest(tag, expected):
+        raise DecryptionError("integrity tag mismatch")
+    stream = _legacy_keystream(key.material, nonce, len(body))
+    return bytes(a ^ b for a, b in zip(body, stream))
+
+
+def _fresh_tag(material: bytes, body: bytes, nonce: int, aad: bytes) -> bytes:
+    msg = nonce.to_bytes(8, "big") + len(aad).to_bytes(4, "big") + aad + body
+    return hmac.new(material, msg, hashlib.sha256).digest()[:_TAG_LEN]
 
 
 def seal(key: SymmetricKey, plaintext: bytes, nonce: int, aad: bytes = b"") -> bytes:

@@ -42,6 +42,7 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import generate_keypair
 from repro.errors import ReproError
 from repro.geo.database import GeoDatabase
+from repro.metrics.dataplane import counters as dataplane_counters
 from repro.metrics.hotpath import counters as hotpath_counters
 from repro.metrics.registry import MetricsRegistry
 from repro.resilience.counters import ResilienceCounters
@@ -197,6 +198,7 @@ class Deployment:
         #: subsystems come up (durable stores, the tracer).
         self.metrics = MetricsRegistry()
         self.metrics.register("hotpath", hotpath_counters)
+        self.metrics.register("dataplane", dataplane_counters)
         #: Shared resilience counter block: every retry loop, breaker,
         #: and degraded-mode transition built against this deployment
         #: should aggregate here so ``metrics`` reports them.

@@ -20,6 +20,7 @@ from repro.metrics.stats import (
     cdf_points,
 )
 from repro.metrics.collector import LatencyCollector, HourlyBin
+from repro.metrics.dataplane import DataplaneCounters, counters as dataplane_counters
 from repro.metrics.hotpath import HotpathCounters, counters as hotpath_counters
 from repro.metrics.registry import MetricsRegistry, registry
 
@@ -30,6 +31,8 @@ __all__ = [
     "cdf_points",
     "LatencyCollector",
     "HourlyBin",
+    "DataplaneCounters",
+    "dataplane_counters",
     "HotpathCounters",
     "hotpath_counters",
     "MetricsRegistry",

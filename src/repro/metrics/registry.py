@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, Mapping
 
+from repro.metrics.dataplane import counters as _dataplane_counters
 from repro.metrics.hotpath import counters as _hotpath_counters
 from repro.metrics.reporting import format_table
 
@@ -73,6 +74,8 @@ class MetricsRegistry:
         return format_table(["source", "metric", "value"], rows)
 
 
-#: Process-wide default registry; the hot-path counters are always in.
+#: Process-wide default registry; the hot-path and data-plane
+#: counters are always in.
 registry = MetricsRegistry()
 registry.register("hotpath", _hotpath_counters)
+registry.register("dataplane", _dataplane_counters)

@@ -101,6 +101,21 @@ class SourcePeer(Peer):
         packet = self.server.emit_packet(now)
         return self.forward_packet(packet, substream_count)
 
+    def broadcast_packets(
+        self, now: float, count: int, substream_count: int = 1
+    ) -> int:
+        """Emit and forward a whole batch of packets (e.g. one GOP).
+
+        The server seals all ``count`` frames in one batched call
+        (:meth:`~repro.core.channel_server.ChannelServer.emit_packets`),
+        then each packet is forwarded down the tree.  Returns the total
+        number of child deliveries across the batch.
+        """
+        reached = 0
+        for packet in self.server.emit_packets(now, count):
+            reached += self.forward_packet(packet, substream_count)
+        return reached
+
 
 class ChannelOverlay:
     """All peers carrying one channel, rooted at the Channel Server."""

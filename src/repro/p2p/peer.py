@@ -21,7 +21,12 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.client import Client
 from repro.core.keystream import ContentKey
-from repro.core.packets import ContentPacket, reencrypt_key_for_link
+from repro.core.packets import (
+    ContentPacket,
+    reencrypt_key_for_link,
+    reencrypt_key_for_links,
+)
+from repro.metrics.dataplane import counters as dataplane_counters
 from repro.core.protocol import (
     JoinAccept,
     JoinReject,
@@ -97,6 +102,9 @@ class Peer:
         self.joins_rejected = 0
         self.key_updates_sent = 0
         self.packets_forwarded = 0
+        #: Packets this peer could not decrypt and refused to forward
+        #: (lost authorization, or hijacked/corrupted content).
+        self.packets_dropped_undecryptable = 0
         #: Shared tracer, attached by Deployment.enable_tracing().
         self.tracer: Optional[Tracer] = None
 
@@ -216,20 +224,42 @@ class Peer:
             return sent
 
     def _push_key_to_children(self, content_key: ContentKey, now: float) -> int:
-        sent = 0
-        for link in list(self.children.values()):
+        return self.push_key_update(content_key, now)
+
+    def push_key_update(self, content_key: ContentKey, now: float) -> int:
+        """Batched fan-out: one key, every child, invariants built once.
+
+        The parts of the per-child message that do not vary -- channel
+        id, serial, activation time, the AAD and key-material plaintext
+        inside :func:`reencrypt_key_for_links` -- are prepared once for
+        the whole batch; the per-child work is exactly one session-key
+        encryption and one :class:`KeyUpdate` construction.  Returns
+        the number of link messages sent (including the recursive
+        cascade through children that newly learned the key).
+        """
+        links = list(self.children.values())
+        if not links:
+            return 0
+        blobs = reencrypt_key_for_links(
+            content_key, (link.session_key for link in links), self.channel_id
+        )
+        channel_id = self.channel_id
+        serial = content_key.serial
+        activate_at = content_key.activate_at
+        self.key_updates_sent += len(links)
+        dataplane_counters.fanout_messages += len(links)
+        dataplane_counters.fanout_batches += 1
+        sent = len(links)
+        for link, blob in zip(links, blobs):
+            if link.child_peer is None:
+                continue
             update = KeyUpdate(
-                channel_id=self.channel_id,
-                serial=content_key.serial,
-                encrypted_content_key=reencrypt_key_for_link(
-                    content_key, link.session_key, self.channel_id
-                ),
-                activate_at=content_key.activate_at,
+                channel_id=channel_id,
+                serial=serial,
+                encrypted_content_key=blob,
+                activate_at=activate_at,
             )
-            self.key_updates_sent += 1
-            sent += 1
-            if link.child_peer is not None:
-                sent += link.child_peer.receive_key_update(update, parent=self, now=now)
+            sent += link.child_peer.receive_key_update(update, parent=self, now=now)
         return sent
 
     def receive_key_update(self, update: KeyUpdate, parent: "Peer", now: float) -> int:
@@ -265,6 +295,7 @@ class Peer:
             if link.child_peer is None:
                 continue
             self.packets_forwarded += 1
+            dataplane_counters.packets_forwarded += 1
             reached += 1
             link.child_peer.deliver_packet(packet, substream_count)
         return reached
@@ -275,7 +306,11 @@ class Peer:
             self.client.receive_packet(packet)
         except ReproError:
             # Undecryptable content (we lost authorization, or the
-            # channel was hijacked) is not forwarded onward.
+            # channel was hijacked) is not forwarded onward.  Counted:
+            # a rising drop rate is how hijack and authorization-loss
+            # events become observable in ``Deployment.metrics``.
+            self.packets_dropped_undecryptable += 1
+            dataplane_counters.packets_dropped_undecryptable += 1
             return
         self.forward_packet(packet, substream_count)
 

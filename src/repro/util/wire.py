@@ -97,17 +97,34 @@ class Decoder:
 
     Raises :class:`WireError` on truncation or malformed content; a
     fully consumed buffer can be asserted with :meth:`finish`.
+
+    The decoder reads through a :class:`memoryview`, so slicing never
+    copies: nested structures decode via :meth:`get_view`, which hands
+    the inner decoder a window into the *same* underlying buffer.  A
+    ``bytes`` input is wrapped directly (immutable, safe to alias); a
+    ``bytearray`` is snapshotted first, because the caller could
+    mutate it mid-decode and because an outstanding view would pin the
+    bytearray against resizing.
     """
 
     def __init__(self, buffer: bytes) -> None:
-        if not isinstance(buffer, (bytes, bytearray, memoryview)):
+        if isinstance(buffer, bytes):
+            view = memoryview(buffer)
+        elif isinstance(buffer, bytearray):
+            view = memoryview(bytes(buffer))
+        elif isinstance(buffer, memoryview):
+            try:
+                view = buffer.cast("B")
+            except (TypeError, ValueError) as exc:
+                raise WireError("decoder needs a contiguous byte buffer") from exc
+        else:
             raise WireError(
                 f"decoder needs a byte buffer, got {type(buffer).__name__}"
             )
-        self._buf = bytes(buffer)
+        self._buf = view
         self._pos = 0
 
-    def _take(self, n: int) -> bytes:
+    def _take(self, n: int) -> memoryview:
         if n < 0:
             raise WireError(f"negative read of {n} bytes")
         if self._pos + n > len(self._buf):
@@ -146,6 +163,18 @@ class Decoder:
 
     def get_bytes(self) -> bytes:
         length = self.get_u32()
+        return bytes(self._take(length))
+
+    def get_view(self) -> memoryview:
+        """Zero-copy :meth:`get_bytes`: a window into the same buffer.
+
+        Used for nested records -- ``Decoder(outer.get_view())`` walks
+        the inner structure without materializing an intermediate
+        ``bytes`` copy.  The view aliases the outer buffer; callers
+        that need to retain the data past the decode must copy it
+        (``bytes(view)``).
+        """
+        length = self.get_u32()
         return self._take(length)
 
     def get_count(self, min_item_size: int = 1) -> int:
@@ -170,9 +199,10 @@ class Decoder:
         return count
 
     def get_str(self) -> str:
-        raw = self.get_bytes()
+        raw = self._take(self.get_u32())
         try:
-            return raw.decode("utf-8")
+            # str() decodes straight from the view -- no bytes copy.
+            return str(raw, "utf-8")
         except UnicodeDecodeError as exc:
             raise WireError("invalid UTF-8 in string field") from exc
 

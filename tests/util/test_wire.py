@@ -263,3 +263,63 @@ class TestBoundedCounts:
         if size * (count + 1) > len(payload):
             with pytest.raises(WireError):
                 short.get_count(min_item_size=size)
+
+
+class TestZeroCopyViews:
+    def test_get_view_matches_get_bytes(self):
+        blob = Encoder().put_bytes(b"inner payload").put_bytes(b"tail").to_bytes()
+        view = Decoder(blob).get_view()
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"inner payload"
+        assert Decoder(blob).get_bytes() == b"inner payload"
+
+    def test_view_aliases_outer_buffer(self):
+        """get_view returns a window into the same allocation -- the
+        zero-copy property the nested decoders rely on."""
+        blob = Encoder().put_bytes(b"abcdef").to_bytes()
+        view = Decoder(blob).get_view()
+        assert view.obj is blob
+
+    def test_nested_decoder_over_view(self):
+        inner = Encoder().put_str("ch1").put_u64(42).to_bytes()
+        outer = Encoder().put_bytes(inner).put_bool(True).to_bytes()
+        dec = Decoder(outer)
+        body = Decoder(dec.get_view())
+        assert body.get_str() == "ch1"
+        assert body.get_u64() == 42
+        body.finish()
+        assert dec.get_bool() is True
+        dec.finish()
+
+    def test_truncated_view_raises_same_error(self):
+        blob = Encoder().put_u32(100).to_bytes() + b"short"
+        with pytest.raises(WireError):
+            Decoder(blob).get_view()
+
+    def test_memoryview_input_accepted(self):
+        blob = Encoder().put_str("hello").put_u32(7).to_bytes()
+        dec = Decoder(memoryview(blob))
+        assert dec.get_str() == "hello"
+        assert dec.get_u32() == 7
+        dec.finish()
+
+    def test_bytearray_input_snapshotted(self):
+        """A bytearray caller can mutate after construction without
+        corrupting an in-progress decode."""
+        raw = bytearray(Encoder().put_str("stable").to_bytes())
+        dec = Decoder(raw)
+        raw[:] = b"\xff" * len(raw)
+        assert dec.get_str() == "stable"
+
+    def test_non_contiguous_memoryview_rejected(self):
+        blob = bytes(range(16))
+        strided = memoryview(blob)[::2]
+        with pytest.raises(WireError):
+            Decoder(strided)
+
+    def test_get_bytes_still_returns_owned_bytes(self):
+        """get_bytes keeps its copying contract: callers may hold the
+        result forever without pinning the wire buffer."""
+        blob = Encoder().put_bytes(b"keep me").to_bytes()
+        out = Decoder(blob).get_bytes()
+        assert type(out) is bytes
