@@ -1,0 +1,217 @@
+"""Shardscale: aggregate SWITCH2/RENEWAL capacity as farms grow 1 -> 16.
+
+The sharded manager tier only earns its complexity if adding farms
+adds capacity.  This benchmark builds the same Zattoo-shaped
+population (Zipf channel popularity over a fixed audience) against
+deployments of 1, 2, 4, 8 and 16 Authentication Domains / Channel
+Listing Partitions, then measures the two steady-state control-plane
+operations of Section IV-D through the sharded request path:
+
+* **SWITCH2** -- clients switch channels; each op lands on the Channel
+  Manager farm owning the target channel (channel ring placement);
+* **RENEWAL** -- clients renew their Channel Ticket inside the renewal
+  window; the serving CM routes the one-viewing-location check to the
+  viewing partition owning the user.
+
+Farms are independent machines in production, so aggregate capacity is
+the *sum of per-shard service rates measured independently* on this
+single thread: for each shard, its share of the workload is timed
+alone and contributes ``ops / elapsed``.  Ideal scaling at F farms is
+``F x`` the single-farm aggregate; the acceptance bound is >=0.75x
+ideal at 16 farms (per-op cost is O(1) in shard count -- dict lookups
+plus an O(log vnodes) ring probe -- so anything below that indicates a
+serialization bug in the placement layer).
+
+``SHARDSCALE_BENCH_USERS`` scales the audience and
+``SHARDSCALE_BENCH_ITERS`` the switch rounds; CI smoke runs use small
+values and assert a loose sanity bound (tiny per-shard batches are too
+noisy for the strict ratio).  Results go to ``BENCH_shardscale.json``
+at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.deployment import Deployment
+
+USERS = int(os.environ.get("SHARDSCALE_BENCH_USERS", "48"))
+SWITCH_ROUNDS = int(os.environ.get("SHARDSCALE_BENCH_ITERS", "6"))
+#: Renewal rounds are bounded by the 1800 s user-ticket lifetime:
+#: renewals at t=800 and t=1600 both fall inside the window of the
+#: previous ticket and before the User Ticket expires.
+RENEW_ROUNDS = 2
+FARMS = (1, 2, 4, 8, 16)
+CHANNELS = 64
+ZIPF_S = 1.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_shardscale.json"
+FULL_RUN = USERS >= 48
+
+
+def _zipf_picker(rng: random.Random, channels: List[str]):
+    """Zattoo-shaped popularity: rank-r channel drawn with weight 1/r^s."""
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(channels))]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def pick() -> str:
+        point = rng.random()
+        for index, bound in enumerate(cumulative):
+            if point <= bound:
+                return channels[index]
+        return channels[-1]
+
+    return pick
+
+
+def _build(farms: int) -> Tuple[Deployment, List[str], list]:
+    partitions = tuple(f"part-{i}" for i in range(farms))
+    deployment = Deployment(seed=20080623, n_domains=farms, partitions=partitions)
+    runtime = deployment.enable_sharding()
+
+    channels = [f"channel-{i:03d}" for i in range(CHANNELS)]
+    for channel_id in channels:
+        deployment.add_free_channel(channel_id, regions=["CH"])
+    # Every farm must carry live channels for its service rate to be
+    # measurable; top up any partition the ring left empty (possible
+    # at 16 farms x 64 channels) with an explicitly placed channel.
+    owned = set(runtime.channel_directory.ring.load(channels))
+    for name in partitions:
+        if runtime.channel_directory.ring.load(channels).get(name, 0) == 0:
+            extra = f"channel-fill-{name}"
+            deployment.add_free_channel(extra, regions=["CH"], partition=name)
+            channels.append(extra)
+    del owned
+
+    clients = []
+    for i in range(USERS):
+        client = deployment.create_client(
+            f"viewer{i:04d}@example.org", f"pw-{i}", region="CH"
+        )
+        client.login(0.0)
+        clients.append(client)
+    return deployment, channels, clients
+
+
+def _owner(runtime, channel_id: str) -> str:
+    return runtime.channel_directory.ring.node_for(channel_id)
+
+
+def _channels_of(runtime, channels: List[str], partition: str) -> List[str]:
+    return [c for c in channels if _owner(runtime, c) == partition]
+
+
+def _measure(farms: int) -> Dict[str, dict]:
+    deployment, channels, clients = _build(farms)
+    runtime = deployment.sharding
+    partitions = sorted(deployment.channel_managers)
+    rng = random.Random(90125 + farms)
+    pick = _zipf_picker(rng, channels)
+
+    # The first `farms` clients are coverage clients: each cycles the
+    # channels of one partition, guaranteeing every farm serves both
+    # op types.  The rest follow the Zipf audience shape.
+    assignments: Dict[str, List[Tuple[object, str]]] = {p: [] for p in partitions}
+    for round_no in range(SWITCH_ROUNDS):
+        for index, client in enumerate(clients):
+            if index < farms:
+                home = partitions[index]
+                mine = _channels_of(runtime, channels, home)
+                channel_id = mine[round_no % len(mine)]
+            else:
+                channel_id = pick()
+            assignments[_owner(runtime, channel_id)].append((client, channel_id))
+
+    for client in clients:  # warmup: caches hot, a current channel set
+        client.switch_channel(channels[0], 0.0)
+
+    switch_rates: Dict[str, float] = {}
+    for partition in partitions:
+        ops = assignments[partition]
+        start = time.perf_counter()
+        for client, channel_id in ops:
+            client.switch_channel(channel_id, 0.0)
+        elapsed = time.perf_counter() - start
+        switch_rates[partition] = len(ops) / elapsed
+
+    # Renewals go to the farm serving each client's *current* channel;
+    # the coverage clients' last switch keeps every farm populated.
+    renew_groups: Dict[str, List[object]] = {p: [] for p in partitions}
+    for client in clients:
+        renew_groups[_owner(runtime, client.channel_ticket.channel_id)].append(client)
+    renew_rates: Dict[str, float] = {}
+    for partition in partitions:
+        group = renew_groups[partition]
+        count = 0
+        start = time.perf_counter()
+        for round_no in range(RENEW_ROUNDS):
+            now = 800.0 + 800.0 * round_no
+            for client in group:
+                client.renew_channel_ticket(now)
+                count += 1
+        elapsed = time.perf_counter() - start
+        renew_rates[partition] = count / elapsed if count else 0.0
+
+    return {
+        "switch": {
+            "ops": sum(len(v) for v in assignments.values()),
+            "per_shard_ops_per_s": {p: round(r, 1) for p, r in switch_rates.items()},
+            "aggregate_ops_per_s": round(sum(switch_rates.values()), 1),
+        },
+        "renewal": {
+            "ops": sum(len(g) for g in renew_groups.values()) * RENEW_ROUNDS,
+            "per_shard_ops_per_s": {p: round(r, 1) for p, r in renew_rates.items()},
+            "aggregate_ops_per_s": round(sum(renew_rates.values()), 1),
+        },
+    }
+
+
+def test_bench_shardscale_switch_renewal_scaling():
+    assert USERS >= max(FARMS), "need at least one coverage client per farm"
+    results: Dict[str, dict] = {}
+    for farms in FARMS:
+        results[str(farms)] = _measure(farms)
+
+    base_switch = results["1"]["switch"]["aggregate_ops_per_s"]
+    base_renew = results["1"]["renewal"]["aggregate_ops_per_s"]
+    for farms in FARMS:
+        entry = results[str(farms)]
+        entry["switch"]["efficiency_vs_ideal"] = round(
+            entry["switch"]["aggregate_ops_per_s"] / (farms * base_switch), 3
+        )
+        entry["renewal"]["efficiency_vs_ideal"] = round(
+            entry["renewal"]["aggregate_ops_per_s"] / (farms * base_renew), 3
+        )
+
+    bound = 0.75 if FULL_RUN else 0.35
+    payload = {
+        "benchmark": "shardscale",
+        "config": {
+            "users": USERS,
+            "switch_rounds": SWITCH_ROUNDS,
+            "renew_rounds": RENEW_ROUNDS,
+            "channels": CHANNELS,
+            "zipf_s": ZIPF_S,
+            "farms": list(FARMS),
+            "full_run": FULL_RUN,
+        },
+        "results": results,
+        "acceptance": {
+            "min_efficiency_vs_ideal_at_16": bound,
+            "switch_efficiency_at_16": results["16"]["switch"]["efficiency_vs_ideal"],
+            "renewal_efficiency_at_16": results["16"]["renewal"]["efficiency_vs_ideal"],
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert results["16"]["switch"]["efficiency_vs_ideal"] >= bound, payload["acceptance"]
+    assert results["16"]["renewal"]["efficiency_vs_ideal"] >= bound, payload["acceptance"]

@@ -269,6 +269,123 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown action {args.action!r}")
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.deployment import Deployment
+    from repro.metrics.reporting import format_table
+    from repro.sharding import directory_state_violations, plan_movement
+
+    partitions = tuple(f"part-{i}" for i in range(args.partitions))
+    deployment = Deployment(
+        seed=args.seed, n_domains=args.domains, partitions=partitions
+    )
+    channels = [f"channel-{i:03d}" for i in range(args.channels)]
+    emails = [f"user{i:05d}@example.org" for i in range(args.users)]
+    for email in emails:
+        deployment.accounts.register(email, f"pw-{email}")
+    runtime = deployment.enable_sharding(vnodes=args.vnodes)
+    for channel_id in channels:
+        deployment.add_free_channel(channel_id, regions=["CH"])
+
+    if args.action == "plan":
+        print(
+            f"ring placement: {args.users} users over {args.domains} domain(s), "
+            f"{args.channels} channels over {args.partitions} partition(s), "
+            f"vnodes={runtime.vnodes}"
+        )
+        load = runtime.user_directory.ring.load(emails)
+        rows = [
+            (shard, count, f"{count / max(1, args.users):.1%}")
+            for shard, count in sorted(load.items())
+        ]
+        print(format_table(["user shard", "keys", "share"], rows))
+        print()
+        cload = runtime.channel_directory.ring.load(channels)
+        rows = [
+            (shard, count, f"{count / max(1, args.channels):.1%}")
+            for shard, count in sorted(cload.items())
+        ]
+        print(format_table(["channel shard", "keys", "share"], rows))
+
+        for kind, add, ring, keys in (
+            ("user", args.add_um, runtime.user_directory.ring, emails),
+            ("channel", args.add_cm, runtime.channel_directory.ring, channels),
+        ):
+            if not add:
+                continue
+            after = ring.copy()
+            new_names = [f"new-{kind}-{j}" for j in range(add)]
+            for name in new_names:
+                after.add_node(name)
+            movement = plan_movement(ring, after, keys)
+            ideal = add / max(1, len(after))
+            print()
+            print(
+                f"adding {add} {kind} shard(s): {movement.moved_count} of "
+                f"{movement.total_keys} keys move "
+                f"({movement.moved_fraction:.1%}; ideal minimum {ideal:.1%})"
+            )
+            for name in new_names:
+                print(f"  -> {name}: {len(movement.moved_to(name))} keys")
+        return 0
+
+    if args.action == "rebalance":
+        if args.add_um:
+            added = deployment.add_user_manager_shards(args.add_um)
+            print(f"resharded in user shard(s): {', '.join(added)}")
+        if args.add_cm:
+            added = deployment.add_channel_manager_shards(args.add_cm)
+            print(f"resharded in channel shard(s): {', '.join(added)}")
+        if not args.add_um and not args.add_cm:
+            print("nothing to do (pass --add-um/--add-cm)", file=sys.stderr)
+            return 2
+        counters = runtime.counters.snapshot()
+        print(
+            f"  keys moved: {counters['keys_moved']}, "
+            f"migration bytes: {counters['migration_bytes']}, "
+            f"migrations: {counters['migrations_completed']} completed / "
+            f"{counters['migrations_rolled_back']} rolled back, "
+            f"replayed operations: {counters['replayed_operations']}"
+        )
+        # fall through to the status dump + invariant check
+
+    for email in emails:  # populate per-shard load tallies
+        runtime.user_directory.shard_for(email)
+    for channel_id in channels:
+        runtime.channel_directory.shard_for(channel_id)
+
+    status = runtime.status()
+    for key in ("user_directory", "channel_directory"):
+        dump = status[key]
+        print(f"{dump['kind']} directory: {len(dump['shards'])} shard(s), "
+              f"vnodes={dump['vnodes']}, {dump['lookups']} lookups")
+        rows = [(shard, dump["load"].get(shard, 0)) for shard in dump["shards"]]
+        print(format_table(["shard", "lookups"], rows))
+        if dump["pins"]:
+            print(f"  pins: {dump['pins']}")
+        if dump["frozen"]:
+            print(f"  FROZEN (mid-reshard): {len(dump['frozen'])} keys")
+        print()
+    viewing = status["viewing"]
+    rows = [
+        (name, viewing["entries"].get(name, 0))
+        for name in sorted(viewing["partitions"])
+    ]
+    print(format_table(["viewing partition", "entries"], rows))
+
+    violations = directory_state_violations(deployment, runtime)
+    if viewing["misplaced_users"]:
+        violations.append(
+            f"viewing histories off their owning partition: {viewing['misplaced_users']}"
+        )
+    if violations:
+        print(f"\nerror: {len(violations)} invariant violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("\ninvariants: OK (directory state complete, viewing log partitioned by owner)")
+    return 0
+
+
 def _cmd_threats(args: argparse.Namespace) -> int:
     # Delegate to the narrated playbook example logic.
     import examples.threat_playbook as playbook  # type: ignore
@@ -331,7 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_run.add_argument(
         "scenario",
         help="scenario name (manager_crash_mid_storm, rolling_restarts, "
-             "partition_cm_farm, slow_station_brownout, replica_flap) or 'all'",
+             "partition_cm_farm, slow_station_brownout, replica_flap, "
+             "shard_killed_mid_resharding) or 'all'",
     )
     chaos_run.add_argument("--clients", type=int, default=8)
     chaos_run.add_argument("--seed", type=int, default=11)
@@ -342,6 +460,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_report.add_argument("path", help="JSON file written by chaos run --out")
     chaos_report.set_defaults(func=_cmd_chaos)
+
+    shard = sub.add_parser("shard", help="sharded manager-tier tools")
+    shard.add_argument(
+        "action", choices=("plan", "status", "rebalance"),
+        help="plan: ring placement + expected key movement for --add-um/"
+             "--add-cm; status: directory + per-shard load (exit 1 on "
+             "invariant violation); rebalance: execute the shard additions "
+             "live, then verify",
+    )
+    shard.add_argument("--seed", type=int, default=7)
+    shard.add_argument("--domains", type=int, default=2,
+                       help="Authentication Domains (UM farms) to start with")
+    shard.add_argument("--partitions", type=int, default=2,
+                       help="Channel Listing Partitions (CM farms) to start with")
+    shard.add_argument("--users", type=int, default=64)
+    shard.add_argument("--channels", type=int, default=8)
+    shard.add_argument("--vnodes", type=int, default=None)
+    shard.add_argument("--add-um", type=int, default=0,
+                       help="user shards to add (plan: simulate; rebalance: execute)")
+    shard.add_argument("--add-cm", type=int, default=0,
+                       help="channel shards to add (plan: simulate; rebalance: execute)")
+    shard.set_defaults(func=_cmd_shard)
 
     threats = sub.add_parser("threats", help="run the threat playbook")
     threats.set_defaults(func=_cmd_threats)

@@ -20,6 +20,7 @@ Responsibilities (Sections IV-C, IV-D):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +55,10 @@ REC_REJECTION = 3
 #: Returns up to ``count`` candidate peers on ``channel_id``, excluding
 #: the requesting address (a client is never pointed at itself).
 PeerListProvider = Callable[[str, str, int], Sequence[PeerDescriptor]]
+
+#: Live (signature -> issuing UM key) memo entries kept per manager;
+#: sized like the ticket verification cache it front-ends.
+_UM_KEY_MEMO_SIZE = 1024
 
 
 @dataclass(frozen=True)
@@ -140,6 +145,10 @@ class ChannelManager:
         self._key = signing_key
         self._issuer = ChallengeIssuer(farm_secret, drbg.fork(b"cm-challenge"))
         self._um_keys = list(user_manager_keys)
+        #: signature -> the UM key that verified it (LRU): tickets do
+        #: not name their issuing domain, so this keeps verification
+        #: O(1) per request instead of O(domains) as the tier grows.
+        self._um_key_memo: "OrderedDict[bytes, RsaPublicKey]" = OrderedDict()
         self._ticket_cache = (
             TicketVerificationCache(ticket_cache_size) if ticket_cache_size else None
         )
@@ -150,6 +159,10 @@ class ChannelManager:
         self._channels: Dict[str, ChannelRecord] = {}
         self._log: List[ViewingLogEntry] = []
         self._latest: Dict[Tuple[int, str], ViewingLogEntry] = {}
+        #: Optional sharded viewing-log router (repro.sharding): when
+        #: installed, renewal checks and log appends go to the
+        #: partition owning the *user*, not this farm's local log.
+        self._viewing_router = None
         self._peer_list_provider: Optional[PeerListProvider] = None
         self.tickets_issued = 0
         self.renewals_issued = 0
@@ -191,6 +204,18 @@ class ChannelManager:
         """Wire the P2P overlay's peer sampler in."""
         self._peer_list_provider = provider
 
+    def set_viewing_router(self, router) -> None:
+        """Route viewing-log traffic through a user-partitioned router.
+
+        With many Channel Manager farms -- and channels moving between
+        them -- the one-location rule only holds if every farm checks
+        renewals against the *same* history for a user.  The router
+        (:class:`~repro.sharding.ShardedViewingLog`) owns that history,
+        partitioned by UserIN; this farm's local log remains as a
+        billing/audit record of what it issued.
+        """
+        self._viewing_router = router
+
     def serves_channel(self, channel_id: str) -> bool:
         """Is this channel in my partition?"""
         return channel_id in self._channels
@@ -200,16 +225,33 @@ class ChannelManager:
     # ------------------------------------------------------------------
 
     def _verify_user_ticket(self, ticket: UserTicket, now: float) -> None:
-        """Verify against any known User Manager key."""
+        """Verify against any known User Manager key.
+
+        Fig. 3 tickets do not name their issuing domain, so the first
+        presentation scans the key list.  The winning key is memoized
+        by signature: every later SWITCH1/SWITCH2/renewal round on the
+        same ticket verifies against exactly one key, keeping per-
+        request cost flat as Authentication Domains are added (the
+        scan is paid once per *ticket*, not once per request).
+        """
+        remembered = self._um_key_memo.get(ticket.signature)
+        if remembered is not None:
+            self._um_key_memo.move_to_end(ticket.signature)
+            ticket.verify(remembered, now, cache=self._ticket_cache)
+            return
         last_error: Optional[Exception] = None
         for key in self._um_keys:
             try:
                 ticket.verify(key, now, cache=self._ticket_cache)
-                return
             except AuthorizationError:
                 raise
             except Exception as exc:  # SignatureError: try next domain key
                 last_error = exc
+                continue
+            self._um_key_memo[ticket.signature] = key
+            while len(self._um_key_memo) > _UM_KEY_MEMO_SIZE:
+                self._um_key_memo.popitem(last=False)
+            return
         raise TicketInvalidError(
             f"user ticket not signed by any known User Manager: {last_error}"
         )
@@ -370,7 +412,12 @@ class ChannelManager:
             raise RenewalRefusedError(
                 f"renewal outside window: now={now}, expiry={expiring.expire_time}"
             )
-        latest = self._latest.get((user_ticket.user_id, expiring.channel_id))
+        if self._viewing_router is not None:
+            latest = self._viewing_router.latest(
+                user_ticket.user_id, expiring.channel_id
+            )
+        else:
+            latest = self._latest.get((user_ticket.user_id, expiring.channel_id))
         if latest is None:
             raise RenewalRefusedError("no viewing-log entry to renew against")
         if latest.net_addr != user_ticket.net_addr or latest.net_addr != expiring.net_addr:
@@ -404,6 +451,12 @@ class ChannelManager:
             renewal=ticket.renewal,
             expires_at=ticket.expire_time,
         )
+        if self._viewing_router is not None:
+            # Routed before any local effect: a frozen-range refusal
+            # (mid-resharding) must leave no partial state behind --
+            # the caller defers the whole operation and replays it
+            # after cutover.
+            self._viewing_router.append(entry)
         if self._store is not None:
             # Write-ahead: the entry is durable before the issuance is
             # visible to anyone (the ticket has not left the handler).

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import math
 
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import AccountError, RedirectionLookupError
@@ -61,11 +63,21 @@ class RedirectionManager:
     domains" without requiring per-user configuration.
     """
 
+    #: Default health-mark lifetime (seconds).  A ``mark_down`` with a
+    #: clock but no explicit ttl expires after this long, so a farm
+    #: that recovered without anyone calling :meth:`mark_up` is
+    #: re-admitted to the front of the replica ordering.
+    DEFAULT_DOWN_TTL = 300.0
+
     def __init__(self, channel_policy_manager: ManagerEndpoint) -> None:
         self._domains: Dict[str, List[ManagerEndpoint]] = {}
         self._domain_order: List[str] = []
         self._explicit: Dict[str, str] = {}
-        self._down: Set[str] = set()
+        #: address -> mark expiry time (+inf for clock-less marks).
+        self._down: Dict[str, float] = {}
+        #: Optional shard-aware placement (see repro.sharding); when
+        #: installed it replaces the legacy modulo placement below.
+        self._shard_directory = None
         self._cpm = channel_policy_manager
         self.lookups = 0
         #: Shared tracer, attached by Deployment.enable_tracing().
@@ -102,21 +114,58 @@ class RedirectionManager:
             raise AccountError(f"unknown domain: {domain}")
         self._explicit[email] = domain
 
-    def mark_down(self, address: str) -> None:
+    def mark_down(
+        self,
+        address: str,
+        now: Optional[float] = None,
+        ttl: Optional[float] = None,
+    ) -> None:
         """Record an endpoint as unhealthy: lookups order it last.
 
         Health is advisory -- a client may still try a down-marked
         endpoint (e.g. as a probe); the ordering just stops *new*
         lookups from steering to a known-bad replica first.
+
+        With a clock (``now``) the mark expires after ``ttl`` seconds
+        (default :attr:`DEFAULT_DOWN_TTL`): a farm that recovered
+        without an explicit :meth:`mark_up` is re-admitted once the
+        mark lapses.  Clock-less marks never expire -- callers that
+        cannot supply time keep the legacy sticky behavior.
         """
-        self._down.add(address)
+        if now is None:
+            expires_at = math.inf
+        else:
+            expires_at = now + (self.DEFAULT_DOWN_TTL if ttl is None else ttl)
+        # Never let a fresh failure report shorten... or lengthen an
+        # existing permanent mark; the latest evidence wins otherwise.
+        self._down[address] = max(self._down.get(address, 0.0), expires_at)
 
     def mark_up(self, address: str) -> None:
         """Clear an endpoint's unhealthy mark."""
-        self._down.discard(address)
+        self._down.pop(address, None)
 
-    def is_down(self, address: str) -> bool:
-        return address in self._down
+    def is_down(self, address: str, now: Optional[float] = None) -> bool:
+        expires_at = self._down.get(address)
+        if expires_at is None:
+            return False
+        if now is not None and now >= expires_at:
+            del self._down[address]
+            return False
+        return True
+
+    def use_shard_directory(self, directory) -> None:
+        """Route placement through a :class:`~repro.sharding.ShardDirectory`.
+
+        The directory's ring replaces the legacy hash-modulo placement
+        (explicit :meth:`assign_user` pins still outrank it).  Lookups
+        for a key range frozen by an in-flight resharding raise
+        :class:`~repro.errors.ShardFrozenError`; callers defer those to
+        the reshard coordinator rather than failing the user.
+        """
+        self._shard_directory = directory
+
+    def shard_directory(self):
+        return self._shard_directory
 
     def domain_for(self, email: str) -> str:
         """Which domain serves this user?"""
@@ -125,24 +174,28 @@ class RedirectionManager:
         explicit = self._explicit.get(email)
         if explicit is not None:
             return explicit
+        if self._shard_directory is not None:
+            return self._shard_directory.shard_for(email)
         digest = hashlib.sha256(email.encode("utf-8")).digest()
         index = int.from_bytes(digest[:4], "big") % len(self._domain_order)
         return self._domain_order[index]
 
-    def replicas(self, domain: str) -> List[ManagerEndpoint]:
+    def replicas(self, domain: str, now: Optional[float] = None) -> List[ManagerEndpoint]:
         """The domain's replica list, healthy endpoints first.
 
         Within each health class the registration order is preserved,
         so with no health marks this is exactly the registered order.
+        With a clock, lapsed down-marks expire here (see
+        :meth:`mark_down`).
         """
         replicas = self._domains.get(domain)
         if replicas is None:
             raise AccountError(f"unknown domain: {domain}")
-        healthy = [r for r in replicas if r.address not in self._down]
-        unhealthy = [r for r in replicas if r.address in self._down]
+        healthy = [r for r in replicas if not self.is_down(r.address, now)]
+        unhealthy = [r for r in replicas if self.is_down(r.address, now)]
         return healthy + unhealthy
 
-    def lookup(self, email: str) -> RedirectionResult:
+    def lookup(self, email: str, now: Optional[float] = None) -> RedirectionResult:
         """The client's bootstrap call: find my User Manager and the CPM."""
         with maybe_span(self.tracer, "RM.LOOKUP", kind="server"):
             self.lookups += 1
@@ -150,7 +203,7 @@ class RedirectionManager:
             replicas = self._domains.get(domain)
             if not replicas:
                 raise RedirectionLookupError(email, self._domain_order)
-            ordered = self.replicas(domain)
+            ordered = self.replicas(domain, now)
             return RedirectionResult(
                 user_manager=ordered[0],
                 channel_policy_manager=self._cpm,

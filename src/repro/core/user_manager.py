@@ -76,6 +76,7 @@ REC_USER_RECORD = 1
 REC_CLIENT_IMAGE = 2
 REC_ATTRIBUTE_LIST = 3
 REC_LOGIN_ISSUED = 4
+REC_USER_REMOVED = 5
 
 
 @dataclass
@@ -503,6 +504,72 @@ class UserManager:
         return len(self._users_by_email)
 
     # ------------------------------------------------------------------
+    # Migration (driven by repro.sharding.ReshardCoordinator)
+    # ------------------------------------------------------------------
+
+    def export_users(self, emails: List[str]) -> List[UserRecord]:
+        """Detached copies of UserDB rows for migration to another shard.
+
+        Copies go through the canonical wire form, so what the target
+        imports is exactly what a WAL replay would have produced.
+        Unknown emails are skipped (the caller diffs against the
+        directory, not against this shard's actual contents).
+        """
+        exported: List[UserRecord] = []
+        for email in emails:
+            record = self._users_by_email.get(email)
+            if record is None:
+                continue
+            enc = Encoder()
+            record.encode(enc)
+            exported.append(UserRecord.decode(Decoder(enc.to_bytes())))
+        return exported
+
+    def import_users(self, records: List[UserRecord]) -> int:
+        """Adopt migrated UserDB rows, preserving their UserINs.
+
+        The UserIN keys the viewing activity log, so an imported row
+        keeps the id its source domain allocated.  If this manager
+        already holds the email under a *different* id (every domain
+        replicates the full account base with its own id space), that
+        stale row is dropped -- and journaled as removed, so a
+        recovery cannot resurrect the obsolete id.  Idempotent:
+        re-importing an identical row is a no-op upsert.
+        """
+        for record in records:
+            stale = self._users_by_email.get(record.email)
+            if stale is not None and stale.user_id != record.user_id:
+                self._users_by_id.pop(stale.user_id, None)
+                if self._store is not None:
+                    self._journal(
+                        REC_USER_REMOVED,
+                        Encoder().put_u64(stale.user_id)
+                        .put_str(stale.email).to_bytes(),
+                    )
+            self._install_record(record)
+            if self._store is not None:
+                enc = Encoder()
+                record.encode(enc)
+                self._journal(REC_USER_RECORD, enc.to_bytes())
+        return len(records)
+
+    def remove_users(self, emails: List[str]) -> int:
+        """Drop UserDB rows that migrated away (post-cutover cleanup)."""
+        removed = 0
+        for email in emails:
+            record = self._users_by_email.pop(email, None)
+            if record is None:
+                continue
+            self._users_by_id.pop(record.user_id, None)
+            removed += 1
+            if self._store is not None:
+                self._journal(
+                    REC_USER_REMOVED,
+                    Encoder().put_u64(record.user_id).put_str(email).to_bytes(),
+                )
+        return removed
+
+    # ------------------------------------------------------------------
     # Durability (see repro.store)
     # ------------------------------------------------------------------
 
@@ -581,6 +648,13 @@ class UserManager:
             dec.get_u64()
             dec.get_f64()
             self.logins_issued += 1
+        elif rec_type == REC_USER_REMOVED:
+            user_id = dec.get_u64()
+            email = dec.get_str()
+            self._users_by_id.pop(user_id, None)
+            current = self._users_by_email.get(email)
+            if current is not None and current.user_id == user_id:
+                del self._users_by_email[email]
         else:
             raise ProtocolError(f"unknown WAL record type {rec_type}")
         dec.finish()

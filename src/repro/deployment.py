@@ -128,8 +128,12 @@ class Deployment:
         self.user_managers: Dict[str, UserManager] = {}
         self.user_ticket_lifetime = user_ticket_lifetime
         self.n_domains = n_domains
+        #: UserIN allocation (start, stride) per domain; recovery and
+        #: replica spawning must reuse the creation-time parameters.
+        self._user_id_params: Dict[str, tuple] = {}
         for index in range(n_domains):
             domain = f"domain-{index}"
+            self._user_id_params[domain] = (index + 1, n_domains)
             um_drbg = self._drbg.fork(f"um-{index}".encode())
             um_key = generate_keypair(um_drbg.fork(b"key"), bits=key_bits)
             um_secret = um_drbg.fork(b"secret").generate(32)
@@ -206,6 +210,10 @@ class Deployment:
         self.metrics.register("resilience", self.resilience)
         #: Shared tracer, set by :meth:`enable_tracing`.
         self.tracer: Optional[Tracer] = None
+        #: Sharded manager tier, set by :meth:`enable_sharding`.
+        self.sharding = None
+        self._next_domain_index = n_domains
+        self._next_shard_partition_index = 0
 
     @property
     def epg(self):
@@ -256,8 +264,17 @@ class Deployment:
         key_epoch: float = 60.0,
         encrypted: bool = True,
     ) -> None:
-        """Provision a channel: metadata, server, overlay, CM routing."""
-        partition = partition or next(iter(self.channel_managers))
+        """Provision a channel: metadata, server, overlay, CM routing.
+
+        With sharding enabled, an unpinned channel's partition comes
+        from the channel directory (consistent-hash placement over the
+        CM shards); otherwise the first partition takes everything.
+        """
+        if partition is None:
+            if self.sharding is not None:
+                partition = self.sharding.channel_directory.shard_for(channel_id)
+            else:
+                partition = next(iter(self.channel_managers))
         if partition not in self.channel_managers:
             raise ReproError(f"unknown partition: {partition}")
         self.policy_manager.add_channel(
@@ -360,6 +377,8 @@ class Deployment:
         self.channel_managers[name] = manager
         if self.tracer is not None:
             manager.tracer = self.tracer
+        if self.sharding is not None:
+            self.sharding.install_router(manager)
         if self.stores:
             store = self._make_store(f"cm-{name}")
             if store.has_state():
@@ -387,6 +406,10 @@ class Deployment:
         self.policy_manager.move_channel_partition(
             channel_id, partition, f"cm://{partition}", now
         )
+        if self.sharding is not None:
+            # A promoted channel is pinned: directory overrides outrank
+            # the ring and never move during resharding.
+            self.sharding.channel_directory.pin(channel_id, partition)
         overlay = self.overlay(channel_id)
         overlay.source.cm_public_key = manager.public_key
         for peer in overlay.peers.values():
@@ -546,6 +569,10 @@ class Deployment:
                 self.channel_managers[name].attach_store(
                     store, snapshot_every=snapshot_every
                 )
+
+        if self.sharding is not None:
+            for name, partition in self.sharding.viewing.partitions().items():
+                partition.attach_store(self._make_store(f"viewing-{name}"))
         return self.stores
 
     def _recover_policy_manager(self, store) -> ChannelPolicyManager:
@@ -621,6 +648,8 @@ class Deployment:
         self.directory.register(f"cm://{partition}", manager)
         if self.tracer is not None:
             manager.tracer = self.tracer
+        if self.sharding is not None:
+            self.sharding.install_router(manager)
         return manager
 
     def crash_user_manager(self, domain: str) -> UserManager:
@@ -649,7 +678,7 @@ class Deployment:
         signing_key, farm_secret = credentials
         generation = self._recovery_counts.get(f"um://{domain}", 0) + 1
         self._recovery_counts[f"um://{domain}"] = generation
-        index = int(domain.rsplit("-", 1)[-1])
+        user_id_start, user_id_stride = self._user_id_params[domain]
         manager = UserManager.recover(
             store,
             signing_key=signing_key,
@@ -658,8 +687,8 @@ class Deployment:
             geo=self.geo,
             ticket_lifetime=self.user_ticket_lifetime,
             domain=domain,
-            user_id_start=index + 1,
-            user_id_stride=self.n_domains,
+            user_id_start=user_id_start,
+            user_id_stride=user_id_stride,
             snapshot_every=self._store_snapshot_every,
         )
         self.user_managers[domain] = manager
@@ -688,7 +717,7 @@ class Deployment:
         if primary is None:
             raise ReproError(f"unknown domain: {domain}")
         signing_key, farm_secret = self._credentials[f"um://{domain}"]
-        index = int(domain.rsplit("-", 1)[-1])
+        user_id_start, user_id_stride = self._user_id_params[domain]
         replicas = self.um_replicas.setdefault(domain, [])
         created: List[UserManager] = []
         store = self.stores.get(f"um-{domain}")
@@ -701,8 +730,8 @@ class Deployment:
                 geo=self.geo,
                 ticket_lifetime=self.user_ticket_lifetime,
                 domain=domain,
-                user_id_start=index + 1,
-                user_id_stride=self.n_domains,
+                user_id_start=user_id_start,
+                user_id_stride=user_id_stride,
             )
             replica.register_client_image(self.client_version, self.client_image)
             primary.share_state_with(replica)
@@ -752,6 +781,8 @@ class Deployment:
             primary.share_state_with(replica)
             self._wire_channel_manager_listeners(f"{partition}!{n}", replica)
             replica.set_peer_list_provider(self._peer_list_provider)
+            if self.sharding is not None:
+                self.sharding.install_router(replica)
             self.directory.register(f"cm://{partition}!{n}", replica)
             if store is not None:
                 replica.attach_store(store, snapshot_every=self._store_snapshot_every)
@@ -760,6 +791,143 @@ class Deployment:
             replicas.append(replica)
             created.append(replica)
         return created
+
+    # ------------------------------------------------------------------
+    # Sharded manager tier (see repro.sharding)
+    # ------------------------------------------------------------------
+
+    def enable_sharding(self, vnodes: Optional[int] = None):
+        """Install the sharded manager tier over the running farms.
+
+        Builds consistent-hash rings over the existing Authentication
+        Domains and Channel Listing Partitions, partitions the viewing
+        log by user, and installs shard-aware placement into the
+        Redirection Manager and every Channel Manager instance.
+        Idempotent; returns the :class:`~repro.sharding.ShardingRuntime`.
+
+        Call after :meth:`enable_durability` if both are wanted: the
+        viewing partitions attach their stores at sharding time.
+        """
+        if self.sharding is not None:
+            return self.sharding
+        from repro.sharding.ring import DEFAULT_VNODES
+        from repro.sharding.runtime import ShardingRuntime
+
+        runtime = ShardingRuntime(
+            self, vnodes=DEFAULT_VNODES if vnodes is None else vnodes
+        )
+        self.sharding = runtime
+        self.metrics.register("sharding", runtime.counters)
+        if self.stores:
+            for name, partition in runtime.viewing.partitions().items():
+                partition.attach_store(self._make_store(f"viewing-{name}"))
+        return runtime
+
+    def add_user_manager_shards(self, count: int = 1) -> List[str]:
+        """Grow the UM tier by ``count`` Authentication Domain shards.
+
+        Each new domain is stood up cold (fresh farm, full account
+        sync, disjoint UserIN band), then *live-resharded* in: the
+        coordinator freezes the moving key range, migrates UserDB rows
+        and viewing histories, and cuts the directory over -- roughly
+        1/N of users move per added shard, everyone else is untouched.
+        Returns the new domain names.
+        """
+        runtime = self.enable_sharding()
+        added: List[str] = []
+        for _ in range(count):
+            index = self._next_domain_index
+            self._next_domain_index += 1
+            domain = f"domain-{index}"
+            self._spawn_user_manager_shard(domain, index)
+            runtime.attach_user_shard(domain)
+            if self.stores:
+                runtime.viewing.partition(domain).attach_store(
+                    self._make_store(f"viewing-{domain}")
+                )
+            plan = runtime.coordinator.plan_add_user_shard(domain)
+            runtime.coordinator.execute(plan)
+            added.append(domain)
+        return added
+
+    def add_channel_manager_shards(self, count: int = 1) -> List[str]:
+        """Grow the CM tier by ``count`` Channel Listing Partition shards.
+
+        Each new partition joins the channel ring through the live
+        resharding path: ~1/N of channels re-home onto it (policy
+        records and overlay keys flip; *no* viewing state moves, since
+        the log is partitioned by user).  Returns the new partition
+        names.
+        """
+        runtime = self.enable_sharding()
+        added: List[str] = []
+        for _ in range(count):
+            index = self._next_shard_partition_index
+            self._next_shard_partition_index += 1
+            name = f"partition-{index}"
+            while name in self.channel_managers:
+                index = self._next_shard_partition_index
+                self._next_shard_partition_index += 1
+                name = f"partition-{index}"
+            self.add_partition(name)
+            plan = runtime.coordinator.plan_add_channel_shard(name)
+            runtime.coordinator.execute(plan)
+            added.append(name)
+        return added
+
+    def _spawn_user_manager_shard(self, domain: str, index: int) -> UserManager:
+        """Stand up one new UM farm for live reshard-in.
+
+        The new domain allocates UserINs from a disjoint high band
+        ((index+1) << 32, stride 1): the legacy domains interleave ids
+        with the *original* domain count as stride, so a late-added
+        shard must not re-use that scheme or its allocations would
+        collide with theirs.
+        """
+        user_id_start = (index + 1) << 32
+        self._user_id_params[domain] = (user_id_start, 1)
+        um_drbg = self._drbg.fork(f"um-{index}".encode())
+        um_key = generate_keypair(um_drbg.fork(b"key"), bits=self.key_bits)
+        um_secret = um_drbg.fork(b"secret").generate(32)
+        self._credentials[f"um://{domain}"] = (um_key, um_secret)
+        manager = UserManager(
+            signing_key=um_key,
+            farm_secret=um_secret,
+            drbg=um_drbg.fork(b"runtime"),
+            geo=self.geo,
+            ticket_lifetime=self.user_ticket_lifetime,
+            domain=domain,
+            user_id_start=user_id_start,
+            user_id_stride=1,
+        )
+        manager.register_client_image(self.client_version, self.client_image)
+        self._wire_user_manager_listeners(domain, manager)
+        address = f"um://{domain}"
+        self.directory.register(address, manager)
+        self.redirection.register_domain(
+            domain, ManagerEndpoint(address=address, public_key=manager.public_key)
+        )
+        self.user_managers[domain] = manager
+        # Every domain replicates the full account base (Section V);
+        # listeners only cover future pushes, so backfill the rest.
+        for account in self.accounts.all_accounts():
+            manager.sync_account(account)
+        manager.receive_channel_attribute_list(
+            self.policy_manager.channel_attribute_list()
+        )
+        # Downstream verifiers must accept the new domain's tickets.
+        self.policy_manager.add_user_manager_key(manager.public_key)
+        for cm in self.channel_managers.values():
+            cm.add_user_manager_key(manager.public_key)
+        for replicas in self.cm_replicas.values():
+            for replica in replicas:
+                replica.add_user_manager_key(manager.public_key)
+        if self.tracer is not None:
+            manager.tracer = self.tracer
+        if self.stores:
+            store = self._make_store(f"um-{domain}")
+            manager.attach_store(store, snapshot_every=self._store_snapshot_every)
+        return manager
 
     def um_farm_addresses(self, domain: str) -> List[str]:
         """Directory addresses of a UM farm: primary first, then replicas."""

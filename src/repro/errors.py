@@ -116,6 +116,24 @@ class RedirectionLookupError(AccountError):
         )
 
 
+class ShardingError(ReproError):
+    """Misuse of the sharded manager tier (unknown shard, bad plan)."""
+
+
+class ShardFrozenError(ShardingError):
+    """The key's shard range is frozen by an in-flight resharding.
+
+    A freeze is transient by construction -- the coordinator thaws the
+    range at cutover (or on rollback) -- so callers treat this like a
+    transport condition: defer the operation and replay it, rather
+    than reporting failure to the user.
+    """
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        super().__init__(f"shard range holding {key!r} is frozen for resharding")
+
+
 class TransportError(ReproError):
     """A message-level transport failure.
 

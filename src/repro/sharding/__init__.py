@@ -1,0 +1,53 @@
+"""Horizontal sharding for the manager tier (Section VI scalability).
+
+The paper's §6 extensions -- User Manager farms per Authentication
+Domain, Channel Manager farms per Channel Listing Partition, stateless
+ticket issuance -- only spread load if the *placement* of users and
+channels over farms is itself scalable.  This package supplies that
+placement layer:
+
+* :mod:`repro.sharding.ring` -- a consistent-hash ring with virtual
+  nodes: deterministic placement, minimal key movement on membership
+  change;
+* :mod:`repro.sharding.directory` -- :class:`ShardDirectory`, the
+  ring plus pinned overrides and a freeze set, consulted by the
+  Redirection Manager (users -> UM shards) and by channel
+  provisioning (channels -> CM shards);
+* :mod:`repro.sharding.viewing` -- the viewing activity log
+  partitioned by *user* shard, so the one-viewing-location rule is
+  enforced at the shard owning the user no matter which Channel
+  Manager farm handles the renewal;
+* :mod:`repro.sharding.reshard` -- :class:`ReshardCoordinator`, live
+  resharding: freeze a key range, migrate WAL+snapshot state between
+  shards through the :mod:`repro.store` backends, cut the directory
+  over, replay deferred renewals.
+
+:class:`ShardingRuntime` bundles the rings, directories, and the
+partitioned viewing log for one deployment; build it via
+``Deployment.enable_sharding()``.
+"""
+
+from repro.sharding.directory import ShardDirectory
+from repro.sharding.reshard import (
+    MigrationAborted,
+    ReshardCoordinator,
+    ReshardPlan,
+    directory_state_violations,
+)
+from repro.sharding.ring import ConsistentHashRing, MovementPlan, plan_movement
+from repro.sharding.runtime import ShardingRuntime
+from repro.sharding.viewing import ShardedViewingLog, ViewingLogPartition
+
+__all__ = [
+    "ConsistentHashRing",
+    "MigrationAborted",
+    "MovementPlan",
+    "ReshardCoordinator",
+    "ReshardPlan",
+    "ShardDirectory",
+    "ShardedViewingLog",
+    "ShardingRuntime",
+    "ViewingLogPartition",
+    "directory_state_violations",
+    "plan_movement",
+]

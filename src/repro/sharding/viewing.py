@@ -1,0 +1,304 @@
+"""The viewing activity log, partitioned by user shard.
+
+Section IV-D's one-viewing-location rule keys the viewing log by
+(UserIN, channel): a renewal is granted only if the latest entry for
+the pair shows the same NetAddr.  With one Channel Manager farm the
+log lives inside that farm; with many farms -- and with channels
+*moving* between farms during resharding -- a per-farm log breaks the
+rule, because the entry a renewal must be checked against may have
+been written by a different farm.
+
+The fix is to partition the log by **user** instead of by channel: a
+consistent-hash ring over user ids names the partition owning each
+user's viewing history, every Channel Manager routes appends and
+renewal checks to the owning partition, and moving a channel between
+CM farms moves *no* viewing state at all -- the invariant survives
+channel resharding by construction.  User resharding moves exactly
+the moved users' partitions, which the ReshardCoordinator migrates
+through the same :mod:`repro.store` machinery as the UserDB.
+
+Partition names track Authentication Domain names (one viewing
+partition per user shard), but placement hashes the UserIN -- the only
+identity a Channel Ticket carries -- under its own salt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.channel_manager import ViewingLogEntry
+from repro.errors import ReproError, ShardFrozenError
+from repro.metrics.sharding import ShardingCounters
+from repro.sharding.ring import ConsistentHashRing
+from repro.util.wire import Decoder, Encoder
+
+#: Durable-store record types for one viewing partition.
+REC_ENTRY = 1
+REC_REMOVE_USER = 2
+
+
+class ViewingLogPartition:
+    """One user shard's slice of the viewing activity log."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._log: List[ViewingLogEntry] = []
+        self._latest: Dict[Tuple[int, str], ViewingLogEntry] = {}
+        self._store = None
+
+    # ------------------------------------------------------------------
+    # Log operations
+    # ------------------------------------------------------------------
+
+    def append(self, entry: ViewingLogEntry) -> None:
+        if self._store is not None:
+            enc = Encoder()
+            entry.encode(enc)
+            self._store.append(REC_ENTRY, enc.to_bytes())
+        self._log.append(entry)
+        self._latest[(entry.user_id, entry.channel_id)] = entry
+
+    def latest(self, user_id: int, channel_id: str) -> Optional[ViewingLogEntry]:
+        return self._latest.get((user_id, channel_id))
+
+    def entries(self) -> List[ViewingLogEntry]:
+        return list(self._log)
+
+    def user_ids(self) -> List[int]:
+        return sorted({entry.user_id for entry in self._log})
+
+    def entries_for_user(self, user_id: int) -> List[ViewingLogEntry]:
+        return [entry for entry in self._log if entry.user_id == user_id]
+
+    def remove_user(self, user_id: int) -> List[ViewingLogEntry]:
+        """Drop one user's history (it migrated away); returns it."""
+        moved = self.entries_for_user(user_id)
+        if moved:
+            self._log = [e for e in self._log if e.user_id != user_id]
+            self._latest = {
+                key: entry
+                for key, entry in self._latest.items()
+                if key[0] != user_id
+            }
+            if self._store is not None:
+                self._store.append(
+                    REC_REMOVE_USER, Encoder().put_u64(user_id).to_bytes()
+                )
+        return moved
+
+    def absorb(self, entries: Iterable[ViewingLogEntry]) -> int:
+        """Take ownership of migrated entries, preserving issue order.
+
+        Upsert semantics make a resumed migration idempotent: an entry
+        already present (same user, channel, timestamp) is skipped.
+        """
+        absorbed = 0
+        present = {
+            (e.user_id, e.channel_id, e.issued_at, e.renewal) for e in self._log
+        }
+        for entry in sorted(entries, key=lambda e: e.issued_at):
+            key = (entry.user_id, entry.channel_id, entry.issued_at, entry.renewal)
+            if key in present:
+                continue
+            self.append(entry)
+            present.add(key)
+            absorbed += 1
+        return absorbed
+
+    # ------------------------------------------------------------------
+    # Durability (same contract as the managers; see repro.store)
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store, now: float = 0.0) -> None:
+        self._store = store
+        store.write_snapshot(self._snapshot_state(), taken_at=now)
+
+    def _snapshot_state(self) -> bytes:
+        enc = Encoder()
+        enc.put_str(self.name)
+        enc.put_u32(len(self._log))
+        for entry in self._log:
+            entry.encode(enc)
+        return enc.to_bytes()
+
+    def _restore_state(self, state: bytes) -> None:
+        dec = Decoder(state)
+        name = dec.get_str()
+        if name != self.name:
+            raise ReproError(
+                f"store holds viewing partition {name!r}, this is {self.name!r}"
+            )
+        self._log = []
+        self._latest = {}
+        for _ in range(dec.get_u32()):
+            entry = ViewingLogEntry.decode(dec)
+            self._log.append(entry)
+            self._latest[(entry.user_id, entry.channel_id)] = entry
+        dec.finish()
+
+    def _apply_record(self, rec_type: int, body: bytes) -> None:
+        dec = Decoder(body)
+        if rec_type == REC_ENTRY:
+            entry = ViewingLogEntry.decode(dec)
+            self._log.append(entry)
+            self._latest[(entry.user_id, entry.channel_id)] = entry
+        elif rec_type == REC_REMOVE_USER:
+            user_id = dec.get_u64()
+            self._log = [e for e in self._log if e.user_id != user_id]
+            self._latest = {
+                key: entry
+                for key, entry in self._latest.items()
+                if key[0] != user_id
+            }
+        else:
+            raise ReproError(f"unknown viewing WAL record type {rec_type}")
+        dec.finish()
+
+    @classmethod
+    def recover(cls, store, name: str) -> "ViewingLogPartition":
+        """Rebuild a partition from snapshot + WAL replay."""
+        partition = cls(name)
+        state = store.load()
+        if state.snapshot is not None:
+            partition._restore_state(state.snapshot.state)
+        for record in state.records:
+            partition._apply_record(record.rec_type, record.body)
+        partition._store = store
+        return partition
+
+
+class ShardedViewingLog:
+    """Routes viewing-log operations to the partition owning the user.
+
+    Installed on every Channel Manager instance via
+    ``set_viewing_router``; the CMs keep their local per-partition logs
+    for billing/analytics, but renewal decisions consult this router,
+    which is what makes the one-location rule hold across farms.
+    """
+
+    #: Key prefix: placement hashes "uid:<UserIN>" so the viewing ring
+    #: and a user ring sharing shard names still place independently.
+    _KEY = "uid:{}"
+
+    def __init__(
+        self,
+        vnodes: int = 512,
+        counters: Optional[ShardingCounters] = None,
+    ) -> None:
+        self.ring = ConsistentHashRing(vnodes=vnodes, salt=b"viewing")
+        self.counters = counters or ShardingCounters()
+        self._partitions: Dict[str, ViewingLogPartition] = {}
+        self._frozen_users: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add_partition(
+        self,
+        name: str,
+        partition: Optional[ViewingLogPartition] = None,
+        join_ring: bool = True,
+    ) -> ViewingLogPartition:
+        """Register a partition; with ``join_ring=False`` it is attached
+        but owns no keys yet -- the migration target's state between
+        copy start and cutover (the coordinator swaps in a ring that
+        includes it at the commit point)."""
+        if name in self._partitions:
+            raise ReproError(f"viewing partition exists: {name}")
+        partition = partition or ViewingLogPartition(name)
+        self._partitions[name] = partition
+        if join_ring:
+            self.ring.add_node(name)
+        return partition
+
+    def partition(self, name: str) -> ViewingLogPartition:
+        try:
+            return self._partitions[name]
+        except KeyError:
+            raise ReproError(f"unknown viewing partition: {name}") from None
+
+    def partitions(self) -> Dict[str, ViewingLogPartition]:
+        return dict(self._partitions)
+
+    def owner_of(self, user_id: int) -> str:
+        return self.ring.node_for(self._KEY.format(user_id))
+
+    # ------------------------------------------------------------------
+    # Freeze (driven by the ReshardCoordinator for moved users)
+    # ------------------------------------------------------------------
+
+    def freeze_users(self, user_ids: Iterable[int]) -> None:
+        self._frozen_users.update(user_ids)
+
+    def thaw_users(self, user_ids: Optional[Iterable[int]] = None) -> None:
+        if user_ids is None:
+            self._frozen_users.clear()
+        else:
+            self._frozen_users.difference_update(user_ids)
+
+    def is_frozen_user(self, user_id: int) -> bool:
+        return user_id in self._frozen_users
+
+    def frozen_users(self) -> Set[int]:
+        return set(self._frozen_users)
+
+    # ------------------------------------------------------------------
+    # The router contract ChannelManager calls
+    # ------------------------------------------------------------------
+
+    def append(self, entry: ViewingLogEntry) -> str:
+        """Route one issuance to the owning partition; returns its name."""
+        if entry.user_id in self._frozen_users:
+            self.counters.frozen_deferrals += 1
+            raise ShardFrozenError(self._KEY.format(entry.user_id))
+        owner = self.owner_of(entry.user_id)
+        if len(self._partitions) > 1:
+            # In a real deployment this hop is an RPC to the owning
+            # shard; single-partition routers answer locally.
+            self.counters.cross_shard_lookups += 1
+        self._partitions[owner].append(entry)
+        return owner
+
+    def latest(self, user_id: int, channel_id: str) -> Optional[ViewingLogEntry]:
+        """The renewal check: latest entry at the owning partition."""
+        if user_id in self._frozen_users:
+            self.counters.frozen_deferrals += 1
+            raise ShardFrozenError(self._KEY.format(user_id))
+        owner = self.owner_of(user_id)
+        if len(self._partitions) > 1:
+            self.counters.cross_shard_lookups += 1
+        return self._partitions[owner].latest(user_id, channel_id)
+
+    # ------------------------------------------------------------------
+    # Bulk plumbing
+    # ------------------------------------------------------------------
+
+    def seed(self, entries: Iterable[ViewingLogEntry]) -> int:
+        """Load pre-sharding history (e.g. a CM's local log) into the
+        owning partitions, preserving issue order."""
+        count = 0
+        for entry in sorted(entries, key=lambda e: e.issued_at):
+            self._partitions[self.owner_of(entry.user_id)].append(entry)
+            count += 1
+        return count
+
+    def combined_log(self) -> List[ViewingLogEntry]:
+        """Every partition's entries merged in issuance order -- the
+        input :func:`~repro.sim.faults.single_location_violations`
+        checks."""
+        merged: List[ViewingLogEntry] = []
+        for partition in self._partitions.values():
+            merged.extend(partition.entries())
+        merged.sort(key=lambda e: e.issued_at)
+        return merged
+
+    def misplaced_users(self) -> List[int]:
+        """User ids whose history sits on a partition the ring no
+        longer assigns to them -- must be empty outside a migration."""
+        wrong: List[int] = []
+        for name, partition in self._partitions.items():
+            for user_id in partition.user_ids():
+                if self.owner_of(user_id) != name:
+                    wrong.append(user_id)
+        return sorted(set(wrong))

@@ -442,6 +442,144 @@ def replica_flap(config: Optional[ChaosConfig] = None) -> ScenarioResult:
     return rig.run("replica_flap")
 
 
+def shard_killed_mid_resharding(config: Optional[ChaosConfig] = None) -> ScenarioResult:
+    """A UM shard being resharded *in* dies halfway through the range move.
+
+    A sharded deployment with live viewers stands up a new
+    Authentication Domain and starts migrating ~1/N of the users onto
+    it.  Mid-copy, an in-flight renewal for a frozen (moving) user is
+    deferred, and then the migration *target* crashes.  Acceptance:
+
+    * the directory never points at a shard missing the named key's
+      WAL state -- not mid-copy, not after rollback, not after resume;
+    * the one-viewing-location invariant holds throughout;
+    * the migration rolls back cleanly (freezes lifted, deferred
+      renewal replayed against the old owner, directory unchanged) and
+      *resumes* to completion once the target recovers;
+    * post-cutover, every moved viewer renews against the new owner --
+      viewing-history continuity across the migration.
+    """
+    from repro.errors import ShardFrozenError
+    from repro.sharding import MigrationAborted, directory_state_violations
+
+    config = config or ChaosConfig()
+    violations: List[str] = []
+    fault_events: List[tuple] = []
+
+    deployment = Deployment(seed=config.seed, n_domains=2, partitions=("default",))
+    deployment.enable_durability()  # memory-backed WALs survive the crash
+    deployment.add_free_channel(config.channel, regions=["CH"], now=0.0)
+    runtime = deployment.enable_sharding()
+
+    clients = []
+    for index in range(config.clients):
+        client = deployment.create_client(
+            f"viewer{index}@example.org", f"pw{index}", region="CH"
+        )
+        client.login(now=float(index))
+        client.switch_channel(config.channel, now=float(index) + 0.5)
+        clients.append(client)
+
+    # Stand up the migration target (what add_user_manager_shards does,
+    # unrolled so the failure can be injected mid-execute).
+    shard_index = deployment._next_domain_index
+    deployment._next_domain_index += 1
+    domain = f"domain-{shard_index}"
+    deployment._spawn_user_manager_shard(domain, shard_index)
+    runtime.attach_user_shard(domain)
+    runtime.viewing.partition(domain).attach_store(
+        deployment._make_store(f"viewing-{domain}")
+    )
+    plan = runtime.coordinator.plan_add_user_shard(domain)
+    total_moves = len(plan.moved) + len(plan.moved_user_ids)
+    if total_moves == 0:
+        violations.append("reshard plan moved no keys; nothing to test")
+
+    # Channel Tickets issued near t=0 with the default 900 s lifetime
+    # renew inside [expiry-120, expiry]; t=800 lands in every window.
+    renew_at, replay_at = 800.0, 805.0
+    deferred: List[str] = []
+
+    def failpoint(copied: int) -> None:
+        if copied != max(1, total_moves // 2):
+            return
+        # The renewal storm crosses the migration: frozen (moving)
+        # users are refused with ShardFrozenError and parked at the
+        # coordinator; everyone else renews normally mid-migration.
+        for client in clients:
+            try:
+                client.renew_channel_ticket(now=renew_at)
+            except ShardFrozenError:
+                deferred.append(client.email)
+                runtime.coordinator.defer(
+                    lambda c=client: c.renew_channel_ticket(now=replay_at)
+                )
+        mid_violations = directory_state_violations(deployment, runtime)
+        if mid_violations:
+            violations.extend(f"mid-copy: {v}" for v in mid_violations)
+        fault_events.append((renew_at, "crash", f"um://{domain}"))
+        deployment.crash_user_manager(domain)
+
+    try:
+        runtime.coordinator.execute(plan, failpoint=failpoint, now=renew_at)
+        violations.append("migration completed despite target crash")
+    except MigrationAborted:
+        pass
+    if not deferred:
+        violations.append("no renewal was deferred by the freeze")
+    if plan.state != "rolled_back":
+        violations.append(f"expected rollback, plan is {plan.state!r}")
+    violations.extend(
+        f"post-rollback: {v}" for v in directory_state_violations(deployment, runtime)
+    )
+    violations.extend(single_location_violations(runtime.viewing.combined_log()))
+    if runtime.user_directory.frozen_keys():
+        violations.append("user-directory freeze leaked past rollback")
+    if runtime.viewing.frozen_users():
+        violations.append("viewing freeze leaked past rollback")
+    if runtime.counters.replayed_operations < len(deferred):
+        violations.append("deferred renewals were not replayed on rollback")
+
+    # The target recovers from its WAL; the migration resumes and
+    # completes (every copy step is an upsert, so the partial state the
+    # dead shard retained is reconciled, not duplicated).
+    fault_events.append((850.0, "recover", f"um://{domain}"))
+    deployment.recover_user_manager(domain)
+    try:
+        runtime.coordinator.resume(plan, now=860.0)
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        violations.append(f"resume failed: {exc}")
+    if plan.state != "complete":
+        violations.append(f"expected completion after resume, plan is {plan.state!r}")
+    violations.extend(
+        f"post-resume: {v}" for v in directory_state_violations(deployment, runtime)
+    )
+    if runtime.viewing.misplaced_users():
+        violations.append(
+            f"viewing histories stranded off-owner: {runtime.viewing.misplaced_users()}"
+        )
+
+    # Continuity: every viewer -- moved or not -- renews again after
+    # cutover, and the merged log stays one-location clean.
+    for client in clients:
+        try:
+            client.renew_channel_ticket(now=1620.0)
+        except Exception as exc:  # noqa: BLE001
+            violations.append(f"post-cutover renewal failed for {client.email}: {exc}")
+    violations.extend(single_location_violations(runtime.viewing.combined_log()))
+
+    return ScenarioResult(
+        name="shard_killed_mid_resharding",
+        passed=not violations,
+        violations=violations,
+        horizon=1620.0,
+        fault_events=fault_events,
+        outcomes=[],
+        counters={k: float(v) for k, v in runtime.counters.snapshot().items()},
+        resilience_spans={},
+    )
+
+
 #: Scenario registry, in documentation order.  ``manager_crash_mid_storm``
 #: first: it is the acceptance scenario and the CI smoke target.
 SCENARIOS: Dict[str, Callable[[Optional[ChaosConfig]], ScenarioResult]] = {
@@ -450,6 +588,7 @@ SCENARIOS: Dict[str, Callable[[Optional[ChaosConfig]], ScenarioResult]] = {
     "partition_cm_farm": partition_cm_farm,
     "slow_station_brownout": slow_station_brownout,
     "replica_flap": replica_flap,
+    "shard_killed_mid_resharding": shard_killed_mid_resharding,
 }
 
 

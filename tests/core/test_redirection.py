@@ -108,6 +108,46 @@ class TestReplicas:
         assert not redirection.is_down("um://eu")
 
 
+class TestHealthMarkExpiry:
+    """Regression: mark_down marks used to be permanent unless a
+    mark_up arrived, so one transient timeout during a deploy could
+    starve a healthy replica of traffic forever."""
+
+    def test_mark_expires_after_ttl(self, redirection):
+        redirection.mark_down("um://eu", now=100.0, ttl=60.0)
+        assert redirection.is_down("um://eu", now=159.9)
+        assert not redirection.is_down("um://eu", now=160.1)
+
+    def test_default_ttl_applies(self, redirection):
+        redirection.mark_down("um://eu", now=0.0)
+        ttl = RedirectionManager.DEFAULT_DOWN_TTL
+        assert redirection.is_down("um://eu", now=ttl - 1.0)
+        assert not redirection.is_down("um://eu", now=ttl + 1.0)
+
+    def test_clockless_marks_never_expire(self, redirection):
+        # Legacy callers pass no clock; their marks keep the old
+        # permanent semantics until an explicit mark_up.
+        redirection.mark_down("um://eu")
+        assert redirection.is_down("um://eu", now=1e12)
+        redirection.mark_up("um://eu")
+        assert not redirection.is_down("um://eu")
+
+    def test_remark_extends_but_never_shortens(self, redirection):
+        redirection.mark_down("um://eu", now=0.0, ttl=500.0)
+        redirection.mark_down("um://eu", now=10.0, ttl=60.0)
+        # The longer of the two marks wins.
+        assert redirection.is_down("um://eu", now=400.0)
+        assert not redirection.is_down("um://eu", now=501.0)
+
+    def test_expired_mark_restores_primary_ordering(self, redirection):
+        redirection.add_replica("eu", endpoint("um://eu-1"))
+        redirection.assign_user("a@b.c", "eu")
+        redirection.mark_down("um://eu", now=0.0, ttl=30.0)
+        assert redirection.lookup("a@b.c", now=10.0).user_manager.address == "um://eu-1"
+        # TTL elapsed: the primary serves again without any mark_up.
+        assert redirection.lookup("a@b.c", now=31.0).user_manager.address == "um://eu"
+
+
 class TestLookupError:
     def test_no_domain_error_names_email_and_domains(self, redirection):
         from repro.errors import RedirectionLookupError

@@ -1,0 +1,87 @@
+"""ShardDirectory: pins outrank the ring, freezes defer lookups."""
+
+import pytest
+
+from repro.errors import ReproError, ShardFrozenError
+from repro.sharding import ConsistentHashRing, ShardDirectory
+
+
+@pytest.fixture
+def directory():
+    ring = ConsistentHashRing(vnodes=64, salt=b"user", nodes=["a", "b", "c"])
+    return ShardDirectory(ring, kind="user")
+
+
+class TestLookup:
+    def test_follows_the_ring(self, directory):
+        for key in ("alice@x", "bob@y", "carol@z"):
+            assert directory.shard_for(key) == directory.ring.node_for(key)
+
+    def test_load_and_lookup_counters(self, directory):
+        directory.shard_for("alice@x")
+        directory.shard_for("alice@x")
+        assert directory.lookups == 2
+        assert sum(directory.load.values()) == 2
+
+    def test_dump_is_json_friendly(self, directory):
+        import json
+
+        directory.pin("alice@x", "c")
+        directory.freeze(["bob@y"])
+        dump = directory.dump()
+        json.dumps(dump)
+        assert dump["kind"] == "user"
+        assert dump["pins"] == {"alice@x": "c"}
+        assert dump["frozen"] == ["bob@y"]
+
+
+class TestPins:
+    def test_pin_overrides_ring(self, directory):
+        natural = directory.shard_for("alice@x")
+        target = next(n for n in ("a", "b", "c") if n != natural)
+        directory.pin("alice@x", target)
+        assert directory.shard_for("alice@x") == target
+
+    def test_pin_may_target_off_ring_shard(self, directory):
+        # A dedicated farm serving only pinned keys never joins the
+        # ring (the popular-channel escape hatch).
+        directory.pin("superbowl", "dedicated-farm")
+        assert directory.shard_for("superbowl") == "dedicated-farm"
+        assert "dedicated-farm" in directory.shards()
+
+    def test_empty_shard_name_rejected(self, directory):
+        with pytest.raises(ReproError):
+            directory.pin("alice@x", "")
+
+    def test_unpin_restores_ring_placement(self, directory):
+        natural = directory.shard_for("alice@x")
+        directory.pin("alice@x", "c")
+        directory.unpin("alice@x")
+        assert directory.shard_for("alice@x") == natural
+
+    def test_pins_survive_ring_cutover(self, directory):
+        directory.pin("alice@x", "b")
+        bigger = directory.ring.copy()
+        bigger.add_node("d")
+        directory.set_ring(bigger)
+        assert directory.shard_for("alice@x") == "b"
+
+
+class TestFreeze:
+    def test_frozen_key_raises_and_counts(self, directory):
+        directory.freeze(["alice@x"])
+        with pytest.raises(ShardFrozenError):
+            directory.shard_for("alice@x")
+        assert directory.counters.frozen_deferrals == 1
+
+    def test_frozen_ok_resolves_for_the_migrator(self, directory):
+        directory.freeze(["alice@x"])
+        assert directory.shard_for("alice@x", frozen_ok=True)
+
+    def test_thaw_specific_and_all(self, directory):
+        directory.freeze(["alice@x", "bob@y"])
+        directory.thaw(["alice@x"])
+        assert not directory.is_frozen("alice@x")
+        assert directory.is_frozen("bob@y")
+        directory.thaw()
+        assert directory.frozen_keys() == set()

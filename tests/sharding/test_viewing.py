@@ -1,0 +1,120 @@
+"""The user-partitioned viewing log and its router contract."""
+
+import pytest
+
+from repro.core.channel_manager import ViewingLogEntry
+from repro.errors import ReproError, ShardFrozenError
+from repro.sharding import ShardedViewingLog, ViewingLogPartition
+from repro.store import DurableStore, MemoryBackend
+
+
+def entry(uid, channel="ch", at=0.0, renewal=False, addr="1.2.3.4"):
+    return ViewingLogEntry(
+        user_id=uid, channel_id=channel, net_addr=addr,
+        issued_at=at, renewal=renewal, expires_at=at + 900.0,
+    )
+
+
+@pytest.fixture
+def router():
+    log = ShardedViewingLog(vnodes=64)
+    log.add_partition("dom-0")
+    log.add_partition("dom-1")
+    return log
+
+
+class TestRouting:
+    def test_append_routes_to_owner(self, router):
+        owner = router.append(entry(7))
+        assert owner == router.owner_of(7)
+        assert router.partition(owner).latest(7, "ch") is not None
+
+    def test_latest_reads_the_owning_partition(self, router):
+        router.append(entry(7, at=1.0))
+        router.append(entry(7, at=2.0, renewal=True))
+        latest = router.latest(7, "ch")
+        assert latest.issued_at == 2.0
+        assert latest.renewal
+
+    def test_users_spread_over_partitions(self, router):
+        owners = {router.owner_of(uid) for uid in range(64)}
+        assert owners == {"dom-0", "dom-1"}
+
+    def test_combined_log_merges_in_issue_order(self, router):
+        for uid, at in ((1, 3.0), (2, 1.0), (3, 2.0)):
+            router.append(entry(uid, at=at))
+        assert [e.issued_at for e in router.combined_log()] == [1.0, 2.0, 3.0]
+
+    def test_misplaced_users_empty_outside_migration(self, router):
+        for uid in range(16):
+            router.append(entry(uid))
+        assert router.misplaced_users() == []
+
+
+class TestFreeze:
+    def test_frozen_user_defers_append_and_latest(self, router):
+        router.append(entry(7))
+        router.freeze_users([7])
+        with pytest.raises(ShardFrozenError):
+            router.append(entry(7, at=1.0))
+        with pytest.raises(ShardFrozenError):
+            router.latest(7, "ch")
+        assert router.counters.frozen_deferrals == 2
+        # The refused append left no partial state behind.
+        assert router.partition(router.owner_of(7)).latest(7, "ch").issued_at == 0.0
+
+    def test_thaw_restores_service(self, router):
+        router.freeze_users([7])
+        router.thaw_users([7])
+        router.append(entry(7))
+        assert router.latest(7, "ch") is not None
+
+
+class TestMembership:
+    def test_duplicate_partition_rejected(self, router):
+        with pytest.raises(ReproError):
+            router.add_partition("dom-0")
+
+    def test_detached_partition_owns_no_keys(self, router):
+        router.add_partition("dom-2", join_ring=False)
+        assert "dom-2" not in router.ring.nodes()
+        owners = {router.owner_of(uid) for uid in range(64)}
+        assert "dom-2" not in owners
+
+
+class TestPartitionState:
+    def test_absorb_is_idempotent(self):
+        source, target = ViewingLogPartition("a"), ViewingLogPartition("b")
+        for at in (1.0, 2.0):
+            source.append(entry(7, at=at))
+        moved = source.entries_for_user(7)
+        assert target.absorb(moved) == 2
+        assert target.absorb(moved) == 0  # resumed migration re-copies safely
+        assert len(target.entries()) == 2
+
+    def test_remove_user_drops_only_that_user(self):
+        partition = ViewingLogPartition("a")
+        partition.append(entry(7))
+        partition.append(entry(8))
+        removed = partition.remove_user(7)
+        assert [e.user_id for e in removed] == [7]
+        assert partition.user_ids() == [8]
+        assert partition.latest(7, "ch") is None
+
+    def test_recover_from_snapshot_and_wal(self):
+        store = DurableStore(MemoryBackend())
+        partition = ViewingLogPartition("dom-0")
+        partition.append(entry(7, at=1.0))
+        partition.attach_store(store, now=1.0)
+        partition.append(entry(8, at=2.0))
+        partition.remove_user(7)
+
+        recovered = ViewingLogPartition.recover(store, "dom-0")
+        assert recovered.user_ids() == [8]
+        assert recovered.latest(8, "ch").issued_at == 2.0
+
+    def test_recover_rejects_foreign_store(self):
+        store = DurableStore(MemoryBackend())
+        ViewingLogPartition("dom-0").attach_store(store)
+        with pytest.raises(ReproError):
+            ViewingLogPartition.recover(store, "dom-1")

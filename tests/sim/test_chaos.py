@@ -20,13 +20,14 @@ from repro.sim.chaos import (
 SMALL = ChaosConfig(clients=4)
 
 
-def test_registry_lists_the_five_scenarios():
+def test_registry_lists_the_six_scenarios():
     assert list(SCENARIOS) == [
         "manager_crash_mid_storm",
         "rolling_restarts",
         "partition_cm_farm",
         "slow_station_brownout",
         "replica_flap",
+        "shard_killed_mid_resharding",
     ]
 
 
@@ -68,6 +69,24 @@ def test_partition_heals_without_failover():
     assert all(o.failovers == 0 for o in result.outcomes)
     assert result.counters["breaker_opens"] == 0
     assert result.counters["retries"] > 0
+
+
+def test_shard_killed_mid_resharding_acceptance_details():
+    result = run_scenario("shard_killed_mid_resharding", SMALL)
+    assert result.passed, result.violations
+    # The migration target died mid-copy: the attempt rolled back
+    # (directory untouched), then resumed to completion after recovery.
+    assert result.counters["migrations_rolled_back"] >= 1
+    assert result.counters["migrations_resumed"] >= 1
+    assert result.counters["migrations_completed"] >= 1
+    # Renewals that hit the frozen range were deferred, not dropped,
+    # and replayed once the freeze lifted.
+    assert result.counters["frozen_deferrals"] > 0
+    assert result.counters["replayed_operations"] > 0
+    assert result.counters["keys_moved"] > 0
+    # The kill and the recovery are both visible as fault events.
+    kinds = {kind for _, kind, _ in result.fault_events}
+    assert {"crash", "recover"} <= kinds
 
 
 def test_result_json_roundtrip(tmp_path):

@@ -91,3 +91,34 @@ class TestStoreCommand:
             fh.write(b"\x00" * 32)
         assert main(["store", "verify", path]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestShardCommand:
+    ARGS = ["--users", "24", "--channels", "6", "--vnodes", "64"]
+
+    def test_plan_prints_placement_and_movement(self, capsys):
+        assert main(["shard", "plan", "--add-um", "1", "--add-cm", "1"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "user shard" in out
+        assert "channel shard" in out
+        assert "keys move" in out
+        assert "ideal minimum" in out
+
+    def test_status_reports_ok_on_healthy_deployment(self, capsys):
+        assert main(["shard", "status"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "user directory" in out
+        assert "viewing partition" in out
+        assert "invariants: OK" in out
+
+    def test_rebalance_executes_and_verifies(self, capsys):
+        assert main(["shard", "rebalance", "--add-um", "1", "--add-cm", "1"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "resharded in user shard(s): domain-2" in out
+        assert "resharded in channel shard(s): partition-0" in out
+        assert "keys moved" in out
+        assert "invariants: OK" in out
+
+    def test_rebalance_without_additions_is_a_usage_error(self, capsys):
+        assert main(["shard", "rebalance"] + self.ARGS) == 2
+        assert "nothing to do" in capsys.readouterr().err
