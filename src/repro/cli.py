@@ -10,6 +10,7 @@ Commands:
 ``store``      inspect / verify / compact an on-disk durable store
 ``trace``      run a traced switch storm / report a saved span buffer
 ``chaos``      run failure-injection scenarios / report a saved run
+``storm``      sharded switch storm across worker processes (repro.parallel)
 
 Each command is a thin wrapper over the library -- everything the CLI
 prints is available programmatically from :mod:`repro.experiments`.
@@ -386,6 +387,49 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_storm(args: argparse.Namespace) -> int:
+    from repro.parallel import ShardStormConfig, run_sharded_storm
+
+    config = ShardStormConfig(
+        shards=args.shards,
+        clients_per_shard=args.clients,
+        seed=args.seed,
+        horizon=args.horizon,
+    )
+    outcome = run_sharded_storm(config, workers=args.workers)
+    print(
+        f"sharded storm: {outcome.shards} shard(s) on {outcome.workers} "
+        f"worker(s), {outcome.windows} windows, "
+        f"{outcome.bridge_messages} bridge messages, "
+        f"{outcome.wall_seconds:.2f}s wall"
+    )
+    print(f"  operations: {dict(sorted(outcome.counts.items()))}")
+    busy = ", ".join(f"{b:.2f}s" for b in outcome.per_shard_busy)
+    print(f"  per-shard busy: [{busy}]")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for line in outcome.transcript:
+                fh.write(line + "\n")
+        print(f"  saved {len(outcome.transcript)} transcript lines to {args.out}")
+    failed = False
+    if outcome.errors:
+        print(f"error: {len(outcome.errors)} protocol error(s):", file=sys.stderr)
+        for err in outcome.errors[:10]:
+            print(f"  {err}", file=sys.stderr)
+        failed = True
+    if args.check_determinism:
+        # The CI smoke job keys on this: re-run sequentially and demand
+        # byte equality, whatever worker count the first run used.
+        check = run_sharded_storm(config, workers=1)
+        if check.transcript == outcome.transcript:
+            print(f"  determinism: sequential re-run identical "
+                  f"({len(outcome.transcript)} lines)")
+        else:
+            print("error: sequential re-run transcript differs", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
 def _cmd_threats(args: argparse.Namespace) -> int:
     # Delegate to the narrated playbook example logic.
     import examples.threat_playbook as playbook  # type: ignore
@@ -482,6 +526,24 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--add-cm", type=int, default=0,
                        help="channel shards to add (plan: simulate; rebalance: execute)")
     shard.set_defaults(func=_cmd_shard)
+
+    storm = sub.add_parser(
+        "storm", help="sharded switch storm across worker processes"
+    )
+    storm.add_argument("--shards", type=int, default=4)
+    storm.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = sequential, same bytes)")
+    storm.add_argument("--clients", type=int, default=4,
+                       help="viewers per shard")
+    storm.add_argument("--seed", type=int, default=29)
+    storm.add_argument("--horizon", type=float, default=150.0,
+                       help="virtual seconds to simulate")
+    storm.add_argument("--out", default=None,
+                       help="save the merged transcript as JSONL")
+    storm.add_argument("--check-determinism", action="store_true",
+                       help="re-run sequentially and require byte equality "
+                            "(exit 1 on mismatch)")
+    storm.set_defaults(func=_cmd_storm)
 
     threats = sub.add_parser("threats", help="run the threat playbook")
     threats.set_defaults(func=_cmd_threats)

@@ -80,6 +80,10 @@ class ChannelServer:
         self.packets_emitted = 0
         #: Shared tracer, attached by Deployment.enable_tracing().
         self.tracer: Optional[Tracer] = None
+        #: Shared CryptoPool, attached by Deployment.enable_multicore():
+        #: batch sealing in :meth:`emit_packets` fans out across worker
+        #: processes.  None = everything runs in-process.
+        self.crypto_pool = None
 
     def ingest_frame(self, now: float, payload: Optional[bytes] = None) -> MediaFrame:
         """Produce one encoded frame (synthetic payload unless given)."""
@@ -133,6 +137,7 @@ class ChannelServer:
             content_key,
             self.channel_id,
             [(f.sequence, f.payload) for f in frames],
+            pool=self.crypto_pool,
         )
         self.packets_emitted += count
         return packets

@@ -192,7 +192,10 @@ class SymmetricKey:
 
         Semantically identical to ``[encrypt(p, n, aad) for p, n in
         zip(plaintexts, nonces)]`` but hoists the per-key XOF/MAC state
-        lookups and the AAD tag header out of the loop.
+        lookups and the AAD tag header out of the loop.  One extra
+        check the scalar loop cannot make: a nonce repeated *within*
+        the batch raises ``ValueError`` instead of silently reusing
+        keystream.
         """
         if len(plaintexts) != len(nonces):
             raise ValueError(
@@ -200,6 +203,12 @@ class SymmetricKey:
             )
         if any(nonce < 0 for nonce in nonces):
             raise ValueError("nonce must be non-negative")
+        if len(set(nonces)) != len(nonces):
+            # Two messages sealed under the same (key, nonce) share a
+            # keystream: XOR of the ciphertexts reveals the XOR of the
+            # plaintexts.  The packet paths can't produce duplicates
+            # (sequence numbers are monotone) but the API is public.
+            raise ValueError("duplicate nonce in batch (keystream reuse)")
         prefix = _prefix_state(self.material)
         mac = _mac_state(self.material)
         aad_header = len(aad).to_bytes(4, "big") + aad

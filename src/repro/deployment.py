@@ -212,6 +212,8 @@ class Deployment:
         self.tracer: Optional[Tracer] = None
         #: Sharded manager tier, set by :meth:`enable_sharding`.
         self.sharding = None
+        #: Shared process pool, set by :meth:`enable_multicore`.
+        self.crypto_pool = None
         self._next_domain_index = n_domains
         self._next_shard_partition_index = 0
 
@@ -300,6 +302,9 @@ class Deployment:
         if self.tracer is not None:
             server.tracer = self.tracer
             overlay.source.tracer = self.tracer
+        if self.crypto_pool is not None:
+            server.crypto_pool = self.crypto_pool
+            overlay.source.crypto_pool = self.crypto_pool
         self.servers[channel_id] = server
         self.overlays[channel_id] = overlay
 
@@ -377,6 +382,8 @@ class Deployment:
         self.channel_managers[name] = manager
         if self.tracer is not None:
             manager.tracer = self.tracer
+        if self.crypto_pool is not None:
+            manager.use_signing_pool(self.crypto_pool)
         if self.sharding is not None:
             self.sharding.install_router(manager)
         if self.stores:
@@ -488,6 +495,46 @@ class Deployment:
                 peer.tracer = tracer
         self.metrics.register("trace", tracer)
         return tracer
+
+    def enable_multicore(self, workers: Optional[int] = None, pool=None):
+        """Put the crypto plane behind a process pool.
+
+        Attaches one shared :class:`~repro.parallel.pool.CryptoPool`
+        to every component with offloadable work: channel servers and
+        overlay sources (GOP batch sealing), overlay peers (key
+        fan-out), and every manager and replica (ticket signing via
+        :class:`~repro.parallel.pool.PooledSigningKey`).  Components
+        created afterwards pick the pool up automatically, mirroring
+        :meth:`enable_tracing`.  Outputs are byte-identical to the
+        in-process paths, and worker counter deltas are merged back so
+        ``metrics`` stays exact.  ``workers=None`` sizes the pool to
+        the machine; on platforms without ``fork`` the pool runs its
+        inline fallback and everything still works.  Returns the pool
+        (register ``pool.stats`` shows up under ``"multicore"``).
+        """
+        from repro.parallel.pool import CryptoPool
+
+        if pool is None:
+            pool = CryptoPool(workers=workers)
+        self.crypto_pool = pool
+        for manager in self.user_managers.values():
+            manager.use_signing_pool(pool)
+        for manager in self.channel_managers.values():
+            manager.use_signing_pool(pool)
+        for replicas in self.um_replicas.values():
+            for replica in replicas:
+                replica.use_signing_pool(pool)
+        for replicas in self.cm_replicas.values():
+            for replica in replicas:
+                replica.use_signing_pool(pool)
+        for server in self.servers.values():
+            server.crypto_pool = pool
+        for overlay in self.overlays.values():
+            overlay.source.crypto_pool = pool
+            for peer in overlay.peers.values():
+                peer.crypto_pool = pool
+        self.metrics.register("multicore", pool.stats)
+        return pool
 
     # ------------------------------------------------------------------
     # Durability and crash recovery (see repro.store, repro.sim.faults)
@@ -998,6 +1045,8 @@ class Deployment:
         )
         if self.tracer is not None:
             peer.tracer = self.tracer
+        if self.crypto_pool is not None:
+            peer.crypto_pool = self.crypto_pool
         return peer
 
     def watch(self, client: Client, channel_id: str, now: float, capacity: int = 4) -> Peer:

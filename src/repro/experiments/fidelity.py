@@ -4,8 +4,9 @@ The week-long simulation charges each request a calibrated service
 time.  This module closes the loop in the other direction: it takes a
 (small) generated trace and *executes every operation through the real
 implementation* -- real logins with real RSA, real policy evaluation,
-real peer admission -- measuring each handler's wall-clock cost and
-adding a sampled WAN RTT, exactly as the timing model does.  Comparing
+real peer admission -- charging each exchange a per-op compute cost
+(deterministic by default, measured wall clock in ``measured`` mode)
+plus a sampled WAN RTT, exactly as the timing model does.  Comparing
 the two latency distributions bounds the substitution error of
 DESIGN.md's "production testbed -> calibrated simulation" row.
 
@@ -25,6 +26,7 @@ from repro.deployment import Deployment
 from repro.errors import CapacityError, ReproError
 from repro.metrics.collector import LatencyCollector
 from repro.metrics.stats import median
+from repro.sim.costs import FixedCostModel, WallClockCostModel
 from repro.sim.network import LatencyModel, peer_rtt, zattoo_like_rtt_table
 from repro.workload.traces import (
     OP_JOIN,
@@ -47,6 +49,12 @@ class FidelityConfig:
     n_channels: int = 6
     horizon: float = 6 * 3600.0  # six hours of trace
     peer_capacity: int = 4
+    #: When True, charge each operation its measured wall-clock cost
+    #: (the original behaviour -- results vary run-to-run and between
+    #: machines).  The default charges a deterministic per-op cost so
+    #: replays with the same seed reproduce exactly; the WAN RTT term
+    #: dominates either way.
+    measured: bool = False
 
 
 @dataclass
@@ -73,8 +81,22 @@ class _SessionState:
 class FidelityRunner:
     """Replays a generated trace through the real functional stack."""
 
+    #: Deterministic per-exchange compute costs (seconds) charged when
+    #: ``config.measured`` is False.  A two-round exchange runs two RSA
+    #: private ops plus handler work; joins add per-hop admission.
+    EXCHANGE_COSTS = {
+        "login_exchange": 0.008,
+        "switch_exchange": 0.006,
+        "join_overlay": 0.004,
+    }
+
     def __init__(self, config: FidelityConfig = FidelityConfig()) -> None:
         self.config = config
+        self._cost_model = (
+            WallClockCostModel()
+            if config.measured
+            else FixedCostModel(costs=self.EXCHANGE_COSTS)
+        )
 
     def run(self) -> FidelityResult:
         config = self.config
@@ -101,14 +123,15 @@ class FidelityRunner:
         }
         executed = failed = 0
 
-        def timed(round1: str, round2: Optional[str], event_time: float, fn) -> None:
+        def timed(op: str, round1: str, round2: Optional[str], event_time: float, fn) -> None:
             """Run a functional op; split its cost over its round(s).
 
-            The wall-clock cost of the whole exchange is measured once
-            and split evenly across the protocol's rounds (we cannot
-            observe per-round server time from outside the call); each
-            round then gets an independently sampled WAN RTT, matching
-            the timing model's accounting.
+            The compute cost of the whole exchange is charged once --
+            deterministic per-op by default, measured wall clock in
+            ``measured`` mode -- and split evenly across the protocol's
+            rounds (we cannot observe per-round server time from
+            outside the call); each round then gets an independently
+            sampled WAN RTT, matching the timing model's accounting.
             """
             nonlocal executed, failed
             start = time.perf_counter()
@@ -117,7 +140,7 @@ class FidelityRunner:
             except ReproError:
                 failed += 1
                 return
-            cost = time.perf_counter() - start
+            cost = self._cost_model.charge(op, time.perf_counter() - start)
             executed += 1
             rounds = [round1] if round2 is None else [round1, round2]
             for name in rounds:
@@ -134,17 +157,17 @@ class FidelityRunner:
                 sessions[event.session_id] = state
 
             if event.op == OP_LOGIN:
-                timed("LOGIN1", "LOGIN2", event.time,
+                timed("login_exchange", "LOGIN1", "LOGIN2", event.time,
                       lambda: state.client.login(now=event.time))
             elif event.op == OP_SWITCH:
                 self._leave_current(deployment, state, event.time)
-                timed("SWITCH1", "SWITCH2", event.time,
+                timed("switch_exchange", "SWITCH1", "SWITCH2", event.time,
                       lambda: state.client.switch_channel(event.channel, now=event.time))
                 state.channel = event.channel
             elif event.op == OP_RENEW:
                 if state.client.channel_ticket is not None:
                     state.client.login(now=event.time)  # fresh user ticket
-                    timed("SWITCH1", "SWITCH2", event.time,
+                    timed("switch_exchange", "SWITCH1", "SWITCH2", event.time,
                           lambda: state.client.renew_channel_ticket(now=event.time))
             elif event.op == OP_JOIN:
                 if state.client.channel_ticket is not None:
@@ -171,7 +194,7 @@ class FidelityRunner:
             _, attempts = overlay.join(peer, candidates, event_time)
         except CapacityError:
             return
-        cost = time.perf_counter() - start
+        cost = self._cost_model.charge("join_overlay", time.perf_counter() - start)
         total = sum(
             peer_rtt(rng, same_region=rng.random() < 0.7) for _ in range(attempts)
         )

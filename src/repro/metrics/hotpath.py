@@ -49,6 +49,20 @@ class HotpathCounters:
         """A plain-dict copy, for reports and BENCH_*.json files."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def merge(self, delta: Dict[str, int]) -> None:
+        """Fold a worker process's counter delta into this instance.
+
+        Counterpart of :meth:`DataplaneCounters.merge
+        <repro.metrics.dataplane.DataplaneCounters.merge>`: RSA ops
+        performed inside pool workers land here so the CRT-fast-path
+        accounting survives offload.  Unknown names are an error.
+        """
+        names = {f.name for f in fields(self)}
+        for name, value in delta.items():
+            if name not in names:
+                raise ValueError(f"unknown hotpath counter: {name!r}")
+            setattr(self, name, getattr(self, name) + value)
+
     @property
     def ticket_cache_hit_rate(self) -> float:
         """Hits / (hits + misses); 0.0 when nothing was looked up."""

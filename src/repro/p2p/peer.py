@@ -107,6 +107,10 @@ class Peer:
         self.packets_dropped_undecryptable = 0
         #: Shared tracer, attached by Deployment.enable_tracing().
         self.tracer: Optional[Tracer] = None
+        #: Shared CryptoPool, attached by Deployment.enable_multicore():
+        #: the key fan-out in :meth:`push_key_update` runs its
+        #: per-child sealing on worker processes.  None = in-process.
+        self.crypto_pool = None
 
     @property
     def address(self) -> str:
@@ -241,7 +245,10 @@ class Peer:
         if not links:
             return 0
         blobs = reencrypt_key_for_links(
-            content_key, (link.session_key for link in links), self.channel_id
+            content_key,
+            (link.session_key for link in links),
+            self.channel_id,
+            pool=self.crypto_pool,
         )
         channel_id = self.channel_id
         serial = content_key.serial

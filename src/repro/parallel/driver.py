@@ -1,0 +1,302 @@
+"""Storm runners: lockstep-sequential and multi-process parallel.
+
+Both runners execute the *identical* per-shard code
+(:meth:`~repro.parallel.shardstorm.ShardRig.run_window`) under the
+identical window schedule and the identical deterministic message
+routing, so their transcripts are byte-for-byte equal.  The only
+difference is where the shards live: on the calling thread, or spread
+round-robin over forked worker processes that exchange bridge traffic
+with the parent at every window barrier.
+
+Message routing happens in exactly one place (:func:`route_messages`)
+shared by both paths: messages are grouped by destination shard and
+sorted by ``(sent_at, src, seq, kind)``, and each shard delivers its
+inbox in that order -- so event sequence numbers, and therefore
+tie-breaks, match between runners.
+
+The parallel runner uses the ``fork`` start method (workers inherit
+the config; nothing depends on re-import semantics) and plain pipes.
+Platforms without ``fork`` fall back to the sequential runner, which
+is always available and always produces the same bytes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.parallel.shardstorm import (
+    BridgeMessage,
+    ShardRig,
+    ShardStormConfig,
+    TranscriptEntry,
+)
+
+
+@dataclass
+class StormOutcome:
+    """Everything a sharded storm run produced."""
+
+    #: Merged transcript: JSON lines ordered by (time, shard, seq).
+    transcript: List[str]
+    #: Per-operation completion counts summed over shards.
+    counts: Dict[str, int]
+    #: Protocol errors (expected: none).
+    errors: List[str]
+    shards: int
+    #: Worker processes the run actually used (1 = sequential).
+    workers: int
+    windows: int
+    #: Bridge messages exchanged across shard boundaries.
+    bridge_messages: int
+    #: Wall-clock busy seconds each shard spent inside run_window.
+    per_shard_busy: List[float] = field(default_factory=list)
+    #: Total wall-clock seconds for the run.
+    wall_seconds: float = 0.0
+
+    @property
+    def operations(self) -> int:
+        return sum(self.counts.values())
+
+
+def route_messages(
+    messages: List[BridgeMessage], shards: int
+) -> List[List[BridgeMessage]]:
+    """Group barrier traffic by destination shard, deterministically.
+
+    The sort key ``(sent_at, src, seq, kind)`` is a total order over
+    the barrier's messages (source shards number their requests and
+    each reply reuses its request's id), so every runner -- and every
+    run -- delivers each inbox in the same order.
+    """
+    inboxes: List[List[BridgeMessage]] = [[] for _ in range(shards)]
+    for msg in sorted(messages, key=BridgeMessage.sort_key):
+        if not 0 <= msg.dst < shards:
+            raise ValueError(f"message routed to unknown shard {msg.dst}")
+        inboxes[msg.dst].append(msg)
+    return inboxes
+
+
+def _finalize(
+    config: ShardStormConfig,
+    entries: List[TranscriptEntry],
+    counts: Dict[str, int],
+    errors: List[str],
+    workers: int,
+    bridge_messages: int,
+    per_shard_busy: List[float],
+    wall_seconds: float,
+) -> StormOutcome:
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    return StormOutcome(
+        transcript=[line for _, _, _, line in entries],
+        counts=counts,
+        errors=errors,
+        shards=config.shards,
+        workers=workers,
+        windows=len(config.window_ends()),
+        bridge_messages=bridge_messages,
+        per_shard_busy=per_shard_busy,
+        wall_seconds=wall_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential runner
+# ----------------------------------------------------------------------
+
+
+def _run_sequential(config: ShardStormConfig) -> StormOutcome:
+    started = time.perf_counter()
+    rigs = [ShardRig(config, shard) for shard in range(config.shards)]
+    busy = [0.0] * config.shards
+    inboxes: List[List[BridgeMessage]] = [[] for _ in range(config.shards)]
+    entries: List[TranscriptEntry] = []
+    bridge_messages = 0
+
+    for end in config.window_ends():
+        outbound: List[BridgeMessage] = []
+        for shard, rig in enumerate(rigs):
+            t0 = time.perf_counter()
+            out, lines = rig.run_window(end, inboxes[shard])
+            busy[shard] += time.perf_counter() - t0
+            outbound.extend(out)
+            entries.extend(lines)
+        bridge_messages += len(outbound)
+        inboxes = route_messages(outbound, config.shards)
+
+    counts: Dict[str, int] = {}
+    errors: List[str] = []
+    for rig in rigs:
+        for name, value in rig.counts.items():
+            counts[name] = counts.get(name, 0) + value
+        errors.extend(rig.errors)
+    return _finalize(
+        config,
+        entries,
+        counts,
+        errors,
+        workers=1,
+        bridge_messages=bridge_messages,
+        per_shard_busy=busy,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallel runner
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn, config: ShardStormConfig, shard_ids: List[int]) -> None:
+    """Host ``shard_ids`` and step them window by window.
+
+    Protocol (parent -> worker): ``("window", end, {shard: inbox})``
+    then a final ``("finish",)``.  Worker -> parent: ``("window",
+    outbound, entries)`` per window, ``("done", per-shard results)`` at
+    the end, or ``("error", message)`` on any exception.
+    """
+    try:
+        rigs = {shard: ShardRig(config, shard) for shard in shard_ids}
+        busy = {shard: 0.0 for shard in shard_ids}
+        conn.send(("ready",))
+        while True:
+            command = conn.recv()
+            if command[0] == "window":
+                _, end, inbound_by_shard = command
+                outbound: List[BridgeMessage] = []
+                entries: List[TranscriptEntry] = []
+                for shard in shard_ids:
+                    t0 = time.perf_counter()
+                    out, lines = rigs[shard].run_window(
+                        end, inbound_by_shard.get(shard, [])
+                    )
+                    busy[shard] += time.perf_counter() - t0
+                    outbound.extend(out)
+                    entries.extend(lines)
+                conn.send(("window", outbound, entries))
+            elif command[0] == "finish":
+                results = {
+                    shard: (rigs[shard].counts, rigs[shard].errors, busy[shard])
+                    for shard in shard_ids
+                }
+                conn.send(("done", results))
+                return
+            else:
+                raise RuntimeError(f"unknown command {command[0]!r}")
+    except Exception as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _expect(conn, kinds: Tuple[str, ...]):
+    reply = conn.recv()
+    if reply[0] == "error":
+        raise RuntimeError(f"storm worker failed: {reply[1]}")
+    if reply[0] not in kinds:
+        raise RuntimeError(f"unexpected worker reply {reply[0]!r}")
+    return reply
+
+
+def _run_parallel(config: ShardStormConfig, workers: int) -> StormOutcome:
+    started = time.perf_counter()
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return _run_sequential(config)
+
+    workers = min(workers, config.shards)
+    #: shard -> worker, round-robin; worker -> its shards, in order.
+    assignment = {shard: shard % workers for shard in range(config.shards)}
+    shards_of = [
+        [shard for shard in range(config.shards) if assignment[shard] == w]
+        for w in range(workers)
+    ]
+
+    conns = []
+    procs = []
+    try:
+        for w in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, config, shards_of[w])
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+        for conn in conns:
+            _expect(conn, ("ready",))
+
+        entries: List[TranscriptEntry] = []
+        inboxes: List[List[BridgeMessage]] = [[] for _ in range(config.shards)]
+        bridge_messages = 0
+        for end in config.window_ends():
+            for w, conn in enumerate(conns):
+                inbound = {
+                    shard: inboxes[shard]
+                    for shard in shards_of[w]
+                    if inboxes[shard]
+                }
+                conn.send(("window", end, inbound))
+            outbound: List[BridgeMessage] = []
+            for conn in conns:
+                _, out, lines = _expect(conn, ("window",))
+                outbound.extend(out)
+                entries.extend(lines)
+            bridge_messages += len(outbound)
+            inboxes = route_messages(outbound, config.shards)
+
+        counts: Dict[str, int] = {}
+        errors_by_shard: Dict[int, List[str]] = {}
+        busy = [0.0] * config.shards
+        for conn in conns:
+            conn.send(("finish",))
+        for conn in conns:
+            _, results = _expect(conn, ("done",))
+            for shard, (shard_counts, shard_errors, shard_busy) in results.items():
+                for name, value in shard_counts.items():
+                    counts[name] = counts.get(name, 0) + value
+                errors_by_shard[shard] = shard_errors
+                busy[shard] = shard_busy
+        errors = [e for shard in sorted(errors_by_shard) for e in errors_by_shard[shard]]
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    return _finalize(
+        config,
+        entries,
+        counts,
+        errors,
+        workers=workers,
+        bridge_messages=bridge_messages,
+        per_shard_busy=busy,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_sharded_storm(config: ShardStormConfig, workers: int = 1) -> StormOutcome:
+    """Run the sharded switch storm on ``workers`` processes.
+
+    ``workers <= 1`` runs every shard on the calling thread; more than
+    one forks worker processes and steps them in lockstep windows.
+    Either way the transcript is a pure function of ``config``.
+    """
+    if workers <= 1 or config.shards < 2:
+        return _run_sequential(config)
+    return _run_parallel(config, workers)

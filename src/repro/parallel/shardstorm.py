@@ -1,0 +1,469 @@
+"""The sharded switch storm: independent regions, one bridged protocol.
+
+Partitioning follows the manager tier (PR 6): each *shard* is an
+Authentication Domain plus a Channel Listing Partition plus that
+partition's channels and viewers, with its own simulator, virtual
+network, and service stations.  Shards only interact where the real
+system's farms would -- RPC calls to another shard's Channel Manager --
+and those calls cross a :class:`ShardBridge` at the typed-transport
+cut point (``VirtualNetwork.call``), addressed as
+``xshard://<shard>/cm``.
+
+Conservative synchronization invariant
+--------------------------------------
+The runners advance all shards in lockstep windows of width ``W`` and
+exchange bridge messages at the barriers.  Every bridge message takes
+the fixed inter-shard latency ``L``; with ``W <= L``, a message sent
+during window *i* (``sent_at >= T_i``) arrives at
+``sent_at + L >= T_i + W = T_{i+1}`` -- never before the destination
+shard's clock at delivery time.  :meth:`ShardBridge.deliver` asserts
+this, so a lookahead bug fails loudly instead of silently reordering
+the protocol.
+
+Determinism
+-----------
+Every shard builds an identical :class:`~repro.deployment.Deployment`
+from the storm seed (same farm credentials everywhere, so a Channel
+Manager verifies a *remote* domain's User Tickets with keys it already
+holds), and runs only its own domain/partition/viewers.  All
+randomness is seeded from ``(seed, shard)``; client compute is charged
+through the deterministic cost model.  The transcript -- one JSON line
+per completed protocol operation -- is therefore a pure function of
+the config, byte-identical between the sequential and parallel runners
+and across repeated runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.drbg import HmacDrbg
+from repro.deployment import Deployment
+from repro.errors import ReproError, SimulationError
+from repro.sim.driver import AsyncClient, wire_channel_manager, wire_user_manager
+from repro.sim.engine import Simulator
+from repro.sim.network import LatencyModel, RegionRtt
+from repro.sim.rpc import RequestContext, VirtualNetwork
+from repro.sim.station import ServiceStation
+
+#: Bridge address scheme for cross-shard RPC targets.
+XSHARD_PREFIX = "xshard://"
+
+#: Renewal kicks off this long before Channel Ticket expiry.
+RENEW_LEAD = 48.0
+
+#: A transcript entry: (virtual time, shard, per-shard seq, JSON line).
+TranscriptEntry = Tuple[float, int, int, str]
+
+
+@dataclass(frozen=True)
+class ShardStormConfig:
+    """Everything a worker needs to rebuild its shard (picklable)."""
+
+    shards: int = 2
+    clients_per_shard: int = 4
+    seed: int = 29
+    horizon: float = 150.0
+    channels_per_shard: int = 2
+    #: Seconds between a client's channel switches.
+    switch_period: float = 20.0
+    #: Every ``cross_every``-th switch targets another shard's CM.
+    cross_every: int = 3
+    #: Lockstep window width (the lookahead).
+    window: float = 0.25
+    #: One-way latency of the inter-shard bridge.
+    inter_shard_latency: float = 0.25
+    #: Short ticket lifetime so renewals land inside the horizon.
+    ticket_lifetime: float = 120.0
+    key_bits: int = 512
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ReproError("need at least one shard")
+        if self.window <= 0 or self.inter_shard_latency <= 0:
+            raise ReproError("window and inter-shard latency must be positive")
+        if self.window > self.inter_shard_latency:
+            raise ReproError(
+                "conservative sync needs window <= inter-shard latency "
+                f"(window={self.window}, latency={self.inter_shard_latency})"
+            )
+
+    def window_ends(self) -> List[float]:
+        """Barrier times covering [0, horizon]."""
+        ends: List[float] = []
+        t = self.window
+        while t < self.horizon:
+            ends.append(t)
+            t += self.window
+        ends.append(self.horizon)
+        return ends
+
+    def channel_name(self, shard: int, index: int) -> str:
+        return f"sh{shard}-ch{index % self.channels_per_shard}"
+
+
+@dataclass
+class BridgeMessage:
+    """One cross-shard request or reply, exchanged at window barriers."""
+
+    kind: str  # "request" | "reply"
+    rid: Tuple[int, int]  # (source shard, per-shard sequence)
+    src: int
+    dst: int
+    sent_at: float
+    #: Request fields (empty on replies).
+    local_address: str = ""
+    method: str = ""
+    payload: Any = None
+    caller_address: str = ""
+    #: Reply fields (empty on requests).
+    response: Any = None
+    #: Handler exceptions cross the bridge as strings: every exception
+    #: type pickles differently, a string never surprises.
+    error: Optional[str] = None
+
+    def sort_key(self) -> Tuple[float, int, int, str]:
+        return (self.sent_at, self.rid[0], self.rid[1], self.kind)
+
+
+class ShardBridge:
+    """The cross-shard transport: outbox, inbox, conservative delivery.
+
+    Installed as ``VirtualNetwork.remote_router``; owns every
+    ``xshard://`` address.  Outbound calls are queued and handed to the
+    runner at the next barrier; inbound messages are scheduled onto the
+    local simulator at ``sent_at + latency``, which the window
+    invariant guarantees is never in the past.
+    """
+
+    def __init__(
+        self, shard: int, sim: Simulator, network: VirtualNetwork, latency: float
+    ) -> None:
+        self.shard = shard
+        self.sim = sim
+        self.network = network
+        self.latency = latency
+        self.outbox: List[BridgeMessage] = []
+        self._pending: Dict[Tuple[int, int], Tuple[Callable, Optional[Callable]]] = {}
+        self._seq = 0
+        self.requests_sent = 0
+        self.requests_served = 0
+
+    def owns(self, address: str) -> bool:
+        return address.startswith(XSHARD_PREFIX)
+
+    @staticmethod
+    def parse(address: str) -> Tuple[int, str]:
+        """``xshard://3/cm`` -> ``(3, "rpc://cm")``."""
+        rest = address[len(XSHARD_PREFIX):]
+        shard_part, _, name = rest.partition("/")
+        if not shard_part.isdigit() or not name:
+            raise SimulationError(f"malformed cross-shard address: {address}")
+        return int(shard_part), f"rpc://{name}"
+
+    # -- outbound ----------------------------------------------------
+
+    def send(
+        self,
+        caller_address: str,
+        caller_region: str,
+        dst_address: str,
+        method: str,
+        payload: Any,
+        on_reply: Callable[[Any], None],
+        on_error: Optional[Callable[[Exception], None]],
+        now: float,
+    ) -> None:
+        dst_shard, local_address = self.parse(dst_address)
+        if dst_shard == self.shard:
+            raise SimulationError(
+                f"cross-shard call to own shard {self.shard}: {dst_address}"
+            )
+        rid = (self.shard, self._seq)
+        self._seq += 1
+        self._pending[rid] = (on_reply, on_error)
+        self.requests_sent += 1
+        self.outbox.append(
+            BridgeMessage(
+                kind="request",
+                rid=rid,
+                src=self.shard,
+                dst=dst_shard,
+                sent_at=now,
+                local_address=local_address,
+                method=method,
+                payload=payload,
+                caller_address=caller_address,
+            )
+        )
+
+    def drain_outbox(self) -> List[BridgeMessage]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    # -- inbound -----------------------------------------------------
+
+    def deliver(self, msg: BridgeMessage) -> None:
+        """Schedule an inbound message's arrival on the local clock."""
+        arrival = msg.sent_at + self.latency
+        if arrival < self.sim.now - 1e-9:
+            raise SimulationError(
+                "conservative window violated: message sent at "
+                f"{msg.sent_at} + latency {self.latency} arrives at {arrival}, "
+                f"but shard {self.shard} is already at {self.sim.now}"
+            )
+        if msg.kind == "request":
+            self._deliver_request(msg, max(arrival, self.sim.now))
+        elif msg.kind == "reply":
+            self._deliver_reply(msg, max(arrival, self.sim.now))
+        else:
+            raise SimulationError(f"unknown bridge message kind: {msg.kind!r}")
+
+    def _deliver_request(self, msg: BridgeMessage, arrival: float) -> None:
+        service = self.network.service(msg.local_address)
+
+        def run_handler(sim: Simulator) -> None:
+            self.requests_served += 1
+            ctx = RequestContext(caller_address=msg.caller_address, now=sim.now)
+            response: Any = None
+            error: Optional[str] = None
+            try:
+                response = service.handler_for(msg.method)(msg.payload, ctx)
+            except Exception as exc:  # denials travel back as strings
+                error = f"{type(exc).__name__}: {exc}"
+            self.outbox.append(
+                BridgeMessage(
+                    kind="reply",
+                    rid=msg.rid,
+                    src=self.shard,
+                    dst=msg.src,
+                    sent_at=sim.now,
+                    response=response,
+                    error=error,
+                )
+            )
+
+        def arrive(sim: Simulator) -> None:
+            if service.station is not None:
+                service.station.submit(
+                    on_complete=lambda sim2, _sojourn: run_handler(sim2)
+                )
+            else:
+                run_handler(sim)
+
+        self.sim.schedule_at(arrival, arrive)
+
+    def _deliver_reply(self, msg: BridgeMessage, arrival: float) -> None:
+        callbacks = self._pending.pop(msg.rid, None)
+        if callbacks is None:
+            raise SimulationError(f"reply for unknown request {msg.rid}")
+        on_reply, on_error = callbacks
+
+        def arrive(sim: Simulator) -> None:
+            if msg.error is not None:
+                if on_error is not None:
+                    on_error(SimulationError(f"remote shard: {msg.error}"))
+                return
+            on_reply(msg.response)
+
+        self.sim.schedule_at(arrival, arrive)
+
+
+class ShardRig:
+    """One shard's complete world: farms, network, viewers, transcript."""
+
+    def __init__(self, config: ShardStormConfig, shard: int) -> None:
+        if not 0 <= shard < config.shards:
+            raise ReproError(f"shard {shard} out of range")
+        self.config = config
+        self.shard = shard
+        self.counts: Dict[str, int] = {}
+        self.errors: List[str] = []
+        self.transcript: List[TranscriptEntry] = []
+        self._line_seq = 0
+        self._emitted = 0
+
+        # Identical deployment in every shard: one domain and one
+        # partition *per shard*, so shard k serves domain-k/part-k but
+        # already holds every other domain's verification keys.
+        deployment = Deployment(
+            seed=config.seed,
+            n_domains=config.shards,
+            partitions=tuple(f"part-{j}" for j in range(config.shards)),
+            key_bits=config.key_bits,
+            channel_ticket_lifetime=config.ticket_lifetime,
+        )
+        for j in range(config.shards):
+            for c in range(config.channels_per_shard):
+                deployment.add_free_channel(
+                    config.channel_name(j, c), regions=["CH"], partition=f"part-{j}"
+                )
+        self.deployment = deployment
+
+        self.sim = Simulator()
+        rng = random.Random(config.seed * 1000003 + shard)
+        latency = LatencyModel(
+            random.Random(rng.randrange(2**63)),
+            table={("CH", "dc"): RegionRtt(base_rtt=0.08, sigma=0.01, slow_path_prob=0.0)},
+        )
+        self.network = VirtualNetwork(
+            self.sim, latency, random.Random(rng.randrange(2**63))
+        )
+        um_station = ServiceStation(
+            self.sim, 2, 0.005, random.Random(rng.randrange(2**63)), name=f"um{shard}"
+        )
+        cm_station = ServiceStation(
+            self.sim, 2, 0.005, random.Random(rng.randrange(2**63)), name=f"cm{shard}"
+        )
+        wire_user_manager(
+            self.network,
+            deployment.user_managers[f"domain-{shard}"],
+            "rpc://um",
+            station=um_station,
+        )
+        wire_channel_manager(
+            self.network,
+            deployment.channel_managers[f"part-{shard}"],
+            "rpc://cm",
+            station=cm_station,
+        )
+        self.bridge = ShardBridge(
+            shard, self.sim, self.network, latency=config.inter_shard_latency
+        )
+        self.network.remote_router = self.bridge
+
+        self._addr_rng = random.Random(rng.randrange(2**63))
+        self.fleet: List[AsyncClient] = []
+        for index in range(config.clients_per_shard):
+            self._add_client(index)
+
+    # -- transcript --------------------------------------------------
+
+    def _record(
+        self, op: str, email: str, channel: str, signature: Optional[bytes]
+    ) -> None:
+        self.counts[op] = self.counts.get(op, 0) + 1
+        seq = self._line_seq
+        self._line_seq += 1
+        line = json.dumps(
+            {
+                "t": self.sim.now,
+                "shard": self.shard,
+                "seq": seq,
+                "client": email,
+                "op": op,
+                "channel": channel,
+                "sig": hashlib.sha256(signature).hexdigest()[:12]
+                if signature
+                else "-",
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self.transcript.append((self.sim.now, self.shard, seq, line))
+
+    # -- workload ----------------------------------------------------
+
+    def _remote_shard(self, op_index: int) -> int:
+        config = self.config
+        offset = 1 + (op_index // config.cross_every) % (config.shards - 1)
+        return (self.shard + offset) % config.shards
+
+    def _add_client(self, index: int) -> None:
+        config = self.config
+        deployment = self.deployment
+        email = f"s{self.shard}c{index}@example.org"
+        deployment.accounts.register(email, "pw")
+        viewer = AsyncClient(
+            network=self.network,
+            email=email,
+            password="pw",
+            version=deployment.client_version,
+            image=deployment.client_image,
+            net_addr=deployment.geo.random_address("CH", self._addr_rng),
+            region="CH",
+            drbg=HmacDrbg(email.encode(), b"shardstorm"),
+            key_bits=config.key_bits,
+        )
+        self.fleet.append(viewer)
+        state = {"op": 0, "cm": "rpc://cm"}
+
+        def fail(exc: Exception) -> None:
+            self.errors.append(f"{email}: {exc}")
+            self._record("ERROR", email, "-", None)
+
+        def next_switch(_sim: Simulator) -> None:
+            n = state["op"]
+            state["op"] += 1
+            cross = (
+                config.shards > 1 and n % config.cross_every == config.cross_every - 1
+            )
+            if cross:
+                dst = self._remote_shard(n)
+                address = f"{XSHARD_PREFIX}{dst}/cm"
+                channel = config.channel_name(dst, n)
+            else:
+                address = "rpc://cm"
+                channel = config.channel_name(self.shard, n)
+
+            def switched(response) -> None:
+                state["cm"] = address
+                self._record(
+                    "XSWITCH" if cross else "SWITCH",
+                    email,
+                    channel,
+                    response.ticket.signature,
+                )
+                self.sim.schedule(config.switch_period, next_switch)
+
+            def switch_failed(exc: Exception) -> None:
+                fail(exc)
+                self.sim.schedule(config.switch_period, next_switch)
+
+            viewer.start_switch(
+                address, channel, on_done=switched, on_fail=switch_failed
+            )
+
+        def logged_in() -> None:
+            self._record("LOGIN", email, "-", viewer.user_ticket.signature)
+            next_switch(self.sim)
+
+        def kickoff(_sim: Simulator) -> None:
+            viewer.start_login("rpc://um", on_done=logged_in, on_fail=fail)
+
+        def renew(_sim: Simulator) -> None:
+            if viewer.channel_ticket is None:
+                return
+
+            def renewed(response) -> None:
+                self._record(
+                    "RENEWAL", email, response.ticket.channel_id, response.ticket.signature
+                )
+
+            viewer.start_renewal(state["cm"], on_done=renewed, on_fail=fail)
+
+        self.sim.schedule(0.5 + 0.7 * index, kickoff)
+        renew_at = config.ticket_lifetime - RENEW_LEAD + 0.5 * index
+        if config.horizon > renew_at:
+            self.sim.schedule(renew_at, renew)
+
+    # -- windowed execution ------------------------------------------
+
+    def run_window(
+        self, end: float, inbound: List[BridgeMessage]
+    ) -> Tuple[List[BridgeMessage], List[TranscriptEntry]]:
+        """Deliver inbound bridge traffic, advance the clock to ``end``.
+
+        Returns the outbound bridge messages generated during the
+        window and the transcript entries completed in it.
+        """
+        for msg in inbound:
+            self.bridge.deliver(msg)
+        self.sim.run(until=end)
+        lines = self.transcript[self._emitted:]
+        self._emitted = len(self.transcript)
+        return self.bridge.drain_outbox(), lines

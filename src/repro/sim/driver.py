@@ -5,8 +5,8 @@ crypto, the same manager handlers as the synchronous
 :class:`~repro.core.client.Client` -- but as chained messages over a
 :class:`~repro.sim.rpc.VirtualNetwork`.  Every round's latency is then
 an *emergent* quantity: request one-way delay + farm queueing/service +
-reply one-way delay, plus the client's own compute charged at its
-measured wall-clock cost.
+reply one-way delay, plus the client's own compute charged from a
+deterministic cost model (:mod:`repro.sim.costs`).
 
 This is the highest-fidelity rig in the repository: unit tests verify
 logic, the timing model gives scale, and this driver gives both at
@@ -36,6 +36,12 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import generate_keypair
 from repro.crypto.stream import SymmetricKey
 from repro.metrics.collector import LatencyCollector
+from repro.sim.costs import (
+    OP_CHALLENGE_SIGN,
+    OP_JOIN_DECRYPT,
+    OP_LOGIN_BLOB,
+    FixedCostModel,
+)
 from repro.sim.rpc import RpcService, VirtualNetwork
 from repro.trace.span import Span, Tracer
 from repro.util.wire import Decoder
@@ -90,11 +96,14 @@ def wire_peer(network: VirtualNetwork, peer, address: Optional[str] = None) -> R
 class AsyncClient:
     """A client driving the DRM protocols as virtual-time messages.
 
-    Client-side compute (RSA signing, blob decryption, checksum) is
-    measured with the wall clock as it happens and charged as virtual
-    delay before the next message leaves -- so the emergent round
-    latencies include real cryptographic cost on both ends without any
-    pre-calibration.
+    Client-side compute (RSA signing, blob decryption, checksum) runs
+    for real, but the virtual delay charged before the next message
+    leaves comes from ``cost_model`` -- a deterministic per-operation
+    table by default (:class:`~repro.sim.costs.FixedCostModel`), so
+    the same seed always yields the same transcript.  Pass
+    :class:`~repro.sim.costs.WallClockCostModel` to recover the old
+    measured-cost behaviour, or a calibrated table from
+    :func:`~repro.sim.costs.calibrated_cost_model`.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class AsyncClient:
         key_bits: int = 512,
         tracer: Optional[Tracer] = None,
         round_timeout: Optional[float] = None,
+        cost_model=None,
     ) -> None:
         self._network = network
         self.email = email
@@ -130,6 +140,9 @@ class AsyncClient:
         #: as an ``RpcTimeoutError`` to ``on_fail`` instead of hanging
         #: forever -- the hook the resilience layer's retry loop uses.
         self.round_timeout = round_timeout
+        #: Virtual cost charged for client-side compute; deterministic
+        #: by default so transcripts reproduce bit-for-bit.
+        self.cost_model = cost_model if cost_model is not None else FixedCostModel()
 
     @property
     def public_key(self):
@@ -162,11 +175,22 @@ class AsyncClient:
     def _ctx(span: Optional[Span]):
         return span.context if span is not None else None
 
-    def _charge_compute(self, fn: Callable[[], None], then: Callable[[], None]) -> None:
-        """Run client-side work now; advance virtual time by its cost."""
+    def _charge_compute(
+        self, op: str, fn: Callable[[], None], then: Callable[[], None]
+    ) -> None:
+        """Run client-side work now; advance virtual time by its *modeled* cost.
+
+        The work itself executes immediately (its result feeds the next
+        message), but the virtual delay comes from the cost model, not
+        the wall clock -- charging measured ``perf_counter`` durations
+        here made event orderings nondeterministic run-to-run.  The
+        measured duration is still passed to the model so the opt-in
+        wall-clock mode can return it.
+        """
         start = time.perf_counter()
         fn()
-        cost = time.perf_counter() - start
+        measured = time.perf_counter() - start
+        cost = self.cost_model.charge(op, measured)
         self._network.sim.schedule(cost, lambda sim: then())
 
     # ------------------------------------------------------------------
@@ -245,7 +269,7 @@ class AsyncClient:
                     trace=self._ctx(spans["round"]),
                 )
 
-            self._charge_compute(compute, send_round2)
+            self._charge_compute(OP_LOGIN_BLOB, compute, send_round2)
 
         self._network.call(
             caller_address=self.net_addr,
@@ -377,7 +401,7 @@ class AsyncClient:
                     trace=self._ctx(spans["round"]),
                 )
 
-            self._charge_compute(compute, send_round2)
+            self._charge_compute(OP_CHALLENGE_SIGN, compute, send_round2)
 
         self._network.call(
             caller_address=self.net_addr,
@@ -437,7 +461,7 @@ class AsyncClient:
                 self._close_span(op)
                 on_done(result)
 
-            self._charge_compute(compute, finish)
+            self._charge_compute(OP_JOIN_DECRYPT, compute, finish)
 
         self._network.call(
             caller_address=self.net_addr,

@@ -128,6 +128,11 @@ class VirtualNetwork:
         #: When set, every call records one ``rpc:<method>`` span with
         #: its network/queue/service time split (see repro.trace).
         self.tracer: Optional[Tracer] = None
+        #: Cross-simulator escape hatch: an object with ``owns(addr)``
+        #: and ``send(...)`` (see repro.parallel.shardstorm.ShardBridge).
+        #: Calls to addresses the router owns leave this network
+        #: entirely and are delivered by the router's own transport.
+        self.remote_router = None
 
     def attach(self, service: RpcService) -> None:
         """Make a service reachable.
@@ -253,6 +258,25 @@ class VirtualNetwork:
         resuming across async hops); without it the tracer's ambient
         context, if any, is used.
         """
+        router = self.remote_router
+        if router is not None and router.owns(dst_address):
+            # Cross-shard call: hand off to the bridge.  Timeouts,
+            # tracing, loss, and partitions model the *local* fabric
+            # only -- the bridge delivers reliably at its own fixed
+            # latency, which is what makes conservative windowed
+            # synchronization sound.
+            self.messages_sent += 1
+            router.send(
+                caller_address=caller_address,
+                caller_region=caller_region,
+                dst_address=dst_address,
+                method=method,
+                payload=payload,
+                on_reply=on_reply,
+                on_error=on_error,
+                now=self.sim.now,
+            )
+            return
         service = self.service(dst_address)
         self.messages_sent += 1
         tracer = self.tracer

@@ -1,0 +1,128 @@
+"""Sharded storm: cross-shard protocol, bridge invariants, config."""
+
+import pytest
+
+from repro.errors import ReproError, SimulationError
+from repro.parallel import ShardStormConfig, run_sharded_storm
+from repro.parallel.driver import route_messages
+from repro.parallel.shardstorm import BridgeMessage, ShardBridge, ShardRig
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    config = ShardStormConfig(shards=2, clients_per_shard=2, seed=29, horizon=80.0)
+    return run_sharded_storm(config, workers=1)
+
+
+class TestStormProtocol:
+    def test_no_protocol_errors(self, outcome):
+        assert outcome.errors == []
+
+    def test_every_client_logs_in(self, outcome):
+        assert outcome.counts["LOGIN"] == 4
+
+    def test_cross_shard_switches_complete(self, outcome):
+        # Every third switch goes to the other shard's CM over the
+        # bridge; the remote farm verifies a foreign domain's User
+        # Ticket and issues a Channel Ticket for its own partition.
+        assert outcome.counts["XSWITCH"] >= 4
+
+    def test_renewals_complete(self, outcome):
+        # ticket_lifetime=120, RENEW_LEAD=48: renewals start at t=72.5.
+        assert outcome.counts["RENEWAL"] >= 1
+
+    def test_bridge_carries_request_and_reply(self, outcome):
+        # Two rounds per cross-shard switch, one request + one reply
+        # message each.
+        assert outcome.bridge_messages == 4 * outcome.counts["XSWITCH"]
+
+    def test_transcript_lines_are_ordered(self, outcome):
+        import json
+
+        keys = [
+            (rec["t"], rec["shard"], rec["seq"])
+            for rec in map(json.loads, outcome.transcript)
+        ]
+        assert keys == sorted(keys)
+
+
+class TestConfigValidation:
+    def test_window_wider_than_latency_rejected(self):
+        with pytest.raises(ReproError, match="window"):
+            ShardStormConfig(window=0.5, inter_shard_latency=0.25)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ReproError):
+            ShardStormConfig(window=0.0)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ReproError):
+            ShardStormConfig(shards=0)
+
+    def test_window_ends_cover_horizon(self):
+        config = ShardStormConfig(horizon=1.0, window=0.25, inter_shard_latency=0.25)
+        ends = config.window_ends()
+        assert ends[-1] == 1.0
+        assert all(b > a for a, b in zip(ends, ends[1:]))
+
+    def test_shard_out_of_range_rejected(self):
+        config = ShardStormConfig(shards=2)
+        with pytest.raises(ReproError):
+            ShardRig(config, 2)
+
+
+class TestBridge:
+    def test_parse(self):
+        assert ShardBridge.parse("xshard://3/cm") == (3, "rpc://cm")
+
+    def test_parse_malformed(self):
+        with pytest.raises(SimulationError):
+            ShardBridge.parse("xshard://nope")
+        with pytest.raises(SimulationError):
+            ShardBridge.parse("xshard://x/cm")
+
+    def test_conservative_window_violation_detected(self):
+        config = ShardStormConfig(shards=2, clients_per_shard=1, seed=3)
+        rig = ShardRig(config, 0)
+        rig.sim.run(until=10.0)
+        stale = BridgeMessage(
+            kind="reply", rid=(0, 0), src=1, dst=0, sent_at=1.0
+        )
+        with pytest.raises(SimulationError, match="conservative window"):
+            rig.bridge.deliver(stale)
+
+    def test_own_shard_call_rejected(self):
+        config = ShardStormConfig(shards=2, clients_per_shard=1, seed=3)
+        rig = ShardRig(config, 0)
+        with pytest.raises(SimulationError, match="own shard"):
+            rig.bridge.send("addr", "CH", "xshard://0/cm", "switch1", None,
+                            lambda r: None, None, 0.0)
+
+    def test_route_messages_sorts_and_groups(self):
+        msgs = [
+            BridgeMessage(kind="request", rid=(1, 5), src=1, dst=0, sent_at=2.0),
+            BridgeMessage(kind="request", rid=(1, 4), src=1, dst=0, sent_at=1.0),
+            BridgeMessage(kind="reply", rid=(0, 0), src=1, dst=0, sent_at=1.0),
+            BridgeMessage(kind="request", rid=(0, 1), src=0, dst=1, sent_at=1.5),
+        ]
+        inboxes = route_messages(msgs, 2)
+        assert [m.rid for m in inboxes[0]] == [(0, 0), (1, 4), (1, 5)]
+        assert [m.rid for m in inboxes[1]] == [(0, 1)]
+
+    def test_route_messages_rejects_unknown_shard(self):
+        bad = BridgeMessage(kind="request", rid=(0, 0), src=0, dst=9, sent_at=0.0)
+        with pytest.raises(ValueError, match="unknown shard"):
+            route_messages([bad], 2)
+
+
+class TestSingleShard:
+    def test_single_shard_storm_has_no_cross_traffic(self):
+        config = ShardStormConfig(
+            shards=1, clients_per_shard=2, seed=7, horizon=50.0
+        )
+        outcome = run_sharded_storm(config, workers=4)
+        assert outcome.errors == []
+        assert outcome.bridge_messages == 0
+        assert outcome.workers == 1  # nothing to parallelize
+        assert "XSWITCH" not in outcome.counts
+        assert outcome.counts["SWITCH"] >= 4
