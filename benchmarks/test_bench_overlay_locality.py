@@ -1,0 +1,97 @@
+"""Overlay locality: ranked vs uniform peer lists under a flash crowd.
+
+The Channel Manager's ranked peer-list pipeline (same-AS, same-region,
+spare upload capacity) only earns its keep if it visibly shortens the
+join path under the workload that stresses it: a flash-crowd ramp with
+mid-event churn.  This benchmark runs the same audience through both
+arms of :func:`repro.p2p.storm.run_storm_comparison` -- the real
+control plane end to end (redirection, LOGIN, SWITCH1/2, JOIN
+admission, churn repair), every exchange priced by the WAN latency
+model on a virtual clock -- and compares:
+
+* **p99 join latency** (redirect -> first decryptable packet), with
+  the traced REDIRECT/SWITCH/JOIN/FIRSTPKT phase breakdown;
+* **repair time** after mid-event departures, and what fraction of
+  repairs land in-region;
+* key-distribution latency along the actual parent chains, tree depth,
+  and parent locality.
+
+Acceptance: the ranked arm must beat the uniform arm on p99 join
+latency AND mean repair time.  ``OVERLAY_BENCH_VIEWERS`` scales the
+audience (CI smoke uses a few hundred; the committed result is a
+10k-viewer run) and ``OVERLAY_BENCH_SEED`` the seed.  Results go to
+``BENCH_overlay_locality.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.p2p.storm import OverlayStormConfig, run_storm_comparison
+from repro.trace.report import join_breakdown
+
+VIEWERS = int(os.environ.get("OVERLAY_BENCH_VIEWERS", "1200"))
+SEED = int(os.environ.get("OVERLAY_BENCH_SEED", "20110620"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_overlay_locality.json"
+FULL_RUN = VIEWERS >= 1200
+
+
+def _phase_table(result) -> dict:
+    return {
+        str(row["phase"]): {
+            "count": row["count"],
+            "p50": round(row["p50"], 4),
+            "p99": round(row["p99"], 4),
+            "mean": round(row["mean"], 4),
+        }
+        for row in join_breakdown(result.tracer.spans)
+    }
+
+
+def test_bench_overlay_locality_ranked_beats_uniform():
+    config = OverlayStormConfig(viewers=VIEWERS, seed=SEED)
+    arms = run_storm_comparison(config)
+    ranked = arms["ranked"].as_dict()
+    uniform = arms["uniform"].as_dict()
+
+    payload = {
+        "benchmark": "overlay_locality",
+        "config": {
+            "viewers": VIEWERS,
+            "seed": SEED,
+            "regions": list(config.regions),
+            "event_duration": config.event_duration,
+            "ramp": config.ramp,
+            "mid_departure_fraction": config.mid_departure_fraction,
+            "source_capacity": config.source_capacity,
+            "full_run": FULL_RUN,
+        },
+        "results": {
+            "ranked": {**ranked, "join_phases": _phase_table(arms["ranked"])},
+            "uniform": {**uniform, "join_phases": _phase_table(arms["uniform"])},
+        },
+        "acceptance": {
+            "ranked_join_p99": ranked["join_latency"]["p99"],
+            "uniform_join_p99": uniform["join_latency"]["p99"],
+            "ranked_repair_mean": ranked["repair_time"]["mean"],
+            "uniform_repair_mean": uniform["repair_time"]["mean"],
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # Both arms must actually have run the whole storm.
+    for name, arm in (("ranked", ranked), ("uniform", uniform)):
+        assert arm["joined"] > 0, name
+        assert arm["repair_time"]["count"] > 0, f"{name}: churn produced no repairs"
+
+    assert (
+        ranked["join_latency"]["p99"] < uniform["join_latency"]["p99"]
+    ), payload["acceptance"]
+    assert (
+        ranked["repair_time"]["mean"] < uniform["repair_time"]["mean"]
+    ), payload["acceptance"]
+    # Locality and tree shape must move the right way too.
+    assert ranked["parent_locality"] > uniform["parent_locality"]
+    assert ranked["mean_depth"] < uniform["mean_depth"]

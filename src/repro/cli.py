@@ -430,6 +430,56 @@ def _cmd_storm(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_overlay(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.p2p.storm import OverlayStormConfig, run_overlay_storm
+    from repro.trace.report import render_join_breakdown
+
+    base = OverlayStormConfig(
+        viewers=args.viewers,
+        seed=args.seed,
+        event_duration=args.duration,
+        ramp=args.ramp,
+        mid_departure_fraction=args.churn,
+        partitions=args.partitions,
+    )
+    arms = ("ranked", "uniform") if args.sampler == "both" else (args.sampler,)
+    payloads = {}
+    for name in arms:
+        result = run_overlay_storm(replace(base, sampler=name))
+        payload = result.as_dict()
+        payloads[name] = payload
+        join = payload["join_latency"]
+        repair = payload["repair_time"]
+        print(
+            f"{name}: {payload['joined']} joined "
+            f"({payload['join_failures']} failed), "
+            f"join p50={join['p50'] * 1000:.0f}ms p99={join['p99'] * 1000:.0f}ms, "
+            f"repair p50={repair['p50'] * 1000:.0f}ms "
+            f"({payload['repairs_failed']} failed), "
+            f"locality parent={payload['parent_locality']} "
+            f"repair={payload['repair_locality']}, "
+            f"depth mean={payload['mean_depth']} max={payload['max_depth']}"
+        )
+        print(render_join_breakdown(result.tracer.spans))
+        print()
+    if len(arms) == 2:
+        ranked = payloads["ranked"]["join_latency"]["p99"]
+        uniform = payloads["uniform"]["join_latency"]["p99"]
+        verdict = "beats" if ranked < uniform else "does NOT beat"
+        print(
+            f"ranked {verdict} uniform on p99 join latency "
+            f"({ranked * 1000:.0f}ms vs {uniform * 1000:.0f}ms)"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payloads, fh, indent=2, sort_keys=True)
+        print(f"saved metrics to {args.out}")
+    return 0
+
+
 def _cmd_threats(args: argparse.Namespace) -> int:
     # Delegate to the narrated playbook example logic.
     import examples.threat_playbook as playbook  # type: ignore
@@ -544,6 +594,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run sequentially and require byte equality "
                             "(exit 1 on mismatch)")
     storm.set_defaults(func=_cmd_storm)
+
+    overlay = sub.add_parser("overlay", help="overlay locality tools")
+    overlay.add_argument(
+        "action", choices=("storm",),
+        help="storm: flash-crowd join storm through the real control "
+             "plane, ranked vs uniform peer lists",
+    )
+    overlay.add_argument("--viewers", type=int, default=600)
+    overlay.add_argument("--seed", type=int, default=23)
+    overlay.add_argument("--sampler", choices=("ranked", "uniform", "both"),
+                         default="both")
+    overlay.add_argument("--duration", type=float, default=600.0,
+                         help="virtual event duration, seconds")
+    overlay.add_argument("--ramp", type=float, default=90.0,
+                         help="arrival ramp time constant, seconds")
+    overlay.add_argument("--churn", type=float, default=0.15,
+                         help="fraction of viewers departing mid-event")
+    overlay.add_argument("--partitions", type=int, default=1,
+                         help=">1 runs the storm against the sharded manager tier")
+    overlay.add_argument("--out", default=None,
+                         help="save per-arm metrics as JSON")
+    overlay.set_defaults(func=_cmd_overlay)
 
     threats = sub.add_parser("threats", help="run the threat playbook")
     threats.set_defaults(func=_cmd_threats)

@@ -302,8 +302,11 @@ class ChannelManager:
         with maybe_span(
             self.tracer, "CM.SWITCH2", now=now, kind="server",
             renewal=request.is_renewal, channel=request.target_channel,
-        ):
-            return self._switch2(request, observed_addr, now)
+        ) as span:
+            response = self._switch2(request, observed_addr, now)
+            if span is not None:
+                span.annotate("peer_list", len(response.peers))
+            return response
 
     def _switch2(
         self, request: Switch2Request, observed_addr: str, now: float

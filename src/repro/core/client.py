@@ -89,6 +89,7 @@ class Client:
         directory: ServiceDirectory,
         drbg: HmacDrbg,
         key_bits: int = 512,
+        keypair: Optional[RsaPrivateKey] = None,
     ) -> None:
         self.email = email
         self._shp = secure_hash_password(email, password)
@@ -98,7 +99,14 @@ class Client:
         self._redirection = redirection
         self._directory = directory
         self._drbg = drbg
-        self._key: RsaPrivateKey = generate_keypair(drbg.fork(b"client-key"), bits=key_bits)
+        # An injected keypair skips the dominant per-client cost (RSA
+        # keygen, ~16 ms at 512 bits); large synthetic fleets share one
+        # keypair so a 10k-viewer storm stays tractable.  Real clients
+        # always generate their own.
+        if keypair is not None:
+            self._key: RsaPrivateKey = keypair
+        else:
+            self._key = generate_keypair(drbg.fork(b"client-key"), bits=key_bits)
 
         self.user_ticket: Optional[UserTicket] = None
         self._prev_utimes: Dict[Tuple[str, str], Optional[float]] = {}

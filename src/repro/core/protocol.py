@@ -190,14 +190,22 @@ class Switch2Request:
 
 @dataclass(frozen=True)
 class PeerDescriptor:
-    """One entry of the (unsigned -- Section IV-G1) peer list."""
+    """One entry of the (unsigned -- Section IV-G1) peer list.
+
+    ``asn`` and ``spare_capacity`` are advisory hints for locality- and
+    capacity-aware ranking; a peer may advertise 0 for either (older
+    peers, or peers that decline to disclose), so consumers must treat
+    them as best-effort and never as admission-relevant facts.
+    """
 
     peer_id: str
     address: str
     region: str
+    asn: int = 0
+    spare_capacity: int = 0
 
     def approx_size(self) -> int:
-        return len(self.peer_id) + len(self.address) + len(self.region) + 8
+        return len(self.peer_id) + len(self.address) + len(self.region) + 8 + 8
 
 
 @dataclass(frozen=True)

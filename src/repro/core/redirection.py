@@ -197,9 +197,11 @@ class RedirectionManager:
 
     def lookup(self, email: str, now: Optional[float] = None) -> RedirectionResult:
         """The client's bootstrap call: find my User Manager and the CPM."""
-        with maybe_span(self.tracer, "RM.LOOKUP", kind="server"):
+        with maybe_span(self.tracer, "RM.LOOKUP", kind="server") as span:
             self.lookups += 1
             domain = self.domain_for(email)
+            if span is not None:
+                span.annotate("domain", domain)
             replicas = self._domains.get(domain)
             if not replicas:
                 raise RedirectionLookupError(email, self._domain_order)

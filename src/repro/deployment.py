@@ -46,8 +46,9 @@ from repro.metrics.dataplane import counters as dataplane_counters
 from repro.metrics.hotpath import counters as hotpath_counters
 from repro.metrics.registry import MetricsRegistry
 from repro.resilience.counters import ResilienceCounters
-from repro.p2p.overlay import ChannelOverlay
+from repro.p2p.overlay import ChannelOverlay, RepairRanker
 from repro.p2p.peer import Peer
+from repro.p2p.selection import RankedPeerListProvider
 from repro.trace.span import Tracer
 
 #: The client software version every deployment registers by default.
@@ -169,6 +170,28 @@ class Deployment:
         # Channel Manager farms, one per partition.
         self.channel_managers: Dict[str, ChannelManager] = {}
         self.channel_ticket_lifetime = channel_ticket_lifetime
+
+        # Peer-list pipeline: SWITCH2 lists are ranked by (same-AS,
+        # same-region, spare upload capacity) by default -- ROADMAP
+        # item 3.  The provider holds a *reference* to self.overlays, so
+        # channels added later are covered automatically; its rng is
+        # label-forked from the deployment DRBG so installing it never
+        # shifts the self.rng sequence other components draw from.  The
+        # uniform sampler remains available as an A/B baseline via
+        # :meth:`use_uniform_peer_lists`.
+        self.servers: Dict[str, ChannelServer] = {}
+        self.overlays: Dict[str, ChannelOverlay] = {}
+        ranked_seed = int.from_bytes(
+            self._drbg.fork(b"ranked-peer-lists").generate(8), "big"
+        )
+        self.ranked_provider = RankedPeerListProvider(
+            self.overlays,
+            self.geo,
+            random.Random(ranked_seed),
+            same_region_fraction=0.75,
+        )
+        self._active_peer_list_provider = self.ranked_provider
+        self._repair_ranker: Optional[RepairRanker] = self.ranked_provider.rank_for_repair
         for name in partitions:
             cm_drbg = self._drbg.fork(f"cm-{name}".encode())
             cm_key = generate_keypair(cm_drbg.fork(b"key"), bits=key_bits)
@@ -183,12 +206,10 @@ class Deployment:
                 partition=name,
             )
             self._wire_channel_manager_listeners(name, manager)
-            manager.set_peer_list_provider(self._peer_list_provider)
+            manager.set_peer_list_provider(self._active_peer_list_provider)
             self.directory.register(f"cm://{name}", manager)
             self.channel_managers[name] = manager
 
-        self.servers: Dict[str, ChannelServer] = {}
-        self.overlays: Dict[str, ChannelOverlay] = {}
         self._client_counter = 0
         self._epg = None
 
@@ -227,7 +248,7 @@ class Deployment:
         return self._epg
 
     def use_region_aware_sampling(self, same_region_fraction: float = 0.75) -> None:
-        """Install locality-preferring peer lists on every Channel Manager."""
+        """Install the shuffle-based locality sampler on every CM."""
         from repro.p2p.selection import RegionAwarePeerSampler
 
         sampler = RegionAwarePeerSampler(
@@ -236,8 +257,46 @@ class Deployment:
             random.Random(self.rng.randrange(2**63)),
             same_region_fraction=same_region_fraction,
         )
+        self._install_peer_list_provider(sampler, repair_ranker=None)
+
+    def use_ranked_peer_lists(self, same_region_fraction: float = 0.75) -> None:
+        """(Re)install the ranked pipeline, e.g. with a custom privacy cap.
+
+        This is the default wiring; calling it is only needed to change
+        ``same_region_fraction`` or to switch back after
+        :meth:`use_uniform_peer_lists`.
+        """
+        ranked_seed = int.from_bytes(
+            self._drbg.fork(b"ranked-peer-lists-reinstall").generate(8), "big"
+        )
+        self.ranked_provider = RankedPeerListProvider(
+            self.overlays,
+            self.geo,
+            random.Random(ranked_seed),
+            same_region_fraction=same_region_fraction,
+        )
+        self._install_peer_list_provider(
+            self.ranked_provider, repair_ranker=self.ranked_provider.rank_for_repair
+        )
+
+    def use_uniform_peer_lists(self) -> None:
+        """Fall back to uniform sampling (the A/B baseline arm)."""
+        self._install_peer_list_provider(self._peer_list_provider, repair_ranker=None)
+
+    def _install_peer_list_provider(self, provider, repair_ranker) -> None:
+        """Point every CM farm (primaries + replicas) and every
+        overlay's churn-repair path at one selection policy.  Farms and
+        channels created later inherit it via
+        ``_active_peer_list_provider`` / ``_repair_ranker``."""
+        self._active_peer_list_provider = provider
+        self._repair_ranker = repair_ranker
         for manager in self.channel_managers.values():
-            manager.set_peer_list_provider(sampler)
+            manager.set_peer_list_provider(provider)
+        for replicas in self.cm_replicas.values():
+            for replica in replicas:
+                replica.set_peer_list_provider(provider)
+        for overlay in self.overlays.values():
+            overlay.repair_ranker = repair_ranker
 
     def analytics_for(self, channel_id: str):
         """Viewing analytics over the channel's partition log."""
@@ -299,6 +358,7 @@ class Deployment:
             source_capacity=self.source_capacity,
             substream_count=self.substream_count,
         )
+        overlay.repair_ranker = self._repair_ranker
         if self.tracer is not None:
             server.tracer = self.tracer
             overlay.source.tracer = self.tracer
@@ -377,7 +437,7 @@ class Deployment:
             partition=name,
         )
         self._wire_channel_manager_listeners(name, manager)
-        manager.set_peer_list_provider(self._peer_list_provider)
+        manager.set_peer_list_provider(self._active_peer_list_provider)
         self.directory.register(f"cm://{name}", manager)
         self.channel_managers[name] = manager
         if self.tracer is not None:
@@ -691,7 +751,7 @@ class Deployment:
         )
         self.channel_managers[partition] = manager
         self._wire_channel_manager_listeners(partition, manager)
-        manager.set_peer_list_provider(self._peer_list_provider)
+        manager.set_peer_list_provider(self._active_peer_list_provider)
         self.directory.register(f"cm://{partition}", manager)
         if self.tracer is not None:
             manager.tracer = self.tracer
@@ -827,7 +887,7 @@ class Deployment:
             )
             primary.share_state_with(replica)
             self._wire_channel_manager_listeners(f"{partition}!{n}", replica)
-            replica.set_peer_list_provider(self._peer_list_provider)
+            replica.set_peer_list_provider(self._active_peer_list_provider)
             if self.sharding is not None:
                 self.sharding.install_router(replica)
             self.directory.register(f"cm://{partition}!{n}", replica)
@@ -1008,8 +1068,14 @@ class Deployment:
         version: Optional[str] = None,
         image: Optional[bytes] = None,
         key_bits: Optional[int] = None,
+        keypair=None,
     ) -> Client:
-        """Register (optionally) and build one client in a region."""
+        """Register (optionally) and build one client in a region.
+
+        ``keypair`` injects a pre-generated client RSA key (see
+        :class:`~repro.core.client.Client`); synthetic fleets share one
+        to skip the per-client keygen cost.
+        """
         if register and not self.accounts.exists(email):
             self.accounts.register(email, password)
         self._client_counter += 1
@@ -1023,6 +1089,7 @@ class Deployment:
             directory=self.directory,
             drbg=self._drbg.fork(f"client-{self._client_counter}-{email}".encode()),
             key_bits=key_bits or self.key_bits,
+            keypair=keypair,
         )
         if self.tracer is not None:
             client.tracer = self.tracer
@@ -1033,7 +1100,7 @@ class Deployment:
         if client.channel_ticket is None or client.channel_ticket.channel_id != channel_id:
             raise ReproError("client must hold a channel ticket for this channel")
         record = self.policy_manager.get_channel(channel_id)
-        region = self.geo.region_of(client.net_addr) or "?"
+        geo_record = self.geo.lookup(client.net_addr)
         peer = Peer(
             peer_id=f"peer-{client.channel_ticket.user_id}",
             client=client,
@@ -1041,7 +1108,8 @@ class Deployment:
             cm_public_key=self.channel_managers[record.partition].public_key,
             drbg=self._drbg.fork(f"peer-{client.channel_ticket.user_id}".encode()),
             capacity=capacity,
-            region=region,
+            region=geo_record.region if geo_record is not None else "?",
+            asn=geo_record.asn if geo_record is not None else 0,
         )
         if self.tracer is not None:
             peer.tracer = self.tracer

@@ -120,3 +120,67 @@ class EventBoundaryChurn:
     def arrival_times(self) -> List[float]:
         """Join times only (for arrival-burstiness analyses)."""
         return [e.time for e in self.generate() if e.kind == "join"]
+
+
+class FlashCrowdChurn:
+    """The worst-case arrival process: a steep ramp plus mid-event churn.
+
+    Sharper than :class:`EventBoundaryChurn`: essentially the whole
+    audience piles in within a few multiples of ``ramp`` seconds after
+    the start -- no early trickle softens the peak, so the Channel
+    Manager's peer lists are built while capacities saturate in waves.
+    A ``mid_departure_fraction`` of the audience then leaves *during*
+    the event (casual viewers churning out), which is what exercises
+    overlay repair while the tree is still under join pressure; the
+    rest leave in the usual cluster at the event's end.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        audience: int,
+        event_start: float = 0.0,
+        event_duration: float = 3600.0,
+        ramp: float = 60.0,
+        mid_departure_fraction: float = 0.15,
+    ) -> None:
+        if audience < 0:
+            raise ValueError("audience must be non-negative")
+        if event_duration <= 0 or ramp <= 0:
+            raise ValueError("event_duration and ramp must be positive")
+        if not 0.0 <= mid_departure_fraction <= 1.0:
+            raise ValueError("mid_departure_fraction must be a fraction")
+        self._rng = rng
+        self.audience = audience
+        self.event_start = event_start
+        self.event_duration = event_duration
+        self.ramp = ramp
+        self.mid_departure_fraction = mid_departure_fraction
+
+    @property
+    def event_end(self) -> float:
+        return self.event_start + self.event_duration
+
+    def generate(self) -> List[ChurnEvent]:
+        """Join/leave events for the whole audience, time-ordered."""
+        events: List[ChurnEvent] = []
+        for index in range(self.audience):
+            # Exponential decay after the start: ~95% of the audience
+            # inside the ramp window.
+            join = self.event_start + self._rng.expovariate(3.0 / self.ramp)
+            if self._rng.random() < self.mid_departure_fraction:
+                # Churns out mid-event, somewhere in the middle half.
+                leave = self.event_start + self.event_duration * self._rng.uniform(
+                    0.25, 0.75
+                )
+            else:
+                leave = self.event_end + self._rng.gauss(0.0, self.ramp / 2.0)
+            leave = max(join + 1.0, leave)
+            events.append(ChurnEvent(time=join, kind="join", peer_index=index))
+            events.append(ChurnEvent(time=leave, kind="leave", peer_index=index))
+        events.sort(key=lambda e: (e.time, e.kind == "leave", e.peer_index))
+        return events
+
+    def arrival_times(self) -> List[float]:
+        """Join times only (for arrival-burstiness analyses)."""
+        return [e.time for e in self.generate() if e.kind == "join"]

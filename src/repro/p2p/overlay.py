@@ -16,6 +16,7 @@ through fresh candidates.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.channel_server import ChannelServer
@@ -117,6 +118,21 @@ class SourcePeer(Peer):
         return reached
 
 
+@dataclass(frozen=True)
+class RepairRecord:
+    """One orphan's outcome during churn repair (see ``remove_peer``)."""
+
+    orphan_id: str
+    parent_id: Optional[str]  # None = repair failed, peer stays orphaned
+    attempts: int
+    same_region: bool
+
+
+#: Ranks an explicit candidate set for churn repair: (orphan address,
+#: connected spare-capacity peers, count) -> ordered descriptors.
+RepairRanker = Callable[[str, List[Peer], int], List[PeerDescriptor]]
+
+
 class ChannelOverlay:
     """All peers carrying one channel, rooted at the Channel Server."""
 
@@ -144,6 +160,13 @@ class ChannelOverlay:
         self.plans: Dict[str, ParentPlan] = {}
         self.join_attempts = 0
         self.repairs = 0
+        #: When set, churn repair ranks its candidate list through this
+        #: hook (the deployment wires the same locality/capacity ranking
+        #: that builds SWITCH2 lists); None = legacy uniform shuffle.
+        self.repair_ranker: Optional[RepairRanker] = None
+        #: One record per orphan processed by :meth:`remove_peer`; the
+        #: flash-crowd driver drains this to price repair time.
+        self.repair_log: List[RepairRecord] = []
 
     # ------------------------------------------------------------------
     # Membership
@@ -196,6 +219,13 @@ class ChannelOverlay:
         descriptors = [peer.descriptor() for peer in chosen]
         if self.source.spare_capacity > 0:
             descriptors.append(self.source.descriptor())
+        # The slot held back for the source must not shorten the list
+        # when the source is saturated: top back up to ``count`` from
+        # the candidates that did not make the first cut.
+        for peer in candidates[len(chosen):]:
+            if len(descriptors) >= count:
+                break
+            descriptors.append(peer.descriptor())
         return descriptors[:count]
 
     # ------------------------------------------------------------------
@@ -214,6 +244,14 @@ class ChannelOverlay:
         every candidate refuses -- the client would then go back to the
         Channel Manager for a fresh list.
         """
+        # A *fresh* join (the peer is not currently a member) must not
+        # inherit a plan from a prior failed/partial attempt: stale
+        # sub-stream mappings would point at parents that never accepted
+        # this time, and the gap-filling below would silently keep them.
+        # Orphan repair (peer still registered) relies on gap-filling
+        # and is left untouched.
+        if peer.peer_id not in self.peers:
+            self._discard_stale_plan(peer)
         attempts = 0
         for descriptor in candidates:
             try:
@@ -231,6 +269,7 @@ class ChannelOverlay:
             assert isinstance(accept, JoinAccept)
             target.bind_child_peer(peer.client.channel_ticket.user_id, peer)
             self.register_peer(peer)
+            peer.depth = target.depth + 1
             plan = self.plans.setdefault(
                 peer.peer_id, ParentPlan(assignment=self.substreams)
             )
@@ -274,7 +313,13 @@ class ChannelOverlay:
         target_parents = min(
             max_parents or substream_count, substream_count, max(1, len(candidates))
         )
-        plan = self.plans.setdefault(peer.peer_id, ParentPlan(assignment=self.substreams))
+        # A (re)join starts from a clean slate: a plan left over from a
+        # prior failed or partial attempt would keep sub-streams mapped
+        # to a parent that never accepted this time.  The fresh plan is
+        # only installed below once at least one parent has accepted, so
+        # a fully refused join leaves no ghost entry behind either.
+        self._discard_stale_plan(peer)
+        plan = ParentPlan(assignment=self.substreams)
         parents: List[Peer] = []
         attempts = 0
         user_id = peer.client.channel_ticket.user_id
@@ -300,13 +345,69 @@ class ChannelOverlay:
                 f"no candidate accepted peer {peer.peer_id} after {attempts} attempts"
             )
         self.register_peer(peer)
-        # Distribute sub-streams round-robin over the accepted parents.
+        self.plans[peer.peer_id] = plan
+        peer.depth = 1 + min(parent.depth for parent in parents)
+        # Distribute sub-streams over the accepted parents weighted by
+        # their remaining upload capacity: every parent carries at least
+        # one sub-stream (it admitted the join and holds a child slot),
+        # the rest go preferentially to parents with spare uplink.  With
+        # equal capacities this degenerates to the former round-robin.
+        quotas = self._substream_quotas(parents, substream_count)
+        cursor = 0
         for substream in self.substreams.substreams():
-            parent = parents[substream % len(parents)]
-            plan.assign(substream, parent.peer_id)
+            while quotas[cursor % len(parents)] <= 0:
+                cursor += 1
+            plan.assign(substream, parents[cursor % len(parents)].peer_id)
+            quotas[cursor % len(parents)] -= 1
+            cursor += 1
         for parent in parents:
             parent.set_child_substreams(user_id, plan.substreams_from(parent.peer_id))
         return parents, attempts
+
+    @staticmethod
+    def _substream_quotas(parents: List[Peer], substream_count: int) -> List[int]:
+        """How many sub-streams each accepted parent should carry.
+
+        Each parent gets one; the remainder is split proportionally to
+        remaining upload capacity (largest-remainder rounding, ties by
+        acceptance order so the result is deterministic).
+        """
+        quotas = [1] * len(parents)
+        extra = substream_count - len(parents)
+        if extra <= 0:
+            return quotas
+        weights = [max(1, parent.spare_capacity + 1) for parent in parents]
+        total = float(sum(weights))
+        shares = [extra * weight / total for weight in weights]
+        floors = [int(share) for share in shares]
+        for index, floor in enumerate(floors):
+            quotas[index] += floor
+        remainder_order = sorted(
+            range(len(parents)),
+            key=lambda index: (floors[index] - shares[index], index),
+        )
+        for index in remainder_order[: extra - sum(floors)]:
+            quotas[index] += 1
+        return quotas
+
+    def _discard_stale_plan(self, peer: Peer) -> None:
+        """Forget a peer's previous parent plan and detach its links.
+
+        Any parent still holding a child link from the discarded plan
+        would otherwise keep feeding keys/packets to a join attempt
+        that superseded it.
+        """
+        stale = self.plans.pop(peer.peer_id, None)
+        if stale is None:
+            return
+        ticket = peer.client.channel_ticket
+        if ticket is None:
+            return
+        for parent_id in set(stale.parents.values()):
+            try:
+                self.lookup(parent_id).detach_child_link(ticket.user_id)
+            except OverlayError:
+                continue  # parent already churned away
 
     # ------------------------------------------------------------------
     # Churn and repair
@@ -348,24 +449,46 @@ class ChannelOverlay:
             # near-root departure detaches most of the overlay.
             connected = set(self.depths().keys())
             connected.add(self.source.peer_id)
-            candidates = [
-                peer.descriptor()
-                for peer in self.peers.values()
-                if peer.alive
-                and peer.spare_capacity > 0
-                and peer.address != orphan.address
-                and peer.peer_id in connected
+            eligible = [
+                member
+                for member in self.peers.values()
+                if member.alive
+                and member.spare_capacity > 0
+                and member.address != orphan.address
+                and member.peer_id in connected
             ]
-            self._rng.shuffle(candidates)
-            candidates = candidates[:16]
+            if self.repair_ranker is not None:
+                # Repair reuses the same locality/capacity ranking that
+                # built the orphan's original SWITCH2 list.
+                candidates = list(self.repair_ranker(orphan.address, eligible, 16))
+            else:
+                candidates = [member.descriptor() for member in eligible]
+                self._rng.shuffle(candidates)
+                candidates = candidates[:16]
             if self.source.spare_capacity > 0:
                 candidates.append(self.source.descriptor())
+            attempts_before = self.join_attempts
             try:
-                self.join(orphan, candidates, now)
+                parent, attempts = self.join(orphan, candidates, now)
                 self.repairs += 1
                 repaired.append(orphan.peer_id)
+                self.repair_log.append(
+                    RepairRecord(
+                        orphan_id=orphan.peer_id,
+                        parent_id=parent.peer_id,
+                        attempts=attempts,
+                        same_region=parent.region == orphan.region,
+                    )
+                )
             except CapacityError:
-                pass
+                self.repair_log.append(
+                    RepairRecord(
+                        orphan_id=orphan.peer_id,
+                        parent_id=None,
+                        attempts=self.join_attempts - attempts_before,
+                        same_region=False,
+                    )
+                )
         return repaired
 
     def orphans(self) -> List[str]:

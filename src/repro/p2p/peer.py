@@ -88,6 +88,7 @@ class Peer:
         drbg: HmacDrbg,
         capacity: int = 4,
         region: str = "?",
+        asn: int = 0,
     ) -> None:
         self.peer_id = peer_id
         self.client = client
@@ -95,6 +96,15 @@ class Peer:
         self.cm_public_key = cm_public_key
         self.capacity = capacity
         self.region = region
+        #: Autonomous system number (0 = unknown / undisclosed); used by
+        #: the ranked peer-list pipeline for same-AS preference.
+        self.asn = asn
+        #: Advisory hop distance from the source, maintained by the
+        #: overlay at join/repair time.  The ranked peer-list pipeline
+        #: prefers shallow parents (startup/key latency proxy); ranking
+        #: purely by spare capacity would herd every joiner onto the
+        #: newest member and grow chains instead of trees.
+        self.depth = 0
         self._drbg = drbg
         self.children: Dict[int, ChildLink] = {}
         self.alive = True
@@ -118,8 +128,14 @@ class Peer:
         return self.client.net_addr
 
     def descriptor(self) -> PeerDescriptor:
-        """This peer as a peer-list entry."""
-        return PeerDescriptor(peer_id=self.peer_id, address=self.address, region=self.region)
+        """This peer as a peer-list entry, with locality/capacity hints."""
+        return PeerDescriptor(
+            peer_id=self.peer_id,
+            address=self.address,
+            region=self.region,
+            asn=self.asn,
+            spare_capacity=self.spare_capacity,
+        )
 
     @property
     def spare_capacity(self) -> int:

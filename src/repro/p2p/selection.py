@@ -4,21 +4,69 @@ The base overlay samples uniformly among peers with spare capacity.
 Production deployments prefer *locality*: a parent in the viewer's own
 region roughly halves the join RTT and keeps inter-ISP traffic down
 (the simulator's :func:`repro.sim.network.peer_rtt` encodes the same
-same-region/cross-region split).  This module provides a region-aware
-sampler that can be plugged in as the Channel Manager's
-:data:`~repro.core.channel_manager.PeerListProvider`.
+same-region/cross-region split).  This module provides two pluggable
+:data:`~repro.core.channel_manager.PeerListProvider` implementations:
+
+* :class:`RegionAwarePeerSampler` -- shuffle within region classes,
+  the original locality sampler;
+* :class:`RankedPeerListProvider` -- the full ranking pipeline
+  (same-AS, then same-region, then spare upload capacity), which also
+  serves the churn-repair path through :meth:`rank_for_repair`.
+
+Both enforce the *same-region-fraction privacy cap*: at most that
+fraction of a returned list is drawn from the requester's own
+region/AS, so peer lists never become a region-partition oracle --
+peer lists already reveal addresses, they should not additionally sort
+the world by geography for free.
 
 Selection is a pure ranking over the overlay's live state; it holds no
-state of its own, so it composes with farms and with churn.
+state of its own, so it composes with farms, shards, and churn.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.protocol import PeerDescriptor
 from repro.p2p.overlay import ChannelOverlay
+from repro.p2p.peer import Peer
+
+
+def merge_with_quota(
+    local: Sequence[Peer],
+    remote: Sequence[Peer],
+    slots: int,
+    local_quota: int,
+) -> Tuple[List[Peer], List[Peer]]:
+    """Fill ``slots`` picks: up to ``local_quota`` from ``local``, the
+    rest from ``remote``, topping back up from whichever side still has
+    members when the other runs short.
+
+    Returns ``(chosen, leftovers)`` where ``leftovers`` preserves rank
+    order, so callers can keep topping up (e.g. when the source turns
+    out to be saturated).  Membership is tracked by an id-set of
+    ``peer_id`` -- the historical ``peer not in chosen`` list scan was
+    O(n^2) and, combined with a leftover slice that offset by the quota
+    rather than by how many remote peers were actually taken, could
+    re-consider already-chosen peers.
+    """
+    slots = max(0, slots)
+    local_take = min(len(local), max(0, local_quota), slots)
+    chosen: List[Peer] = list(local[:local_take])
+    remote_take = min(len(remote), slots - local_take)
+    chosen.extend(remote[:remote_take])
+    chosen_ids = {peer.peer_id for peer in chosen}
+    leftovers: List[Peer] = []
+    for peer in list(local[local_take:]) + list(remote[remote_take:]):
+        if peer.peer_id in chosen_ids:
+            continue
+        if len(chosen) < slots:
+            chosen.append(peer)
+            chosen_ids.add(peer.peer_id)
+        else:
+            leftovers.append(peer)
+    return chosen, leftovers
 
 
 class RegionAwarePeerSampler:
@@ -74,19 +122,154 @@ class RegionAwarePeerSampler:
         self._rng.shuffle(remote)
 
         local_quota = int(round((count - 1) * self.same_region_fraction))
-        chosen = local[:local_quota]
-        chosen += remote[: (count - 1) - len(chosen)]
-        if len(chosen) < count - 1:  # top back up from whichever side has more
-            leftovers = local[local_quota:] + remote[(count - 1) - local_quota :]
-            for peer in leftovers:
-                if len(chosen) >= count - 1:
-                    break
-                if peer not in chosen:
-                    chosen.append(peer)
+        chosen, leftovers = merge_with_quota(local, remote, count - 1, local_quota)
         descriptors = [peer.descriptor() for peer in chosen]
         if overlay.source.spare_capacity > 0:
             descriptors.append(overlay.source.descriptor())
+        # A saturated source must not shorten the list: top back up to
+        # ``count`` from the leftover candidates (rank order preserved).
+        for peer in leftovers:
+            if len(descriptors) >= count:
+                break
+            descriptors.append(peer.descriptor())
         return descriptors[:count]
+
+    def locality_fraction(self, channel_id: str, requester_addr: str, count: int = 8) -> float:
+        """Fraction of a sampled list in the requester's region (for tests)."""
+        sample = self(channel_id, requester_addr, count)
+        if not sample:
+            return 0.0
+        region = self._geo.region_of(requester_addr)
+        local = sum(1 for d in sample if d.region == region)
+        return local / len(sample)
+
+
+class RankedPeerListProvider:
+    """SWITCH2 peer lists ranked by (same-AS, same-region, spare capacity).
+
+    The pipeline the Channel Manager runs per request:
+
+    1. *gather* -- live members with spare capacity, requester excluded;
+    2. *score* -- proximity class first (2 = same AS, 1 = same region,
+       0 = elsewhere), then advertised tree depth (shallow parents cut
+       startup and key-propagation latency -- and ranking by capacity
+       alone would herd joiners onto the newest member, growing chains
+       instead of trees), then spare upload capacity, then a random
+       jitter so equally-good parents don't herd;
+    3. *cap* -- the same-region-fraction privacy cap bounds how much of
+       the list the requester's own region/AS may occupy;
+    4. *top up* -- the source is appended as a last-resort candidate,
+       and leftovers fill the list back to ``count`` when the source is
+       saturated or one side of the cap runs short.
+
+    The same scoring serves churn repair (:meth:`rank_for_repair`), so
+    an orphan re-parents with the ranking its original list used.
+
+    ``max_pool`` bounds how many candidates one request will rank:
+    above it, a uniform subsample is ranked instead of the full
+    membership.  This keeps per-request cost flat under flash-crowd
+    load (ranking all 10k members for every one of 10k joiners is
+    quadratic work for no better list) at the cost of occasionally
+    missing the single globally best parent -- the subsample still
+    holds hundreds of near-equivalent candidates.
+    """
+
+    def __init__(
+        self,
+        overlays: Dict[str, ChannelOverlay],
+        geo,
+        rng: random.Random,
+        same_region_fraction: float = 0.75,
+        max_pool: int = 512,
+    ) -> None:
+        if not 0.0 <= same_region_fraction <= 1.0:
+            raise ValueError("same_region_fraction must be a fraction")
+        if max_pool < 1:
+            raise ValueError("max_pool must be positive")
+        self._overlays = overlays
+        self._geo = geo
+        self._rng = rng
+        self.same_region_fraction = same_region_fraction
+        self.max_pool = max_pool
+
+    # -- pipeline stages ------------------------------------------------
+
+    @staticmethod
+    def _gather(overlay: ChannelOverlay, exclude_addr: str) -> List[Peer]:
+        return [
+            peer
+            for peer in overlay.peers.values()
+            if peer.alive and peer.spare_capacity > 0 and peer.address != exclude_addr
+        ]
+
+    @staticmethod
+    def _proximity(peer: Peer, record) -> int:
+        """2 = same AS, 1 = same region, 0 = elsewhere/unknown."""
+        if record is None:
+            return 0
+        asn = getattr(peer, "asn", 0)
+        if asn and asn == record.asn:
+            return 2
+        if peer.region == record.region:
+            return 1
+        return 0
+
+    def _rank(self, candidates: Sequence[Peer], record) -> Tuple[List[Peer], List[Peer]]:
+        """Sort by (proximity desc, depth asc, spare capacity desc,
+        jitter) and split into requester-local and remote rank lists."""
+        if len(candidates) > self.max_pool:
+            candidates = self._rng.sample(list(candidates), self.max_pool)
+        jitter = {peer.peer_id: self._rng.random() for peer in candidates}
+        ordered = sorted(
+            candidates,
+            key=lambda peer: (
+                -self._proximity(peer, record),
+                getattr(peer, "depth", 0),
+                -peer.spare_capacity,
+                jitter[peer.peer_id],
+            ),
+        )
+        local = [p for p in ordered if self._proximity(p, record) > 0]
+        remote = [p for p in ordered if self._proximity(p, record) == 0]
+        return local, remote
+
+    # -- PeerListProvider interface -------------------------------------
+
+    def __call__(
+        self, channel_id: str, exclude_addr: str, count: int
+    ) -> List[PeerDescriptor]:
+        overlay = self._overlays.get(channel_id)
+        if overlay is None or count <= 0:
+            return []
+        record = self._geo.lookup(exclude_addr)
+        local, remote = self._rank(self._gather(overlay, exclude_addr), record)
+        local_quota = int(round((count - 1) * self.same_region_fraction))
+        chosen, leftovers = merge_with_quota(local, remote, count - 1, local_quota)
+        descriptors = [peer.descriptor() for peer in chosen]
+        if overlay.source.spare_capacity > 0:
+            descriptors.append(overlay.source.descriptor())
+        for peer in leftovers:
+            if len(descriptors) >= count:
+                break
+            descriptors.append(peer.descriptor())
+        return descriptors[:count]
+
+    # -- churn repair ---------------------------------------------------
+
+    def rank_for_repair(
+        self, requester_addr: str, candidates: Sequence[Peer], count: int
+    ) -> List[PeerDescriptor]:
+        """Rank an explicit candidate set (the overlay's connected,
+        spare-capacity members) for an orphan's re-join.
+
+        Matches :data:`repro.p2p.overlay.RepairRanker`.  No source
+        reservation here: ``remove_peer`` appends the source itself.
+        """
+        record = self._geo.lookup(requester_addr)
+        local, remote = self._rank(candidates, record)
+        local_quota = int(round(count * self.same_region_fraction))
+        chosen, _ = merge_with_quota(local, remote, count, local_quota)
+        return [peer.descriptor() for peer in chosen]
 
     def locality_fraction(self, channel_id: str, requester_addr: str, count: int = 8) -> float:
         """Fraction of a sampled list in the requester's region (for tests)."""

@@ -22,7 +22,13 @@ from repro.trace.span import (
     load_spans,
     maybe_span,
 )
-from repro.trace.report import render_report, render_tree, round_breakdown
+from repro.trace.report import (
+    join_breakdown,
+    render_join_breakdown,
+    render_report,
+    render_tree,
+    round_breakdown,
+)
 
 __all__ = [
     "Span",
@@ -31,6 +37,8 @@ __all__ = [
     "Tracer",
     "load_spans",
     "maybe_span",
+    "join_breakdown",
+    "render_join_breakdown",
     "render_report",
     "render_tree",
     "round_breakdown",

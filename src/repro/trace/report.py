@@ -114,6 +114,62 @@ def render_report(spans: Sequence[Span]) -> str:
     return f"{len(spans)} spans across {n_traces} traces\n\n{table}"
 
 
+def join_breakdown(spans: Sequence[Span]) -> List[Dict[str, object]]:
+    """Aggregate ``JOIN_E2E`` traces into a per-phase latency table.
+
+    The overlay storm opens one ``JOIN_E2E`` root per viewer with
+    phase children (REDIRECT, SWITCH, JOIN, FIRSTPKT); this collapses
+    all of them into one row per phase -- count, p50/p99/mean -- plus
+    a TOTAL row for the roots themselves, so a p99 join latency reads
+    directly as "which phase is the tail made of".  Phase rows keep
+    first-appearance order (the causal order of the join pipeline).
+    """
+    roots = [s for s in spans if s.name == "JOIN_E2E"]
+    root_ids = {s.span_id for s in roots}
+    order: List[str] = []
+    groups: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.parent_id in root_ids and span.duration is not None:
+            if span.name not in groups:
+                order.append(span.name)
+                groups[span.name] = []
+            groups[span.name].append(span.duration)
+
+    def row(name: str, durations: List[float]) -> Dict[str, object]:
+        return {
+            "phase": name,
+            "count": len(durations),
+            "p50": percentile(durations, 50) if durations else 0.0,
+            "p99": percentile(durations, 99) if durations else 0.0,
+            "mean": sum(durations) / len(durations) if durations else 0.0,
+        }
+
+    rows = [row(name, groups[name]) for name in order]
+    totals = [s.duration for s in roots if s.duration is not None]
+    rows.append(row("TOTAL", totals))
+    return rows
+
+
+def render_join_breakdown(spans: Sequence[Span]) -> str:
+    """The phase table printed by ``repro overlay storm``."""
+    rows = join_breakdown(spans)
+    if rows[-1]["count"] == 0 and len(rows) == 1:
+        return "(no JOIN_E2E traces recorded)"
+    return format_table(
+        ["phase", "count", "p50 ms", "p99 ms", "mean ms"],
+        [
+            [
+                row["phase"],
+                str(row["count"]),
+                _ms(row["p50"]),
+                _ms(row["p99"]),
+                _ms(row["mean"]),
+            ]
+            for row in rows
+        ],
+    )
+
+
 def busiest_trace(spans: Sequence[Span]) -> int:
     """The trace id with the most spans (ties break toward the oldest)."""
     if not spans:

@@ -7,6 +7,9 @@ starts.  This package synthesizes equivalent traffic:
 * :mod:`repro.workload.diurnal` -- the hour-of-day rate curve;
 * :mod:`repro.workload.arrivals` -- non-homogeneous Poisson arrival
   sampling (thinning) and flash-crowd injection;
+* :mod:`repro.workload.flashcrowd` -- the flash-crowd viewer
+  population (regions by population weight, heterogeneous upload
+  capacities) driving the overlay locality storm;
 * :mod:`repro.workload.zapping` -- per-session behaviour: Zipf channel
   popularity, channel-switching (zapping) dynamics, session lengths;
 * :mod:`repro.workload.traces` -- week-long per-user request traces
@@ -16,6 +19,7 @@ starts.  This package synthesizes equivalent traffic:
 
 from repro.workload.diurnal import DiurnalProfile
 from repro.workload.arrivals import NonHomogeneousPoisson, FlashCrowd
+from repro.workload.flashcrowd import FlashCrowdWorkload, ViewerSpec
 from repro.workload.zapping import ZipfChannelPopularity, ZappingModel
 from repro.workload.traces import RequestEvent, WeekTraceGenerator, FeedbackLogSampler
 
@@ -23,6 +27,8 @@ __all__ = [
     "DiurnalProfile",
     "NonHomogeneousPoisson",
     "FlashCrowd",
+    "FlashCrowdWorkload",
+    "ViewerSpec",
     "ZipfChannelPopularity",
     "ZappingModel",
     "RequestEvent",

@@ -1,0 +1,133 @@
+"""Flash-crowd viewer population: geography + capacity over churn.
+
+:class:`~repro.p2p.churn.FlashCrowdChurn` says *when* peers come and
+go; this module says *who* they are.  Each viewer gets a region drawn
+from the deployment geography's population weights (restricted to the
+regions the channel actually broadcasts to) and a heterogeneous upload
+capacity -- the paper's population mixes set-top boxes behind thin DSL
+uplinks (contributing little or nothing) with well-connected peers
+that carry most of the tree.  The capacity spread is what makes the
+capacity-aware ranking and sub-stream weighting measurable: under a
+uniform population every parent choice is as good as any other.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geo.regions import REGIONS
+
+#: Default upload-capacity mix: a tenth contribute nothing (leechers on
+#: asymmetric links), most carry 2-4 children, a well-connected tail
+#: carries 8.
+DEFAULT_CAPACITIES: Tuple[int, ...] = (0, 2, 4, 8)
+DEFAULT_CAPACITY_WEIGHTS: Tuple[float, ...] = (0.10, 0.40, 0.35, 0.15)
+
+
+@dataclass(frozen=True)
+class ViewerSpec:
+    """One synthetic viewer: identity, placement, capacity, lifetime."""
+
+    index: int
+    region: str
+    capacity: int
+    join_time: float
+    leave_time: float
+
+
+class FlashCrowdWorkload:
+    """Assign regions and capacities to a flash-crowd churn process.
+
+    Parameters
+    ----------
+    rng:
+        Workload-local randomness (determinism under a fixed seed).
+    audience:
+        Number of viewers.
+    regions:
+        Regions the event broadcasts to; viewer placement is drawn from
+        :data:`repro.geo.regions.REGIONS` population weights restricted
+        to (and renormalized over) this set.  None = all regions.
+    capacities / capacity_weights:
+        The upload-capacity mix.
+    Remaining keywords are forwarded to :class:`FlashCrowdChurn`.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        audience: int,
+        regions: Optional[Sequence[str]] = None,
+        capacities: Sequence[int] = DEFAULT_CAPACITIES,
+        capacity_weights: Sequence[float] = DEFAULT_CAPACITY_WEIGHTS,
+        event_start: float = 0.0,
+        event_duration: float = 3600.0,
+        ramp: float = 60.0,
+        mid_departure_fraction: float = 0.15,
+    ) -> None:
+        names = list(regions) if regions is not None else list(REGIONS)
+        unknown = [name for name in names if name not in REGIONS]
+        if unknown:
+            raise ValueError(f"unknown regions: {unknown}")
+        if len(capacities) != len(capacity_weights) or not capacities:
+            raise ValueError("capacities and weights must be parallel and non-empty")
+        # Imported lazily: repro.workload is pulled in by the metrics
+        # package during interpreter start-up, before repro.p2p (and
+        # the crypto stack underneath it) finishes initializing.
+        from repro.p2p.churn import FlashCrowdChurn
+
+        self._rng = rng
+        self.regions = names
+        self._region_weights = [REGIONS[name].population_weight for name in names]
+        self._capacities = list(capacities)
+        self._capacity_weights = list(capacity_weights)
+        self.churn = FlashCrowdChurn(
+            rng,
+            audience=audience,
+            event_start=event_start,
+            event_duration=event_duration,
+            ramp=ramp,
+            mid_departure_fraction=mid_departure_fraction,
+        )
+        self._viewers: Optional[List[ViewerSpec]] = None
+        self._events: Optional[list] = None
+
+    def _materialize(self) -> None:
+        if self._viewers is not None:
+            return
+        events = self.churn.generate()
+        joins = {e.peer_index: e.time for e in events if e.kind == "join"}
+        leaves = {e.peer_index: e.time for e in events if e.kind == "leave"}
+        viewers = []
+        for index in sorted(joins):
+            region = self._rng.choices(self.regions, weights=self._region_weights)[0]
+            capacity = self._rng.choices(
+                self._capacities, weights=self._capacity_weights
+            )[0]
+            viewers.append(
+                ViewerSpec(
+                    index=index,
+                    region=region,
+                    capacity=capacity,
+                    join_time=joins[index],
+                    leave_time=leaves[index],
+                )
+            )
+        self._viewers = viewers
+        self._events = events
+
+    def viewers(self) -> List[ViewerSpec]:
+        """All viewer specs, ordered by index (deterministic)."""
+        self._materialize()
+        assert self._viewers is not None
+        return list(self._viewers)
+
+    def events(self) -> List[Tuple[object, ViewerSpec]]:
+        """Time-ordered :class:`~repro.p2p.churn.ChurnEvent` items
+        paired with their viewer specs."""
+        self._materialize()
+        assert self._events is not None and self._viewers is not None
+        by_index = {spec.index: spec for spec in self._viewers}
+        return [(event, by_index[event.peer_index]) for event in self._events]

@@ -1,10 +1,11 @@
-"""Tests for the churn processes."""
+"""Tests for the churn processes and churn-repair locality."""
 
 import random
 
 import pytest
 
-from repro.p2p.churn import ChurnEvent, EventBoundaryChurn, PoissonChurn
+from repro.deployment import Deployment
+from repro.p2p.churn import ChurnEvent, EventBoundaryChurn, FlashCrowdChurn, PoissonChurn
 from repro.workload.arrivals import burstiness_index
 
 
@@ -86,3 +87,132 @@ class TestEventBoundaryChurn:
     def test_zero_audience(self):
         churn = EventBoundaryChurn(random.Random(1), 0, event_start=0.0, event_end=10.0)
         assert churn.generate() == []
+
+
+class TestFlashCrowdChurn:
+    def make(self, audience=800, seed=7, **kwargs):
+        kwargs.setdefault("event_duration", 1000.0)
+        kwargs.setdefault("ramp", 30.0)
+        return FlashCrowdChurn(random.Random(seed), audience=audience, **kwargs)
+
+    def test_every_peer_joins_and_leaves(self):
+        events = self.make().generate()
+        joins = [e for e in events if e.kind == "join"]
+        leaves = [e for e in events if e.kind == "leave"]
+        assert len(joins) == len(leaves) == 800
+
+    def test_leave_after_join_per_peer(self):
+        events = self.make().generate()
+        join_time = {}
+        for event in events:
+            if event.kind == "join":
+                join_time[event.peer_index] = event.time
+            else:
+                assert event.time > join_time[event.peer_index]
+
+    def test_ramp_is_bursty(self):
+        """Sharper than EventBoundaryChurn: no early trickle, so the
+        arrival process must be strongly non-Poisson."""
+        arrivals = self.make(audience=2000).arrival_times()
+        # The whole audience lands within a few ramps, so bin at
+        # sub-ramp resolution (60 s bins would cover the entire burst).
+        assert burstiness_index(arrivals, bin_width=10.0) > 4.0
+
+    def test_most_arrivals_inside_ramp(self):
+        churn = self.make(audience=1000)
+        arrivals = churn.arrival_times()
+        inside = [t for t in arrivals if t <= churn.event_start + churn.ramp]
+        assert len(inside) > 900  # exponential: ~95% within one ramp
+
+    def test_mid_departures_fall_in_event_middle(self):
+        churn = self.make(audience=300, mid_departure_fraction=1.0)
+        leaves = [e.time for e in churn.generate() if e.kind == "leave"]
+        assert all(250.0 <= t <= 750.0 for t in leaves)
+
+    def test_end_departures_cluster_at_event_end(self):
+        churn = self.make(audience=300, mid_departure_fraction=0.0)
+        leaves = [e.time for e in churn.generate() if e.kind == "leave"]
+        near_end = [t for t in leaves if abs(t - churn.event_end) <= 3 * churn.ramp / 2]
+        assert len(near_end) > 295  # gauss(end, ramp/2): 3 sigma
+
+    def test_deterministic_under_seed(self):
+        assert self.make(seed=11).generate() == self.make(seed=11).generate()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            FlashCrowdChurn(random.Random(1), audience=-1)
+        with pytest.raises(ValueError):
+            FlashCrowdChurn(random.Random(1), audience=10, event_duration=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdChurn(random.Random(1), audience=10, ramp=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowdChurn(random.Random(1), audience=10, mid_departure_fraction=1.5)
+
+    def test_zero_audience(self):
+        assert self.make(audience=0).generate() == []
+
+
+class TestRepairLocality:
+    """Churn repair must preserve locality: an orphan's replacement
+    parent comes from the same ranked pipeline as its original list,
+    so repairs land in-region rather than scattering across the WAN."""
+
+    def build(self, seed=17, uniform=False):
+        from repro.deployment import Deployment
+
+        deployment = Deployment(seed=seed, source_capacity=32)
+        deployment.add_free_channel("loc", regions=["CH", "DE"])
+        if uniform:
+            deployment.use_uniform_peer_lists()
+        overlay = deployment.overlay("loc")
+        peers = []
+        for i in range(40):
+            region = "CH" if i % 2 == 0 else "DE"
+            client = deployment.create_client(
+                f"rep{i}@loc.example.org", "pw", region=region
+            )
+            client.login(now=float(i))
+            response = client.switch_channel("loc", now=float(i))
+            peer = deployment.make_peer(client, "loc", capacity=4)
+            overlay.join(peer, response.peers, now=float(i))
+            peers.append(peer)
+        return deployment, overlay, peers
+
+    def churn_parents(self, overlay, peers, count=8, now=500.0):
+        removed = 0
+        for victim in peers:
+            if removed >= count:
+                break
+            if victim.peer_id in overlay.peers and victim.children:
+                overlay.remove_peer(victim.peer_id, now=now)
+                removed += 1
+        return removed
+
+    def test_repairs_stay_in_region(self):
+        _, overlay, peers = self.build()
+        overlay.repair_log.clear()
+        assert self.churn_parents(overlay, peers) > 0
+        records = [r for r in overlay.repair_log if r.parent_id is not None]
+        assert records, "removing parents produced no repairs"
+        local = sum(1 for r in records if r.same_region)
+        assert local / len(records) >= 0.7
+        overlay.check_tree()  # repairs never wire up an island
+
+    def test_ranked_repair_beats_uniform(self):
+        """The A/B arms diverge on the repair path too: with a 50/50
+        CH/DE population, uniform repair lands in-region about half
+        the time; ranked repair nearly always."""
+        _, ranked_overlay, ranked_peers = self.build(seed=29)
+        ranked_overlay.repair_log.clear()
+        self.churn_parents(ranked_overlay, ranked_peers)
+
+        _, uniform_overlay, uniform_peers = self.build(seed=29, uniform=True)
+        uniform_overlay.repair_log.clear()
+        self.churn_parents(uniform_overlay, uniform_peers)
+
+        def locality(overlay):
+            records = [r for r in overlay.repair_log if r.parent_id is not None]
+            assert records
+            return sum(1 for r in records if r.same_region) / len(records)
+
+        assert locality(ranked_overlay) > locality(uniform_overlay)

@@ -119,6 +119,75 @@ class TestMultiparentJoin:
                 joiner, [p.descriptor() for p in parents], now=3.0
             )
 
+    def test_rejoin_after_capacity_error(self, pdm):
+        """Regression: a refused join must leave no ghost plan behind,
+        and the retry must build its plan from scratch instead of
+        resurrecting assignments from the failed attempt."""
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        blockers = []
+        for parent in parents:
+            for j in range(parent.spare_capacity):
+                blocker = make_joiner(deployment, f"b{parent.peer_id}-{j}@example.org")
+                overlay.join(blocker, [parent.descriptor()], now=2.0)
+                blockers.append(blocker)
+        joiner = make_joiner(deployment, "retry@example.org")
+        with pytest.raises(CapacityError):
+            overlay.join_multiparent(joiner, [p.descriptor() for p in parents], now=3.0)
+        assert joiner.peer_id not in overlay.plans  # no ghost entry
+        # Capacity frees up; the retry succeeds with a clean plan.
+        overlay.remove_peer(blockers[0].peer_id, now=4.0)
+        accepted, _ = overlay.join_multiparent(
+            joiner, [p.descriptor() for p in parents], now=5.0
+        )
+        plan = overlay.plans[joiner.peer_id]
+        assert plan.complete
+        assert plan.distinct_parents() == {p.peer_id for p in accepted}
+
+    def test_partial_join_retry_remaps_all_substreams(self, pdm):
+        """A retry after a partial join (one parent accepted) must remap
+        every sub-stream onto parents that accepted *this* time and
+        detach the superseded link."""
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        joiner = make_joiner(deployment, "partial@example.org")
+        accepted, _ = overlay.join_multiparent(
+            joiner, [parents[0].descriptor()], now=2.0
+        )
+        assert [p.peer_id for p in accepted] == [parents[0].peer_id]
+        uid = joiner.client.channel_ticket.user_id
+        # Client retries with a list that no longer includes parents[0].
+        retry_list = [p.descriptor() for p in parents[1:]]
+        accepted, _ = overlay.join_multiparent(joiner, retry_list, now=3.0)
+        plan = overlay.plans[joiner.peer_id]
+        assert plan.complete
+        assert parents[0].peer_id not in plan.distinct_parents()
+        assert uid not in parents[0].children  # stale link detached
+
+    def test_substreams_weighted_by_spare_capacity(self, pdm):
+        """Sub-streams spread proportionally to remaining upload
+        capacity: a roomy parent carries more than a nearly-full one."""
+        deployment, parents = pdm
+        overlay = deployment.overlay("hd")
+        # parents[0] is the shallow tree head and may already serve the
+        # others; pick two leaf parents with full spare capacity.
+        big, small = parents[2], parents[3]
+        assert big.spare_capacity == small.spare_capacity == 4
+        # Fill `small` down to its last slot.
+        for j in range(small.spare_capacity - 1):
+            blocker = make_joiner(deployment, f"w{j}@example.org")
+            overlay.join(blocker, [small.descriptor()], now=2.0)
+        joiner = make_joiner(deployment, "weighted@example.org")
+        accepted, _ = overlay.join_multiparent(
+            joiner, [big.descriptor(), small.descriptor()], now=3.0, max_parents=2
+        )
+        assert {p.peer_id for p in accepted} == {big.peer_id, small.peer_id}
+        plan = overlay.plans[joiner.peer_id]
+        carried_by_big = len(plan.substreams_from(big.peer_id))
+        carried_by_small = len(plan.substreams_from(small.peer_id))
+        assert carried_by_big > carried_by_small >= 1
+        assert carried_by_big + carried_by_small == 4
+
     def test_tree_invariants_hold_with_dag(self, pdm):
         deployment, parents = pdm
         overlay = deployment.overlay("hd")

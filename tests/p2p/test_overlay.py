@@ -70,6 +70,24 @@ class TestSampling:
             join_viewer(deployment, f"u{i}@example.org")
         assert len(overlay.sample_peers("free-ch", "99.9.9.9", 3)) <= 3
 
+    def test_saturated_source_does_not_shorten_list(self, deployment):
+        """Regression: the slot reserved for the source used to cap the
+        list at count-1 when the source was full, even with spare
+        candidates left over."""
+        overlay = deployment.overlay("free-ch")
+        for i in range(8):
+            join_viewer(deployment, f"u{i}@example.org", capacity=4)
+        # Saturate the source's remaining child slots with zero-capacity
+        # peers pinned directly to it (they never appear in samples).
+        i = 0
+        while overlay.source.spare_capacity > 0:
+            hog = ticketed(deployment, f"hog{i}@example.org", capacity=0)
+            overlay.join(hog, [overlay.source.descriptor()], now=2.0)
+            i += 1
+        sample = overlay.sample_peers("free-ch", "99.9.9.9", 6)
+        assert len(sample) == 6
+        assert all(d.peer_id != overlay.source.peer_id for d in sample)
+
 
 class TestJoin:
     def test_join_walks_list_past_full_candidates(self, deployment):
@@ -112,6 +130,29 @@ class TestJoin:
         assert plan.complete
         assert plan.distinct_parents() == {overlay.source.peer_id}
 
+    def test_rejoin_does_not_resurrect_stale_plan(self, deployment):
+        """Regression: a fresh join after a prior partial join must not
+        keep sub-streams mapped to the old parent -- the old plan's
+        parent never accepted this time."""
+        overlay = deployment.overlay("free-ch")
+        old_parent = join_viewer(deployment, "old@example.org", capacity=2)
+        new_parent = join_viewer(deployment, "new@example.org", capacity=2)
+        joiner = ticketed(deployment, "joiner@example.org")
+        overlay.join(joiner, [old_parent.descriptor()], now=2.0)
+        # The joiner drops off (ticket expiry severs it) and rejoins
+        # through a different parent.
+        expiry = joiner.client.channel_ticket.expire_time
+        old_parent.enforce_ticket_expiry(now=expiry + 1.0)
+        del overlay.peers[joiner.peer_id]  # it left without goodbye
+        joiner.client.switch_channel("free-ch", now=expiry + 2.0)  # fresh ticket
+        overlay.join(joiner, [new_parent.descriptor()], now=expiry + 3.0)
+        plan = overlay.plans[joiner.peer_id]
+        assert plan.distinct_parents() == {new_parent.peer_id}
+        # The new parent serves every sub-stream; the stale mapping to
+        # old_parent would have left the child with an empty feed.
+        uid = joiner.client.channel_ticket.user_id
+        assert new_parent.children[uid].substreams == [0]
+
 
 class TestRepair:
     def test_orphans_rejoin_after_departure(self, deployment):
@@ -137,8 +178,12 @@ class TestRepair:
         child = ticketed(deployment, "child@example.org")
         overlay.join(child, [parent.descriptor()], now=2.0)
         join_viewer(deployment, "backup@example.org")
-        overlay.remove_peer(parent.peer_id, now=3.0)
-        assert overlay.repairs == 1
+        repaired = overlay.remove_peer(parent.peer_id, now=3.0)
+        # The backup may itself have attached under `parent` (ranked
+        # lists prefer shallow parents), so every live orphan counts.
+        assert overlay.repairs == len(repaired) >= 1
+        assert len(overlay.repair_log) == overlay.repairs
+        assert all(rec.parent_id is not None for rec in overlay.repair_log)
 
 
 class TestInvariants:

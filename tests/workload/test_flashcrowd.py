@@ -1,0 +1,85 @@
+"""Tests for the flash-crowd viewer population."""
+
+import random
+
+import pytest
+
+from repro.workload.flashcrowd import (
+    DEFAULT_CAPACITIES,
+    FlashCrowdWorkload,
+    ViewerSpec,
+)
+
+
+def make(audience=400, seed=13, **kwargs):
+    kwargs.setdefault("regions", ["CH", "DE", "FR"])
+    kwargs.setdefault("event_duration", 800.0)
+    kwargs.setdefault("ramp", 40.0)
+    return FlashCrowdWorkload(random.Random(seed), audience=audience, **kwargs)
+
+
+class TestViewerSpecs:
+    def test_one_spec_per_viewer_in_index_order(self):
+        viewers = make().viewers()
+        assert len(viewers) == 400
+        assert [v.index for v in viewers] == list(range(400))
+
+    def test_lifetimes_come_from_churn(self):
+        for spec in make().viewers():
+            assert spec.leave_time > spec.join_time
+
+    def test_regions_restricted_to_broadcast_set(self):
+        viewers = make().viewers()
+        assert {v.region for v in viewers} <= {"CH", "DE", "FR"}
+
+    def test_regions_follow_population_weights(self):
+        """CH outweighs FR ~40:12 in the population table; the drawn
+        placement must reflect that, not a uniform split."""
+        viewers = make(audience=2000).viewers()
+        ch = sum(1 for v in viewers if v.region == "CH")
+        fr = sum(1 for v in viewers if v.region == "FR")
+        assert ch > 2 * fr
+
+    def test_capacity_mix_is_heterogeneous(self):
+        viewers = make(audience=2000).viewers()
+        drawn = {v.capacity for v in viewers}
+        assert drawn == set(DEFAULT_CAPACITIES)
+        leechers = sum(1 for v in viewers if v.capacity == 0)
+        # The default mix puts ~10% at zero upload.
+        assert 100 < leechers < 320
+
+    def test_deterministic_under_seed(self):
+        assert make(seed=5).viewers() == make(seed=5).viewers()
+
+
+class TestEvents:
+    def test_events_paired_with_specs(self):
+        events = make(audience=100).events()
+        assert len(events) == 200  # one join + one leave per viewer
+        for event, spec in events:
+            assert isinstance(spec, ViewerSpec)
+            assert event.peer_index == spec.index
+
+    def test_events_time_ordered(self):
+        times = [event.time for event, _ in make(audience=100).events()]
+        assert times == sorted(times)
+
+
+class TestValidation:
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError):
+            make(regions=["CH", "ATLANTIS"])
+
+    def test_mismatched_capacity_weights_rejected(self):
+        with pytest.raises(ValueError):
+            make(capacities=(0, 2), capacity_weights=(1.0,))
+
+    def test_empty_capacities_rejected(self):
+        with pytest.raises(ValueError):
+            make(capacities=(), capacity_weights=())
+
+    def test_default_regions_are_all_regions(self):
+        from repro.geo.regions import REGIONS
+
+        workload = FlashCrowdWorkload(random.Random(1), audience=10)
+        assert workload.regions == list(REGIONS)
