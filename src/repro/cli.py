@@ -543,7 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario",
         help="scenario name (manager_crash_mid_storm, rolling_restarts, "
              "partition_cm_farm, slow_station_brownout, replica_flap, "
-             "shard_killed_mid_resharding) or 'all'",
+             "shard_killed_mid_resharding) or an adversarial scenario "
+             "(polluting_parents, key_withholding_parents, depth_liars, "
+             "join_flood, replay_storm) or 'all'",
     )
     chaos_run.add_argument("--clients", type=int, default=8)
     chaos_run.add_argument("--seed", type=int, default=11)

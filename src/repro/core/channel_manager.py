@@ -41,6 +41,7 @@ from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.errors import (
     AuthorizationError,
     PolicyRejectError,
+    RateLimitError,
     RenewalRefusedError,
     TicketInvalidError,
 )
@@ -167,6 +168,15 @@ class ChannelManager:
         self.tickets_issued = 0
         self.renewals_issued = 0
         self.rejections = 0
+        self.rate_limited = 0
+        #: Per-address sliding-window JOIN/SWITCH rate limit; disabled
+        #: (None) by default.  See :meth:`set_join_rate_limit`.
+        self._rate_limit: Optional[Tuple[int, float]] = None
+        self._request_times: Dict[str, List[float]] = {}
+        #: Called as ``listener(observed_addr, now)`` whenever the rate
+        #: limiter fires; the deployment wires this to the misbehavior
+        #: scorecard so floods count against the flooding peer.
+        self.rate_limit_listener = None
         self._store = None
         self._snapshot_every: Optional[int] = None
         self._records_since_snapshot = 0
@@ -308,9 +318,39 @@ class ChannelManager:
                 span.annotate("peer_list", len(response.peers))
             return response
 
+    def set_join_rate_limit(self, limit: int, window: float) -> None:
+        """Cap SWITCH2 requests per source address: ``limit`` per
+        sliding ``window`` seconds.  Excess requests are refused with
+        :class:`RateLimitError` *before* any signature work -- the
+        point of a JOIN-flood defence is to shed load cheaply.
+        """
+        if limit < 1:
+            raise ValueError("rate limit must allow at least one request")
+        if window <= 0:
+            raise ValueError("rate-limit window must be positive")
+        self._rate_limit = (limit, window)
+
+    def _check_rate_limit(self, observed_addr: str, now: float) -> None:
+        if self._rate_limit is None:
+            return
+        limit, window = self._rate_limit
+        times = self._request_times.setdefault(observed_addr, [])
+        cutoff = now - window
+        while times and times[0] <= cutoff:
+            times.pop(0)
+        if len(times) >= limit:
+            self.rate_limited += 1
+            if self.rate_limit_listener is not None:
+                self.rate_limit_listener(observed_addr, now)
+            raise RateLimitError(
+                f"{observed_addr} exceeded {limit} switch requests per {window:g}s"
+            )
+        times.append(now)
+
     def _switch2(
         self, request: Switch2Request, observed_addr: str, now: float
     ) -> Switch2Response:
+        self._check_rate_limit(observed_addr, now)
         user_ticket = request.user_ticket
         self._verify_user_ticket(user_ticket, now)
         user_ticket.check_net_addr(observed_addr)

@@ -42,7 +42,13 @@ from repro.core.user_manager import ChecksumParams
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPrivateKey, generate_keypair
 from repro.crypto.stream import SymmetricKey
-from repro.errors import CapacityError, ProtocolError, ReproError, TransportError
+from repro.errors import (
+    CapacityError,
+    ProtocolError,
+    ReplayError,
+    ReproError,
+    TransportError,
+)
 from repro.trace.span import Tracer, maybe_span
 from repro.util.wire import Decoder
 
@@ -117,6 +123,17 @@ class Client:
         self.clock_offset = 0.0
         self.packets_decrypted = 0
         self.decrypt_failures = 0
+        #: Replay window (seconds): a key update whose activation time
+        #: trails the newest accepted key by more than this is rejected
+        #: as a replay.  Must be *narrower* than the ring's working set
+        #: (capacity x epoch, ~240s at defaults): any serial still in
+        #: the ring is caught by activate_at dedup, so the window only
+        #: needs to cover honestly-delayed fresh keys (seconds), and a
+        #: window wider than the ring span would let an aged-out serial
+        #: re-enter and evict a live key.
+        self.key_replay_window = 150.0
+        self._newest_key_activation = 0.0
+        self.key_replays_rejected = 0
         #: Logins served by a non-primary User Manager replica.
         self.failovers = 0
         #: Shared tracer, attached by Deployment.enable_tracing().
@@ -427,6 +444,21 @@ class Client:
         if self.key_ring.is_duplicate(update.serial, update.activate_at):
             self.key_ring.duplicates_discarded += 1
             return False
+        # Replay window: honest re-delivery of a key the ring still
+        # holds is caught above (same activation time); an update whose
+        # activation trails the newest accepted key by more than the
+        # window is an *old* serial trying to re-enter after its ring
+        # slot was recycled -- a replay attack, not network weather.
+        if (
+            self._newest_key_activation - update.activate_at
+            > self.key_replay_window
+        ):
+            self.key_replays_rejected += 1
+            raise ReplayError(
+                f"key update serial {update.serial} activates at "
+                f"{update.activate_at:g}, {self._newest_key_activation - update.activate_at:g}s "
+                f"behind the newest accepted key (window {self.key_replay_window:g}s)"
+            )
         content_key = decrypt_key_from_link(
             update.encrypted_content_key,
             serial=update.serial,
@@ -434,7 +466,12 @@ class Client:
             channel_id=update.channel_id,
             activate_at=update.activate_at,
         )
-        return self.key_ring.offer(content_key)
+        accepted = self.key_ring.offer(content_key)
+        if accepted:
+            self._newest_key_activation = max(
+                self._newest_key_activation, update.activate_at
+            )
+        return accepted
 
     def receive_packet(self, packet) -> bytes:
         """Decrypt a content packet; raises DecryptionError on failure."""

@@ -144,6 +144,23 @@ def decrypt_packet(
     return payload
 
 
+def tampered_copy(packet: ContentPacket, flip_byte: int = 0) -> ContentPacket:
+    """A polluted copy of ``packet``: same header, corrupted ciphertext.
+
+    This is what a Byzantine parent forwards -- the serial and sequence
+    still look legitimate, so a child selects the right key and only
+    the AEAD tag check exposes the damage.  Flipping one ciphertext
+    byte is indistinguishable (to the tag) from any other corruption.
+    """
+    body = bytearray(packet.ciphertext)
+    if not body:
+        raise ValueError("cannot tamper an empty ciphertext")
+    body[flip_byte % len(body)] ^= 0xFF
+    return ContentPacket(
+        serial=packet.serial, sequence=packet.sequence, ciphertext=bytes(body)
+    )
+
+
 def reencrypt_key_for_link(
     content_key: ContentKey, session_key: SymmetricKey, channel_id: str
 ) -> bytes:

@@ -287,16 +287,24 @@ class KeyUpdate:
     ``serial`` is the 8-bit rotating serial number; ``activate_at`` is
     when the Channel Server starts encrypting with it (keys are sent
     "some amount of time in advance of their use").
+
+    ``parent_depth`` piggybacks the sender's current tree depth on the
+    update -- a heartbeat that lets every peer refresh its own depth
+    (parent depth + 1) once per key epoch, so the ranking pipeline
+    works from live depths instead of join-time snapshots.  It is a
+    *hint* from an untrusted peer, never admission-relevant; the
+    overlay's depth audit cross-checks it against the measured tree.
     """
 
     channel_id: str
     serial: int
     encrypted_content_key: bytes
     activate_at: float
+    parent_depth: int = -1
 
     def __post_init__(self) -> None:
         if not 0 <= self.serial <= 0xFF:
             raise ValueError("content key serial must fit in 8 bits")
 
     def approx_size(self) -> int:
-        return len(self.channel_id) + len(self.encrypted_content_key) + 1 + 8 + 16
+        return len(self.channel_id) + len(self.encrypted_content_key) + 1 + 8 + 16 + 2

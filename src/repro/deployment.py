@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.accounts import AccountManager
 from repro.core.attributes import (
@@ -42,12 +42,14 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import generate_keypair
 from repro.errors import ReproError
 from repro.geo.database import GeoDatabase
+from repro.metrics.adversary import MisbehaviorCounters
 from repro.metrics.dataplane import counters as dataplane_counters
 from repro.metrics.hotpath import counters as hotpath_counters
 from repro.metrics.registry import MetricsRegistry
 from repro.resilience.counters import ResilienceCounters
 from repro.p2p.overlay import ChannelOverlay, RepairRanker
 from repro.p2p.peer import Peer
+from repro.p2p.scorecard import JOIN_FLOOD, PeerScorecard
 from repro.p2p.selection import RankedPeerListProvider
 from repro.trace.span import Tracer
 
@@ -231,6 +233,12 @@ class Deployment:
         self.metrics.register("resilience", self.resilience)
         #: Shared tracer, set by :meth:`enable_tracing`.
         self.tracer: Optional[Tracer] = None
+        #: Byzantine detection plane, set by
+        #: :meth:`enable_misbehavior_detection`: a shared
+        #: :class:`~repro.p2p.scorecard.PeerScorecard` plus its
+        #: :class:`~repro.metrics.adversary.MisbehaviorCounters`.
+        self.scorecard = None
+        self.misbehavior: Optional[MisbehaviorCounters] = None
         #: Sharded manager tier, set by :meth:`enable_sharding`.
         self.sharding = None
         #: Shared process pool, set by :meth:`enable_multicore`.
@@ -359,6 +367,8 @@ class Deployment:
             substream_count=self.substream_count,
         )
         overlay.repair_ranker = self._repair_ranker
+        if self.scorecard is not None:
+            overlay.scorecard = self.scorecard
         if self.tracer is not None:
             server.tracer = self.tracer
             overlay.source.tracer = self.tracer
@@ -553,8 +563,74 @@ class Deployment:
             overlay.source.tracer = tracer
             for peer in overlay.peers.values():
                 peer.tracer = tracer
+        if self.scorecard is not None:
+            self.scorecard.tracer = tracer
         self.metrics.register("trace", tracer)
         return tracer
+
+    # ------------------------------------------------------------------
+    # Byzantine detection and containment (see repro.p2p.scorecard)
+    # ------------------------------------------------------------------
+
+    def enable_misbehavior_detection(
+        self,
+        half_life: float = 120.0,
+        quarantine_threshold: float = 3.0,
+        join_rate_limit: Optional[Tuple[int, float]] = None,
+    ) -> "PeerScorecard":
+        """Turn on the Byzantine detection plane.
+
+        One shared :class:`~repro.p2p.scorecard.PeerScorecard` is
+        attached to every overlay and peer (existing and future), its
+        counters are registered as the ``adversary`` metrics subsystem,
+        and -- when ``join_rate_limit=(limit, window)`` is given --
+        every Channel Manager gains a per-address SWITCH rate limiter
+        whose refusals feed the scorecard.  Returns the scorecard.
+        """
+        if self.scorecard is not None:
+            return self.scorecard
+        self.misbehavior = MisbehaviorCounters()
+        self.scorecard = PeerScorecard(
+            half_life=half_life,
+            quarantine_threshold=quarantine_threshold,
+            counters=self.misbehavior,
+            tracer=self.tracer,
+        )
+        self.metrics.register("adversary", self.misbehavior)
+        for overlay in self.overlays.values():
+            overlay.scorecard = self.scorecard
+            for peer in overlay.peers.values():
+                peer.scorecard = self.scorecard
+                self.scorecard.note_address(peer.peer_id, peer.address)
+        if join_rate_limit is not None:
+            limit, window = join_rate_limit
+            managers = list(self.channel_managers.values())
+            for replicas in self.cm_replicas.values():
+                managers.extend(replicas)
+            for manager in managers:
+                manager.set_join_rate_limit(limit, window)
+                manager.rate_limit_listener = self._on_rate_limited
+        return self.scorecard
+
+    def _on_rate_limited(self, observed_addr: str, now: float) -> None:
+        if self.scorecard is not None:
+            self.scorecard.report_address(observed_addr, JOIN_FLOOD, now=now)
+
+    def contain_misbehavior(self, now: float) -> Dict[str, List[str]]:
+        """One containment sweep: audit depths, evict quarantined peers.
+
+        Returns ``channel_id -> evicted peer ids``.  The chaos rigs
+        call this once per key epoch.
+        """
+        evicted: Dict[str, List[str]] = {}
+        if self.scorecard is None:
+            return evicted
+        for channel_id, overlay in self.overlays.items():
+            overlay.audit_depths(now)
+            gone = overlay.contain(now)
+            if gone:
+                evicted[channel_id] = gone
+        return evicted
 
     def enable_multicore(self, workers: Optional[int] = None, pool=None):
         """Put the crypto plane behind a process pool.
@@ -1097,11 +1173,32 @@ class Deployment:
 
     def make_peer(self, client: Client, channel_id: str, capacity: int = 4) -> Peer:
         """Wrap a ticketed client as an overlay peer."""
+        return self._build_peer(client, channel_id, capacity, Peer)
+
+    def make_adversarial_peer(
+        self,
+        client: Client,
+        channel_id: str,
+        config: "AdversaryConfig",
+        capacity: int = 4,
+    ) -> "AdversarialPeer":
+        """Wrap a ticketed client as a *Byzantine* overlay peer.
+
+        The adversary is a fully authorized viewer -- it passes every
+        ticket check -- whose misbehavior schedule is ``config``.
+        """
+        from repro.p2p.adversary import AdversarialPeer
+
+        return self._build_peer(
+            client, channel_id, capacity, AdversarialPeer, config=config
+        )
+
+    def _build_peer(self, client, channel_id, capacity, peer_cls, **extra):
         if client.channel_ticket is None or client.channel_ticket.channel_id != channel_id:
             raise ReproError("client must hold a channel ticket for this channel")
         record = self.policy_manager.get_channel(channel_id)
         geo_record = self.geo.lookup(client.net_addr)
-        peer = Peer(
+        peer = peer_cls(
             peer_id=f"peer-{client.channel_ticket.user_id}",
             client=client,
             channel_id=channel_id,
@@ -1110,11 +1207,15 @@ class Deployment:
             capacity=capacity,
             region=geo_record.region if geo_record is not None else "?",
             asn=geo_record.asn if geo_record is not None else 0,
+            **extra,
         )
         if self.tracer is not None:
             peer.tracer = self.tracer
         if self.crypto_pool is not None:
             peer.crypto_pool = self.crypto_pool
+        if self.scorecard is not None:
+            peer.scorecard = self.scorecard
+            self.scorecard.note_address(peer.peer_id, peer.address)
         return peer
 
     def watch(self, client: Client, channel_id: str, now: float, capacity: int = 4) -> Peer:

@@ -182,6 +182,22 @@ class UnresolvableAddressError(TransportError):
     """
 
 
+class ReplayError(ProtocolError):
+    """A key update replayed material older than the replay window.
+
+    Content keys activate monotonically; an update whose activation
+    time trails the newest accepted key by more than the receiver's
+    replay window cannot be honest re-delivery (duplicates carry the
+    *same* activation time) -- it is a replayed old serial trying to
+    re-enter the key ring after its dedup marker aged out.
+    """
+
+
+class RateLimitError(AuthorizationError):
+    """A manager refused a request because the source exceeded its
+    per-address request budget (JOIN/SWITCH flood containment)."""
+
+
 class SimulationError(ReproError):
     """Misuse of the discrete-event simulation substrate."""
 

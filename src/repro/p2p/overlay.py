@@ -26,6 +26,7 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import CapacityError, OverlayError
 from repro.p2p.peer import Peer
+from repro.p2p.scorecard import DEPTH_LIE
 from repro.p2p.substreams import ParentPlan, SubstreamAssignment
 
 
@@ -133,6 +134,67 @@ class RepairRecord:
 RepairRanker = Callable[[str, List[Peer], int], List[PeerDescriptor]]
 
 
+class BoundedLog:
+    """A ring buffer with list semantics plus drop accounting.
+
+    The repair log used to be a bare ``List[RepairRecord]``, which a
+    week-long storm grows without limit.  This keeps the most recent
+    ``maxlen`` records, counts what it sheds (``dropped``), and tracks
+    the all-time append count (``total``) so windowed consumers can
+    mark a position with ``mark = log.total`` and later drain
+    ``log.since(mark)`` -- correct even when the window's oldest
+    records were dropped in between (unlike a ``len()`` mark, which
+    shifts as the ring sheds).
+    """
+
+    def __init__(self, maxlen: int = 10_000) -> None:
+        if maxlen <= 0:
+            raise ValueError("maxlen must be positive")
+        self.maxlen = maxlen
+        self._records: List = []
+        #: Records shed to honor ``maxlen`` (oldest-first).
+        self.dropped = 0
+        #: All-time appends (surviving + dropped).
+        self.total = 0
+
+    def append(self, record) -> None:
+        self._records.append(record)
+        self.total += 1
+        overflow = len(self._records) - self.maxlen
+        if overflow > 0:
+            del self._records[:overflow]
+            self.dropped += overflow
+
+    def since(self, mark: int) -> List:
+        """Records appended after ``total`` was ``mark``.
+
+        If the ring already shed part of that window, the surviving
+        suffix is returned (the caller can detect shortfall by
+        comparing ``len(result)`` against ``log.total - mark``).
+        """
+        wanted = self.total - mark
+        if wanted <= 0:
+            return []
+        if wanted >= len(self._records):
+            return list(self._records)
+        return self._records[len(self._records) - wanted :]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+
 class ChannelOverlay:
     """All peers carrying one channel, rooted at the Channel Server."""
 
@@ -165,8 +227,15 @@ class ChannelOverlay:
         #: that builds SWITCH2 lists); None = legacy uniform shuffle.
         self.repair_ranker: Optional[RepairRanker] = None
         #: One record per orphan processed by :meth:`remove_peer`; the
-        #: flash-crowd driver drains this to price repair time.
-        self.repair_log: List[RepairRecord] = []
+        #: flash-crowd driver drains this to price repair time.  Bounded:
+        #: long storms shed the oldest records (``repair_log.dropped``
+        #: counts the shed) instead of growing without limit.
+        self.repair_log = BoundedLog(maxlen=10_000)
+        #: Shared PeerScorecard, attached by
+        #: Deployment.enable_misbehavior_detection().  When present,
+        #: quarantined peers are excluded from peer lists and repair
+        #: candidates, and :meth:`contain` evicts them.
+        self.scorecard = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -179,6 +248,15 @@ class ChannelOverlay:
                 f"peer carries {peer.channel_id!r}, overlay is {self.channel_id!r}"
             )
         self.peers[peer.peer_id] = peer
+        if self.scorecard is not None:
+            peer.scorecard = self.scorecard
+            self.scorecard.note_address(peer.peer_id, peer.address)
+
+    def _admissible(self, peer: Peer) -> bool:
+        """False when the detection plane has quarantined this peer."""
+        return self.scorecard is None or not self.scorecard.is_quarantined(
+            peer.peer_id
+        )
 
     def lookup(self, peer_id: str) -> Peer:
         """Resolve a peer id (including the source)."""
@@ -212,7 +290,10 @@ class ChannelOverlay:
         candidates = [
             peer
             for peer in self.peers.values()
-            if peer.alive and peer.spare_capacity > 0 and peer.address != exclude_addr
+            if peer.alive
+            and peer.spare_capacity > 0
+            and peer.address != exclude_addr
+            and self._admissible(peer)
         ]
         self._rng.shuffle(candidates)
         chosen = candidates[: max(0, count - 1)]
@@ -456,6 +537,7 @@ class ChannelOverlay:
                 and member.spare_capacity > 0
                 and member.address != orphan.address
                 and member.peer_id in connected
+                and self._admissible(member)
             ]
             if self.repair_ranker is not None:
                 # Repair reuses the same locality/capacity ranking that
@@ -498,6 +580,62 @@ class ChannelOverlay:
             for peer_id, plan in self.plans.items()
             if peer_id in self.peers and not plan.complete
         ]
+
+    # ------------------------------------------------------------------
+    # Byzantine containment
+    # ------------------------------------------------------------------
+
+    def contain(self, now: float) -> List[str]:
+        """Evict quarantined members; returns the evicted peer ids.
+
+        Eviction reuses :meth:`remove_peer`, so each evicted peer's
+        children re-join through the ranked repair path -- which
+        excludes quarantined candidates (:meth:`_admissible`), so
+        repair routes around the adversary by construction.  Run this
+        periodically (the chaos rigs sweep once per key epoch).
+        """
+        if self.scorecard is None:
+            return []
+        evicted: List[str] = []
+        for peer_id in sorted(self.scorecard.quarantined()):
+            if peer_id not in self.peers:
+                continue
+            repaired = self.remove_peer(peer_id, now)
+            evicted.append(peer_id)
+            self.scorecard.counters.peers_evicted += 1
+            self.scorecard.counters.eviction_repairs += len(repaired)
+            self.scorecard.events.append((now, "evict", peer_id))
+            if self.scorecard.tracer is not None:
+                span = self.scorecard.tracer.start_span(
+                    "ADVERSARY.evict", now=now, kind="adversary"
+                )
+                span.annotate("peer", peer_id)
+                span.annotate("children_repaired", len(repaired))
+                self.scorecard.tracer.finish(span, now=now)
+        return evicted
+
+    def audit_depths(self, now: float, tolerance: int = 1) -> List[str]:
+        """Cross-check advertised depths against the measured tree.
+
+        A peer claiming to sit *shallower* than the BFS truth by more
+        than ``tolerance`` hops is gaming parent selection (ranked
+        lists prefer shallow parents) and is reported as a depth liar.
+        Claiming deeper is self-defeating and not flagged.  The
+        tolerance absorbs honest heartbeat lag: a peer re-parented
+        since its last key epoch is up to one refresh stale.
+        """
+        if self.scorecard is None:
+            return []
+        measured = self.depths()
+        flagged: List[str] = []
+        for peer_id, true_depth in measured.items():
+            peer = self.peers.get(peer_id)
+            if peer is None:
+                continue
+            if true_depth - peer.depth > tolerance:
+                self.scorecard.report(peer_id, DEPTH_LIE, now=now)
+                flagged.append(peer_id)
+        return flagged
 
     # ------------------------------------------------------------------
     # Invariants and stats

@@ -38,7 +38,8 @@ from repro.core.tickets import ChannelTicket
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPublicKey
 from repro.crypto.stream import SymmetricKey
-from repro.errors import AuthorizationError, OverlayError, ReproError
+from repro.errors import AuthorizationError, OverlayError, ReplayError, ReproError
+from repro.p2p.scorecard import MISSING_KEY, POLLUTION, REPLAY
 from repro.p2p.substreams import SubstreamAssignment
 from repro.trace.span import Tracer, maybe_span
 
@@ -121,6 +122,11 @@ class Peer:
         #: the key fan-out in :meth:`push_key_update` runs its
         #: per-child sealing on worker processes.  None = in-process.
         self.crypto_pool = None
+        #: Shared PeerScorecard, attached by
+        #: Deployment.enable_misbehavior_detection().  When present,
+        #: undecryptable packets and replayed key updates are
+        #: attributed to the forwarding parent.  None = no detection.
+        self.scorecard = None
 
     @property
     def address(self) -> str:
@@ -281,6 +287,7 @@ class Peer:
                 serial=serial,
                 encrypted_content_key=blob,
                 activate_at=activate_at,
+                parent_depth=self.depth,
             )
             sent += link.child_peer.receive_key_update(update, parent=self, now=now)
         return sent
@@ -291,13 +298,35 @@ class Peer:
             self.tracer, "KEYPUSH.recv", now=now, kind="push",
             peer=self.peer_id, serial=update.serial,
         ) as span:
-            fresh = self.client.receive_key_update(update, parent_id=parent.peer_id)
+            try:
+                fresh = self.client.receive_key_update(
+                    update, parent_id=parent.peer_id
+                )
+            except ReplayError:
+                # The parent pushed a key older than the replay window:
+                # either it is far behind the stream (useless as a
+                # parent) or it is mounting a replay attack.  Both are
+                # reasons to route around it.
+                if span is not None:
+                    span.annotate("replay_rejected", True)
+                if self.scorecard is not None:
+                    self.scorecard.report(parent.peer_id, REPLAY, now=now)
+                return 0
+            # Heartbeat: the update carries the sender's depth, so our
+            # own depth refreshes once per key epoch instead of only at
+            # join time.  (AdversarialPeer overrides this to keep its
+            # advertised lie.)
+            self._adopt_heartbeat_depth(update)
             if not fresh:
                 if span is not None:
                     span.annotate("duplicate", True)
                 return 0
             content_key = self.client.key_ring.get(update.serial)
             return self._push_key_to_children(content_key, now)
+
+    def _adopt_heartbeat_depth(self, update: KeyUpdate) -> None:
+        if update.parent_depth >= 0:
+            self.depth = update.parent_depth + 1
 
     # ------------------------------------------------------------------
     # Content forwarding
@@ -320,10 +349,15 @@ class Peer:
             self.packets_forwarded += 1
             dataplane_counters.packets_forwarded += 1
             reached += 1
-            link.child_peer.deliver_packet(packet, substream_count)
+            link.child_peer.deliver_packet(packet, substream_count, from_peer=self)
         return reached
 
-    def deliver_packet(self, packet: ContentPacket, substream_count: int = 1) -> None:
+    def deliver_packet(
+        self,
+        packet: ContentPacket,
+        substream_count: int = 1,
+        from_peer: Optional["Peer"] = None,
+    ) -> None:
         """Receive a packet: decrypt for local playback, then forward."""
         try:
             self.client.receive_packet(packet)
@@ -334,8 +368,26 @@ class Peer:
             # events become observable in ``Deployment.metrics``.
             self.packets_dropped_undecryptable += 1
             dataplane_counters.packets_dropped_undecryptable += 1
+            self._attribute_bad_packet(packet, from_peer)
             return
         self.forward_packet(packet, substream_count)
+
+    def _attribute_bad_packet(
+        self, packet: ContentPacket, from_peer: Optional["Peer"]
+    ) -> None:
+        """Charge an undecryptable packet to the parent that sent it.
+
+        Holding the packet's key means the ciphertext failed its AEAD
+        tag -- the parent forwarded polluted bytes.  Not holding the
+        key is weaker evidence (we may simply be behind), so it counts
+        as key-withholding *suspicion* at reduced weight.
+        """
+        if self.scorecard is None or from_peer is None:
+            return
+        if self.client.key_ring.has(packet.serial):
+            self.scorecard.report(from_peer.peer_id, POLLUTION)
+        else:
+            self.scorecard.report(from_peer.peer_id, MISSING_KEY, weight=0.5)
 
     # ------------------------------------------------------------------
     # Ticket-expiry enforcement (Section IV-D)

@@ -1,0 +1,239 @@
+"""Per-peer misbehavior scoring, quarantine, and detection events.
+
+The paper's DRM holds cryptographically against untrusted peers (AEAD
+tags reject polluted packets, tickets gate admission), but *liveness*
+under Byzantine peers needs an overlay-side answer: a parent that
+feeds garbage, withholds keys, or games the ranking must be detected
+from its observable behavior and routed around.  The
+:class:`PeerScorecard` is that answer -- a decayed misbehavior score
+per peer, fed by attribution hooks in the data plane
+(:meth:`repro.p2p.peer.Peer.deliver_packet`), the key-distribution
+plane (replay-window rejections), the ranking auditor
+(:meth:`repro.p2p.overlay.ChannelOverlay.audit_depths`), and the
+Channel Manager's JOIN rate limiter.
+
+Scores decay exponentially (half-life ``half_life`` seconds) so an
+honest peer that suffered a transient glitch recovers, while a peer
+that keeps misbehaving crosses ``quarantine_threshold`` and is
+quarantined: excluded from peer lists and repair candidate sets, and
+evicted from the tree by the containment sweep
+(:meth:`~repro.p2p.overlay.ChannelOverlay.contain`).  Detection and
+quarantine transitions are recorded as ``kind="adversary"`` trace
+spans and in :class:`~repro.metrics.adversary.MisbehaviorCounters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.metrics.adversary import MisbehaviorCounters
+from repro.trace.span import Tracer
+
+#: Misbehavior kinds (the detection plane's vocabulary).
+POLLUTION = "pollution"
+MISSING_KEY = "missing_key"
+REPLAY = "replay"
+DEPTH_LIE = "depth_lie"
+JOIN_FLOOD = "join_flood"
+
+#: Score added per report, by kind.  Depth lies weigh double: a single
+#: audit finding is already cross-checked against the measured tree,
+#: so it carries more evidence than one bad packet.
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    POLLUTION: 1.0,
+    MISSING_KEY: 1.0,
+    REPLAY: 1.0,
+    DEPTH_LIE: 2.0,
+    JOIN_FLOOD: 1.0,
+}
+
+#: Counter field bumped per kind (see MisbehaviorCounters).
+_COUNTER_FIELDS: Dict[str, str] = {
+    POLLUTION: "pollution_detected",
+    MISSING_KEY: "missing_key_detected",
+    REPLAY: "key_replays_rejected",
+    DEPTH_LIE: "depth_lies_detected",
+    JOIN_FLOOD: "joins_rate_limited",
+}
+
+
+@dataclass
+class _Score:
+    points: float = 0.0
+    updated_at: float = 0.0
+    reports: Dict[str, int] = field(default_factory=dict)
+
+
+class PeerScorecard:
+    """Decayed misbehavior counters and the quarantine set.
+
+    Parameters
+    ----------
+    half_life:
+        Seconds for a peer's score to decay by half.  Sized to a few
+        key epochs: misbehavior evidence goes stale at roughly the
+        rate the key schedule turns over.
+    quarantine_threshold:
+        Decayed score at which a peer is quarantined.
+    counters:
+        Shared :class:`MisbehaviorCounters` block (one per deployment).
+    tracer:
+        Optional tracer; detection/quarantine events become
+        ``kind="adversary"`` spans.
+    """
+
+    def __init__(
+        self,
+        half_life: float = 120.0,
+        quarantine_threshold: float = 3.0,
+        counters: Optional[MisbehaviorCounters] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if half_life <= 0:
+            raise ValueError("half-life must be positive")
+        if quarantine_threshold <= 0:
+            raise ValueError("quarantine threshold must be positive")
+        self.half_life = half_life
+        self.quarantine_threshold = quarantine_threshold
+        self.counters = counters if counters is not None else MisbehaviorCounters()
+        self.tracer = tracer
+        self._scores: Dict[str, _Score] = {}
+        self._quarantined: Set[str] = set()
+        self._by_address: Dict[str, str] = {}
+        #: ``(when, kind, peer_id)`` log in :mod:`repro.sim.faults`
+        #: event style; chaos reports print it next to fault events.
+        self.events: List[Tuple[float, str, str]] = []
+        #: Monotone high-water mark of report times; the fallback clock
+        #: for call sites without a ``now`` in scope (raw data-plane
+        #: forwarding carries no timestamps).
+        self._last_now = 0.0
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Advance the fallback clock used by un-timestamped reports
+        (the data plane has no ``now`` in scope when it attributes a
+        bad packet; drivers call this once per simulation step)."""
+        self._last_now = max(self._last_now, now)
+
+    def note_address(self, peer_id: str, address: str) -> None:
+        """Remember a peer's address so network-level detectors (the
+        CM rate limiter sees addresses, not peer ids) can attribute."""
+        self._by_address[address] = peer_id
+
+    def peer_for_address(self, address: str) -> Optional[str]:
+        return self._by_address.get(address)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        peer_id: str,
+        kind: str,
+        now: Optional[float] = None,
+        weight: Optional[float] = None,
+    ) -> bool:
+        """Record one misbehavior observation against ``peer_id``.
+
+        Returns True when this report *newly* quarantines the peer.
+        """
+        if kind not in DEFAULT_WEIGHTS:
+            raise ValueError(f"unknown misbehavior kind: {kind!r}")
+        when = self._clocked(now)
+        score = self._scores.setdefault(peer_id, _Score(updated_at=when))
+        score.points = self._decayed(score, when) + (
+            DEFAULT_WEIGHTS[kind] if weight is None else weight
+        )
+        score.updated_at = when
+        score.reports[kind] = score.reports.get(kind, 0) + 1
+        field_name = _COUNTER_FIELDS[kind]
+        setattr(self.counters, field_name, getattr(self.counters, field_name) + 1)
+        self.events.append((when, f"detect:{kind}", peer_id))
+        self._span("ADVERSARY.detect", when, peer_id, kind=kind, score=score.points)
+        if peer_id not in self._quarantined and (
+            score.points >= self.quarantine_threshold
+        ):
+            self._quarantined.add(peer_id)
+            self.counters.peers_quarantined += 1
+            self.events.append((when, "quarantine", peer_id))
+            self._span("ADVERSARY.quarantine", when, peer_id, score=score.points)
+            return True
+        return False
+
+    def report_address(
+        self, address: str, kind: str, now: Optional[float] = None
+    ) -> Optional[str]:
+        """Attribute a network-level observation by address.
+
+        Returns the resolved peer id, or None when the address is not
+        a known overlay member (the observation is still counted).
+        """
+        peer_id = self._by_address.get(address)
+        if peer_id is None:
+            # Count the observation even without an overlay identity --
+            # a flooder need not have joined the tree to hammer the CM.
+            field_name = _COUNTER_FIELDS[kind]
+            setattr(self.counters, field_name, getattr(self.counters, field_name) + 1)
+            self.events.append((self._clocked(now), f"detect:{kind}", address))
+            return None
+        self.report(peer_id, kind, now=now)
+        return peer_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def score(self, peer_id: str, now: Optional[float] = None) -> float:
+        """The decayed score as of ``now`` (0.0 for a clean peer)."""
+        record = self._scores.get(peer_id)
+        if record is None:
+            return 0.0
+        return self._decayed(record, self._clocked(now))
+
+    def report_counts(self, peer_id: str) -> Dict[str, int]:
+        """Undecayed per-kind report tallies (forensics, tests)."""
+        record = self._scores.get(peer_id)
+        return dict(record.reports) if record is not None else {}
+
+    def is_quarantined(self, peer_id: str) -> bool:
+        return peer_id in self._quarantined
+
+    def quarantined(self) -> Set[str]:
+        return set(self._quarantined)
+
+    def release(self, peer_id: str, now: Optional[float] = None) -> None:
+        """Lift a quarantine (operator override); the score restarts."""
+        if peer_id in self._quarantined:
+            self._quarantined.discard(peer_id)
+            self._scores.pop(peer_id, None)
+            self.events.append((self._clocked(now), "release", peer_id))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _decayed(self, record: _Score, now: float) -> float:
+        elapsed = max(0.0, now - record.updated_at)
+        if elapsed == 0.0 or record.points == 0.0:
+            return record.points
+        return record.points * (0.5 ** (elapsed / self.half_life))
+
+    def _clocked(self, now: Optional[float]) -> float:
+        if now is not None:
+            self._last_now = max(self._last_now, now)
+            return now
+        return self._last_now
+
+    def _span(self, name: str, when: float, peer_id: str, **annotations) -> None:
+        if self.tracer is None:
+            return
+        span = self.tracer.start_span(name, now=when, kind="adversary")
+        span.annotate("peer", peer_id)
+        for key, value in annotations.items():
+            span.annotate(key, value)
+        self.tracer.finish(span, now=when)

@@ -114,7 +114,10 @@ class RegionAwarePeerSampler:
         candidates = [
             peer
             for peer in overlay.peers.values()
-            if peer.alive and peer.spare_capacity > 0 and peer.address != exclude_addr
+            if peer.alive
+            and peer.spare_capacity > 0
+            and peer.address != exclude_addr
+            and overlay._admissible(peer)
         ]
         local = [p for p in candidates if p.region == requester_region]
         remote = [p for p in candidates if p.region != requester_region]
@@ -199,7 +202,10 @@ class RankedPeerListProvider:
         return [
             peer
             for peer in overlay.peers.values()
-            if peer.alive and peer.spare_capacity > 0 and peer.address != exclude_addr
+            if peer.alive
+            and peer.spare_capacity > 0
+            and peer.address != exclude_addr
+            and overlay._admissible(peer)
         ]
 
     @staticmethod

@@ -217,10 +217,10 @@ def run_overlay_storm(config: OverlayStormConfig) -> OverlayStormResult:
             peer = peers.pop(spec.index, None)
             if peer is None or peer.peer_id not in overlay.peers:
                 continue  # never joined, or already severed
-            log_mark = len(overlay.repair_log)
+            log_mark = overlay.repair_log.total
             overlay.remove_peer(peer.peer_id, now=event.time)
             result.departed += 1
-            for record in overlay.repair_log[log_mark:]:
+            for record in overlay.repair_log.since(log_mark):
                 # Price the orphan's repair: one list re-fetch at the
                 # CM, then the recorded number of JOIN attempts.  The
                 # final (accepted) attempt's locality is known from the

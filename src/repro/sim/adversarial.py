@@ -1,0 +1,465 @@
+"""Adversarial chaos scenarios: Byzantine peers vs. the detection plane.
+
+The crash/partition/brownout scenarios in :mod:`repro.sim.chaos` all
+assume honest components failing honestly.  These scenarios assume the
+opposite -- authorized peers that *misbehave*: polluting forwarded
+packets, withholding or replaying content keys, lying about tree depth
+to game parent selection, and flooding the Channel Manager with JOINs.
+
+Every scenario runs a real deployment (CM-issued tickets, ranked peer
+lists, the actual overlay cascade) with ~20% adversarial peers and
+checks the two invariants the paper's threat model demands, plus the
+detect -> quarantine -> evict -> repair pipeline:
+
+* **zero tampered decryptions, ever** -- asserted against the
+  adversary's ground-truth log of polluted ciphertexts, not against a
+  heuristic: if any honest client successfully decrypts polluted
+  bytes, AEAD is broken and the run fails;
+* **playback survives** -- at least ``min_uninterrupted`` (default
+  0.95) of the honest viewers still decrypt fresh packets after the
+  horizon, with the adversaries detected and routed around;
+* **the pipeline is observable** -- detection, quarantine, and
+  eviction show up as ``kind="adversary"`` trace spans, scorecard
+  events, and ``adversary.*`` registry counters.
+
+``CHAOS_ADV_VIEWERS`` overrides the honest-viewer count (CI smoke runs
+use a reduced fleet).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.deployment import Deployment
+from repro.errors import RateLimitError, ReproError
+from repro.p2p.adversary import AdversarialPeer, AdversaryConfig
+from repro.sim.chaos import ChaosConfig, ScenarioResult
+
+#: Honest viewers unless CHAOS_ADV_VIEWERS overrides; one adversary per
+#: four honest viewers makes the fleet exactly 20% adversarial.
+DEFAULT_VIEWERS = 20
+KEY_EPOCH = 60.0
+STEP = 10.0
+
+
+def _viewer_count(config: ChaosConfig) -> int:
+    env = os.environ.get("CHAOS_ADV_VIEWERS")
+    if env is not None:
+        return max(4, int(env))
+    return max(DEFAULT_VIEWERS, config.clients)
+
+
+class AdversarialRig:
+    """One channel, a mixed honest/Byzantine fleet, a manual clock.
+
+    The rig drives the overlay directly (source tick + packet
+    broadcast each step, a containment sweep each key epoch) the way
+    the flash-crowd storm driver does -- no virtual network needed,
+    the misbehavior is all above the transport.
+    """
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        adversary: AdversaryConfig,
+        adversaries_first: bool = True,
+        join_rate_limit: Optional[Tuple[int, float]] = None,
+    ) -> None:
+        self.config = config
+        self.viewers = _viewer_count(config)
+        self.n_adversaries = max(1, round(self.viewers * 0.25))
+        self.deployment = Deployment(seed=config.seed, source_capacity=4)
+        self.tracer = self.deployment.enable_tracing()
+        # A long half-life inside one run: evidence from the fault
+        # window must not decay away before the containment sweep.
+        self.scorecard = self.deployment.enable_misbehavior_detection(
+            half_life=600.0,
+            quarantine_threshold=3.0,
+            join_rate_limit=join_rate_limit,
+        )
+        self.deployment.add_free_channel(
+            config.channel, regions=["CH"], now=0.0, key_epoch=KEY_EPOCH
+        )
+        self.overlay = self.deployment.overlay(config.channel)
+        self.honest_clients = []
+        self.honest_peers = []
+        self.adversaries: List[AdversarialPeer] = []
+        self.violations: List[str] = []
+        self._decrypt_marks: Dict[str, int] = {}
+
+        adversarial = [(f"byz{i}@example.org", True) for i in range(self.n_adversaries)]
+        honest = [(f"viewer{i}@example.org", False) for i in range(self.viewers)]
+        if adversaries_first:
+            # Scatter the adversaries through the join order (one per
+            # honest stride).  Joining them in a block would stack them
+            # at the top of the tree where they only parent each other
+            # -- a blackout, not the detectable-misbehavior regime
+            # these scenarios exercise.  Interleaved, each adversary
+            # lands under an honest parent and collects honest
+            # children.
+            stride = max(1, self.viewers // self.n_adversaries)
+            # First adversary right after the second honest joiner --
+            # early enough that shallow slots are still open, so its
+            # inflated capacity advertisement actually wins it honest
+            # children through the ranked pipeline.  Later slots at
+            # stride intervals may land deep and childless; the gates
+            # only need the exposed ones.
+            slots = {2 + k * stride for k in range(self.n_adversaries)}
+            joiners: List[Tuple[str, bool]] = []
+            pending = list(adversarial)
+            for index, entry in enumerate(honest):
+                joiners.append(entry)
+                if (index + 1) in slots and pending:
+                    joiners.append(pending.pop(0))
+            joiners.extend(pending)
+        else:
+            joiners = honest + adversarial
+        for index, (email, is_adversary) in enumerate(joiners):
+            now = float(index)
+            client = self.deployment.create_client(email, f"pw{index}", region="CH")
+            client.login(now=now)
+            response = client.switch_channel(config.channel, now=now)
+            if is_adversary:
+                # Extra uplink budget: a misbehaving peer *advertising*
+                # generous capacity is exactly how a real polluter
+                # maximizes its blast radius through ranked selection.
+                peer = self.deployment.make_adversarial_peer(
+                    client, config.channel, config=adversary, capacity=8
+                )
+                self.adversaries.append(peer)
+            else:
+                peer = self.deployment.make_peer(client, config.channel)
+                self.honest_clients.append(client)
+                self.honest_peers.append(peer)
+            self.overlay.join(peer, response.peers, now)
+        for client in self.honest_clients:
+            self._guard_client(client)
+
+    # -- ground-truth pollution guard -----------------------------------
+
+    def _guard_client(self, client) -> None:
+        """No honest client may ever *successfully* decrypt polluted
+        bytes.  Tampered copies share (serial, sequence) with the
+        honest original, so the check keys on the exact ciphertext."""
+        original = client.receive_packet
+        adversaries = self.adversaries
+        violations = self.violations
+
+        def guarded(packet):
+            payload = original(packet)
+            for adversary in adversaries:
+                if packet.ciphertext in adversary.tampered_blobs:
+                    violations.append(
+                        f"{client.email} decrypted tampered packet "
+                        f"{packet.serial}:{packet.sequence} from {adversary.peer_id}"
+                    )
+            return payload
+
+        client.receive_packet = guarded
+
+    # -- driving --------------------------------------------------------
+
+    def run_clock(
+        self, on_step: Optional[Callable[[float], None]] = None
+    ) -> None:
+        """Broadcast + key rotation to the horizon, containment sweeps
+        once per key epoch."""
+        t = 0.0
+        next_sweep = KEY_EPOCH
+        while t <= self.config.horizon:
+            self.scorecard.advance(t)
+            self.overlay.source.tick(t)
+            self.overlay.source.broadcast_packet(t)
+            if on_step is not None:
+                on_step(t)
+            if t >= next_sweep:
+                self.deployment.contain_misbehavior(t)
+                next_sweep += KEY_EPOCH
+            t += STEP
+
+    def playback_fraction(self) -> float:
+        """Fraction of honest viewers decrypting *fresh* packets after
+        the horizon (the paper's bar: authorized playback survives)."""
+        horizon = self.config.horizon
+        marks = {c.email: c.packets_decrypted for c in self.honest_clients}
+        for i in range(3):
+            now = horizon + float(i + 1)
+            self.overlay.source.tick(now)
+            self.overlay.source.broadcast_packet(now)
+        playing = sum(
+            1 for c in self.honest_clients if c.packets_decrypted > marks[c.email]
+        )
+        return playing / max(1, len(self.honest_clients))
+
+    # -- result assembly ------------------------------------------------
+
+    def finish(self, name: str, extra_violations: List[str]) -> ScenarioResult:
+        violations = list(self.violations) + list(extra_violations)
+        counters = {
+            f"adversary.{key}": float(value)
+            for key, value in self.deployment.misbehavior.snapshot().items()
+        }
+        counters["overlay.repairs"] = float(self.overlay.repairs)
+        counters["overlay.repair_log_dropped"] = float(self.overlay.repair_log.dropped)
+        counters["honest_viewers"] = float(len(self.honest_clients))
+        counters["adversaries"] = float(len(self.adversaries))
+        span_counts = Counter(
+            span.name for span in self.tracer.spans if span.kind == "adversary"
+        )
+        # Fault log: one line per adversary (what it injected), then
+        # the scorecard's quarantine/evict transitions.
+        fault_events: List[tuple] = []
+        for peer in self.adversaries:
+            injected = Counter(kind for kind, _ in peer.injection_log)
+            fault_events.append(
+                (peer.config.start, "adversary", f"{peer.peer_id} {dict(injected)}")
+            )
+        fault_events.extend(
+            (when, kind, target)
+            for when, kind, target in self.scorecard.events
+            if not kind.startswith("detect:")
+        )
+        return ScenarioResult(
+            name=name,
+            passed=not violations,
+            violations=violations,
+            horizon=self.config.horizon,
+            fault_events=fault_events,
+            outcomes=[],
+            counters=counters,
+            resilience_spans=dict(span_counts),
+        )
+
+    # -- shared invariant helpers ---------------------------------------
+
+    def require_playback(self, violations: List[str]) -> float:
+        fraction = self.playback_fraction()
+        if fraction < self.config.min_uninterrupted:
+            violations.append(
+                f"only {fraction:.0%} of honest viewers kept playback "
+                f"(bar {self.config.min_uninterrupted:.0%})"
+            )
+        return fraction
+
+    def require_pipeline(
+        self, violations: List[str], detection_counter: str
+    ) -> None:
+        """Detection fired, quarantine happened, eviction repaired."""
+        snapshot = self.deployment.misbehavior.snapshot()
+        if snapshot[detection_counter] == 0:
+            violations.append(f"no {detection_counter} detections recorded")
+        if snapshot["peers_quarantined"] == 0:
+            violations.append("no peer was quarantined")
+        if snapshot["peers_evicted"] == 0:
+            violations.append("no peer was evicted")
+        names = {s.name for s in self.tracer.spans if s.kind == "adversary"}
+        for required in ("ADVERSARY.detect", "ADVERSARY.quarantine", "ADVERSARY.evict"):
+            if required not in names:
+                violations.append(f"missing {required} trace span")
+        quarantined = self.scorecard.quarantined()
+        honest_ids = {peer.peer_id for peer in self.honest_peers}
+        framed = sorted(quarantined & honest_ids)
+        if framed:
+            violations.append(f"honest peers quarantined: {framed}")
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+
+def polluting_parents(config: Optional[ChaosConfig] = None) -> ScenarioResult:
+    """20% of the fleet tampers every packet it forwards from t=150.
+
+    The adversaries join first, behave, and earn children -- then turn.
+    Acceptance: no honest client ever decrypts polluted bytes (AEAD
+    holds), pollution is attributed to the forwarding parents, the
+    polluters are quarantined and evicted, their children re-parent
+    through the ranked repair path, and >=95% of honest viewers are
+    decrypting fresh packets at the horizon.
+    """
+    config = config or ChaosConfig(channel="byz")
+    rig = AdversarialRig(
+        config,
+        AdversaryConfig(tamper_packets=1.0, start=150.0),
+    )
+    rig.run_clock()
+    violations: List[str] = []
+    rig.require_pipeline(violations, "pollution_detected")
+    rig.require_playback(violations)
+    tampered = sum(len(peer.tampered_ids) for peer in rig.adversaries)
+    if tampered == 0:
+        violations.append("adversaries never tampered a packet (rig bug)")
+    return rig.finish("polluting_parents", violations)
+
+
+def key_withholding_parents(config: Optional[ChaosConfig] = None) -> ScenarioResult:
+    """20% of the fleet stops pushing key updates to children at t=150.
+
+    The children keep receiving packets they can no longer decrypt
+    once their key ring ages out; the resulting per-parent missing-key
+    suspicion quarantines the withholders, eviction re-parents the
+    starved subtrees, and join-time key delivery restores playback.
+    """
+    config = config or ChaosConfig(channel="byz")
+    rig = AdversarialRig(
+        config,
+        AdversaryConfig(withhold_keys=True, start=150.0),
+    )
+    rig.run_clock()
+    violations: List[str] = []
+    rig.require_pipeline(violations, "missing_key_detected")
+    rig.require_playback(violations)
+    withheld = sum(
+        1 for peer in rig.adversaries for kind, _ in peer.injection_log
+        if kind == "withhold"
+    )
+    if withheld == 0:
+        violations.append("adversaries never withheld a key (rig bug)")
+    return rig.finish("key_withholding_parents", violations)
+
+
+def depth_liars(config: Optional[ChaosConfig] = None) -> ScenarioResult:
+    """Late joiners advertise depth 0 to game the ranked parent lists.
+
+    The liars join *after* the honest fleet (so their true depth is
+    >=2), pin their advertised depth at 0, and would soak up every
+    future join.  The overlay's depth audit cross-checks advertised
+    depths against the measured tree, quarantines the liars, and
+    evicts them.  This also proves the honest heartbeat path: honest
+    peers' depths must track the measured tree within the audit
+    tolerance (they refresh once per key epoch via ``parent_depth``).
+    """
+    config = config or ChaosConfig(channel="byz")
+    rig = AdversarialRig(
+        config,
+        AdversaryConfig(lie_depth=0, start=0.0),
+        adversaries_first=False,
+    )
+    rig.run_clock()
+    violations: List[str] = []
+    rig.require_pipeline(violations, "depth_lies_detected")
+    rig.require_playback(violations)
+    # Honest-update path: measured depth vs. heartbeat-refreshed depth.
+    measured = rig.overlay.depths()
+    stale = [
+        (peer.peer_id, peer.depth, measured[peer.peer_id])
+        for peer in rig.honest_peers
+        if peer.peer_id in measured and abs(peer.depth - measured[peer.peer_id]) > 1
+    ]
+    if stale:
+        violations.append(f"honest depths drifted from measured tree: {stale[:5]}")
+    return rig.finish("depth_liars", violations)
+
+
+def join_flood(config: Optional[ChaosConfig] = None) -> ScenarioResult:
+    """One authorized client hammers SWITCH from t=150 onward.
+
+    The CM's per-address sliding-window rate limiter sheds the flood
+    before signature work; honest viewers -- including one that joins
+    *during* the flood from its own address -- are untouched.
+    """
+    config = config or ChaosConfig(channel="byz")
+    rig = AdversarialRig(
+        config,
+        AdversaryConfig(),  # the flood comes from a client, not a peer
+        join_rate_limit=(5, 60.0),
+    )
+    flooder = rig.deployment.create_client("flood@example.org", "pw", region="CH")
+    flooder.login(now=1.0)
+    flood_state = {"attempts": 0, "refused": 0, "errors": []}
+
+    def flood(now: float) -> None:
+        if now < 150.0:
+            return
+        for _ in range(4):  # 24/min against a 5/min budget
+            flood_state["attempts"] += 1
+            try:
+                flooder.switch_channel(config.channel, now=now)
+            except RateLimitError:
+                flood_state["refused"] += 1
+            except ReproError as exc:
+                flood_state["errors"].append(str(exc))
+
+    late_state = {"joined": False}
+
+    def late_join(now: float) -> None:
+        flood(now)
+        if not late_state["joined"] and now >= 300.0:
+            late_state["joined"] = True
+            client = rig.deployment.create_client(
+                "late@example.org", "pw-late", region="CH"
+            )
+            client.login(now=now)
+            try:
+                response = client.switch_channel(config.channel, now=now)
+                peer = rig.deployment.make_peer(client, config.channel)
+                rig.overlay.join(peer, response.peers, now)
+                rig.honest_clients.append(client)
+                rig.honest_peers.append(peer)
+                rig._guard_client(client)
+            except ReproError as exc:
+                rig.violations.append(f"honest mid-flood join failed: {exc}")
+
+    rig.run_clock(on_step=late_join)
+    violations: List[str] = []
+    snapshot = rig.deployment.misbehavior.snapshot()
+    if snapshot["joins_rate_limited"] == 0:
+        violations.append("rate limiter never fired during the flood")
+    if flood_state["refused"] == 0:
+        violations.append("flooder was never refused")
+    if flood_state["refused"] < flood_state["attempts"] * 0.5:
+        violations.append(
+            f"rate limiter too porous: {flood_state['refused']}/"
+            f"{flood_state['attempts']} refused"
+        )
+    if flood_state["errors"]:
+        violations.append(f"unexpected flood errors: {flood_state['errors'][:3]}")
+    if not late_state["joined"]:
+        violations.append("late honest viewer never attempted its join")
+    rig.require_playback(violations)
+    result = rig.finish("join_flood", violations)
+    result.counters["flood.attempts"] = float(flood_state["attempts"])
+    result.counters["flood.refused"] = float(flood_state["refused"])
+    return result
+
+
+def replay_storm(config: Optional[ChaosConfig] = None) -> ScenarioResult:
+    """20% of the fleet replays its stalest key alongside every fresh one.
+
+    While the replayed serial still sits in a child's ring the
+    activation-time dedup absorbs it silently; once it has aged out,
+    the receiver's replay window rejects it (``ReplayError``), the
+    parent is charged, quarantined, and evicted.  Playback never
+    suffers -- the attack is absorbed at the key ring's edge.
+    """
+    config = config or ChaosConfig(channel="byz")
+    rig = AdversarialRig(
+        config,
+        AdversaryConfig(replay_keys=True, start=60.0),
+    )
+    rig.run_clock()
+    violations: List[str] = []
+    rig.require_pipeline(violations, "key_replays_rejected")
+    rig.require_playback(violations)
+    replayed = sum(
+        1 for peer in rig.adversaries for kind, _ in peer.injection_log
+        if kind == "replay"
+    )
+    if replayed == 0:
+        violations.append("adversaries never replayed a key (rig bug)")
+    # The replayed serials must never regress a ring: every honest
+    # client's newest accepted activation is at the stream head.
+    head = max(
+        (c._newest_key_activation for c in rig.honest_clients), default=0.0
+    )
+    laggards = [
+        c.email
+        for c in rig.honest_clients
+        if head - c._newest_key_activation > 2 * KEY_EPOCH
+    ]
+    if len(laggards) > len(rig.honest_clients) * 0.05:
+        violations.append(f"key rings regressed under replay: {laggards[:5]}")
+    return rig.finish("replay_storm", violations)

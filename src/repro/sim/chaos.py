@@ -580,8 +580,24 @@ def shard_killed_mid_resharding(config: Optional[ChaosConfig] = None) -> Scenari
     )
 
 
+def _adversarial(name: str) -> Callable[[Optional[ChaosConfig]], ScenarioResult]:
+    """Late-bound adversarial scenario (breaks the chaos<->adversarial
+    import cycle: :mod:`repro.sim.adversarial` imports this module's
+    result types at load time)."""
+
+    def run(config: Optional[ChaosConfig] = None) -> ScenarioResult:
+        from repro.sim import adversarial
+
+        return getattr(adversarial, name)(config)
+
+    run.__name__ = name
+    return run
+
+
 #: Scenario registry, in documentation order.  ``manager_crash_mid_storm``
-#: first: it is the acceptance scenario and the CI smoke target.
+#: first: it is the acceptance scenario and the CI smoke target.  The
+#: ``polluting_parents``..``replay_storm`` tail is the Byzantine-peer
+#: suite (see :mod:`repro.sim.adversarial`).
 SCENARIOS: Dict[str, Callable[[Optional[ChaosConfig]], ScenarioResult]] = {
     "manager_crash_mid_storm": manager_crash_mid_storm,
     "rolling_restarts": rolling_restarts,
@@ -589,6 +605,11 @@ SCENARIOS: Dict[str, Callable[[Optional[ChaosConfig]], ScenarioResult]] = {
     "slow_station_brownout": slow_station_brownout,
     "replica_flap": replica_flap,
     "shard_killed_mid_resharding": shard_killed_mid_resharding,
+    "polluting_parents": _adversarial("polluting_parents"),
+    "key_withholding_parents": _adversarial("key_withholding_parents"),
+    "depth_liars": _adversarial("depth_liars"),
+    "join_flood": _adversarial("join_flood"),
+    "replay_storm": _adversarial("replay_storm"),
 }
 
 
@@ -641,8 +662,23 @@ def render_result(result: ScenarioResult) -> str:
         )
     )
     lines.append("")
+    adversary = {
+        k.split(".", 1)[1]: v
+        for k, v in sorted(result.counters.items())
+        if k.startswith("adversary.")
+    }
+    if adversary:
+        lines.append(
+            format_table(
+                ["misbehavior / containment", "count"],
+                [(k, int(v)) for k, v in adversary.items()],
+            )
+        )
+        lines.append("")
     interesting = {
-        k: v for k, v in sorted(result.counters.items()) if v
+        k: v
+        for k, v in sorted(result.counters.items())
+        if v and not k.startswith("adversary.")
     }
     lines.append(f"  counters: {interesting}")
     if result.resilience_spans:

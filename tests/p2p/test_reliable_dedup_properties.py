@@ -1,0 +1,146 @@
+"""Property tests for reliable-delivery dedup pruning.
+
+The dedup state on both ends of a reliable key link is a map of
+``(serial, activate_at)`` markers pruned against a grace window.  The
+soak test in ``test_reliable.py`` exercises one long trajectory; these
+properties pin down the *boundary* behavior for arbitrary inputs:
+
+* the prune comparison is half-open -- a marker whose activation sits
+  exactly ``grace`` seconds in the past is KEPT (``>=`` cutoff), one
+  strictly older is dropped;
+* duplicates inside the window are delivered upward exactly once, for
+  any mix of serials and duplication patterns;
+* serial wraparound (same serial, later activation) is never treated
+  as a duplicate, for any number of generations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import KeyUpdate
+from repro.p2p.reliable import ReliableKeyReceiver, reliable_link_pair
+from repro.sim.engine import Simulator
+
+SERIAL_MODULUS = 256
+
+
+def make_update(serial, activate_at):
+    return KeyUpdate(
+        channel_id="ch",
+        serial=serial,
+        encrypted_content_key=b"k" * 32,
+        activate_at=float(activate_at),
+    )
+
+
+class TestReceiverDedupProperties:
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, SERIAL_MODULUS - 1), st.integers(0, 500)),
+            min_size=1,
+            max_size=60,
+        ),
+        copies=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_unique_markers_delivered_exactly_once(self, pairs, copies):
+        """With an unbounded grace window, every distinct
+        (serial, activate_at) marker reaches the application exactly
+        once no matter how often the link re-delivers it."""
+        delivered = []
+        receiver = ReliableKeyReceiver(delivered.append, grace=1e12)
+        for serial, when in pairs:
+            for _ in range(copies):
+                receiver.receive(make_update(serial, when))
+        unique = {(s, float(w)) for s, w in pairs}
+        assert len(delivered) == len(unique)
+        assert {(u.serial, u.activate_at) for u in delivered} == unique
+
+    @given(grace=st.integers(1, 1000), age=st.integers(0, 2000))
+    @settings(max_examples=100, deadline=None)
+    def test_prune_boundary_is_half_open(self, grace, age):
+        """A marker is pruned iff it is *strictly* older than
+        ``now - grace``; sitting exactly on the cutoff keeps it."""
+        clock = {"now": 0.0}
+        kept = []
+        receiver = ReliableKeyReceiver(
+            kept.append, clock=lambda: clock["now"], grace=float(grace)
+        )
+        receiver.receive(make_update(1, 0.0))
+        clock["now"] = float(age)
+        receiver.receive(make_update(2, float(age)))
+        # cutoff = age - grace; the old marker (activation 0.0) stays
+        # when 0.0 >= age - grace, i.e. age <= grace.
+        assert receiver.dedup_markers == (2 if age <= grace else 1)
+        # A re-delivery of the old update is deduped only while its
+        # marker survives; once pruned, the dedup has forgotten it.
+        before = len(kept)
+        receiver.receive(make_update(1, 0.0))
+        assert len(kept) == before + (0 if age <= grace else 1)
+
+    @given(
+        serial=st.integers(0, SERIAL_MODULUS - 1),
+        epoch=st.integers(1, 600),
+        wraps=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wrapped_serial_redelivered_each_generation(self, serial, epoch, wraps):
+        """Each wraparound generation of a serial is a distinct key:
+        delivered once per generation, deduped within it."""
+        delivered = []
+        receiver = ReliableKeyReceiver(delivered.append, grace=1e12)
+        for generation in range(wraps + 1):
+            activate_at = float(generation * SERIAL_MODULUS * epoch)
+            receiver.receive(make_update(serial, activate_at))
+            receiver.receive(make_update(serial, activate_at))  # duplicate
+        assert len(delivered) == wraps + 1
+        assert [u.activate_at for u in delivered] == [
+            float(g * SERIAL_MODULUS * epoch) for g in range(wraps + 1)
+        ]
+
+    @given(
+        n_epochs=st.integers(10, 300),
+        grace=st.integers(1, 40),
+        lead=st.integers(0, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_marker_count_bounded_by_grace_window(self, n_epochs, grace, lead):
+        """State never exceeds one marker per epoch inside the grace
+        window (plus the activation lead still aging out), for any
+        epoch count: the bound is O(grace), not O(history)."""
+        receiver = ReliableKeyReceiver(lambda u: None, grace=float(grace))
+        for i in range(n_epochs):
+            # Monotone activations with a constant lead; no clock, so
+            # pruning runs off the activations themselves.
+            receiver.receive(make_update(i % SERIAL_MODULUS, i + lead))
+        assert receiver.dedup_markers <= grace + 1
+
+
+class TestSenderDedupProperties:
+    @given(n_epochs=st.integers(5, 80), grace=st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_acked_markers_bounded_and_boundary_kept(self, n_epochs, grace):
+        """Over any lossless run with one key per epoch, the sender's
+        acked-marker state stays within the grace window and the
+        newest marker always survives pruning."""
+        sim = Simulator()
+        received = []
+        sender, receiver = reliable_link_pair(
+            sim,
+            random.Random(7),
+            received.append,
+            loss_probability=0.0,
+            retransmit_interval=0.5,
+            grace=float(grace),
+        )
+        for i in range(n_epochs):
+            update = make_update(i % SERIAL_MODULUS, i + 0.5)
+            sim.schedule(float(i), lambda s, u=update: sender.send(u))
+        sim.run()
+        assert len(received) == n_epochs
+        assert sender.stats.acked == n_epochs
+        # Slack of 2: the ack round-trip delay shifts the prune clock
+        # relative to the activation lattice.
+        assert 1 <= sender.dedup_markers <= grace + 2

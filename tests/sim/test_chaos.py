@@ -20,7 +20,7 @@ from repro.sim.chaos import (
 SMALL = ChaosConfig(clients=4)
 
 
-def test_registry_lists_the_six_scenarios():
+def test_registry_lists_every_scenario():
     assert list(SCENARIOS) == [
         "manager_crash_mid_storm",
         "rolling_restarts",
@@ -28,6 +28,11 @@ def test_registry_lists_the_six_scenarios():
         "slow_station_brownout",
         "replica_flap",
         "shard_killed_mid_resharding",
+        "polluting_parents",
+        "key_withholding_parents",
+        "depth_liars",
+        "join_flood",
+        "replay_storm",
     ]
 
 
@@ -37,7 +42,10 @@ def test_unknown_scenario_is_a_clear_error():
 
 
 @pytest.mark.parametrize("name", list(SCENARIOS))
-def test_scenario_passes_invariants(name):
+def test_scenario_passes_invariants(name, monkeypatch):
+    # The adversarial scenarios honor the same fleet-size knob CI uses;
+    # the infrastructure scenarios ignore it.
+    monkeypatch.setenv("CHAOS_ADV_VIEWERS", "8")
     result = run_scenario(name, SMALL)
     assert result.passed, result.violations
     assert all(o.converged for o in result.outcomes)
