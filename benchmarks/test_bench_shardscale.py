@@ -25,13 +25,20 @@ serialization bug in the placement layer).
 ``SHARDSCALE_BENCH_USERS`` scales the audience and
 ``SHARDSCALE_BENCH_ITERS`` the switch rounds; CI smoke runs use small
 values and assert a loose sanity bound (tiny per-shard batches are too
-noisy for the strict ratio).  Results go to ``BENCH_shardscale.json``
-at the repo root.
+noisy for the strict ratio).  ``SHARDSCALE_BENCH_WORKERS`` puts the
+crypto plane behind a :class:`~repro.parallel.pool.CryptoPool`
+(``Deployment.enable_multicore``) so farm scaling is measured with
+the real multi-core signing path: ``auto`` (the default) sizes the
+pool to the machine and skips pooling entirely on single-core boxes,
+where fork+IPC overhead would only add noise; ``0`` forces the
+in-process path.  Results go to ``BENCH_shardscale.json`` at the
+repo root.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import random
 import time
@@ -42,6 +49,17 @@ from repro.deployment import Deployment
 
 USERS = int(os.environ.get("SHARDSCALE_BENCH_USERS", "48"))
 SWITCH_ROUNDS = int(os.environ.get("SHARDSCALE_BENCH_ITERS", "6"))
+
+
+def _resolve_workers() -> int:
+    raw = os.environ.get("SHARDSCALE_BENCH_WORKERS", "auto")
+    if raw == "auto":
+        cores = multiprocessing.cpu_count()
+        return cores if cores >= 2 else 0
+    return max(0, int(raw))
+
+
+WORKERS = _resolve_workers()
 #: Renewal rounds are bounded by the 1800 s user-ticket lifetime:
 #: renewals at t=800 and t=1600 both fall inside the window of the
 #: previous ticket and before the User Ticket expires.
@@ -77,6 +95,8 @@ def _build(farms: int) -> Tuple[Deployment, List[str], list]:
     partitions = tuple(f"part-{i}" for i in range(farms))
     deployment = Deployment(seed=20080623, n_domains=farms, partitions=partitions)
     runtime = deployment.enable_sharding()
+    if WORKERS:
+        deployment.enable_multicore(workers=WORKERS)
 
     channels = [f"channel-{i:03d}" for i in range(CHANNELS)]
     for channel_id in channels:
@@ -112,6 +132,16 @@ def _channels_of(runtime, channels: List[str], partition: str) -> List[str]:
 
 def _measure(farms: int) -> Dict[str, dict]:
     deployment, channels, clients = _build(farms)
+    try:
+        return _measure_ops(deployment, channels, clients, farms)
+    finally:
+        if deployment.crypto_pool is not None:
+            deployment.crypto_pool.close()
+
+
+def _measure_ops(
+    deployment: Deployment, channels: List[str], clients: list, farms: int
+) -> Dict[str, dict]:
     runtime = deployment.sharding
     partitions = sorted(deployment.channel_managers)
     rng = random.Random(90125 + farms)
@@ -203,6 +233,8 @@ def test_bench_shardscale_switch_renewal_scaling():
             "zipf_s": ZIPF_S,
             "farms": list(FARMS),
             "full_run": FULL_RUN,
+            "crypto_pool_workers": WORKERS,
+            "machine_cores": multiprocessing.cpu_count(),
         },
         "results": results,
         "acceptance": {

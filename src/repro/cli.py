@@ -444,6 +444,7 @@ def _cmd_overlay(args: argparse.Namespace) -> int:
         ramp=args.ramp,
         mid_departure_fraction=args.churn,
         partitions=args.partitions,
+        verify_index=args.verify_index,
     )
     arms = ("ranked", "uniform") if args.sampler == "both" else (args.sampler,)
     payloads = {}
@@ -462,6 +463,19 @@ def _cmd_overlay(args: argparse.Namespace) -> int:
             f"locality parent={payload['parent_locality']} "
             f"repair={payload['repair_locality']}, "
             f"depth mean={payload['mean_depth']} max={payload['max_depth']}"
+        )
+        sel = payload["selection"]
+        print(
+            f"  selection: {sel['requests']} requests "
+            f"({sel['index_hits']} index, {sel['fallback_scans']} scans), "
+            f"{payload['candidates_per_request']} candidates/request, "
+            f"{sel['stale_entries_skipped']} stale skipped, "
+            f"{sel['index_events']} index events"
+            + (
+                f", {payload['index_verifications']} index self-checks OK"
+                if args.verify_index
+                else ""
+            )
         )
         print(render_join_breakdown(result.tracer.spans))
         print()
@@ -615,6 +629,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of viewers departing mid-event")
     overlay.add_argument("--partitions", type=int, default=1,
                          help=">1 runs the storm against the sharded manager tier")
+    overlay.add_argument("--verify-index", action="store_true",
+                         help="run O(n) CandidateIndex.verify_against self-checks "
+                              "during the storm (smoke sizes only)")
     overlay.add_argument("--out", default=None,
                          help="save per-arm metrics as JSON")
     overlay.set_defaults(func=_cmd_overlay)

@@ -46,6 +46,7 @@ from repro.metrics.adversary import MisbehaviorCounters
 from repro.metrics.dataplane import counters as dataplane_counters
 from repro.metrics.hotpath import counters as hotpath_counters
 from repro.metrics.registry import MetricsRegistry
+from repro.metrics.selection import counters as selection_counters
 from repro.resilience.counters import ResilienceCounters
 from repro.p2p.overlay import ChannelOverlay, RepairRanker
 from repro.p2p.peer import Peer
@@ -193,7 +194,13 @@ class Deployment:
             same_region_fraction=0.75,
         )
         self._active_peer_list_provider = self.ranked_provider
-        self._repair_ranker: Optional[RepairRanker] = self.ranked_provider.rank_for_repair
+        # Both repair hooks point at the ranked provider: remove_peer
+        # prefers the index-backed selector; the legacy ranker stays
+        # wired for external callers that still invoke it directly.
+        self._repair_ranker: Optional[RepairRanker] = (
+            self.ranked_provider.rank_for_repair
+        )
+        self._repair_selector = self.ranked_provider.select_repair
         for name in partitions:
             cm_drbg = self._drbg.fork(f"cm-{name}".encode())
             cm_key = generate_keypair(cm_drbg.fork(b"key"), bits=key_bits)
@@ -226,6 +233,7 @@ class Deployment:
         self.metrics = MetricsRegistry()
         self.metrics.register("hotpath", hotpath_counters)
         self.metrics.register("dataplane", dataplane_counters)
+        self.metrics.register("selection", selection_counters)
         #: Shared resilience counter block: every retry loop, breaker,
         #: and degraded-mode transition built against this deployment
         #: should aggregate here so ``metrics`` reports them.
@@ -265,7 +273,9 @@ class Deployment:
             random.Random(self.rng.randrange(2**63)),
             same_region_fraction=same_region_fraction,
         )
-        self._install_peer_list_provider(sampler, repair_ranker=None)
+        self._install_peer_list_provider(
+            sampler, repair_ranker=None, repair_selector=None
+        )
 
     def use_ranked_peer_lists(self, same_region_fraction: float = 0.75) -> None:
         """(Re)install the ranked pipeline, e.g. with a custom privacy cap.
@@ -284,20 +294,27 @@ class Deployment:
             same_region_fraction=same_region_fraction,
         )
         self._install_peer_list_provider(
-            self.ranked_provider, repair_ranker=self.ranked_provider.rank_for_repair
+            self.ranked_provider,
+            repair_ranker=self.ranked_provider.rank_for_repair,
+            repair_selector=self.ranked_provider.select_repair,
         )
 
     def use_uniform_peer_lists(self) -> None:
         """Fall back to uniform sampling (the A/B baseline arm)."""
-        self._install_peer_list_provider(self._peer_list_provider, repair_ranker=None)
+        self._install_peer_list_provider(
+            self._peer_list_provider, repair_ranker=None, repair_selector=None
+        )
 
-    def _install_peer_list_provider(self, provider, repair_ranker) -> None:
+    def _install_peer_list_provider(
+        self, provider, repair_ranker, repair_selector=None
+    ) -> None:
         """Point every CM farm (primaries + replicas) and every
         overlay's churn-repair path at one selection policy.  Farms and
         channels created later inherit it via
-        ``_active_peer_list_provider`` / ``_repair_ranker``."""
+        ``_active_peer_list_provider`` / ``_repair_selector``."""
         self._active_peer_list_provider = provider
         self._repair_ranker = repair_ranker
+        self._repair_selector = repair_selector
         for manager in self.channel_managers.values():
             manager.set_peer_list_provider(provider)
         for replicas in self.cm_replicas.values():
@@ -305,6 +322,7 @@ class Deployment:
                 replica.set_peer_list_provider(provider)
         for overlay in self.overlays.values():
             overlay.repair_ranker = repair_ranker
+            overlay.repair_selector = repair_selector
 
     def analytics_for(self, channel_id: str):
         """Viewing analytics over the channel's partition log."""
@@ -367,6 +385,7 @@ class Deployment:
             substream_count=self.substream_count,
         )
         overlay.repair_ranker = self._repair_ranker
+        overlay.repair_selector = self._repair_selector
         if self.scorecard is not None:
             overlay.scorecard = self.scorecard
         if self.tracer is not None:

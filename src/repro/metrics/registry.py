@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Mapping
 from repro.metrics.dataplane import counters as _dataplane_counters
 from repro.metrics.hotpath import counters as _hotpath_counters
 from repro.metrics.reporting import format_table
+from repro.metrics.selection import counters as _selection_counters
 
 
 class MetricsRegistry:
@@ -79,3 +80,4 @@ class MetricsRegistry:
 registry = MetricsRegistry()
 registry.register("hotpath", _hotpath_counters)
 registry.register("dataplane", _dataplane_counters)
+registry.register("selection", _selection_counters)

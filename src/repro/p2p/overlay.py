@@ -25,6 +25,7 @@ from repro.core.protocol import JoinAccept, PeerDescriptor
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import RsaPublicKey
 from repro.errors import CapacityError, OverlayError
+from repro.p2p.index import CandidateIndex
 from repro.p2p.peer import Peer
 from repro.p2p.scorecard import DEPTH_LIE
 from repro.p2p.substreams import ParentPlan, SubstreamAssignment
@@ -133,6 +134,15 @@ class RepairRecord:
 #: connected spare-capacity peers, count) -> ordered descriptors.
 RepairRanker = Callable[[str, List[Peer], int], List[PeerDescriptor]]
 
+#: Index-era churn-repair hook: (overlay, orphan, accept, count) ->
+#: ordered descriptors.  Unlike :data:`RepairRanker` the selector
+#: builds its own candidate set (from the overlay's candidate index),
+#: filtered through ``accept`` -- the overlay's source-connectivity
+#: probe -- so repair never needs the O(n) eligible scan.
+RepairSelector = Callable[
+    ["ChannelOverlay", Peer, Callable[[Peer], bool], int], List[PeerDescriptor]
+]
+
 
 class BoundedLog:
     """A ring buffer with list semantics plus drop accounting.
@@ -222,10 +232,27 @@ class ChannelOverlay:
         self.plans: Dict[str, ParentPlan] = {}
         self.join_attempts = 0
         self.repairs = 0
+        #: Per-overlay jitter salt for the deterministic ranking
+        #: tiebreak (:func:`repro.p2p.index.stable_jitter`).  Derived
+        #: from the overlay's own DRBG fork *after* the source fork so
+        #: adding it shifted no pre-existing key material.
+        self.selection_salt = drbg.fork(b"selection-salt").generate(16)
+        #: The incrementally-maintained candidate index.  The overlay
+        #: is its single writer: registration, departure, capacity
+        #: deltas, depth heartbeats, and quarantine transitions all
+        #: publish updates (peers carry a ``membership_listener`` that
+        #: routes back here).  Selection providers read it via
+        #: ``overlay.index``; ``verify_against(overlay)`` self-checks.
+        self.index = CandidateIndex(salt=self.selection_salt)
         #: When set, churn repair ranks its candidate list through this
         #: hook (the deployment wires the same locality/capacity ranking
         #: that builds SWITCH2 lists); None = legacy uniform shuffle.
+        #: Superseded by :data:`repair_selector` when both are set.
         self.repair_ranker: Optional[RepairRanker] = None
+        #: Index-era repair hook (see :data:`RepairSelector`); preferred
+        #: over ``repair_ranker`` because it avoids the O(n) per-orphan
+        #: eligible scan.  None = fall back to ranker / uniform.
+        self.repair_selector: Optional[RepairSelector] = None
         #: One record per orphan processed by :meth:`remove_peer`; the
         #: flash-crowd driver drains this to price repair time.  Bounded:
         #: long storms shed the oldest records (``repair_log.dropped``
@@ -234,29 +261,68 @@ class ChannelOverlay:
         #: Shared PeerScorecard, attached by
         #: Deployment.enable_misbehavior_detection().  When present,
         #: quarantined peers are excluded from peer lists and repair
-        #: candidates, and :meth:`contain` evicts them.
-        self.scorecard = None
+        #: candidates, and :meth:`contain` evicts them.  A property:
+        #: attaching subscribes the candidate index to quarantine and
+        #: release transitions.
+        self._scorecard = None
 
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
 
     def register_peer(self, peer: Peer) -> None:
-        """Add a ticketed peer to the overlay registry."""
+        """Add a ticketed peer to the overlay registry.
+
+        Registration makes the overlay the peer's membership-event
+        sink: every subsequent capacity/depth/liveness change the peer
+        publishes flows into the candidate index.  Idempotent (churn
+        repair re-registers orphans that never left)."""
         if peer.channel_id != self.channel_id:
             raise OverlayError(
                 f"peer carries {peer.channel_id!r}, overlay is {self.channel_id!r}"
             )
         self.peers[peer.peer_id] = peer
-        if self.scorecard is not None:
-            peer.scorecard = self.scorecard
-            self.scorecard.note_address(peer.peer_id, peer.address)
+        if self._scorecard is not None:
+            peer.scorecard = self._scorecard
+            self._scorecard.note_address(peer.peer_id, peer.address)
+        peer.membership_listener = self._on_membership_event
+        self.index.add_peer(peer, admissible=self.admissible(peer))
 
-    def _admissible(self, peer: Peer) -> bool:
+    @property
+    def scorecard(self):
+        return self._scorecard
+
+    @scorecard.setter
+    def scorecard(self, value) -> None:
+        if value is self._scorecard:
+            return
+        old = self._scorecard
+        self._scorecard = value
+        if old is not None:
+            old.remove_listener(self._on_quarantine_event)
+        if value is not None:
+            value.add_listener(self._on_quarantine_event)
+        # Attaching (or swapping) a detection plane can change any
+        # member's admissibility: refresh the index's cached flags.
+        for peer in self.peers.values():
+            self.index.set_admissible(peer.peer_id, self.admissible(peer))
+
+    def _on_membership_event(self, peer: Peer) -> None:
+        """A registered peer's rankable state changed; index absorbs it."""
+        self.index.update_peer(peer)
+
+    def _on_quarantine_event(self, peer_id: str, quarantined: bool) -> None:
+        if peer_id in self.peers:
+            self.index.set_admissible(peer_id, not quarantined)
+
+    def admissible(self, peer: Peer) -> bool:
         """False when the detection plane has quarantined this peer."""
-        return self.scorecard is None or not self.scorecard.is_quarantined(
+        return self._scorecard is None or not self._scorecard.is_quarantined(
             peer.peer_id
         )
+
+    # Pre-index spelling, kept for external callers.
+    _admissible = admissible
 
     def lookup(self, peer_id: str) -> Peer:
         """Resolve a peer id (including the source)."""
@@ -285,17 +351,15 @@ class ChannelOverlay:
         signature.  The source is included as a last-resort candidate
         (early joiners have nobody else).
         """
-        if channel_id != self.channel_id:
+        if channel_id != self.channel_id or count <= 0:
             return []
-        candidates = [
-            peer
-            for peer in self.peers.values()
-            if peer.alive
-            and peer.spare_capacity > 0
-            and peer.address != exclude_addr
-            and self._admissible(peer)
-        ]
-        self._rng.shuffle(candidates)
+        # The index's randomized member sets make this O(count): a
+        # uniform sample without replacement, not a full-membership
+        # shuffle.  One extra candidate is drawn beyond the source's
+        # reserved slot so a saturated source does not shorten the list.
+        candidates = self.index.sample_eligible(
+            self._rng, count, exclude_addr=exclude_addr
+        )
         chosen = candidates[: max(0, count - 1)]
         descriptors = [peer.descriptor() for peer in chosen]
         if self.source.spare_capacity > 0:
@@ -504,6 +568,8 @@ class ChannelOverlay:
         peer = self.peers.pop(peer_id, None)
         if peer is None:
             raise OverlayError(f"unknown peer: {peer_id}")
+        self.index.remove_peer(peer_id)
+        peer.membership_listener = None
         departing_plan = self.plans.pop(peer_id, None)
         # Detach the departing peer from its parents' children maps --
         # otherwise the stale links keep feeding it keys/packets and,
@@ -524,29 +590,45 @@ class ChannelOverlay:
                 plan.drop_parent(peer_id)
             # Only source-reachable candidates are safe parents: wiring
             # two simultaneous orphans to each other (or to a detached
-            # descendant) would orphan an island.  Build the candidate
-            # list from the connected set directly -- sampling first
-            # and filtering after can exhaust the sample when a
-            # near-root departure detaches most of the overlay.
-            connected = set(self.depths().keys())
-            connected.add(self.source.peer_id)
-            eligible = [
-                member
-                for member in self.peers.values()
-                if member.alive
-                and member.spare_capacity > 0
-                and member.address != orphan.address
-                and member.peer_id in connected
-                and self._admissible(member)
-            ]
-            if self.repair_ranker is not None:
+            # descendant) would orphan an island.  The probe answers
+            # per-candidate reachability by walking parent links up
+            # toward the source with memoization -- O(depth) per
+            # candidate instead of the former per-orphan O(n) BFS.
+            # Fresh per orphan: each repair rewires the graph.
+            probe = self._connectivity_probe()
+
+            def accept(member: Peer, _probe=probe) -> bool:
+                return _probe(member.peer_id)
+
+            if self.repair_selector is not None:
                 # Repair reuses the same locality/capacity ranking that
-                # built the orphan's original SWITCH2 list.
+                # built the orphan's original SWITCH2 list, drawn from
+                # the candidate index.
+                candidates = list(
+                    self.repair_selector(self, orphan, accept, 16)
+                )
+            elif self.repair_ranker is not None:
+                # Legacy hook: the ranker expects the eligible set
+                # pre-built, which needs the full scan.
+                connected = set(self.depths().keys())
+                connected.add(self.source.peer_id)
+                eligible = [
+                    member
+                    for member in self.peers.values()
+                    if member.alive
+                    and member.spare_capacity > 0
+                    and member.address != orphan.address
+                    and member.peer_id in connected
+                    and self.admissible(member)
+                ]
                 candidates = list(self.repair_ranker(orphan.address, eligible, 16))
             else:
-                candidates = [member.descriptor() for member in eligible]
-                self._rng.shuffle(candidates)
-                candidates = candidates[:16]
+                candidates = [
+                    member.descriptor()
+                    for member in self.index.sample_eligible(
+                        self._rng, 16, exclude_addr=orphan.address, accept=accept
+                    )
+                ]
             if self.source.spare_capacity > 0:
                 candidates.append(self.source.descriptor())
             attempts_before = self.join_attempts
@@ -572,6 +654,74 @@ class ChannelOverlay:
                     )
                 )
         return repaired
+
+    def _connectivity_probe(self) -> Callable[[str], bool]:
+        """A memoized source-reachability oracle over parent links.
+
+        ``probe(peer_id)`` is True when an upward chain of live,
+        link-validated parent edges (the peer's plan entry *and* the
+        parent's matching child link -- the same edges BFS follows
+        downward) reaches the source.  Each query walks only the
+        ancestor closure not already memoized, so a repair pass over k
+        candidates costs O(sum of unexplored ancestor paths) instead
+        of k full-overlay BFS traversals.
+        """
+        source_id = self.source.peer_id
+        memo: Dict[str, bool] = {}
+
+        def parents_of(peer_id: str) -> List[str]:
+            plan = self.plans.get(peer_id)
+            child = self.peers.get(peer_id)
+            if plan is None or child is None:
+                return []
+            out: List[str] = []
+            for parent_id in set(plan.parents.values()):
+                holder = (
+                    self.source
+                    if parent_id == source_id
+                    else self.peers.get(parent_id)
+                )
+                if holder is None or not holder.alive:
+                    continue
+                if any(
+                    link.child_peer is child for link in holder.children.values()
+                ):
+                    out.append(parent_id)
+            return out
+
+        def connected(target: str) -> bool:
+            cached = memo.get(target)
+            if cached is not None:
+                return cached
+            # Upward DFS from the target; reaching the source (or a
+            # memo-True ancestor) proves every node on the discovery
+            # path connected.  Exhausting the search proves every
+            # up-reachable node disconnected (their entire upward
+            # closure was explored), so both outcomes memoize.
+            pred: Dict[str, Optional[str]] = {target: None}
+            stack = [target]
+            hit: Optional[str] = None
+            while stack and hit is None:
+                peer_id = stack.pop()
+                for parent_id in parents_of(peer_id):
+                    if parent_id == source_id or memo.get(parent_id):
+                        hit = peer_id
+                        break
+                    if memo.get(parent_id) is False or parent_id in pred:
+                        continue
+                    pred[parent_id] = peer_id
+                    stack.append(parent_id)
+            if hit is None:
+                for peer_id in pred:
+                    memo[peer_id] = False
+                return False
+            node: Optional[str] = hit
+            while node is not None:
+                memo[node] = True
+                node = pred[node]
+            return True
+
+        return connected
 
     def orphans(self) -> List[str]:
         """Peers with incomplete parent plans (need repair)."""

@@ -91,21 +91,20 @@ class Peer:
         region: str = "?",
         asn: int = 0,
     ) -> None:
+        #: Membership-event hook, set by the owning overlay when the
+        #: peer registers: fires on every state change a ranking can
+        #: observe (child capacity deltas, depth adoption, locality
+        #: edits, departure) so the overlay's candidate index stays
+        #: current without polling.  None = unregistered (no-op).
+        self.membership_listener: Optional[Callable[["Peer"], None]] = None
         self.peer_id = peer_id
         self.client = client
         self.channel_id = channel_id
         self.cm_public_key = cm_public_key
         self.capacity = capacity
-        self.region = region
-        #: Autonomous system number (0 = unknown / undisclosed); used by
-        #: the ranked peer-list pipeline for same-AS preference.
-        self.asn = asn
-        #: Advisory hop distance from the source, maintained by the
-        #: overlay at join/repair time.  The ranked peer-list pipeline
-        #: prefers shallow parents (startup/key latency proxy); ranking
-        #: purely by spare capacity would herd every joiner onto the
-        #: newest member and grow chains instead of trees.
-        self.depth = 0
+        self._region = region
+        self._asn = asn
+        self._depth = 0
         self._drbg = drbg
         self.children: Dict[int, ChildLink] = {}
         self.alive = True
@@ -132,6 +131,55 @@ class Peer:
     def address(self) -> str:
         """The network address (the wrapped client's NetAddr)."""
         return self.client.net_addr
+
+    @property
+    def region(self) -> str:
+        """Locality hint; writes publish a membership event (region is
+        a candidate-index bucket key)."""
+        return self._region
+
+    @region.setter
+    def region(self, value: str) -> None:
+        if value == self._region:
+            return
+        self._region = value
+        self._publish_membership_event()
+
+    @property
+    def asn(self) -> int:
+        """Autonomous system number (0 = unknown / undisclosed); used
+        by the ranked peer-list pipeline for same-AS preference.
+        Writes publish a membership event (AS is a bucket key)."""
+        return self._asn
+
+    @asn.setter
+    def asn(self, value: int) -> None:
+        if value == self._asn:
+            return
+        self._asn = value
+        self._publish_membership_event()
+
+    @property
+    def depth(self) -> int:
+        """Advisory hop distance from the source, maintained by the
+        overlay at join/repair time and refreshed by key-update
+        heartbeats.  The ranked peer-list pipeline prefers shallow
+        parents (startup/key latency proxy); ranking purely by spare
+        capacity would herd every joiner onto the newest member and
+        grow chains instead of trees.  Writes publish a membership
+        event (depth is a ranking input the candidate index caches)."""
+        return self._depth
+
+    @depth.setter
+    def depth(self, value: int) -> None:
+        if value == self._depth:
+            return
+        self._depth = value
+        self._publish_membership_event()
+
+    def _publish_membership_event(self) -> None:
+        if self.membership_listener is not None:
+            self.membership_listener(self)
 
     def descriptor(self) -> PeerDescriptor:
         """This peer as a peer-list entry, with locality/capacity hints."""
@@ -203,6 +251,7 @@ class Peer:
             user_id=ticket.user_id, session_key=session_key, ticket=ticket
         )
         self.joins_accepted += 1
+        self._publish_membership_event()
         return JoinAccept(
             peer_id=self.peer_id,
             encrypted_session_key=ticket.client_public_key.encrypt(
@@ -430,8 +479,10 @@ class Peer:
     def sever_child(self, user_id: int) -> None:
         """Terminate one peering relationship."""
         link = self.children.pop(user_id, None)
-        if link is not None and link.child_peer is not None:
-            link.child_peer.client.drop_parent(self.peer_id)
+        if link is not None:
+            self._publish_membership_event()
+            if link.child_peer is not None:
+                link.child_peer.client.drop_parent(self.peer_id)
 
     def leave(self) -> List["Peer"]:
         """Leave the overlay; returns orphaned child peers for repair.
@@ -441,6 +492,7 @@ class Peer:
         resurrected by the repair machinery.
         """
         self.alive = False
+        self._publish_membership_event()
         orphans = []
         for user_id, link in list(self.children.items()):
             if link.child_peer is not None and link.child_peer.alive:
@@ -452,4 +504,7 @@ class Peer:
         """Drop the link to a departing child without touching the
         child's own state (the child is leaving; it cleans itself up).
         Returns True if a link existed."""
-        return self.children.pop(user_id, None) is not None
+        if self.children.pop(user_id, None) is None:
+            return False
+        self._publish_membership_event()
+        return True

@@ -25,7 +25,7 @@ spans and in :class:`~repro.metrics.adversary.MisbehaviorCounters`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.metrics.adversary import MisbehaviorCounters
 from repro.trace.span import Tracer
@@ -108,6 +108,28 @@ class PeerScorecard:
         #: for call sites without a ``now`` in scope (raw data-plane
         #: forwarding carries no timestamps).
         self._last_now = 0.0
+        #: Quarantine-transition subscribers, called as
+        #: ``listener(peer_id, quarantined)`` on every quarantine
+        #: (True) and release (False).  Overlays subscribe so their
+        #: candidate indexes track admissibility without polling.
+        self._listeners: List[Callable[[str, bool], None]] = []
+
+    # ------------------------------------------------------------------
+    # Quarantine events
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[str, bool], None]) -> None:
+        """Subscribe to quarantine/release transitions (idempotent)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[str, bool], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, peer_id: str, quarantined: bool) -> None:
+        for listener in list(self._listeners):
+            listener(peer_id, quarantined)
 
     # ------------------------------------------------------------------
     # Identity
@@ -162,6 +184,7 @@ class PeerScorecard:
             self.counters.peers_quarantined += 1
             self.events.append((when, "quarantine", peer_id))
             self._span("ADVERSARY.quarantine", when, peer_id, score=score.points)
+            self._notify(peer_id, True)
             return True
         return False
 
@@ -212,6 +235,7 @@ class PeerScorecard:
             self._quarantined.discard(peer_id)
             self._scores.pop(peer_id, None)
             self.events.append((self._clocked(now), "release", peer_id))
+            self._notify(peer_id, False)
 
     # ------------------------------------------------------------------
     # Internals

@@ -7,11 +7,11 @@ region roughly halves the join RTT and keeps inter-ISP traffic down
 same-region/cross-region split).  This module provides two pluggable
 :data:`~repro.core.channel_manager.PeerListProvider` implementations:
 
-* :class:`RegionAwarePeerSampler` -- shuffle within region classes,
+* :class:`RegionAwarePeerSampler` -- uniform within region classes,
   the original locality sampler;
 * :class:`RankedPeerListProvider` -- the full ranking pipeline
   (same-AS, then same-region, then spare upload capacity), which also
-  serves the churn-repair path through :meth:`rank_for_repair`.
+  serves the churn-repair path through :meth:`select_repair`.
 
 Both enforce the *same-region-fraction privacy cap*: at most that
 fraction of a returned list is drawn from the requester's own
@@ -19,18 +19,34 @@ region/AS, so peer lists never become a region-partition oracle --
 peer lists already reveal addresses, they should not additionally sort
 the world by geography for free.
 
-Selection is a pure ranking over the overlay's live state; it holds no
-state of its own, so it composes with farms, shards, and churn.
+Both answer requests from the overlay's incrementally-maintained
+:class:`~repro.p2p.index.CandidateIndex` -- O(count + buckets.log) per
+request -- with an O(n) scan retained as the *reference path*
+(``use_index=False``).  The two paths are pinned byte-identical for
+the ranked provider: ranking ties break on a stable per-peer keyed
+hash (:func:`~repro.p2p.index.stable_jitter` under the overlay's
+salt), not per-request randomness, so the same overlay state always
+yields the same list from either path (the Hypothesis equivalence
+suite asserts this across churn interleavings).  Herding is still
+avoided: every accepted join changes the winner's spare capacity and
+rotates its bucket's head before the next request.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.protocol import PeerDescriptor
+from repro.metrics.selection import counters
+from repro.p2p.index import stable_jitter
 from repro.p2p.overlay import ChannelOverlay
 from repro.p2p.peer import Peer
+
+#: Jitter salt for :meth:`RankedPeerListProvider.rank_for_repair`, the
+#: legacy explicit-candidate-set API that carries no overlay (and so no
+#: per-overlay salt).  A fixed salt keeps it deterministic.
+_DETACHED_SALT = b"rank-for-repair"
 
 
 def merge_with_quota(
@@ -69,7 +85,64 @@ def merge_with_quota(
     return chosen, leftovers
 
 
-class RegionAwarePeerSampler:
+class _PeerListPipeline:
+    """Shared tail of both providers: cap, source slot, top-up -- and
+    the ``locality_fraction`` test helper both used to duplicate."""
+
+    _overlays: Dict[str, ChannelOverlay]
+    _geo: object
+    same_region_fraction: float
+
+    def _assemble(
+        self,
+        overlay: ChannelOverlay,
+        local: Sequence[Peer],
+        remote: Sequence[Peer],
+        count: int,
+    ) -> List[PeerDescriptor]:
+        """Privacy-cap merge, source slot, leftover top-up, truncate."""
+        local_quota = int(round((count - 1) * self.same_region_fraction))
+        chosen, leftovers = merge_with_quota(local, remote, count - 1, local_quota)
+        descriptors = [peer.descriptor() for peer in chosen]
+        if overlay.source.spare_capacity > 0:
+            descriptors.append(overlay.source.descriptor())
+        # A saturated source must not shorten the list: top back up to
+        # ``count`` from the leftover candidates (rank order preserved).
+        for peer in leftovers:
+            if len(descriptors) >= count:
+                break
+            descriptors.append(peer.descriptor())
+        return descriptors[:count]
+
+    def locality_fraction(
+        self, channel_id: str, requester_addr: str, count: int = 8
+    ) -> float:
+        """Fraction of a sampled list in the requester's region (for tests)."""
+        sample = self(channel_id, requester_addr, count)  # type: ignore[operator]
+        if not sample:
+            return 0.0
+        region = self._geo.region_of(requester_addr)
+        local = sum(1 for d in sample if d.region == region)
+        return local / len(sample)
+
+    @staticmethod
+    def _scan_eligible(
+        overlay: ChannelOverlay, exclude_addr: str
+    ) -> List[Peer]:
+        """The reference path's full-membership gather (O(n))."""
+        eligible = [
+            peer
+            for peer in overlay.peers.values()
+            if peer.alive
+            and peer.spare_capacity > 0
+            and peer.address != exclude_addr
+            and overlay.admissible(peer)
+        ]
+        counters.candidates_considered += len(eligible)
+        return eligible
+
+
+class RegionAwarePeerSampler(_PeerListPipeline):
     """Prefer same-region parents, then spare capacity, then luck.
 
     Parameters
@@ -87,6 +160,11 @@ class RegionAwarePeerSampler:
         becomes a region-partition oracle -- a privacy point: peer
         lists already reveal addresses, they should not additionally
         sort the world by geography for free).
+    use_index:
+        Draw both region classes from the overlay's candidate index
+        (O(count) uniform samples) instead of shuffling two full
+        membership lists per call.  The scan path remains as the
+        fallback for overlays without an index.
     """
 
     def __init__(
@@ -95,6 +173,7 @@ class RegionAwarePeerSampler:
         geo,
         rng: random.Random,
         same_region_fraction: float = 0.75,
+        use_index: bool = True,
     ) -> None:
         if not 0.0 <= same_region_fraction <= 1.0:
             raise ValueError("same_region_fraction must be a fraction")
@@ -102,6 +181,7 @@ class RegionAwarePeerSampler:
         self._geo = geo
         self._rng = rng
         self.same_region_fraction = same_region_fraction
+        self.use_index = use_index
 
     def __call__(
         self, channel_id: str, exclude_addr: str, count: int
@@ -110,44 +190,30 @@ class RegionAwarePeerSampler:
         overlay = self._overlays.get(channel_id)
         if overlay is None or count <= 0:
             return []
+        counters.requests += 1
         requester_region = self._geo.region_of(exclude_addr)
-        candidates = [
-            peer
-            for peer in overlay.peers.values()
-            if peer.alive
-            and peer.spare_capacity > 0
-            and peer.address != exclude_addr
-            and overlay._admissible(peer)
-        ]
-        local = [p for p in candidates if p.region == requester_region]
-        remote = [p for p in candidates if p.region != requester_region]
-        self._rng.shuffle(local)
-        self._rng.shuffle(remote)
-
-        local_quota = int(round((count - 1) * self.same_region_fraction))
-        chosen, leftovers = merge_with_quota(local, remote, count - 1, local_quota)
-        descriptors = [peer.descriptor() for peer in chosen]
-        if overlay.source.spare_capacity > 0:
-            descriptors.append(overlay.source.descriptor())
-        # A saturated source must not shorten the list: top back up to
-        # ``count`` from the leftover candidates (rank order preserved).
-        for peer in leftovers:
-            if len(descriptors) >= count:
-                break
-            descriptors.append(peer.descriptor())
-        return descriptors[:count]
-
-    def locality_fraction(self, channel_id: str, requester_addr: str, count: int = 8) -> float:
-        """Fraction of a sampled list in the requester's region (for tests)."""
-        sample = self(channel_id, requester_addr, count)
-        if not sample:
-            return 0.0
-        region = self._geo.region_of(requester_addr)
-        local = sum(1 for d in sample if d.region == region)
-        return local / len(sample)
+        index = getattr(overlay, "index", None) if self.use_index else None
+        if index is not None:
+            counters.index_hits += 1
+            # ``count`` per side covers the worst-case consumption of
+            # the merge + top-up tail (at most ``count`` from one side).
+            local = index.sample_region(
+                self._rng, requester_region, count, exclude_addr=exclude_addr
+            )
+            remote = index.sample_outside_region(
+                self._rng, requester_region, count, exclude_addr=exclude_addr
+            )
+        else:
+            counters.fallback_scans += 1
+            candidates = self._scan_eligible(overlay, exclude_addr)
+            local = [p for p in candidates if p.region == requester_region]
+            remote = [p for p in candidates if p.region != requester_region]
+            self._rng.shuffle(local)
+            self._rng.shuffle(remote)
+        return self._assemble(overlay, local, remote, count)
 
 
-class RankedPeerListProvider:
+class RankedPeerListProvider(_PeerListPipeline):
     """SWITCH2 peer lists ranked by (same-AS, same-region, spare capacity).
 
     The pipeline the Channel Manager runs per request:
@@ -157,24 +223,27 @@ class RankedPeerListProvider:
        0 = elsewhere), then advertised tree depth (shallow parents cut
        startup and key-propagation latency -- and ranking by capacity
        alone would herd joiners onto the newest member, growing chains
-       instead of trees), then spare upload capacity, then a random
-       jitter so equally-good parents don't herd;
+       instead of trees), then spare upload capacity, then a *stable*
+       per-peer jitter (a keyed hash under the overlay's salt) so
+       equally-good parents don't herd and both execution paths agree;
     3. *cap* -- the same-region-fraction privacy cap bounds how much of
        the list the requester's own region/AS may occupy;
     4. *top up* -- the source is appended as a last-resort candidate,
        and leftovers fill the list back to ``count`` when the source is
        saturated or one side of the cap runs short.
 
-    The same scoring serves churn repair (:meth:`rank_for_repair`), so
+    The same scoring serves churn repair (:meth:`select_repair`), so
     an orphan re-parents with the ranking its original list used.
 
-    ``max_pool`` bounds how many candidates one request will rank:
-    above it, a uniform subsample is ranked instead of the full
-    membership.  This keeps per-request cost flat under flash-crowd
-    load (ranking all 10k members for every one of 10k joiners is
-    quadratic work for no better list) at the cost of occasionally
-    missing the single globally best parent -- the subsample still
-    holds hundreds of near-equivalent candidates.
+    With ``use_index`` (the default) the gather+score stages are a
+    handful of heap pops from the overlay's
+    :class:`~repro.p2p.index.CandidateIndex`; ``use_index=False`` runs
+    the O(n) scan *reference path*, which is pinned byte-identical to
+    the index path (the equivalence suite's whole point).  ``max_pool``
+    survives as the per-side consideration bound applied identically on
+    both paths -- its historical role (random subsampling to bound the
+    scan's quadratic cost) is obsolete now that the index bounds
+    per-request cost structurally.
     """
 
     def __init__(
@@ -184,6 +253,7 @@ class RankedPeerListProvider:
         rng: random.Random,
         same_region_fraction: float = 0.75,
         max_pool: int = 512,
+        use_index: bool = True,
     ) -> None:
         if not 0.0 <= same_region_fraction <= 1.0:
             raise ValueError("same_region_fraction must be a fraction")
@@ -194,19 +264,9 @@ class RankedPeerListProvider:
         self._rng = rng
         self.same_region_fraction = same_region_fraction
         self.max_pool = max_pool
+        self.use_index = use_index
 
     # -- pipeline stages ------------------------------------------------
-
-    @staticmethod
-    def _gather(overlay: ChannelOverlay, exclude_addr: str) -> List[Peer]:
-        return [
-            peer
-            for peer in overlay.peers.values()
-            if peer.alive
-            and peer.spare_capacity > 0
-            and peer.address != exclude_addr
-            and overlay._admissible(peer)
-        ]
 
     @staticmethod
     def _proximity(peer: Peer, record) -> int:
@@ -220,23 +280,46 @@ class RankedPeerListProvider:
             return 1
         return 0
 
-    def _rank(self, candidates: Sequence[Peer], record) -> Tuple[List[Peer], List[Peer]]:
-        """Sort by (proximity desc, depth asc, spare capacity desc,
-        jitter) and split into requester-local and remote rank lists."""
-        if len(candidates) > self.max_pool:
-            candidates = self._rng.sample(list(candidates), self.max_pool)
-        jitter = {peer.peer_id: self._rng.random() for peer in candidates}
+    def _ranked_sides(
+        self,
+        overlay: ChannelOverlay,
+        record,
+        exclude_addr: str,
+        count: int,
+        accept: Optional[Callable[[Peer], bool]] = None,
+    ) -> Tuple[List[Peer], List[Peer]]:
+        """The requester-local and remote rank lists, each truncated to
+        ``min(count, max_pool)`` -- the most either side can contribute
+        to a ``count``-slot list, so truncation never changes output."""
+        need = min(count, self.max_pool)
+        index = getattr(overlay, "index", None) if self.use_index else None
+        if index is not None:
+            counters.index_hits += 1
+            local = index.top_local(record, need, exclude_addr, accept=accept)
+            remote = index.top_remote(record, need, exclude_addr, accept=accept)
+            return local, remote
+        counters.fallback_scans += 1
+        candidates = self._scan_eligible(overlay, exclude_addr)
+        if accept is not None:
+            candidates = [peer for peer in candidates if accept(peer)]
+        return self._rank_scan(candidates, record, overlay.selection_salt, need)
+
+    def _rank_scan(
+        self, candidates: Sequence[Peer], record, salt: bytes, need: int
+    ) -> Tuple[List[Peer], List[Peer]]:
+        """Reference ranking: sort everything by the shared key."""
         ordered = sorted(
             candidates,
             key=lambda peer: (
                 -self._proximity(peer, record),
-                getattr(peer, "depth", 0),
+                peer.depth,
                 -peer.spare_capacity,
-                jitter[peer.peer_id],
+                stable_jitter(salt, peer.peer_id),
+                peer.peer_id,
             ),
         )
-        local = [p for p in ordered if self._proximity(p, record) > 0]
-        remote = [p for p in ordered if self._proximity(p, record) == 0]
+        local = [p for p in ordered if self._proximity(p, record) > 0][:need]
+        remote = [p for p in ordered if self._proximity(p, record) == 0][:need]
         return local, remote
 
     # -- PeerListProvider interface -------------------------------------
@@ -247,20 +330,36 @@ class RankedPeerListProvider:
         overlay = self._overlays.get(channel_id)
         if overlay is None or count <= 0:
             return []
+        counters.requests += 1
         record = self._geo.lookup(exclude_addr)
-        local, remote = self._rank(self._gather(overlay, exclude_addr), record)
-        local_quota = int(round((count - 1) * self.same_region_fraction))
-        chosen, leftovers = merge_with_quota(local, remote, count - 1, local_quota)
-        descriptors = [peer.descriptor() for peer in chosen]
-        if overlay.source.spare_capacity > 0:
-            descriptors.append(overlay.source.descriptor())
-        for peer in leftovers:
-            if len(descriptors) >= count:
-                break
-            descriptors.append(peer.descriptor())
-        return descriptors[:count]
+        local, remote = self._ranked_sides(overlay, record, exclude_addr, count)
+        return self._assemble(overlay, local, remote, count)
 
     # -- churn repair ---------------------------------------------------
+
+    def select_repair(
+        self,
+        overlay: ChannelOverlay,
+        orphan: Peer,
+        accept: Callable[[Peer], bool],
+        count: int,
+    ) -> List[PeerDescriptor]:
+        """Ranked repair candidates for an orphan's re-join.
+
+        Matches :data:`repro.p2p.overlay.RepairSelector`: the overlay
+        passes its source-connectivity probe as ``accept`` and this
+        provider draws the candidate set itself (index or scan -- same
+        result either way).  No source reservation here:
+        ``remove_peer`` appends the source itself.
+        """
+        counters.requests += 1
+        record = self._geo.lookup(orphan.address)
+        local, remote = self._ranked_sides(
+            overlay, record, orphan.address, count, accept=accept
+        )
+        local_quota = int(round(count * self.same_region_fraction))
+        chosen, _ = merge_with_quota(local, remote, count, local_quota)
+        return [peer.descriptor() for peer in chosen]
 
     def rank_for_repair(
         self, requester_addr: str, candidates: Sequence[Peer], count: int
@@ -268,20 +367,17 @@ class RankedPeerListProvider:
         """Rank an explicit candidate set (the overlay's connected,
         spare-capacity members) for an orphan's re-join.
 
-        Matches :data:`repro.p2p.overlay.RepairRanker`.  No source
-        reservation here: ``remove_peer`` appends the source itself.
+        Matches :data:`repro.p2p.overlay.RepairRanker`, the legacy
+        pre-index hook; :meth:`select_repair` supersedes it.  Carries
+        no overlay, so ties break under a fixed module salt.
         """
+        counters.requests += 1
+        counters.fallback_scans += 1
+        counters.candidates_considered += len(candidates)
         record = self._geo.lookup(requester_addr)
-        local, remote = self._rank(candidates, record)
+        local, remote = self._rank_scan(
+            candidates, record, _DETACHED_SALT, min(count, self.max_pool)
+        )
         local_quota = int(round(count * self.same_region_fraction))
         chosen, _ = merge_with_quota(local, remote, count, local_quota)
         return [peer.descriptor() for peer in chosen]
-
-    def locality_fraction(self, channel_id: str, requester_addr: str, count: int = 8) -> float:
-        """Fraction of a sampled list in the requester's region (for tests)."""
-        sample = self(channel_id, requester_addr, count)
-        if not sample:
-            return 0.0
-        region = self._geo.region_of(requester_addr)
-        local = sum(1 for d in sample if d.region == region)
-        return local / len(sample)

@@ -33,6 +33,7 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.rsa import generate_keypair
 from repro.deployment import Deployment
 from repro.errors import CapacityError, ReproError
+from repro.metrics.selection import counters as selection_counters
 from repro.metrics.stats import percentile
 from repro.p2p.peer import Peer
 from repro.sim.network import LatencyModel, peer_rtt, zattoo_like_rtt_table
@@ -70,6 +71,12 @@ class OverlayStormConfig:
     #: spans nest under the storm's phase spans).  Off by default: at
     #: 10k viewers the protocol spans alone would blow the span budget.
     trace_protocol: bool = False
+    #: Run ``CandidateIndex.verify_against(overlay)`` every
+    #: ``verify_every`` workload events (and once at the end): the
+    #: index must mirror the overlay exactly or the storm aborts.
+    #: The check is O(n) -- smoke-size storms and CI only.
+    verify_index: bool = False
+    verify_every: int = 2000
 
 
 @dataclass
@@ -97,6 +104,12 @@ class OverlayStormResult:
     parent_locality: float = 0.0
     mean_depth: float = 0.0
     max_depth: int = 0
+    #: Selection-plane counter growth over this arm (see
+    #: :mod:`repro.metrics.selection`): how many candidates the
+    #: peer-list pipeline examined per request, index vs. scan.
+    selection: Dict[str, int] = field(default_factory=dict)
+    #: Index self-checks run (``verify_index`` arms only).
+    index_verifications: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         def stats(values: List[float]) -> Dict[str, float]:
@@ -128,6 +141,17 @@ class OverlayStormResult:
             "mean_depth": round(self.mean_depth, 2),
             "max_depth": self.max_depth,
             "spans": len(self.tracer.spans),
+            "selection": dict(self.selection),
+            "candidates_per_request": (
+                round(
+                    self.selection.get("candidates_considered", 0)
+                    / self.selection["requests"],
+                    2,
+                )
+                if self.selection.get("requests")
+                else 0.0
+            ),
+            "index_verifications": self.index_verifications,
         }
 
 
@@ -178,7 +202,10 @@ def run_overlay_storm(config: OverlayStormConfig) -> OverlayStormResult:
     if config.sampler == "uniform":
         deployment.use_uniform_peer_lists()
 
-    tracer = Tracer()  # all times passed explicitly (virtual clock)
+    # All times are passed explicitly (virtual clock).  The default
+    # span budget fits the 600-viewer smoke; a 100k-viewer arm emits
+    # ~6 spans per join, so scale the ceiling with the audience.
+    tracer = Tracer(max_spans=max(200_000, config.viewers * 8))
     if config.trace_protocol:
         deployment.enable_tracing(tracer)
 
@@ -209,10 +236,16 @@ def run_overlay_storm(config: OverlayStormConfig) -> OverlayStormResult:
     peers: Dict[int, Peer] = {}
     local_parents = 0
     horizon = workload.churn.event_end
+    selection_mark = selection_counters.snapshot()
+    events_processed = 0
 
     for event, spec in workload.events():
         if event.time > horizon:
             break
+        events_processed += 1
+        if config.verify_index and events_processed % config.verify_every == 0:
+            overlay.index.verify_against(overlay)
+            result.index_verifications += 1
         if event.kind == "leave":
             peer = peers.pop(spec.index, None)
             if peer is None or peer.peer_id not in overlay.peers:
@@ -344,6 +377,10 @@ def run_overlay_storm(config: OverlayStormConfig) -> OverlayStormResult:
         result.joined += 1
         peers[spec.index] = peer
 
+    if config.verify_index:
+        overlay.index.verify_against(overlay)
+        result.index_verifications += 1
+    result.selection = selection_counters.delta_since(selection_mark)
     result.phases = phases
     if result.joined:
         result.parent_locality = local_parents / result.joined
